@@ -1,0 +1,171 @@
+//! Criterion microbenchmarks for the PKGM stack's hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use pkgm_core::{NegativeSampler, PkgmConfig, PkgmModel, TrainConfig, Trainer};
+use pkgm_store::{EntityId, RelationId, StoreBuilder, Triple, TripleStore};
+use pkgm_synth::{Catalog, CatalogConfig};
+use pkgm_tensor::{init, Graph, Params, Tensor};
+use pkgm_text::{EncoderConfig, TextEncoder, Vocab};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_store(c: &mut Criterion) {
+    let catalog = Catalog::generate(&CatalogConfig::small(1));
+    let store = &catalog.store;
+    let item = EntityId(0);
+    let rel = store.relations_of(item)[0];
+    c.bench_function("store/triple_query", |b| {
+        b.iter(|| black_box(store.tails(black_box(item), black_box(rel))))
+    });
+    c.bench_function("store/relation_query", |b| {
+        b.iter(|| black_box(store.relations_of(black_box(item))))
+    });
+    c.bench_function("store/contains", |b| {
+        let t = store.triples()[0];
+        b.iter(|| black_box(store.contains(black_box(t))))
+    });
+}
+
+fn bench_negative_sampling(c: &mut Criterion) {
+    let catalog = Catalog::generate(&CatalogConfig::small(2));
+    let store = &catalog.store;
+    let sampler = NegativeSampler::new(store);
+    let pos = store.triples()[42];
+    c.bench_function("sampler/corrupt_filtered", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| black_box(sampler.corrupt(black_box(pos), store, &mut rng)))
+    });
+}
+
+fn small_graph() -> TripleStore {
+    let mut b = StoreBuilder::new();
+    for i in 0..2000u32 {
+        b.add_raw(i, i % 8, 2000 + i % 50);
+    }
+    b.build()
+}
+
+fn bench_pkgm_training(c: &mut Criterion) {
+    let store = small_graph();
+    c.bench_function("pkgm/train_epoch_2k_triples_d32", |b| {
+        b.iter_batched(
+            || {
+                let model = PkgmModel::new(
+                    store.n_entities() as usize,
+                    store.n_relations() as usize,
+                    PkgmConfig::new(32).with_seed(1),
+                );
+                let cfg = TrainConfig {
+                    epochs: 1,
+                    batch_size: 1000,
+                    parallel: true,
+                    ..TrainConfig::default()
+                };
+                let trainer = Trainer::new(&model, cfg);
+                (model, trainer)
+            },
+            |(mut model, mut trainer)| {
+                black_box(trainer.train_epoch(&mut model, &store, 0));
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_cached_service(c: &mut Criterion) {
+    let catalog = Catalog::generate(&CatalogConfig::small(5));
+    let model = PkgmModel::new(
+        catalog.store.n_entities() as usize,
+        catalog.store.n_relations() as usize,
+        PkgmConfig::new(64).with_seed(1),
+    );
+    let service =
+        pkgm_core::KnowledgeService::new(model, catalog.key_relation_selector(10));
+    let cached = pkgm_core::CachedService::new(service, 4096);
+    // warm
+    cached.sequence_service(EntityId(5));
+    c.bench_function("service/cached_sequence_hit", |b| {
+        b.iter(|| black_box(cached.sequence_service(black_box(EntityId(5)))))
+    });
+}
+
+fn bench_service(c: &mut Criterion) {
+    let catalog = Catalog::generate(&CatalogConfig::small(3));
+    let model = PkgmModel::new(
+        catalog.store.n_entities() as usize,
+        catalog.store.n_relations() as usize,
+        PkgmConfig::new(64).with_seed(1),
+    );
+    let service =
+        pkgm_core::KnowledgeService::new(model, catalog.key_relation_selector(10));
+    let item = EntityId(5);
+    c.bench_function("service/sequence_2k_vectors_d64", |b| {
+        b.iter(|| black_box(service.sequence_service(black_box(item))))
+    });
+    c.bench_function("service/condensed_vector_d64", |b| {
+        b.iter(|| black_box(service.condensed_service(black_box(item))))
+    });
+    c.bench_function("service/service_t_single", |b| {
+        b.iter(|| black_box(service.model().service_t(black_box(item), RelationId(0))))
+    });
+    c.bench_function("service/score_joint", |b| {
+        let t = Triple::from_raw(5, 0, 100);
+        b.iter(|| black_box(service.model().score(black_box(t))))
+    });
+}
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let a = init::normal(64, 64, 1.0, &mut rng);
+    let b64 = init::normal(64, 64, 1.0, &mut rng);
+    c.bench_function("tensor/matmul_64x64", |b| {
+        b.iter(|| black_box(a.matmul(black_box(&b64))))
+    });
+    let big = init::normal(256, 256, 1.0, &mut rng);
+    let big2 = init::normal(256, 256, 1.0, &mut rng);
+    c.bench_function("tensor/matmul_256x256_parallel", |b| {
+        b.iter(|| black_box(big.matmul(black_box(&big2))))
+    });
+}
+
+fn bench_encoder(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut params = Params::new();
+    let enc = TextEncoder::new(EncoderConfig::small(2000), &mut params, &mut rng);
+    let ids: Vec<u32> = (0..32).map(|i| 5 + i % 100).collect();
+    c.bench_function("encoder/forward_seq32_h64_l2", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            black_box(enc.encode_cls(&mut g, &params, &ids, None, false, &mut rng));
+        })
+    });
+    let extra = Tensor::full(20, 64, 0.1);
+    c.bench_function("encoder/forward_seq32_plus_20_service_rows", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            black_box(enc.encode_cls(&mut g, &params, &ids, Some(&extra), false, &mut rng));
+        })
+    });
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let catalog = Catalog::generate(&CatalogConfig::small(4));
+    let titles: Vec<&[String]> =
+        catalog.items.iter().map(|m| m.title.as_slice()).collect();
+    c.bench_function("tokenizer/build_vocab_10k_titles", |b| {
+        b.iter(|| black_box(Vocab::build(titles.iter().copied(), 1)))
+    });
+    let vocab = Vocab::build(titles.iter().copied(), 1);
+    c.bench_function("tokenizer/encode_title", |b| {
+        b.iter(|| black_box(vocab.encode(black_box(&catalog.items[0].title), 64)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_store, bench_negative_sampling, bench_pkgm_training,
+              bench_service, bench_cached_service, bench_tensor, bench_encoder,
+              bench_tokenizer
+}
+criterion_main!(benches);

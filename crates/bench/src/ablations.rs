@@ -1,0 +1,294 @@
+//! Ablations beyond the paper's tables: margin, dimension, k, KG
+//! incompleteness, and KGE baselines.
+
+use pkgm_core::baselines::{DistMult, KgeBaseline, TransH};
+use pkgm_core::{eval, NegativeSampler, PkgmConfig, PkgmModel, TrainConfig, Trainer};
+use pkgm_synth::{Catalog, CatalogConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn ablation_catalog(seed: u64) -> Catalog {
+    Catalog::generate(&CatalogConfig {
+        n_categories: 10,
+        products_per_category: 20,
+        items_per_product: 5,
+        ..CatalogConfig::small(seed)
+    })
+}
+
+fn train_pkgm(catalog: &Catalog, dim: usize, margin: f32, epochs: usize) -> PkgmModel {
+    let mut model = PkgmModel::new(
+        catalog.store.n_entities() as usize,
+        catalog.store.n_relations() as usize,
+        PkgmConfig::new(dim).with_seed(7),
+    );
+    let cfg = TrainConfig {
+        epochs,
+        lr: 5e-3,
+        margin,
+        batch_size: 1000,
+        negatives: 1,
+        seed: 7,
+        normalize_entities: true,
+        parallel: true,
+    };
+    Trainer::new(&model, cfg).train(&mut model, &catalog.store);
+    model
+}
+
+/// Margin γ sweep: completion quality on held-out facts.
+pub fn margin_sweep() -> String {
+    let catalog = ablation_catalog(7);
+    let test: Vec<_> = catalog.heldout.iter().copied().take(200).collect();
+    let mut rows = String::new();
+    for margin in [0.5f32, 1.0, 2.0, 4.0, 8.0] {
+        eprintln!("[ablation:margin] γ = {margin}");
+        let model = train_pkgm(&catalog, 32, margin, 6);
+        let r = eval::rank_tails(&model, &test, Some(&catalog.store), &[1, 10]);
+        rows.push_str(&format!(
+            "| {margin} | {:.3} | {:.1} | {:.1} |\n",
+            r.mrr,
+            r.hits_at(1).unwrap() * 100.0,
+            r.hits_at(10).unwrap() * 100.0
+        ));
+    }
+    format!(
+        "### Ablation — margin γ (Eq. 4)\n\n\
+        | γ | MRR | Hits@1 % | Hits@10 % |\n|---|---|---|---|\n{rows}\n\
+        Too small a margin under-separates positives from negatives; very large \
+        margins keep pushing long after ranking is fixed.\n"
+    )
+}
+
+/// Embedding-dimension sweep (the paper fixes d = 64).
+pub fn dim_sweep() -> String {
+    let catalog = ablation_catalog(8);
+    let test: Vec<_> = catalog.heldout.iter().copied().take(200).collect();
+    let mut rows = String::new();
+    for dim in [8usize, 16, 32, 64] {
+        eprintln!("[ablation:dim] d = {dim}");
+        let model = train_pkgm(&catalog, dim, 4.0, 6);
+        let r = eval::rank_tails(&model, &test, Some(&catalog.store), &[10]);
+        rows.push_str(&format!(
+            "| {dim} | {:.3} | {:.1} | {:.1} MiB |\n",
+            r.mrr,
+            r.hits_at(10).unwrap() * 100.0,
+            model.param_bytes() as f64 / (1024.0 * 1024.0)
+        ));
+    }
+    format!(
+        "### Ablation — embedding dimension d (paper: 64)\n\n\
+        | d | MRR | Hits@10 % | params |\n|---|---|---|---|\n{rows}\n\
+        Model size grows as O(|R|·d²) from the transfer matrices — the reason the \
+        paper's 64-dim model is already 88 GB at 426 relations × 142M entities.\n"
+    )
+}
+
+/// k (key relations per item) sweep: how much of an item's actual relation
+/// set the served vectors cover.
+pub fn key_relation_sweep() -> String {
+    let catalog = ablation_catalog(9);
+    let mut rows = String::new();
+    for k in [1usize, 2, 5, 10, 15] {
+        let sel = catalog.key_relation_selector(k);
+        let mut covered = 0usize;
+        let mut total = 0usize;
+        for item in catalog.items.iter().take(2000) {
+            let key: Vec<_> = sel.for_item(item.entity).to_vec();
+            for r in catalog.store.relations_of(item.entity) {
+                total += 1;
+                if key.contains(r) {
+                    covered += 1;
+                }
+            }
+        }
+        rows.push_str(&format!(
+            "| {k} | {:.1} | {} |\n",
+            covered as f64 / total.max(1) as f64 * 100.0,
+            2 * k
+        ));
+    }
+    format!(
+        "### Ablation — number of key relations k (paper: 10)\n\n\
+        | k | relation coverage % | served vectors (2k) |\n|---|---|---|\n{rows}\n\
+        Coverage of items' true relation sets saturates near the per-category \
+        property count; beyond it, extra service vectors describe relations the \
+        category rarely uses.\n"
+    )
+}
+
+/// KG incompleteness sweep: how serving-time completion degrades as more of
+/// the world is missing from the KG.
+pub fn incompleteness_sweep() -> String {
+    let mut rows = String::new();
+    for heldout_rate in [0.05f64, 0.1, 0.2, 0.3, 0.4] {
+        eprintln!("[ablation:incompleteness] heldout {heldout_rate}");
+        let catalog = Catalog::generate(&CatalogConfig {
+            n_categories: 10,
+            products_per_category: 20,
+            items_per_product: 5,
+            heldout_rate,
+            ..CatalogConfig::small(10)
+        });
+        let model = train_pkgm(&catalog, 32, 4.0, 6);
+        let test: Vec<_> = catalog.heldout.iter().copied().take(300).collect();
+        let r = eval::rank_tails(&model, &test, Some(&catalog.store), &[1, 10]);
+        rows.push_str(&format!(
+            "| {:.0}% | {} | {:.3} | {:.1} |\n",
+            heldout_rate * 100.0,
+            catalog.heldout.len(),
+            r.mrr,
+            r.hits_at(10).unwrap() * 100.0
+        ));
+    }
+    format!(
+        "### Ablation — KG incompleteness vs serving-time completion\n\n\
+        | facts missing | # held-out | completion MRR | Hits@10 % |\n|---|---|---|---|\n{rows}\n\
+        The paper's central serving claim: `S_T(h,r)` returns a useful tail even \
+        when `(h,r,·)` is absent. Quality degrades gracefully as the KG thins, \
+        because sibling items of the same product still anchor the value.\n"
+    )
+}
+
+/// Link-prediction comparison: PKGM joint vs TransE ablation vs TransH vs
+/// DistMult.
+pub fn baseline_comparison() -> String {
+    let catalog = ablation_catalog(11);
+    let test: Vec<_> = catalog.heldout.iter().copied().take(200).collect();
+    let ks = [1usize, 3, 10];
+    let mut rows = String::new();
+
+    eprintln!("[ablation:baselines] PKGM joint");
+    let pkgm = train_pkgm(&catalog, 32, 4.0, 6);
+    let r = eval::rank_tails(&pkgm, &test, Some(&catalog.store), &ks);
+    rows.push_str(&format_row("PKGM (joint)", &r));
+
+    eprintln!("[ablation:baselines] TransE");
+    let mut transe = PkgmModel::new(
+        catalog.store.n_entities() as usize,
+        catalog.store.n_relations() as usize,
+        PkgmConfig::transe(32).with_seed(7),
+    );
+    let cfg = TrainConfig {
+        epochs: 6,
+        lr: 5e-3,
+        margin: 4.0,
+        batch_size: 1000,
+        negatives: 1,
+        seed: 7,
+        normalize_entities: true,
+        parallel: true,
+    };
+    Trainer::new(&transe, cfg).train(&mut transe, &catalog.store);
+    let r = eval::rank_tails(&transe, &test, Some(&catalog.store), &ks);
+    rows.push_str(&format_row("TransE (triple module only)", &r));
+
+    let mut rng = SmallRng::seed_from_u64(7);
+    let sampler = NegativeSampler::new(&catalog.store).with_relation_prob(0.0);
+    let ne = catalog.store.n_entities() as usize;
+    let nr = catalog.store.n_relations() as usize;
+
+    eprintln!("[ablation:baselines] TransH");
+    let mut transh = TransH::new(ne, nr, 32, 7);
+    for _ in 0..10 {
+        transh.train_epoch(&catalog.store, &sampler, 4.0, 0.01, &mut rng);
+    }
+    rows.push_str(&format_row(
+        "TransH",
+        &transh.rank_tails(&test, Some(&catalog.store), &ks),
+    ));
+
+    // DistMult prefers a small margin and larger SGD steps (bilinear
+    // scores saturate under a large margin with unit-norm entities).
+    eprintln!("[ablation:baselines] DistMult");
+    let mut distmult = DistMult::new(ne, nr, 32, 7);
+    for _ in 0..20 {
+        distmult.train_epoch(&catalog.store, &sampler, 1.0, 0.05, &mut rng);
+    }
+    rows.push_str(&format_row(
+        "DistMult",
+        &distmult.rank_tails(&test, Some(&catalog.store), &ks),
+    ));
+
+    format!(
+        "### Ablation — KGE baselines on held-out-fact completion\n\n\
+        | Model | MRR | Hits@1 % | Hits@3 % | Hits@10 % |\n|---|---|---|---|---|\n{rows}\n\
+        The joint objective (triple + relation module) should not hurt tail \
+        ranking relative to plain TransE — the relation module shares the \
+        entity space but adds its own constraint.\n"
+    )
+}
+
+/// Symbolic queries vs vector services: latency and capability comparison.
+///
+/// The paper's §II-D argues for serving knowledge as uniform vectors instead
+/// of executing symbolic queries. This measures both paths on the same
+/// deployment and notes the capability difference: the symbolic path cannot
+/// answer queries about *missing* facts at all.
+pub fn service_vs_symbolic() -> String {
+    use pkgm_core::KnowledgeService;
+    use pkgm_store::EntityId;
+
+    let catalog = ablation_catalog(12);
+    let model = train_pkgm(&catalog, 64, 4.0, 2);
+    let service = KnowledgeService::new(model, catalog.key_relation_selector(10));
+    let items: Vec<EntityId> = (0..1000u32).map(EntityId).collect();
+
+    let time_per_op = |mut f: Box<dyn FnMut(EntityId)>| -> f64 {
+        // warm up
+        for &i in items.iter().take(100) {
+            f(i);
+        }
+        let reps = 20usize;
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            for &i in &items {
+                f(i);
+            }
+        }
+        start.elapsed().as_nanos() as f64 / (reps * items.len()) as f64
+    };
+
+    let store = catalog.store.clone();
+    let symbolic_triple = time_per_op(Box::new(move |i| {
+        let rels: Vec<_> = store.relations_of(i).to_vec();
+        for r in rels.iter().take(10) {
+            std::hint::black_box(store.tails(i, *r));
+        }
+    }));
+    let store = catalog.store.clone();
+    let symbolic_relation = time_per_op(Box::new(move |i| {
+        std::hint::black_box(store.relations_of(i));
+    }));
+    let svc = service.clone();
+    let vector_seq = time_per_op(Box::new(move |i| {
+        std::hint::black_box(svc.sequence_service(i));
+    }));
+    let svc = service.clone();
+    let vector_condensed = time_per_op(Box::new(move |i| {
+        std::hint::black_box(svc.condensed_service(i));
+    }));
+
+    format!(
+        "### Ablation — symbolic queries vs vector services (d = 64, k = 10)\n\n\
+        | Path | ns / item | answers missing facts? | uniform output? |\n|---|---|---|---|\n\
+        | symbolic triple queries (10 lookups) | {symbolic_triple:.0} | no | no (variable-length tails) |\n\
+        | symbolic relation query | {symbolic_relation:.0} | no | no (variable-length list) |\n\
+        | vector sequence service (2k vectors) | {vector_seq:.0} | **yes** | yes (2k × d) |\n\
+        | vector condensed service | {vector_condensed:.0} | **yes** | yes (2d) |\n\n\
+        Symbolic lookups are cheaper per call, but return raw triples that each \
+        downstream model must re-encode, and return nothing for facts the KG lacks. \
+        The vector services pay k dense `M_r·h` products (O(k·d²)) for a fixed-shape, \
+        completion-capable answer — the trade the paper makes.\n"
+    )
+}
+
+fn format_row(name: &str, r: &eval::LinkPredictionReport) -> String {
+    format!(
+        "| {name} | {:.3} | {:.1} | {:.1} | {:.1} |\n",
+        r.mrr,
+        r.hits_at(1).unwrap_or(0.0) * 100.0,
+        r.hits_at(3).unwrap_or(0.0) * 100.0,
+        r.hits_at(10).unwrap_or(0.0) * 100.0
+    )
+}

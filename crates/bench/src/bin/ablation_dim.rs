@@ -1,0 +1,4 @@
+//! Embedding-dimension sweep.
+fn main() {
+    println!("{}", pkgm_bench::ablations::dim_sweep());
+}

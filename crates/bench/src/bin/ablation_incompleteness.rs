@@ -1,0 +1,4 @@
+//! KG incompleteness vs serving-time completion.
+fn main() {
+    println!("{}", pkgm_bench::ablations::incompleteness_sweep());
+}

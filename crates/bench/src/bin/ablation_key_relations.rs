@@ -1,0 +1,4 @@
+//! k (key relations per item) sweep.
+fn main() {
+    println!("{}", pkgm_bench::ablations::key_relation_sweep());
+}

@@ -1,0 +1,4 @@
+//! Margin γ sweep (completion quality vs margin).
+fn main() {
+    println!("{}", pkgm_bench::ablations::margin_sweep());
+}

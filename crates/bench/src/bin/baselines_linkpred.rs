@@ -1,0 +1,4 @@
+//! PKGM vs TransE/TransH/DistMult on held-out-fact completion.
+fn main() {
+    println!("{}", pkgm_bench::ablations::baseline_comparison());
+}

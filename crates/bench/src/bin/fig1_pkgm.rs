@@ -1,0 +1,6 @@
+//! Exercise Fig. 1's architecture (both query modules + completion).
+use pkgm_bench::{figures, Scale, World};
+fn main() {
+    let world = World::build(Scale::from_env());
+    println!("{}", figures::fig1(&world));
+}

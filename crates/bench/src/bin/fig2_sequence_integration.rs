@@ -1,0 +1,6 @@
+//! Exercise Fig. 2's sequence-model integration path.
+use pkgm_bench::{figures, Scale, World};
+fn main() {
+    let world = World::build(Scale::from_env());
+    println!("{}", figures::fig2(&world));
+}

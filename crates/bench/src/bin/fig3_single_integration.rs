@@ -1,0 +1,6 @@
+//! Exercise Fig. 3's single-embedding integration path.
+use pkgm_bench::{figures, Scale, World};
+fn main() {
+    let world = World::build(Scale::from_env());
+    println!("{}", figures::fig3(&world));
+}

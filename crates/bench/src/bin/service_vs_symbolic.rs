@@ -1,0 +1,4 @@
+//! Symbolic-query vs vector-service latency/capability comparison.
+fn main() {
+    println!("{}", pkgm_bench::ablations::service_vs_symbolic());
+}

@@ -1,0 +1,4 @@
+//! Regenerate Table I (pre-training vs serving functions + identity check).
+fn main() {
+    println!("{}", pkgm_bench::tables::table1());
+}

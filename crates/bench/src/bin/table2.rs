@@ -1,0 +1,7 @@
+//! Regenerate Table II (pre-training KG statistics).
+use pkgm_bench::{tables, Scale, World};
+fn main() {
+    let scale = Scale::from_env();
+    let world = World::build(scale);
+    println!("{}", tables::table2(&world));
+}

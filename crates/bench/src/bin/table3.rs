@@ -1,0 +1,7 @@
+//! Regenerate Table III (item-classification dataset statistics).
+use pkgm_bench::{tables, Scale, World};
+fn main() {
+    let scale = Scale::from_env();
+    let world = World::build(scale);
+    println!("{}", tables::table3(&world, scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerate Table IV (item classification, 4 variants).
+use pkgm_bench::{tables, Scale, World};
+fn main() {
+    let scale = Scale::from_env();
+    let world = World::build(scale);
+    println!("{}", tables::table4(&world, scale));
+}

@@ -1,0 +1,7 @@
+//! Regenerate Table V (alignment dataset statistics).
+use pkgm_bench::{tables, Scale, World};
+fn main() {
+    let scale = Scale::from_env();
+    let world = World::build(scale);
+    println!("{}", tables::alignment_experiment(&world, scale).table5());
+}

@@ -1,0 +1,7 @@
+//! Regenerate Table VII (alignment accuracy).
+use pkgm_bench::{tables, Scale, World};
+fn main() {
+    let scale = Scale::from_env();
+    let world = World::build(scale);
+    println!("{}", tables::alignment_experiment(&world, scale).table7());
+}

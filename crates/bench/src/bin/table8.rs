@@ -1,0 +1,8 @@
+//! Regenerate Table VIII (recommendation, NCF vs NCF_PKGM).
+use pkgm_bench::{tables, Scale, World};
+fn main() {
+    let scale = Scale::from_env();
+    let world = World::build(scale);
+    let data = tables::interactions(&world, scale);
+    println!("{}", tables::table8(&world, &data, scale));
+}

@@ -1,0 +1,8 @@
+//! Regenerate Table IX (recommendation dataset statistics).
+use pkgm_bench::{tables, Scale, World};
+fn main() {
+    let scale = Scale::from_env();
+    let world = World::build(scale);
+    let data = tables::interactions(&world, scale);
+    println!("{}", tables::table9(&data));
+}

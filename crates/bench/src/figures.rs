@@ -1,0 +1,150 @@
+//! Figure drivers. Figures 1–6 of the paper are architecture diagrams, not
+//! data plots; each driver exercises the corresponding architecture
+//! end-to-end and prints the numeric evidence that it behaves as drawn.
+
+use crate::world::World;
+use pkgm_store::RelationId;
+
+/// Fig. 1 — the two query modules. Demonstrates (a) triple scores separate
+/// true tails from corrupted ones, (b) relation scores separate relations an
+/// item has from relations it lacks, (c) completion of a held-out fact.
+pub fn fig1(world: &World) -> String {
+    let store = &world.catalog.store;
+    let model = world.service.model();
+
+    // (a) triple module
+    let mut pos = 0.0f64;
+    let mut neg = 0.0f64;
+    let mut n = 0;
+    for &t in store.triples().iter().take(500) {
+        pos += model.score_triple(t) as f64;
+        let mut corrupt = t;
+        corrupt.tail = pkgm_store::EntityId((t.tail.0 + 17) % store.n_entities());
+        neg += model.score_triple(corrupt) as f64;
+        n += 1;
+    }
+    let (pos, neg) = (pos / n as f64, neg / n as f64);
+
+    // (b) relation module
+    let mut has = 0.0f64;
+    let mut lacks = 0.0f64;
+    let mut m = 0;
+    for item in world.catalog.items.iter().take(300) {
+        let rels = store.relations_of(item.entity);
+        if rels.is_empty() {
+            continue;
+        }
+        let lacked = (0..store.n_relations())
+            .map(RelationId)
+            .find(|r| !store.has_relation(item.entity, *r));
+        let Some(lacked) = lacked else { continue };
+        has += model.score_relation(item.entity, rels[0]) as f64;
+        lacks += model.score_relation(item.entity, lacked) as f64;
+        m += 1;
+    }
+    let (has, lacks) = (has / m as f64, lacks / m as f64);
+
+    // (c) completion during serving
+    let sample: Vec<_> = world.catalog.heldout.iter().copied().take(100).collect();
+    let completion =
+        pkgm_core::eval::rank_tails(model, &sample, Some(store), &[1, 10]);
+
+    format!(
+        "### Fig. 1 — PKGM architecture (two query modules)\n\n\
+        * Triple module: mean f_T(true) = {pos:.2} vs f_T(corrupted tail) = {neg:.2} \
+        (lower = more plausible) over {n} triples.\n\
+        * Relation module: mean f_R(has relation) = {has:.2} vs f_R(lacks) = {lacks:.2} \
+        over {m} items — ‖M_r·h − r‖₁ ≈ 0 encodes EXISTS.\n\
+        * Completion while serving: {} held-out (true-but-missing) facts ranked with \
+        MRR {:.3}, Hits@10 {:.1}% — no triple access needed.\n",
+        completion.n,
+        completion.mrr,
+        completion.hits_at(10).unwrap_or(0.0) * 100.0,
+    )
+}
+
+/// Fig. 2 — sequence-model integration: the `2k` service vectors appended
+/// after the token embeddings change the `[CLS]` representation.
+pub fn fig2(world: &World) -> String {
+    use pkgm_tasks::PkgmVariant;
+    use pkgm_tensor::{Graph, Params};
+    use pkgm_text::{EncoderConfig, TextEncoder, Vocab};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    let item = world.catalog.items[0].entity;
+    let title = &world.catalog.items[0].title;
+    let vocab = Vocab::build([title.as_slice()], 1);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut params = Params::new();
+    let mut enc_cfg = EncoderConfig::small(vocab.len());
+    enc_cfg.hidden = world.dim;
+    enc_cfg.ff_dim = world.dim * 2;
+    let enc = TextEncoder::new(enc_cfg, &mut params, &mut rng);
+    let ids = vocab.encode(title, 32);
+
+    let rows = PkgmVariant::PkgmAll
+        .sequence_rows(Some(&world.service), item)
+        .expect("service rows");
+    let mut g1 = Graph::new();
+    let base = enc.encode_cls(&mut g1, &params, &ids, None, false, &mut rng);
+    let mut g2 = Graph::new();
+    let with = enc.encode_cls(&mut g2, &params, &ids, Some(&rows), false, &mut rng);
+    let shift: f32 = g1
+        .value(base)
+        .as_slice()
+        .iter()
+        .zip(g2.value(with).as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .sum();
+
+    format!(
+        "### Fig. 2 — integration into sequence models\n\n\
+        Input `[E_1 … E_N]` extended to `[E_1 … E_N, S_1 … S_2k]`: \
+        {} title tokens + {} service vectors (k = {}) → sequence length {}. \
+        Appending the service vectors shifts the `[CLS]` representation by \
+        L1 = {shift:.3} (the model sees and attends to the knowledge).\n",
+        ids.len(),
+        rows.rows(),
+        world.service.k(),
+        ids.len() + rows.rows(),
+    )
+}
+
+/// Fig. 3 — single-embedding integration: condensed vector construction
+/// `S = (1/k) Σ_j [S_j ; S_{j+k}]` verified against its definition.
+pub fn fig3(world: &World) -> String {
+    let item = world.catalog.items[0].entity;
+    let svc = &world.service;
+    let (d, k) = (svc.dim(), svc.k());
+    let st = svc.triple_vectors(item);
+    let sr = svc.relation_vectors(item);
+    let s = svc.condensed_service(item);
+    let mut max_err = 0.0f32;
+    for i in 0..d {
+        let t: f32 = st.iter().map(|v| v[i]).sum::<f32>() / k as f32;
+        let r: f32 = sr.iter().map(|v| v[i]).sum::<f32>() / k as f32;
+        max_err = max_err.max((s[i] - t).abs()).max((s[d + i] - r).abs());
+    }
+    format!(
+        "### Fig. 3 — integration into single-embedding models\n\n\
+        Condensed service `S = (1/k) Σ_j [S_j ; S_{{j+k}}]` (Eq. 8–9/20): \
+        2k = {} vectors of dim {} → one vector of dim {}. \
+        Max deviation from the definition: {max_err:.2e}. \
+        `S` is concatenated with the item embedding (NCF's MLP input, Eq. 21).\n",
+        2 * k,
+        d,
+        2 * d,
+    )
+}
+
+/// Figs. 4–6 are the task architectures; they are exercised end-to-end by
+/// Tables IV (classification), VI–VII (alignment) and VIII (NCF).
+pub fn fig456_note() -> String {
+    "### Figs. 4–6 — task architectures\n\n\
+    Fig. 4 (BERT + [CLS] head + appended service vectors) is exercised by Table IV; \
+    Fig. 5 (sentence-pair BERT with 4k service vectors) by Tables VI–VII; \
+    Fig. 6 (NCF / NCF_PKGM with the condensed vector entering the MLP tower) by \
+    Table VIII.\n"
+        .to_string()
+}

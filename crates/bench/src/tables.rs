@@ -1,0 +1,408 @@
+//! One generator per table of the paper (Tables I–IX).
+
+use crate::scale::Scale;
+use crate::world::World;
+use crate::{f2, f4};
+use pkgm_core::{PkgmConfig, PkgmModel};
+use pkgm_store::{EntityId, KgStats, RelationId, Triple};
+use pkgm_synth::{AlignmentDataset, ClassificationDataset, InteractionConfig, InteractionData};
+use pkgm_tasks::{
+    AlignmentModel, AlignmentTrainConfig, ClassifierTrainConfig, ItemClassifier, NcfModel,
+    NcfTrainConfig, PkgmVariant,
+};
+use pkgm_text::{EncoderConfig, Vocab};
+
+// ---------------------------------------------------------------------
+// Table I — pre-training vs serving functions
+// ---------------------------------------------------------------------
+
+/// Table I is definitional; we print it and verify the serving identities
+/// numerically on a fresh model: `f_T(h,r,t) = ‖S_T(h,r) − t‖₁` and
+/// `f_R(h,r) = ‖S_R(h,r)‖₁`.
+pub fn table1() -> String {
+    let model = PkgmModel::new(32, 4, PkgmConfig::new(16).with_seed(1));
+    let mut max_t_err = 0.0f32;
+    let mut max_r_err = 0.0f32;
+    for h in 0..8u32 {
+        for r in 0..4u32 {
+            let t = Triple::from_raw(h, r, (h + r) % 32);
+            let st = model.service_t(EntityId(h), RelationId(r));
+            let recomputed: f32 = st
+                .iter()
+                .zip(model.ent(EntityId(t.tail.0)))
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            max_t_err = max_t_err.max((model.score_triple(t) - recomputed).abs());
+            let sr = model.service_r(EntityId(h), RelationId(r));
+            let norm: f32 = sr.iter().map(|x| x.abs()).sum();
+            max_r_err =
+                max_r_err.max((model.score_relation(EntityId(h), RelationId(r)) - norm).abs());
+        }
+    }
+    format!(
+        "### Table I — pre-training and serving functions\n\n\
+        | Module | Pre-training | Servicing |\n|---|---|---|\n\
+        | Triple | `f_T(h,r,t) = ‖h + r − t‖₁` | `S_T(h,r) = h + r` |\n\
+        | Relation | `f_R(h,r) = ‖M_r·h − r‖₁` | `S_R(h,r) = M_r·h − r` |\n\n\
+        Numeric identity check over 32 (h, r) pairs: \
+        max |f_T − ‖S_T − t‖₁| = {max_t_err:.2e}, \
+        max |f_R − ‖S_R‖₁| = {max_r_err:.2e} (both must be ≈ 0).\n"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Table II — pre-training KG statistics
+// ---------------------------------------------------------------------
+
+/// Our scaled-down PKG-sub alongside the paper's row.
+pub fn table2(world: &World) -> String {
+    let stats = KgStats::of(&world.catalog.store);
+    format!(
+        "### Table II — statistics of the pre-training KG\n\n\
+        | | # items | # entity | # relation | # Triples |\n|---|---|---|---|---|\n\
+        | PKG-sub (paper) | 142,634,045 | 142,641,094 | 426 | 1,366,109,966 |\n\
+        {}\n\n\
+        The synthetic catalog keeps the paper's shape: items ≫ relations, \
+        ~{:.1} property triples per item, long-tail value popularity.\n",
+        stats.table_row("synthetic (ours)"),
+        stats.n_triples as f64 / stats.n_items.max(1) as f64,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Tables III & IV — item classification
+// ---------------------------------------------------------------------
+
+fn classification_dataset(world: &World, scale: Scale) -> ClassificationDataset {
+    let cap = match scale {
+        Scale::Smoke => 20,
+        Scale::Standard => 40,
+        Scale::Full => 100,
+    };
+    ClassificationDataset::build(&world.catalog, cap, 2024)
+}
+
+/// Table III — classification dataset statistics.
+pub fn table3(world: &World, scale: Scale) -> String {
+    let d = classification_dataset(world, scale);
+    format!(
+        "### Table III — item-classification data\n\n\
+        | | # category | # Train | # Test | # Dev |\n|---|---|---|---|---|\n\
+        | paper | 1293 | 169039 | 36225 | 36223 |\n{}\n\n\
+        As in the paper, instances per category are capped (low-data regime).\n",
+        d.table_row("ours")
+    )
+}
+
+fn classifier_cfg(world: &World, scale: Scale, vocab_size: usize) -> ClassifierTrainConfig {
+    let (hidden, n_layers, epochs) = match scale {
+        Scale::Smoke => (world.dim, 1, 2),
+        Scale::Standard => (world.dim, 2, 3),
+        Scale::Full => (world.dim, 2, 3),
+    };
+    ClassifierTrainConfig {
+        epochs,
+        batch_size: 32,
+        lr: 1e-3,
+        max_len: 64,
+        seed: 2024,
+        encoder: Some(EncoderConfig {
+            vocab_size,
+            hidden,
+            n_layers,
+            n_heads: 4,
+            ff_dim: hidden * 2,
+            max_len: 80,
+            dropout: 0.1,
+        }),
+    }
+}
+
+/// Table IV — item classification, 4 variants.
+pub fn table4(world: &World, scale: Scale) -> String {
+    let dataset = classification_dataset(world, scale);
+    let vocab_size = Vocab::build(dataset.train.iter().map(|e| e.title.as_slice()), 1).len();
+    let cfg = classifier_cfg(world, scale, vocab_size);
+    let mut rows = String::new();
+    for variant in PkgmVariant::ALL {
+        eprintln!("[table4] training {}…", variant.label("BERT"));
+        let svc = variant.uses_service().then(|| world.service.clone());
+        let model =
+            ItemClassifier::train_with_backbone(&dataset, &world.backbone, svc, variant, &cfg);
+        let test = model.evaluate(&dataset.test);
+        let dev = model.evaluate(&dataset.dev);
+        rows.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            variant.label("BERT"),
+            f2(test.hit1),
+            f2(test.hit3),
+            f2(test.hit10),
+            f2(dev.accuracy)
+        ));
+    }
+    format!(
+        "### Table IV — item classification\n\n\
+        Paper (BERT on Taobao titles): BERT 71.03 / 84.91 / 92.47 / 71.52; \
+        +PKGM-T 71.26 / 85.76 / 93.07 / 72.14; +PKGM-R 71.55 / 85.43 / 92.86 / **72.26**; \
+        +PKGM-all **71.64 / 85.90 / 93.17** / 72.19.\n\n\
+        | Model | Hit@1 | Hit@3 | Hit@10 | AC |\n|---|---|---|---|---|\n{rows}\n\
+        Expected shape: every PKGM variant ≥ Base; PKGM-all best on Hit@k; \
+        margins are small because titles already carry most of the signal.\n"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Tables V, VI, VII — product alignment
+// ---------------------------------------------------------------------
+
+/// Everything the alignment experiment produces (Tables V–VII come from one
+/// training run per variant per category).
+pub struct AlignmentExperiment {
+    datasets: Vec<AlignmentDataset>,
+    /// `acc[cat][variant]` accuracy %, variant order = [`PkgmVariant::ALL`].
+    acc: Vec<Vec<f64>>,
+    /// `hits[cat][m]` = (hit1, hit3, hit10) for m ∈ {Base, PKGM-all}.
+    hits: Vec<Vec<(f64, f64, f64)>>,
+    n_candidates: usize,
+}
+
+fn alignment_params(scale: Scale) -> (usize, usize, usize, usize) {
+    // (train cap, epochs, rank queries cap, rank negatives)
+    match scale {
+        Scale::Smoke => (120, 4, 10, 19),
+        Scale::Standard => (800, 8, 60, 49),
+        Scale::Full => (1500, 3, 100, 99),
+    }
+}
+
+/// Run the alignment experiment over three categories.
+pub fn alignment_experiment(world: &World, scale: Scale) -> AlignmentExperiment {
+    let (cap, epochs, rank_cap, negs) = alignment_params(scale);
+    let mut datasets = Vec::new();
+    let mut acc = Vec::new();
+    let mut hits = Vec::new();
+    for category in 0..3u32 {
+        let mut dataset = AlignmentDataset::build(&world.catalog, category, 2024);
+        dataset.train.truncate(cap);
+        dataset.test_r.truncate(rank_cap);
+        dataset.dev_r.truncate(rank_cap);
+        let titles: Vec<&[String]> = dataset
+            .train
+            .iter()
+            .flat_map(|p| [p.a, p.b])
+            .map(|e| world.catalog.items[e.index()].title.as_slice())
+            .collect();
+        let vocab_size = Vocab::build(titles, 1).len();
+        let cfg = AlignmentTrainConfig {
+            epochs,
+            batch_size: 16,
+            lr: 1e-3,
+            per_side: 12,
+            seed: 2024,
+            encoder: Some(EncoderConfig {
+                vocab_size,
+                hidden: world.dim,
+                n_layers: 2,
+                n_heads: 4,
+                ff_dim: world.dim * 2,
+                max_len: 32 + 4 * world.service.k().max(1),
+                dropout: 0.1,
+            }),
+        };
+        let mut cat_acc = Vec::new();
+        let mut cat_hits = Vec::new();
+        for variant in PkgmVariant::ALL {
+            eprintln!(
+                "[alignment] category-{} {}…",
+                category + 1,
+                variant.label("BERT")
+            );
+            let svc = variant.uses_service().then(|| world.service.clone());
+            let model = AlignmentModel::train_with_backbone(
+                &world.catalog,
+                &dataset,
+                &world.backbone,
+                svc,
+                variant,
+                &cfg,
+            );
+            cat_acc.push(model.evaluate_accuracy(&world.catalog, &dataset.test_c));
+            if matches!(variant, PkgmVariant::Base | PkgmVariant::PkgmAll) {
+                let (h1, h3, h10) = model.evaluate_ranking(
+                    &world.catalog,
+                    &dataset,
+                    &dataset.test_r,
+                    negs,
+                    2024,
+                );
+                cat_hits.push((h1, h3, h10));
+            }
+        }
+        datasets.push(dataset);
+        acc.push(cat_acc);
+        hits.push(cat_hits);
+    }
+    AlignmentExperiment { datasets, acc, hits, n_candidates: negs + 1 }
+}
+
+impl AlignmentExperiment {
+    /// Table V — alignment dataset statistics.
+    pub fn table5(&self) -> String {
+        let mut rows = String::new();
+        for (i, d) in self.datasets.iter().enumerate() {
+            rows.push_str(&d.table_row(&format!("category-{}", i + 1)));
+            rows.push('\n');
+        }
+        format!(
+            "### Table V — item-alignment data\n\n\
+            Paper: category-1 4731/1014/1013/513/497, category-2 2424/520/519/268/278, \
+            category-3 3968/852/850/417/440.\n\n\
+            | | # Train | # Test-C | # Dev-C | # Test-R | # Dev-R |\n|---|---|---|---|---|---|\n{rows}\n"
+        )
+    }
+
+    /// Table VI — Hit@k (BERT vs PKGM-all).
+    pub fn table6(&self) -> String {
+        let mut rows = String::new();
+        for (i, cat) in self.hits.iter().enumerate() {
+            for (m, (h1, h3, h10)) in cat.iter().enumerate() {
+                let name = if m == 0 { "BERT" } else { "BERT_PKGM-all" };
+                rows.push_str(&format!(
+                    "| {name} | category-{} | {} | {} | {} |\n",
+                    i + 1,
+                    f2(*h1),
+                    f2(*h3),
+                    f2(*h10)
+                ));
+            }
+        }
+        format!(
+            "### Table VI — Hit@k for item alignment ({} candidates)\n\n\
+            Paper (100 candidates): PKGM-all wins Hit@10 on all 3 datasets and all \
+            Hit@k on categories 2–3; Base edges out Hit@1 on category-1 (largest \
+            training set).\n\n\
+            | Method | dataset | Hit@1 | Hit@3 | Hit@10 |\n|---|---|---|---|---|\n{rows}\n",
+            self.n_candidates
+        )
+    }
+
+    /// Table VII — accuracy (4 variants × 3 categories).
+    pub fn table7(&self) -> String {
+        let mut rows = String::new();
+        for (m, variant) in PkgmVariant::ALL.iter().enumerate() {
+            rows.push_str(&format!("| {} ", variant.label("BERT")));
+            for cat in &self.acc {
+                rows.push_str(&format!("| {} ", f2(cat[m])));
+            }
+            rows.push_str("|\n");
+        }
+        format!(
+            "### Table VII — accuracy for item alignment\n\n\
+            Paper: BERT 88.94/89.31/86.94; PKGM-T 88.65/89.89/87.88; \
+            PKGM-R 89.09/89.60/87.88; PKGM-all **89.15/90.08/88.13** (best everywhere).\n\n\
+            | | category-1 | category-2 | category-3 |\n|---|---|---|---|\n{rows}\n"
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tables VIII & IX — recommendation
+// ---------------------------------------------------------------------
+
+fn interaction_config(scale: Scale) -> InteractionConfig {
+    match scale {
+        Scale::Smoke => InteractionConfig { n_users: 80, ..InteractionConfig::tiny(2024) },
+        Scale::Standard => InteractionConfig { n_users: 1500, ..InteractionConfig::bench(2024) },
+        Scale::Full => InteractionConfig { n_users: 4000, ..InteractionConfig::bench(2024) },
+    }
+}
+
+fn ncf_cfg(scale: Scale) -> NcfTrainConfig {
+    match scale {
+        Scale::Smoke => NcfTrainConfig {
+            mlp_dim: 16,
+            hidden: vec![16, 8],
+            lr: 8e-3,
+            epochs: 10,
+            ..NcfTrainConfig::default()
+        },
+        Scale::Standard => NcfTrainConfig { lr: 2e-3, epochs: 25, ..NcfTrainConfig::default() },
+        Scale::Full => NcfTrainConfig { lr: 1e-3, epochs: 60, ..NcfTrainConfig::default() },
+    }
+}
+
+/// Table IX — recommendation dataset statistics (generated once, shared with
+/// Table VIII).
+pub fn interactions(world: &World, scale: Scale) -> InteractionData {
+    InteractionData::generate(&world.catalog, &interaction_config(scale))
+}
+
+/// Table IX markdown.
+pub fn table9(data: &InteractionData) -> String {
+    format!(
+        "### Table IX — recommendation data\n\n\
+        | | # Items | # Users | # Interactions |\n|---|---|---|---|\n\
+        | TAOBAO (paper) | 37847 | 29015 | 443425 |\n{}\n\n\
+        Every user has ≥ 10 interactions; evaluation is leave-one-out, as in the paper.\n",
+        data.table_row("synthetic (ours)")
+    )
+}
+
+/// Table VIII — NCF vs NCF_PKGM-T/R/all.
+pub fn table8(world: &World, data: &InteractionData, scale: Scale) -> String {
+    let cfg = ncf_cfg(scale);
+    let ks = [1usize, 3, 5, 10, 30];
+    let negs = match scale {
+        Scale::Smoke => 30,
+        _ => 100, // the paper's 100 sampled unobserved items
+    };
+    let mut rows = String::new();
+    for variant in PkgmVariant::ALL {
+        eprintln!("[table8] training {}…", variant.label("NCF"));
+        let model = NcfModel::train(
+            data,
+            variant.uses_service().then_some(&world.service),
+            variant,
+            &cfg,
+        );
+        let m = model.evaluate(data, &data.test, &ks, negs, 2024);
+        rows.push_str(&format!("| {} ", variant.label("NCF")));
+        for k in ks {
+            rows.push_str(&format!("| {} ", f2(m.hr_at(k).unwrap())));
+        }
+        for k in ks {
+            rows.push_str(&format!("| {} ", f4(m.ndcg_at(k).unwrap())));
+        }
+        rows.push_str("|\n");
+    }
+    format!(
+        "### Table VIII — item recommendation ({} candidates)\n\n\
+        Paper: all PKGM variants beat NCF on every metric; PKGM-R best \
+        (avg +3.66% HR), PKGM-all close behind (+3.47%), PKGM-T smallest \
+        (+0.37%) — \"properties are more effective than entities and values \
+        when modeling user-item interaction\".\n\n\
+        | Model | HR@1 | HR@3 | HR@5 | HR@10 | HR@30 | NDCG@1 | NDCG@3 | NDCG@5 | NDCG@10 | NDCG@30 |\n\
+        |---|---|---|---|---|---|---|---|---|---|---|\n{rows}\n",
+        negs + 1
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_identities_hold() {
+        let t = table1();
+        assert!(t.contains("Table I"));
+        // identity errors are formatted in scientific notation; they must be
+        // tiny — spot check by parsing them out.
+        for part in t.split("= ").skip(2) {
+            if let Some(num) = part.split_whitespace().next() {
+                if let Ok(v) = num.trim_end_matches(',').parse::<f32>() {
+                    assert!(v < 1e-3, "identity error {v} too large in: {t}");
+                }
+            }
+        }
+    }
+}

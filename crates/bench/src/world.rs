@@ -1,0 +1,147 @@
+//! Shared experiment world: one catalog + one pre-trained PKGM per scale,
+//! reused by every table so the tables describe the same deployment (as in
+//! the paper, where a single pre-trained PKGM serves all three tasks).
+
+use crate::scale::Scale;
+use pkgm_core::{KnowledgeService, PkgmConfig, PkgmModel, TrainConfig, Trainer};
+use pkgm_synth::{Catalog, CatalogConfig};
+use pkgm_text::{Backbone, BackbonePretrainConfig, EncoderConfig};
+
+/// The catalog and its pre-trained knowledge service.
+pub struct World {
+    /// The synthetic product world.
+    pub catalog: Catalog,
+    /// Pre-trained PKGM bundled with the key-relation selector (k = 10).
+    pub service: KnowledgeService,
+    /// MLM-pre-trained text encoder shared by the classification and
+    /// alignment tasks (one checkpoint seeds every task, like the paper's
+    /// BERT).
+    pub backbone: Backbone,
+    /// Embedding dimension used.
+    pub dim: usize,
+}
+
+/// Catalog config per scale.
+pub fn catalog_config(scale: Scale) -> CatalogConfig {
+    match scale {
+        Scale::Smoke => CatalogConfig {
+            n_categories: 6,
+            products_per_category: 10,
+            items_per_product: 4,
+            ..CatalogConfig::tiny(2024)
+        },
+        Scale::Standard => CatalogConfig {
+            n_categories: 40,
+            products_per_category: 25,
+            items_per_product: 8,
+            props_per_category: 12,
+            n_shared_props: 6,
+            values_per_prop: 30,
+            ..CatalogConfig::small(2024)
+        },
+        Scale::Full => CatalogConfig::bench(2024),
+    }
+}
+
+/// PKGM pre-training config per scale.
+pub fn pretrain_config(scale: Scale) -> (PkgmConfig, TrainConfig, usize) {
+    let dim = match scale {
+        Scale::Smoke => 16,
+        Scale::Standard | Scale::Full => 64,
+    };
+    let epochs = match scale {
+        Scale::Smoke => 3,
+        Scale::Standard => 8,
+        Scale::Full => 10,
+    };
+    let k = match scale {
+        Scale::Smoke => 4,
+        _ => 10,
+    };
+    (
+        PkgmConfig::new(dim).with_seed(2024),
+        TrainConfig {
+            epochs,
+            lr: 5e-3,
+            margin: 4.0,
+            batch_size: 1000, // the paper's batch size
+            negatives: 1,     // the paper's 1 negative per edge
+            seed: 2024,
+            normalize_entities: true,
+            parallel: true,
+        },
+        k,
+    )
+}
+
+impl World {
+    /// Build the catalog and pre-train PKGM at a scale.
+    pub fn build(scale: Scale) -> World {
+        let cfg = catalog_config(scale);
+        eprintln!(
+            "[world] generating catalog ({} items)…",
+            cfg.n_items()
+        );
+        let catalog = Catalog::generate(&cfg);
+        let (model_cfg, train_cfg, k) = pretrain_config(scale);
+        let dim = model_cfg.dim;
+        eprintln!(
+            "[world] pre-training PKGM (d = {dim}, {} triples, {} epochs)…",
+            catalog.store.len(),
+            train_cfg.epochs
+        );
+        let mut model = PkgmModel::new(
+            catalog.store.n_entities() as usize,
+            catalog.store.n_relations() as usize,
+            model_cfg,
+        );
+        let start = std::time::Instant::now();
+        let report = Trainer::new(&model, train_cfg).train(&mut model, &catalog.store);
+        eprintln!(
+            "[world] pre-trained in {:.1}s (final loss {:.3}, violation rate {:.3})",
+            start.elapsed().as_secs_f64(),
+            report.epochs.last().map(|e| e.mean_loss).unwrap_or(0.0),
+            report.epochs.last().map(|e| e.violation_rate).unwrap_or(0.0),
+        );
+        let service = KnowledgeService::new(model, catalog.key_relation_selector(k));
+
+        // Pre-train the shared text backbone on every item title (the
+        // paper's analogue: a language model pre-trained before any task).
+        let titles: Vec<Vec<String>> =
+            catalog.items.iter().map(|m| m.title.clone()).collect();
+        let (mlm_epochs, n_layers) = match scale {
+            Scale::Smoke => (0, 1),
+            Scale::Standard => (1, 2),
+            Scale::Full => (2, 2),
+        };
+        eprintln!("[world] MLM pre-training backbone ({mlm_epochs} epochs over {} titles)…", titles.len());
+        let bb_start = std::time::Instant::now();
+        let backbone = Backbone::pretrain(
+            &titles,
+            |vocab| EncoderConfig {
+                vocab_size: vocab,
+                hidden: dim,
+                n_layers,
+                n_heads: 4,
+                ff_dim: dim * 2,
+                max_len: 128,
+                dropout: 0.1,
+            },
+            &BackbonePretrainConfig {
+                mlm_epochs,
+                mlm_lr: 1e-3,
+                batch_size: 16,
+                max_len: 32,
+                min_word_count: 1,
+                seed: 2024,
+            },
+        );
+        if let Some(l) = backbone.mlm_losses.last() {
+            eprintln!(
+                "[world] backbone pre-trained in {:.1}s (final MLM loss {l:.3})",
+                bb_start.elapsed().as_secs_f64()
+            );
+        }
+        World { catalog, service, backbone, dim }
+    }
+}

@@ -1,0 +1,127 @@
+//! Minimal `--flag value` argument parser (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The first positional argument.
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// Parse errors with the offending token.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` without a value, or a stray positional.
+    Malformed(String),
+    /// A required flag was absent.
+    MissingFlag(String),
+    /// A flag value failed to parse.
+    BadValue(String, String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing subcommand"),
+            ArgError::Malformed(tok) => write!(f, "malformed argument: {tok}"),
+            ArgError::MissingFlag(flag) => write!(f, "missing required flag --{flag}"),
+            ArgError::BadValue(flag, v) => write!(f, "bad value for --{flag}: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse `command --k v --k2 v2 …`.
+    pub fn parse(argv: impl IntoIterator<Item = String>) -> Result<Args, ArgError> {
+        let mut it = argv.into_iter();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        if command.starts_with("--") {
+            return Err(ArgError::MissingCommand);
+        }
+        let mut flags = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(ArgError::Malformed(tok));
+            };
+            let value = it.next().ok_or_else(|| ArgError::Malformed(tok.clone()))?;
+            flags.insert(key.to_string(), value);
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// Raw string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key).ok_or_else(|| ArgError::MissingFlag(key.to_string()))
+    }
+
+    /// Typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::BadValue(key.to_string(), v.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> impl Iterator<Item = String> + '_ {
+        s.split_whitespace().map(String::from)
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = Args::parse(argv("pretrain --dim 64 --out m.bin")).unwrap();
+        assert_eq!(a.command, "pretrain");
+        assert_eq!(a.get("dim"), Some("64"));
+        assert_eq!(a.require("out").unwrap(), "m.bin");
+        assert_eq!(a.get_or("epochs", 8usize).unwrap(), 8);
+        assert_eq!(a.get_or("dim", 0usize).unwrap(), 64);
+    }
+
+    #[test]
+    fn rejects_missing_command() {
+        assert_eq!(Args::parse(argv("")).unwrap_err(), ArgError::MissingCommand);
+        assert_eq!(
+            Args::parse(argv("--dim 64")).unwrap_err(),
+            ArgError::MissingCommand
+        );
+    }
+
+    #[test]
+    fn rejects_dangling_flag_and_positionals() {
+        assert!(matches!(
+            Args::parse(argv("gen --dim")).unwrap_err(),
+            ArgError::Malformed(_)
+        ));
+        assert!(matches!(
+            Args::parse(argv("gen stray")).unwrap_err(),
+            ArgError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn reports_missing_and_bad_flags() {
+        let a = Args::parse(argv("x --n abc")).unwrap();
+        assert!(matches!(a.require("out").unwrap_err(), ArgError::MissingFlag(_)));
+        assert!(matches!(
+            a.get_or::<usize>("n", 1).unwrap_err(),
+            ArgError::BadValue(..)
+        ));
+    }
+}

@@ -1,0 +1,205 @@
+//! `pkgm` — command-line interface for the PKGM reproduction.
+//!
+//! Catalogs are regenerated deterministically from `--preset` + `--seed`, so
+//! a saved service snapshot plus those two flags fully reproduce a session.
+//!
+//! ```text
+//! pkgm stats    --preset small --seed 42
+//! pkgm generate --preset small --seed 42 --out kg.tsv
+//! pkgm pretrain --preset small --seed 42 --dim 32 --epochs 8 --k 10 --out svc.bin
+//! pkgm serve    --preset small --seed 42 --service svc.bin --item 0
+//! pkgm eval     --preset small --seed 42 --service svc.bin --max-facts 300
+//! ```
+
+mod args;
+
+use args::Args;
+use pkgm_core::{eval, serialize, KnowledgeService, PkgmConfig, PkgmModel, TrainConfig, Trainer};
+use pkgm_store::{EntityId, KgStats};
+use pkgm_synth::{Catalog, CatalogConfig};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        print_help();
+        return;
+    }
+    match run(argv) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            print_help();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "stats" => stats(&args),
+        "generate" => generate(&args),
+        "pretrain" => pretrain(&args),
+        "serve" => serve(&args),
+        "eval" => evaluate(&args),
+        other => Err(format!("unknown subcommand: {other}").into()),
+    }
+}
+
+fn catalog_from(args: &Args) -> Result<Catalog, Box<dyn std::error::Error>> {
+    let seed: u64 = args.get_or("seed", 42)?;
+    let preset = args.get("preset").unwrap_or("small");
+    let cfg = match preset {
+        "tiny" => CatalogConfig::tiny(seed),
+        "small" => CatalogConfig::small(seed),
+        "bench" => CatalogConfig::bench(seed),
+        other => return Err(format!("unknown preset: {other} (tiny|small|bench)").into()),
+    };
+    eprintln!("[pkgm] generating catalog preset={preset} seed={seed} ({} items)…", cfg.n_items());
+    Ok(Catalog::generate(&cfg))
+}
+
+fn stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = catalog_from(args)?;
+    let stats = KgStats::of(&catalog.store);
+    println!("| | # items | # entity | # relation | # Triples |");
+    println!("|---|---|---|---|---|");
+    println!("{}", stats.table_row("catalog"));
+    println!("\nheld-out (true but missing) facts: {}", catalog.heldout.len());
+    println!("categories: {}", catalog.n_categories);
+    Ok(())
+}
+
+fn generate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = catalog_from(args)?;
+    let out = args.require("out")?;
+    let file = std::io::BufWriter::new(std::fs::File::create(out)?);
+    pkgm_store::io::write_tsv(&catalog.store, &catalog.entities, &catalog.relations, file)?;
+    println!("wrote {} triples to {out}", catalog.store.len());
+    if let Some(meta) = args.get("items-out") {
+        let items: Vec<serde_json::Value> = catalog
+            .items
+            .iter()
+            .map(|m| {
+                serde_json::json!({
+                    "entity": m.entity.0,
+                    "category": m.category,
+                    "product": m.product,
+                    "title": m.title.join(" "),
+                })
+            })
+            .collect();
+        std::fs::write(meta, serde_json::to_string_pretty(&items)?)?;
+        println!("wrote {} item records to {meta}", items.len());
+    }
+    Ok(())
+}
+
+fn pretrain(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = catalog_from(args)?;
+    let dim: usize = args.get_or("dim", 32)?;
+    let epochs: usize = args.get_or("epochs", 8)?;
+    let k: usize = args.get_or("k", 10)?;
+    let lr: f32 = args.get_or("lr", 5e-3)?;
+    let margin: f32 = args.get_or("margin", 4.0)?;
+    let out = args.require("out")?;
+
+    let mut model = PkgmModel::new(
+        catalog.store.n_entities() as usize,
+        catalog.store.n_relations() as usize,
+        PkgmConfig::new(dim).with_seed(args.get_or("seed", 42)?),
+    );
+    let cfg = TrainConfig { epochs, lr, margin, ..TrainConfig::default() };
+    eprintln!("[pkgm] pre-training d={dim} epochs={epochs} lr={lr} margin={margin}…");
+    let report = Trainer::new(&model, cfg).train(&mut model, &catalog.store);
+    for (i, e) in report.epochs.iter().enumerate() {
+        eprintln!(
+            "[pkgm] epoch {}: mean loss {:.4}, violations {:.1}%",
+            i + 1,
+            e.mean_loss,
+            e.violation_rate * 100.0
+        );
+    }
+    let service = KnowledgeService::new(model, catalog.key_relation_selector(k));
+    std::fs::write(out, serialize::service_to_bytes(&service))?;
+    println!(
+        "wrote service snapshot to {out} ({:.1} MiB, {:.1}s)",
+        std::fs::metadata(out)?.len() as f64 / (1024.0 * 1024.0),
+        report.wall_secs
+    );
+    Ok(())
+}
+
+fn load_service(args: &Args) -> Result<KnowledgeService, Box<dyn std::error::Error>> {
+    let path = args.require("service")?;
+    let bytes = std::fs::read(path)?;
+    Ok(serialize::service_from_bytes(&bytes)?)
+}
+
+fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = catalog_from(args)?;
+    let service = load_service(args)?;
+    let item = EntityId(args.get_or("item", 0u32)?);
+    let meta = catalog
+        .items
+        .get(item.index())
+        .ok_or_else(|| format!("item {} out of range", item.0))?;
+    println!("item {} — category {} — title: {}", item, meta.category, meta.title.join(" "));
+    println!("key relations (k = {}):", service.k());
+    for &r in service.selector().for_item(item) {
+        let rname = catalog.relations.name(r.0).unwrap_or("?");
+        let preds = service.predict_tail(item, r, 3);
+        let pred_names: Vec<String> = preds
+            .iter()
+            .map(|(e, d)| {
+                format!("{} ({d:.2})", catalog.entities.name(e.0).unwrap_or("?"))
+            })
+            .collect();
+        println!(
+            "  {rname:<18} f_R = {:>7.3}  S_T top-3: {}",
+            service.relation_exists_score(item, r),
+            pred_names.join(", ")
+        );
+    }
+    let condensed = service.condensed_service(item);
+    println!(
+        "condensed service: {} dims, ‖S‖₂ = {:.3}",
+        condensed.len(),
+        condensed.iter().map(|x| x * x).sum::<f32>().sqrt()
+    );
+    Ok(())
+}
+
+fn evaluate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = catalog_from(args)?;
+    let service = load_service(args)?;
+    let max_facts: usize = args.get_or("max-facts", 300)?;
+    let test: Vec<_> = catalog.heldout.iter().copied().take(max_facts).collect();
+    eprintln!("[pkgm] ranking {} held-out facts…", test.len());
+    let report = eval::rank_tails(service.model(), &test, Some(&catalog.store), &[1, 3, 10]);
+    println!("completion of {} held-out facts:", report.n);
+    println!("  MRR       {:.4}", report.mrr);
+    println!("  mean rank {:.1}", report.mean_rank);
+    for (k, h) in &report.hits {
+        println!("  Hits@{k:<3}  {:.2}%", h * 100.0);
+    }
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(7);
+    let auc = eval::relation_existence_auc(service.model(), &catalog.store, 1000, &mut rng);
+    println!("relation-existence AUC: {:.4}", auc.auc);
+    Ok(())
+}
+
+fn print_help() {
+    eprintln!(
+        "pkgm — Pre-trained Knowledge Graph Model (ICDE 2021 reproduction)\n\n\
+         USAGE: pkgm <command> [--flag value]…\n\n\
+         COMMANDS\n\
+         \u{20}  stats     --preset tiny|small|bench --seed N\n\
+         \u{20}  generate  --preset P --seed N --out kg.tsv [--items-out items.json]\n\
+         \u{20}  pretrain  --preset P --seed N --dim 32 --epochs 8 --k 10 [--lr 0.005]\n\
+         \u{20}            [--margin 4] --out service.bin\n\
+         \u{20}  serve     --preset P --seed N --service service.bin --item 0\n\
+         \u{20}  eval      --preset P --seed N --service service.bin [--max-facts 300]\n"
+    );
+}

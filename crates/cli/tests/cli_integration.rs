@@ -1,0 +1,112 @@
+//! End-to-end tests of the `pkgm` binary: generate → pretrain → serve → eval.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn pkgm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pkgm"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pkgm-cli-test-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = pkgm().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("pretrain"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_help() {
+    let out = pkgm().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn stats_reports_counts() {
+    let out = pkgm()
+        .args(["stats", "--preset", "tiny", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("# Triples"));
+    assert!(text.contains("held-out"));
+}
+
+#[test]
+fn generate_writes_tsv_and_items_json() {
+    let dir = tmpdir("gen");
+    let kg = dir.join("kg.tsv");
+    let items = dir.join("items.json");
+    let out = pkgm()
+        .args([
+            "generate", "--preset", "tiny", "--seed", "4",
+            "--out", kg.to_str().unwrap(),
+            "--items-out", items.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let tsv = std::fs::read_to_string(&kg).unwrap();
+    assert!(tsv.lines().count() > 100);
+    assert!(tsv.lines().all(|l| l.split('\t').count() == 3));
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&items).unwrap()).unwrap();
+    assert_eq!(parsed.as_array().unwrap().len(), 60); // tiny = 60 items
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn pretrain_serve_eval_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let svc = dir.join("svc.bin");
+    let out = pkgm()
+        .args([
+            "pretrain", "--preset", "tiny", "--seed", "5", "--dim", "8",
+            "--epochs", "2", "--k", "3", "--out", svc.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(svc.exists());
+
+    let out = pkgm()
+        .args([
+            "serve", "--preset", "tiny", "--seed", "5",
+            "--service", svc.to_str().unwrap(), "--item", "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("key relations (k = 3)"));
+    assert!(text.contains("condensed service: 16 dims"));
+
+    let out = pkgm()
+        .args([
+            "eval", "--preset", "tiny", "--seed", "5",
+            "--service", svc.to_str().unwrap(), "--max-facts", "50",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("MRR"));
+    assert!(text.contains("relation-existence AUC"));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn missing_required_flag_is_reported() {
+    let out = pkgm().args(["pretrain", "--preset", "tiny"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+}

@@ -1,0 +1,391 @@
+//! Evaluation: link prediction (the triple module's completion ability) and
+//! relation-existence discrimination (the relation module's job).
+
+use crate::model::PkgmModel;
+use pkgm_store::{EntityId, RelationId, Triple, TripleStore};
+use rand::Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Link-prediction metrics (tail ranking).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkPredictionReport {
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Mean rank (1-based).
+    pub mean_rank: f64,
+    /// `(k, Hits@k)` pairs in the order requested.
+    pub hits: Vec<(usize, f64)>,
+    /// Number of test triples ranked.
+    pub n: usize,
+}
+
+impl LinkPredictionReport {
+    /// Hits@k, if it was computed.
+    pub fn hits_at(&self, k: usize) -> Option<f64> {
+        self.hits.iter().find(|(kk, _)| *kk == k).map(|(_, v)| *v)
+    }
+}
+
+/// Rank the true tail of each test triple against every entity.
+///
+/// Scores candidates with the triple module `‖h + r − t′‖₁` (the relation
+/// module's `f_R(h,r)` is constant across tail candidates, so it cannot
+/// change tail ranks). With `filter`, candidate tails that form *other* known
+/// positives in the given store are skipped — the standard "filtered"
+/// protocol of the KGE literature.
+pub fn rank_tails(
+    model: &PkgmModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+    ks: &[usize],
+) -> LinkPredictionReport {
+    let d = model.dim();
+    let n_entities = model.n_entities();
+
+    let ranks: Vec<usize> = test
+        .par_iter()
+        .map(|&t| {
+            let mut base = vec![0.0f32; d];
+            model.service_t_into(t.head, t.relation, &mut base);
+            let true_score = l1_dist(&base, model.ent(t.tail));
+            let known = filter.map(|s| s.tails(t.head, t.relation));
+            // rank = 1 + number of candidates scoring strictly better.
+            let mut better = 0usize;
+            for c in 0..n_entities as u32 {
+                if c == t.tail.0 {
+                    continue;
+                }
+                if let Some(known) = known {
+                    if known.binary_search(&EntityId(c)).is_ok() {
+                        continue;
+                    }
+                }
+                if l1_dist(&base, model.ent(EntityId(c))) < true_score {
+                    better += 1;
+                }
+            }
+            better + 1
+        })
+        .collect();
+
+    summarize_ranks(&ranks, ks)
+}
+
+/// Summarize a list of 1-based ranks into MRR / mean-rank / Hits@k.
+pub fn summarize_ranks(ranks: &[usize], ks: &[usize]) -> LinkPredictionReport {
+    let n = ranks.len().max(1);
+    let mrr = ranks.iter().map(|&r| 1.0 / r as f64).sum::<f64>() / n as f64;
+    let mean_rank = ranks.iter().map(|&r| r as f64).sum::<f64>() / n as f64;
+    let hits = ks
+        .iter()
+        .map(|&k| {
+            let h = ranks.iter().filter(|&&r| r <= k).count() as f64 / n as f64;
+            (k, h)
+        })
+        .collect();
+    LinkPredictionReport { mrr, mean_rank, hits, n: ranks.len() }
+}
+
+/// Rank the true head of each test triple against every entity, scoring with
+/// the **joint** objective `f_T + f_R` — unlike tail ranking, `f_R(h′, r)`
+/// varies across head candidates, so the relation module participates. This
+/// is O(|E|·d²) per triple; use modest test sets.
+pub fn rank_heads(
+    model: &PkgmModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+    ks: &[usize],
+) -> LinkPredictionReport {
+    let n_entities = model.n_entities() as u32;
+    let ranks: Vec<usize> = test
+        .par_iter()
+        .map(|&t| {
+            let true_score = model.score(t);
+            let known = filter.map(|s| s.heads(t.relation, t.tail));
+            let mut better = 0usize;
+            for c in 0..n_entities {
+                if c == t.head.0 {
+                    continue;
+                }
+                if let Some(known) = known {
+                    if known.binary_search(&EntityId(c)).is_ok() {
+                        continue;
+                    }
+                }
+                let cand = Triple::new(EntityId(c), t.relation, t.tail);
+                if model.score(cand) < true_score {
+                    better += 1;
+                }
+            }
+            better + 1
+        })
+        .collect();
+    summarize_ranks(&ranks, ks)
+}
+
+/// Rank the true relation of each test triple against every relation using
+/// the joint score — the relation-query analogue of link prediction (recall
+/// that the paper's Eq. 4 also corrupts relations, so the model is trained
+/// for exactly this discrimination).
+pub fn rank_relations(
+    model: &PkgmModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+    ks: &[usize],
+) -> LinkPredictionReport {
+    let n_relations = model.n_relations() as u32;
+    let ranks: Vec<usize> = test
+        .par_iter()
+        .map(|&t| {
+            let true_score = model.score(t);
+            let mut better = 0usize;
+            for c in 0..n_relations {
+                if c == t.relation.0 {
+                    continue;
+                }
+                let cand = Triple::new(t.head, RelationId(c), t.tail);
+                if let Some(s) = filter {
+                    if s.contains(cand) {
+                        continue;
+                    }
+                }
+                if model.score(cand) < true_score {
+                    better += 1;
+                }
+            }
+            better + 1
+        })
+        .collect();
+    summarize_ranks(&ranks, ks)
+}
+
+/// Relation-existence metrics for the relation module.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RelationExistenceReport {
+    /// Area under the ROC curve of `−f_R` as an existence score.
+    pub auc: f64,
+    /// Mean `f_R` over positive `(h, r)` pairs.
+    pub mean_pos_score: f64,
+    /// Mean `f_R` over negative `(h, r)` pairs.
+    pub mean_neg_score: f64,
+    /// Number of positive/negative pairs.
+    pub n_pos: usize,
+    /// Number of negative pairs.
+    pub n_neg: usize,
+}
+
+/// Evaluate how well `f_R(h,r)` separates relations an entity has from
+/// relations it does not.
+///
+/// Positives are sampled from `(h, r)` pairs present in `store`; negatives
+/// pair the same heads with relations they lack. AUC is computed exactly
+/// from the rank-sum statistic.
+pub fn relation_existence_auc(
+    model: &PkgmModel,
+    store: &TripleStore,
+    n_samples: usize,
+    rng: &mut impl Rng,
+) -> RelationExistenceReport {
+    let heads = store.head_entities();
+    assert!(!heads.is_empty(), "store has no head entities");
+    let n_relations = store.n_relations();
+
+    let mut pos_scores = Vec::with_capacity(n_samples);
+    let mut neg_scores = Vec::with_capacity(n_samples);
+    let mut guard = 0usize;
+    while pos_scores.len() < n_samples && guard < n_samples * 100 {
+        guard += 1;
+        let h = heads[rng.gen_range(0..heads.len())];
+        let rels = store.relations_of(h);
+        if rels.is_empty() || rels.len() == n_relations as usize {
+            continue;
+        }
+        let r_pos = rels[rng.gen_range(0..rels.len())];
+        // sample a relation h does NOT have
+        let r_neg = loop {
+            let r = RelationId(rng.gen_range(0..n_relations));
+            if rels.binary_search(&r).is_err() {
+                break r;
+            }
+        };
+        pos_scores.push(model.score_relation(h, r_pos) as f64);
+        neg_scores.push(model.score_relation(h, r_neg) as f64);
+    }
+
+    let auc = auc_lower_is_positive(&pos_scores, &neg_scores);
+    RelationExistenceReport {
+        auc,
+        mean_pos_score: mean(&pos_scores),
+        mean_neg_score: mean(&neg_scores),
+        n_pos: pos_scores.len(),
+        n_neg: neg_scores.len(),
+    }
+}
+
+/// AUC where *lower* scores indicate the positive class.
+fn auc_lower_is_positive(pos: &[f64], neg: &[f64]) -> f64 {
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    let mut wins = 0.0f64;
+    for &p in pos {
+        for &n in neg {
+            if p < n {
+                wins += 1.0;
+            } else if p == n {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (pos.len() as f64 * neg.len() as f64)
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[inline]
+fn l1_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PkgmConfig;
+    use crate::trainer::{TrainConfig, Trainer};
+    use pkgm_store::StoreBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn toy() -> (TripleStore, PkgmModel) {
+        let mut b = StoreBuilder::new();
+        // Items carry relation 0 plus *either* relation 1 or relation 2, so
+        // every head has relations it lacks (needed for existence AUC).
+        for i in 0..12u32 {
+            b.add_raw(i, 0, 12 + i % 3);
+            b.add_raw(i, 1 + i % 2, 15 + i % 2);
+        }
+        let store = b.build();
+        let mut model = PkgmModel::new(
+            store.n_entities() as usize,
+            store.n_relations() as usize,
+            PkgmConfig::new(16).with_seed(1),
+        );
+        let cfg = TrainConfig {
+            lr: 0.05,
+            margin: 2.0,
+            batch_size: 32,
+            epochs: 40,
+            negatives: 2,
+            seed: 1,
+            normalize_entities: true,
+            parallel: false,
+        };
+        Trainer::new(&model, cfg.clone()).train(&mut model, &store);
+        (store, model)
+    }
+
+    #[test]
+    fn summarize_ranks_formulas() {
+        let r = summarize_ranks(&[1, 2, 4], &[1, 3, 10]);
+        assert!((r.mrr - (1.0 + 0.5 + 0.25) / 3.0).abs() < 1e-12);
+        assert!((r.mean_rank - 7.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.hits_at(1), Some(1.0 / 3.0));
+        assert_eq!(r.hits_at(3), Some(2.0 / 3.0));
+        assert_eq!(r.hits_at(10), Some(1.0));
+        assert_eq!(r.hits_at(5), None);
+        assert_eq!(r.n, 3);
+    }
+
+    #[test]
+    fn trained_model_ranks_true_tails_well() {
+        let (store, model) = toy();
+        let test: Vec<Triple> = store.triples().iter().copied().take(10).collect();
+        let report = rank_tails(&model, &test, Some(&store), &[1, 3, 10]);
+        let random_mrr = 2.0 / store.n_entities() as f64; // generous bound
+        assert!(
+            report.mrr > random_mrr * 3.0,
+            "mrr {} barely above random {}",
+            report.mrr,
+            random_mrr
+        );
+        assert!(report.hits_at(10).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn filtered_ranks_never_worse_than_raw() {
+        let (store, model) = toy();
+        let test: Vec<Triple> = store.triples().to_vec();
+        let raw = rank_tails(&model, &test, None, &[1]);
+        let filt = rank_tails(&model, &test, Some(&store), &[1]);
+        assert!(filt.mean_rank <= raw.mean_rank + 1e-9);
+        assert!(filt.mrr >= raw.mrr - 1e-9);
+    }
+
+    #[test]
+    fn relation_existence_auc_beats_chance_after_training() {
+        let (store, model) = toy();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let report = relation_existence_auc(&model, &store, 100, &mut rng);
+        assert!(report.auc > 0.6, "AUC {} ≈ chance", report.auc);
+        assert!(report.mean_pos_score < report.mean_neg_score);
+        assert!(report.n_pos > 0 && report.n_neg > 0);
+    }
+
+    #[test]
+    fn auc_helper_is_exact() {
+        assert_eq!(auc_lower_is_positive(&[0.0, 0.1], &[1.0, 2.0]), 1.0);
+        assert_eq!(auc_lower_is_positive(&[3.0], &[1.0]), 0.0);
+        assert_eq!(auc_lower_is_positive(&[1.0], &[1.0]), 0.5);
+        assert_eq!(auc_lower_is_positive(&[], &[1.0]), 0.5);
+    }
+
+    #[test]
+    fn head_ranking_beats_chance_after_training() {
+        let (store, model) = toy();
+        let test: Vec<Triple> = store.triples().iter().copied().take(10).collect();
+        let report = rank_heads(&model, &test, Some(&store), &[10]);
+        // 12 items share each tail, so several heads are plausible; still the
+        // true head should rank well inside the 17-entity space.
+        assert!(report.hits_at(10).unwrap() > 0.5, "hits@10 {:?}", report.hits);
+        assert!(report.mean_rank < store.n_entities() as f64 / 2.0);
+    }
+
+    #[test]
+    fn relation_ranking_prefers_true_relation() {
+        let (store, model) = toy();
+        let test: Vec<Triple> = store.triples().to_vec();
+        let report = rank_relations(&model, &test, Some(&store), &[1]);
+        // 3 relations → chance Hits@1 = 1/3; trained should clearly beat it.
+        assert!(
+            report.hits_at(1).unwrap() > 0.5,
+            "relation Hits@1 {} ≈ chance",
+            report.hits_at(1).unwrap()
+        );
+    }
+
+    #[test]
+    fn untrained_model_is_near_chance() {
+        let mut b = StoreBuilder::new();
+        for i in 0..10u32 {
+            b.add_raw(i, 0, 10 + i % 2);
+        }
+        let store = b.build();
+        let model = PkgmModel::new(
+            store.n_entities() as usize,
+            store.n_relations() as usize,
+            PkgmConfig::new(8).with_seed(2),
+        );
+        let test: Vec<Triple> = store.triples().to_vec();
+        let report = rank_tails(&model, &test, None, &[1]);
+        // Untrained: mean rank should be in the middle of the entity range,
+        // not near 1.
+        assert!(report.mean_rank > 2.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # pkgm-core — the Pre-trained Knowledge Graph Model (PKGM)
+//!
+//! Implements the ICDE 2021 paper's primary contribution: pre-training a
+//! product knowledge graph so that downstream tasks consume *knowledge
+//! service vectors* computed in embedding space instead of raw triples.
+//!
+//! ## The two modules (paper §II, Table I)
+//!
+//! | Module   | Pre-training score                    | Serving function             |
+//! |----------|---------------------------------------|------------------------------|
+//! | Triple   | `f_T(h,r,t) = ‖h + r − t‖₁` (TransE)  | `S_T(h,r) = h + r`           |
+//! | Relation | `f_R(h,r)   = ‖M_r·h − r‖₁`           | `S_R(h,r) = M_r·h − r`       |
+//!
+//! Joint score `f = f_T + f_R`, trained with the margin loss
+//! `L = Σ [f(h,r,t) + γ − f(h′,r′,t′)]₊` over uniformly corrupted negatives
+//! (head, tail, *or relation* replaced — Eq. 4).
+//!
+//! ## Crate layout
+//!
+//! * [`model`] — embeddings, transfer matrices, score & service functions;
+//! * [`negative`] — the paper's uniform h/t/r corruption sampler;
+//! * [`trainer`] — margin-loss training with hand-derived gradients, lazy
+//!   row-wise Adam, rayon data-parallel minibatches;
+//! * [`eval`] — filtered/raw link prediction (MRR, Hits@k, mean rank) and
+//!   relation-existence AUC (evaluating the relation module);
+//! * [`service`] — the serving layer: per-item `2k` service vectors for
+//!   sequence models (Fig. 2) and the condensed single vector (Eq. 8–9, 20,
+//!   Fig. 3), plus tail-entity completion;
+//! * [`serving`] — a thread-safe memoizing front-end for deployment-style
+//!   fan-out to many downstream consumers;
+//! * [`baselines`] — TransE (ablation: triple module only), TransH and
+//!   DistMult for link-prediction context;
+//! * [`serialize`] — compact binary snapshots of trained models.
+
+pub mod baselines;
+pub mod eval;
+pub mod model;
+pub mod negative;
+pub mod serialize;
+pub mod service;
+pub mod serving;
+pub mod trainer;
+
+pub use eval::{LinkPredictionReport, RelationExistenceReport};
+pub use model::{PkgmConfig, PkgmModel};
+pub use negative::NegativeSampler;
+pub use service::KnowledgeService;
+pub use serving::{CacheStats, CachedService};
+pub use trainer::{TrainConfig, TrainReport, Trainer};

@@ -1,0 +1,205 @@
+//! Compact binary snapshots of trained models and services.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "PKGMMD1\0"      8 bytes
+//! dim                    u32
+//! flags                  u32   (bit 0: relation module)
+//! n_entities             u64
+//! n_relations            u64
+//! ent                    n_entities × dim × f32
+//! rel                    n_relations × dim × f32
+//! mats                   n_relations × dim² × f32  (iff relation module)
+//! ```
+//!
+//! A [`KnowledgeService`] snapshot appends the selector as a length-prefixed
+//! JSON blob (the selector is tiny compared to the parameters).
+
+use crate::model::{PkgmConfig, PkgmModel};
+use crate::service::KnowledgeService;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pkgm_store::KeyRelationSelector;
+
+const MAGIC: &[u8; 8] = b"PKGMMD1\0";
+
+/// Serialization errors.
+#[derive(Debug)]
+pub enum SerializeError {
+    /// Payload malformed or truncated.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerializeError::Corrupt(what) => write!(f, "corrupt model snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+/// Serialize a model.
+pub fn model_to_bytes(model: &PkgmModel) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32 + model.param_bytes());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(model.dim() as u32);
+    buf.put_u32_le(if model.cfg.relation_module { 1 } else { 0 });
+    buf.put_u64_le(model.n_entities() as u64);
+    buf.put_u64_le(model.n_relations() as u64);
+    for &x in &model.ent {
+        buf.put_f32_le(x);
+    }
+    for &x in &model.rel {
+        buf.put_f32_le(x);
+    }
+    for &x in &model.mats {
+        buf.put_f32_le(x);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a model. Consumes exactly the model's bytes from the front of
+/// `bytes` and returns the remainder offset.
+pub fn model_from_bytes(bytes: &[u8]) -> Result<(PkgmModel, usize), SerializeError> {
+    let mut b = bytes;
+    if b.len() < 32 || &b[..8] != MAGIC {
+        return Err(SerializeError::Corrupt("bad magic or truncated header".into()));
+    }
+    b.advance(8);
+    let dim = b.get_u32_le() as usize;
+    let flags = b.get_u32_le();
+    let relation_module = flags & 1 != 0;
+    let n_entities = b.get_u64_le() as usize;
+    let n_relations = b.get_u64_le() as usize;
+    let n_floats = n_entities * dim
+        + n_relations * dim
+        + if relation_module { n_relations * dim * dim } else { 0 };
+    if b.remaining() < n_floats * 4 {
+        return Err(SerializeError::Corrupt(format!(
+            "expected {} parameter bytes, found {}",
+            n_floats * 4,
+            b.remaining()
+        )));
+    }
+    let mut read_block = |n: usize| -> Vec<f32> {
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(b.get_f32_le());
+        }
+        v
+    };
+    let ent = read_block(n_entities * dim);
+    let rel = read_block(n_relations * dim);
+    let mats = if relation_module {
+        read_block(n_relations * dim * dim)
+    } else {
+        Vec::new()
+    };
+    let consumed = bytes.len() - b.remaining();
+    let cfg = PkgmConfig { dim, relation_module, ..PkgmConfig::new(dim) };
+    Ok((
+        PkgmModel { cfg, n_entities, n_relations, ent, rel, mats },
+        consumed,
+    ))
+}
+
+/// Serialize a knowledge service (model + selector).
+pub fn service_to_bytes(service: &KnowledgeService) -> Bytes {
+    let model_bytes = model_to_bytes(service.model());
+    let selector_json =
+        serde_json::to_vec(service.selector()).expect("selector serializes");
+    let mut buf = BytesMut::with_capacity(model_bytes.len() + selector_json.len() + 8);
+    buf.put_slice(&model_bytes);
+    buf.put_u64_le(selector_json.len() as u64);
+    buf.put_slice(&selector_json);
+    buf.freeze()
+}
+
+/// Deserialize a knowledge service.
+pub fn service_from_bytes(bytes: &[u8]) -> Result<KnowledgeService, SerializeError> {
+    let (model, consumed) = model_from_bytes(bytes)?;
+    let mut rest = &bytes[consumed..];
+    if rest.len() < 8 {
+        return Err(SerializeError::Corrupt("missing selector length".into()));
+    }
+    let len = rest.get_u64_le() as usize;
+    if rest.remaining() < len {
+        return Err(SerializeError::Corrupt("truncated selector blob".into()));
+    }
+    let selector: KeyRelationSelector = serde_json::from_slice(&rest[..len])
+        .map_err(|e| SerializeError::Corrupt(format!("selector json: {e}")))?;
+    Ok(KnowledgeService::new(model, selector))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgm_store::{EntityId, StoreBuilder};
+
+    fn model() -> PkgmModel {
+        PkgmModel::new(6, 2, PkgmConfig::new(4).with_seed(3))
+    }
+
+    #[test]
+    fn model_roundtrip_is_exact() {
+        let m = model();
+        let bytes = model_to_bytes(&m);
+        let (back, consumed) = model_from_bytes(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(back.ent, m.ent);
+        assert_eq!(back.rel, m.rel);
+        assert_eq!(back.mats, m.mats);
+        assert_eq!(back.dim(), m.dim());
+    }
+
+    #[test]
+    fn transe_model_roundtrip() {
+        let m = PkgmModel::new(6, 2, PkgmConfig::transe(4).with_seed(3));
+        let bytes = model_to_bytes(&m);
+        let (back, _) = model_from_bytes(&bytes).unwrap();
+        assert!(!back.cfg.relation_module);
+        assert!(back.mats.is_empty());
+        assert_eq!(back.ent, m.ent);
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let bytes = model_to_bytes(&model());
+        assert!(model_from_bytes(&bytes[..10]).is_err());
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(model_from_bytes(&bad).is_err());
+        assert!(model_from_bytes(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn service_roundtrip_preserves_vectors() {
+        let mut b = StoreBuilder::new();
+        for i in 0..4u32 {
+            b.add_raw(i, 0, 4 + i % 2);
+            b.add_raw(i, 1, 6);
+        }
+        let store = b.build();
+        let pairs: Vec<(EntityId, u32)> = (0..4).map(|i| (EntityId(i), 0)).collect();
+        let selector = pkgm_store::KeyRelationSelector::build(&store, &pairs, 1, 2);
+        let model = PkgmModel::new(
+            store.n_entities() as usize,
+            store.n_relations() as usize,
+            PkgmConfig::new(4).with_seed(5),
+        );
+        let svc = KnowledgeService::new(model, selector);
+        let bytes = service_to_bytes(&svc);
+        let back = service_from_bytes(&bytes).unwrap();
+        assert_eq!(back.k(), svc.k());
+        assert_eq!(
+            back.sequence_service(EntityId(1)),
+            svc.sequence_service(EntityId(1))
+        );
+        assert_eq!(
+            back.condensed_service(EntityId(2)),
+            svc.condensed_service(EntityId(2))
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Thread-safe serving front-end with memoization.
+//!
+//! In the paper's deployment, PKGM serves the *same* per-item vectors to many
+//! downstream consumers (classification, alignment, recommendation all query
+//! the items in their batches). Since service vectors are pure functions of
+//! the frozen model, a small cache in front of [`KnowledgeService`] turns the
+//! `O(k·d²)` relation-module matvecs into a hash lookup for hot items.
+
+use crate::service::KnowledgeService;
+use parking_lot::Mutex;
+use pkgm_store::fxhash::FxHashMap;
+use pkgm_store::EntityId;
+use std::sync::Arc;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that computed fresh vectors.
+    pub misses: u64,
+    /// Entries evicted due to the capacity bound.
+    pub evictions: u64,
+}
+
+/// A memoizing, thread-safe wrapper around [`KnowledgeService`].
+///
+/// Eviction is whole-generation: when the map reaches capacity it is cleared
+/// (a "flush" cache). That keeps the hot path to one hash probe with no LRU
+/// bookkeeping — appropriate for serving scans where batches sweep items in
+/// waves.
+pub struct CachedService {
+    inner: KnowledgeService,
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+struct CacheState {
+    sequences: FxHashMap<u32, Arc<Vec<Vec<f32>>>>,
+    condensed: FxHashMap<u32, Arc<Vec<f32>>>,
+    stats: CacheStats,
+}
+
+impl CachedService {
+    /// Wrap a service with a cache bounded to `capacity` items per shape.
+    pub fn new(inner: KnowledgeService, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            inner,
+            capacity,
+            state: Mutex::new(CacheState {
+                sequences: FxHashMap::default(),
+                condensed: FxHashMap::default(),
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &KnowledgeService {
+        &self.inner
+    }
+
+    /// Cached sequence service (`2k` vectors, Fig. 2 shape).
+    pub fn sequence_service(&self, item: EntityId) -> Arc<Vec<Vec<f32>>> {
+        {
+            let mut s = self.state.lock();
+            if let Some(hit) = s.sequences.get(&item.0) {
+                let hit = Arc::clone(hit);
+                s.stats.hits += 1;
+                return hit;
+            }
+            s.stats.misses += 1;
+        }
+        // Compute outside the lock; concurrent misses may compute twice,
+        // which is benign (the function is pure).
+        let fresh = Arc::new(self.inner.sequence_service(item));
+        let mut s = self.state.lock();
+        if s.sequences.len() >= self.capacity {
+            s.stats.evictions += s.sequences.len() as u64;
+            s.sequences.clear();
+        }
+        s.sequences.insert(item.0, Arc::clone(&fresh));
+        fresh
+    }
+
+    /// Cached condensed service (`2d` vector, Fig. 3 shape).
+    pub fn condensed_service(&self, item: EntityId) -> Arc<Vec<f32>> {
+        {
+            let mut s = self.state.lock();
+            if let Some(hit) = s.condensed.get(&item.0) {
+                let hit = Arc::clone(hit);
+                s.stats.hits += 1;
+                return hit;
+            }
+            s.stats.misses += 1;
+        }
+        let fresh = Arc::new(self.inner.condensed_service(item));
+        let mut s = self.state.lock();
+        if s.condensed.len() >= self.capacity {
+            s.stats.evictions += s.condensed.len() as u64;
+            s.condensed.clear();
+        }
+        s.condensed.insert(item.0, Arc::clone(&fresh));
+        fresh
+    }
+
+    /// Snapshot of hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PkgmConfig, PkgmModel};
+    use pkgm_store::{KeyRelationSelector, StoreBuilder};
+
+    fn service() -> KnowledgeService {
+        let mut b = StoreBuilder::new();
+        for i in 0..8u32 {
+            b.add_raw(i, 0, 8 + i % 2);
+            b.add_raw(i, 1, 10);
+        }
+        let store = b.build();
+        let pairs: Vec<(EntityId, u32)> = (0..8).map(|i| (EntityId(i), 0)).collect();
+        let sel = KeyRelationSelector::build(&store, &pairs, 1, 2);
+        let model = PkgmModel::new(
+            store.n_entities() as usize,
+            store.n_relations() as usize,
+            PkgmConfig::new(8).with_seed(1),
+        );
+        KnowledgeService::new(model, sel)
+    }
+
+    #[test]
+    fn cache_returns_identical_vectors() {
+        let cached = CachedService::new(service(), 16);
+        let a = cached.sequence_service(EntityId(1));
+        let b = cached.sequence_service(EntityId(1));
+        assert_eq!(a, b);
+        assert_eq!(*a, cached.inner().sequence_service(EntityId(1)));
+        let stats = cached.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn cache_evicts_at_capacity() {
+        let cached = CachedService::new(service(), 2);
+        for i in 0..6u32 {
+            cached.condensed_service(EntityId(i));
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.misses, 6);
+        assert!(stats.evictions >= 2, "expected evictions, got {stats:?}");
+        // correctness survives eviction
+        let v = cached.condensed_service(EntityId(0));
+        assert_eq!(*v, cached.inner().condensed_service(EntityId(0)));
+    }
+
+    #[test]
+    fn cache_is_thread_safe() {
+        use rayon::prelude::*;
+        let cached = CachedService::new(service(), 64);
+        let results: Vec<Arc<Vec<f32>>> = (0..64u32)
+            .into_par_iter()
+            .map(|i| cached.condensed_service(EntityId(i % 8)))
+            .collect();
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(**r, cached.inner().condensed_service(EntityId(i as u32 % 8)));
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.hits + stats.misses, 64);
+        assert!(stats.hits > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        CachedService::new(service(), 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! String interning: bidirectional mapping between names and dense ids.
+//!
+//! The synthetic catalog (and any real TSV dump) names entities and relations
+//! with strings like `item:42`, `brandIs`, `value:Apple`. The trainer and the
+//! store only ever see dense `u32` ids; the interner is the single boundary
+//! where names are resolved.
+
+use crate::fxhash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// A generic string interner producing dense `u32` ids in insertion order.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Interner {
+    names: Vec<String>,
+    #[serde(skip)]
+    lookup: FxHashMap<String, u32>,
+}
+
+impl Interner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.lookup.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow: more than u32::MAX names");
+        self.names.push(name.to_owned());
+        self.lookup.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Resolve an id back to its name.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Look up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.lookup.get(name).copied()
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i as u32, n.as_str()))
+    }
+
+    /// Rebuild the reverse lookup; required after deserializing (the lookup
+    /// map is skipped on the wire because it duplicates `names`).
+    pub fn rebuild_lookup(&mut self) {
+        self.lookup = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("brandIs");
+        let b = i.intern("brandIs");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("a"), 0);
+        assert_eq!(i.intern("b"), 1);
+        assert_eq!(i.intern("c"), 2);
+        assert_eq!(i.name(1), Some("b"));
+        assert_eq!(i.get("c"), Some(2));
+        assert_eq!(i.get("missing"), None);
+        assert_eq!(i.name(99), None);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut i = Interner::new();
+        i.intern("x");
+        i.intern("y");
+        let pairs: Vec<_> = i.iter().collect();
+        assert_eq!(pairs, vec![(0, "x"), (1, "y")]);
+    }
+
+    #[test]
+    fn rebuild_lookup_restores_gets() {
+        let mut i = Interner::new();
+        i.intern("p");
+        i.intern("q");
+        let mut clone = Interner { names: i.names.clone(), lookup: Default::default() };
+        assert_eq!(clone.get("q"), None); // lookup empty before rebuild
+        clone.rebuild_lookup();
+        assert_eq!(clone.get("q"), Some(1));
+    }
+}

@@ -1,0 +1,203 @@
+//! (De)serialization: TSV for interchange, compact binary for snapshots.
+//!
+//! The binary layout (little-endian throughout):
+//!
+//! ```text
+//! magic  "PKGMKG1\0"            8 bytes
+//! n_entities                    u32
+//! n_relations                   u32
+//! n_triples                     u64
+//! triples                       n_triples × (u32 head, u32 rel, u32 tail)
+//! ```
+
+use crate::ids::Triple;
+use crate::interner::Interner;
+use crate::store::{StoreBuilder, TripleStore};
+use crate::{Result, StoreError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{BufRead, Write};
+
+const MAGIC: &[u8; 8] = b"PKGMKG1\0";
+
+/// Serialize a store to the compact binary snapshot format.
+pub fn to_bytes(store: &TripleStore) -> Bytes {
+    let mut buf = BytesMut::with_capacity(24 + store.len() * 12);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(store.n_entities());
+    buf.put_u32_le(store.n_relations());
+    buf.put_u64_le(store.len() as u64);
+    for t in store.triples() {
+        buf.put_u32_le(t.head.0);
+        buf.put_u32_le(t.relation.0);
+        buf.put_u32_le(t.tail.0);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a store from the binary snapshot format.
+pub fn from_bytes(mut bytes: &[u8]) -> Result<TripleStore> {
+    if bytes.len() < 24 || &bytes[..8] != MAGIC {
+        return Err(StoreError::Corrupt("bad magic or truncated header".into()));
+    }
+    bytes.advance(8);
+    let n_entities = bytes.get_u32_le();
+    let n_relations = bytes.get_u32_le();
+    let n_triples = bytes.get_u64_le() as usize;
+    if bytes.remaining() < n_triples * 12 {
+        return Err(StoreError::Corrupt(format!(
+            "expected {} triple bytes, found {}",
+            n_triples * 12,
+            bytes.remaining()
+        )));
+    }
+    let mut builder = StoreBuilder::with_capacity_hint(n_triples, n_entities, n_relations);
+    for _ in 0..n_triples {
+        let h = bytes.get_u32_le();
+        let r = bytes.get_u32_le();
+        let t = bytes.get_u32_le();
+        if h >= n_entities || t >= n_entities || r >= n_relations {
+            return Err(StoreError::Corrupt(format!(
+                "triple ({h},{r},{t}) out of declared id range"
+            )));
+        }
+        builder.add_raw(h, r, t);
+    }
+    Ok(builder.build())
+}
+
+/// Write triples as `head \t relation \t tail` names, one per line.
+pub fn write_tsv<W: Write>(
+    store: &TripleStore,
+    entities: &Interner,
+    relations: &Interner,
+    mut w: W,
+) -> Result<()> {
+    for t in store.triples() {
+        let h = entities
+            .name(t.head.0)
+            .ok_or_else(|| StoreError::UnknownId(t.head.to_string()))?;
+        let r = relations
+            .name(t.relation.0)
+            .ok_or_else(|| StoreError::UnknownId(t.relation.to_string()))?;
+        let tail = entities
+            .name(t.tail.0)
+            .ok_or_else(|| StoreError::UnknownId(t.tail.to_string()))?;
+        writeln!(w, "{h}\t{r}\t{tail}")?;
+    }
+    Ok(())
+}
+
+/// Read a TSV triple dump, interning names and building a store.
+///
+/// Returns the store plus the entity and relation interners. Blank lines and
+/// lines starting with `#` are skipped; malformed lines are an error.
+pub fn read_tsv<R: BufRead>(r: R) -> Result<(TripleStore, Interner, Interner)> {
+    let mut entities = Interner::new();
+    let mut relations = Interner::new();
+    let mut builder = StoreBuilder::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split('\t');
+        let (Some(h), Some(rel), Some(t), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(StoreError::Corrupt(format!(
+                "line {}: expected 3 tab-separated fields",
+                lineno + 1
+            )));
+        };
+        let h = entities.intern(h);
+        let rel = relations.intern(rel);
+        let t = entities.intern(t);
+        builder.add_raw(h, rel, t);
+    }
+    Ok((builder.build(), entities, relations))
+}
+
+/// Convenience: iterate triples as `Triple` values parsed from TSV text.
+pub fn parse_tsv_triples(text: &str) -> Result<(Vec<Triple>, Interner, Interner)> {
+    let (store, e, r) = read_tsv(text.as_bytes())?;
+    Ok((store.triples().to_vec(), e, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TripleStore {
+        let mut b = StoreBuilder::new();
+        b.add_raw(0, 0, 2).add_raw(1, 0, 2).add_raw(0, 1, 3);
+        b.build()
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_everything() {
+        let s = sample();
+        let bytes = to_bytes(&s);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.triples(), s.triples());
+        assert_eq!(back.n_entities(), s.n_entities());
+        assert_eq!(back.n_relations(), s.n_relations());
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut bytes = to_bytes(&sample()).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(from_bytes(&bytes), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let bytes = to_bytes(&sample());
+        assert!(matches!(
+            from_bytes(&bytes[..bytes.len() - 4]),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_ids() {
+        let s = sample();
+        let mut bytes = to_bytes(&s).to_vec();
+        // overwrite the first triple's head with an id beyond n_entities
+        bytes[24..28].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(from_bytes(&bytes), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let text = "iphone\tbrandIs\tapple\nipad\tbrandIs\tapple\niphone\tcolorIs\tblack\n";
+        let (store, entities, relations) = read_tsv(text.as_bytes()).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(entities.get("apple"), Some(1)); // interned right after "iphone"
+        assert_eq!(relations.get("colorIs"), Some(1));
+
+        let mut out = Vec::new();
+        write_tsv(&store, &entities, &relations, &mut out).unwrap();
+        let written = String::from_utf8(out).unwrap();
+        // store sorts triples, so compare as sets of lines
+        let mut a: Vec<&str> = written.lines().collect();
+        let mut b: Vec<&str> = text.lines().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tsv_skips_comments_and_blanks() {
+        let text = "# a comment\n\niphone\tbrandIs\tapple\n";
+        let (store, ..) = read_tsv(text.as_bytes()).unwrap();
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn tsv_rejects_malformed_lines() {
+        assert!(read_tsv("only\ttwo".as_bytes()).is_err());
+        assert!(read_tsv("a\tb\tc\td".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Key-relation selection (§III-A of the paper).
+//!
+//! "For each item `item_i` in the dataset, we select 10 key relations for it
+//! according to its category. More specifically, suppose `item_i` belongs to
+//! category C, we gather all items belonging to C and account for the
+//! frequency of properties in those items, then select top 10 most frequent
+//! properties as key relations."
+//!
+//! After pre-training, PKGM serves vectors for exactly these key relations,
+//! so the selector is shared by the core service layer and every downstream
+//! task.
+
+use crate::fxhash::FxHashMap;
+use crate::ids::{EntityId, RelationId};
+use crate::store::TripleStore;
+use serde::{Deserialize, Serialize};
+
+/// Per-category top-k key relations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KeyRelationSelector {
+    /// Number of key relations per category (the paper's k = 10).
+    k: usize,
+    /// `key[category] = top-k relations` by in-category frequency, most
+    /// frequent first. Categories are dense `u32` ids.
+    per_category: Vec<Vec<RelationId>>,
+    /// `category_of[item entity id] = category id`, `u32::MAX` if unknown.
+    category_of: Vec<u32>,
+}
+
+/// Sentinel for items with no category assignment.
+const NO_CATEGORY: u32 = u32::MAX;
+
+impl KeyRelationSelector {
+    /// Build the selector from a store and an item → category assignment.
+    ///
+    /// * `store` — the knowledge graph.
+    /// * `item_category` — pairs `(item, category_id)`; categories must be
+    ///   dense ids in `0..n_categories`.
+    /// * `k` — how many key relations per category (paper: 10).
+    ///
+    /// Frequency of a relation within a category counts *items having the
+    /// relation* (not triples), matching the paper's "frequency of properties
+    /// in those items". Ties break toward the smaller relation id so the
+    /// selection is deterministic.
+    pub fn build(
+        store: &TripleStore,
+        item_category: &[(EntityId, u32)],
+        n_categories: usize,
+        k: usize,
+    ) -> Self {
+        let mut category_of = vec![NO_CATEGORY; store.n_entities() as usize];
+        for &(item, cat) in item_category {
+            assert!(
+                (cat as usize) < n_categories,
+                "category id {cat} out of range (n_categories = {n_categories})"
+            );
+            if let Some(slot) = category_of.get_mut(item.index()) {
+                *slot = cat;
+            }
+        }
+
+        // Count, per category, how many items carry each relation.
+        let mut counts: Vec<FxHashMap<RelationId, u64>> =
+            vec![FxHashMap::default(); n_categories];
+        for &(item, cat) in item_category {
+            for &r in store.relations_of(item) {
+                *counts[cat as usize].entry(r).or_insert(0) += 1;
+            }
+        }
+
+        let per_category = counts
+            .into_iter()
+            .map(|m| {
+                let mut freq: Vec<(RelationId, u64)> = m.into_iter().collect();
+                freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                freq.truncate(k);
+                freq.into_iter().map(|(r, _)| r).collect()
+            })
+            .collect();
+
+        Self { k, per_category, category_of }
+    }
+
+    /// The configured k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of categories.
+    pub fn n_categories(&self) -> usize {
+        self.per_category.len()
+    }
+
+    /// Key relations of a category, most frequent first (≤ k entries — a
+    /// category whose items carry fewer than k distinct properties yields a
+    /// shorter list).
+    pub fn for_category(&self, category: u32) -> &[RelationId] {
+        self.per_category
+            .get(category as usize)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Category of an item, if assigned.
+    pub fn category_of(&self, item: EntityId) -> Option<u32> {
+        match self.category_of.get(item.index()) {
+            Some(&c) if c != NO_CATEGORY => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Key relations of an item via its category. Items without a category
+    /// get the empty slice (the service layer then serves zero vectors).
+    pub fn for_item(&self, item: EntityId) -> &[RelationId] {
+        match self.category_of(item) {
+            Some(c) => self.for_category(c),
+            None => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreBuilder;
+
+    /// Two categories; cat 0 items mostly have relations {0,1}, cat 1 items
+    /// mostly {2}.
+    fn setup() -> (TripleStore, Vec<(EntityId, u32)>) {
+        let mut b = StoreBuilder::new();
+        // cat 0: items 0, 1
+        b.add_raw(0, 0, 100).add_raw(0, 1, 101).add_raw(0, 2, 102);
+        b.add_raw(1, 0, 100).add_raw(1, 1, 103);
+        // cat 1: items 2, 3
+        b.add_raw(2, 2, 104).add_raw(3, 2, 105).add_raw(3, 1, 101);
+        let cats = vec![
+            (EntityId(0), 0),
+            (EntityId(1), 0),
+            (EntityId(2), 1),
+            (EntityId(3), 1),
+        ];
+        (b.build(), cats)
+    }
+
+    #[test]
+    fn top_k_by_item_frequency() {
+        let (store, cats) = setup();
+        let sel = KeyRelationSelector::build(&store, &cats, 2, 2);
+        // cat 0: r0 in 2 items, r1 in 2 items, r2 in 1 item → top-2 = [r0, r1]
+        assert_eq!(sel.for_category(0), &[RelationId(0), RelationId(1)]);
+        // cat 1: r2 in 2 items, r1 in 1 item → [r2, r1]
+        assert_eq!(sel.for_category(1), &[RelationId(2), RelationId(1)]);
+    }
+
+    #[test]
+    fn k_truncates() {
+        let (store, cats) = setup();
+        let sel = KeyRelationSelector::build(&store, &cats, 2, 1);
+        assert_eq!(sel.for_category(0).len(), 1);
+        assert_eq!(sel.for_category(0)[0], RelationId(0));
+    }
+
+    #[test]
+    fn item_lookup_goes_through_category() {
+        let (store, cats) = setup();
+        let sel = KeyRelationSelector::build(&store, &cats, 2, 10);
+        assert_eq!(sel.for_item(EntityId(2)), sel.for_category(1));
+        assert_eq!(sel.category_of(EntityId(1)), Some(0));
+        // value entity 100 has no category
+        assert_eq!(sel.category_of(EntityId(100)), None);
+        assert!(sel.for_item(EntityId(100)).is_empty());
+    }
+
+    #[test]
+    fn short_categories_yield_short_lists() {
+        let (store, cats) = setup();
+        let sel = KeyRelationSelector::build(&store, &cats, 2, 10);
+        assert_eq!(sel.for_category(1).len(), 2); // only 2 distinct relations
+    }
+
+    #[test]
+    #[should_panic(expected = "category id")]
+    fn out_of_range_category_panics() {
+        let (store, _) = setup();
+        KeyRelationSelector::build(&store, &[(EntityId(0), 5)], 2, 10);
+    }
+}

@@ -1,0 +1,84 @@
+//! # pkgm-store — product knowledge graph triple store
+//!
+//! In-memory triple store substrate for the PKGM reproduction
+//! ("Billion-scale Pre-trained E-commerce Product Knowledge Graph Model",
+//! ICDE 2021).
+//!
+//! The paper models a product knowledge graph `K = {E, R, F}` where the
+//! entity set `E = {I, V}` splits into items and attribute values, and the
+//! relation set `R = {P, R'}` splits into item properties and inter-item
+//! relations. Two symbolic query forms drive everything downstream:
+//!
+//! * **triple query** — `SELECT ?t WHERE { h r ?t }`
+//! * **relation query** — `SELECT ?r WHERE { h ?r ?t }`
+//!
+//! This crate provides:
+//!
+//! * string interning for entities and relations ([`Interner`]),
+//! * an indexed [`TripleStore`] answering both query forms in O(1) hash
+//!   lookups,
+//! * per-category property-frequency statistics and *key relation* selection
+//!   (the paper picks the top-10 most frequent properties of each item's
+//!   category, §III-A),
+//! * the minimum-occurrence relation filter the paper applies before
+//!   pre-training (attributes with fewer than 5000 occurrences are dropped),
+//! * dataset statistics in the shape of the paper's Table II,
+//! * TSV and compact binary (de)serialization.
+//!
+//! The store is deliberately simple: dense `u32` ids, hash indexes with a
+//! fast non-cryptographic hasher, and no interior mutability. Build it once,
+//! then share `&TripleStore` freely across threads.
+
+pub mod fxhash;
+pub mod ids;
+pub mod interner;
+pub mod io;
+pub mod keyrel;
+pub mod query;
+pub mod stats;
+pub mod store;
+
+pub use ids::{EntityId, RelationId, Triple};
+pub use interner::Interner;
+pub use keyrel::KeyRelationSelector;
+pub use stats::KgStats;
+pub use store::{StoreBuilder, TripleStore};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Errors produced by store construction and (de)serialization.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An id referenced an entity or relation that is not interned.
+    UnknownId(String),
+    /// A serialized payload was malformed.
+    Corrupt(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::UnknownId(what) => write!(f, "unknown id: {what}"),
+            StoreError::Corrupt(what) => write!(f, "corrupt payload: {what}"),
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

@@ -1,0 +1,362 @@
+//! Conjunctive triple-pattern queries over the store.
+//!
+//! The paper frames downstream knowledge access as two SPARQL-ish forms:
+//!
+//! ```text
+//! SELECT ?t WHERE { h r ?t }      (triple query)
+//! SELECT ?r WHERE { h ?r ?t }     (relation query)
+//! ```
+//!
+//! This module generalizes both to conjunctions of triple patterns with
+//! shared variables, evaluated by an index-backed backtracking join. It is
+//! the *symbolic* baseline that PKGM's vector services replace — and what a
+//! downstream team would have had to run per item before PKGM.
+//!
+//! ```
+//! use pkgm_store::query::{Pattern, Term};
+//! use pkgm_store::{EntityId, RelationId, StoreBuilder};
+//!
+//! let mut b = StoreBuilder::new();
+//! b.add_raw(0, 0, 10).add_raw(1, 0, 10).add_raw(0, 1, 11);
+//! let store = b.build();
+//!
+//! // SELECT ?x WHERE { ?x brandIs(r0) e10 . ?x colorIs(r1) e11 }
+//! let results = pkgm_store::query::solve(
+//!     &store,
+//!     &[
+//!         Pattern::new(Term::Var(0), Term::rel(0), Term::ent(10)),
+//!         Pattern::new(Term::Var(0), Term::rel(1), Term::ent(11)),
+//!     ],
+//! );
+//! assert_eq!(results.len(), 1);
+//! assert_eq!(results[0].entity(0), Some(EntityId(0)));
+//! # let _ = RelationId(0);
+//! ```
+
+use crate::fxhash::FxHashMap;
+use crate::ids::{EntityId, RelationId, Triple};
+use crate::store::TripleStore;
+
+/// A position in a pattern: a named variable or a constant id.
+///
+/// Variable names are plain `u32`s; the same name in entity and relation
+/// positions refers to the same binding (raw id equality), so use disjoint
+/// names for entity and relation variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Term {
+    /// A variable, identified by name.
+    Var(u32),
+    /// A constant raw id (entity or relation depending on position).
+    Const(u32),
+}
+
+impl Term {
+    /// Constant entity term.
+    pub fn ent(id: u32) -> Term {
+        Term::Const(id)
+    }
+
+    /// Constant relation term.
+    pub fn rel(id: u32) -> Term {
+        Term::Const(id)
+    }
+}
+
+/// One triple pattern `(head, relation, tail)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pattern {
+    /// Head position.
+    pub head: Term,
+    /// Relation position.
+    pub relation: Term,
+    /// Tail position.
+    pub tail: Term,
+}
+
+impl Pattern {
+    /// Construct a pattern.
+    pub fn new(head: Term, relation: Term, tail: Term) -> Self {
+        Self { head, relation, tail }
+    }
+}
+
+/// A complete variable assignment satisfying all patterns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Binding {
+    values: FxHashMap<u32, u32>,
+}
+
+impl Binding {
+    /// Raw bound value of a variable.
+    pub fn get(&self, var: u32) -> Option<u32> {
+        self.values.get(&var).copied()
+    }
+
+    /// Bound value interpreted as an entity.
+    pub fn entity(&self, var: u32) -> Option<EntityId> {
+        self.get(var).map(EntityId)
+    }
+
+    /// Bound value interpreted as a relation.
+    pub fn relation(&self, var: u32) -> Option<RelationId> {
+        self.get(var).map(RelationId)
+    }
+
+    fn resolve(&self, term: Term) -> Option<u32> {
+        match term {
+            Term::Const(c) => Some(c),
+            Term::Var(v) => self.get(v),
+        }
+    }
+
+    fn bind(&mut self, term: Term, value: u32) -> bool {
+        match term {
+            Term::Const(c) => c == value,
+            Term::Var(v) => match self.values.get(&v) {
+                Some(&existing) => existing == value,
+                None => {
+                    self.values.insert(v, value);
+                    true
+                }
+            },
+        }
+    }
+
+    fn unbind(&mut self, term: Term, was_new: bool) {
+        if was_new {
+            if let Term::Var(v) = term {
+                self.values.remove(&v);
+            }
+        }
+    }
+}
+
+/// Evaluate a conjunction of patterns; returns every satisfying binding.
+///
+/// Patterns are evaluated left to right with backtracking; put the most
+/// selective pattern first for best performance. Results are deterministic
+/// (index order).
+pub fn solve(store: &TripleStore, patterns: &[Pattern]) -> Vec<Binding> {
+    let mut results = Vec::new();
+    let mut binding = Binding::default();
+    solve_rec(store, patterns, &mut binding, &mut results);
+    results
+}
+
+fn solve_rec(
+    store: &TripleStore,
+    patterns: &[Pattern],
+    binding: &mut Binding,
+    results: &mut Vec<Binding>,
+) {
+    let Some((pat, rest)) = patterns.split_first() else {
+        results.push(binding.clone());
+        return;
+    };
+    let h = binding.resolve(pat.head);
+    let r = binding.resolve(pat.relation);
+    let t = binding.resolve(pat.tail);
+
+    // Candidate triples, narrowed by whatever is already bound.
+    match (h, r, t) {
+        (Some(h), Some(r), Some(t)) => {
+            if store.contains(Triple::from_raw(h, r, t)) {
+                solve_rec(store, rest, binding, results);
+            }
+        }
+        (Some(h), Some(r), None) => {
+            for &tail in store.tails(EntityId(h), RelationId(r)) {
+                try_extend(store, pat, (h, r, tail.0), rest, binding, results);
+            }
+        }
+        (None, Some(r), Some(t)) => {
+            for &head in store.heads(RelationId(r), EntityId(t)) {
+                try_extend(store, pat, (head.0, r, t), rest, binding, results);
+            }
+        }
+        (Some(h), None, _) => {
+            // Enumerate the head's relations, then recurse per tail.
+            for &rel in store.relations_of(EntityId(h)) {
+                for &tail in store.tails(EntityId(h), rel) {
+                    if let Some(t) = t {
+                        if t != tail.0 {
+                            continue;
+                        }
+                    }
+                    try_extend(store, pat, (h, rel.0, tail.0), rest, binding, results);
+                }
+            }
+        }
+        _ => {
+            // Unbound head: full scan fallback.
+            for triple in store.triples() {
+                if let Some(r) = r {
+                    if r != triple.relation.0 {
+                        continue;
+                    }
+                }
+                if let Some(t) = t {
+                    if t != triple.tail.0 {
+                        continue;
+                    }
+                }
+                try_extend(
+                    store,
+                    pat,
+                    (triple.head.0, triple.relation.0, triple.tail.0),
+                    rest,
+                    binding,
+                    results,
+                );
+            }
+        }
+    }
+}
+
+fn try_extend(
+    store: &TripleStore,
+    pat: &Pattern,
+    (h, r, t): (u32, u32, u32),
+    rest: &[Pattern],
+    binding: &mut Binding,
+    results: &mut Vec<Binding>,
+) {
+    let h_new = matches!(pat.head, Term::Var(v) if binding.get(v).is_none());
+    if !binding.bind(pat.head, h) {
+        return;
+    }
+    let r_new = matches!(pat.relation, Term::Var(v) if binding.get(v).is_none())
+        && !matches!((pat.head, pat.relation), (Term::Var(a), Term::Var(b)) if a == b && h_new);
+    if !binding.bind(pat.relation, r) {
+        binding.unbind(pat.head, h_new);
+        return;
+    }
+    let t_new = matches!(pat.tail, Term::Var(v) if binding.get(v).is_none());
+    if !binding.bind(pat.tail, t) {
+        binding.unbind(pat.relation, r_new);
+        binding.unbind(pat.head, h_new);
+        return;
+    }
+    solve_rec(store, rest, binding, results);
+    binding.unbind(pat.tail, t_new);
+    binding.unbind(pat.relation, r_new);
+    binding.unbind(pat.head, h_new);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreBuilder;
+
+    /// items 0,1 brand(r0)=10; item 2 brand=11; items 0,2 color(r1)=12.
+    fn store() -> TripleStore {
+        let mut b = StoreBuilder::new();
+        b.add_raw(0, 0, 10)
+            .add_raw(1, 0, 10)
+            .add_raw(2, 0, 11)
+            .add_raw(0, 1, 12)
+            .add_raw(2, 1, 12);
+        b.build()
+    }
+
+    #[test]
+    fn triple_query_form() {
+        // SELECT ?t WHERE { e0 r0 ?t }
+        let r = solve(&store(), &[Pattern::new(Term::ent(0), Term::rel(0), Term::Var(0))]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].entity(0), Some(EntityId(10)));
+    }
+
+    #[test]
+    fn relation_query_form() {
+        // SELECT ?r WHERE { e0 ?r ?t }
+        let r = solve(
+            &store(),
+            &[Pattern::new(Term::ent(0), Term::Var(0), Term::Var(1))],
+        );
+        let mut rels: Vec<u32> = r.iter().map(|b| b.get(0).unwrap()).collect();
+        rels.sort_unstable();
+        rels.dedup();
+        assert_eq!(rels, vec![0, 1]);
+    }
+
+    #[test]
+    fn conjunction_joins_on_shared_variable() {
+        // SELECT ?x WHERE { ?x r0 e10 . ?x r1 e12 } → only item 0
+        let r = solve(
+            &store(),
+            &[
+                Pattern::new(Term::Var(0), Term::rel(0), Term::ent(10)),
+                Pattern::new(Term::Var(0), Term::rel(1), Term::ent(12)),
+            ],
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].entity(0), Some(EntityId(0)));
+    }
+
+    #[test]
+    fn same_brand_pairs() {
+        // SELECT ?a ?b WHERE { ?a r0 ?v . ?b r0 ?v } — includes symmetric and
+        // self pairs: 0-0, 0-1, 1-0, 1-1, 2-2.
+        let r = solve(
+            &store(),
+            &[
+                Pattern::new(Term::Var(0), Term::rel(0), Term::Var(2)),
+                Pattern::new(Term::Var(1), Term::rel(0), Term::Var(2)),
+            ],
+        );
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn fully_bound_pattern_is_a_containment_check() {
+        let s = store();
+        assert_eq!(
+            solve(&s, &[Pattern::new(Term::ent(0), Term::rel(0), Term::ent(10))]).len(),
+            1
+        );
+        assert_eq!(
+            solve(&s, &[Pattern::new(Term::ent(0), Term::rel(0), Term::ent(11))]).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn unbound_head_falls_back_to_scan() {
+        // SELECT ?h WHERE { ?h ?r e12 }
+        let r = solve(&store(), &[Pattern::new(Term::Var(0), Term::Var(1), Term::ent(12))]);
+        let mut heads: Vec<u32> = r.iter().map(|b| b.get(0).unwrap()).collect();
+        heads.sort_unstable();
+        assert_eq!(heads, vec![0, 2]);
+    }
+
+    #[test]
+    fn repeated_variable_within_pattern_must_match() {
+        // SELECT ?x WHERE { ?x r0 ?x } — no entity is its own brand value.
+        let r = solve(&store(), &[Pattern::new(Term::Var(0), Term::rel(0), Term::Var(0))]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn empty_pattern_list_yields_one_empty_binding() {
+        let r = solve(&store(), &[]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0], Binding::default());
+    }
+
+    #[test]
+    fn backtracking_leaves_no_residual_bindings() {
+        // A failing second pattern must not pollute bindings for later
+        // branches: first pattern has 2 solutions, second constrains to 1.
+        let r = solve(
+            &store(),
+            &[
+                Pattern::new(Term::Var(0), Term::rel(0), Term::ent(10)), // x ∈ {0,1}
+                Pattern::new(Term::Var(0), Term::rel(1), Term::Var(1)),  // only x=0 has r1
+            ],
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].entity(0), Some(EntityId(0)));
+        assert_eq!(r[0].entity(1), Some(EntityId(12)));
+    }
+}

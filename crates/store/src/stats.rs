@@ -1,0 +1,199 @@
+//! Dataset statistics in the shape of the paper's Table II.
+
+use crate::ids::{EntityId, RelationId};
+use crate::store::TripleStore;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of a product knowledge graph.
+///
+/// Mirrors Table II of the paper: `# items | # entity | # relation |
+/// # Triples`. "Items" are the entities that appear as heads of property
+/// triples; values only ever appear as tails.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KgStats {
+    /// Entities that occur as the head of at least one triple.
+    pub n_items: usize,
+    /// Size of the entity id space.
+    pub n_entities: usize,
+    /// Number of relations with at least one occurrence.
+    pub n_relations: usize,
+    /// Total triples.
+    pub n_triples: usize,
+}
+
+impl KgStats {
+    /// Compute statistics from a store.
+    pub fn of(store: &TripleStore) -> Self {
+        let n_relations = store
+            .relation_counts()
+            .iter()
+            .filter(|&&c| c > 0)
+            .count();
+        Self {
+            n_items: store.head_entities().len(),
+            n_entities: store.n_entities() as usize,
+            n_relations,
+            n_triples: store.len(),
+        }
+    }
+
+    /// Render as a Table-II style row.
+    pub fn table_row(&self, label: &str) -> String {
+        format!(
+            "| {label} | {} | {} | {} | {} |",
+            group_thousands(self.n_items),
+            group_thousands(self.n_entities),
+            group_thousands(self.n_relations),
+            group_thousands(self.n_triples),
+        )
+    }
+}
+
+/// Degree distribution summary, useful for validating that the synthetic
+/// catalog has realistic shape (long-tail values, dense items).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Mean out-degree over items.
+    pub mean_out_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Minimum out-degree among items (entities with ≥ 1 outgoing triple).
+    pub min_out_degree: usize,
+}
+
+impl DegreeStats {
+    /// Compute out-degree stats over all head entities.
+    pub fn of(store: &TripleStore) -> Self {
+        let heads = store.head_entities();
+        if heads.is_empty() {
+            return Self { mean_out_degree: 0.0, max_out_degree: 0, min_out_degree: 0 };
+        }
+        let degrees: Vec<usize> = heads.iter().map(|&h| store.out_degree(h)).collect();
+        let total: usize = degrees.iter().sum();
+        Self {
+            mean_out_degree: total as f64 / degrees.len() as f64,
+            max_out_degree: degrees.iter().copied().max().unwrap_or(0),
+            min_out_degree: degrees.iter().copied().min().unwrap_or(0),
+        }
+    }
+}
+
+/// Frequency table of relations, descending by count — the raw material for
+/// both the "< 5000 occurrences" filter and key-relation selection.
+pub fn relation_frequency(store: &TripleStore) -> Vec<(RelationId, u64)> {
+    let mut freq: Vec<(RelationId, u64)> = store
+        .relation_counts()
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(r, &c)| (RelationId(r as u32), c))
+        .collect();
+    freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    freq
+}
+
+/// Entities that never appear as heads (pure attribute values).
+pub fn value_entities(store: &TripleStore) -> Vec<EntityId> {
+    let heads: std::collections::HashSet<EntityId> =
+        store.head_entities().into_iter().collect();
+    let mut values: Vec<EntityId> = store
+        .triples()
+        .iter()
+        .map(|t| t.tail)
+        .filter(|t| !heads.contains(t))
+        .collect();
+    values.sort_unstable();
+    values.dedup();
+    values
+}
+
+fn group_thousands(n: usize) -> String {
+    let s = n.to_string();
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(*b as char);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreBuilder;
+
+    fn sample() -> TripleStore {
+        let mut b = StoreBuilder::new();
+        b.add_raw(0, 0, 10)
+            .add_raw(0, 1, 11)
+            .add_raw(1, 0, 10)
+            .add_raw(2, 1, 12);
+        b.build()
+    }
+
+    #[test]
+    fn stats_count_items_entities_relations_triples() {
+        let s = KgStats::of(&sample());
+        assert_eq!(s.n_items, 3);
+        assert_eq!(s.n_entities, 13); // dense id space 0..=12
+        assert_eq!(s.n_relations, 2);
+        assert_eq!(s.n_triples, 4);
+    }
+
+    #[test]
+    fn degree_stats() {
+        let d = DegreeStats::of(&sample());
+        assert_eq!(d.max_out_degree, 2);
+        assert_eq!(d.min_out_degree, 1);
+        assert!((d.mean_out_degree - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_empty_store() {
+        let d = DegreeStats::of(&StoreBuilder::new().build());
+        assert_eq!(d.mean_out_degree, 0.0);
+    }
+
+    #[test]
+    fn relation_frequency_sorted_descending() {
+        let f = relation_frequency(&sample());
+        assert_eq!(f, vec![(RelationId(0), 2), (RelationId(1), 2)]);
+        let mut b = StoreBuilder::new();
+        b.add_raw(0, 5, 1).add_raw(2, 5, 3).add_raw(4, 2, 1);
+        let f = relation_frequency(&b.build());
+        assert_eq!(f[0], (RelationId(5), 2));
+        assert_eq!(f[1], (RelationId(2), 1));
+    }
+
+    #[test]
+    fn value_entities_excludes_heads() {
+        let vals = value_entities(&sample());
+        assert_eq!(vals, vec![EntityId(10), EntityId(11), EntityId(12)]);
+    }
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(group_thousands(0), "0");
+        assert_eq!(group_thousands(999), "999");
+        assert_eq!(group_thousands(1_000), "1,000");
+        assert_eq!(group_thousands(1_366_109_966), "1,366,109,966");
+    }
+
+    #[test]
+    fn table_row_renders() {
+        let row = KgStats {
+            n_items: 142_634_045,
+            n_entities: 142_641_094,
+            n_relations: 426,
+            n_triples: 1_366_109_966,
+        }
+        .table_row("PKG-sub");
+        assert_eq!(
+            row,
+            "| PKG-sub | 142,634,045 | 142,641,094 | 426 | 1,366,109,966 |"
+        );
+    }
+}

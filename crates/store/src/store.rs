@@ -1,0 +1,396 @@
+//! The indexed triple store and its builder.
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::ids::{EntityId, RelationId, Triple};
+
+/// Accumulates triples, then builds the indexed [`TripleStore`].
+///
+/// Duplicated triples are deduplicated at build time (seller-filled attribute
+/// dumps contain repeats). Entity/relation counts are the max id seen + 1,
+/// unless fixed explicitly with [`StoreBuilder::with_capacity_hint`].
+#[derive(Debug, Default)]
+pub struct StoreBuilder {
+    triples: Vec<Triple>,
+    n_entities: u32,
+    n_relations: u32,
+}
+
+impl StoreBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size the triple buffer and fix minimum entity/relation counts.
+    pub fn with_capacity_hint(n_triples: usize, n_entities: u32, n_relations: u32) -> Self {
+        Self {
+            triples: Vec::with_capacity(n_triples),
+            n_entities,
+            n_relations,
+        }
+    }
+
+    /// Add one triple.
+    pub fn add(&mut self, t: Triple) -> &mut Self {
+        self.n_entities = self.n_entities.max(t.head.0 + 1).max(t.tail.0 + 1);
+        self.n_relations = self.n_relations.max(t.relation.0 + 1);
+        self.triples.push(t);
+        self
+    }
+
+    /// Add a triple from raw ids.
+    pub fn add_raw(&mut self, h: u32, r: u32, t: u32) -> &mut Self {
+        self.add(Triple::from_raw(h, r, t))
+    }
+
+    /// Add many triples.
+    pub fn extend(&mut self, ts: impl IntoIterator<Item = Triple>) -> &mut Self {
+        for t in ts {
+            self.add(t);
+        }
+        self
+    }
+
+    /// Number of triples currently buffered (before dedup).
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Whether no triples are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Sort, deduplicate, and index the triples.
+    pub fn build(mut self) -> TripleStore {
+        self.triples.sort_unstable();
+        self.triples.dedup();
+        TripleStore::from_unique_sorted(self.triples, self.n_entities, self.n_relations)
+    }
+}
+
+/// An immutable, fully-indexed knowledge graph.
+///
+/// Answers the paper's two query forms in O(1) expected time:
+///
+/// * triple query `SELECT ?t WHERE {h r ?t}` — [`TripleStore::tails`]
+/// * relation query `SELECT ?r WHERE {h ?r ?t}` — [`TripleStore::relations_of`]
+///
+/// plus the inverse head lookup needed for filtered link-prediction
+/// evaluation ([`TripleStore::heads`]).
+///
+/// ```
+/// use pkgm_store::{EntityId, RelationId, StoreBuilder, Triple};
+///
+/// let mut b = StoreBuilder::new();
+/// b.add_raw(0, 0, 10) // (iPhone, brandIs, Apple)
+///     .add_raw(0, 1, 11) // (iPhone, colorIs, Black)
+///     .add_raw(1, 0, 10); // (iPad, brandIs, Apple)
+/// let store = b.build();
+///
+/// // Triple query: SELECT ?t WHERE { e0 r0 ?t }
+/// assert_eq!(store.tails(EntityId(0), RelationId(0)), &[EntityId(10)]);
+/// // Relation query: SELECT ?r WHERE { e0 ?r ?t }
+/// assert_eq!(store.relations_of(EntityId(0)), &[RelationId(0), RelationId(1)]);
+/// assert!(store.contains(Triple::from_raw(1, 0, 10)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TripleStore {
+    triples: Vec<Triple>,
+    n_entities: u32,
+    n_relations: u32,
+    by_head_rel: FxHashMap<(EntityId, RelationId), Vec<EntityId>>,
+    by_tail_rel: FxHashMap<(EntityId, RelationId), Vec<EntityId>>,
+    by_head: FxHashMap<EntityId, Vec<RelationId>>,
+    relation_counts: Vec<u64>,
+}
+
+impl TripleStore {
+    /// Build from an already sorted + deduplicated triple list.
+    fn from_unique_sorted(triples: Vec<Triple>, n_entities: u32, n_relations: u32) -> Self {
+        let mut by_head_rel: FxHashMap<(EntityId, RelationId), Vec<EntityId>> =
+            FxHashMap::default();
+        let mut by_tail_rel: FxHashMap<(EntityId, RelationId), Vec<EntityId>> =
+            FxHashMap::default();
+        let mut head_rels: FxHashMap<EntityId, FxHashSet<RelationId>> = FxHashMap::default();
+        let mut relation_counts = vec![0u64; n_relations as usize];
+
+        for t in &triples {
+            by_head_rel.entry((t.head, t.relation)).or_default().push(t.tail);
+            by_tail_rel.entry((t.tail, t.relation)).or_default().push(t.head);
+            head_rels.entry(t.head).or_default().insert(t.relation);
+            relation_counts[t.relation.index()] += 1;
+        }
+        // Tail lists arrive sorted (input is sorted by (h, r, t)); head lists
+        // need sorting so `heads` supports binary search too.
+        for v in by_tail_rel.values_mut() {
+            v.sort_unstable();
+        }
+        let by_head = head_rels
+            .into_iter()
+            .map(|(h, set)| {
+                let mut v: Vec<RelationId> = set.into_iter().collect();
+                v.sort_unstable();
+                (h, v)
+            })
+            .collect();
+
+        Self {
+            triples,
+            n_entities,
+            n_relations,
+            by_head_rel,
+            by_tail_rel,
+            by_head,
+            relation_counts,
+        }
+    }
+
+    /// All triples, sorted by `(head, relation, tail)`.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Number of entities (id space size; ids are dense).
+    pub fn n_entities(&self) -> u32 {
+        self.n_entities
+    }
+
+    /// Number of relations (id space size).
+    pub fn n_relations(&self) -> u32 {
+        self.n_relations
+    }
+
+    /// Triple query: tail entities of `(h, r, ?t)`, sorted ascending.
+    pub fn tails(&self, h: EntityId, r: RelationId) -> &[EntityId] {
+        self.by_head_rel.get(&(h, r)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Inverse lookup: head entities of `(?h, r, t)`, sorted ascending.
+    pub fn heads(&self, r: RelationId, t: EntityId) -> &[EntityId] {
+        self.by_tail_rel.get(&(t, r)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Relation query: the distinct relations `h` participates in as head,
+    /// sorted ascending.
+    pub fn relations_of(&self, h: EntityId) -> &[RelationId] {
+        self.by_head.get(&h).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether the exact triple is present.
+    pub fn contains(&self, t: Triple) -> bool {
+        self.tails(t.head, t.relation).binary_search(&t.tail).is_ok()
+    }
+
+    /// Whether `h` has at least one triple with relation `r`.
+    pub fn has_relation(&self, h: EntityId, r: RelationId) -> bool {
+        self.by_head_rel.contains_key(&(h, r))
+    }
+
+    /// Total occurrences of relation `r`.
+    pub fn relation_count(&self, r: RelationId) -> u64 {
+        self.relation_counts.get(r.index()).copied().unwrap_or(0)
+    }
+
+    /// Occurrence counts for all relations, indexed by relation id.
+    pub fn relation_counts(&self) -> &[u64] {
+        &self.relation_counts
+    }
+
+    /// Distinct head entities, sorted ascending.
+    pub fn head_entities(&self) -> Vec<EntityId> {
+        let mut hs: Vec<EntityId> = self.by_head.keys().copied().collect();
+        hs.sort_unstable();
+        hs
+    }
+
+    /// Out-degree of `h` (number of triples with `h` as head).
+    pub fn out_degree(&self, h: EntityId) -> usize {
+        self.relations_of(h)
+            .iter()
+            .map(|&r| self.tails(h, r).len())
+            .sum()
+    }
+
+    /// Drop all triples whose relation occurs fewer than `min` times — the
+    /// paper's pre-training filter ("we remove the attributes with
+    /// occurrences less than 5000", §III-A) — then compact entity and
+    /// relation ids to a dense range.
+    ///
+    /// Returns the filtered store and the id remapping.
+    pub fn filter_min_occurrence(&self, min: u64) -> (TripleStore, IdRemap) {
+        self.retain_relations(|r| self.relation_count(r) >= min)
+    }
+
+    /// Keep only triples whose relation satisfies `keep`, compacting ids.
+    pub fn retain_relations(
+        &self,
+        keep: impl Fn(RelationId) -> bool,
+    ) -> (TripleStore, IdRemap) {
+        let mut relation_map: Vec<Option<u32>> = vec![None; self.n_relations as usize];
+        let mut next_r = 0u32;
+        for r in 0..self.n_relations {
+            if keep(RelationId(r)) && self.relation_counts[r as usize] > 0 {
+                relation_map[r as usize] = Some(next_r);
+                next_r += 1;
+            }
+        }
+        let mut entity_map: Vec<Option<u32>> = vec![None; self.n_entities as usize];
+        let mut next_e = 0u32;
+        let mut builder = StoreBuilder::new();
+        for t in &self.triples {
+            let Some(new_r) = relation_map[t.relation.index()] else {
+                continue;
+            };
+            let new_h = *entity_map[t.head.index()].get_or_insert_with(|| {
+                let id = next_e;
+                next_e += 1;
+                id
+            });
+            let new_t = *entity_map[t.tail.index()].get_or_insert_with(|| {
+                let id = next_e;
+                next_e += 1;
+                id
+            });
+            builder.add_raw(new_h, new_r, new_t);
+        }
+        builder.n_entities = builder.n_entities.max(next_e);
+        builder.n_relations = builder.n_relations.max(next_r);
+        (builder.build(), IdRemap { entity_map, relation_map })
+    }
+}
+
+/// Old-id → new-id mapping produced by store filtering.
+#[derive(Debug, Clone)]
+pub struct IdRemap {
+    /// `entity_map[old] = Some(new)` if the entity survived.
+    pub entity_map: Vec<Option<u32>>,
+    /// `relation_map[old] = Some(new)` if the relation survived.
+    pub relation_map: Vec<Option<u32>>,
+}
+
+impl IdRemap {
+    /// Remap an entity id, if it survived the filter.
+    pub fn entity(&self, old: EntityId) -> Option<EntityId> {
+        self.entity_map.get(old.index()).copied().flatten().map(EntityId)
+    }
+
+    /// Remap a relation id, if it survived the filter.
+    pub fn relation(&self, old: RelationId) -> Option<RelationId> {
+        self.relation_map.get(old.index()).copied().flatten().map(RelationId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> TripleStore {
+        let mut b = StoreBuilder::new();
+        // item 0: brand(0)=10, color(1)=11
+        // item 1: brand(0)=10
+        // item 2: color(1)=12, color(1)=11 (multi-valued)
+        b.add_raw(0, 0, 10)
+            .add_raw(0, 1, 11)
+            .add_raw(1, 0, 10)
+            .add_raw(2, 1, 12)
+            .add_raw(2, 1, 11)
+            .add_raw(2, 1, 11); // duplicate
+        b.build()
+    }
+
+    #[test]
+    fn builder_dedups() {
+        let s = sample_store();
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn triple_query_returns_tails() {
+        let s = sample_store();
+        assert_eq!(s.tails(EntityId(2), RelationId(1)), &[EntityId(11), EntityId(12)]);
+        assert_eq!(s.tails(EntityId(1), RelationId(1)), &[] as &[EntityId]);
+    }
+
+    #[test]
+    fn relation_query_returns_distinct_sorted_relations() {
+        let s = sample_store();
+        assert_eq!(s.relations_of(EntityId(0)), &[RelationId(0), RelationId(1)]);
+        assert_eq!(s.relations_of(EntityId(2)), &[RelationId(1)]);
+        assert_eq!(s.relations_of(EntityId(10)), &[] as &[RelationId]);
+    }
+
+    #[test]
+    fn inverse_head_lookup() {
+        let s = sample_store();
+        assert_eq!(s.heads(RelationId(0), EntityId(10)), &[EntityId(0), EntityId(1)]);
+        assert_eq!(s.heads(RelationId(1), EntityId(11)), &[EntityId(0), EntityId(2)]);
+    }
+
+    #[test]
+    fn contains_and_has_relation() {
+        let s = sample_store();
+        assert!(s.contains(Triple::from_raw(0, 0, 10)));
+        assert!(!s.contains(Triple::from_raw(0, 0, 11)));
+        assert!(s.has_relation(EntityId(2), RelationId(1)));
+        assert!(!s.has_relation(EntityId(2), RelationId(0)));
+    }
+
+    #[test]
+    fn relation_counts_match() {
+        let s = sample_store();
+        assert_eq!(s.relation_count(RelationId(0)), 2);
+        assert_eq!(s.relation_count(RelationId(1)), 3);
+        assert_eq!(s.relation_count(RelationId(99)), 0);
+    }
+
+    #[test]
+    fn out_degree_sums_tail_lists() {
+        let s = sample_store();
+        assert_eq!(s.out_degree(EntityId(2)), 2);
+        assert_eq!(s.out_degree(EntityId(0)), 2);
+        assert_eq!(s.out_degree(EntityId(42)), 0);
+    }
+
+    #[test]
+    fn min_occurrence_filter_drops_rare_relations_and_compacts() {
+        let s = sample_store();
+        let (f, remap) = s.filter_min_occurrence(3);
+        // relation 0 (count 2) dropped; relation 1 (count 3) kept as new id 0.
+        assert_eq!(f.n_relations(), 1);
+        assert_eq!(remap.relation(RelationId(1)), Some(RelationId(0)));
+        assert_eq!(remap.relation(RelationId(0)), None);
+        // item 1 only had relation 0 — gone entirely.
+        assert_eq!(remap.entity(EntityId(1)), None);
+        assert_eq!(f.len(), 3);
+        // ids are dense: every surviving triple uses ids < n_entities.
+        for t in f.triples() {
+            assert!(t.head.0 < f.n_entities());
+            assert!(t.tail.0 < f.n_entities());
+            assert!(t.relation.0 < f.n_relations());
+        }
+        // the remapped query still answers correctly
+        let new_item2 = remap.entity(EntityId(2)).unwrap();
+        let new_rel = remap.relation(RelationId(1)).unwrap();
+        assert_eq!(f.tails(new_item2, new_rel).len(), 2);
+    }
+
+    #[test]
+    fn empty_store_is_well_behaved() {
+        let s = StoreBuilder::new().build();
+        assert!(s.is_empty());
+        assert_eq!(s.n_entities(), 0);
+        assert_eq!(s.tails(EntityId(0), RelationId(0)), &[] as &[EntityId]);
+        assert!(s.head_entities().is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the triple store's structural invariants.
+
+use pkgm_store::{io, EntityId, KeyRelationSelector, RelationId, StoreBuilder, Triple};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every index agrees with the flat triple list.
+    #[test]
+    fn indexes_agree_with_triples(
+        triples in prop::collection::vec((0u32..30, 0u32..5, 0u32..30), 1..150)
+    ) {
+        let mut b = StoreBuilder::new();
+        for &(h, r, t) in &triples {
+            b.add_raw(h, r, t);
+        }
+        let store = b.build();
+        // Forward direction: every stored triple is reachable by all three
+        // access paths.
+        for t in store.triples() {
+            prop_assert!(store.tails(t.head, t.relation).contains(&t.tail));
+            prop_assert!(store.heads(t.relation, t.tail).contains(&t.head));
+            prop_assert!(store.relations_of(t.head).contains(&t.relation));
+        }
+        // Reverse direction: everything an index claims exists is a triple.
+        for h in 0..store.n_entities() {
+            for &r in store.relations_of(EntityId(h)) {
+                for &tail in store.tails(EntityId(h), r) {
+                    prop_assert!(store.contains(Triple::new(EntityId(h), r, tail)));
+                }
+            }
+        }
+    }
+
+    /// Tail and head lists are sorted (binary-searchable).
+    #[test]
+    fn index_lists_are_sorted(
+        triples in prop::collection::vec((0u32..20, 0u32..4, 0u32..20), 1..100)
+    ) {
+        let mut b = StoreBuilder::new();
+        for &(h, r, t) in &triples {
+            b.add_raw(h, r, t);
+        }
+        let store = b.build();
+        for t in store.triples() {
+            let tails = store.tails(t.head, t.relation);
+            prop_assert!(tails.windows(2).all(|w| w[0] < w[1]));
+            let heads = store.heads(t.relation, t.tail);
+            prop_assert!(heads.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// Min-occurrence filtering keeps exactly the frequent relations, with
+    /// dense compacted ids and a consistent remap.
+    #[test]
+    fn min_occurrence_filter_invariants(
+        triples in prop::collection::vec((0u32..25, 0u32..6, 25u32..40), 1..120),
+        min in 1u64..6,
+    ) {
+        let mut b = StoreBuilder::new();
+        for &(h, r, t) in &triples {
+            b.add_raw(h, r, t);
+        }
+        let store = b.build();
+        let (filtered, remap) = store.filter_min_occurrence(min);
+
+        // Every surviving relation still meets the threshold.
+        for r in 0..filtered.n_relations() {
+            prop_assert!(filtered.relation_count(RelationId(r)) >= min);
+        }
+        // Triple count is the sum over surviving relations.
+        let expect: u64 = (0..store.n_relations())
+            .filter(|&r| store.relation_count(RelationId(r)) >= min)
+            .map(|r| store.relation_count(RelationId(r)))
+            .sum();
+        prop_assert_eq!(filtered.len() as u64, expect);
+        // Remap round-trips every surviving triple.
+        for t in store.triples() {
+            match remap.relation(t.relation) {
+                Some(new_r) => {
+                    let new_h = remap.entity(t.head).expect("head survived");
+                    let new_t = remap.entity(t.tail).expect("tail survived");
+                    prop_assert!(filtered.contains(Triple::new(new_h, new_r, new_t)));
+                }
+                None => prop_assert!(store.relation_count(t.relation) < min),
+            }
+        }
+    }
+
+    /// Key-relation selection: ≤ k relations, ordered by in-category
+    /// frequency, and only relations that some item of the category has.
+    #[test]
+    fn key_relation_selector_invariants(
+        triples in prop::collection::vec((0u32..12, 0u32..6, 12u32..20), 1..80),
+        k in 1usize..5,
+    ) {
+        let mut b = StoreBuilder::new();
+        for &(h, r, t) in &triples {
+            b.add_raw(h, r, t);
+        }
+        let store = b.build();
+        // Two categories: even items in 0, odd in 1.
+        let pairs: Vec<(EntityId, u32)> =
+            (0..12).map(|i| (EntityId(i), i % 2)).collect();
+        let sel = KeyRelationSelector::build(&store, &pairs, 2, k);
+        for cat in 0..2u32 {
+            let key = sel.for_category(cat);
+            prop_assert!(key.len() <= k);
+            // Frequencies are non-increasing along the list.
+            let freq = |r: RelationId| {
+                pairs
+                    .iter()
+                    .filter(|(e, c)| *c == cat && store.has_relation(*e, r))
+                    .count()
+            };
+            for w in key.windows(2) {
+                prop_assert!(freq(w[0]) >= freq(w[1]));
+            }
+            for &r in key {
+                prop_assert!(freq(r) > 0, "selected relation no item has");
+            }
+        }
+    }
+
+    /// TSV roundtrip preserves the triple multiset for arbitrary id graphs.
+    #[test]
+    fn tsv_roundtrip_arbitrary(
+        triples in prop::collection::vec((0u32..15, 0u32..4, 0u32..15), 1..60)
+    ) {
+        let mut b = StoreBuilder::new();
+        for &(h, r, t) in &triples {
+            b.add_raw(h, r, t);
+        }
+        let store = b.build();
+        // Name everything, write, read back.
+        let mut entities = pkgm_store::Interner::new();
+        let mut relations = pkgm_store::Interner::new();
+        for e in 0..store.n_entities() {
+            entities.intern(&format!("e{e}"));
+        }
+        for r in 0..store.n_relations() {
+            relations.intern(&format!("r{r}"));
+        }
+        let mut out = Vec::new();
+        io::write_tsv(&store, &entities, &relations, &mut out).unwrap();
+        let (back, ..) = io::read_tsv(out.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), store.len());
+    }
+}

@@ -1,0 +1,226 @@
+//! Product-alignment dataset builder (paper §III-C, Tables V–VII).
+//!
+//! The paper builds three per-category datasets (skirts, hair decorations,
+//! children's socks). A sample is a pair of item titles labeled 1 if both
+//! items are the same product. Splits follow the paper's 7 : 1.5 : 1.5, and
+//! each split exists in two forms: *-C (classification pairs, balanced
+//! positives/negatives) and *-R (ranking: an aligned pair evaluated against
+//! 99 sampled negatives, Table V's Test-R/Dev-R columns).
+
+use crate::catalog::Catalog;
+use pkgm_store::EntityId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A labeled item pair (classification form).
+#[derive(Debug, Clone, Copy)]
+pub struct PairExample {
+    /// First item.
+    pub a: EntityId,
+    /// Second item.
+    pub b: EntityId,
+    /// `true` iff both items instantiate the same product.
+    pub positive: bool,
+}
+
+/// An aligned pair for ranking evaluation: rank `b` against negatives.
+#[derive(Debug, Clone, Copy)]
+pub struct RankExample {
+    /// Query item.
+    pub a: EntityId,
+    /// True aligned item.
+    pub b: EntityId,
+}
+
+/// One category's alignment dataset.
+#[derive(Debug, Clone)]
+pub struct AlignmentDataset {
+    /// Source category.
+    pub category: u32,
+    /// Training pairs (balanced).
+    pub train: Vec<PairExample>,
+    /// Classification test pairs.
+    pub test_c: Vec<PairExample>,
+    /// Classification dev pairs.
+    pub dev_c: Vec<PairExample>,
+    /// Ranking test pairs.
+    pub test_r: Vec<RankExample>,
+    /// Ranking dev pairs.
+    pub dev_r: Vec<RankExample>,
+    /// All items of the category (negative pool for ranking).
+    pub item_pool: Vec<EntityId>,
+}
+
+impl AlignmentDataset {
+    /// Build the dataset for `category`.
+    ///
+    /// Positive pairs are all within-product pairs; each positive is matched
+    /// with a negative (same category, different product), giving the paper's
+    /// 1:1 balance. Pairs are split 70/15/15; ranking sets reuse the
+    /// held-out positives.
+    pub fn build(catalog: &Catalog, category: u32, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xA119_0000 ^ category as u64);
+        let items: Vec<&crate::catalog::ItemMeta> = catalog
+            .items
+            .iter()
+            .filter(|m| m.category == category)
+            .collect();
+        let item_pool: Vec<EntityId> = items.iter().map(|m| m.entity).collect();
+
+        // All within-product pairs.
+        let mut positives: Vec<(EntityId, EntityId)> = Vec::new();
+        let mut by_product: std::collections::BTreeMap<u32, Vec<EntityId>> = Default::default();
+        for m in &items {
+            by_product.entry(m.product).or_default().push(m.entity);
+        }
+        for group in by_product.values() {
+            for i in 0..group.len() {
+                for j in i + 1..group.len() {
+                    positives.push((group[i], group[j]));
+                }
+            }
+        }
+        positives.shuffle(&mut rng);
+
+        // One negative per positive: same category, different product.
+        let product_of = |e: EntityId| catalog.items[e.index()].product;
+        let mut pairs: Vec<PairExample> = Vec::with_capacity(positives.len() * 2);
+        for &(a, b) in &positives {
+            pairs.push(PairExample { a, b, positive: true });
+            // rejection-sample a cross-product partner
+            loop {
+                let c = item_pool[rng.gen_range(0..item_pool.len())];
+                if product_of(c) != product_of(a) {
+                    pairs.push(PairExample { a, b: c, positive: false });
+                    break;
+                }
+            }
+        }
+        pairs.shuffle(&mut rng);
+
+        let n = pairs.len();
+        let n_train = (n * 70) / 100;
+        let n_test = (n * 15) / 100;
+        let train: Vec<PairExample> = pairs[..n_train].to_vec();
+        let test_c: Vec<PairExample> = pairs[n_train..n_train + n_test].to_vec();
+        let dev_c: Vec<PairExample> = pairs[n_train + n_test..].to_vec();
+
+        // Ranking sets: the positives of the held-out splits.
+        let rank = |split: &[PairExample]| {
+            split
+                .iter()
+                .filter(|p| p.positive)
+                .map(|p| RankExample { a: p.a, b: p.b })
+                .collect::<Vec<_>>()
+        };
+        let test_r = rank(&test_c);
+        let dev_r = rank(&dev_c);
+
+        Self { category, train, test_c, dev_c, test_r, dev_r, item_pool }
+    }
+
+    /// Sample `n` ranking negatives for `query`, excluding its own product.
+    pub fn sample_negatives(
+        &self,
+        catalog: &Catalog,
+        query: EntityId,
+        n: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<EntityId> {
+        let product = catalog.items[query.index()].product;
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let c = self.item_pool[rng.gen_range(0..self.item_pool.len())];
+            if catalog.items[c.index()].product != product {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// Table-V style row.
+    pub fn table_row(&self, label: &str) -> String {
+        format!(
+            "| {label} | {} | {} | {} | {} | {} |",
+            self.train.len(),
+            self.test_c.len(),
+            self.dev_c.len(),
+            self.test_r.len(),
+            self.dev_r.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CatalogConfig;
+
+    fn dataset() -> (Catalog, AlignmentDataset) {
+        let catalog = Catalog::generate(&CatalogConfig::tiny(4));
+        let d = AlignmentDataset::build(&catalog, 0, 1);
+        (catalog, d)
+    }
+
+    #[test]
+    fn pairs_are_balanced_and_within_category() {
+        let (catalog, d) = dataset();
+        let all: Vec<&PairExample> =
+            d.train.iter().chain(&d.test_c).chain(&d.dev_c).collect();
+        let pos = all.iter().filter(|p| p.positive).count();
+        assert_eq!(pos * 2, all.len(), "positives and negatives must be 1:1");
+        for p in all {
+            assert_eq!(catalog.items[p.a.index()].category, 0);
+            assert_eq!(catalog.items[p.b.index()].category, 0);
+        }
+    }
+
+    #[test]
+    fn labels_match_product_identity() {
+        let (catalog, d) = dataset();
+        for p in d.train.iter().chain(&d.test_c).chain(&d.dev_c) {
+            let same = catalog.items[p.a.index()].product == catalog.items[p.b.index()].product;
+            assert_eq!(same, p.positive);
+        }
+    }
+
+    #[test]
+    fn split_is_roughly_70_15_15() {
+        let (_, d) = dataset();
+        let n = (d.train.len() + d.test_c.len() + d.dev_c.len()) as f64;
+        assert!((d.train.len() as f64 / n - 0.70).abs() < 0.05);
+    }
+
+    #[test]
+    fn ranking_sets_are_the_heldout_positives() {
+        let (_, d) = dataset();
+        assert_eq!(d.test_r.len(), d.test_c.iter().filter(|p| p.positive).count());
+        assert_eq!(d.dev_r.len(), d.dev_c.iter().filter(|p| p.positive).count());
+    }
+
+    #[test]
+    fn negatives_exclude_same_product() {
+        let (catalog, d) = dataset();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let q = d.test_r.first().map(|r| r.a).unwrap_or(d.item_pool[0]);
+        let negs = d.sample_negatives(&catalog, q, 20, &mut rng);
+        assert_eq!(negs.len(), 20);
+        for neg in negs {
+            assert_ne!(
+                catalog.items[neg.index()].product,
+                catalog.items[q.index()].product
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let catalog = Catalog::generate(&CatalogConfig::tiny(4));
+        let a = AlignmentDataset::build(&catalog, 1, 5);
+        let b = AlignmentDataset::build(&catalog, 1, 5);
+        assert_eq!(a.train.len(), b.train.len());
+        assert_eq!(a.train[0].a, b.train[0].a);
+        assert_eq!(a.train[0].positive, b.train[0].positive);
+    }
+}

@@ -1,0 +1,321 @@
+//! Catalog generation: products, items, triples, titles.
+
+use crate::config::CatalogConfig;
+use crate::schema::Schema;
+use crate::words;
+use pkgm_store::{EntityId, Interner, KeyRelationSelector, StoreBuilder, Triple, TripleStore};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Zipf};
+
+/// Metadata of one generated item.
+#[derive(Debug, Clone)]
+pub struct ItemMeta {
+    /// Entity id in the KG (items occupy ids `0..n_items`).
+    pub entity: EntityId,
+    /// Category id in `0..n_categories`.
+    pub category: u32,
+    /// Global product id; items of the same product are "the same product"
+    /// in the alignment sense.
+    pub product: u32,
+    /// Title tokens (attribute words + noise).
+    pub title: Vec<String>,
+}
+
+/// The generated world: knowledge graph + item metadata + ground truth.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    /// The product knowledge graph (with incompleteness applied).
+    pub store: TripleStore,
+    /// Entity names (`item:<n>` and `<prop>:<valueword>`).
+    pub entities: Interner,
+    /// Relation names (property names from the schema).
+    pub relations: Interner,
+    /// One entry per item, indexed by item entity id.
+    pub items: Vec<ItemMeta>,
+    /// Number of categories.
+    pub n_categories: usize,
+    /// Triples removed from the KG but true in the world — the completion
+    /// evaluation set ("should exist" facts).
+    pub heldout: Vec<Triple>,
+    /// Per-product canonical value choice: `product_values[product][slot] =
+    /// value index` for the category's property slot.
+    product_values: Vec<Vec<usize>>,
+    /// Property ids per category (copied from the schema).
+    category_props: Vec<Vec<usize>>,
+}
+
+impl Catalog {
+    /// Generate a world from a config. Deterministic given `cfg.seed`.
+    pub fn generate(cfg: &CatalogConfig) -> Catalog {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let schema = Schema::generate(cfg, &mut rng);
+
+        let mut entities = Interner::new();
+        let mut relations = Interner::new();
+        for name in &schema.prop_names {
+            relations.intern(name);
+        }
+
+        let n_items = cfg.n_items();
+        // Items claim the low entity ids so item embeddings are a prefix.
+        for i in 0..n_items {
+            entities.intern(&format!("item:{i}"));
+        }
+
+        // Zipf sampler over value indices (1-based in rand_distr).
+        let zipf = Zipf::new(cfg.values_per_prop as u64, cfg.value_zipf_exponent)
+            .expect("valid zipf parameters");
+
+        // Products: canonical attribute values + base titles.
+        let n_products = cfg.n_products();
+        let mut product_values: Vec<Vec<usize>> = Vec::with_capacity(n_products);
+        let mut product_titles: Vec<Vec<String>> = Vec::with_capacity(n_products);
+        for product in 0..n_products {
+            let cat = product / cfg.products_per_category;
+            let props = &schema.category_props[cat];
+            let mut vals = Vec::with_capacity(props.len());
+            let mut title = vec![words::category_word(cat)];
+            for &p in props {
+                let v = (zipf.sample(&mut rng) as usize - 1).min(cfg.values_per_prop - 1);
+                vals.push(v);
+                title.push(schema.values[p][v].clone());
+            }
+            let _ = product;
+            product_values.push(vals);
+            product_titles.push(title);
+        }
+
+        // Items: instantiate products, apply incompleteness, build titles.
+        let mut builder = StoreBuilder::new();
+        let mut items = Vec::with_capacity(n_items);
+        let mut heldout = Vec::new();
+        let mut item_id = 0u32;
+        let mut prev_item_of_product: Option<u32> = None;
+        let mut last_product = usize::MAX;
+        for product in 0..n_products {
+            let cat = product / cfg.products_per_category;
+            let props = schema.category_props[cat].clone();
+            if product != last_product {
+                prev_item_of_product = None;
+                last_product = product;
+            }
+            for _ in 0..cfg.items_per_product {
+                let entity = EntityId(item_id);
+                // Attribute triples.
+                for (slot, &p) in props.iter().enumerate() {
+                    let v = product_values[product][slot];
+                    let value_name = format!("{}:{}", schema.prop_names[p], schema.values[p][v]);
+                    let value_entity = entities.intern(&value_name);
+                    let triple = Triple::from_raw(item_id, p as u32, value_entity);
+                    let roll: f64 = rng.gen();
+                    if roll < cfg.attr_dropout {
+                        // silently missing — nobody knows
+                    } else if roll < cfg.attr_dropout + cfg.heldout_rate {
+                        heldout.push(triple);
+                    } else {
+                        builder.add(triple);
+                    }
+                }
+                // Inter-item relation to the previous sibling.
+                if let (Some(rel), Some(prev)) = (schema.item_relation, prev_item_of_product) {
+                    if rng.gen_bool(cfg.item_relation_rate) {
+                        builder.add_raw(item_id, rel as u32, prev);
+                    }
+                }
+                // Title: product words with dropout + noise.
+                let mut title: Vec<String> = product_titles[product]
+                    .iter()
+                    .filter(|_| !rng.gen_bool(cfg.title_word_dropout))
+                    .cloned()
+                    .collect();
+                if title.is_empty() {
+                    title.push(words::category_word(cat));
+                }
+                for _ in 0..cfg.title_noise_words {
+                    title.push(words::noise_word(rng.gen_range(0..500)));
+                }
+                items.push(ItemMeta {
+                    entity,
+                    category: cat as u32,
+                    product: product as u32,
+                    title,
+                });
+                prev_item_of_product = Some(item_id);
+                item_id += 1;
+            }
+        }
+
+        // Make the id spaces cover interned names even if some never
+        // appeared in a surviving triple.
+        let mut store = builder.build();
+        if (store.n_entities() as usize) < entities.len()
+            || (store.n_relations() as usize) < relations.len()
+        {
+            let mut b = StoreBuilder::with_capacity_hint(
+                store.len(),
+                entities.len() as u32,
+                relations.len() as u32,
+            );
+            b.extend(store.triples().iter().copied());
+            store = b.build();
+        }
+
+        Catalog {
+            store,
+            entities,
+            relations,
+            items,
+            n_categories: cfg.n_categories,
+            heldout,
+            product_values,
+            category_props: schema.category_props,
+        }
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `(item, category)` pairs for [`KeyRelationSelector::build`].
+    pub fn item_category_pairs(&self) -> Vec<(EntityId, u32)> {
+        self.items.iter().map(|m| (m.entity, m.category)).collect()
+    }
+
+    /// Build the paper's key-relation selector (top-`k` properties per
+    /// category) over this catalog.
+    pub fn key_relation_selector(&self, k: usize) -> KeyRelationSelector {
+        KeyRelationSelector::build(
+            &self.store,
+            &self.item_category_pairs(),
+            self.n_categories,
+            k,
+        )
+    }
+
+    /// Items grouped by product id (each group is a same-product cluster).
+    pub fn product_groups(&self) -> Vec<Vec<&ItemMeta>> {
+        let n_products = self.product_values.len();
+        let mut groups: Vec<Vec<&ItemMeta>> = vec![Vec::new(); n_products];
+        for m in &self.items {
+            groups[m.product as usize].push(m);
+        }
+        groups
+    }
+
+    /// The property ids characteristic of `category`.
+    pub fn category_props(&self, category: u32) -> &[usize] {
+        &self.category_props[category as usize]
+    }
+
+    /// The canonical value index a product assigns to its `slot`-th property.
+    pub fn product_value(&self, product: u32, slot: usize) -> usize {
+        self.product_values[product as usize][slot]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgm_store::KgStats;
+
+    fn catalog() -> Catalog {
+        Catalog::generate(&CatalogConfig::tiny(5))
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let c = catalog();
+        let cfg = CatalogConfig::tiny(5);
+        assert_eq!(c.n_items(), cfg.n_items());
+        assert_eq!(c.items.len(), 60);
+        // Items occupy the low entity ids.
+        for (i, m) in c.items.iter().enumerate() {
+            assert_eq!(m.entity, EntityId(i as u32));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Catalog::generate(&CatalogConfig::tiny(9));
+        let b = Catalog::generate(&CatalogConfig::tiny(9));
+        assert_eq!(a.store.triples(), b.store.triples());
+        assert_eq!(a.heldout, b.heldout);
+        assert_eq!(a.items[7].title, b.items[7].title);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Catalog::generate(&CatalogConfig::tiny(1));
+        let b = Catalog::generate(&CatalogConfig::tiny(2));
+        assert_ne!(a.store.triples(), b.store.triples());
+    }
+
+    #[test]
+    fn heldout_triples_are_not_in_store() {
+        let c = catalog();
+        assert!(!c.heldout.is_empty());
+        for t in &c.heldout {
+            assert!(!c.store.contains(*t), "held-out triple {t} leaked into the KG");
+        }
+    }
+
+    #[test]
+    fn same_product_items_share_attribute_values() {
+        let c = catalog();
+        let groups = c.product_groups();
+        let group = &groups[0];
+        assert_eq!(group.len(), 3);
+        // Where both items have a triple for the same relation, tails agree.
+        let a = group[0].entity;
+        let b = group[1].entity;
+        for &r in c.store.relations_of(a) {
+            let ta = c.store.tails(a, pkgm_store::RelationId(r.0));
+            let tb = c.store.tails(b, pkgm_store::RelationId(r.0));
+            if r.0 as usize > c.category_props(0).len() {
+                continue; // item-item relation
+            }
+            if !ta.is_empty() && !tb.is_empty() && c.relations.name(r.0) != Some("sameSeriesAs")
+            {
+                assert_eq!(ta, tb, "product attribute mismatch on relation {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn titles_contain_category_word() {
+        let c = catalog();
+        for m in c.items.iter().take(20) {
+            assert!(!m.title.is_empty());
+        }
+        // Most titles should contain their category word (dropout may remove
+        // a few).
+        let hits = c
+            .items
+            .iter()
+            .filter(|m| m.title.contains(&words::category_word(m.category as usize)))
+            .count();
+        assert!(hits > c.items.len() / 2, "only {hits} titles kept the category word");
+    }
+
+    #[test]
+    fn stats_look_sane() {
+        let c = catalog();
+        let stats = KgStats::of(&c.store);
+        assert!(stats.n_triples > 100);
+        assert!(stats.n_items <= c.n_items());
+        assert!(stats.n_entities > c.n_items());
+        assert!(stats.n_relations >= 6);
+    }
+
+    #[test]
+    fn key_relation_selector_covers_categories() {
+        let c = catalog();
+        let sel = c.key_relation_selector(4);
+        for cat in 0..c.n_categories as u32 {
+            assert!(!sel.for_category(cat).is_empty());
+            assert!(sel.for_category(cat).len() <= 4);
+        }
+    }
+}

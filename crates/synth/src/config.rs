@@ -1,0 +1,146 @@
+//! Catalog generation parameters and presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic product world.
+///
+/// Scale presets keep the *ratios* of the paper's data (items ≫ products,
+/// ~10 properties per item, hundreds of relations) while letting tests run in
+/// milliseconds and benches in seconds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CatalogConfig {
+    /// RNG seed; equal configs generate identical worlds.
+    pub seed: u64,
+    /// Number of item categories.
+    pub n_categories: usize,
+    /// Number of distinct products per category.
+    pub products_per_category: usize,
+    /// Items instantiating each product (same-product groups for alignment).
+    pub items_per_product: usize,
+    /// Properties characteristic of each category (paper's key-relation k is
+    /// 10, so ≥ 10 keeps selection non-degenerate).
+    pub props_per_category: usize,
+    /// Globally shared properties (brand, color, …) included in every
+    /// category's property set.
+    pub n_shared_props: usize,
+    /// Distinct values per property.
+    pub values_per_prop: usize,
+    /// Zipf exponent for value popularity within a property (1.0 ≈ natural
+    /// long tail).
+    pub value_zipf_exponent: f64,
+    /// Probability that an item's attribute triple is silently missing from
+    /// the KG (never recorded anywhere) — seller laziness.
+    pub attr_dropout: f64,
+    /// Probability that an item's attribute triple is removed from the KG but
+    /// recorded as ground truth — the completion evaluation set.
+    pub heldout_rate: f64,
+    /// Probability of adding a `sameBrandAs`-style item-item relation triple
+    /// between consecutive items of a product (exercises `R'`, the paper's
+    /// inter-item relation set).
+    pub item_relation_rate: f64,
+    /// Noise words appended to each item title.
+    pub title_noise_words: usize,
+    /// Probability of dropping an attribute word from an item's title
+    /// (titles are informative but imperfect).
+    pub title_word_dropout: f64,
+}
+
+impl CatalogConfig {
+    /// Milliseconds-fast world for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            seed,
+            n_categories: 4,
+            products_per_category: 5,
+            items_per_product: 3,
+            props_per_category: 6,
+            n_shared_props: 3,
+            values_per_prop: 8,
+            value_zipf_exponent: 1.0,
+            attr_dropout: 0.1,
+            heldout_rate: 0.05,
+            item_relation_rate: 0.2,
+            title_noise_words: 2,
+            title_word_dropout: 0.1,
+        }
+    }
+
+    /// Default scale for examples and quick experiments (~10k items).
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            n_categories: 40,
+            products_per_category: 25,
+            items_per_product: 10,
+            props_per_category: 12,
+            n_shared_props: 6,
+            values_per_prop: 30,
+            value_zipf_exponent: 1.0,
+            attr_dropout: 0.12,
+            heldout_rate: 0.05,
+            item_relation_rate: 0.1,
+            title_noise_words: 3,
+            title_word_dropout: 0.15,
+        }
+    }
+
+    /// Bench scale used by the table-reproduction harness (~100k items,
+    /// ~1M triples); a scaled-down PKG-sub with the same shape as Table II.
+    pub fn bench(seed: u64) -> Self {
+        Self {
+            seed,
+            n_categories: 120,
+            products_per_category: 80,
+            items_per_product: 10,
+            props_per_category: 14,
+            n_shared_props: 8,
+            values_per_prop: 60,
+            value_zipf_exponent: 1.05,
+            attr_dropout: 0.12,
+            heldout_rate: 0.04,
+            item_relation_rate: 0.08,
+            title_noise_words: 3,
+            title_word_dropout: 0.15,
+        }
+    }
+
+    /// Total number of items this config will generate.
+    pub fn n_items(&self) -> usize {
+        self.n_categories * self.products_per_category * self.items_per_product
+    }
+
+    /// Total number of products.
+    pub fn n_products(&self) -> usize {
+        self.n_categories * self.products_per_category
+    }
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        Self::small(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_consistent_counts() {
+        let c = CatalogConfig::tiny(1);
+        assert_eq!(c.n_products(), 20);
+        assert_eq!(c.n_items(), 60);
+        assert!(c.props_per_category >= c.n_shared_props);
+        let c = CatalogConfig::bench(1);
+        assert_eq!(c.n_items(), 96_000);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = CatalogConfig::tiny(3);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CatalogConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.seed, 3);
+        assert_eq!(back.n_categories, c.n_categories);
+    }
+}

@@ -1,0 +1,42 @@
+//! # pkgm-synth — synthetic e-commerce product world
+//!
+//! The paper pre-trains on a proprietary sub-graph of Alibaba's product KG
+//! (142.6M items, 426 relations, 1.37B triples — Table II) and evaluates on
+//! proprietary Taobao datasets (item titles + categories, same-product pairs,
+//! click logs). None of that data is public, so this crate builds the closest
+//! synthetic equivalent with the *structural* properties PKGM actually relies
+//! on:
+//!
+//! * a category-clustered attribute schema: every category has its own
+//!   characteristic property set (a mix of globally shared properties such as
+//!   `brandIs` and category-specific ones), which is exactly what makes the
+//!   paper's per-category *key relation* selection meaningful;
+//! * long-tail (Zipf) value popularity within each property;
+//! * a **product → item** hierarchy: several items instantiate the same
+//!   product (same attribute values, paraphrased titles) — the ground truth
+//!   for the alignment task;
+//! * **controllable incompleteness**: attribute triples are dropped from the
+//!   KG at a configurable rate and recorded as a held-out ground-truth set,
+//!   so the paper's "completion during servicing" claim is testable;
+//! * item titles generated from attribute words plus noise, so titles are
+//!   predictive of category/product but imperfect — leaving headroom for
+//!   knowledge features, as in the paper;
+//! * a latent-preference user simulator whose interactions are *driven by
+//!   item attributes stored in the KG*, giving NCF+PKGM the same causal
+//!   signal the paper exploits.
+//!
+//! Everything is deterministic given the config's seed.
+
+pub mod alignment;
+pub mod catalog;
+pub mod classification;
+pub mod config;
+pub mod interactions;
+pub mod schema;
+pub mod words;
+
+pub use alignment::{AlignmentDataset, PairExample, RankExample};
+pub use catalog::{Catalog, ItemMeta};
+pub use classification::{ClassificationDataset, ClsExample};
+pub use config::CatalogConfig;
+pub use interactions::{InteractionConfig, InteractionData};

@@ -1,0 +1,137 @@
+//! The attribute schema: which properties apply to which category, and the
+//! value vocabulary of each property.
+
+use crate::config::CatalogConfig;
+use crate::words;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Names of the globally shared property pool; extended with generated names
+/// when a config asks for more shared properties than listed here.
+const SHARED_PROP_NAMES: [&str; 8] = [
+    "brandIs", "colorIs", "materialIs", "styleIs", "originIs", "seasonIs", "sizeIs", "weightIs",
+];
+
+/// The generated schema: properties (relations), their value vocabularies,
+/// and per-category property sets.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    /// Property names, indexed by property id (= relation id in the KG).
+    pub prop_names: Vec<String>,
+    /// `values[prop] = value-word list` (value vocabulary of the property).
+    pub values: Vec<Vec<String>>,
+    /// `category_props[cat] = property ids` applicable to that category:
+    /// shared properties first, then category-specific ones.
+    pub category_props: Vec<Vec<usize>>,
+    /// Id of the item-item relation (`sameSeriesAs`), if enabled.
+    pub item_relation: Option<usize>,
+}
+
+impl Schema {
+    /// Generate the schema for a config.
+    pub fn generate(cfg: &CatalogConfig, rng: &mut impl Rng) -> Self {
+        assert!(
+            cfg.props_per_category >= cfg.n_shared_props,
+            "props_per_category must cover the shared properties"
+        );
+        let mut prop_names: Vec<String> = Vec::new();
+        // Shared properties.
+        for i in 0..cfg.n_shared_props {
+            let name = SHARED_PROP_NAMES
+                .get(i)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| format!("sharedProp{}Is", i));
+            prop_names.push(name);
+        }
+        // Category-specific properties.
+        let specific_per_cat = cfg.props_per_category - cfg.n_shared_props;
+        let mut category_props: Vec<Vec<usize>> = Vec::with_capacity(cfg.n_categories);
+        for cat in 0..cfg.n_categories {
+            let mut props: Vec<usize> = (0..cfg.n_shared_props).collect();
+            for j in 0..specific_per_cat {
+                let id = prop_names.len();
+                prop_names.push(format!("cat{cat}Prop{j}Is"));
+                props.push(id);
+            }
+            category_props.push(props);
+        }
+        // Optional inter-item relation.
+        let item_relation = if cfg.item_relation_rate > 0.0 {
+            let id = prop_names.len();
+            prop_names.push("sameSeriesAs".to_string());
+            Some(id)
+        } else {
+            None
+        };
+        // Value vocabularies. Shuffle per property so "value 0" isn't the
+        // most popular one in every property.
+        let n_props = prop_names.len();
+        let mut values = Vec::with_capacity(n_props);
+        for p in 0..n_props {
+            let mut v: Vec<String> =
+                (0..cfg.values_per_prop).map(|i| words::value_word(p, i)).collect();
+            v.shuffle(rng);
+            values.push(v);
+        }
+        Self { prop_names, values, category_props, item_relation }
+    }
+
+    /// Total number of properties (relations) including the item relation.
+    pub fn n_props(&self) -> usize {
+        self.prop_names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::generate(&CatalogConfig::tiny(11), &mut SmallRng::seed_from_u64(11))
+    }
+
+    #[test]
+    fn shared_props_appear_in_every_category() {
+        let s = schema();
+        for props in &s.category_props {
+            for shared in 0..3 {
+                assert!(props.contains(&shared));
+            }
+            assert_eq!(props.len(), 6);
+        }
+    }
+
+    #[test]
+    fn specific_props_are_disjoint_across_categories() {
+        let s = schema();
+        let a: Vec<usize> = s.category_props[0][3..].to_vec();
+        let b: Vec<usize> = s.category_props[1][3..].to_vec();
+        assert!(a.iter().all(|p| !b.contains(p)));
+    }
+
+    #[test]
+    fn every_property_has_full_value_vocab() {
+        let s = schema();
+        assert_eq!(s.values.len(), s.n_props());
+        for v in &s.values {
+            assert_eq!(v.len(), 8);
+        }
+    }
+
+    #[test]
+    fn item_relation_is_last_property() {
+        let s = schema();
+        assert_eq!(s.item_relation, Some(s.n_props() - 1));
+        assert_eq!(s.prop_names.last().unwrap(), "sameSeriesAs");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = schema();
+        let b = schema();
+        assert_eq!(a.prop_names, b.prop_names);
+        assert_eq!(a.values, b.values);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the synthetic world's guarantees — downstream tasks
+//! lean on these invariants, so they are pinned here.
+
+use pkgm_store::EntityId;
+use pkgm_synth::{
+    AlignmentDataset, Catalog, CatalogConfig, ClassificationDataset, InteractionConfig,
+    InteractionData,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Items of the same product never disagree on a stored attribute value.
+    #[test]
+    fn same_product_attribute_consistency(seed in 0u64..40) {
+        let catalog = Catalog::generate(&CatalogConfig::tiny(seed));
+        for group in catalog.product_groups() {
+            for pair in group.windows(2) {
+                let (a, b) = (pair[0].entity, pair[1].entity);
+                for &r in catalog.store.relations_of(a) {
+                    if catalog.relations.name(r.0) == Some("sameSeriesAs") {
+                        continue;
+                    }
+                    let ta = catalog.store.tails(a, r);
+                    let tb = catalog.store.tails(b, r);
+                    if !ta.is_empty() && !tb.is_empty() {
+                        prop_assert_eq!(ta, tb);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Classification labels match the items' catalog categories, and no
+    /// example leaks across splits.
+    #[test]
+    fn classification_split_hygiene(seed in 0u64..40) {
+        let catalog = Catalog::generate(&CatalogConfig::tiny(seed));
+        let d = ClassificationDataset::build(&catalog, 100, seed);
+        let mut seen = std::collections::HashSet::new();
+        for ex in d.train.iter().chain(&d.test).chain(&d.dev) {
+            prop_assert_eq!(ex.label, catalog.items[ex.item.index()].category);
+            prop_assert!(seen.insert(ex.item), "item {:?} in two splits", ex.item);
+        }
+    }
+
+    /// Alignment pair labels always match product identity; ranking queries
+    /// are within-category.
+    #[test]
+    fn alignment_label_soundness(seed in 0u64..30, category in 0u32..4) {
+        let catalog = Catalog::generate(&CatalogConfig::tiny(seed));
+        let d = AlignmentDataset::build(&catalog, category, seed);
+        for p in d.train.iter().chain(&d.test_c).chain(&d.dev_c) {
+            let same =
+                catalog.items[p.a.index()].product == catalog.items[p.b.index()].product;
+            prop_assert_eq!(p.positive, same);
+        }
+        for q in d.test_r.iter().chain(&d.dev_r) {
+            prop_assert_eq!(catalog.items[q.a.index()].category, category);
+            prop_assert_eq!(
+                catalog.items[q.a.index()].product,
+                catalog.items[q.b.index()].product
+            );
+        }
+    }
+
+    /// Interaction splits: exactly one test + one val interaction per user,
+    /// never overlapping train, and all item ids in range.
+    #[test]
+    fn interaction_split_hygiene(seed in 0u64..30) {
+        let catalog = Catalog::generate(&CatalogConfig::tiny(seed));
+        let cfg = InteractionConfig::tiny(seed);
+        let d = InteractionData::generate(&catalog, &cfg);
+        prop_assert_eq!(d.test.len(), d.n_users);
+        prop_assert_eq!(d.val.len(), d.n_users);
+        for &(u, i) in d.test.iter().chain(&d.val) {
+            prop_assert!(!d.seen_in_train(u, i));
+            prop_assert!((i as usize) < d.n_items);
+        }
+        // users interact mostly within their preferred categories: every
+        // user's train items span at most max_categories_per_user categories.
+        for (u, items) in d.user_train_items.iter().enumerate() {
+            let cats: std::collections::HashSet<u32> = items
+                .iter()
+                .map(|&i| catalog.items[i as usize].category)
+                .collect();
+            prop_assert!(
+                cats.len() <= cfg.max_categories_per_user,
+                "user {u} spans {} categories",
+                cats.len()
+            );
+        }
+    }
+
+    /// Entity id layout: items occupy a dense prefix `0..n_items`.
+    #[test]
+    fn items_occupy_id_prefix(seed in 0u64..40) {
+        let catalog = Catalog::generate(&CatalogConfig::tiny(seed));
+        for (i, m) in catalog.items.iter().enumerate() {
+            prop_assert_eq!(m.entity, EntityId(i as u32));
+        }
+        // value entities come after
+        for t in catalog.store.triples() {
+            if catalog.relations.name(t.relation.0) != Some("sameSeriesAs") {
+                prop_assert!(t.tail.index() >= catalog.n_items()
+                    || t.tail.index() < catalog.n_items() && t.head.index() < catalog.n_items());
+            }
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Item classification (paper §III-B, Fig. 4, Table IV).
+//!
+//! Titles are encoded with the Transformer; the `[CLS]` representation feeds
+//! a linear softmax head over categories (Eq. 10). PKGM variants append the
+//! item's service vectors to the input embedding sequence exactly as Fig. 4
+//! shows; service vectors stay fixed while the encoder fine-tunes.
+
+use crate::metrics;
+use crate::variant::PkgmVariant;
+use pkgm_core::KnowledgeService;
+use pkgm_synth::{ClassificationDataset, ClsExample};
+use pkgm_tensor::{init, AdamOpt, Graph, ParamId, Params};
+use pkgm_text::{EncoderConfig, TextEncoder, Vocab};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Fine-tuning hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassifierTrainConfig {
+    /// Epochs over the training split (paper: 3).
+    pub epochs: usize,
+    /// Minibatch size (paper: 32).
+    pub batch_size: usize,
+    /// Adam learning rate (paper: 2e-5 for BERT; our small encoder trains
+    /// from a shallower start, so the default is higher).
+    pub lr: f32,
+    /// Maximum sequence length including `[CLS]`/`[SEP]` and service rows.
+    pub max_len: usize,
+    /// Seed for shuffling, dropout, and head init.
+    pub seed: u64,
+    /// Encoder depth/width; `None` uses [`EncoderConfig::small`] with the
+    /// built vocab.
+    pub encoder: Option<EncoderConfig>,
+}
+
+impl Default for ClassifierTrainConfig {
+    fn default() -> Self {
+        Self { epochs: 3, batch_size: 32, lr: 1e-3, max_len: 64, seed: 0, encoder: None }
+    }
+}
+
+/// Classification metrics in the shape of Table IV.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassifierMetrics {
+    /// Hit@1 (= top-1 accuracy over the ranked labels), percent.
+    pub hit1: f64,
+    /// Hit@3, percent.
+    pub hit3: f64,
+    /// Hit@10, percent.
+    pub hit10: f64,
+    /// Prediction accuracy (argmax), percent.
+    pub accuracy: f64,
+    /// Examples evaluated.
+    pub n: usize,
+}
+
+/// A trained item classifier.
+pub struct ItemClassifier {
+    /// Which knowledge features the model consumes.
+    pub variant: PkgmVariant,
+    vocab: Vocab,
+    encoder: TextEncoder,
+    params: Params,
+    head: ParamId,
+    head_b: ParamId,
+    max_len: usize,
+    service: Option<KnowledgeService>,
+    /// Mean training loss per epoch, for convergence inspection.
+    pub epoch_losses: Vec<f32>,
+}
+
+impl ItemClassifier {
+    /// Train a classifier on the dataset's training split.
+    ///
+    /// `service` must be `Some` for PKGM variants; its dimension must match
+    /// the encoder hidden width (the paper appends 64-dim service vectors
+    /// directly, so we keep hidden = d).
+    pub fn train(
+        dataset: &ClassificationDataset,
+        service: Option<KnowledgeService>,
+        variant: PkgmVariant,
+        cfg: &ClassifierTrainConfig,
+    ) -> Self {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xC1A5);
+        let vocab = Vocab::build(dataset.train.iter().map(|e| e.title.as_slice()), 1);
+        let enc_cfg = cfg
+            .encoder
+            .clone()
+            .unwrap_or_else(|| EncoderConfig::small(vocab.len()));
+        let mut params = Params::new();
+        let encoder = TextEncoder::new(enc_cfg, &mut params, &mut rng);
+        Self::from_parts(vocab, params, encoder, dataset, service, variant, cfg, rng)
+    }
+
+    /// Fine-tune from a pre-trained text backbone (the paper's setting: a
+    /// pre-trained language model is the starting point for every task).
+    /// The backbone's parameters are cloned, so one backbone can seed many
+    /// task models.
+    pub fn train_with_backbone(
+        dataset: &ClassificationDataset,
+        backbone: &pkgm_text::Backbone,
+        service: Option<KnowledgeService>,
+        variant: PkgmVariant,
+        cfg: &ClassifierTrainConfig,
+    ) -> Self {
+        let rng = SmallRng::seed_from_u64(cfg.seed ^ 0xC1A5);
+        Self::from_parts(
+            backbone.vocab.clone(),
+            backbone.params.clone(),
+            backbone.encoder.clone(),
+            dataset,
+            service,
+            variant,
+            cfg,
+            rng,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn from_parts(
+        vocab: Vocab,
+        mut params: Params,
+        encoder: TextEncoder,
+        dataset: &ClassificationDataset,
+        service: Option<KnowledgeService>,
+        variant: PkgmVariant,
+        cfg: &ClassifierTrainConfig,
+        mut rng: SmallRng,
+    ) -> Self {
+        assert!(
+            !variant.uses_service() || service.is_some(),
+            "{variant:?} requires a KnowledgeService"
+        );
+        if let (true, Some(svc)) = (variant.uses_service(), service.as_ref()) {
+            assert_eq!(
+                svc.dim(),
+                encoder.cfg.hidden,
+                "service dim must equal encoder hidden width"
+            );
+        }
+        let head = params.add(
+            "cls_head",
+            init::xavier_uniform(encoder.cfg.hidden, dataset.n_classes, &mut rng),
+        );
+        let head_b = params.add("cls_head_b", pkgm_tensor::Tensor::zeros(1, dataset.n_classes));
+
+        let mut model = Self {
+            variant,
+            vocab,
+            encoder,
+            params,
+            head,
+            head_b,
+            max_len: cfg.max_len,
+            service,
+            epoch_losses: Vec::new(),
+        };
+        model.fit(&dataset.train, cfg, &mut rng);
+        model
+    }
+
+    fn fit(&mut self, train: &[ClsExample], cfg: &ClassifierTrainConfig, rng: &mut SmallRng) {
+        let mut opt = AdamOpt::new(cfg.lr);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        for _ in 0..cfg.epochs {
+            order.shuffle(rng);
+            let mut epoch_loss = 0.0f64;
+            let mut n_batches = 0usize;
+            for batch in order.chunks(cfg.batch_size.max(1)) {
+                let mut g = Graph::new();
+                let mut rows = Vec::with_capacity(batch.len());
+                let mut labels = Vec::with_capacity(batch.len());
+                for &i in batch {
+                    let ex = &train[i];
+                    let cls = self.forward_cls(&mut g, ex, true, rng);
+                    rows.push(cls);
+                    labels.push(ex.label);
+                }
+                let cls_all = g.concat_rows(&rows);
+                let w = g.param(&self.params, self.head);
+                let b = g.param(&self.params, self.head_b);
+                let logits = g.matmul(cls_all, w);
+                let logits = g.add_row(logits, b);
+                let loss = g.softmax_cross_entropy(logits, &labels);
+                epoch_loss += g.value(loss).get(0, 0) as f64;
+                n_batches += 1;
+                g.backward(loss);
+                g.flush_grads(&mut self.params);
+                opt.step(&mut self.params);
+                self.params.zero_grads();
+            }
+            self.epoch_losses
+                .push(if n_batches > 0 { (epoch_loss / n_batches as f64) as f32 } else { 0.0 });
+        }
+    }
+
+    /// `[CLS]` node for one example (tokens + optional service rows).
+    fn forward_cls(
+        &self,
+        g: &mut Graph,
+        ex: &ClsExample,
+        train: bool,
+        rng: &mut SmallRng,
+    ) -> pkgm_tensor::VarId {
+        let extra = self.variant.sequence_rows(self.service.as_ref(), ex.item);
+        let budget = self.max_len - extra.as_ref().map_or(0, |e| e.rows());
+        let ids = self.vocab.encode(&ex.title, budget.max(3));
+        self.encoder
+            .encode_cls(g, &self.params, &ids, extra.as_ref(), train, rng)
+    }
+
+    /// Class logits for a batch of examples (evaluation mode).
+    pub fn predict_logits(&self, examples: &[ClsExample]) -> Vec<Vec<f32>> {
+        let mut rng = SmallRng::seed_from_u64(0); // unused in eval mode
+        let mut out = Vec::with_capacity(examples.len());
+        for chunk in examples.chunks(64) {
+            let mut g = Graph::new();
+            let mut rows = Vec::with_capacity(chunk.len());
+            for ex in chunk {
+                rows.push(self.forward_cls(&mut g, ex, false, &mut rng));
+            }
+            let cls_all = g.concat_rows(&rows);
+            let w = g.param(&self.params, self.head);
+            let b = g.param(&self.params, self.head_b);
+            let logits = g.matmul(cls_all, w);
+            let logits = g.add_row(logits, b);
+            for r in 0..chunk.len() {
+                out.push(g.value(logits).row(r).to_vec());
+            }
+        }
+        out
+    }
+
+    /// Evaluate Hit@{1,3,10} and accuracy, as percentages (Table IV).
+    pub fn evaluate(&self, examples: &[ClsExample]) -> ClassifierMetrics {
+        let logits = self.predict_logits(examples);
+        let mut ranks = Vec::with_capacity(examples.len());
+        let mut pred = Vec::with_capacity(examples.len());
+        let mut truth = Vec::with_capacity(examples.len());
+        for (ex, l) in examples.iter().zip(&logits) {
+            ranks.push(metrics::rank_descending(l, ex.label as usize));
+            let argmax = l
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i as u32)
+                .unwrap_or(0);
+            pred.push(argmax);
+            truth.push(ex.label);
+        }
+        ClassifierMetrics {
+            hit1: metrics::hit_ratio(&ranks, 1) * 100.0,
+            hit3: metrics::hit_ratio(&ranks, 3) * 100.0,
+            hit10: metrics::hit_ratio(&ranks, 10) * 100.0,
+            accuracy: metrics::accuracy(&pred, &truth) * 100.0,
+            n: examples.len(),
+        }
+    }
+
+    /// The vocabulary the classifier was trained with.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgm_core::{PkgmConfig, PkgmModel, TrainConfig, Trainer};
+    use pkgm_synth::{Catalog, CatalogConfig};
+
+    fn tiny_setup() -> (ClassificationDataset, KnowledgeService) {
+        let catalog = Catalog::generate(&CatalogConfig::tiny(8));
+        let dataset = ClassificationDataset::build(&catalog, 100, 1);
+        let mut model = PkgmModel::new(
+            catalog.store.n_entities() as usize,
+            catalog.store.n_relations() as usize,
+            PkgmConfig::new(16).with_seed(1),
+        );
+        let tc = TrainConfig {
+            lr: 0.05,
+            margin: 2.0,
+            batch_size: 128,
+            epochs: 5,
+            negatives: 1,
+            seed: 1,
+            normalize_entities: true,
+            parallel: false,
+        };
+        Trainer::new(&model, tc).train(&mut model, &catalog.store);
+        let svc = KnowledgeService::new(model, catalog.key_relation_selector(3));
+        (dataset, svc)
+    }
+
+    fn tiny_cfg() -> ClassifierTrainConfig {
+        ClassifierTrainConfig {
+            epochs: 6,
+            batch_size: 16,
+            lr: 3e-3,
+            max_len: 32,
+            seed: 1,
+            encoder: Some(EncoderConfig {
+                vocab_size: 0, // fixed up below
+                hidden: 16,
+                n_layers: 1,
+                n_heads: 2,
+                ff_dim: 32,
+                max_len: 48,
+                dropout: 0.0,
+            }),
+        }
+    }
+
+    fn with_vocab(mut cfg: ClassifierTrainConfig, vocab_size: usize) -> ClassifierTrainConfig {
+        if let Some(e) = cfg.encoder.as_mut() {
+            e.vocab_size = vocab_size;
+        }
+        cfg
+    }
+
+    #[test]
+    fn base_classifier_beats_chance() {
+        let (dataset, _) = tiny_setup();
+        let vocab = Vocab::build(dataset.train.iter().map(|e| e.title.as_slice()), 1);
+        let cfg = with_vocab(tiny_cfg(), vocab.len());
+        let model = ItemClassifier::train(&dataset, None, PkgmVariant::Base, &cfg);
+        let m = model.evaluate(&dataset.dev);
+        let chance = 100.0 / dataset.n_classes as f64;
+        assert!(
+            m.accuracy > chance * 2.0,
+            "accuracy {} not above chance {}",
+            m.accuracy,
+            chance
+        );
+        assert!(m.hit3 >= m.hit1);
+        assert!(m.hit10 >= m.hit3);
+        // training loss fell
+        assert!(model.epoch_losses.last().unwrap() < model.epoch_losses.first().unwrap());
+    }
+
+    #[test]
+    fn pkgm_variant_trains_and_evaluates() {
+        let (dataset, svc) = tiny_setup();
+        let vocab = Vocab::build(dataset.train.iter().map(|e| e.title.as_slice()), 1);
+        let cfg = with_vocab(tiny_cfg(), vocab.len());
+        let model =
+            ItemClassifier::train(&dataset, Some(svc), PkgmVariant::PkgmAll, &cfg);
+        let m = model.evaluate(&dataset.dev);
+        let chance = 100.0 / dataset.n_classes as f64;
+        assert!(m.accuracy > chance * 2.0);
+        assert_eq!(m.n, dataset.dev.len());
+    }
+
+    #[test]
+    fn backbone_finetuning_works_and_shares_vocab() {
+        let (dataset, _) = tiny_setup();
+        let titles: Vec<Vec<String>> = dataset.train.iter().map(|e| e.title.clone()).collect();
+        let backbone = pkgm_text::Backbone::pretrain(
+            &titles,
+            |vocab| EncoderConfig {
+                vocab_size: vocab,
+                hidden: 16,
+                n_layers: 1,
+                n_heads: 2,
+                ff_dim: 32,
+                max_len: 48,
+                dropout: 0.0,
+            },
+            &pkgm_text::BackbonePretrainConfig {
+                mlm_epochs: 1,
+                ..Default::default()
+            },
+        );
+        let cfg = ClassifierTrainConfig {
+            epochs: 6,
+            batch_size: 16,
+            lr: 3e-3,
+            max_len: 32,
+            seed: 1,
+            encoder: None, // ignored when fine-tuning a backbone
+        };
+        let model = ItemClassifier::train_with_backbone(
+            &dataset,
+            &backbone,
+            None,
+            PkgmVariant::Base,
+            &cfg,
+        );
+        let m = model.evaluate(&dataset.dev);
+        let chance = 100.0 / dataset.n_classes as f64;
+        assert!(m.accuracy > chance * 2.0, "accuracy {} vs chance {}", m.accuracy, chance);
+        // Backbone vocabulary is reused verbatim.
+        assert_eq!(model.vocab().len(), backbone.vocab.len());
+        // The backbone itself is untouched (tasks clone the params).
+        assert_eq!(backbone.params.find("cls_head"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a KnowledgeService")]
+    fn pkgm_variant_without_service_panics() {
+        let (dataset, _) = tiny_setup();
+        let vocab = Vocab::build(dataset.train.iter().map(|e| e.title.as_slice()), 1);
+        let cfg = with_vocab(tiny_cfg(), vocab.len());
+        ItemClassifier::train(&dataset, None, PkgmVariant::PkgmT, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "service dim must equal")]
+    fn mismatched_service_dim_panics() {
+        let (dataset, svc) = tiny_setup(); // dim 16
+        let vocab = Vocab::build(dataset.train.iter().map(|e| e.title.as_slice()), 1);
+        let mut cfg = with_vocab(tiny_cfg(), vocab.len());
+        if let Some(e) = cfg.encoder.as_mut() {
+            e.hidden = 32; // ≠ 16
+            e.n_heads = 2;
+        }
+        ItemClassifier::train(&dataset, Some(svc), PkgmVariant::PkgmR, &cfg);
+    }
+}

@@ -1,0 +1,32 @@
+//! # pkgm-tasks — the paper's three knowledge-enhanced downstream tasks
+//!
+//! Each task comes in four variants (paper §III):
+//!
+//! * **Base** — the plain model (our Transformer encoder standing in for
+//!   BERT; NCF for recommendation);
+//! * **PKGM-T** — Base + the `k` triple-query service vectors;
+//! * **PKGM-R** — Base + the `k` relation-query service vectors;
+//! * **PKGM-all** — Base + all `2k` service vectors.
+//!
+//! Tasks:
+//!
+//! * [`classification`] — item classification from titles (§III-B,
+//!   Table IV): `[CLS]`-head softmax over categories, service vectors
+//!   appended to the input sequence (Fig. 4);
+//! * [`alignment`] — product alignment as sentence-pair classification
+//!   (§III-C, Tables VI–VII): both titles plus both items' service vectors
+//!   (Fig. 5), evaluated as accuracy and 100-candidate ranking;
+//! * [`recommendation`] — NCF (GMF + MLP, He et al. 2017) with the condensed
+//!   PKGM vector concatenated into the MLP tower (§III-D, Table VIII,
+//!   Fig. 6), leave-one-out HR@k / NDCG@k.
+
+pub mod alignment;
+pub mod classification;
+pub mod metrics;
+pub mod recommendation;
+pub mod variant;
+
+pub use alignment::{AlignmentMetrics, AlignmentModel, AlignmentTrainConfig};
+pub use classification::{ClassifierMetrics, ClassifierTrainConfig, ItemClassifier};
+pub use recommendation::{NcfModel, NcfTrainConfig, RecMetrics};
+pub use variant::PkgmVariant;

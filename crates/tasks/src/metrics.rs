@@ -1,0 +1,105 @@
+//! Ranking and classification metrics shared by the three tasks.
+
+/// 1-based rank of `target` among `scores` when sorted descending
+/// (higher score = better). Ties count in the target's favor only when the
+/// competitor index is larger, making the rank deterministic.
+pub fn rank_descending(scores: &[f32], target: usize) -> usize {
+    let ts = scores[target];
+    let mut better = 0;
+    for (i, &s) in scores.iter().enumerate() {
+        if i == target {
+            continue;
+        }
+        if s > ts || (s == ts && i < target) {
+            better += 1;
+        }
+    }
+    better + 1
+}
+
+/// Hit Ratio @ k over a list of 1-based ranks.
+pub fn hit_ratio(ranks: &[usize], k: usize) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks.iter().filter(|&&r| r <= k).count() as f64 / ranks.len() as f64
+}
+
+/// NDCG @ k over 1-based ranks for single-relevant-item ranking:
+/// `1 / log2(rank + 1)` if `rank ≤ k`, else 0 (the NCF-paper convention).
+pub fn ndcg(ranks: &[usize], k: usize) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks
+        .iter()
+        .map(|&r| if r <= k { 1.0 / ((r as f64) + 1.0).log2() } else { 0.0 })
+        .sum::<f64>()
+        / ranks.len() as f64
+}
+
+/// Classification accuracy from predicted and true labels.
+pub fn accuracy(pred: &[u32], truth: &[u32]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(truth).filter(|(p, t)| p == t).count() as f64 / pred.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_descending_counts_strictly_better() {
+        assert_eq!(rank_descending(&[0.9, 0.5, 0.7], 0), 1);
+        assert_eq!(rank_descending(&[0.9, 0.5, 0.7], 1), 3);
+        assert_eq!(rank_descending(&[0.9, 0.5, 0.7], 2), 2);
+    }
+
+    #[test]
+    fn rank_ties_break_by_index() {
+        // Equal scores: earlier index wins.
+        assert_eq!(rank_descending(&[0.5, 0.5], 0), 1);
+        assert_eq!(rank_descending(&[0.5, 0.5], 1), 2);
+    }
+
+    #[test]
+    fn hit_ratio_bounds_and_monotonicity() {
+        let ranks = [1, 3, 7, 20];
+        assert_eq!(hit_ratio(&ranks, 1), 0.25);
+        assert_eq!(hit_ratio(&ranks, 10), 0.75);
+        assert_eq!(hit_ratio(&ranks, 30), 1.0);
+        let mut prev = 0.0;
+        for k in 1..=30 {
+            let h = hit_ratio(&ranks, k);
+            assert!(h >= prev);
+            prev = h;
+        }
+        assert_eq!(hit_ratio(&[], 5), 0.0);
+    }
+
+    #[test]
+    fn ndcg_formula() {
+        // rank 1 → 1/log2(2) = 1 ; rank 3 → 1/log2(4) = 0.5
+        assert!((ndcg(&[1], 10) - 1.0).abs() < 1e-12);
+        assert!((ndcg(&[3], 10) - 0.5).abs() < 1e-12);
+        assert_eq!(ndcg(&[11], 10), 0.0);
+        assert!((ndcg(&[1, 3], 10) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_never_exceeds_hit_ratio_matched_k() {
+        let ranks = [1, 2, 5, 9, 40];
+        for k in [1, 3, 5, 10, 30] {
+            assert!(ndcg(&ranks, k) <= hit_ratio(&ranks, k) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 4]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! The four model variants compared throughout the paper's evaluation.
+
+use pkgm_core::KnowledgeService;
+use pkgm_store::EntityId;
+use pkgm_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Which knowledge features a downstream model consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PkgmVariant {
+    /// No knowledge features.
+    Base,
+    /// Triple-query service vectors only (`k` vectors / condensed `d`).
+    PkgmT,
+    /// Relation-query service vectors only (`k` vectors / condensed `d`).
+    PkgmR,
+    /// Both modules (`2k` vectors / condensed `2d`).
+    PkgmAll,
+}
+
+impl PkgmVariant {
+    /// All four, in the paper's table order.
+    pub const ALL: [PkgmVariant; 4] =
+        [PkgmVariant::Base, PkgmVariant::PkgmT, PkgmVariant::PkgmR, PkgmVariant::PkgmAll];
+
+    /// Display name matching the paper's tables.
+    pub fn label(self, base: &str) -> String {
+        match self {
+            PkgmVariant::Base => base.to_string(),
+            PkgmVariant::PkgmT => format!("{base}_PKGM-T"),
+            PkgmVariant::PkgmR => format!("{base}_PKGM-R"),
+            PkgmVariant::PkgmAll => format!("{base}_PKGM-all"),
+        }
+    }
+
+    /// Whether this variant consumes any service vectors.
+    pub fn uses_service(self) -> bool {
+        !matches!(self, PkgmVariant::Base)
+    }
+
+    /// Sequence-service rows for `item`: `k` vectors for T/R, `2k` for all,
+    /// `None` for Base. Rows are `[n, d]`, fixed (non-trainable) per the
+    /// paper ("representations from PKGM fixed during fine-tune").
+    pub fn sequence_rows(
+        self,
+        service: Option<&KnowledgeService>,
+        item: EntityId,
+    ) -> Option<Tensor> {
+        let svc = service?;
+        let vectors = match self {
+            PkgmVariant::Base => return None,
+            PkgmVariant::PkgmT => svc.triple_vectors(item),
+            PkgmVariant::PkgmR => svc.relation_vectors(item),
+            PkgmVariant::PkgmAll => svc.sequence_service(item),
+        };
+        let d = svc.dim();
+        let mut flat = Vec::with_capacity(vectors.len() * d);
+        for v in &vectors {
+            flat.extend_from_slice(v);
+        }
+        Some(Tensor::from_vec(vectors.len(), d, flat))
+    }
+
+    /// Condensed single-vector service for `item`: `d` dims for T/R, `2d`
+    /// for all, `None` for Base (Eq. 20).
+    pub fn condensed(
+        self,
+        service: Option<&KnowledgeService>,
+        item: EntityId,
+    ) -> Option<Vec<f32>> {
+        let svc = service?;
+        match self {
+            PkgmVariant::Base => None,
+            PkgmVariant::PkgmT => Some(svc.condensed_triple(item)),
+            PkgmVariant::PkgmR => Some(svc.condensed_relation(item)),
+            PkgmVariant::PkgmAll => Some(svc.condensed_service(item)),
+        }
+    }
+
+    /// Width of the condensed vector under this variant (0 for Base).
+    pub fn condensed_width(self, d: usize) -> usize {
+        match self {
+            PkgmVariant::Base => 0,
+            PkgmVariant::PkgmT | PkgmVariant::PkgmR => d,
+            PkgmVariant::PkgmAll => 2 * d,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_convention() {
+        assert_eq!(PkgmVariant::Base.label("BERT"), "BERT");
+        assert_eq!(PkgmVariant::PkgmT.label("BERT"), "BERT_PKGM-T");
+        assert_eq!(PkgmVariant::PkgmAll.label("NCF"), "NCF_PKGM-all");
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(PkgmVariant::Base.condensed_width(64), 0);
+        assert_eq!(PkgmVariant::PkgmT.condensed_width(64), 64);
+        assert_eq!(PkgmVariant::PkgmAll.condensed_width(64), 128);
+    }
+
+    #[test]
+    fn base_uses_no_service() {
+        assert!(!PkgmVariant::Base.uses_service());
+        assert!(PkgmVariant::PkgmR.uses_service());
+        assert!(PkgmVariant::Base.sequence_rows(None, EntityId(0)).is_none());
+        assert!(PkgmVariant::PkgmAll.sequence_rows(None, EntityId(0)).is_none());
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the evaluation metrics shared by the three tasks.
+
+use pkgm_tasks::metrics::{accuracy, hit_ratio, ndcg, rank_descending};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The reported rank equals the position of the target in a stable
+    /// descending sort.
+    #[test]
+    fn rank_matches_sort(
+        scores in prop::collection::vec(-100.0f32..100.0, 1..30),
+        target_raw in 0usize..30,
+    ) {
+        let target = target_raw % scores.len();
+        let rank = rank_descending(&scores, target);
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+        let expect = order.iter().position(|&i| i == target).unwrap() + 1;
+        prop_assert_eq!(rank, expect);
+    }
+
+    /// Ranks are within bounds and every index gets a distinct rank.
+    #[test]
+    fn ranks_are_a_permutation(scores in prop::collection::vec(-10.0f32..10.0, 1..20)) {
+        let mut ranks: Vec<usize> =
+            (0..scores.len()).map(|i| rank_descending(&scores, i)).collect();
+        ranks.sort_unstable();
+        let expect: Vec<usize> = (1..=scores.len()).collect();
+        prop_assert_eq!(ranks, expect);
+    }
+
+    /// HR@k and NDCG@k are bounded, monotone in k, and NDCG ≤ HR.
+    #[test]
+    fn hr_ndcg_bounds(ranks in prop::collection::vec(1usize..200, 0..40)) {
+        let mut prev_hr = 0.0;
+        let mut prev_ndcg = 0.0;
+        for k in [1usize, 3, 5, 10, 30, 100, 300] {
+            let hr = hit_ratio(&ranks, k);
+            let nd = ndcg(&ranks, k);
+            prop_assert!((0.0..=1.0).contains(&hr));
+            prop_assert!((0.0..=1.0).contains(&nd));
+            prop_assert!(hr >= prev_hr - 1e-12);
+            prop_assert!(nd >= prev_ndcg - 1e-12);
+            prop_assert!(nd <= hr + 1e-12);
+            prev_hr = hr;
+            prev_ndcg = nd;
+        }
+        if !ranks.is_empty() {
+            prop_assert_eq!(hit_ratio(&ranks, 300), 1.0);
+        }
+    }
+
+    /// Perfect ranking ⇒ HR = NDCG = 1 at every k.
+    #[test]
+    fn perfect_ranks(n in 1usize..30) {
+        let ranks = vec![1usize; n];
+        for k in [1usize, 5, 30] {
+            prop_assert_eq!(hit_ratio(&ranks, k), 1.0);
+            prop_assert!((ndcg(&ranks, k) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Accuracy counts agreements and is permutation-invariant.
+    #[test]
+    fn accuracy_properties(pairs in prop::collection::vec((0u32..5, 0u32..5), 1..50)) {
+        let pred: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let truth: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+        let acc = accuracy(&pred, &truth);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        let agree = pairs.iter().filter(|(a, b)| a == b).count();
+        prop_assert!((acc - agree as f64 / pairs.len() as f64).abs() < 1e-12);
+        // permuting jointly does not change accuracy
+        let mut reversed = pairs.clone();
+        reversed.reverse();
+        let rp: Vec<u32> = reversed.iter().map(|p| p.0).collect();
+        let rt: Vec<u32> = reversed.iter().map(|p| p.1).collect();
+        prop_assert!((accuracy(&rp, &rt) - acc).abs() < 1e-12);
+    }
+}

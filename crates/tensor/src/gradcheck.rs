@@ -1,0 +1,281 @@
+//! Finite-difference gradient checking.
+//!
+//! Every op's backward pass is validated by comparing the analytic gradient
+//! (reverse mode) with central differences of the loss. Used extensively in
+//! this crate's tests and available to downstream model tests.
+
+use crate::graph::Graph;
+use crate::params::{ParamId, Params};
+use crate::VarId;
+
+/// Result of a gradient check on one parameter.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradients.
+    pub max_abs_diff: f32,
+    /// Largest relative difference, `|a − n| / max(1, |a|, |n|)`.
+    pub max_rel_diff: f32,
+    /// Number of scalars compared.
+    pub n_checked: usize,
+}
+
+/// Compare analytic vs central-difference gradients for parameter `pid`.
+///
+/// `build` must construct the full forward graph from the current `params`
+/// and return the scalar loss node. It is invoked `2 × n + 1` times, so keep
+/// the test models tiny.
+pub fn check_param(
+    params: &mut Params,
+    pid: ParamId,
+    eps: f32,
+    mut build: impl FnMut(&mut Graph, &Params) -> VarId,
+) -> GradCheckReport {
+    // Analytic pass.
+    params.zero_grads();
+    let mut g = Graph::new();
+    let loss = build(&mut g, params);
+    g.backward(loss);
+    g.flush_grads(params);
+    let analytic = params.grad(pid).clone();
+
+    let n = params.value(pid).len();
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    for i in 0..n {
+        let orig = params.value(pid).as_slice()[i];
+
+        params.value_mut(pid).as_mut_slice()[i] = orig + eps;
+        let mut gp = Graph::new();
+        let lp = build(&mut gp, params);
+        let fplus = gp.value(lp).get(0, 0);
+
+        params.value_mut(pid).as_mut_slice()[i] = orig - eps;
+        let mut gm = Graph::new();
+        let lm = build(&mut gm, params);
+        let fminus = gm.value(lm).get(0, 0);
+
+        params.value_mut(pid).as_mut_slice()[i] = orig;
+
+        let numeric = (fplus - fminus) / (2.0 * eps);
+        let a = analytic.as_slice()[i];
+        let abs = (a - numeric).abs();
+        let rel = abs / 1.0f32.max(a.abs()).max(numeric.abs());
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+    }
+    // Clean up the grads we left behind.
+    params.zero_grads();
+    GradCheckReport { max_abs_diff: max_abs, max_rel_diff: max_rel, n_checked: n }
+}
+
+/// Assert that the check passes with relative tolerance `tol`.
+pub fn assert_grads_close(
+    params: &mut Params,
+    pid: ParamId,
+    tol: f32,
+    build: impl FnMut(&mut Graph, &Params) -> VarId,
+) {
+    let report = check_param(params, pid, 1e-2, build);
+    assert!(
+        report.max_rel_diff < tol,
+        "gradient check failed for {}: max_rel_diff = {} (abs {}) over {} scalars",
+        params.name(pid),
+        report.max_rel_diff,
+        report.max_abs_diff,
+        report.n_checked
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use crate::tensor::Tensor;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const TOL: f32 = 2e-2; // f32 central differences are noisy; 2% relative
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn matmul_add_relu_chain() {
+        let mut r = rng();
+        let mut p = Params::new();
+        let w = p.add("w", init::xavier_uniform(3, 2, &mut r));
+        let b = p.add("b", init::normal(1, 2, 0.1, &mut r));
+        let x = init::normal(4, 3, 1.0, &mut r);
+        for pid in [w, b] {
+            let xc = x.clone();
+            assert_grads_close(&mut p, pid, TOL, move |g, ps| {
+                let xi = g.input(xc.clone());
+                let wv = g.param(ps, w);
+                let bv = g.param(ps, b);
+                let h = g.matmul(xi, wv);
+                let h = g.add_row(h, bv);
+                let h = g.relu(h);
+                g.mean_all(h)
+            });
+        }
+    }
+
+    #[test]
+    fn sigmoid_tanh_gelu_chain() {
+        let mut r = rng();
+        let mut p = Params::new();
+        let w = p.add("w", init::normal(2, 3, 0.5, &mut r));
+        assert_grads_close(&mut p, w, TOL, |g, ps| {
+            let wv = g.param(ps, w);
+            let s = g.sigmoid(wv);
+            let t = g.tanh(s);
+            let u = g.gelu(t);
+            g.sum_all(u)
+        });
+    }
+
+    #[test]
+    fn softmax_rows_grad() {
+        let mut r = rng();
+        let mut p = Params::new();
+        let w = p.add("w", init::normal(2, 4, 1.0, &mut r));
+        let weights = init::normal(2, 4, 1.0, &mut r);
+        assert_grads_close(&mut p, w, TOL, move |g, ps| {
+            let wv = g.param(ps, w);
+            let s = g.softmax_rows(wv);
+            let c = g.input(weights.clone());
+            let m = g.mul(s, c);
+            g.sum_all(m)
+        });
+    }
+
+    #[test]
+    fn layer_norm_grad() {
+        let mut r = rng();
+        let mut p = Params::new();
+        let w = p.add("w", init::normal(3, 5, 1.0, &mut r));
+        let gain = p.add("gain", init::normal(1, 5, 0.3, &mut r));
+        let weights = init::normal(3, 5, 1.0, &mut r);
+        for pid in [w, gain] {
+            let wts = weights.clone();
+            assert_grads_close(&mut p, pid, 5e-2, move |g, ps| {
+                let wv = g.param(ps, w);
+                let y = g.layer_norm_rows(wv, 1e-5);
+                let gv = g.param(ps, gain);
+                let y = g.mul_row(y, gv);
+                let c = g.input(wts.clone());
+                let m = g.mul(y, c);
+                g.sum_all(m)
+            });
+        }
+    }
+
+    #[test]
+    fn matmul_nt_and_scale_grad() {
+        let mut r = rng();
+        let mut p = Params::new();
+        let a = p.add("a", init::normal(2, 3, 0.7, &mut r));
+        let b = p.add("b", init::normal(4, 3, 0.7, &mut r));
+        for pid in [a, b] {
+            assert_grads_close(&mut p, pid, TOL, move |g, ps| {
+                let av = g.param(ps, a);
+                let bv = g.param(ps, b);
+                let s = g.matmul_nt(av, bv);
+                let s = g.scale(s, 0.5);
+                let s = g.softmax_rows(s);
+                g.mean_all(s)
+            });
+        }
+    }
+
+    #[test]
+    fn embedding_and_concat_grad() {
+        let mut r = rng();
+        let mut p = Params::new();
+        let e = p.add_sparse("emb", init::normal(5, 3, 0.5, &mut r));
+        let w = p.add("w", init::normal(6, 1, 0.5, &mut r));
+        for pid in [e, w] {
+            assert_grads_close(&mut p, pid, TOL, move |g, ps| {
+                let rows = g.embedding(ps, e, &[0, 3, 3, 1]);
+                let left = g.slice_cols(rows, 0, 3);
+                let right = g.slice_rows(rows, 0, 4);
+                let cat = g.concat_cols(&[left, right]); // [4, 6]
+                let wv = g.param(ps, w);
+                let y = g.matmul(cat, wv);
+                g.mean_all(y)
+            });
+        }
+    }
+
+    #[test]
+    fn cross_entropy_grad() {
+        let mut r = rng();
+        let mut p = Params::new();
+        let w = p.add("w", init::normal(3, 4, 1.0, &mut r));
+        assert_grads_close(&mut p, w, TOL, |g, ps| {
+            let wv = g.param(ps, w);
+            g.softmax_cross_entropy(wv, &[1, 0, 3])
+        });
+    }
+
+    #[test]
+    fn bce_grad() {
+        let mut r = rng();
+        let mut p = Params::new();
+        let w = p.add("w", init::normal(4, 1, 1.0, &mut r));
+        assert_grads_close(&mut p, w, TOL, |g, ps| {
+            let wv = g.param(ps, w);
+            g.bce_with_logits(wv, &[1.0, 0.0, 0.0, 1.0])
+        });
+    }
+
+    #[test]
+    fn sub_mul_row_mean_rows_grad() {
+        let mut r = rng();
+        let mut p = Params::new();
+        let a = p.add("a", init::normal(3, 4, 0.8, &mut r));
+        let b = p.add("b", init::normal(3, 4, 0.8, &mut r));
+        let s = p.add("s", init::normal(1, 4, 0.8, &mut r));
+        for pid in [a, b, s] {
+            assert_grads_close(&mut p, pid, TOL, move |g, ps| {
+                let av = g.param(ps, a);
+                let bv = g.param(ps, b);
+                let sv = g.param(ps, s);
+                let d = g.sub(av, bv);
+                let d = g.mul_row(d, sv);
+                let m = g.mean_rows(d);
+                let q = g.mul(m, m);
+                g.sum_all(q)
+            });
+        }
+    }
+
+    #[test]
+    fn dropout_grad_respects_mask() {
+        let mut r = rng();
+        let mut p = Params::new();
+        let w = p.add("w", init::normal(2, 3, 1.0, &mut r));
+        let mask = vec![2.0, 0.0, 2.0, 0.0, 2.0, 0.0]; // p = 0.5 inverted dropout
+        assert_grads_close(&mut p, w, TOL, move |g, ps| {
+            let wv = g.param(ps, w);
+            let d = g.dropout(wv, mask.clone());
+            g.sum_all(d)
+        });
+    }
+
+    #[test]
+    fn offset_and_concat_rows_grad() {
+        let mut r = rng();
+        let mut p = Params::new();
+        let a = p.add("a", init::normal(2, 3, 0.6, &mut r));
+        let off = Tensor::full(4, 3, -0.25);
+        assert_grads_close(&mut p, a, TOL, move |g, ps| {
+            let av = g.param(ps, a);
+            let stacked = g.concat_rows(&[av, av]);
+            let o = g.offset(stacked, &off);
+            let t = g.tanh(o);
+            g.mean_all(t)
+        });
+    }
+}

@@ -1,0 +1,984 @@
+//! Reverse-mode automatic differentiation over a per-batch computation graph.
+//!
+//! Usage pattern (one graph per minibatch):
+//!
+//! ```
+//! use pkgm_tensor::{Graph, Params, Tensor, AdamOpt};
+//! use pkgm_tensor::init;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(0);
+//! let mut params = Params::new();
+//! let w = params.add("w", init::xavier_uniform(2, 1, &mut rng));
+//! let mut opt = AdamOpt::new(0.01);
+//!
+//! for _ in 0..10 {
+//!     let mut g = Graph::new();
+//!     let x = g.input(Tensor::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]));
+//!     let wv = g.param(&params, w);
+//!     let logits = g.matmul(x, wv);
+//!     let loss = g.bce_with_logits(logits, &[0.0, 1.0, 1.0, 1.0]);
+//!     g.backward(loss);
+//!     g.flush_grads(&mut params);
+//!     opt.step(&mut params);
+//!     params.zero_grads();
+//! }
+//! ```
+
+use crate::params::{ParamId, Params};
+use crate::tensor::Tensor;
+
+/// Handle to a node in the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarId(usize);
+
+#[derive(Debug)]
+enum Op {
+    Const,
+    Param(ParamId),
+    Embedding { pid: ParamId, indices: Vec<u32> },
+    Add(VarId, VarId),
+    AddRow(VarId, VarId),
+    Sub(VarId, VarId),
+    Mul(VarId, VarId),
+    MulRow(VarId, VarId),
+    Scale(VarId, f32),
+    Offset(VarId),
+    Matmul(VarId, VarId),
+    MatmulNT(VarId, VarId),
+    Relu(VarId),
+    Gelu(VarId),
+    Sigmoid(VarId),
+    Tanh(VarId),
+    SoftmaxRows(VarId),
+    LayerNormRows { x: VarId, eps: f32 },
+    ConcatCols(Vec<VarId>),
+    ConcatRows(Vec<VarId>),
+    SliceRows { x: VarId, start: usize },
+    SliceCols { x: VarId, start: usize },
+    MeanRows(VarId),
+    SumAll(VarId),
+    MeanAll(VarId),
+    Dropout { x: VarId, mask: Vec<f32> },
+    SoftmaxCrossEntropy { logits: VarId, labels: Vec<u32>, probs: Tensor },
+    BceWithLogits { logits: VarId, targets: Vec<f32> },
+}
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+    needs_grad: bool,
+}
+
+/// A single-use reverse-mode autodiff tape.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self { nodes: Vec::with_capacity(64) }
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, needs_grad: bool) -> VarId {
+        self.nodes.push(Node { value, grad: None, op, needs_grad });
+        VarId(self.nodes.len() - 1)
+    }
+
+    fn needs(&self, id: VarId) -> bool {
+        self.nodes[id.0].needs_grad
+    }
+
+    /// Forward value of a node.
+    pub fn value(&self, id: VarId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// Gradient of a node after [`Graph::backward`]; `None` if the node did
+    /// not require gradients or backward has not run.
+    pub fn grad(&self, id: VarId) -> Option<&Tensor> {
+        self.nodes[id.0].grad.as_ref()
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Leaves
+    // ------------------------------------------------------------------
+
+    /// Constant input (no gradient).
+    pub fn input(&mut self, t: Tensor) -> VarId {
+        self.push(t, Op::Const, false)
+    }
+
+    /// Parameter leaf: copies the current value in; gradient flushes back
+    /// via [`Graph::flush_grads`].
+    pub fn param(&mut self, params: &Params, pid: ParamId) -> VarId {
+        self.push(params.value(pid).clone(), Op::Param(pid), true)
+    }
+
+    /// Embedding lookup: gathers `indices` rows of the table into an
+    /// `[indices.len(), d]` node. The backward pass scatter-adds into the
+    /// table's sparse gradient, so only touched rows pay.
+    pub fn embedding(&mut self, params: &Params, pid: ParamId, indices: &[u32]) -> VarId {
+        let table = params.value(pid);
+        let d = table.cols();
+        let mut out = Tensor::zeros(indices.len(), d);
+        for (i, &row) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(table.row(row as usize));
+        }
+        self.push(out, Op::Embedding { pid, indices: indices.to_vec() }, true)
+    }
+
+    // ------------------------------------------------------------------
+    // Arithmetic
+    // ------------------------------------------------------------------
+
+    /// Elementwise `a + b` (same shape).
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let mut v = self.nodes[a.0].value.clone();
+        v.add_assign(&self.nodes[b.0].value);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::Add(a, b), ng)
+    }
+
+    /// Broadcast add of a row vector: `a[i,:] + b[0,:]`.
+    pub fn add_row(&mut self, a: VarId, b: VarId) -> VarId {
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert_eq!(bv.rows(), 1, "add_row expects a 1×d row vector");
+        assert_eq!(av.cols(), bv.cols(), "add_row width mismatch");
+        let mut v = av.clone();
+        for r in 0..v.rows() {
+            for (x, &y) in v.row_mut(r).iter_mut().zip(bv.row(0)) {
+                *x += y;
+            }
+        }
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::AddRow(a, b), ng)
+    }
+
+    /// Elementwise `a - b`.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert_eq!(av.shape(), bv.shape(), "sub shape mismatch");
+        let v = Tensor::from_vec(
+            av.rows(),
+            av.cols(),
+            av.as_slice().iter().zip(bv.as_slice()).map(|(x, y)| x - y).collect(),
+        );
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::Sub(a, b), ng)
+    }
+
+    /// Elementwise `a * b` (Hadamard).
+    pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert_eq!(av.shape(), bv.shape(), "mul shape mismatch");
+        let v = Tensor::from_vec(
+            av.rows(),
+            av.cols(),
+            av.as_slice().iter().zip(bv.as_slice()).map(|(x, y)| x * y).collect(),
+        );
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::Mul(a, b), ng)
+    }
+
+    /// Broadcast multiply by a row vector: `a[i,:] * b[0,:]`.
+    pub fn mul_row(&mut self, a: VarId, b: VarId) -> VarId {
+        let av = &self.nodes[a.0].value;
+        let bv = &self.nodes[b.0].value;
+        assert_eq!(bv.rows(), 1, "mul_row expects a 1×d row vector");
+        assert_eq!(av.cols(), bv.cols(), "mul_row width mismatch");
+        let mut v = av.clone();
+        for r in 0..v.rows() {
+            for (x, &y) in v.row_mut(r).iter_mut().zip(bv.row(0)) {
+                *x *= y;
+            }
+        }
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::MulRow(a, b), ng)
+    }
+
+    /// Scalar multiply.
+    pub fn scale(&mut self, a: VarId, c: f32) -> VarId {
+        let v = self.nodes[a.0].value.map(|x| x * c);
+        let ng = self.needs(a);
+        self.push(v, Op::Scale(a, c), ng)
+    }
+
+    /// Add a constant tensor (e.g. an attention mask of `-1e9` on padding
+    /// positions). Gradient passes through unchanged.
+    pub fn offset(&mut self, a: VarId, c: &Tensor) -> VarId {
+        let mut v = self.nodes[a.0].value.clone();
+        v.add_assign(c);
+        let ng = self.needs(a);
+        self.push(v, Op::Offset(a), ng)
+    }
+
+    /// Matrix product `a × b`.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::Matmul(a, b), ng)
+    }
+
+    /// Matrix product `a × bᵀ` (e.g. attention scores `Q Kᵀ`).
+    pub fn matmul_nt(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a.0].value.matmul_nt(&self.nodes[b.0].value);
+        let ng = self.needs(a) || self.needs(b);
+        self.push(v, Op::MatmulNT(a, b), ng)
+    }
+
+    // ------------------------------------------------------------------
+    // Activations / normalization
+    // ------------------------------------------------------------------
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: VarId) -> VarId {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let ng = self.needs(a);
+        self.push(v, Op::Relu(a), ng)
+    }
+
+    /// GELU (tanh approximation), the Transformer feed-forward activation.
+    pub fn gelu(&mut self, a: VarId) -> VarId {
+        let v = self.nodes[a.0].value.map(gelu_fwd);
+        let ng = self.needs(a);
+        self.push(v, Op::Gelu(a), ng)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: VarId) -> VarId {
+        let v = self.nodes[a.0].value.map(sigmoid_fwd);
+        let ng = self.needs(a);
+        self.push(v, Op::Sigmoid(a), ng)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: VarId) -> VarId {
+        let v = self.nodes[a.0].value.map(f32::tanh);
+        let ng = self.needs(a);
+        self.push(v, Op::Tanh(a), ng)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: VarId) -> VarId {
+        let av = &self.nodes[a.0].value;
+        let mut v = av.clone();
+        for r in 0..v.rows() {
+            softmax_in_place(v.row_mut(r));
+        }
+        let ng = self.needs(a);
+        self.push(v, Op::SoftmaxRows(a), ng)
+    }
+
+    /// Row-wise standardization `(x - μ) / sqrt(σ² + eps)` — the
+    /// normalization core of LayerNorm; compose with [`Graph::mul_row`] and
+    /// [`Graph::add_row`] for the affine part.
+    pub fn layer_norm_rows(&mut self, a: VarId, eps: f32) -> VarId {
+        let av = &self.nodes[a.0].value;
+        let mut v = av.clone();
+        let d = v.cols() as f32;
+        for r in 0..v.rows() {
+            let row = v.row_mut(r);
+            let mean = row.iter().sum::<f32>() / d;
+            let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / d;
+            let inv = 1.0 / (var + eps).sqrt();
+            for x in row.iter_mut() {
+                *x = (*x - mean) * inv;
+            }
+        }
+        let ng = self.needs(a);
+        self.push(v, Op::LayerNormRows { x: a, eps }, ng)
+    }
+
+    // ------------------------------------------------------------------
+    // Shape ops
+    // ------------------------------------------------------------------
+
+    /// Horizontal concatenation `[a | b | …]`.
+    pub fn concat_cols(&mut self, parts: &[VarId]) -> VarId {
+        assert!(!parts.is_empty());
+        let rows = self.nodes[parts[0].0].value.rows();
+        let total: usize = parts.iter().map(|p| self.nodes[p.0].value.cols()).sum();
+        let mut v = Tensor::zeros(rows, total);
+        let mut off = 0;
+        for &p in parts {
+            let pv = &self.nodes[p.0].value;
+            assert_eq!(pv.rows(), rows, "concat_cols row mismatch");
+            for r in 0..rows {
+                v.row_mut(r)[off..off + pv.cols()].copy_from_slice(pv.row(r));
+            }
+            off += pv.cols();
+        }
+        let ng = parts.iter().any(|&p| self.needs(p));
+        self.push(v, Op::ConcatCols(parts.to_vec()), ng)
+    }
+
+    /// Vertical concatenation (stacking rows).
+    pub fn concat_rows(&mut self, parts: &[VarId]) -> VarId {
+        assert!(!parts.is_empty());
+        let cols = self.nodes[parts[0].0].value.cols();
+        let total: usize = parts.iter().map(|p| self.nodes[p.0].value.rows()).sum();
+        let mut v = Tensor::zeros(total, cols);
+        let mut off = 0;
+        for &p in parts {
+            let pv = &self.nodes[p.0].value;
+            assert_eq!(pv.cols(), cols, "concat_rows col mismatch");
+            for r in 0..pv.rows() {
+                v.row_mut(off + r).copy_from_slice(pv.row(r));
+            }
+            off += pv.rows();
+        }
+        let ng = parts.iter().any(|&p| self.needs(p));
+        self.push(v, Op::ConcatRows(parts.to_vec()), ng)
+    }
+
+    /// Rows `start .. start + len`.
+    pub fn slice_rows(&mut self, a: VarId, start: usize, len: usize) -> VarId {
+        let av = &self.nodes[a.0].value;
+        assert!(start + len <= av.rows(), "slice_rows out of range");
+        let mut v = Tensor::zeros(len, av.cols());
+        for r in 0..len {
+            v.row_mut(r).copy_from_slice(av.row(start + r));
+        }
+        let ng = self.needs(a);
+        self.push(v, Op::SliceRows { x: a, start }, ng)
+    }
+
+    /// Columns `start .. start + len` (per-head slicing in attention).
+    pub fn slice_cols(&mut self, a: VarId, start: usize, len: usize) -> VarId {
+        let av = &self.nodes[a.0].value;
+        assert!(start + len <= av.cols(), "slice_cols out of range");
+        let mut v = Tensor::zeros(av.rows(), len);
+        for r in 0..av.rows() {
+            v.row_mut(r).copy_from_slice(&av.row(r)[start..start + len]);
+        }
+        let ng = self.needs(a);
+        self.push(v, Op::SliceCols { x: a, start }, ng)
+    }
+
+    /// Column-wise mean over rows: `[n,d] → [1,d]`.
+    pub fn mean_rows(&mut self, a: VarId) -> VarId {
+        let av = &self.nodes[a.0].value;
+        let n = av.rows() as f32;
+        let mut v = Tensor::zeros(1, av.cols());
+        for r in 0..av.rows() {
+            for (o, &x) in v.row_mut(0).iter_mut().zip(av.row(r)) {
+                *o += x;
+            }
+        }
+        for o in v.as_mut_slice() {
+            *o /= n;
+        }
+        let ng = self.needs(a);
+        self.push(v, Op::MeanRows(a), ng)
+    }
+
+    /// Sum of all elements → `[1,1]`.
+    pub fn sum_all(&mut self, a: VarId) -> VarId {
+        let s = self.nodes[a.0].value.sum();
+        let ng = self.needs(a);
+        self.push(Tensor::from_vec(1, 1, vec![s]), Op::SumAll(a), ng)
+    }
+
+    /// Mean of all elements → `[1,1]`.
+    pub fn mean_all(&mut self, a: VarId) -> VarId {
+        let av = &self.nodes[a.0].value;
+        let s = av.sum() / av.len() as f32;
+        let ng = self.needs(a);
+        self.push(Tensor::from_vec(1, 1, vec![s]), Op::MeanAll(a), ng)
+    }
+
+    /// Inverted dropout with keep-scaling. `mask[i] ∈ {0, 1/(1-p)}` must be
+    /// pre-sampled by the caller (so the graph stays deterministic given the
+    /// caller's RNG). Pass `p = 0` upstream to skip entirely.
+    pub fn dropout(&mut self, a: VarId, mask: Vec<f32>) -> VarId {
+        let av = &self.nodes[a.0].value;
+        assert_eq!(mask.len(), av.len(), "dropout mask length mismatch");
+        let v = Tensor::from_vec(
+            av.rows(),
+            av.cols(),
+            av.as_slice().iter().zip(&mask).map(|(x, m)| x * m).collect(),
+        );
+        let ng = self.needs(a);
+        self.push(v, Op::Dropout { x: a, mask }, ng)
+    }
+
+    // ------------------------------------------------------------------
+    // Losses
+    // ------------------------------------------------------------------
+
+    /// Mean softmax cross-entropy of `[n, C]` logits against integer labels.
+    pub fn softmax_cross_entropy(&mut self, logits: VarId, labels: &[u32]) -> VarId {
+        let lv = &self.nodes[logits.0].value;
+        assert_eq!(lv.rows(), labels.len(), "one label per logit row");
+        let mut probs = lv.clone();
+        let mut loss = 0.0f32;
+        for (r, &label) in labels.iter().enumerate() {
+            let row = probs.row_mut(r);
+            softmax_in_place(row);
+            loss -= row[label as usize].max(1e-12).ln();
+        }
+        loss /= labels.len() as f32;
+        let ng = self.needs(logits);
+        self.push(
+            Tensor::from_vec(1, 1, vec![loss]),
+            Op::SoftmaxCrossEntropy { logits, labels: labels.to_vec(), probs },
+            ng,
+        )
+    }
+
+    /// Mean binary cross-entropy of `[n, 1]` logits against 0/1 targets,
+    /// computed in the numerically-stable "with logits" form.
+    pub fn bce_with_logits(&mut self, logits: VarId, targets: &[f32]) -> VarId {
+        let lv = &self.nodes[logits.0].value;
+        assert_eq!(lv.len(), targets.len(), "one target per logit");
+        let mut loss = 0.0f32;
+        for (&z, &y) in lv.as_slice().iter().zip(targets) {
+            loss += z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln();
+        }
+        loss /= targets.len() as f32;
+        let ng = self.needs(logits);
+        self.push(
+            Tensor::from_vec(1, 1, vec![loss]),
+            Op::BceWithLogits { logits, targets: targets.to_vec() },
+            ng,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Run reverse-mode differentiation from `loss` (must be `[1,1]`).
+    pub fn backward(&mut self, loss: VarId) {
+        assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "loss must be scalar");
+        let n = self.nodes.len();
+        self.nodes[loss.0].grad = Some(Tensor::from_vec(1, 1, vec![1.0]));
+        for i in (0..n).rev() {
+            if self.nodes[i].grad.is_none() || !self.nodes[i].needs_grad {
+                continue;
+            }
+            self.backprop_node(i);
+        }
+    }
+
+    fn ensure_grad(&mut self, id: VarId) -> &mut Tensor {
+        let (rows, cols) = self.nodes[id.0].value.shape();
+        self.nodes[id.0].grad.get_or_insert_with(|| Tensor::zeros(rows, cols))
+    }
+
+    fn add_grad(&mut self, id: VarId, g: &Tensor) {
+        if !self.needs(id) {
+            return;
+        }
+        self.ensure_grad(id).add_assign(g);
+    }
+
+    fn backprop_node(&mut self, i: usize) {
+        let g = self.nodes[i].grad.clone().expect("grad present");
+        // Split borrows by cloning small pieces; values are read-only here.
+        match &self.nodes[i].op {
+            Op::Const | Op::Param(_) | Op::Embedding { .. } => {}
+            &Op::Add(a, b) => {
+                self.add_grad(a, &g);
+                self.add_grad(b, &g);
+            }
+            &Op::AddRow(a, b) => {
+                self.add_grad(a, &g);
+                if self.needs(b) {
+                    let mut gb = Tensor::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (o, &x) in gb.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *o += x;
+                        }
+                    }
+                    self.add_grad(b, &gb);
+                }
+            }
+            &Op::Sub(a, b) => {
+                self.add_grad(a, &g);
+                if self.needs(b) {
+                    let neg = g.map(|x| -x);
+                    self.add_grad(b, &neg);
+                }
+            }
+            &Op::Mul(a, b) => {
+                if self.needs(a) {
+                    let bv = &self.nodes[b.0].value;
+                    let ga = Tensor::from_vec(
+                        g.rows(),
+                        g.cols(),
+                        g.as_slice().iter().zip(bv.as_slice()).map(|(x, y)| x * y).collect(),
+                    );
+                    self.add_grad(a, &ga);
+                }
+                if self.needs(b) {
+                    let av = &self.nodes[a.0].value;
+                    let gb = Tensor::from_vec(
+                        g.rows(),
+                        g.cols(),
+                        g.as_slice().iter().zip(av.as_slice()).map(|(x, y)| x * y).collect(),
+                    );
+                    self.add_grad(b, &gb);
+                }
+            }
+            &Op::MulRow(a, b) => {
+                if self.needs(a) {
+                    let bv = self.nodes[b.0].value.clone();
+                    let mut ga = g.clone();
+                    for r in 0..ga.rows() {
+                        for (x, &y) in ga.row_mut(r).iter_mut().zip(bv.row(0)) {
+                            *x *= y;
+                        }
+                    }
+                    self.add_grad(a, &ga);
+                }
+                if self.needs(b) {
+                    let av = &self.nodes[a.0].value;
+                    let mut gb = Tensor::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            gb.as_mut_slice()[c] += g.get(r, c) * av.get(r, c);
+                        }
+                    }
+                    self.add_grad(b, &gb);
+                }
+            }
+            &Op::Scale(a, c) => {
+                let ga = g.map(|x| x * c);
+                self.add_grad(a, &ga);
+            }
+            &Op::Offset(a) => {
+                self.add_grad(a, &g);
+            }
+            &Op::Matmul(a, b) => {
+                if self.needs(a) {
+                    let ga = g.matmul_nt(&self.nodes[b.0].value);
+                    self.add_grad(a, &ga);
+                }
+                if self.needs(b) {
+                    let gb = self.nodes[a.0].value.matmul_tn(&g);
+                    self.add_grad(b, &gb);
+                }
+            }
+            &Op::MatmulNT(a, b) => {
+                if self.needs(a) {
+                    let ga = g.matmul(&self.nodes[b.0].value);
+                    self.add_grad(a, &ga);
+                }
+                if self.needs(b) {
+                    let gb = g.matmul_tn(&self.nodes[a.0].value);
+                    self.add_grad(b, &gb);
+                }
+            }
+            &Op::Relu(a) => {
+                let av = &self.nodes[a.0].value;
+                let ga = Tensor::from_vec(
+                    g.rows(),
+                    g.cols(),
+                    g.as_slice()
+                        .iter()
+                        .zip(av.as_slice())
+                        .map(|(&gx, &x)| if x > 0.0 { gx } else { 0.0 })
+                        .collect(),
+                );
+                self.add_grad(a, &ga);
+            }
+            &Op::Gelu(a) => {
+                let av = &self.nodes[a.0].value;
+                let ga = Tensor::from_vec(
+                    g.rows(),
+                    g.cols(),
+                    g.as_slice()
+                        .iter()
+                        .zip(av.as_slice())
+                        .map(|(&gx, &x)| gx * gelu_bwd(x))
+                        .collect(),
+                );
+                self.add_grad(a, &ga);
+            }
+            &Op::Sigmoid(a) => {
+                let yv = &self.nodes[i].value;
+                let ga = Tensor::from_vec(
+                    g.rows(),
+                    g.cols(),
+                    g.as_slice()
+                        .iter()
+                        .zip(yv.as_slice())
+                        .map(|(&gx, &s)| gx * s * (1.0 - s))
+                        .collect(),
+                );
+                self.add_grad(a, &ga);
+            }
+            &Op::Tanh(a) => {
+                let yv = &self.nodes[i].value;
+                let ga = Tensor::from_vec(
+                    g.rows(),
+                    g.cols(),
+                    g.as_slice()
+                        .iter()
+                        .zip(yv.as_slice())
+                        .map(|(&gx, &t)| gx * (1.0 - t * t))
+                        .collect(),
+                );
+                self.add_grad(a, &ga);
+            }
+            &Op::SoftmaxRows(a) => {
+                let s = &self.nodes[i].value;
+                let mut ga = Tensor::zeros(g.rows(), g.cols());
+                for r in 0..g.rows() {
+                    let srow = s.row(r);
+                    let grow = g.row(r);
+                    let dotv: f32 = srow.iter().zip(grow).map(|(x, y)| x * y).sum();
+                    for (o, (&sv, &gv)) in
+                        ga.row_mut(r).iter_mut().zip(srow.iter().zip(grow))
+                    {
+                        *o = sv * (gv - dotv);
+                    }
+                }
+                self.add_grad(a, &ga);
+            }
+            &Op::LayerNormRows { x, eps } => {
+                let xv = &self.nodes[x.0].value;
+                let yv = &self.nodes[i].value; // normalized output
+                let d = xv.cols() as f32;
+                let mut ga = Tensor::zeros(g.rows(), g.cols());
+                for r in 0..g.rows() {
+                    let xrow = xv.row(r);
+                    let yrow = yv.row(r);
+                    let grow = g.row(r);
+                    let mean = xrow.iter().sum::<f32>() / d;
+                    let var = xrow.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d;
+                    let inv = 1.0 / (var + eps).sqrt();
+                    let gmean = grow.iter().sum::<f32>() / d;
+                    let gymean =
+                        grow.iter().zip(yrow).map(|(gv, yv)| gv * yv).sum::<f32>() / d;
+                    for (o, (&gv, &yvv)) in
+                        ga.row_mut(r).iter_mut().zip(grow.iter().zip(yrow))
+                    {
+                        *o = inv * (gv - gmean - yvv * gymean);
+                    }
+                }
+                self.add_grad(x, &ga);
+            }
+            Op::ConcatCols(parts) => {
+                let parts = parts.clone();
+                let mut off = 0;
+                for p in parts {
+                    let w = self.nodes[p.0].value.cols();
+                    if self.needs(p) {
+                        let mut gp = Tensor::zeros(g.rows(), w);
+                        for r in 0..g.rows() {
+                            gp.row_mut(r).copy_from_slice(&g.row(r)[off..off + w]);
+                        }
+                        self.add_grad(p, &gp);
+                    }
+                    off += w;
+                }
+            }
+            Op::ConcatRows(parts) => {
+                let parts = parts.clone();
+                let mut off = 0;
+                for p in parts {
+                    let h = self.nodes[p.0].value.rows();
+                    if self.needs(p) {
+                        let mut gp = Tensor::zeros(h, g.cols());
+                        for r in 0..h {
+                            gp.row_mut(r).copy_from_slice(g.row(off + r));
+                        }
+                        self.add_grad(p, &gp);
+                    }
+                    off += h;
+                }
+            }
+            &Op::SliceRows { x, start } => {
+                if self.needs(x) {
+                    let (rows, cols) = self.nodes[x.0].value.shape();
+                    let mut gx = Tensor::zeros(rows, cols);
+                    for r in 0..g.rows() {
+                        gx.row_mut(start + r).copy_from_slice(g.row(r));
+                    }
+                    self.add_grad(x, &gx);
+                }
+            }
+            &Op::SliceCols { x, start } => {
+                if self.needs(x) {
+                    let (rows, cols) = self.nodes[x.0].value.shape();
+                    let mut gx = Tensor::zeros(rows, cols);
+                    for r in 0..g.rows() {
+                        gx.row_mut(r)[start..start + g.cols()].copy_from_slice(g.row(r));
+                    }
+                    self.add_grad(x, &gx);
+                }
+            }
+            &Op::MeanRows(a) => {
+                if self.needs(a) {
+                    let n = self.nodes[a.0].value.rows();
+                    let scale = 1.0 / n as f32;
+                    let mut ga = Tensor::zeros(n, g.cols());
+                    for r in 0..n {
+                        for (o, &x) in ga.row_mut(r).iter_mut().zip(g.row(0)) {
+                            *o = x * scale;
+                        }
+                    }
+                    self.add_grad(a, &ga);
+                }
+            }
+            &Op::SumAll(a) => {
+                if self.needs(a) {
+                    let (rows, cols) = self.nodes[a.0].value.shape();
+                    let ga = Tensor::full(rows, cols, g.get(0, 0));
+                    self.add_grad(a, &ga);
+                }
+            }
+            &Op::MeanAll(a) => {
+                if self.needs(a) {
+                    let (rows, cols) = self.nodes[a.0].value.shape();
+                    let ga = Tensor::full(rows, cols, g.get(0, 0) / (rows * cols) as f32);
+                    self.add_grad(a, &ga);
+                }
+            }
+            Op::Dropout { x, mask } => {
+                let x = *x;
+                if self.needs(x) {
+                    let ga = Tensor::from_vec(
+                        g.rows(),
+                        g.cols(),
+                        g.as_slice().iter().zip(mask).map(|(gv, m)| gv * m).collect(),
+                    );
+                    self.add_grad(x, &ga);
+                }
+            }
+            Op::SoftmaxCrossEntropy { logits, labels, probs } => {
+                let logits = *logits;
+                if self.needs(logits) {
+                    let n = labels.len() as f32;
+                    let scale = g.get(0, 0) / n;
+                    let mut gl = probs.clone();
+                    for (r, &label) in labels.iter().enumerate() {
+                        let row = gl.row_mut(r);
+                        row[label as usize] -= 1.0;
+                        for v in row.iter_mut() {
+                            *v *= scale;
+                        }
+                    }
+                    self.add_grad(logits, &gl);
+                }
+            }
+            Op::BceWithLogits { logits, targets } => {
+                let logits = *logits;
+                if self.needs(logits) {
+                    let lv = &self.nodes[logits.0].value;
+                    let n = targets.len() as f32;
+                    let scale = g.get(0, 0) / n;
+                    let gl = Tensor::from_vec(
+                        lv.rows(),
+                        lv.cols(),
+                        lv.as_slice()
+                            .iter()
+                            .zip(targets)
+                            .map(|(&z, &y)| scale * (sigmoid_fwd(z) - y))
+                            .collect(),
+                    );
+                    self.add_grad(logits, &gl);
+                }
+            }
+        }
+    }
+
+    /// Move accumulated leaf gradients into the parameter store.
+    pub fn flush_grads(&mut self, params: &mut Params) {
+        for node in &self.nodes {
+            let Some(grad) = &node.grad else { continue };
+            match &node.op {
+                Op::Param(pid) => params.accumulate_grad(*pid, grad),
+                Op::Embedding { pid, indices } => {
+                    params.accumulate_sparse_grad(*pid, indices, grad)
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[inline]
+fn sigmoid_fwd(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/π)
+
+#[inline]
+fn gelu_fwd(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+#[inline]
+fn gelu_bwd(x: f32) -> f32 {
+    let u = GELU_C * (x + 0.044715 * x * x * x);
+    let t = u.tanh();
+    let du = GELU_C * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+/// Numerically-stable in-place softmax over a slice.
+pub fn softmax_in_place(row: &mut [f32]) {
+    let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let mut sum = 0.0;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in row.iter_mut() {
+        *x /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values_compose() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let b = g.input(Tensor::from_vec(2, 2, vec![1., 0., 0., 1.]));
+        let c = g.matmul(a, b);
+        assert_eq!(g.value(c).as_slice(), &[1., 2., 3., 4.]);
+        let d = g.scale(c, 2.0);
+        let e = g.sum_all(d);
+        assert_eq!(g.value(e).get(0, 0), 20.0);
+    }
+
+    #[test]
+    fn backward_through_matmul_chain() {
+        // loss = sum(W * x) where x const → dL/dW = column sums pattern
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(2, 1, vec![1., 2.]));
+        let wv = g.param(&params, w);
+        let y = g.matmul(wv, x); // [2,1]
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        g.flush_grads(&mut params);
+        // d sum(Wx) / dW = [x^T; x^T]
+        assert_eq!(params.grad(w).as_slice(), &[1., 2., 1., 2.]);
+    }
+
+    #[test]
+    fn embedding_gathers_and_scatters() {
+        let mut params = Params::new();
+        let table = params.add_sparse(
+            "emb",
+            Tensor::from_vec(3, 2, vec![1., 1., 2., 2., 3., 3.]),
+        );
+        let mut g = Graph::new();
+        let e = g.embedding(&params, table, &[2, 0, 2]);
+        assert_eq!(g.value(e).as_slice(), &[3., 3., 1., 1., 3., 3.]);
+        let loss = g.sum_all(e);
+        g.backward(loss);
+        g.flush_grads(&mut params);
+        assert_eq!(params.grad(table).row(0), &[1., 1.]);
+        assert_eq!(params.grad(table).row(1), &[0., 0.]);
+        assert_eq!(params.grad(table).row(2), &[2., 2.]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1.]));
+        let s = g.softmax_rows(a);
+        for r in 0..2 {
+            let sum: f32 = g.value(s).row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_logits_is_log_c() {
+        let mut g = Graph::new();
+        let logits = g.input(Tensor::zeros(4, 8));
+        let loss = g.softmax_cross_entropy(logits, &[0, 1, 2, 3]);
+        assert!((g.value(loss).get(0, 0) - (8.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_with_logits_matches_naive() {
+        let mut g = Graph::new();
+        let z = g.input(Tensor::from_vec(3, 1, vec![0.5, -1.2, 2.0]));
+        let loss = g.bce_with_logits(z, &[1.0, 0.0, 1.0]);
+        let naive = |z: f32, y: f32| {
+            let p = 1.0 / (1.0 + (-z).exp());
+            -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+        };
+        let expect = (naive(0.5, 1.0) + naive(-1.2, 0.0) + naive(2.0, 1.0)) / 3.0;
+        assert!((g.value(loss).get(0, 0) - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn concat_and_slice_invert() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let b = g.input(Tensor::from_vec(2, 1, vec![5., 6.]));
+        let c = g.concat_cols(&[a, b]);
+        assert_eq!(g.value(c).as_slice(), &[1., 2., 5., 3., 4., 6.]);
+        let back = g.slice_cols(c, 0, 2);
+        assert_eq!(g.value(back).as_slice(), g.value(a).as_slice());
+        let r = g.concat_rows(&[a, a]);
+        assert_eq!(g.value(r).rows(), 4);
+        let rs = g.slice_rows(r, 2, 2);
+        assert_eq!(g.value(rs).as_slice(), g.value(a).as_slice());
+    }
+
+    #[test]
+    fn layer_norm_output_standardized() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(1, 4, vec![1., 2., 3., 4.]));
+        let y = g.layer_norm_rows(a, 1e-5);
+        let row = g.value(y).row(0);
+        let mean: f32 = row.iter().sum::<f32>() / 4.0;
+        let var: f32 = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn grads_skip_const_only_subgraphs() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::zeros(1, 1));
+        let b = g.relu(a);
+        let loss = g.sum_all(b);
+        g.backward(loss);
+        assert!(g.grad(a).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be scalar")]
+    fn backward_rejects_non_scalar() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::zeros(2, 2));
+        g.backward(a);
+    }
+}

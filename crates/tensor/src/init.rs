@@ -1,0 +1,74 @@
+//! Weight initialization schemes.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+use rand_distr::{Distribution, Normal, Uniform};
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// The default for linear projections in the Transformer encoder.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    let dist = Uniform::new_inclusive(-a, a);
+    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng) as f32).collect())
+}
+
+/// He/Kaiming normal: `N(0, sqrt(2 / fan_in))`, for ReLU stacks (NCF's MLP).
+pub fn he_normal(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+    let std = (2.0 / rows as f64).sqrt();
+    let dist = Normal::new(0.0, std).expect("valid std");
+    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng) as f32).collect())
+}
+
+/// Plain Gaussian `N(0, std)`, used for embedding tables.
+pub fn normal(rows: usize, cols: usize, std: f64, rng: &mut impl Rng) -> Tensor {
+    let dist = Normal::new(0.0, std).expect("valid std");
+    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng) as f32).collect())
+}
+
+/// Uniform `U(lo, hi)`.
+pub fn uniform(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut impl Rng) -> Tensor {
+    let dist = Uniform::new(lo, hi);
+    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng) as f32).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = xavier_uniform(50, 70, &mut rng);
+        let bound = (6.0f32 / 120.0).sqrt() + 1e-6;
+        assert!(t.as_slice().iter().all(|x| x.abs() <= bound));
+        // not degenerate
+        assert!(t.max_abs() > bound * 0.5);
+    }
+
+    #[test]
+    fn he_normal_has_expected_scale() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let t = he_normal(1000, 8, &mut rng);
+        let var: f32 =
+            t.as_slice().iter().map(|x| x * x).sum::<f32>() / t.len() as f32;
+        let expect = 2.0 / 1000.0;
+        assert!((var - expect).abs() < expect * 0.2, "var {var} vs {expect}");
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = normal(4, 4, 0.1, &mut SmallRng::seed_from_u64(7));
+        let b = normal(4, 4, 0.1, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let t = uniform(10, 10, -0.5, 0.5, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+}

@@ -1,0 +1,33 @@
+//! # pkgm-tensor — minimal deep-learning substrate
+//!
+//! A small, dependency-light neural-network engine built for the PKGM
+//! reproduction. The paper's downstream models (a BERT-style Transformer
+//! encoder for item classification / alignment, and NCF's GMF + MLP for
+//! recommendation) need:
+//!
+//! * a dense row-major `f32` [`Tensor`] with the usual linear-algebra and
+//!   activation kernels,
+//! * reverse-mode automatic differentiation over a per-batch [`Graph`],
+//! * parameter storage ([`Params`]) that survives across graphs, with
+//!   **row-sparse gradients** for embedding tables (a full-vocabulary dense
+//!   update per minibatch would dominate training time),
+//! * [`AdamOpt`]/[`SgdOpt`] optimizers (lazy per-row Adam for sparse tables),
+//! * numeric gradient checking (`gradcheck`) so every op's backward pass is
+//!   verified against finite differences.
+//!
+//! Scope is deliberately 2-D: a batch is expressed as a matrix
+//! `[rows, features]`, sequence models as `[seq_len, hidden]` per example.
+//! That covers every architecture in the paper while keeping the engine
+//! auditable.
+
+pub mod gradcheck;
+pub mod graph;
+pub mod init;
+pub mod optim;
+pub mod params;
+pub mod tensor;
+
+pub use graph::{Graph, VarId};
+pub use optim::{AdamOpt, SgdOpt};
+pub use params::{ParamId, Params};
+pub use tensor::Tensor;

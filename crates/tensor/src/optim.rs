@@ -1,0 +1,213 @@
+//! Optimizers: SGD and Adam (with lazy row updates for sparse tables).
+
+use crate::params::Params;
+
+/// Plain stochastic gradient descent with optional L2 weight decay.
+#[derive(Debug, Clone)]
+pub struct SgdOpt {
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 penalty coefficient (0 disables).
+    pub weight_decay: f32,
+}
+
+impl SgdOpt {
+    /// SGD with the given learning rate and no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, weight_decay: 0.0 }
+    }
+
+    /// Apply one update using the gradients currently stored in `params`.
+    /// Gradients are *not* zeroed; call [`Params::zero_grads`] afterwards.
+    pub fn step(&mut self, params: &mut Params) {
+        for e in &mut params.entries {
+            if e.sparse {
+                let mut rows = std::mem::take(&mut e.touched);
+                rows.sort_unstable();
+                rows.dedup();
+                for &row in &rows {
+                    let r = row as usize;
+                    let cols = e.value.cols();
+                    for c in 0..cols {
+                        let g = e.grad.get(r, c) + self.weight_decay * e.value.get(r, c);
+                        let v = e.value.get(r, c) - self.lr * g;
+                        e.value.set(r, c, v);
+                    }
+                }
+                e.touched = rows; // keep for zero_grads
+            } else {
+                let wd = self.weight_decay;
+                let lr = self.lr;
+                let grad = e.grad.as_slice().to_vec();
+                for (v, g) in e.value.as_mut_slice().iter_mut().zip(grad) {
+                    *v -= lr * (g + wd * *v);
+                }
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba 2015) — the paper's optimizer for both pre-training and
+/// every downstream task. Sparse entries receive *lazy* updates: only rows
+/// touched since the last step are visited, with bias correction by the
+/// global step counter.
+#[derive(Debug, Clone)]
+pub struct AdamOpt {
+    /// Learning rate (paper: 1e-4 for pre-training and NCF, 2e-5 for BERT).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// L2 penalty coefficient (0 disables).
+    pub weight_decay: f32,
+    t: u64,
+}
+
+impl AdamOpt {
+    /// Adam with standard betas (0.9 / 0.999).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0 }
+    }
+
+    /// Adam with L2 weight decay (used by NCF per the paper's λ = 0.001).
+    pub fn with_weight_decay(lr: f32, weight_decay: f32) -> Self {
+        Self { weight_decay, ..Self::new(lr) }
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one Adam update from the gradients stored in `params`.
+    /// Gradients are *not* zeroed; call [`Params::zero_grads`] afterwards.
+    pub fn step(&mut self, params: &mut Params) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let lr_t = self.lr * bc2.sqrt() / bc1;
+
+        for e in &mut params.entries {
+            let (rows, cols) = e.value.shape();
+            let m = e.adam_m.get_or_insert_with(|| crate::Tensor::zeros(rows, cols));
+            let v = e.adam_v.get_or_insert_with(|| crate::Tensor::zeros(rows, cols));
+
+            let update_cell = |r: usize, c: usize,
+                                   value: &mut crate::Tensor,
+                                   grad: &crate::Tensor,
+                                   m: &mut crate::Tensor,
+                                   v: &mut crate::Tensor| {
+                let g = grad.get(r, c) + self.weight_decay * value.get(r, c);
+                let mn = self.beta1 * m.get(r, c) + (1.0 - self.beta1) * g;
+                let vn = self.beta2 * v.get(r, c) + (1.0 - self.beta2) * g * g;
+                m.set(r, c, mn);
+                v.set(r, c, vn);
+                let upd = lr_t * mn / (vn.sqrt() + self.eps);
+                value.set(r, c, value.get(r, c) - upd);
+            };
+
+            if e.sparse {
+                let mut touched = std::mem::take(&mut e.touched);
+                touched.sort_unstable();
+                touched.dedup();
+                for &row in &touched {
+                    for c in 0..cols {
+                        update_cell(row as usize, c, &mut e.value, &e.grad, m, v);
+                    }
+                }
+                e.touched = touched; // zero_grads clears these rows
+            } else {
+                for r in 0..rows {
+                    for c in 0..cols {
+                        update_cell(r, c, &mut e.value, &e.grad, m, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut p = Params::new();
+        let w = p.add("w", Tensor::row_from(&[1.0, -1.0]));
+        p.accumulate_grad(w, &Tensor::row_from(&[0.5, -0.5]));
+        SgdOpt::new(0.1).step(&mut p);
+        assert_eq!(p.value(w).as_slice(), &[0.95, -0.95]);
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_weights() {
+        let mut p = Params::new();
+        let w = p.add("w", Tensor::row_from(&[1.0]));
+        // zero gradient, only decay
+        let mut opt = SgdOpt::new(0.1);
+        opt.weight_decay = 0.5;
+        opt.step(&mut p);
+        assert!((p.value(w).get(0, 0) - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_first_step_moves_by_lr() {
+        // With any nonzero constant gradient, Adam's first step ≈ lr.
+        let mut p = Params::new();
+        let w = p.add("w", Tensor::row_from(&[0.0]));
+        p.accumulate_grad(w, &Tensor::row_from(&[3.7]));
+        let mut opt = AdamOpt::new(0.01);
+        opt.step(&mut p);
+        assert!((p.value(w).get(0, 0) + 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_sparse_only_updates_touched_rows() {
+        let mut p = Params::new();
+        let e = p.add_sparse("emb", Tensor::from_vec(3, 1, vec![1.0, 1.0, 1.0]));
+        p.accumulate_sparse_grad(e, &[1], &Tensor::row_from(&[1.0]));
+        let mut opt = AdamOpt::new(0.1);
+        opt.step(&mut p);
+        assert_eq!(p.value(e).get(0, 0), 1.0);
+        assert_eq!(p.value(e).get(2, 0), 1.0);
+        assert!(p.value(e).get(1, 0) < 1.0);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // minimize (w - 3)^2
+        let mut p = Params::new();
+        let w = p.add("w", Tensor::row_from(&[0.0]));
+        let mut opt = AdamOpt::new(0.1);
+        for _ in 0..500 {
+            let wv = p.value(w).get(0, 0);
+            p.accumulate_grad(w, &Tensor::row_from(&[2.0 * (wv - 3.0)]));
+            opt.step(&mut p);
+            p.zero_grads();
+        }
+        assert!((p.value(w).get(0, 0) - 3.0).abs() < 0.05);
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn sparse_rows_keep_independent_adam_state() {
+        let mut p = Params::new();
+        let e = p.add_sparse("emb", Tensor::zeros(2, 1));
+        let mut opt = AdamOpt::new(0.1);
+        // Row 0 gets many updates, row 1 only one; magnitudes must differ.
+        for _ in 0..10 {
+            p.accumulate_sparse_grad(e, &[0], &Tensor::row_from(&[1.0]));
+            opt.step(&mut p);
+            p.zero_grads();
+        }
+        p.accumulate_sparse_grad(e, &[1], &Tensor::row_from(&[1.0]));
+        opt.step(&mut p);
+        p.zero_grads();
+        assert!(p.value(e).get(0, 0).abs() > p.value(e).get(1, 0).abs());
+    }
+}

@@ -1,0 +1,244 @@
+//! Persistent parameter storage shared across per-batch graphs.
+//!
+//! A [`Graph`](crate::Graph) is rebuilt for every minibatch; parameters live
+//! here instead, addressed by [`ParamId`]. After `Graph::backward`, gradients
+//! are flushed into the entries' `grad` buffers, and an optimizer consumes
+//! them.
+//!
+//! Embedding tables are registered with [`Params::add_sparse`]: their
+//! gradients arrive as scatter-adds into a small set of touched rows, and
+//! optimizers only visit those rows (lazy updates). Everything else is dense.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Handle to one parameter tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct ParamEntry {
+    pub name: String,
+    pub value: Tensor,
+    pub grad: Tensor,
+    /// Row-sparse gradient mode (embedding tables).
+    pub sparse: bool,
+    /// Rows touched since the last optimizer step (sparse entries only),
+    /// sorted + deduplicated lazily at step time.
+    pub touched: Vec<u32>,
+    /// Adam first/second moment, allocated on first use.
+    pub adam_m: Option<Tensor>,
+    pub adam_v: Option<Tensor>,
+}
+
+/// A named collection of trainable tensors.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Params {
+    pub(crate) entries: Vec<ParamEntry>,
+}
+
+impl Params {
+    /// Empty parameter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a dense parameter.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        self.push(name.into(), value, false)
+    }
+
+    /// Register a row-sparse parameter (embedding table).
+    pub fn add_sparse(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        self.push(name.into(), value, true)
+    }
+
+    fn push(&mut self, name: String, value: Tensor, sparse: bool) -> ParamId {
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        self.entries.push(ParamEntry {
+            name,
+            value,
+            grad,
+            sparse,
+            touched: Vec::new(),
+            adam_m: None,
+            adam_v: None,
+        });
+        ParamId(self.entries.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total scalar count across all parameters.
+    pub fn n_scalars(&self) -> usize {
+        self.entries.iter().map(|e| e.value.len()).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].value
+    }
+
+    /// Mutable value (e.g. for loading pre-trained weights).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].value
+    }
+
+    /// Accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].grad
+    }
+
+    /// Name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// Whether the parameter uses row-sparse gradients.
+    pub fn is_sparse(&self, id: ParamId) -> bool {
+        self.entries[id.0].sparse
+    }
+
+    /// Look up a parameter by name (linear scan; intended for tests/tools).
+    pub fn find(&self, name: &str) -> Option<ParamId> {
+        self.entries.iter().position(|e| e.name == name).map(ParamId)
+    }
+
+    /// Iterate all ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.entries.len()).map(ParamId)
+    }
+
+    /// Accumulate a dense gradient for `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, grad: &Tensor) {
+        let e = &mut self.entries[id.0];
+        e.grad.add_assign(grad);
+        if e.sparse {
+            // A dense gradient touched every row.
+            e.touched.extend(0..e.value.rows() as u32);
+        }
+    }
+
+    /// Scatter-add gradient rows for a sparse parameter: row `rows[i]` of the
+    /// table receives row `i` of `grads`.
+    pub fn accumulate_sparse_grad(&mut self, id: ParamId, rows: &[u32], grads: &Tensor) {
+        let e = &mut self.entries[id.0];
+        assert!(e.sparse, "sparse gradient into dense parameter {}", e.name);
+        assert_eq!(rows.len(), grads.rows());
+        assert_eq!(e.value.cols(), grads.cols());
+        for (i, &row) in rows.iter().enumerate() {
+            let dst = e.grad.row_mut(row as usize);
+            for (d, &g) in dst.iter_mut().zip(grads.row(i)) {
+                *d += g;
+            }
+            e.touched.push(row);
+        }
+    }
+
+    /// Zero all dense gradients and the touched rows of sparse ones.
+    pub fn zero_grads(&mut self) {
+        for e in &mut self.entries {
+            if e.sparse {
+                for &row in &e.touched {
+                    e.grad.row_mut(row as usize).fill(0.0);
+                }
+                e.touched.clear();
+            } else {
+                e.grad.fill_zero();
+            }
+        }
+    }
+
+    /// Global gradient L2 norm (over dense grads and touched sparse rows).
+    pub fn grad_norm(&self) -> f32 {
+        let mut sq = 0.0f64;
+        for e in &self.entries {
+            if e.sparse {
+                let mut rows: Vec<u32> = e.touched.clone();
+                rows.sort_unstable();
+                rows.dedup();
+                for row in rows {
+                    sq += e
+                        .grad
+                        .row(row as usize)
+                        .iter()
+                        .map(|&g| (g as f64) * (g as f64))
+                        .sum::<f64>();
+                }
+            } else {
+                sq += e.grad.as_slice().iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>();
+            }
+        }
+        sq.sqrt() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut p = Params::new();
+        let w = p.add("w", Tensor::zeros(2, 3));
+        let e = p.add_sparse("emb", Tensor::zeros(10, 4));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.n_scalars(), 6 + 40);
+        assert_eq!(p.name(w), "w");
+        assert!(p.is_sparse(e));
+        assert!(!p.is_sparse(w));
+        assert_eq!(p.find("emb"), Some(e));
+        assert_eq!(p.find("nope"), None);
+    }
+
+    #[test]
+    fn dense_grad_accumulates_and_zeros() {
+        let mut p = Params::new();
+        let w = p.add("w", Tensor::zeros(1, 2));
+        p.accumulate_grad(w, &Tensor::row_from(&[1.0, 2.0]));
+        p.accumulate_grad(w, &Tensor::row_from(&[0.5, 0.5]));
+        assert_eq!(p.grad(w).as_slice(), &[1.5, 2.5]);
+        p.zero_grads();
+        assert_eq!(p.grad(w).as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn sparse_grad_scatter_adds_and_zeros_only_touched() {
+        let mut p = Params::new();
+        let e = p.add_sparse("emb", Tensor::zeros(4, 2));
+        let g = Tensor::from_vec(3, 2, vec![1., 1., 2., 2., 3., 3.]);
+        p.accumulate_sparse_grad(e, &[0, 2, 0], &g);
+        assert_eq!(p.grad(e).row(0), &[4.0, 4.0]); // rows 0 gets 1+3
+        assert_eq!(p.grad(e).row(2), &[2.0, 2.0]);
+        assert_eq!(p.grad(e).row(1), &[0.0, 0.0]);
+        p.zero_grads();
+        assert_eq!(p.grad(e).row(0), &[0.0, 0.0]);
+        assert_eq!(p.grad(e).row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparse gradient into dense parameter")]
+    fn sparse_grad_into_dense_panics() {
+        let mut p = Params::new();
+        let w = p.add("w", Tensor::zeros(2, 2));
+        p.accumulate_sparse_grad(w, &[0], &Tensor::zeros(1, 2));
+    }
+
+    #[test]
+    fn grad_norm_covers_sparse_and_dense() {
+        let mut p = Params::new();
+        let w = p.add("w", Tensor::zeros(1, 2));
+        let e = p.add_sparse("emb", Tensor::zeros(3, 2));
+        p.accumulate_grad(w, &Tensor::row_from(&[3.0, 0.0]));
+        p.accumulate_sparse_grad(e, &[1], &Tensor::row_from(&[0.0, 4.0]));
+        assert!((p.grad_norm() - 5.0).abs() < 1e-6);
+    }
+}

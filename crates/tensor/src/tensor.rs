@@ -1,0 +1,362 @@
+//! Dense row-major `f32` matrix/vector type and its kernels.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Row-major dense tensor of `f32`, restricted to rank ≤ 2.
+///
+/// A vector is represented as `[1, n]` or `[n, 1]` as the caller prefers;
+/// all kernels operate on `(rows, cols)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+/// Rayon kicks in for matmuls above this many fused multiply-adds.
+const PAR_FLOP_THRESHOLD: usize = 64 * 64 * 64;
+
+impl Tensor {
+    /// All-zeros tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// Tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { data: vec![value; rows * cols], rows, cols }
+    }
+
+    /// Build from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { data, rows, cols }
+    }
+
+    /// 1×n row vector from a slice.
+    pub fn row_from(slice: &[f32]) -> Self {
+        Self::from_vec(1, slice.len(), slice.to_vec())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Reinterpret as a new shape with the same element count.
+    pub fn reshaped(mut self, rows: usize, cols: usize) -> Self {
+        assert_eq!(rows * cols, self.data.len(), "reshape changes element count");
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Panics
+    /// If inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.cols, rhs.rows, "matmul inner dimension mismatch");
+        let (n, k, m) = (self.rows, self.cols, rhs.cols);
+        let mut out = Tensor::zeros(n, m);
+        let work = n * k * m;
+        let body = |(i, orow): (usize, &mut [f32])| {
+            let arow = &self.data[i * k..(i + 1) * k];
+            for (p, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &rhs.data[p * m..(p + 1) * m];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        };
+        if work >= PAR_FLOP_THRESHOLD {
+            out.data.par_chunks_mut(m).enumerate().for_each(body);
+        } else {
+            out.data.chunks_mut(m).enumerate().for_each(body);
+        }
+        out
+    }
+
+    /// `self × rhsᵀ` without materializing the transpose.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt inner dimension mismatch");
+        let (n, k, m) = (self.rows, self.cols, rhs.rows);
+        let mut out = Tensor::zeros(n, m);
+        let work = n * k * m;
+        let body = |(i, orow): (usize, &mut [f32])| {
+            let arow = &self.data[i * k..(i + 1) * k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &rhs.data[j * k..(j + 1) * k];
+                *o = dot(arow, brow);
+            }
+        };
+        if work >= PAR_FLOP_THRESHOLD {
+            out.data.par_chunks_mut(m).enumerate().for_each(body);
+        } else {
+            out.data.chunks_mut(m).enumerate().for_each(body);
+        }
+        out
+    }
+
+    /// `selfᵀ × rhs` without materializing the transpose.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rows, rhs.rows, "matmul_tn inner dimension mismatch");
+        let (k, n, m) = (self.rows, self.cols, rhs.cols);
+        let mut out = Tensor::zeros(n, m);
+        for p in 0..k {
+            let arow = &self.data[p * n..(p + 1) * n];
+            let brow = &rhs.data[p * m..(p + 1) * m];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * m..(i + 1) * m];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise in-place `self[i] += rhs[i]`.
+    pub fn add_assign(&mut self, rhs: &Tensor) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise in-place `self[i] += scale * rhs[i]`.
+    pub fn add_scaled(&mut self, rhs: &Tensor, scale: f32) {
+        assert_eq!(self.shape(), rhs.shape(), "add_scaled shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// Set every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Euclidean (Frobenius) norm.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute element, 0 for empty tensors.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+}
+
+/// Dot product of equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Four-lane unroll; lets LLVM vectorize without unsafe.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for j in chunks * 4..a.len() {
+        s += a[j] * b[j];
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.get(1, 2), 6.0);
+        assert_eq!(t.row(1), &[4., 5., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn from_vec_checks_shape() {
+        Tensor::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_with_transpose() {
+        let a = Tensor::from_vec(2, 3, vec![1., -2., 3., 0.5, 5., -6.]);
+        let b = Tensor::from_vec(4, 3, (0..12).map(|i| i as f32 * 0.3).collect());
+        let fast = a.matmul_nt(&b);
+        let slow = a.matmul(&b.transposed());
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_equals_transpose_then_matmul() {
+        let a = Tensor::from_vec(3, 2, vec![1., -2., 3., 0.5, 5., -6.]);
+        let b = Tensor::from_vec(3, 4, (0..12).map(|i| i as f32 * 0.3 - 1.0).collect());
+        let fast = a.matmul_tn(&b);
+        let slow = a.transposed().matmul(&b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn large_matmul_parallel_path_matches_serial() {
+        // Exceed PAR_FLOP_THRESHOLD to exercise the rayon branch.
+        let n = 80;
+        let a = Tensor::from_vec(n, n, (0..n * n).map(|i| (i % 13) as f32 - 6.0).collect());
+        let b = Tensor::from_vec(n, n, (0..n * n).map(|i| (i % 7) as f32 - 3.0).collect());
+        let c = a.matmul(&b);
+        // spot-check one element against a direct computation
+        let mut expect = 0.0;
+        for p in 0..n {
+            expect += a.get(3, p) * b.get(p, 5);
+        }
+        assert!((c.get(3, 5) - expect).abs() < 1e-3);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn add_scaled_and_norms() {
+        let mut a = Tensor::zeros(1, 3);
+        a.add_scaled(&Tensor::row_from(&[3., 4., 0.]), 2.0);
+        assert_eq!(a.as_slice(), &[6., 8., 0.]);
+        assert!((a.l2_norm() - 10.0).abs() < 1e-6);
+        assert_eq!(a.max_abs(), 8.0);
+        assert_eq!(a.sum(), 14.0);
+    }
+
+    #[test]
+    fn dot_handles_non_multiple_of_four() {
+        let a = [1., 2., 3., 4., 5., 6., 7.];
+        let b = [1., 1., 1., 1., 1., 1., 2.];
+        assert_eq!(dot(&a, &b), 1. + 2. + 3. + 4. + 5. + 6. + 14.);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).reshaped(3, 2);
+        assert_eq!(a.shape(), (3, 2));
+        assert_eq!(a.get(2, 1), 6.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the autodiff engine: gradient checks on randomly
+//! shaped/valued compositions, algebraic identities, optimizer behaviour.
+
+use pkgm_tensor::gradcheck;
+use pkgm_tensor::{init, AdamOpt, Graph, Params, SgdOpt, Tensor};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A randomly shaped linear + activation chain has correct gradients.
+    #[test]
+    fn random_shape_gradcheck(
+        n in 1usize..4,
+        k in 1usize..4,
+        m in 1usize..4,
+        seed in 0u64..1000,
+        act in 0usize..4,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut p = Params::new();
+        let w = p.add("w", init::normal(k, m, 0.7, &mut rng));
+        let x = init::normal(n, k, 1.0, &mut rng);
+        gradcheck::assert_grads_close(&mut p, w, 5e-2, move |g, ps| {
+            let xi = g.input(x.clone());
+            let wv = g.param(ps, w);
+            let h = g.matmul(xi, wv);
+            let h = match act {
+                0 => g.relu(h),
+                1 => g.sigmoid(h),
+                2 => g.tanh(h),
+                _ => g.gelu(h),
+            };
+            g.mean_all(h)
+        });
+    }
+
+    /// Softmax + cross-entropy gradients hold for arbitrary logits/labels.
+    #[test]
+    fn ce_gradcheck_random(
+        rows in 1usize..4,
+        cols in 2usize..5,
+        seed in 0u64..500,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut p = Params::new();
+        let w = p.add("logits", init::normal(rows, cols, 1.5, &mut rng));
+        let labels: Vec<u32> = (0..rows).map(|i| ((seed as usize + i) % cols) as u32).collect();
+        gradcheck::assert_grads_close(&mut p, w, 5e-2, move |g, ps| {
+            let wv = g.param(ps, w);
+            g.softmax_cross_entropy(wv, &labels)
+        });
+    }
+
+    /// (AB)ᵀ relationships: matmul_nt(a, b) equals matmul with an explicit
+    /// transpose for arbitrary shapes.
+    #[test]
+    fn matmul_nt_tn_identities(
+        n in 1usize..6,
+        k in 1usize..6,
+        m in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = init::normal(n, k, 1.0, &mut rng);
+        let b = init::normal(m, k, 1.0, &mut rng);
+        let fast = a.matmul_nt(&b);
+        let slow = a.matmul(&b.transposed());
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+        let c = init::normal(n, m, 1.0, &mut rng);
+        let fast = a.matmul_tn(&c); // aᵀ c : [k, m]
+        let slow = a.transposed().matmul(&c);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// SGD strictly decreases a convex quadratic from any start.
+    #[test]
+    fn sgd_decreases_quadratic(start in -10.0f32..10.0, target in -5.0f32..5.0) {
+        let mut p = Params::new();
+        let w = p.add("w", Tensor::row_from(&[start]));
+        let mut opt = SgdOpt::new(0.05);
+        let loss = |v: f32| (v - target) * (v - target);
+        let before = loss(p.value(w).get(0, 0));
+        for _ in 0..50 {
+            let v = p.value(w).get(0, 0);
+            p.accumulate_grad(w, &Tensor::row_from(&[2.0 * (v - target)]));
+            opt.step(&mut p);
+            p.zero_grads();
+        }
+        let after = loss(p.value(w).get(0, 0));
+        prop_assert!(after <= before + 1e-6);
+        prop_assert!((p.value(w).get(0, 0) - target).abs() < 1.0);
+    }
+
+    /// Adam matches the sign of the gradient direction on the first step.
+    #[test]
+    fn adam_first_step_direction(g0 in prop::sample::select(vec![-3.0f32, -0.5, 0.5, 3.0])) {
+        let mut p = Params::new();
+        let w = p.add("w", Tensor::row_from(&[1.0]));
+        p.accumulate_grad(w, &Tensor::row_from(&[g0]));
+        AdamOpt::new(0.01).step(&mut p);
+        let moved = p.value(w).get(0, 0) - 1.0;
+        prop_assert!(moved * g0 < 0.0, "moved {moved} with grad {g0}");
+    }
+
+    /// Dropout with the zero mask kills gradients; with the identity mask it
+    /// is a no-op.
+    #[test]
+    fn dropout_mask_extremes(seed in 0u64..200) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut p = Params::new();
+        let w = p.add("w", init::normal(2, 3, 1.0, &mut rng));
+        // zero mask
+        let mut g = Graph::new();
+        let wv = g.param(&p, w);
+        let d = g.dropout(wv, vec![0.0; 6]);
+        let loss = g.sum_all(d);
+        g.backward(loss);
+        g.flush_grads(&mut p);
+        prop_assert_eq!(p.grad(w).max_abs(), 0.0);
+        p.zero_grads();
+        // identity mask
+        let mut g = Graph::new();
+        let wv = g.param(&p, w);
+        let d = g.dropout(wv, vec![1.0; 6]);
+        let loss = g.sum_all(d);
+        g.backward(loss);
+        g.flush_grads(&mut p);
+        prop_assert!(p.grad(w).as_slice().iter().all(|&x| (x - 1.0).abs() < 1e-6));
+    }
+
+    /// Embedding gather + scatter: gradients accumulate multiplicity.
+    #[test]
+    fn embedding_grad_multiplicity(row in 0u32..4, times in 1usize..5) {
+        let mut p = Params::new();
+        let e = p.add_sparse("emb", Tensor::zeros(4, 2));
+        let indices = vec![row; times];
+        let mut g = Graph::new();
+        let rows = g.embedding(&p, e, &indices);
+        let loss = g.sum_all(rows);
+        g.backward(loss);
+        g.flush_grads(&mut p);
+        prop_assert_eq!(p.grad(e).row(row as usize), &[times as f32, times as f32]);
+    }
+}

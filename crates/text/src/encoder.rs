@@ -1,0 +1,475 @@
+//! Multi-head self-attention encoder over the `pkgm-tensor` autodiff graph.
+//!
+//! One example is one `[seq_len, hidden]` matrix; batching is done by the
+//! caller (build several examples into one graph, average their losses).
+//! Because every example's graph is built at its true length, no padding or
+//! attention masks are needed.
+
+use pkgm_tensor::{init, Graph, ParamId, Params, Tensor, VarId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Encoder hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EncoderConfig {
+    /// Vocabulary size (from [`crate::Vocab::len`]).
+    pub vocab_size: usize,
+    /// Hidden width. Matching the PKGM embedding dimension (64) lets service
+    /// vectors be appended without projection, as in the paper.
+    pub hidden: usize,
+    /// Number of Transformer blocks.
+    pub n_layers: usize,
+    /// Attention heads (must divide `hidden`).
+    pub n_heads: usize,
+    /// Feed-forward inner width.
+    pub ff_dim: usize,
+    /// Maximum sequence length (token ids + appended service vectors).
+    pub max_len: usize,
+    /// Dropout probability during training.
+    pub dropout: f32,
+}
+
+impl EncoderConfig {
+    /// Small encoder for synthetic titles: 2 layers, 64 hidden, 4 heads.
+    pub fn small(vocab_size: usize) -> Self {
+        Self {
+            vocab_size,
+            hidden: 64,
+            n_layers: 2,
+            n_heads: 4,
+            ff_dim: 128,
+            max_len: 128,
+            dropout: 0.1,
+        }
+    }
+
+    /// Milliseconds-fast encoder for unit tests.
+    pub fn tiny(vocab_size: usize) -> Self {
+        Self {
+            vocab_size,
+            hidden: 16,
+            n_layers: 1,
+            n_heads: 2,
+            ff_dim: 32,
+            max_len: 32,
+            dropout: 0.0,
+        }
+    }
+}
+
+/// One piece of a mixed encoder input: either a run of token ids (looked up
+/// in the embedding table) or pre-computed embedding rows (PKGM service
+/// vectors, fed through verbatim).
+#[derive(Debug, Clone, Copy)]
+pub enum Segment<'a> {
+    /// Token ids.
+    Tokens(&'a [u32]),
+    /// Raw `[n, hidden]` embedding rows.
+    Rows(&'a Tensor),
+}
+
+impl Segment<'_> {
+    /// Number of sequence positions this segment occupies.
+    pub fn len(&self) -> usize {
+        match self {
+            Segment::Tokens(ids) => ids.len(),
+            Segment::Rows(rows) => rows.rows(),
+        }
+    }
+
+    /// Whether the segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Parameter ids of one Transformer block.
+#[derive(Debug, Clone)]
+struct BlockParams {
+    wq: ParamId,
+    bq: ParamId,
+    wk: ParamId,
+    bk: ParamId,
+    wv: ParamId,
+    bv: ParamId,
+    wo: ParamId,
+    bo: ParamId,
+    ln1_g: ParamId,
+    ln1_b: ParamId,
+    ff1: ParamId,
+    ff1_b: ParamId,
+    ff2: ParamId,
+    ff2_b: ParamId,
+    ln2_g: ParamId,
+    ln2_b: ParamId,
+}
+
+/// The encoder: owns parameter *ids*; values live in the caller's
+/// [`Params`] so task heads can share the same store/optimizer.
+#[derive(Debug, Clone)]
+pub struct TextEncoder {
+    /// Configuration the encoder was built with.
+    pub cfg: EncoderConfig,
+    tok_emb: ParamId,
+    pos_emb: ParamId,
+    /// Input-embedding LayerNorm (as in BERT). Besides its usual role, this
+    /// is what makes appended PKGM service vectors workable: raw `S_T`/`S_R`
+    /// rows have much larger norms than learned token embeddings, and
+    /// normalizing the combined input keeps attention from saturating on
+    /// them.
+    emb_ln_g: ParamId,
+    emb_ln_b: ParamId,
+    blocks: Vec<BlockParams>,
+}
+
+impl TextEncoder {
+    /// Register all encoder parameters into `params`.
+    pub fn new(cfg: EncoderConfig, params: &mut Params, rng: &mut impl Rng) -> Self {
+        assert_eq!(cfg.hidden % cfg.n_heads, 0, "heads must divide hidden");
+        let h = cfg.hidden;
+        let tok_emb = params.add_sparse(
+            "tok_emb",
+            init::normal(cfg.vocab_size, h, 0.02, rng),
+        );
+        let pos_emb = params.add("pos_emb", init::normal(cfg.max_len, h, 0.02, rng));
+        let emb_ln_g = params.add("emb_ln_g", Tensor::full(1, h, 1.0));
+        let emb_ln_b = params.add("emb_ln_b", Tensor::zeros(1, h));
+        let mut blocks = Vec::with_capacity(cfg.n_layers);
+        for l in 0..cfg.n_layers {
+            let bias = |params: &mut Params, name: &str, cols: usize| {
+                params.add(format!("l{l}.{name}"), Tensor::zeros(1, cols))
+            };
+            let ones = |params: &mut Params, name: &str, cols: usize| {
+                params.add(format!("l{l}.{name}"), Tensor::full(1, cols, 1.0))
+            };
+            blocks.push(BlockParams {
+                wq: params.add(format!("l{l}.wq"), init::xavier_uniform(h, h, rng)),
+                bq: bias(params, "bq", h),
+                wk: params.add(format!("l{l}.wk"), init::xavier_uniform(h, h, rng)),
+                bk: bias(params, "bk", h),
+                wv: params.add(format!("l{l}.wv"), init::xavier_uniform(h, h, rng)),
+                bv: bias(params, "bv", h),
+                wo: params.add(format!("l{l}.wo"), init::xavier_uniform(h, h, rng)),
+                bo: bias(params, "bo", h),
+                ln1_g: ones(params, "ln1_g", h),
+                ln1_b: bias(params, "ln1_b", h),
+                ff1: params.add(format!("l{l}.ff1"), init::xavier_uniform(h, cfg.ff_dim, rng)),
+                ff1_b: bias(params, "ff1_b", cfg.ff_dim),
+                ff2: params.add(format!("l{l}.ff2"), init::xavier_uniform(cfg.ff_dim, h, rng)),
+                ff2_b: bias(params, "ff2_b", h),
+                ln2_g: ones(params, "ln2_g", h),
+                ln2_b: bias(params, "ln2_b", h),
+            });
+        }
+        Self { cfg, tok_emb, pos_emb, emb_ln_g, emb_ln_b, blocks }
+    }
+
+    /// The token-embedding table id (the MLM head ties to it by shape).
+    pub fn token_embedding(&self) -> ParamId {
+        self.tok_emb
+    }
+
+    /// Encode one example.
+    ///
+    /// * `ids` — token ids (`[CLS] … [SEP]`).
+    /// * `extra` — optional rows appended *after* the tokens (PKGM service
+    ///   vectors, Fig. 2); they receive positional embeddings like ordinary
+    ///   tokens but no token-embedding lookup, matching the paper.
+    /// * `train` — enables dropout (sampled from `rng`).
+    ///
+    /// Returns the `[seq, hidden]` final hidden states.
+    pub fn encode(
+        &self,
+        g: &mut Graph,
+        params: &Params,
+        ids: &[u32],
+        extra: Option<&Tensor>,
+        train: bool,
+        rng: &mut impl Rng,
+    ) -> VarId {
+        match extra {
+            Some(e) => self.encode_mixed(
+                g,
+                params,
+                &[Segment::Tokens(ids), Segment::Rows(e)],
+                train,
+                rng,
+            ),
+            None => self.encode_mixed(g, params, &[Segment::Tokens(ids)], train, rng),
+        }
+    }
+
+    /// Encode an interleaved sequence of token runs and raw embedding rows —
+    /// the general input form behind Fig. 5, where *each* title is followed
+    /// by its item's `2k` service vectors before the next title starts.
+    pub fn encode_mixed(
+        &self,
+        g: &mut Graph,
+        params: &Params,
+        segments: &[Segment<'_>],
+        train: bool,
+        rng: &mut impl Rng,
+    ) -> VarId {
+        let h = self.cfg.hidden;
+        let seq: usize = segments.iter().map(Segment::len).sum();
+        assert!(seq <= self.cfg.max_len, "sequence {seq} exceeds max_len");
+        assert!(seq > 0, "empty sequence");
+
+        let mut parts = Vec::with_capacity(segments.len());
+        for seg in segments {
+            match seg {
+                Segment::Tokens(ids) => {
+                    if !ids.is_empty() {
+                        parts.push(g.embedding(params, self.tok_emb, ids));
+                    }
+                }
+                Segment::Rows(rows) => {
+                    if rows.rows() > 0 {
+                        assert_eq!(rows.cols(), h, "service vectors must match hidden width");
+                        parts.push(g.input((*rows).clone()));
+                    }
+                }
+            }
+        }
+        let mut x = if parts.len() == 1 {
+            parts[0]
+        } else {
+            g.concat_rows(&parts)
+        };
+        let pos_rows: Vec<u32> = (0..seq as u32).collect();
+        // Positions come from a dense table; reuse the embedding gather via a
+        // slice of the parameter (positions are the first `seq` rows).
+        let pos_full = g.param(params, self.pos_emb);
+        let pos = g.slice_rows(pos_full, 0, seq);
+        x = g.add(x, pos);
+        debug_assert_eq!(pos_rows.len(), seq);
+
+        // BERT-style embedding LayerNorm; equalizes token rows and appended
+        // service rows before the first attention layer.
+        let normed = g.layer_norm_rows(x, 1e-5);
+        let lg = g.param(params, self.emb_ln_g);
+        let lb = g.param(params, self.emb_ln_b);
+        let normed = g.mul_row(normed, lg);
+        x = g.add_row(normed, lb);
+
+        let scale = 1.0 / ((h / self.cfg.n_heads) as f32).sqrt();
+        let head_dim = h / self.cfg.n_heads;
+
+        for b in &self.blocks {
+            // Self-attention.
+            let wq = g.param(params, b.wq);
+            let bq = g.param(params, b.bq);
+            let wk = g.param(params, b.wk);
+            let bk = g.param(params, b.bk);
+            let wv = g.param(params, b.wv);
+            let bv = g.param(params, b.bv);
+            let q = g.matmul(x, wq);
+            let q = g.add_row(q, bq);
+            let k = g.matmul(x, wk);
+            let k = g.add_row(k, bk);
+            let v = g.matmul(x, wv);
+            let v = g.add_row(v, bv);
+
+            let mut heads = Vec::with_capacity(self.cfg.n_heads);
+            for head in 0..self.cfg.n_heads {
+                let qh = g.slice_cols(q, head * head_dim, head_dim);
+                let kh = g.slice_cols(k, head * head_dim, head_dim);
+                let vh = g.slice_cols(v, head * head_dim, head_dim);
+                let scores = g.matmul_nt(qh, kh);
+                let scores = g.scale(scores, scale);
+                let probs = g.softmax_rows(scores);
+                heads.push(g.matmul(probs, vh));
+            }
+            let att = g.concat_cols(&heads);
+            let wo = g.param(params, b.wo);
+            let bo = g.param(params, b.bo);
+            let att = g.matmul(att, wo);
+            let mut att = g.add_row(att, bo);
+            att = self.maybe_dropout(g, att, train, rng);
+
+            // Residual + LayerNorm.
+            let res = g.add(x, att);
+            let normed = g.layer_norm_rows(res, 1e-5);
+            let g1 = g.param(params, b.ln1_g);
+            let b1 = g.param(params, b.ln1_b);
+            let normed = g.mul_row(normed, g1);
+            x = g.add_row(normed, b1);
+
+            // Feed-forward.
+            let ff1 = g.param(params, b.ff1);
+            let ff1_b = g.param(params, b.ff1_b);
+            let ff2 = g.param(params, b.ff2);
+            let ff2_b = g.param(params, b.ff2_b);
+            let f = g.matmul(x, ff1);
+            let f = g.add_row(f, ff1_b);
+            let f = g.gelu(f);
+            let f = g.matmul(f, ff2);
+            let mut f = g.add_row(f, ff2_b);
+            f = self.maybe_dropout(g, f, train, rng);
+
+            let res = g.add(x, f);
+            let normed = g.layer_norm_rows(res, 1e-5);
+            let g2 = g.param(params, b.ln2_g);
+            let b2 = g.param(params, b.ln2_b);
+            let normed = g.mul_row(normed, g2);
+            x = g.add_row(normed, b2);
+        }
+        x
+    }
+
+    /// Encode and return the `[CLS]` representation `[1, hidden]`.
+    pub fn encode_cls(
+        &self,
+        g: &mut Graph,
+        params: &Params,
+        ids: &[u32],
+        extra: Option<&Tensor>,
+        train: bool,
+        rng: &mut impl Rng,
+    ) -> VarId {
+        let x = self.encode(g, params, ids, extra, train, rng);
+        g.slice_rows(x, 0, 1)
+    }
+
+    fn maybe_dropout(
+        &self,
+        g: &mut Graph,
+        x: VarId,
+        train: bool,
+        rng: &mut impl Rng,
+    ) -> VarId {
+        if !train || self.cfg.dropout <= 0.0 {
+            return x;
+        }
+        let p = self.cfg.dropout;
+        let keep = 1.0 / (1.0 - p);
+        let len = g.value(x).len();
+        let mask: Vec<f32> = (0..len)
+            .map(|_| if rng.gen::<f32>() < p { 0.0 } else { keep })
+            .collect();
+        g.dropout(x, mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (TextEncoder, Params, SmallRng) {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut params = Params::new();
+        let enc = TextEncoder::new(EncoderConfig::tiny(50), &mut params, &mut rng);
+        (enc, params, rng)
+    }
+
+    #[test]
+    fn encode_shapes() {
+        let (enc, params, mut rng) = setup();
+        let mut g = Graph::new();
+        let out = enc.encode(&mut g, &params, &[2, 7, 8, 3], None, false, &mut rng);
+        assert_eq!(g.value(out).shape(), (4, 16));
+        let cls = enc.encode_cls(&mut g, &params, &[2, 7, 8, 3], None, false, &mut rng);
+        assert_eq!(g.value(cls).shape(), (1, 16));
+    }
+
+    #[test]
+    fn appended_rows_extend_the_sequence() {
+        let (enc, params, mut rng) = setup();
+        let extra = Tensor::full(3, 16, 0.5);
+        let mut g = Graph::new();
+        let out = enc.encode(&mut g, &params, &[2, 7, 3], Some(&extra), false, &mut rng);
+        assert_eq!(g.value(out).shape(), (6, 16));
+    }
+
+    #[test]
+    fn appended_rows_change_the_cls_representation() {
+        let (enc, params, mut rng) = setup();
+        let mut g1 = Graph::new();
+        let base = enc.encode_cls(&mut g1, &params, &[2, 7, 3], None, false, &mut rng);
+        let extra = Tensor::full(2, 16, 0.9);
+        let mut g2 = Graph::new();
+        let with = enc.encode_cls(&mut g2, &params, &[2, 7, 3], Some(&extra), false, &mut rng);
+        let diff: f32 = g1
+            .value(base)
+            .as_slice()
+            .iter()
+            .zip(g2.value(with).as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-4, "service rows had no effect on [CLS]");
+    }
+
+    #[test]
+    fn deterministic_in_eval_mode() {
+        let (enc, params, mut rng) = setup();
+        let mut g1 = Graph::new();
+        let a = enc.encode_cls(&mut g1, &params, &[2, 9, 3], None, false, &mut rng);
+        let mut g2 = Graph::new();
+        let b = enc.encode_cls(&mut g2, &params, &[2, 9, 3], None, false, &mut rng);
+        assert_eq!(g1.value(a), g2.value(b));
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parameters() {
+        let (enc, mut params, mut rng) = setup();
+        let mut g = Graph::new();
+        let cls = enc.encode_cls(&mut g, &params, &[2, 6, 9, 3], None, true, &mut rng);
+        let loss = g.mean_all(cls);
+        g.backward(loss);
+        g.flush_grads(&mut params);
+        // Every dense parameter the forward pass used must have a gradient.
+        let nonzero = params
+            .ids()
+            .filter(|&pid| params.grad(pid).max_abs() > 0.0)
+            .count();
+        // tok_emb, pos_emb, and 16 per-block params.
+        assert!(nonzero >= 16, "only {nonzero} params received gradient");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_len")]
+    fn overlong_sequences_panic() {
+        let (enc, params, mut rng) = setup();
+        let ids: Vec<u32> = (0..40).map(|i| i % 10).collect();
+        let mut g = Graph::new();
+        enc.encode(&mut g, &params, &ids, None, false, &mut rng);
+    }
+
+    #[test]
+    fn training_a_tiny_classifier_overfits() {
+        // Sanity: the encoder + a linear head can memorize 4 sequences.
+        use pkgm_tensor::AdamOpt;
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut params = Params::new();
+        let enc = TextEncoder::new(EncoderConfig::tiny(20), &mut params, &mut rng);
+        let w = params.add("head", init::xavier_uniform(16, 2, &mut rng));
+        let data: Vec<(Vec<u32>, u32)> = vec![
+            (vec![2, 5, 6, 3], 0),
+            (vec![2, 7, 8, 3], 1),
+            (vec![2, 5, 8, 3], 0),
+            (vec![2, 7, 6, 3], 1),
+        ];
+        let mut opt = AdamOpt::new(0.01);
+        let mut last = f32::MAX;
+        for _ in 0..60 {
+            let mut g = Graph::new();
+            let mut logits = Vec::new();
+            for (ids, _) in &data {
+                let cls = enc.encode_cls(&mut g, &params, ids, None, true, &mut rng);
+                let wv = g.param(&params, w);
+                logits.push(g.matmul(cls, wv));
+            }
+            let all = g.concat_rows(&logits);
+            let labels: Vec<u32> = data.iter().map(|(_, l)| *l).collect();
+            let loss = g.softmax_cross_entropy(all, &labels);
+            last = g.value(loss).get(0, 0);
+            g.backward(loss);
+            g.flush_grads(&mut params);
+            opt.step(&mut params);
+            params.zero_grads();
+        }
+        assert!(last < 0.2, "classifier failed to overfit 4 examples: loss {last}");
+    }
+}

@@ -1,0 +1,30 @@
+//! # pkgm-text — from-scratch Transformer text encoder
+//!
+//! The paper's downstream classification/alignment models fine-tune Google's
+//! pre-trained Chinese `BERT_BASE`. That checkpoint (and the Chinese titles
+//! it was trained for) is a proprietary/data gate for this reproduction, so
+//! this crate provides the closest structural substitute:
+//!
+//! * a word-level [`Vocab`]/tokenizer with the BERT special tokens
+//!   (`[PAD] [UNK] [CLS] [SEP] [MASK]`),
+//! * a multi-head self-attention [`TextEncoder`] (configurable depth/width;
+//!   the defaults are a small encoder appropriate for synthetic titles),
+//! * masked-language-model pre-training ([`mlm`]) on a title corpus,
+//! * crucially, an input path that accepts **raw embedding rows appended
+//!   after the token embeddings** — exactly how the paper feeds PKGM service
+//!   vectors into BERT ("embedding look up is unnecessary for service
+//!   vectors and they are directly appended", §III-B).
+//!
+//! What matters for reproducing the paper's comparisons is not BERT's scale
+//! but (a) the sequence-of-embeddings interface and (b) a competent-but-
+//! imperfect text model that leaves headroom for knowledge features. Both
+//! hold here.
+
+pub mod backbone;
+pub mod encoder;
+pub mod mlm;
+pub mod tokenizer;
+
+pub use backbone::{Backbone, BackbonePretrainConfig};
+pub use encoder::{EncoderConfig, Segment, TextEncoder};
+pub use tokenizer::Vocab;

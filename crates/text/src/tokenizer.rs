@@ -1,0 +1,188 @@
+//! Word-level vocabulary and encoding with BERT-style special tokens.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// `[PAD]` id.
+pub const PAD: u32 = 0;
+/// `[UNK]` id.
+pub const UNK: u32 = 1;
+/// `[CLS]` id.
+pub const CLS: u32 = 2;
+/// `[SEP]` id.
+pub const SEP: u32 = 3;
+/// `[MASK]` id.
+pub const MASK: u32 = 4;
+/// Number of reserved special ids.
+pub const N_SPECIAL: u32 = 5;
+
+/// A frozen word vocabulary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    words: Vec<String>,
+    #[serde(skip)]
+    lookup: HashMap<String, u32>,
+}
+
+impl Vocab {
+    /// Build from a token corpus, keeping words with at least `min_count`
+    /// occurrences. Ids are assigned by descending frequency (ties by word)
+    /// after the special tokens.
+    pub fn build<'a>(
+        corpus: impl IntoIterator<Item = &'a [String]>,
+        min_count: usize,
+    ) -> Self {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for tokens in corpus {
+            for t in tokens {
+                *counts.entry(t.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut freq: Vec<(&str, usize)> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= min_count)
+            .collect();
+        freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let words: Vec<String> = ["[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]"]
+            .into_iter()
+            .map(String::from)
+            .chain(freq.into_iter().map(|(w, _)| w.to_string()))
+            .collect();
+        let mut vocab = Self { words, lookup: HashMap::new() };
+        vocab.rebuild_lookup();
+        vocab
+    }
+
+    /// Rebuild the word → id map (needed after deserialization).
+    pub fn rebuild_lookup(&mut self) {
+        self.lookup = self
+            .words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i as u32))
+            .collect();
+    }
+
+    /// Vocabulary size including the special tokens.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty (it never is after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Id of a word, `[UNK]` if absent.
+    pub fn id(&self, word: &str) -> u32 {
+        self.lookup.get(word).copied().unwrap_or(UNK)
+    }
+
+    /// Word of an id.
+    pub fn word(&self, id: u32) -> Option<&str> {
+        self.words.get(id as usize).map(String::as_str)
+    }
+
+    /// Encode a single-sentence input: `[CLS] tokens… [SEP]`, truncated to
+    /// `max_len` total ids (the `[SEP]` survives truncation).
+    pub fn encode(&self, tokens: &[String], max_len: usize) -> Vec<u32> {
+        assert!(max_len >= 3, "max_len must fit [CLS] w [SEP]");
+        let body = max_len - 2;
+        let mut ids = Vec::with_capacity(tokens.len().min(body) + 2);
+        ids.push(CLS);
+        ids.extend(tokens.iter().take(body).map(|t| self.id(t)));
+        ids.push(SEP);
+        ids
+    }
+
+    /// Encode a sentence pair: `[CLS] a… [SEP] b… [SEP]`, each side
+    /// truncated to `per_side` tokens (the paper restricts each title to 63
+    /// tokens inside a 128 budget).
+    pub fn encode_pair(&self, a: &[String], b: &[String], per_side: usize) -> Vec<u32> {
+        let mut ids = Vec::with_capacity(a.len().min(per_side) + b.len().min(per_side) + 3);
+        ids.push(CLS);
+        ids.extend(a.iter().take(per_side).map(|t| self.id(t)));
+        ids.push(SEP);
+        ids.extend(b.iter().take(per_side).map(|t| self.id(t)));
+        ids.push(SEP);
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Vec<String>> {
+        vec![
+            vec!["red".into(), "skirt".into(), "cotton".into()],
+            vec!["blue".into(), "skirt".into()],
+            vec!["red".into(), "sock".into()],
+        ]
+    }
+
+    #[test]
+    fn build_assigns_ids_by_frequency() {
+        let c = corpus();
+        let v = Vocab::build(c.iter().map(|t| t.as_slice()), 1);
+        // "red" and "skirt" (2 each) come before the singletons.
+        assert_eq!(v.id("red"), N_SPECIAL);
+        assert_eq!(v.id("skirt"), N_SPECIAL + 1);
+        assert!(v.id("cotton") > v.id("skirt"));
+        assert_eq!(v.len(), 5 + 5);
+    }
+
+    #[test]
+    fn min_count_filters_rare_words() {
+        let c = corpus();
+        let v = Vocab::build(c.iter().map(|t| t.as_slice()), 2);
+        assert_eq!(v.id("cotton"), UNK);
+        assert_ne!(v.id("red"), UNK);
+    }
+
+    #[test]
+    fn encode_wraps_with_cls_sep_and_truncates() {
+        let c = corpus();
+        let v = Vocab::build(c.iter().map(|t| t.as_slice()), 1);
+        let ids = v.encode(&c[0], 16);
+        assert_eq!(ids[0], CLS);
+        assert_eq!(*ids.last().unwrap(), SEP);
+        assert_eq!(ids.len(), 5);
+
+        let truncated = v.encode(&c[0], 4);
+        assert_eq!(truncated.len(), 4);
+        assert_eq!(truncated[0], CLS);
+        assert_eq!(*truncated.last().unwrap(), SEP);
+    }
+
+    #[test]
+    fn encode_pair_layout() {
+        let c = corpus();
+        let v = Vocab::build(c.iter().map(|t| t.as_slice()), 1);
+        let ids = v.encode_pair(&c[0], &c[1], 2);
+        // [CLS] red skirt [SEP] blue skirt [SEP]
+        assert_eq!(ids.len(), 7);
+        assert_eq!(ids[0], CLS);
+        assert_eq!(ids[3], SEP);
+        assert_eq!(ids[6], SEP);
+    }
+
+    #[test]
+    fn unknown_words_map_to_unk() {
+        let c = corpus();
+        let v = Vocab::build(c.iter().map(|t| t.as_slice()), 1);
+        assert_eq!(v.id("zzz"), UNK);
+        assert_eq!(v.word(UNK), Some("[UNK]"));
+        assert_eq!(v.word(9999), None);
+    }
+
+    #[test]
+    fn roundtrip_word_id() {
+        let c = corpus();
+        let v = Vocab::build(c.iter().map(|t| t.as_slice()), 1);
+        for id in 0..v.len() as u32 {
+            let w = v.word(id).unwrap();
+            assert_eq!(v.id(w), id);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Quickstart: generate a product catalog, pre-train PKGM, and query the two
+//! knowledge services — including completion of a held-out fact.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pkgm::prelude::*;
+
+fn main() {
+    // A small synthetic product world: categories, products, items, and an
+    // incomplete knowledge graph (some true facts are held out).
+    let cfg = CatalogConfig::small(42);
+    let catalog = Catalog::generate(&cfg);
+    let stats = KgStats::of(&catalog.store);
+    println!("Catalog: {} items, {} entities, {} relations, {} triples",
+        stats.n_items, stats.n_entities, stats.n_relations, stats.n_triples);
+    println!("Held-out (true but missing) facts: {}", catalog.heldout.len());
+
+    // Pre-train the two PKGM modules with the margin loss.
+    println!("\nPre-training PKGM (d = 32)…");
+    let service = pkgm::pretrain(
+        &catalog,
+        PkgmConfig::new(32).with_seed(42),
+        TrainConfig { epochs: 8, lr: 5e-3, margin: 4.0, ..TrainConfig::default() },
+        10, // k = 10 key relations per category, as in the paper
+    );
+
+    // --- Triple-query service: S_T(h, r) = h + r -----------------------
+    let item = catalog.items[0].entity;
+    let rel = catalog.store.relations_of(item)[0];
+    let known_tail = catalog.store.tails(item, rel)[0];
+    let predictions = service.predict_tail(item, rel, 5);
+    println!("\nTriple query S_T({item}, {rel}): top-5 candidate tails");
+    for (e, dist) in &predictions {
+        let name = catalog.entities.name(e.0).unwrap_or("?");
+        let marker = if *e == known_tail { "  ← true tail" } else { "" };
+        println!("  {name:<28} L1 distance {dist:.3}{marker}");
+    }
+
+    // --- Completion during serving --------------------------------------
+    // Rank the true tail of each held-out fact (absent from the KG!).
+    let sample: Vec<Triple> = catalog.heldout.iter().copied().take(200).collect();
+    let report =
+        pkgm::core::eval::rank_tails(service.model(), &sample, Some(&catalog.store), &[1, 10]);
+    println!(
+        "\nCompletion of {} held-out facts: MRR {:.3}, Hits@1 {:.1}%, Hits@10 {:.1}%",
+        report.n,
+        report.mrr,
+        report.hits_at(1).unwrap() * 100.0,
+        report.hits_at(10).unwrap() * 100.0
+    );
+
+    // --- Relation-query service: S_R(h, r) = M_r·h − r ------------------
+    // Compare a relation the item has against one that is *inapplicable* —
+    // a category-specific property of a different category. (A relation the
+    // item merely lost to KG incompleteness would rightly still score low:
+    // that is the paper's "should have" completion case.)
+    let mut f_has = 0.0f64;
+    let mut f_inapplicable = 0.0f64;
+    let mut n_rel = 0;
+    for meta in catalog.items.iter().take(500) {
+        let rels = catalog.store.relations_of(meta.entity);
+        if rels.is_empty() {
+            continue;
+        }
+        let other_cat = (meta.category + 1) % catalog.n_categories as u32;
+        let inapplicable = RelationId(catalog.category_props(other_cat)[cfg.n_shared_props] as u32);
+        f_has += service.relation_exists_score(meta.entity, rels[0]) as f64;
+        f_inapplicable += service.relation_exists_score(meta.entity, inapplicable) as f64;
+        n_rel += 1;
+    }
+    println!(
+        "\nRelation query f_R over {n_rel} items: mean ‖S_R(·, has)‖₁ = {:.3}  vs  mean ‖S_R(·, inapplicable)‖₁ = {:.3}  (smaller = EXISTS)",
+        f_has / n_rel as f64,
+        f_inapplicable / n_rel as f64,
+    );
+
+    // --- The two downstream-facing shapes --------------------------------
+    let seq = service.sequence_service(item);
+    let one = service.condensed_service(item);
+    println!(
+        "\nService shapes: sequence = {}×{} vectors (Fig. 2), condensed = {} dims (Fig. 3)",
+        seq.len(),
+        service.dim(),
+        one.len()
+    );
+}

@@ -1,0 +1,122 @@
+//! # pkgm — Pre-trained E-commerce Product Knowledge Graph Model
+//!
+//! A from-scratch Rust reproduction of *"Billion-scale Pre-trained
+//! E-commerce Product Knowledge Graph Model"* (Zhang et al., ICDE 2021).
+//!
+//! PKGM pre-trains a product knowledge graph with two modules — a TransE
+//! triple-query module (`f_T = ‖h + r − t‖₁`) and a relation-query module
+//! (`f_R = ‖M_r·h − r‖₁`) — and then serves *knowledge service vectors*
+//! (`S_T = h + r`, `S_R = M_r·h − r`) to downstream models, which consume
+//! them instead of raw triples. Because `S_T` is defined whether or not the
+//! triple exists, the service completes the KG while serving.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pkgm::prelude::*;
+//!
+//! // 1. A product catalog (synthetic stand-in for the proprietary PKG).
+//! let catalog = Catalog::generate(&CatalogConfig::tiny(7));
+//!
+//! // 2. Pre-train PKGM on its triples.
+//! let service = pkgm::pretrain(
+//!     &catalog,
+//!     PkgmConfig::new(16).with_seed(7),
+//!     TrainConfig { epochs: 3, parallel: false, ..TrainConfig::default() },
+//!     3, // k key relations per category
+//! );
+//!
+//! // 3. Query knowledge in vector space — no triple access.
+//! let item = EntityId(0);
+//! let seq = service.sequence_service(item);     // 2k vectors for Fig.-2 models
+//! let one = service.condensed_service(item);    // single 2d vector for Fig.-3 models
+//! assert_eq!(seq.len(), 2 * service.k());
+//! assert_eq!(one.len(), 2 * service.dim());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`store`] | `pkgm-store` | triple store, interning, key-relation selection |
+//! | [`tensor`] | `pkgm-tensor` | autodiff engine, optimizers |
+//! | [`synth`] | `pkgm-synth` | synthetic catalog / tasks data (proprietary-data substitute) |
+//! | [`core`] | `pkgm-core` | PKGM model, trainer, evaluation, serving |
+//! | [`text`] | `pkgm-text` | Transformer text encoder (BERT substitute) |
+//! | [`tasks`] | `pkgm-tasks` | item classification, alignment, recommendation |
+
+pub use pkgm_core as core;
+pub use pkgm_store as store;
+pub use pkgm_synth as synth;
+pub use pkgm_tasks as tasks;
+pub use pkgm_tensor as tensor;
+pub use pkgm_text as text;
+
+use pkgm_core::{KnowledgeService, PkgmConfig, PkgmModel, TrainConfig, Trainer};
+use pkgm_synth::Catalog;
+
+/// Pre-train PKGM on a catalog's knowledge graph and bundle it with the
+/// catalog's key-relation selector into a ready-to-serve
+/// [`KnowledgeService`].
+///
+/// This is the "pre-training stage" of the paper condensed into one call;
+/// use [`Trainer`] directly for epoch-level control.
+pub fn pretrain(
+    catalog: &Catalog,
+    model_cfg: PkgmConfig,
+    train_cfg: TrainConfig,
+    k: usize,
+) -> KnowledgeService {
+    let mut model = PkgmModel::new(
+        catalog.store.n_entities() as usize,
+        catalog.store.n_relations() as usize,
+        model_cfg,
+    );
+    let mut trainer = Trainer::new(&model, train_cfg);
+    trainer.train(&mut model, &catalog.store);
+    KnowledgeService::new(model, catalog.key_relation_selector(k))
+}
+
+/// Convenience re-exports for examples and downstream users.
+pub mod prelude {
+    pub use crate::pretrain;
+    pub use pkgm_core::{
+        KnowledgeService, NegativeSampler, PkgmConfig, PkgmModel, TrainConfig, Trainer,
+    };
+    pub use pkgm_store::{EntityId, KgStats, RelationId, Triple, TripleStore};
+    pub use pkgm_synth::{
+        AlignmentDataset, Catalog, CatalogConfig, ClassificationDataset, InteractionConfig,
+        InteractionData,
+    };
+    pub use pkgm_tasks::{
+        AlignmentModel, AlignmentTrainConfig, ClassifierTrainConfig, ItemClassifier, NcfModel,
+        NcfTrainConfig, PkgmVariant,
+    };
+    pub use pkgm_text::{EncoderConfig, TextEncoder, Vocab};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pretrain_helper_produces_working_service() {
+        let catalog = Catalog::generate(&CatalogConfig::tiny(3));
+        let service = crate::pretrain(
+            &catalog,
+            PkgmConfig::new(8).with_seed(3),
+            TrainConfig {
+                epochs: 2,
+                batch_size: 128,
+                lr: 0.05,
+                parallel: false,
+                ..TrainConfig::default()
+            },
+            3,
+        );
+        assert_eq!(service.k(), 3);
+        assert_eq!(service.dim(), 8);
+        let seq = service.sequence_service(EntityId(0));
+        assert_eq!(seq.len(), 6);
+    }
+}

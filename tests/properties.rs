@@ -1,0 +1,157 @@
+//! Cross-crate property-based tests (proptest).
+
+use pkgm::prelude::*;
+use pkgm::store::io;
+use pkgm::store::StoreBuilder;
+use pkgm::tensor::{graph::softmax_in_place, Graph, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Store: anything inserted is queryable; indexes agree with the triple
+    /// list; dedup means contains() ⇔ membership.
+    #[test]
+    fn store_insert_query_consistency(
+        triples in prop::collection::vec((0u32..40, 0u32..6, 0u32..40), 1..120)
+    ) {
+        let mut b = StoreBuilder::new();
+        for &(h, r, t) in &triples {
+            b.add_raw(h, r, t);
+        }
+        let store = b.build();
+        for &(h, r, t) in &triples {
+            let triple = Triple::from_raw(h, r, t);
+            prop_assert!(store.contains(triple));
+            prop_assert!(store.tails(EntityId(h), RelationId(r)).contains(&EntityId(t)));
+            prop_assert!(store.heads(RelationId(r), EntityId(t)).contains(&EntityId(h)));
+            prop_assert!(store.relations_of(EntityId(h)).contains(&RelationId(r)));
+        }
+        // Triple count equals the deduplicated input size.
+        let mut dedup = triples.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(store.len(), dedup.len());
+        // Relation counts sum to the triple count.
+        let total: u64 = store.relation_counts().iter().sum();
+        prop_assert_eq!(total as usize, store.len());
+    }
+
+    /// Store binary serialization is lossless.
+    #[test]
+    fn store_binary_roundtrip(
+        triples in prop::collection::vec((0u32..30, 0u32..4, 0u32..30), 0..60)
+    ) {
+        let mut b = StoreBuilder::new();
+        for &(h, r, t) in &triples {
+            b.add_raw(h, r, t);
+        }
+        let store = b.build();
+        let bytes = io::to_bytes(&store);
+        let back = io::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.triples(), store.triples());
+        prop_assert_eq!(back.n_entities(), store.n_entities());
+    }
+
+    /// Softmax outputs a probability vector for arbitrary finite input.
+    #[test]
+    fn softmax_is_a_distribution(xs in prop::collection::vec(-50.0f32..50.0, 1..40)) {
+        let mut row = xs;
+        softmax_in_place(&mut row);
+        let sum: f32 = row.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    /// matmul distributes over addition: (A+B)C = AC + BC.
+    #[test]
+    fn matmul_distributes(
+        a in prop::collection::vec(-2.0f32..2.0, 6),
+        b in prop::collection::vec(-2.0f32..2.0, 6),
+        c in prop::collection::vec(-2.0f32..2.0, 6),
+    ) {
+        let ta = Tensor::from_vec(2, 3, a);
+        let tb = Tensor::from_vec(2, 3, b);
+        let tc = Tensor::from_vec(3, 2, c);
+        let mut sum = ta.clone();
+        sum.add_assign(&tb);
+        let left = sum.matmul(&tc);
+        let mut right = ta.matmul(&tc);
+        right.add_assign(&tb.matmul(&tc));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Graph add/sub/mul forward values match scalar math elementwise.
+    #[test]
+    fn graph_elementwise_ops_match_scalar_math(
+        a in prop::collection::vec(-5.0f32..5.0, 8),
+        b in prop::collection::vec(-5.0f32..5.0, 8),
+    ) {
+        let ta = Tensor::from_vec(2, 4, a.clone());
+        let tb = Tensor::from_vec(2, 4, b.clone());
+        let mut g = Graph::new();
+        let va = g.input(ta);
+        let vb = g.input(tb);
+        let add = g.add(va, vb);
+        let sub = g.sub(va, vb);
+        let mul = g.mul(va, vb);
+        for i in 0..8 {
+            prop_assert!((g.value(add).as_slice()[i] - (a[i] + b[i])).abs() < 1e-6);
+            prop_assert!((g.value(sub).as_slice()[i] - (a[i] - b[i])).abs() < 1e-6);
+            prop_assert!((g.value(mul).as_slice()[i] - (a[i] * b[i])).abs() < 1e-5);
+        }
+    }
+
+    /// PKGM scores are non-negative and service identities hold:
+    /// f_T(h,r,t) = ‖S_T(h,r) − t‖₁ and f_R(h,r) = ‖S_R(h,r)‖₁.
+    #[test]
+    fn pkgm_score_service_identities(seed in 0u64..500, h in 0u32..8, r in 0u32..3, t in 0u32..8) {
+        let model = PkgmModel::new(8, 3, PkgmConfig::new(8).with_seed(seed));
+        let triple = Triple::from_raw(h, r, t);
+        let ft = model.score_triple(triple);
+        prop_assert!(ft >= 0.0);
+        let st = model.service_t(EntityId(h), RelationId(r));
+        let recomputed: f32 = st
+            .iter()
+            .zip(model.ent(EntityId(t)))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        prop_assert!((ft - recomputed).abs() < 1e-4);
+        let fr = model.score_relation(EntityId(h), RelationId(r));
+        let sr = model.service_r(EntityId(h), RelationId(r));
+        let norm: f32 = sr.iter().map(|x| x.abs()).sum();
+        prop_assert!((fr - norm).abs() < 1e-4);
+    }
+
+    /// Catalog generation is deterministic and id-dense for any seed.
+    #[test]
+    fn catalog_generation_invariants(seed in 0u64..50) {
+        let cfg = CatalogConfig::tiny(seed);
+        let a = Catalog::generate(&cfg);
+        let b = Catalog::generate(&cfg);
+        prop_assert_eq!(a.store.triples(), b.store.triples());
+        prop_assert_eq!(a.items.len(), cfg.n_items());
+        for t in a.store.triples() {
+            prop_assert!(t.head.0 < a.store.n_entities());
+            prop_assert!(t.tail.0 < a.store.n_entities());
+            prop_assert!(t.relation.0 < a.store.n_relations());
+        }
+        // Held-out facts never leak into the store.
+        for t in &a.heldout {
+            prop_assert!(!a.store.contains(*t));
+        }
+    }
+
+    /// Model snapshots are lossless for arbitrary shapes.
+    #[test]
+    fn model_snapshot_roundtrip(n_e in 1usize..12, n_r in 1usize..5, seed in 0u64..100) {
+        let model = PkgmModel::new(n_e, n_r, PkgmConfig::new(4).with_seed(seed));
+        let bytes = pkgm::core::serialize::model_to_bytes(&model);
+        let (back, consumed) = pkgm::core::serialize::model_from_bytes(&bytes).unwrap();
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(back.score(Triple::from_raw(0, 0, 0)),
+                        model.score(Triple::from_raw(0, 0, 0)));
+    }
+}
