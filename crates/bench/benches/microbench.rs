@@ -79,8 +79,7 @@ fn bench_cached_service(c: &mut Criterion) {
         catalog.store.n_relations() as usize,
         PkgmConfig::new(64).with_seed(1),
     );
-    let service =
-        pkgm_core::KnowledgeService::new(model, catalog.key_relation_selector(10));
+    let service = pkgm_core::KnowledgeService::new(model, catalog.key_relation_selector(10));
     let cached = pkgm_core::CachedService::new(service, 4096);
     // warm
     cached.sequence_service(EntityId(5));
@@ -96,8 +95,7 @@ fn bench_service(c: &mut Criterion) {
         catalog.store.n_relations() as usize,
         PkgmConfig::new(64).with_seed(1),
     );
-    let service =
-        pkgm_core::KnowledgeService::new(model, catalog.key_relation_selector(10));
+    let service = pkgm_core::KnowledgeService::new(model, catalog.key_relation_selector(10));
     let item = EntityId(5);
     c.bench_function("service/sequence_2k_vectors_d64", |b| {
         b.iter(|| black_box(service.sequence_service(black_box(item))))
@@ -150,8 +148,7 @@ fn bench_encoder(c: &mut Criterion) {
 
 fn bench_tokenizer(c: &mut Criterion) {
     let catalog = Catalog::generate(&CatalogConfig::small(4));
-    let titles: Vec<&[String]> =
-        catalog.items.iter().map(|m| m.title.as_slice()).collect();
+    let titles: Vec<&[String]> = catalog.items.iter().map(|m| m.title.as_slice()).collect();
     c.bench_function("tokenizer/build_vocab_10k_titles", |b| {
         b.iter(|| black_box(Vocab::build(titles.iter().copied(), 1)))
     });

@@ -1,0 +1,59 @@
+//! Criterion microbenches for the serving path: per-item compute, sharded
+//! cache hits, batch entry points, and snapshot table lookups.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pkgm_bench::{world, Scale};
+use pkgm_core::{
+    CachedService, KnowledgeService, PkgmModel, ServiceScratch, ServiceSnapshot, Trainer,
+};
+use pkgm_store::EntityId;
+
+fn service() -> KnowledgeService {
+    let catalog = pkgm_synth::Catalog::generate(&world::catalog_config(Scale::Smoke));
+    let (model_cfg, train_cfg, k) = world::pretrain_config(Scale::Smoke);
+    let mut model = PkgmModel::new(
+        catalog.store.n_entities() as usize,
+        catalog.store.n_relations() as usize,
+        model_cfg,
+    );
+    Trainer::new(&model, train_cfg).train(&mut model, &catalog.store);
+    KnowledgeService::new(model, catalog.key_relation_selector(k))
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let svc = service();
+    let d = svc.dim();
+    let items: Vec<EntityId> = (0..64u32).map(EntityId).collect();
+
+    c.bench_function("serving/condensed_uncached", |b| {
+        b.iter(|| svc.condensed_service(black_box(EntityId(3))))
+    });
+
+    let mut scratch = ServiceScratch::new(d);
+    let mut out = vec![0.0f32; 2 * d];
+    c.bench_function("serving/condensed_into_scratch", |b| {
+        b.iter(|| svc.condensed_service_into(black_box(EntityId(3)), &mut scratch, &mut out))
+    });
+
+    let cached = CachedService::new(svc.clone(), 4096);
+    cached.condensed_service(EntityId(3));
+    c.bench_function("serving/condensed_cached_hit", |b| {
+        b.iter(|| cached.condensed_service(black_box(EntityId(3))))
+    });
+
+    c.bench_function("serving/condensed_batch_64", |b| {
+        b.iter(|| cached.condensed_service_batch(black_box(&items)))
+    });
+
+    let snapshot = ServiceSnapshot::build(&svc);
+    c.bench_function("serving/condensed_snapshot_lookup", |b| {
+        b.iter(|| snapshot.condensed(black_box(EntityId(3))).map(|row| row[0]))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serving
+}
+criterion_main!(benches);

@@ -92,5 +92,8 @@ fn main() {
 
     std::fs::write("EXPERIMENTS.md", &md).expect("write EXPERIMENTS.md");
     println!("{md}");
-    eprintln!("\nWrote EXPERIMENTS.md ({:.1}s)", start.elapsed().as_secs_f64());
+    eprintln!(
+        "\nWrote EXPERIMENTS.md ({:.1}s)",
+        start.elapsed().as_secs_f64()
+    );
 }

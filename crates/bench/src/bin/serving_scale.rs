@@ -1,0 +1,265 @@
+//! Serving-path scaling sweep: threads × cache modes.
+//!
+//! Measures condensed-service throughput for four serving configurations —
+//! per-request compute (`uncached`), the pre-sharding global-mutex cache
+//! (`mutex-baseline`), the sharded [`CachedService`] (`sharded`), and the
+//! precomputed [`ServiceSnapshot`] table (`snapshot`) — at 1/2/4/8 request
+//! threads, and writes the results to `BENCH_serving.json`.
+//!
+//! ```sh
+//! cargo run --release -p pkgm-bench --bin serving_scale -- tiny
+//! cargo run --release -p pkgm-bench --bin serving_scale -- standard --out BENCH_serving.json
+//! ```
+
+use parking_lot::Mutex;
+use pkgm_bench::{world, Scale};
+use pkgm_core::{CachedService, KnowledgeService, PkgmModel, ServiceSnapshot, Trainer};
+use pkgm_store::fxhash::FxHashMap;
+use pkgm_store::EntityId;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Requests per thread for cache-hit / table-lookup modes.
+const CACHED_REQUESTS: usize = 200_000;
+/// Requests per thread when every request recomputes its vectors.
+const UNCACHED_REQUESTS: usize = 4_000;
+
+/// The pre-sharding design this sweep uses as its contention baseline: one
+/// global mutex around a single map, every hit serialized through it (stats
+/// updated under the same lock, exactly as the replaced implementation did).
+struct MutexCache {
+    inner: KnowledgeService,
+    capacity: usize,
+    state: Mutex<MutexCacheState>,
+}
+
+#[derive(Default)]
+struct MutexCacheState {
+    condensed: FxHashMap<u32, Arc<Vec<f32>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MutexCache {
+    fn new(inner: KnowledgeService, capacity: usize) -> Self {
+        Self {
+            inner,
+            capacity,
+            state: Mutex::new(MutexCacheState::default()),
+        }
+    }
+
+    fn condensed_service(&self, item: EntityId) -> Arc<Vec<f32>> {
+        {
+            let mut s = self.state.lock();
+            if let Some(hit) = s.condensed.get(&item.0) {
+                let hit = Arc::clone(hit);
+                s.hits += 1;
+                return hit;
+            }
+            s.misses += 1;
+        }
+        let fresh = Arc::new(self.inner.condensed_service(item));
+        let mut s = self.state.lock();
+        if s.condensed.len() >= self.capacity {
+            s.condensed.clear();
+        }
+        s.condensed.insert(item.0, Arc::clone(&fresh));
+        fresh
+    }
+}
+
+enum Mode<'a> {
+    Uncached(&'a KnowledgeService),
+    MutexBaseline(&'a MutexCache),
+    Sharded(&'a CachedService),
+    Snapshot(&'a ServiceSnapshot),
+}
+
+impl Mode<'_> {
+    fn name(&self) -> &'static str {
+        match self {
+            Mode::Uncached(_) => "uncached",
+            Mode::MutexBaseline(_) => "mutex-baseline",
+            Mode::Sharded(_) => "sharded",
+            Mode::Snapshot(_) => "snapshot",
+        }
+    }
+
+    fn requests_per_thread(&self) -> usize {
+        match self {
+            Mode::Uncached(_) => UNCACHED_REQUESTS,
+            _ => CACHED_REQUESTS,
+        }
+    }
+
+    /// One serving request; returns a data-dependent value so the work
+    /// cannot be optimized away.
+    fn serve(&self, item: EntityId) -> f32 {
+        match self {
+            Mode::Uncached(svc) => svc.condensed_service(item)[0],
+            Mode::MutexBaseline(cache) => cache.condensed_service(item)[0],
+            Mode::Sharded(cache) => cache.condensed_service(item)[0],
+            Mode::Snapshot(snap) => snap.condensed(item).map_or(0.0, |row| row[0]),
+        }
+    }
+}
+
+/// Run `threads` request loops over the hot set; returns total wall seconds.
+fn run_mode(mode: &Mode<'_>, threads: usize, hot: &[u32]) -> f64 {
+    let reqs = mode.requests_per_thread();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                let mut acc = 0.0f32;
+                for i in 0..reqs {
+                    let item = hot[(t * 31 + i) % hot.len()];
+                    acc += mode.serve(EntityId(item));
+                }
+                black_box(acc);
+            });
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+fn build_service(scale: Scale) -> (KnowledgeService, Vec<u32>) {
+    let catalog = pkgm_synth::Catalog::generate(&world::catalog_config(scale));
+    let (model_cfg, train_cfg, k) = world::pretrain_config(scale);
+    eprintln!(
+        "[serving_scale] pre-training PKGM (d = {}, {} triples)…",
+        model_cfg.dim,
+        catalog.store.len()
+    );
+    let mut model = PkgmModel::new(
+        catalog.store.n_entities() as usize,
+        catalog.store.n_relations() as usize,
+        model_cfg,
+    );
+    Trainer::new(&model, train_cfg).train(&mut model, &catalog.store);
+    let service = KnowledgeService::new(model, catalog.key_relation_selector(k));
+    let n_hot = catalog.items.len().min(256);
+    let hot: Vec<u32> = catalog.items[..n_hot].iter().map(|m| m.entity.0).collect();
+    (service, hot)
+}
+
+fn parse_args() -> (Scale, String) {
+    let mut scale = Scale::from_env();
+    let mut out = String::from("BENCH_serving.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "tiny" | "smoke" => scale = Scale::Smoke,
+            "standard" | "small" => scale = Scale::Standard,
+            "full" | "bench" => scale = Scale::Full,
+            "--out" => {
+                out = args.next().expect("--out requires a path");
+            }
+            other => {
+                eprintln!("usage: serving_scale [tiny|standard|full] [--out FILE]");
+                panic!("unknown argument: {other}");
+            }
+        }
+    }
+    (scale, out)
+}
+
+fn main() {
+    let (scale, out_path) = parse_args();
+    let (service, hot) = build_service(scale);
+    let dim = service.dim();
+    let k = service.k();
+
+    let capacity = hot.len() * 8;
+    let mutex_cache = MutexCache::new(service.clone(), capacity);
+    let sharded = CachedService::new(service.clone(), capacity);
+    eprintln!(
+        "[serving_scale] building snapshot ({} entities)…",
+        service.model().n_entities()
+    );
+    let snapshot = ServiceSnapshot::build(&service);
+
+    // Warm both caches so the timed sections measure hit throughput.
+    for &item in &hot {
+        mutex_cache.condensed_service(EntityId(item));
+        sharded.condensed_service(EntityId(item));
+    }
+
+    let modes = [
+        Mode::Uncached(&service),
+        Mode::MutexBaseline(&mutex_cache),
+        Mode::Sharded(&sharded),
+        Mode::Snapshot(&snapshot),
+    ];
+
+    let mut results = Vec::new();
+    let mut throughput = FxHashMap::default();
+    println!("| mode | threads | requests | wall (s) | throughput (req/s) |");
+    println!("|---|---|---|---|---|");
+    for mode in &modes {
+        for &threads in &THREAD_COUNTS {
+            let wall = run_mode(mode, threads, &hot);
+            let total = (mode.requests_per_thread() * threads) as f64;
+            let rps = total / wall;
+            println!(
+                "| {} | {threads} | {total:.0} | {wall:.3} | {rps:.0} |",
+                mode.name()
+            );
+            throughput.insert(format!("{}@{threads}", mode.name()), rps);
+            results.push(serde_json::json!({
+                "mode": mode.name(),
+                "threads": threads,
+                "total_requests": total,
+                "wall_secs": wall,
+                "throughput_rps": rps,
+            }));
+        }
+    }
+
+    let max_t = THREAD_COUNTS[THREAD_COUNTS.len() - 1];
+    let ratio = |a: &str, b: &str| {
+        throughput
+            .get(&format!("{a}@{max_t}"))
+            .copied()
+            .unwrap_or(0.0)
+            / throughput
+                .get(&format!("{b}@{max_t}"))
+                .copied()
+                .unwrap_or(f64::INFINITY)
+    };
+    let sharded_vs_mutex = ratio("sharded", "mutex-baseline");
+    let snapshot_vs_uncached = ratio("snapshot", "uncached");
+    println!();
+    println!("sharded vs mutex-baseline at {max_t} threads: {sharded_vs_mutex:.2}×");
+    println!("snapshot vs uncached at {max_t} threads: {snapshot_vs_uncached:.2}×");
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    if host_cpus < max_t {
+        eprintln!(
+            "[serving_scale] note: host exposes {host_cpus} CPU(s); thread counts above that \
+             are time-sliced, so contention ratios understate multi-core gains"
+        );
+    }
+    let report = serde_json::json!({
+        "benchmark": "serving_scale",
+        "scale": scale.name(),
+        "host_cpus": host_cpus,
+        "dim": dim,
+        "k": k,
+        "n_hot_items": hot.len(),
+        "cache_capacity": capacity,
+        "thread_counts": THREAD_COUNTS.to_vec(),
+        "results": results,
+        "summary": serde_json::json!({
+            "max_threads": max_t,
+            "sharded_vs_mutex_baseline": sharded_vs_mutex,
+            "snapshot_vs_uncached": snapshot_vs_uncached,
+        }),
+    });
+    let pretty = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, pretty).expect("write report");
+    eprintln!("[serving_scale] wrote {out_path}");
+}

@@ -228,13 +228,8 @@ pub fn alignment_experiment(world: &World, scale: Scale) -> AlignmentExperiment 
             );
             cat_acc.push(model.evaluate_accuracy(&world.catalog, &dataset.test_c));
             if matches!(variant, PkgmVariant::Base | PkgmVariant::PkgmAll) {
-                let (h1, h3, h10) = model.evaluate_ranking(
-                    &world.catalog,
-                    &dataset,
-                    &dataset.test_r,
-                    negs,
-                    2024,
-                );
+                let (h1, h3, h10) =
+                    model.evaluate_ranking(&world.catalog, &dataset, &dataset.test_r, negs, 2024);
                 cat_hits.push((h1, h3, h10));
             }
         }
@@ -242,7 +237,12 @@ pub fn alignment_experiment(world: &World, scale: Scale) -> AlignmentExperiment 
         acc.push(cat_acc);
         hits.push(cat_hits);
     }
-    AlignmentExperiment { datasets, acc, hits, n_candidates: negs + 1 }
+    AlignmentExperiment {
+        datasets,
+        acc,
+        hits,
+        n_candidates: negs + 1,
+    }
 }
 
 impl AlignmentExperiment {
@@ -311,9 +311,18 @@ impl AlignmentExperiment {
 
 fn interaction_config(scale: Scale) -> InteractionConfig {
     match scale {
-        Scale::Smoke => InteractionConfig { n_users: 80, ..InteractionConfig::tiny(2024) },
-        Scale::Standard => InteractionConfig { n_users: 1500, ..InteractionConfig::bench(2024) },
-        Scale::Full => InteractionConfig { n_users: 4000, ..InteractionConfig::bench(2024) },
+        Scale::Smoke => InteractionConfig {
+            n_users: 80,
+            ..InteractionConfig::tiny(2024)
+        },
+        Scale::Standard => InteractionConfig {
+            n_users: 1500,
+            ..InteractionConfig::bench(2024)
+        },
+        Scale::Full => InteractionConfig {
+            n_users: 4000,
+            ..InteractionConfig::bench(2024)
+        },
     }
 }
 
@@ -326,8 +335,16 @@ fn ncf_cfg(scale: Scale) -> NcfTrainConfig {
             epochs: 10,
             ..NcfTrainConfig::default()
         },
-        Scale::Standard => NcfTrainConfig { lr: 2e-3, epochs: 25, ..NcfTrainConfig::default() },
-        Scale::Full => NcfTrainConfig { lr: 1e-3, epochs: 60, ..NcfTrainConfig::default() },
+        Scale::Standard => NcfTrainConfig {
+            lr: 2e-3,
+            epochs: 25,
+            ..NcfTrainConfig::default()
+        },
+        Scale::Full => NcfTrainConfig {
+            lr: 1e-3,
+            epochs: 60,
+            ..NcfTrainConfig::default()
+        },
     }
 }
 

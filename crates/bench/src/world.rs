@@ -78,10 +78,7 @@ impl World {
     /// Build the catalog and pre-train PKGM at a scale.
     pub fn build(scale: Scale) -> World {
         let cfg = catalog_config(scale);
-        eprintln!(
-            "[world] generating catalog ({} items)…",
-            cfg.n_items()
-        );
+        eprintln!("[world] generating catalog ({} items)…", cfg.n_items());
         let catalog = Catalog::generate(&cfg);
         let (model_cfg, train_cfg, k) = pretrain_config(scale);
         let dim = model_cfg.dim;
@@ -101,20 +98,26 @@ impl World {
             "[world] pre-trained in {:.1}s (final loss {:.3}, violation rate {:.3})",
             start.elapsed().as_secs_f64(),
             report.epochs.last().map(|e| e.mean_loss).unwrap_or(0.0),
-            report.epochs.last().map(|e| e.violation_rate).unwrap_or(0.0),
+            report
+                .epochs
+                .last()
+                .map(|e| e.violation_rate)
+                .unwrap_or(0.0),
         );
         let service = KnowledgeService::new(model, catalog.key_relation_selector(k));
 
         // Pre-train the shared text backbone on every item title (the
         // paper's analogue: a language model pre-trained before any task).
-        let titles: Vec<Vec<String>> =
-            catalog.items.iter().map(|m| m.title.clone()).collect();
+        let titles: Vec<Vec<String>> = catalog.items.iter().map(|m| m.title.clone()).collect();
         let (mlm_epochs, n_layers) = match scale {
             Scale::Smoke => (0, 1),
             Scale::Standard => (1, 2),
             Scale::Full => (2, 2),
         };
-        eprintln!("[world] MLM pre-training backbone ({mlm_epochs} epochs over {} titles)…", titles.len());
+        eprintln!(
+            "[world] MLM pre-training backbone ({mlm_epochs} epochs over {} titles)…",
+            titles.len()
+        );
         let bb_start = std::time::Instant::now();
         let backbone = Backbone::pretrain(
             &titles,
@@ -142,6 +145,11 @@ impl World {
                 bb_start.elapsed().as_secs_f64()
             );
         }
-        World { catalog, service, backbone, dim }
+        World {
+            catalog,
+            service,
+            backbone,
+            dim,
+        }
     }
 }

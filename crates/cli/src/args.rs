@@ -62,7 +62,8 @@ impl Args {
 
     /// Required string flag.
     pub fn require(&self, key: &str) -> Result<&str, ArgError> {
-        self.get(key).ok_or_else(|| ArgError::MissingFlag(key.to_string()))
+        self.get(key)
+            .ok_or_else(|| ArgError::MissingFlag(key.to_string()))
     }
 
     /// Typed flag with a default.
@@ -118,7 +119,10 @@ mod tests {
     #[test]
     fn reports_missing_and_bad_flags() {
         let a = Args::parse(argv("x --n abc")).unwrap();
-        assert!(matches!(a.require("out").unwrap_err(), ArgError::MissingFlag(_)));
+        assert!(matches!(
+            a.require("out").unwrap_err(),
+            ArgError::MissingFlag(_)
+        ));
         assert!(matches!(
             a.get_or::<usize>("n", 1).unwrap_err(),
             ArgError::BadValue(..)

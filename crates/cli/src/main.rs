@@ -8,13 +8,16 @@
 //! pkgm generate --preset small --seed 42 --out kg.tsv
 //! pkgm pretrain --preset small --seed 42 --dim 32 --epochs 8 --k 10 --out svc.bin
 //! pkgm serve    --preset small --seed 42 --service svc.bin --item 0
+//! pkgm snapshot --service svc.bin --out serving.snap
 //! pkgm eval     --preset small --seed 42 --service svc.bin --max-facts 300
 //! ```
 
 mod args;
 
 use args::Args;
-use pkgm_core::{eval, serialize, KnowledgeService, PkgmConfig, PkgmModel, TrainConfig, Trainer};
+use pkgm_core::{
+    eval, serialize, KnowledgeService, PkgmConfig, PkgmModel, ServiceSnapshot, TrainConfig, Trainer,
+};
 use pkgm_store::{EntityId, KgStats};
 use pkgm_synth::{Catalog, CatalogConfig};
 
@@ -42,6 +45,7 @@ fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         "generate" => generate(&args),
         "pretrain" => pretrain(&args),
         "serve" => serve(&args),
+        "snapshot" => snapshot(&args),
         "eval" => evaluate(&args),
         other => Err(format!("unknown subcommand: {other}").into()),
     }
@@ -56,7 +60,10 @@ fn catalog_from(args: &Args) -> Result<Catalog, Box<dyn std::error::Error>> {
         "bench" => CatalogConfig::bench(seed),
         other => return Err(format!("unknown preset: {other} (tiny|small|bench)").into()),
     };
-    eprintln!("[pkgm] generating catalog preset={preset} seed={seed} ({} items)…", cfg.n_items());
+    eprintln!(
+        "[pkgm] generating catalog preset={preset} seed={seed} ({} items)…",
+        cfg.n_items()
+    );
     Ok(Catalog::generate(&cfg))
 }
 
@@ -66,7 +73,10 @@ fn stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     println!("| | # items | # entity | # relation | # Triples |");
     println!("|---|---|---|---|---|");
     println!("{}", stats.table_row("catalog"));
-    println!("\nheld-out (true but missing) facts: {}", catalog.heldout.len());
+    println!(
+        "\nheld-out (true but missing) facts: {}",
+        catalog.heldout.len()
+    );
     println!("categories: {}", catalog.n_categories);
     Ok(())
 }
@@ -110,7 +120,12 @@ fn pretrain(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         catalog.store.n_relations() as usize,
         PkgmConfig::new(dim).with_seed(args.get_or("seed", 42)?),
     );
-    let cfg = TrainConfig { epochs, lr, margin, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs,
+        lr,
+        margin,
+        ..TrainConfig::default()
+    };
     eprintln!("[pkgm] pre-training d={dim} epochs={epochs} lr={lr} margin={margin}…");
     let report = Trainer::new(&model, cfg).train(&mut model, &catalog.store);
     for (i, e) in report.epochs.iter().enumerate() {
@@ -145,16 +160,19 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         .items
         .get(item.index())
         .ok_or_else(|| format!("item {} out of range", item.0))?;
-    println!("item {} — category {} — title: {}", item, meta.category, meta.title.join(" "));
+    println!(
+        "item {} — category {} — title: {}",
+        item,
+        meta.category,
+        meta.title.join(" ")
+    );
     println!("key relations (k = {}):", service.k());
     for &r in service.selector().for_item(item) {
         let rname = catalog.relations.name(r.0).unwrap_or("?");
         let preds = service.predict_tail(item, r, 3);
         let pred_names: Vec<String> = preds
             .iter()
-            .map(|(e, d)| {
-                format!("{} ({d:.2})", catalog.entities.name(e.0).unwrap_or("?"))
-            })
+            .map(|(e, d)| format!("{} ({d:.2})", catalog.entities.name(e.0).unwrap_or("?")))
             .collect();
         println!(
             "  {rname:<18} f_R = {:>7.3}  S_T top-3: {}",
@@ -162,11 +180,36 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             pred_names.join(", ")
         );
     }
-    let condensed = service.condensed_service(item);
+    let (condensed, source): (Vec<f32>, &str) = match args.get("snapshot") {
+        Some(path) => {
+            let snap = serialize::snapshot_from_bytes(&std::fs::read(path)?)?;
+            let row = snap
+                .condensed(item)
+                .ok_or_else(|| format!("item {} beyond snapshot table", item.0))?;
+            (row.to_vec(), "precomputed snapshot")
+        }
+        None => (service.condensed_service(item), "live compute"),
+    };
     println!(
-        "condensed service: {} dims, ‖S‖₂ = {:.3}",
+        "condensed service ({source}): {} dims, ‖S‖₂ = {:.3}",
         condensed.len(),
         condensed.iter().map(|x| x * x).sum::<f32>().sqrt()
+    );
+    Ok(())
+}
+
+fn snapshot(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let service = load_service(args)?;
+    let out = args.require("out")?;
+    let start = std::time::Instant::now();
+    let snap = ServiceSnapshot::build(&service);
+    std::fs::write(out, serialize::snapshot_to_bytes(&snap))?;
+    println!(
+        "wrote serving snapshot to {out}: {} rows × {} dims ({:.1} MiB, built in {:.2}s)",
+        snap.n_rows(),
+        2 * snap.dim(),
+        std::fs::metadata(out)?.len() as f64 / (1024.0 * 1024.0),
+        start.elapsed().as_secs_f64()
     );
     Ok(())
 }
@@ -200,6 +243,8 @@ fn print_help() {
          \u{20}  pretrain  --preset P --seed N --dim 32 --epochs 8 --k 10 [--lr 0.005]\n\
          \u{20}            [--margin 4] --out service.bin\n\
          \u{20}  serve     --preset P --seed N --service service.bin --item 0\n\
+         \u{20}            [--snapshot serving.snap]\n\
+         \u{20}  snapshot  --service service.bin --out serving.snap\n\
          \u{20}  eval      --preset P --seed N --service service.bin [--max-facts 300]\n"
     );
 }

@@ -35,7 +35,11 @@ fn stats_reports_counts() {
         .args(["stats", "--preset", "tiny", "--seed", "3"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("# Triples"));
     assert!(text.contains("held-out"));
@@ -48,13 +52,23 @@ fn generate_writes_tsv_and_items_json() {
     let items = dir.join("items.json");
     let out = pkgm()
         .args([
-            "generate", "--preset", "tiny", "--seed", "4",
-            "--out", kg.to_str().unwrap(),
-            "--items-out", items.to_str().unwrap(),
+            "generate",
+            "--preset",
+            "tiny",
+            "--seed",
+            "4",
+            "--out",
+            kg.to_str().unwrap(),
+            "--items-out",
+            items.to_str().unwrap(),
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let tsv = std::fs::read_to_string(&kg).unwrap();
     assert!(tsv.lines().count() > 100);
     assert!(tsv.lines().all(|l| l.split('\t').count() == 3));
@@ -70,34 +84,122 @@ fn pretrain_serve_eval_roundtrip() {
     let svc = dir.join("svc.bin");
     let out = pkgm()
         .args([
-            "pretrain", "--preset", "tiny", "--seed", "5", "--dim", "8",
-            "--epochs", "2", "--k", "3", "--out", svc.to_str().unwrap(),
+            "pretrain",
+            "--preset",
+            "tiny",
+            "--seed",
+            "5",
+            "--dim",
+            "8",
+            "--epochs",
+            "2",
+            "--k",
+            "3",
+            "--out",
+            svc.to_str().unwrap(),
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(svc.exists());
 
     let out = pkgm()
         .args([
-            "serve", "--preset", "tiny", "--seed", "5",
-            "--service", svc.to_str().unwrap(), "--item", "0",
+            "serve",
+            "--preset",
+            "tiny",
+            "--seed",
+            "5",
+            "--service",
+            svc.to_str().unwrap(),
+            "--item",
+            "0",
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("key relations (k = 3)"));
-    assert!(text.contains("condensed service: 16 dims"));
+    assert!(text.contains("condensed service (live compute): 16 dims"));
+    let live_norm = text
+        .split("‖S‖₂ = ")
+        .nth(1)
+        .map(str::trim)
+        .unwrap()
+        .to_string();
+
+    let snap = dir.join("serving.snap");
+    let out = pkgm()
+        .args([
+            "snapshot",
+            "--service",
+            svc.to_str().unwrap(),
+            "--out",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(snap.exists());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote serving snapshot"));
 
     let out = pkgm()
         .args([
-            "eval", "--preset", "tiny", "--seed", "5",
-            "--service", svc.to_str().unwrap(), "--max-facts", "50",
+            "serve",
+            "--preset",
+            "tiny",
+            "--seed",
+            "5",
+            "--service",
+            svc.to_str().unwrap(),
+            "--item",
+            "0",
+            "--snapshot",
+            snap.to_str().unwrap(),
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("condensed service (precomputed snapshot): 16 dims"));
+    let snap_norm = text.split("‖S‖₂ = ").nth(1).map(str::trim).unwrap();
+    assert_eq!(snap_norm, live_norm, "snapshot must match live compute");
+
+    let out = pkgm()
+        .args([
+            "eval",
+            "--preset",
+            "tiny",
+            "--seed",
+            "5",
+            "--service",
+            svc.to_str().unwrap(),
+            "--max-facts",
+            "50",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("MRR"));
     assert!(text.contains("relation-existence AUC"));
@@ -106,7 +208,10 @@ fn pretrain_serve_eval_roundtrip() {
 
 #[test]
 fn missing_required_flag_is_reported() {
-    let out = pkgm().args(["pretrain", "--preset", "tiny"]).output().unwrap();
+    let out = pkgm()
+        .args(["pretrain", "--preset", "tiny"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
 }

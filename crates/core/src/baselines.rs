@@ -88,7 +88,9 @@ pub trait KgeBaseline: Sync {
 
 fn init_vec(n: usize, d: usize, rng: &mut SmallRng) -> Vec<f32> {
     let bound = 6.0 / (d as f64).sqrt();
-    (0..n * d).map(|_| rng.gen_range(-bound..bound) as f32).collect()
+    (0..n * d)
+        .map(|_| rng.gen_range(-bound..bound) as f32)
+        .collect()
 }
 
 fn normalize_row(row: &mut [f32]) {
@@ -132,7 +134,13 @@ impl TransH {
         for r in 0..n_relations {
             normalize_row(&mut w_r[r * dim..(r + 1) * dim]);
         }
-        Self { dim, n_entities, ent, d_r, w_r }
+        Self {
+            dim,
+            n_entities,
+            ent,
+            d_r,
+            w_r,
+        }
     }
 
     fn residual(&self, t: Triple) -> (Vec<f32>, f32, f32) {
@@ -282,7 +290,12 @@ mod tests {
     #[test]
     fn transh_loss_decreases_and_ranks_improve() {
         let store = toy();
-        let mut m = TransH::new(store.n_entities() as usize, store.n_relations() as usize, 16, 1);
+        let mut m = TransH::new(
+            store.n_entities() as usize,
+            store.n_relations() as usize,
+            16,
+            1,
+        );
         let (first, last) = train(&mut m, &store, 40);
         assert!(last < first, "TransH loss rose: {first} → {last}");
         let test: Vec<Triple> = store.triples().iter().copied().take(8).collect();
@@ -293,8 +306,12 @@ mod tests {
     #[test]
     fn distmult_loss_decreases() {
         let store = toy();
-        let mut m =
-            DistMult::new(store.n_entities() as usize, store.n_relations() as usize, 16, 1);
+        let mut m = DistMult::new(
+            store.n_entities() as usize,
+            store.n_relations() as usize,
+            16,
+            1,
+        );
         let (first, last) = train(&mut m, &store, 40);
         assert!(last < first, "DistMult loss rose: {first} → {last}");
     }
@@ -302,7 +319,12 @@ mod tests {
     #[test]
     fn transh_hyperplanes_stay_unit_norm() {
         let store = toy();
-        let mut m = TransH::new(store.n_entities() as usize, store.n_relations() as usize, 8, 2);
+        let mut m = TransH::new(
+            store.n_entities() as usize,
+            store.n_relations() as usize,
+            8,
+            2,
+        );
         train(&mut m, &store, 5);
         for r in 0..store.n_relations() as usize {
             let w = &m.w_r[r * 8..(r + 1) * 8];
@@ -314,8 +336,18 @@ mod tests {
     #[test]
     fn names_are_stable() {
         let store = toy();
-        let h = TransH::new(store.n_entities() as usize, store.n_relations() as usize, 4, 0);
-        let d = DistMult::new(store.n_entities() as usize, store.n_relations() as usize, 4, 0);
+        let h = TransH::new(
+            store.n_entities() as usize,
+            store.n_relations() as usize,
+            4,
+            0,
+        );
+        let d = DistMult::new(
+            store.n_entities() as usize,
+            store.n_relations() as usize,
+            4,
+            0,
+        );
         assert_eq!(h.name(), "TransH");
         assert_eq!(d.name(), "DistMult");
     }

@@ -84,7 +84,12 @@ pub fn summarize_ranks(ranks: &[usize], ks: &[usize]) -> LinkPredictionReport {
             (k, h)
         })
         .collect();
-    LinkPredictionReport { mrr, mean_rank, hits, n: ranks.len() }
+    LinkPredictionReport {
+        mrr,
+        mean_rank,
+        hits,
+        n: ranks.len(),
+    }
 }
 
 /// Rank the true head of each test triple against every entity, scoring with
@@ -353,7 +358,11 @@ mod tests {
         let report = rank_heads(&model, &test, Some(&store), &[10]);
         // 12 items share each tail, so several heads are plausible; still the
         // true head should rank well inside the 17-entity space.
-        assert!(report.hits_at(10).unwrap() > 0.5, "hits@10 {:?}", report.hits);
+        assert!(
+            report.hits_at(10).unwrap() > 0.5,
+            "hits@10 {:?}",
+            report.hits
+        );
         assert!(report.mean_rank < store.n_entities() as f64 / 2.0);
     }
 

@@ -26,11 +26,15 @@
 //! * [`service`] — the serving layer: per-item `2k` service vectors for
 //!   sequence models (Fig. 2) and the condensed single vector (Eq. 8–9, 20,
 //!   Fig. 3), plus tail-entity completion;
-//! * [`serving`] — a thread-safe memoizing front-end for deployment-style
-//!   fan-out to many downstream consumers;
+//! * [`serving`] — a sharded, thread-safe memoizing front-end (with batch
+//!   entry points) for deployment-style fan-out to many downstream
+//!   consumers;
+//! * [`snapshot`] — every entity's condensed service precomputed into one
+//!   contiguous table for O(1) zero-compute serving;
 //! * [`baselines`] — TransE (ablation: triple module only), TransH and
 //!   DistMult for link-prediction context;
-//! * [`serialize`] — compact binary snapshots of trained models.
+//! * [`serialize`] — compact binary snapshots of trained models, services
+//!   and serving tables.
 
 pub mod baselines;
 pub mod eval;
@@ -39,11 +43,13 @@ pub mod negative;
 pub mod serialize;
 pub mod service;
 pub mod serving;
+pub mod snapshot;
 pub mod trainer;
 
 pub use eval::{LinkPredictionReport, RelationExistenceReport};
 pub use model::{PkgmConfig, PkgmModel};
 pub use negative::NegativeSampler;
-pub use service::KnowledgeService;
+pub use service::{KnowledgeService, ServiceScratch};
 pub use serving::{CacheStats, CachedService};
+pub use snapshot::ServiceSnapshot;
 pub use trainer::{TrainConfig, TrainReport, Trainer};

@@ -26,12 +26,20 @@ pub struct PkgmConfig {
 impl PkgmConfig {
     /// Paper defaults at a given dimension.
     pub fn new(dim: usize) -> Self {
-        Self { dim, relation_module: true, init_noise: 0.05, seed: 0 }
+        Self {
+            dim,
+            relation_module: true,
+            init_noise: 0.05,
+            seed: 0,
+        }
     }
 
     /// TransE ablation (triple module only).
     pub fn transe(dim: usize) -> Self {
-        Self { relation_module: false, ..Self::new(dim) }
+        Self {
+            relation_module: false,
+            ..Self::new(dim)
+        }
     }
 
     /// Set the init seed.
@@ -69,10 +77,11 @@ impl PkgmModel {
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9);
         let d = cfg.dim;
         let bound = 6.0 / (d as f64).sqrt();
-        let sample_emb =
-            |rng: &mut SmallRng, n: usize| -> Vec<f32> {
-                (0..n).map(|_| rng.gen_range(-bound..bound) as f32).collect()
-            };
+        let sample_emb = |rng: &mut SmallRng, n: usize| -> Vec<f32> {
+            (0..n)
+                .map(|_| rng.gen_range(-bound..bound) as f32)
+                .collect()
+        };
         let ent = sample_emb(&mut rng, n_entities * d);
         let rel = sample_emb(&mut rng, n_relations * d);
         let mats = if cfg.relation_module {
@@ -89,7 +98,14 @@ impl PkgmModel {
         } else {
             Vec::new()
         };
-        Self { cfg, n_entities, n_relations, ent, rel, mats }
+        Self {
+            cfg,
+            n_entities,
+            n_relations,
+            ent,
+            rel,
+            mats,
+        }
     }
 
     /// Embedding dimension.
@@ -295,7 +311,10 @@ mod tests {
     fn transe_config_disables_relation_module() {
         let m = PkgmModel::new(5, 2, PkgmConfig::transe(4));
         assert_eq!(m.score_relation(EntityId(0), RelationId(0)), 0.0);
-        assert_eq!(m.score(Triple::from_raw(0, 0, 1)), m.score_triple(Triple::from_raw(0, 0, 1)));
+        assert_eq!(
+            m.score(Triple::from_raw(0, 0, 1)),
+            m.score_triple(Triple::from_raw(0, 0, 1))
+        );
         assert!(m.mats.is_empty());
     }
 

@@ -113,7 +113,10 @@ mod tests {
         for _ in 0..200 {
             let (neg, _) = sampler.corrupt(pos, &s, &mut rng);
             assert_ne!(neg, pos);
-            assert!(!s.contains(neg), "filtered sampler returned a known positive");
+            assert!(
+                !s.contains(neg),
+                "filtered sampler returned a known positive"
+            );
         }
     }
 
@@ -152,7 +155,10 @@ mod tests {
         let rels = (0..300)
             .filter(|_| often.corrupt(pos, &s, &mut rng).1 == Corruption::Relation)
             .count();
-        assert!(rels > 200, "expected ~90% relation corruptions, got {rels}/300");
+        assert!(
+            rels > 200,
+            "expected ~90% relation corruptions, got {rels}/300"
+        );
     }
 
     #[test]

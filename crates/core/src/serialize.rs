@@ -18,10 +18,12 @@
 
 use crate::model::{PkgmConfig, PkgmModel};
 use crate::service::KnowledgeService;
+use crate::snapshot::ServiceSnapshot;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use pkgm_store::KeyRelationSelector;
 
 const MAGIC: &[u8; 8] = b"PKGMMD1\0";
+const SNAPSHOT_MAGIC: &[u8; 8] = b"PKGMSS1\0";
 
 /// Serialization errors.
 #[derive(Debug)]
@@ -65,7 +67,9 @@ pub fn model_to_bytes(model: &PkgmModel) -> Bytes {
 pub fn model_from_bytes(bytes: &[u8]) -> Result<(PkgmModel, usize), SerializeError> {
     let mut b = bytes;
     if b.len() < 32 || &b[..8] != MAGIC {
-        return Err(SerializeError::Corrupt("bad magic or truncated header".into()));
+        return Err(SerializeError::Corrupt(
+            "bad magic or truncated header".into(),
+        ));
     }
     b.advance(8);
     let dim = b.get_u32_le() as usize;
@@ -75,7 +79,11 @@ pub fn model_from_bytes(bytes: &[u8]) -> Result<(PkgmModel, usize), SerializeErr
     let n_relations = b.get_u64_le() as usize;
     let n_floats = n_entities * dim
         + n_relations * dim
-        + if relation_module { n_relations * dim * dim } else { 0 };
+        + if relation_module {
+            n_relations * dim * dim
+        } else {
+            0
+        };
     if b.remaining() < n_floats * 4 {
         return Err(SerializeError::Corrupt(format!(
             "expected {} parameter bytes, found {}",
@@ -98,9 +106,20 @@ pub fn model_from_bytes(bytes: &[u8]) -> Result<(PkgmModel, usize), SerializeErr
         Vec::new()
     };
     let consumed = bytes.len() - b.remaining();
-    let cfg = PkgmConfig { dim, relation_module, ..PkgmConfig::new(dim) };
+    let cfg = PkgmConfig {
+        dim,
+        relation_module,
+        ..PkgmConfig::new(dim)
+    };
     Ok((
-        PkgmModel { cfg, n_entities, n_relations, ent, rel, mats },
+        PkgmModel {
+            cfg,
+            n_entities,
+            n_relations,
+            ent,
+            rel,
+            mats,
+        },
         consumed,
     ))
 }
@@ -108,8 +127,7 @@ pub fn model_from_bytes(bytes: &[u8]) -> Result<(PkgmModel, usize), SerializeErr
 /// Serialize a knowledge service (model + selector).
 pub fn service_to_bytes(service: &KnowledgeService) -> Bytes {
     let model_bytes = model_to_bytes(service.model());
-    let selector_json =
-        serde_json::to_vec(service.selector()).expect("selector serializes");
+    let selector_json = serde_json::to_vec(service.selector()).expect("selector serializes");
     let mut buf = BytesMut::with_capacity(model_bytes.len() + selector_json.len() + 8);
     buf.put_slice(&model_bytes);
     buf.put_u64_le(selector_json.len() as u64);
@@ -131,6 +149,55 @@ pub fn service_from_bytes(bytes: &[u8]) -> Result<KnowledgeService, SerializeErr
     let selector: KeyRelationSelector = serde_json::from_slice(&rest[..len])
         .map_err(|e| SerializeError::Corrupt(format!("selector json: {e}")))?;
     Ok(KnowledgeService::new(model, selector))
+}
+
+/// Serialize a precomputed serving snapshot.
+///
+/// Layout (little-endian): magic `"PKGMSS1\0"`, `dim` u32, `k` u32,
+/// `n_rows` u64, then `n_rows × 2·dim` f32 rows.
+pub fn snapshot_to_bytes(snapshot: &ServiceSnapshot) -> Bytes {
+    let table = snapshot.table();
+    let mut buf = BytesMut::with_capacity(24 + table.len() * 4);
+    buf.put_slice(SNAPSHOT_MAGIC);
+    buf.put_u32_le(snapshot.dim() as u32);
+    buf.put_u32_le(snapshot.k() as u32);
+    buf.put_u64_le(snapshot.n_rows() as u64);
+    for &x in table {
+        buf.put_f32_le(x);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a serving snapshot.
+pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<ServiceSnapshot, SerializeError> {
+    let mut b = bytes;
+    if b.len() < 24 || &b[..8] != SNAPSHOT_MAGIC {
+        return Err(SerializeError::Corrupt(
+            "bad snapshot magic or truncated header".into(),
+        ));
+    }
+    b.advance(8);
+    let dim = b.get_u32_le() as usize;
+    let k = b.get_u32_le() as usize;
+    let n_rows = b.get_u64_le() as usize;
+    if dim == 0 {
+        return Err(SerializeError::Corrupt(
+            "snapshot dim must be positive".into(),
+        ));
+    }
+    let n_floats = n_rows * 2 * dim;
+    if b.remaining() != n_floats * 4 {
+        return Err(SerializeError::Corrupt(format!(
+            "expected {} snapshot table bytes, found {}",
+            n_floats * 4,
+            b.remaining()
+        )));
+    }
+    let mut rows = Vec::with_capacity(n_floats);
+    for _ in 0..n_floats {
+        rows.push(b.get_f32_le());
+    }
+    Ok(ServiceSnapshot::from_parts(dim, k, rows))
 }
 
 #[cfg(test)]
@@ -201,5 +268,46 @@ mod tests {
             back.condensed_service(EntityId(2)),
             svc.condensed_service(EntityId(2))
         );
+    }
+
+    fn test_service() -> KnowledgeService {
+        let mut b = StoreBuilder::new();
+        for i in 0..4u32 {
+            b.add_raw(i, 0, 4 + i % 2);
+            b.add_raw(i, 1, 6);
+        }
+        let store = b.build();
+        let pairs: Vec<(EntityId, u32)> = (0..4).map(|i| (EntityId(i), 0)).collect();
+        let selector = pkgm_store::KeyRelationSelector::build(&store, &pairs, 1, 2);
+        let model = PkgmModel::new(
+            store.n_entities() as usize,
+            store.n_relations() as usize,
+            PkgmConfig::new(4).with_seed(5),
+        );
+        KnowledgeService::new(model, selector)
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_exact() {
+        let snap = ServiceSnapshot::build(&test_service());
+        let bytes = snapshot_to_bytes(&snap);
+        let back = snapshot_from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.dim(), snap.dim());
+        assert_eq!(back.k(), snap.k());
+        assert_eq!(back.n_rows(), snap.n_rows());
+    }
+
+    #[test]
+    fn corrupt_snapshot_bytes_are_rejected() {
+        let bytes = snapshot_to_bytes(&ServiceSnapshot::build(&test_service()));
+        assert!(snapshot_from_bytes(&bytes[..12]).is_err());
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(snapshot_from_bytes(&bad).is_err());
+        assert!(snapshot_from_bytes(&bytes[..bytes.len() - 4]).is_err());
+        // Model bytes are not a snapshot.
+        let model_bytes = model_to_bytes(&model());
+        assert!(snapshot_from_bytes(&model_bytes).is_err());
     }
 }

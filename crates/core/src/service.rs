@@ -19,7 +19,30 @@
 
 use crate::model::PkgmModel;
 use pkgm_store::{EntityId, KeyRelationSelector, RelationId};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Items per rayon task in the batch entry points: large enough to amortize
+/// thread dispatch, small enough to balance uneven per-item work.
+const BATCH_CHUNK: usize = 64;
+
+/// Reusable per-thread buffers for service computation, so batch paths do
+/// not allocate two `d`-vectors per (item, relation) pair.
+#[derive(Debug, Clone)]
+pub struct ServiceScratch {
+    t: Vec<f32>,
+    r: Vec<f32>,
+}
+
+impl ServiceScratch {
+    /// Scratch space for a model of embedding dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            t: vec![0.0; dim],
+            r: vec![0.0; dim],
+        }
+    }
+}
 
 /// A trained PKGM bundled with the key-relation selector — everything a
 /// downstream task needs, with no access to the underlying triples.
@@ -127,18 +150,80 @@ impl KnowledgeService {
     /// Condensed single-vector service (Eq. 8–9 / Eq. 20):
     /// `S = (1/k) Σ_j [S_j ; S_{j+k}]`, a `2d` vector.
     pub fn condensed_service(&self, item: EntityId) -> Vec<f32> {
+        let mut out = vec![0.0f32; 2 * self.dim()];
+        let mut scratch = ServiceScratch::new(self.dim());
+        self.condensed_service_into(item, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free condensed service: writes the `2d` vector into `out`
+    /// using caller-provided scratch buffers. This is the hot path behind
+    /// [`KnowledgeService::condensed_service_batch`] and snapshot builds.
+    ///
+    /// Zero-padded slots (categories with fewer than `k` key relations)
+    /// contribute nothing to the sum, so they are skipped rather than
+    /// materialized.
+    ///
+    /// # Panics
+    /// If `out.len() != 2 * self.dim()`.
+    pub fn condensed_service_into(
+        &self,
+        item: EntityId,
+        scratch: &mut ServiceScratch,
+        out: &mut [f32],
+    ) {
         let d = self.dim();
+        assert_eq!(out.len(), 2 * d, "condensed service output must be 2d");
         let k = self.k() as f32;
-        let st = self.triple_vectors(item);
-        let sr = self.relation_vectors(item);
-        let mut out = vec![0.0f32; 2 * d];
-        for (t, r) in st.iter().zip(&sr) {
+        out.fill(0.0);
+        for &r in self.selector.for_item(item) {
+            self.model.service_t_into(item, r, &mut scratch.t);
+            self.model.service_r_into(item, r, &mut scratch.r);
             for i in 0..d {
-                out[i] += t[i] / k;
-                out[d + i] += r[i] / k;
+                out[i] += scratch.t[i] / k;
+                out[d + i] += scratch.r[i] / k;
             }
         }
-        out
+    }
+
+    /// Sequence services for a batch of items, computed in parallel with
+    /// order preserved (`result[i]` belongs to `items[i]`).
+    pub fn sequence_service_batch(&self, items: &[EntityId]) -> Vec<Vec<Vec<f32>>> {
+        items
+            .par_chunks(BATCH_CHUNK)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|&it| self.sequence_service(it))
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Condensed services for a batch of items, computed in parallel with a
+    /// per-thread [`ServiceScratch`] and order preserved.
+    pub fn condensed_service_batch(&self, items: &[EntityId]) -> Vec<Vec<f32>> {
+        let d = self.dim();
+        items
+            .par_chunks(BATCH_CHUNK)
+            .map(|chunk| {
+                let mut scratch = ServiceScratch::new(d);
+                chunk
+                    .iter()
+                    .map(|&it| {
+                        let mut out = vec![0.0f32; 2 * d];
+                        self.condensed_service_into(it, &mut scratch, &mut out);
+                        out
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect()
     }
 
     /// Condensed triple-module-only service (`d` dims) — the PKGM-T ablation
@@ -160,7 +245,8 @@ impl KnowledgeService {
         let d = self.dim();
         let mut base = vec![0.0f32; d];
         self.model.service_t_into(h, r, &mut base);
-        let mut scored: Vec<(EntityId, f32)> = (0..u32::try_from(self.model.n_entities()).expect("entity count fits u32"))
+        let mut scored: Vec<(EntityId, f32)> = (0..u32::try_from(self.model.n_entities())
+            .expect("entity count fits u32"))
             .map(|e| {
                 let dist: f32 = base
                     .iter()
@@ -209,8 +295,7 @@ mod tests {
             b.add_raw(i, 2, 13 + i % 2);
         }
         let store = b.build();
-        let pairs: Vec<(EntityId, u32)> =
-            (0..8u32).map(|i| (EntityId(i), i / 4)).collect();
+        let pairs: Vec<(EntityId, u32)> = (0..8u32).map(|i| (EntityId(i), i / 4)).collect();
         let selector = KeyRelationSelector::build(&store, &pairs, 2, 3);
         let model = PkgmModel::new(
             store.n_entities() as usize,
@@ -300,6 +385,32 @@ mod tests {
         let preds = svc.predict_tail(EntityId(0), RelationId(0), 5);
         assert_eq!(preds.len(), 5);
         assert!(preds.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn condensed_service_into_matches_allocating_path() {
+        let (_, svc) = setup();
+        let mut scratch = ServiceScratch::new(svc.dim());
+        let mut out = vec![0.0f32; 2 * svc.dim()];
+        // Items across both categories plus a non-item entity (all-zero row).
+        for i in 0..14u32 {
+            svc.condensed_service_into(EntityId(i), &mut scratch, &mut out);
+            assert_eq!(out, svc.condensed_service(EntityId(i)));
+        }
+    }
+
+    #[test]
+    fn batch_services_match_per_item_calls() {
+        let (_, svc) = setup();
+        let items: Vec<EntityId> = (0..8u32).map(EntityId).collect();
+        let seq = svc.sequence_service_batch(&items);
+        let cond = svc.condensed_service_batch(&items);
+        assert_eq!(seq.len(), items.len());
+        assert_eq!(cond.len(), items.len());
+        for (i, &item) in items.iter().enumerate() {
+            assert_eq!(seq[i], svc.sequence_service(item));
+            assert_eq!(cond[i], svc.condensed_service(item));
+        }
     }
 
     #[test]

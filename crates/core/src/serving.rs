@@ -5,12 +5,28 @@
 //! the items in their batches). Since service vectors are pure functions of
 //! the frozen model, a small cache in front of [`KnowledgeService`] turns the
 //! `O(k·d²)` relation-module matvecs into a hash lookup for hot items.
+//!
+//! The cache is **sharded**: items are distributed over up to
+//! [`MAX_SHARDS`] independent `RwLock`-protected maps keyed by a
+//! multiplicative hash of the item id. Hits take a single shard read lock
+//! (shared, so concurrent readers never serialize); misses compute outside
+//! any lock and take one shard write lock to publish. Counters are relaxed
+//! atomics, so the hot path never contends on a global statistics lock.
 
-use crate::service::KnowledgeService;
-use parking_lot::Mutex;
-use pkgm_store::fxhash::FxHashMap;
+use crate::service::{KnowledgeService, ServiceScratch};
+use parking_lot::RwLock;
+use pkgm_store::fxhash::{FxHashMap, FxHashSet};
 use pkgm_store::EntityId;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Upper bound on cache shards; small caches use fewer so each shard still
+/// holds a useful number of entries.
+pub const MAX_SHARDS: usize = 16;
+
+/// Items per rayon task when computing batch misses.
+const MISS_CHUNK: usize = 32;
 
 /// Cache statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -23,36 +39,51 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
-/// A memoizing, thread-safe wrapper around [`KnowledgeService`].
-///
-/// Eviction is whole-generation: when the map reaches capacity it is cleared
-/// (a "flush" cache). That keeps the hot path to one hash probe with no LRU
-/// bookkeeping — appropriate for serving scans where batches sweep items in
-/// waves.
-pub struct CachedService {
-    inner: KnowledgeService,
-    capacity: usize,
-    state: Mutex<CacheState>,
+/// A cached sequence service (`2k` vectors) behind a shared pointer.
+type SequenceVectors = Arc<Vec<Vec<f32>>>;
+/// A cached condensed service (one `2d` vector) behind a shared pointer.
+type CondensedVector = Arc<Vec<f32>>;
+
+/// One cache shard: independent maps per service shape.
+#[derive(Default)]
+struct Shard {
+    sequences: RwLock<FxHashMap<u32, SequenceVectors>>,
+    condensed: RwLock<FxHashMap<u32, CondensedVector>>,
 }
 
-struct CacheState {
-    sequences: FxHashMap<u32, Arc<Vec<Vec<f32>>>>,
-    condensed: FxHashMap<u32, Arc<Vec<f32>>>,
-    stats: CacheStats,
+/// A memoizing, thread-safe wrapper around [`KnowledgeService`].
+///
+/// Eviction is per-shard whole-generation: when a shard reaches its share of
+/// the capacity it is cleared (a "flush" cache). That keeps the hot path to
+/// one hash probe with no LRU bookkeeping — appropriate for serving scans
+/// where batches sweep items in waves — while sharding confines each flush
+/// to `1/n_shards` of the cached entries.
+pub struct CachedService {
+    inner: KnowledgeService,
+    shards: Vec<Shard>,
+    /// Capacity bound applied independently to each shard (per shape).
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl CachedService {
     /// Wrap a service with a cache bounded to `capacity` items per shape.
+    ///
+    /// The shard count scales with capacity (one shard per four entries, up
+    /// to [`MAX_SHARDS`]) so tiny caches keep their full capacity in a
+    /// single shard.
     pub fn new(inner: KnowledgeService, capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
+        let n_shards = (capacity / 4).clamp(1, MAX_SHARDS);
         Self {
             inner,
-            capacity,
-            state: Mutex::new(CacheState {
-                sequences: FxHashMap::default(),
-                condensed: FxHashMap::default(),
-                stats: CacheStats::default(),
-            }),
+            shards: (0..n_shards).map(|_| Shard::default()).collect(),
+            shard_capacity: capacity / n_shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -61,54 +92,195 @@ impl CachedService {
         &self.inner
     }
 
+    /// Number of shards the cache was built with.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Fibonacci-style multiplicative hash: consecutive item ids (the common
+    /// access pattern for catalog sweeps) land in different shards.
+    fn shard_of(&self, item: u32) -> &Shard {
+        let h = (item.wrapping_mul(0x9E37_79B1) >> 16) as usize;
+        &self.shards[h % self.shards.len()]
+    }
+
     /// Cached sequence service (`2k` vectors, Fig. 2 shape).
     pub fn sequence_service(&self, item: EntityId) -> Arc<Vec<Vec<f32>>> {
-        {
-            let mut s = self.state.lock();
-            if let Some(hit) = s.sequences.get(&item.0) {
-                let hit = Arc::clone(hit);
-                s.stats.hits += 1;
-                return hit;
-            }
-            s.stats.misses += 1;
+        let shard = self.shard_of(item.0);
+        if let Some(hit) = shard.sequences.read().get(&item.0) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
         }
-        // Compute outside the lock; concurrent misses may compute twice,
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Compute outside any lock; concurrent misses may compute twice,
         // which is benign (the function is pure).
         let fresh = Arc::new(self.inner.sequence_service(item));
-        let mut s = self.state.lock();
-        if s.sequences.len() >= self.capacity {
-            s.stats.evictions += s.sequences.len() as u64;
-            s.sequences.clear();
+        let mut map = shard.sequences.write();
+        if !map.contains_key(&item.0) && map.len() >= self.shard_capacity {
+            self.evictions
+                .fetch_add(map.len() as u64, Ordering::Relaxed);
+            map.clear();
         }
-        s.sequences.insert(item.0, Arc::clone(&fresh));
+        map.insert(item.0, Arc::clone(&fresh));
         fresh
     }
 
     /// Cached condensed service (`2d` vector, Fig. 3 shape).
     pub fn condensed_service(&self, item: EntityId) -> Arc<Vec<f32>> {
-        {
-            let mut s = self.state.lock();
-            if let Some(hit) = s.condensed.get(&item.0) {
-                let hit = Arc::clone(hit);
-                s.stats.hits += 1;
-                return hit;
-            }
-            s.stats.misses += 1;
+        let shard = self.shard_of(item.0);
+        if let Some(hit) = shard.condensed.read().get(&item.0) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let fresh = Arc::new(self.inner.condensed_service(item));
-        let mut s = self.state.lock();
-        if s.condensed.len() >= self.capacity {
-            s.stats.evictions += s.condensed.len() as u64;
-            s.condensed.clear();
-        }
-        s.condensed.insert(item.0, Arc::clone(&fresh));
+        self.publish_condensed(item.0, &fresh);
         fresh
+    }
+
+    fn publish_condensed(&self, key: u32, value: &Arc<Vec<f32>>) {
+        let mut map = self.shard_of(key).condensed.write();
+        if !map.contains_key(&key) && map.len() >= self.shard_capacity {
+            self.evictions
+                .fetch_add(map.len() as u64, Ordering::Relaxed);
+            map.clear();
+        }
+        map.insert(key, Arc::clone(value));
+    }
+
+    /// Cached sequence services for a batch, order preserved. Hits resolve
+    /// with shard read locks; unique misses are computed in parallel, then
+    /// published.
+    pub fn sequence_service_batch(&self, items: &[EntityId]) -> Vec<Arc<Vec<Vec<f32>>>> {
+        let mut out: Vec<Option<Arc<Vec<Vec<f32>>>>> = Vec::with_capacity(items.len());
+        let mut missing: Vec<u32> = Vec::new();
+        let mut seen = FxHashSet::default();
+        for &item in items {
+            let shard = self.shard_of(item.0);
+            match shard.sequences.read().get(&item.0) {
+                Some(hit) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    out.push(Some(Arc::clone(hit)));
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    out.push(None);
+                    if seen.insert(item.0) {
+                        missing.push(item.0);
+                    }
+                }
+            }
+        }
+        if !missing.is_empty() {
+            let computed = self.compute_sequences(&missing);
+            return fill_batch(out, items, &computed);
+        }
+        out.into_iter()
+            .map(|s| s.expect("all slots resolved"))
+            .collect()
+    }
+
+    fn compute_sequences(&self, missing: &[u32]) -> FxHashMap<u32, SequenceVectors> {
+        let fresh: Vec<Vec<(u32, SequenceVectors)>> = missing
+            .par_chunks(MISS_CHUNK)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|&id| (id, Arc::new(self.inner.sequence_service(EntityId(id)))))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut computed = FxHashMap::default();
+        for (id, value) in fresh.into_iter().flatten() {
+            let mut map = self.shard_of(id).sequences.write();
+            if !map.contains_key(&id) && map.len() >= self.shard_capacity {
+                self.evictions
+                    .fetch_add(map.len() as u64, Ordering::Relaxed);
+                map.clear();
+            }
+            map.insert(id, Arc::clone(&value));
+            drop(map);
+            computed.insert(id, value);
+        }
+        computed
+    }
+
+    /// Cached condensed services for a batch, order preserved. Unique misses
+    /// are computed in parallel with per-thread scratch buffers.
+    pub fn condensed_service_batch(&self, items: &[EntityId]) -> Vec<Arc<Vec<f32>>> {
+        let mut out: Vec<Option<Arc<Vec<f32>>>> = Vec::with_capacity(items.len());
+        let mut missing: Vec<u32> = Vec::new();
+        let mut seen = FxHashSet::default();
+        for &item in items {
+            let shard = self.shard_of(item.0);
+            match shard.condensed.read().get(&item.0) {
+                Some(hit) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    out.push(Some(Arc::clone(hit)));
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    out.push(None);
+                    if seen.insert(item.0) {
+                        missing.push(item.0);
+                    }
+                }
+            }
+        }
+        if missing.is_empty() {
+            return out
+                .into_iter()
+                .map(|s| s.expect("all slots resolved"))
+                .collect();
+        }
+        let d = self.inner.dim();
+        let fresh: Vec<Vec<(u32, CondensedVector)>> = missing
+            .par_chunks(MISS_CHUNK)
+            .map(|chunk| {
+                let mut scratch = ServiceScratch::new(d);
+                chunk
+                    .iter()
+                    .map(|&id| {
+                        let mut v = vec![0.0f32; 2 * d];
+                        self.inner
+                            .condensed_service_into(EntityId(id), &mut scratch, &mut v);
+                        (id, Arc::new(v))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut computed = FxHashMap::default();
+        for (id, value) in fresh.into_iter().flatten() {
+            self.publish_condensed(id, &value);
+            computed.insert(id, value);
+        }
+        fill_batch(out, items, &computed)
     }
 
     /// Snapshot of hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
-        self.state.lock().stats
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
+}
+
+/// Resolve remaining `None` slots from the freshly computed map.
+fn fill_batch<T>(
+    slots: Vec<Option<Arc<T>>>,
+    items: &[EntityId],
+    computed: &FxHashMap<u32, Arc<T>>,
+) -> Vec<Arc<T>> {
+    slots
+        .into_iter()
+        .zip(items)
+        .map(|(slot, item)| match slot {
+            Some(v) => v,
+            None => Arc::clone(&computed[&item.0]),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -169,7 +341,10 @@ mod tests {
             .map(|i| cached.condensed_service(EntityId(i % 8)))
             .collect();
         for (i, r) in results.iter().enumerate() {
-            assert_eq!(**r, cached.inner().condensed_service(EntityId(i as u32 % 8)));
+            assert_eq!(
+                **r,
+                cached.inner().condensed_service(EntityId(i as u32 % 8))
+            );
         }
         let stats = cached.stats();
         assert_eq!(stats.hits + stats.misses, 64);
@@ -180,5 +355,63 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         CachedService::new(service(), 0);
+    }
+
+    #[test]
+    fn shard_count_scales_with_capacity() {
+        let svc = service();
+        assert_eq!(CachedService::new(svc.clone(), 1).n_shards(), 1);
+        assert_eq!(CachedService::new(svc.clone(), 16).n_shards(), 4);
+        assert_eq!(CachedService::new(svc, 8192).n_shards(), MAX_SHARDS);
+    }
+
+    #[test]
+    fn batch_matches_per_item_and_counts_stats() {
+        let cached = CachedService::new(service(), 64);
+        let items: Vec<EntityId> = (0..8u32).chain(0..8u32).map(EntityId).collect();
+        let cond = cached.condensed_service_batch(&items);
+        let seq = cached.sequence_service_batch(&items);
+        for (i, &item) in items.iter().enumerate() {
+            assert_eq!(*cond[i], cached.inner().condensed_service(item));
+            assert_eq!(*seq[i], cached.inner().sequence_service(item));
+        }
+        let stats = cached.stats();
+        // Each shape saw 16 requests over 8 unique ids; duplicates within one
+        // batch resolve from the computed set, counted as misses.
+        assert_eq!(stats.hits + stats.misses, 32);
+        assert!(stats.misses >= 16);
+        // A second batch is all hits.
+        let before = cached.stats().hits;
+        cached.condensed_service_batch(&items);
+        assert_eq!(cached.stats().hits, before + items.len() as u64);
+    }
+
+    #[test]
+    fn concurrent_stress_mixes_batch_and_single() {
+        let cached = std::sync::Arc::new(CachedService::new(service(), 64));
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let cached = std::sync::Arc::clone(&cached);
+                s.spawn(move || {
+                    for round in 0..20u32 {
+                        let base = (t + round) % 8;
+                        if round % 2 == 0 {
+                            let items: Vec<EntityId> =
+                                (0..8u32).map(|i| EntityId((base + i) % 8)).collect();
+                            for (j, v) in cached.condensed_service_batch(&items).iter().enumerate()
+                            {
+                                assert_eq!(**v, cached.inner().condensed_service(items[j]));
+                            }
+                        } else {
+                            let v = cached.sequence_service(EntityId(base));
+                            assert_eq!(*v, cached.inner().sequence_service(EntityId(base)));
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cached.stats();
+        assert!(stats.hits > 0, "stress run should hit the cache: {stats:?}");
+        assert!(stats.misses > 0);
     }
 }

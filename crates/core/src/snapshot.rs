@@ -1,0 +1,140 @@
+//! Precomputed serving table: every entity's condensed service in one
+//! contiguous `f32` block.
+//!
+//! A [`ServiceSnapshot`] trades memory (`n_entities × 2d` floats) for O(1)
+//! zero-compute lookups — no matvecs, no hashing, no locks. It is the
+//! deployment shape for read-only serving fleets: build once after
+//! pre-training (or via `pkgm snapshot`), ship the bytes, and answer
+//! condensed-service queries with a row slice.
+
+use crate::service::{KnowledgeService, ServiceScratch};
+use pkgm_store::EntityId;
+use rayon::prelude::*;
+
+/// Rows per rayon task when building the table.
+const BUILD_CHUNK: usize = 128;
+
+/// Dense table of condensed service vectors, one `2d` row per entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSnapshot {
+    dim: usize,
+    k: usize,
+    rows: Vec<f32>,
+}
+
+impl ServiceSnapshot {
+    /// Precompute the condensed service of every entity in `service`'s
+    /// model, in parallel with per-thread scratch buffers.
+    pub fn build(service: &KnowledgeService) -> Self {
+        let d = service.dim();
+        let row_len = 2 * d;
+        let n = service.model().n_entities();
+        let mut rows = vec![0.0f32; n * row_len];
+        rows.par_chunks_mut(row_len * BUILD_CHUNK)
+            .enumerate()
+            .for_each(|(ci, block)| {
+                let mut scratch = ServiceScratch::new(d);
+                for (j, row) in block.chunks_mut(row_len).enumerate() {
+                    let id = u32::try_from(ci * BUILD_CHUNK + j).expect("entity count fits u32");
+                    service.condensed_service_into(EntityId(id), &mut scratch, row);
+                }
+            });
+        Self {
+            dim: d,
+            k: service.k(),
+            rows,
+        }
+    }
+
+    /// Reassemble a snapshot from its stored parts (used by
+    /// `serialize::snapshot_from_bytes`).
+    pub(crate) fn from_parts(dim: usize, k: usize, rows: Vec<f32>) -> Self {
+        assert!(dim > 0, "snapshot dim must be positive");
+        assert_eq!(
+            rows.len() % (2 * dim),
+            0,
+            "snapshot table must be whole rows"
+        );
+        Self { dim, k, rows }
+    }
+
+    /// Embedding dimension `d` (rows are `2d` long).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Key relations per item the source service used.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of entity rows in the table.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len() / (2 * self.dim)
+    }
+
+    /// O(1) condensed-service lookup; `None` for ids beyond the table.
+    pub fn condensed(&self, item: EntityId) -> Option<&[f32]> {
+        let row_len = 2 * self.dim;
+        let start = (item.0 as usize).checked_mul(row_len)?;
+        self.rows.get(start..start + row_len)
+    }
+
+    /// The raw row-major table (`n_rows × 2d`).
+    pub fn table(&self) -> &[f32] {
+        &self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PkgmConfig, PkgmModel};
+    use pkgm_store::{KeyRelationSelector, StoreBuilder};
+
+    fn service() -> KnowledgeService {
+        let mut b = StoreBuilder::new();
+        for i in 0..6u32 {
+            b.add_raw(i, 0, 6 + i % 3);
+            b.add_raw(i, 1, 9);
+        }
+        let store = b.build();
+        let pairs: Vec<(EntityId, u32)> = (0..6).map(|i| (EntityId(i), 0)).collect();
+        let sel = KeyRelationSelector::build(&store, &pairs, 2, 2);
+        let model = PkgmModel::new(
+            store.n_entities() as usize,
+            store.n_relations() as usize,
+            PkgmConfig::new(8).with_seed(3),
+        );
+        KnowledgeService::new(model, sel)
+    }
+
+    #[test]
+    fn snapshot_rows_match_live_service() {
+        let svc = service();
+        let snap = ServiceSnapshot::build(&svc);
+        assert_eq!(snap.n_rows(), svc.model().n_entities());
+        assert_eq!(snap.dim(), svc.dim());
+        assert_eq!(snap.k(), svc.k());
+        for i in 0..snap.n_rows() as u32 {
+            let row = snap.condensed(EntityId(i)).expect("row in range");
+            assert_eq!(row, svc.condensed_service(EntityId(i)).as_slice());
+        }
+    }
+
+    #[test]
+    fn out_of_range_lookup_is_none() {
+        let snap = ServiceSnapshot::build(&service());
+        assert!(snap.condensed(EntityId(snap.n_rows() as u32)).is_none());
+        assert!(snap.condensed(EntityId(u32::MAX)).is_none());
+    }
+
+    #[test]
+    fn table_is_contiguous_row_major() {
+        let svc = service();
+        let snap = ServiceSnapshot::build(&svc);
+        let row_len = 2 * snap.dim();
+        let row2 = snap.condensed(EntityId(2)).expect("row 2");
+        assert_eq!(&snap.table()[2 * row_len..3 * row_len], row2);
+    }
+}

@@ -69,7 +69,10 @@ impl Default for TrainConfig {
 impl TrainConfig {
     /// The paper's pre-training setting (lr 1e-4, batch 1000, 2 epochs).
     pub fn paper() -> Self {
-        Self { lr: 1e-4, ..Self::default() }
+        Self {
+            lr: 1e-4,
+            ..Self::default()
+        }
     }
 }
 
@@ -295,7 +298,10 @@ impl Trainer {
         for epoch in 0..self.cfg.epochs {
             epochs.push(self.train_epoch(model, store, epoch as u64));
         }
-        TrainReport { epochs, wall_secs: start.elapsed().as_secs_f64() }
+        TrainReport {
+            epochs,
+            wall_secs: start.elapsed().as_secs_f64(),
+        }
     }
 
     /// One pass over the triples, in shuffled minibatches.
@@ -316,14 +322,7 @@ impl Trainer {
 
         let batch_size = self.cfg.batch_size.max(1);
         for (batch_idx, batch) in order.chunks(batch_size).enumerate() {
-            let acc = self.batch_gradients(
-                model,
-                store,
-                &sampler,
-                batch,
-                epoch,
-                batch_idx as u64,
-            );
+            let acc = self.batch_gradients(model, store, &sampler, batch, epoch, batch_idx as u64);
             total_loss += acc.loss;
             total_violations += acc.violations;
             total_pairs += acc.pairs;
@@ -558,7 +557,11 @@ mod tests {
                 store.n_relations() as usize,
                 PkgmConfig::new(8).with_seed(4),
             );
-            let cfg = TrainConfig { parallel, batch_size: 512, ..quick_cfg(4) };
+            let cfg = TrainConfig {
+                parallel,
+                batch_size: 512,
+                ..quick_cfg(4)
+            };
             let mut trainer = Trainer::new(&model, cfg);
             let report = trainer.train(&mut model, &store);
             assert!(report.epochs.last().unwrap().violation_rate < 0.9);

@@ -1,10 +1,10 @@
 //! Integration/property tests for PKGM training, sampling, and serving.
 
 use pkgm_core::{
-    eval, serialize, KnowledgeService, NegativeSampler, PkgmConfig, PkgmModel, TrainConfig,
-    Trainer,
+    eval, serialize, CachedService, KnowledgeService, NegativeSampler, PkgmConfig, PkgmModel,
+    ServiceSnapshot, TrainConfig, Trainer,
 };
-use pkgm_store::{EntityId, RelationId, StoreBuilder, Triple, TripleStore};
+use pkgm_store::{EntityId, KeyRelationSelector, RelationId, StoreBuilder, Triple, TripleStore};
 use pkgm_synth::{Catalog, CatalogConfig};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -36,7 +36,10 @@ fn negative_sampler_balances_head_and_tail_corruptions() {
         }
     }
     let ratio = heads as f64 / (heads + tails) as f64;
-    assert!((ratio - 0.5).abs() < 0.05, "head/tail split {ratio} far from 0.5");
+    assert!(
+        (ratio - 0.5).abs() < 0.05,
+        "head/tail split {ratio} far from 0.5"
+    );
 }
 
 #[test]
@@ -116,7 +119,10 @@ fn service_of_saved_and_loaded_model_identical_on_every_item() {
     let bytes = serialize::service_to_bytes(&service);
     let back = serialize::service_from_bytes(&bytes).unwrap();
     for m in &catalog.items {
-        assert_eq!(back.sequence_service(m.entity), service.sequence_service(m.entity));
+        assert_eq!(
+            back.sequence_service(m.entity),
+            service.sequence_service(m.entity)
+        );
     }
 }
 
@@ -175,5 +181,52 @@ proptest! {
         }
         let svc = model.service_t(EntityId(0), RelationId(0));
         prop_assert!(svc.iter().all(|x| x.is_finite()));
+    }
+
+    /// The sharded cache and the snapshot table are transparent memos: for
+    /// arbitrary graphs, cache capacities, and query orders, every vector
+    /// they return is byte-identical to the uncached computation — single
+    /// calls and batch entry points alike.
+    #[test]
+    fn sharded_cache_and_snapshot_are_transparent(
+        triples in prop::collection::vec((0u32..10, 0u32..3, 10u32..16), 2..40),
+        capacity in 1usize..40,
+        queries in prop::collection::vec(0u32..12, 1..60),
+    ) {
+        fn bits(v: &[f32]) -> Vec<u32> {
+            v.iter().map(|x| x.to_bits()).collect()
+        }
+        let mut b = StoreBuilder::new();
+        for &(h, r, t) in &triples {
+            b.add_raw(h, r, t);
+        }
+        let store = b.build();
+        let items: Vec<(EntityId, u32)> = (0..10).map(|i| (EntityId(i), i % 2)).collect();
+        let selector = KeyRelationSelector::build(&store, &items, 2, 2);
+        let model = PkgmModel::new(
+            store.n_entities() as usize,
+            store.n_relations() as usize,
+            PkgmConfig::new(8).with_seed(7),
+        );
+        let service = KnowledgeService::new(model, selector);
+        let cached = CachedService::new(service.clone(), capacity);
+        for &q in &queries {
+            let item = EntityId(q);
+            prop_assert_eq!(
+                bits(&cached.condensed_service(item)),
+                bits(&service.condensed_service(item))
+            );
+            prop_assert_eq!(&*cached.sequence_service(item), &service.sequence_service(item));
+        }
+        let batch: Vec<EntityId> = queries.iter().map(|&q| EntityId(q)).collect();
+        for (i, v) in cached.condensed_service_batch(&batch).iter().enumerate() {
+            prop_assert_eq!(bits(v), bits(&service.condensed_service(batch[i])));
+        }
+        let snapshot = ServiceSnapshot::build(&service);
+        for &q in &queries {
+            if let Some(row) = snapshot.condensed(EntityId(q)) {
+                prop_assert_eq!(bits(row), bits(&service.condensed_service(EntityId(q))));
+            }
+        }
     }
 }

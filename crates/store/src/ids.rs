@@ -57,7 +57,11 @@ impl Triple {
     /// Construct a triple from raw ids.
     #[inline]
     pub fn new(head: EntityId, relation: RelationId, tail: EntityId) -> Self {
-        Self { head, relation, tail }
+        Self {
+            head,
+            relation,
+            tail,
+        }
     }
 
     /// Construct from bare `u32`s; convenient in tests and generators.

@@ -27,7 +27,8 @@ impl Interner {
         if let Some(&id) = self.lookup.get(name) {
             return id;
         }
-        let id = u32::try_from(self.names.len()).expect("interner overflow: more than u32::MAX names");
+        let id =
+            u32::try_from(self.names.len()).expect("interner overflow: more than u32::MAX names");
         self.names.push(name.to_owned());
         self.lookup.insert(name.to_owned(), id);
         id
@@ -55,7 +56,10 @@ impl Interner {
 
     /// Iterate `(id, name)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.names.iter().enumerate().map(|(i, n)| (i as u32, n.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
     }
 
     /// Rebuild the reverse lookup; required after deserializing (the lookup
@@ -109,7 +113,10 @@ mod tests {
         let mut i = Interner::new();
         i.intern("p");
         i.intern("q");
-        let mut clone = Interner { names: i.names.clone(), lookup: Default::default() };
+        let mut clone = Interner {
+            names: i.names.clone(),
+            lookup: Default::default(),
+        };
         assert_eq!(clone.get("q"), None); // lookup empty before rebuild
         clone.rebuild_lookup();
         assert_eq!(clone.get("q"), Some(1));

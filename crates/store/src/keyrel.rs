@@ -60,8 +60,7 @@ impl KeyRelationSelector {
         }
 
         // Count, per category, how many items carry each relation.
-        let mut counts: Vec<FxHashMap<RelationId, u64>> =
-            vec![FxHashMap::default(); n_categories];
+        let mut counts: Vec<FxHashMap<RelationId, u64>> = vec![FxHashMap::default(); n_categories];
         for &(item, cat) in item_category {
             for &r in store.relations_of(item) {
                 *counts[cat as usize].entry(r).or_insert(0) += 1;
@@ -78,7 +77,11 @@ impl KeyRelationSelector {
             })
             .collect();
 
-        Self { k, per_category, category_of }
+        Self {
+            k,
+            per_category,
+            category_of,
+        }
     }
 
     /// The configured k.

@@ -76,7 +76,11 @@ pub struct Pattern {
 impl Pattern {
     /// Construct a pattern.
     pub fn new(head: Term, relation: Term, tail: Term) -> Self {
-        Self { head, relation, tail }
+        Self {
+            head,
+            relation,
+            tail,
+        }
     }
 }
 
@@ -262,7 +266,10 @@ mod tests {
     #[test]
     fn triple_query_form() {
         // SELECT ?t WHERE { e0 r0 ?t }
-        let r = solve(&store(), &[Pattern::new(Term::ent(0), Term::rel(0), Term::Var(0))]);
+        let r = solve(
+            &store(),
+            &[Pattern::new(Term::ent(0), Term::rel(0), Term::Var(0))],
+        );
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].entity(0), Some(EntityId(10)));
     }
@@ -312,11 +319,19 @@ mod tests {
     fn fully_bound_pattern_is_a_containment_check() {
         let s = store();
         assert_eq!(
-            solve(&s, &[Pattern::new(Term::ent(0), Term::rel(0), Term::ent(10))]).len(),
+            solve(
+                &s,
+                &[Pattern::new(Term::ent(0), Term::rel(0), Term::ent(10))]
+            )
+            .len(),
             1
         );
         assert_eq!(
-            solve(&s, &[Pattern::new(Term::ent(0), Term::rel(0), Term::ent(11))]).len(),
+            solve(
+                &s,
+                &[Pattern::new(Term::ent(0), Term::rel(0), Term::ent(11))]
+            )
+            .len(),
             0
         );
     }
@@ -324,7 +339,10 @@ mod tests {
     #[test]
     fn unbound_head_falls_back_to_scan() {
         // SELECT ?h WHERE { ?h ?r e12 }
-        let r = solve(&store(), &[Pattern::new(Term::Var(0), Term::Var(1), Term::ent(12))]);
+        let r = solve(
+            &store(),
+            &[Pattern::new(Term::Var(0), Term::Var(1), Term::ent(12))],
+        );
         let mut heads: Vec<u32> = r.iter().map(|b| b.get(0).unwrap()).collect();
         heads.sort_unstable();
         assert_eq!(heads, vec![0, 2]);
@@ -333,7 +351,10 @@ mod tests {
     #[test]
     fn repeated_variable_within_pattern_must_match() {
         // SELECT ?x WHERE { ?x r0 ?x } — no entity is its own brand value.
-        let r = solve(&store(), &[Pattern::new(Term::Var(0), Term::rel(0), Term::Var(0))]);
+        let r = solve(
+            &store(),
+            &[Pattern::new(Term::Var(0), Term::rel(0), Term::Var(0))],
+        );
         assert!(r.is_empty());
     }
 

@@ -24,11 +24,7 @@ pub struct KgStats {
 impl KgStats {
     /// Compute statistics from a store.
     pub fn of(store: &TripleStore) -> Self {
-        let n_relations = store
-            .relation_counts()
-            .iter()
-            .filter(|&&c| c > 0)
-            .count();
+        let n_relations = store.relation_counts().iter().filter(|&&c| c > 0).count();
         Self {
             n_items: store.head_entities().len(),
             n_entities: store.n_entities() as usize,
@@ -66,7 +62,11 @@ impl DegreeStats {
     pub fn of(store: &TripleStore) -> Self {
         let heads = store.head_entities();
         if heads.is_empty() {
-            return Self { mean_out_degree: 0.0, max_out_degree: 0, min_out_degree: 0 };
+            return Self {
+                mean_out_degree: 0.0,
+                max_out_degree: 0,
+                min_out_degree: 0,
+            };
         }
         let degrees: Vec<usize> = heads.iter().map(|&h| store.out_degree(h)).collect();
         let total: usize = degrees.iter().sum();
@@ -94,8 +94,7 @@ pub fn relation_frequency(store: &TripleStore) -> Vec<(RelationId, u64)> {
 
 /// Entities that never appear as heads (pure attribute values).
 pub fn value_entities(store: &TripleStore) -> Vec<EntityId> {
-    let heads: std::collections::HashSet<EntityId> =
-        store.head_entities().into_iter().collect();
+    let heads: std::collections::HashSet<EntityId> = store.head_entities().into_iter().collect();
     let mut values: Vec<EntityId> = store
         .triples()
         .iter()

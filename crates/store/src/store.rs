@@ -116,8 +116,14 @@ impl TripleStore {
         let mut relation_counts = vec![0u64; n_relations as usize];
 
         for t in &triples {
-            by_head_rel.entry((t.head, t.relation)).or_default().push(t.tail);
-            by_tail_rel.entry((t.tail, t.relation)).or_default().push(t.head);
+            by_head_rel
+                .entry((t.head, t.relation))
+                .or_default()
+                .push(t.tail);
+            by_tail_rel
+                .entry((t.tail, t.relation))
+                .or_default()
+                .push(t.head);
             head_rels.entry(t.head).or_default().insert(t.relation);
             relation_counts[t.relation.index()] += 1;
         }
@@ -189,7 +195,9 @@ impl TripleStore {
 
     /// Whether the exact triple is present.
     pub fn contains(&self, t: Triple) -> bool {
-        self.tails(t.head, t.relation).binary_search(&t.tail).is_ok()
+        self.tails(t.head, t.relation)
+            .binary_search(&t.tail)
+            .is_ok()
     }
 
     /// Whether `h` has at least one triple with relation `r`.
@@ -233,10 +241,7 @@ impl TripleStore {
     }
 
     /// Keep only triples whose relation satisfies `keep`, compacting ids.
-    pub fn retain_relations(
-        &self,
-        keep: impl Fn(RelationId) -> bool,
-    ) -> (TripleStore, IdRemap) {
+    pub fn retain_relations(&self, keep: impl Fn(RelationId) -> bool) -> (TripleStore, IdRemap) {
         let mut relation_map: Vec<Option<u32>> = vec![None; self.n_relations as usize];
         let mut next_r = 0u32;
         for r in 0..self.n_relations {
@@ -266,7 +271,13 @@ impl TripleStore {
         }
         builder.n_entities = builder.n_entities.max(next_e);
         builder.n_relations = builder.n_relations.max(next_r);
-        (builder.build(), IdRemap { entity_map, relation_map })
+        (
+            builder.build(),
+            IdRemap {
+                entity_map,
+                relation_map,
+            },
+        )
     }
 }
 
@@ -282,12 +293,20 @@ pub struct IdRemap {
 impl IdRemap {
     /// Remap an entity id, if it survived the filter.
     pub fn entity(&self, old: EntityId) -> Option<EntityId> {
-        self.entity_map.get(old.index()).copied().flatten().map(EntityId)
+        self.entity_map
+            .get(old.index())
+            .copied()
+            .flatten()
+            .map(EntityId)
     }
 
     /// Remap a relation id, if it survived the filter.
     pub fn relation(&self, old: RelationId) -> Option<RelationId> {
-        self.relation_map.get(old.index()).copied().flatten().map(RelationId)
+        self.relation_map
+            .get(old.index())
+            .copied()
+            .flatten()
+            .map(RelationId)
     }
 }
 
@@ -318,7 +337,10 @@ mod tests {
     #[test]
     fn triple_query_returns_tails() {
         let s = sample_store();
-        assert_eq!(s.tails(EntityId(2), RelationId(1)), &[EntityId(11), EntityId(12)]);
+        assert_eq!(
+            s.tails(EntityId(2), RelationId(1)),
+            &[EntityId(11), EntityId(12)]
+        );
         assert_eq!(s.tails(EntityId(1), RelationId(1)), &[] as &[EntityId]);
     }
 
@@ -333,8 +355,14 @@ mod tests {
     #[test]
     fn inverse_head_lookup() {
         let s = sample_store();
-        assert_eq!(s.heads(RelationId(0), EntityId(10)), &[EntityId(0), EntityId(1)]);
-        assert_eq!(s.heads(RelationId(1), EntityId(11)), &[EntityId(0), EntityId(2)]);
+        assert_eq!(
+            s.heads(RelationId(0), EntityId(10)),
+            &[EntityId(0), EntityId(1)]
+        );
+        assert_eq!(
+            s.heads(RelationId(1), EntityId(11)),
+            &[EntityId(0), EntityId(2)]
+        );
     }
 
     #[test]

@@ -87,12 +87,20 @@ impl AlignmentDataset {
         let product_of = |e: EntityId| catalog.items[e.index()].product;
         let mut pairs: Vec<PairExample> = Vec::with_capacity(positives.len() * 2);
         for &(a, b) in &positives {
-            pairs.push(PairExample { a, b, positive: true });
+            pairs.push(PairExample {
+                a,
+                b,
+                positive: true,
+            });
             // rejection-sample a cross-product partner
             loop {
                 let c = item_pool[rng.gen_range(0..item_pool.len())];
                 if product_of(c) != product_of(a) {
-                    pairs.push(PairExample { a, b: c, positive: false });
+                    pairs.push(PairExample {
+                        a,
+                        b: c,
+                        positive: false,
+                    });
                     break;
                 }
             }
@@ -117,7 +125,15 @@ impl AlignmentDataset {
         let test_r = rank(&test_c);
         let dev_r = rank(&dev_c);
 
-        Self { category, train, test_c, dev_c, test_r, dev_r, item_pool }
+        Self {
+            category,
+            train,
+            test_c,
+            dev_c,
+            test_r,
+            dev_r,
+            item_pool,
+        }
     }
 
     /// Sample `n` ranking negatives for `query`, excluding its own product.
@@ -166,8 +182,7 @@ mod tests {
     #[test]
     fn pairs_are_balanced_and_within_category() {
         let (catalog, d) = dataset();
-        let all: Vec<&PairExample> =
-            d.train.iter().chain(&d.test_c).chain(&d.dev_c).collect();
+        let all: Vec<&PairExample> = d.train.iter().chain(&d.test_c).chain(&d.dev_c).collect();
         let pos = all.iter().filter(|p| p.positive).count();
         assert_eq!(pos * 2, all.len(), "positives and negatives must be 1:1");
         for p in all {
@@ -195,7 +210,10 @@ mod tests {
     #[test]
     fn ranking_sets_are_the_heldout_positives() {
         let (_, d) = dataset();
-        assert_eq!(d.test_r.len(), d.test_c.iter().filter(|p| p.positive).count());
+        assert_eq!(
+            d.test_r.len(),
+            d.test_c.iter().filter(|p| p.positive).count()
+        );
         assert_eq!(d.dev_r.len(), d.dev_c.iter().filter(|p| p.positive).count());
     }
 

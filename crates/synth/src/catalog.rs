@@ -257,7 +257,10 @@ mod tests {
         let c = catalog();
         assert!(!c.heldout.is_empty());
         for t in &c.heldout {
-            assert!(!c.store.contains(*t), "held-out triple {t} leaked into the KG");
+            assert!(
+                !c.store.contains(*t),
+                "held-out triple {t} leaked into the KG"
+            );
         }
     }
 
@@ -276,8 +279,7 @@ mod tests {
             if r.0 as usize > c.category_props(0).len() {
                 continue; // item-item relation
             }
-            if !ta.is_empty() && !tb.is_empty() && c.relations.name(r.0) != Some("sameSeriesAs")
-            {
+            if !ta.is_empty() && !tb.is_empty() && c.relations.name(r.0) != Some("sameSeriesAs") {
                 assert_eq!(ta, tb, "product attribute mismatch on relation {r}");
             }
         }
@@ -296,7 +298,10 @@ mod tests {
             .iter()
             .filter(|m| m.title.contains(&words::category_word(m.category as usize)))
             .count();
-        assert!(hits > c.items.len() / 2, "only {hits} titles kept the category word");
+        assert!(
+            hits > c.items.len() / 2,
+            "only {hits} titles kept the category word"
+        );
     }
 
     #[test]

@@ -77,7 +77,12 @@ impl ClassificationDataset {
         train.shuffle(&mut rng);
         test.shuffle(&mut rng);
         dev.shuffle(&mut rng);
-        Self { n_classes: catalog.n_categories, train, test, dev }
+        Self {
+            n_classes: catalog.n_categories,
+            train,
+            test,
+            dev,
+        }
     }
 
     /// Total examples across splits.

@@ -79,7 +79,10 @@ pub struct InteractionData {
 impl InteractionData {
     /// Simulate interactions over a catalog.
     pub fn generate(catalog: &Catalog, cfg: &InteractionConfig) -> Self {
-        assert!(cfg.min_per_user >= 3, "need ≥ 3 interactions to split train/val/test");
+        assert!(
+            cfg.min_per_user >= 3,
+            "need ≥ 3 interactions to split train/val/test"
+        );
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x1217_AC71);
         let n_items = catalog.n_items();
 
@@ -168,12 +171,21 @@ impl InteractionData {
             user_train_items.push(train_items);
         }
 
-        Self { n_users: cfg.n_users, n_items, train, test, val, user_train_items }
+        Self {
+            n_users: cfg.n_users,
+            n_items,
+            train,
+            test,
+            val,
+            user_train_items,
+        }
     }
 
     /// Whether `user` interacted with `item` in the training split.
     pub fn seen_in_train(&self, user: u32, item: u32) -> bool {
-        self.user_train_items[user as usize].binary_search(&item).is_ok()
+        self.user_train_items[user as usize]
+            .binary_search(&item)
+            .is_ok()
     }
 
     /// Total number of interactions (train + val + test).
@@ -226,7 +238,10 @@ mod tests {
     fn train_items_are_sorted_and_queryable() {
         let d = data();
         for (u, items) in d.user_train_items.iter().enumerate() {
-            assert!(items.windows(2).all(|w| w[0] < w[1]), "user {u} not sorted/unique");
+            assert!(
+                items.windows(2).all(|w| w[0] < w[1]),
+                "user {u} not sorted/unique"
+            );
             for &i in items {
                 assert!(d.seen_in_train(u as u32, i));
             }

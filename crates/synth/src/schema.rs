@@ -9,7 +9,14 @@ use rand::Rng;
 /// Names of the globally shared property pool; extended with generated names
 /// when a config asks for more shared properties than listed here.
 const SHARED_PROP_NAMES: [&str; 8] = [
-    "brandIs", "colorIs", "materialIs", "styleIs", "originIs", "seasonIs", "sizeIs", "weightIs",
+    "brandIs",
+    "colorIs",
+    "materialIs",
+    "styleIs",
+    "originIs",
+    "seasonIs",
+    "sizeIs",
+    "weightIs",
 ];
 
 /// The generated schema: properties (relations), their value vocabularies,
@@ -68,12 +75,18 @@ impl Schema {
         let n_props = prop_names.len();
         let mut values = Vec::with_capacity(n_props);
         for p in 0..n_props {
-            let mut v: Vec<String> =
-                (0..cfg.values_per_prop).map(|i| words::value_word(p, i)).collect();
+            let mut v: Vec<String> = (0..cfg.values_per_prop)
+                .map(|i| words::value_word(p, i))
+                .collect();
             v.shuffle(rng);
             values.push(v);
         }
-        Self { prop_names, values, category_props, item_relation }
+        Self {
+            prop_names,
+            values,
+            category_props,
+            item_relation,
+        }
     }
 
     /// Total number of properties (relations) including the item relation.

@@ -88,7 +88,9 @@ mod tests {
     #[test]
     fn words_are_lowercase_ascii() {
         for i in 0..100 {
-            assert!(word(5, i).chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(word(5, i)
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
         }
     }
 }

@@ -38,7 +38,14 @@ pub struct AlignmentTrainConfig {
 
 impl Default for AlignmentTrainConfig {
     fn default() -> Self {
-        Self { epochs: 3, batch_size: 32, lr: 1e-3, per_side: 24, seed: 0, encoder: None }
+        Self {
+            epochs: 3,
+            batch_size: 32,
+            lr: 1e-3,
+            per_side: 24,
+            seed: 0,
+            encoder: None,
+        }
     }
 }
 
@@ -97,7 +104,9 @@ impl AlignmentModel {
         let mut params = Params::new();
         let mut init_rng = rng.clone();
         let encoder = TextEncoder::new(enc_cfg, &mut params, &mut init_rng);
-        Self::from_parts(vocab, params, encoder, catalog, dataset, service, variant, cfg, init_rng)
+        Self::from_parts(
+            vocab, params, encoder, catalog, dataset, service, variant, cfg, init_rng,
+        )
     }
 
     /// Fine-tune from a pre-trained text backbone (cloned, as one BERT
@@ -141,9 +150,16 @@ impl AlignmentModel {
             "{variant:?} requires a KnowledgeService"
         );
         if let (true, Some(svc)) = (variant.uses_service(), service.as_ref()) {
-            assert_eq!(svc.dim(), encoder.cfg.hidden, "service dim must equal encoder hidden");
+            assert_eq!(
+                svc.dim(),
+                encoder.cfg.hidden,
+                "service dim must equal encoder hidden"
+            );
         }
-        let head = params.add("align_head", init::xavier_uniform(encoder.cfg.hidden, 1, &mut rng));
+        let head = params.add(
+            "align_head",
+            init::xavier_uniform(encoder.cfg.hidden, 1, &mut rng),
+        );
         let head_b = params.add("align_head_b", Tensor::zeros(1, 1));
 
         let mut model = Self {
@@ -196,8 +212,11 @@ impl AlignmentModel {
                 opt.step(&mut self.params);
                 self.params.zero_grads();
             }
-            self.epoch_losses
-                .push(if n_batches > 0 { (epoch_loss / n_batches as f64) as f32 } else { 0.0 });
+            self.epoch_losses.push(if n_batches > 0 {
+                (epoch_loss / n_batches as f64) as f32
+            } else {
+                0.0
+            });
         }
     }
 
@@ -429,8 +448,7 @@ mod tests {
     #[test]
     fn backbone_finetuning_runs() {
         let (catalog, dataset, svc) = setup();
-        let titles: Vec<Vec<String>> =
-            catalog.items.iter().map(|m| m.title.clone()).collect();
+        let titles: Vec<Vec<String>> = catalog.items.iter().map(|m| m.title.clone()).collect();
         let backbone = pkgm_text::Backbone::pretrain(
             &titles,
             |vocab| EncoderConfig {
@@ -442,7 +460,10 @@ mod tests {
                 max_len: 64,
                 dropout: 0.0,
             },
-            &pkgm_text::BackbonePretrainConfig { mlm_epochs: 0, ..Default::default() },
+            &pkgm_text::BackbonePretrainConfig {
+                mlm_epochs: 0,
+                ..Default::default()
+            },
         );
         let cfg = AlignmentTrainConfig {
             epochs: 15,
@@ -470,8 +491,7 @@ mod tests {
         let cfg = tiny_cfg(vocab_size(&catalog, &dataset));
         let model = AlignmentModel::train(&catalog, &dataset, None, PkgmVariant::Base, &cfg);
         // 1 negative → Hit@3 over 2 candidates is always 100.
-        let (h1, h3, _) =
-            model.evaluate_ranking(&catalog, &dataset, &dataset.dev_r, 1, 0);
+        let (h1, h3, _) = model.evaluate_ranking(&catalog, &dataset, &dataset.dev_r, 1, 0);
         assert!((h3 - 100.0).abs() < 1e-9);
         assert!(h1 <= 100.0);
     }

@@ -37,7 +37,14 @@ pub struct ClassifierTrainConfig {
 
 impl Default for ClassifierTrainConfig {
     fn default() -> Self {
-        Self { epochs: 3, batch_size: 32, lr: 1e-3, max_len: 64, seed: 0, encoder: None }
+        Self {
+            epochs: 3,
+            batch_size: 32,
+            lr: 1e-3,
+            max_len: 64,
+            seed: 0,
+            encoder: None,
+        }
     }
 }
 
@@ -144,7 +151,10 @@ impl ItemClassifier {
             "cls_head",
             init::xavier_uniform(encoder.cfg.hidden, dataset.n_classes, &mut rng),
         );
-        let head_b = params.add("cls_head_b", pkgm_tensor::Tensor::zeros(1, dataset.n_classes));
+        let head_b = params.add(
+            "cls_head_b",
+            pkgm_tensor::Tensor::zeros(1, dataset.n_classes),
+        );
 
         let mut model = Self {
             variant,
@@ -191,8 +201,11 @@ impl ItemClassifier {
                 opt.step(&mut self.params);
                 self.params.zero_grads();
             }
-            self.epoch_losses
-                .push(if n_batches > 0 { (epoch_loss / n_batches as f64) as f32 } else { 0.0 });
+            self.epoch_losses.push(if n_batches > 0 {
+                (epoch_loss / n_batches as f64) as f32
+            } else {
+                0.0
+            });
         }
     }
 
@@ -345,8 +358,7 @@ mod tests {
         let (dataset, svc) = tiny_setup();
         let vocab = Vocab::build(dataset.train.iter().map(|e| e.title.as_slice()), 1);
         let cfg = with_vocab(tiny_cfg(), vocab.len());
-        let model =
-            ItemClassifier::train(&dataset, Some(svc), PkgmVariant::PkgmAll, &cfg);
+        let model = ItemClassifier::train(&dataset, Some(svc), PkgmVariant::PkgmAll, &cfg);
         let m = model.evaluate(&dataset.dev);
         let chance = 100.0 / dataset.n_classes as f64;
         assert!(m.accuracy > chance * 2.0);
@@ -381,16 +393,16 @@ mod tests {
             seed: 1,
             encoder: None, // ignored when fine-tuning a backbone
         };
-        let model = ItemClassifier::train_with_backbone(
-            &dataset,
-            &backbone,
-            None,
-            PkgmVariant::Base,
-            &cfg,
-        );
+        let model =
+            ItemClassifier::train_with_backbone(&dataset, &backbone, None, PkgmVariant::Base, &cfg);
         let m = model.evaluate(&dataset.dev);
         let chance = 100.0 / dataset.n_classes as f64;
-        assert!(m.accuracy > chance * 2.0, "accuracy {} vs chance {}", m.accuracy, chance);
+        assert!(
+            m.accuracy > chance * 2.0,
+            "accuracy {} vs chance {}",
+            m.accuracy,
+            chance
+        );
         // Backbone vocabulary is reused verbatim.
         assert_eq!(model.vocab().len(), backbone.vocab.len());
         // The backbone itself is untouched (tasks clone the params).

@@ -33,7 +33,13 @@ pub fn ndcg(ranks: &[usize], k: usize) -> f64 {
     }
     ranks
         .iter()
-        .map(|&r| if r <= k { 1.0 / ((r as f64) + 1.0).log2() } else { 0.0 })
+        .map(|&r| {
+            if r <= k {
+                1.0 / ((r as f64) + 1.0).log2()
+            } else {
+                0.0
+            }
+        })
         .sum::<f64>()
         / ranks.len() as f64
 }

@@ -68,7 +68,11 @@ impl Default for NcfTrainConfig {
 impl NcfTrainConfig {
     /// The paper's exact setting (slow: 100 epochs at lr 1e-4).
     pub fn paper() -> Self {
-        Self { lr: 1e-4, epochs: 100, ..Self::default() }
+        Self {
+            lr: 1e-4,
+            epochs: 100,
+            ..Self::default()
+        }
     }
 }
 
@@ -147,18 +151,29 @@ impl NcfModel {
         };
 
         let mut params = Params::new();
-        let gmf_user =
-            params.add_sparse("gmf_user", init::normal(data.n_users, cfg.gmf_dim, 0.05, &mut rng));
-        let gmf_item =
-            params.add_sparse("gmf_item", init::normal(data.n_items, cfg.gmf_dim, 0.05, &mut rng));
-        let mlp_user =
-            params.add_sparse("mlp_user", init::normal(data.n_users, cfg.mlp_dim, 0.05, &mut rng));
-        let mlp_item =
-            params.add_sparse("mlp_item", init::normal(data.n_items, cfg.mlp_dim, 0.05, &mut rng));
+        let gmf_user = params.add_sparse(
+            "gmf_user",
+            init::normal(data.n_users, cfg.gmf_dim, 0.05, &mut rng),
+        );
+        let gmf_item = params.add_sparse(
+            "gmf_item",
+            init::normal(data.n_items, cfg.gmf_dim, 0.05, &mut rng),
+        );
+        let mlp_user = params.add_sparse(
+            "mlp_user",
+            init::normal(data.n_users, cfg.mlp_dim, 0.05, &mut rng),
+        );
+        let mlp_item = params.add_sparse(
+            "mlp_item",
+            init::normal(data.n_items, cfg.mlp_dim, 0.05, &mut rng),
+        );
         let mut layers = Vec::new();
         let mut in_dim = 2 * cfg.mlp_dim + svc_width;
         for (l, &width) in cfg.hidden.iter().enumerate() {
-            let w = params.add(format!("mlp_w{l}"), init::he_normal(in_dim, width, &mut rng));
+            let w = params.add(
+                format!("mlp_w{l}"),
+                init::he_normal(in_dim, width, &mut rng),
+            );
             let b = params.add(format!("mlp_b{l}"), Tensor::zeros(1, width));
             layers.push((w, b));
             in_dim = width;
@@ -186,12 +201,7 @@ impl NcfModel {
 
     /// Build the forward graph for `(users, items)` and return the logits
     /// node `[n, 1]` plus the embedding nodes (for L2).
-    fn forward(
-        &self,
-        g: &mut Graph,
-        users: &[u32],
-        items: &[u32],
-    ) -> (VarId, [VarId; 4]) {
+    fn forward(&self, g: &mut Graph, users: &[u32], items: &[u32]) -> (VarId, [VarId; 4]) {
         let pu = g.embedding(&self.params, self.gmf_user, users);
         let qi = g.embedding(&self.params, self.gmf_item, items);
         let phi_gmf = g.mul(pu, qi);
@@ -268,8 +278,11 @@ impl NcfModel {
                 opt.step(&mut self.params);
                 self.params.zero_grads();
             }
-            self.epoch_losses
-                .push(if n_batches > 0 { (epoch_loss / n_batches as f64) as f32 } else { 0.0 });
+            self.epoch_losses.push(if n_batches > 0 {
+                (epoch_loss / n_batches as f64) as f32
+            } else {
+                0.0
+            });
         }
     }
 
@@ -307,7 +320,10 @@ impl NcfModel {
             ranks.push(metrics::rank_descending(&scores, 0));
         }
         RecMetrics {
-            hr: ks.iter().map(|&k| (k, metrics::hit_ratio(&ranks, k) * 100.0)).collect(),
+            hr: ks
+                .iter()
+                .map(|&k| (k, metrics::hit_ratio(&ranks, k) * 100.0))
+                .collect(),
             ndcg: ks.iter().map(|&k| (k, metrics::ndcg(&ranks, k))).collect(),
             n: heldout.len(),
         }
@@ -332,7 +348,10 @@ mod tests {
 
     fn setup() -> (InteractionData, KnowledgeService) {
         let catalog = Catalog::generate(&CatalogConfig::tiny(9));
-        let icfg = InteractionConfig { n_users: 60, ..InteractionConfig::tiny(9) };
+        let icfg = InteractionConfig {
+            n_users: 60,
+            ..InteractionConfig::tiny(9)
+        };
         let data = InteractionData::generate(&catalog, &icfg);
         let mut model = PkgmModel::new(
             catalog.store.n_entities() as usize,

@@ -20,8 +20,12 @@ pub enum PkgmVariant {
 
 impl PkgmVariant {
     /// All four, in the paper's table order.
-    pub const ALL: [PkgmVariant; 4] =
-        [PkgmVariant::Base, PkgmVariant::PkgmT, PkgmVariant::PkgmR, PkgmVariant::PkgmAll];
+    pub const ALL: [PkgmVariant; 4] = [
+        PkgmVariant::Base,
+        PkgmVariant::PkgmT,
+        PkgmVariant::PkgmR,
+        PkgmVariant::PkgmAll,
+    ];
 
     /// Display name matching the paper's tables.
     pub fn label(self, base: &str) -> String {
@@ -63,11 +67,7 @@ impl PkgmVariant {
 
     /// Condensed single-vector service for `item`: `d` dims for T/R, `2d`
     /// for all, `None` for Base (Eq. 20).
-    pub fn condensed(
-        self,
-        service: Option<&KnowledgeService>,
-        item: EntityId,
-    ) -> Option<Vec<f32>> {
+    pub fn condensed(self, service: Option<&KnowledgeService>, item: EntityId) -> Option<Vec<f32>> {
         let svc = service?;
         match self {
             PkgmVariant::Base => None,
@@ -110,6 +110,8 @@ mod tests {
         assert!(!PkgmVariant::Base.uses_service());
         assert!(PkgmVariant::PkgmR.uses_service());
         assert!(PkgmVariant::Base.sequence_rows(None, EntityId(0)).is_none());
-        assert!(PkgmVariant::PkgmAll.sequence_rows(None, EntityId(0)).is_none());
+        assert!(PkgmVariant::PkgmAll
+            .sequence_rows(None, EntityId(0))
+            .is_none());
     }
 }

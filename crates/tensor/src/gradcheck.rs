@@ -65,7 +65,11 @@ pub fn check_param(
     }
     // Clean up the grads we left behind.
     params.zero_grads();
-    GradCheckReport { max_abs_diff: max_abs, max_rel_diff: max_rel, n_checked: n }
+    GradCheckReport {
+        max_abs_diff: max_abs,
+        max_rel_diff: max_rel,
+        n_checked: n,
+    }
 }
 
 /// Assert that the check passes with relative tolerance `tol`.

@@ -36,7 +36,10 @@ pub struct VarId(usize);
 enum Op {
     Const,
     Param(ParamId),
-    Embedding { pid: ParamId, indices: Vec<u32> },
+    Embedding {
+        pid: ParamId,
+        indices: Vec<u32>,
+    },
     Add(VarId, VarId),
     AddRow(VarId, VarId),
     Sub(VarId, VarId),
@@ -51,17 +54,36 @@ enum Op {
     Sigmoid(VarId),
     Tanh(VarId),
     SoftmaxRows(VarId),
-    LayerNormRows { x: VarId, eps: f32 },
+    LayerNormRows {
+        x: VarId,
+        eps: f32,
+    },
     ConcatCols(Vec<VarId>),
     ConcatRows(Vec<VarId>),
-    SliceRows { x: VarId, start: usize },
-    SliceCols { x: VarId, start: usize },
+    SliceRows {
+        x: VarId,
+        start: usize,
+    },
+    SliceCols {
+        x: VarId,
+        start: usize,
+    },
     MeanRows(VarId),
     SumAll(VarId),
     MeanAll(VarId),
-    Dropout { x: VarId, mask: Vec<f32> },
-    SoftmaxCrossEntropy { logits: VarId, labels: Vec<u32>, probs: Tensor },
-    BceWithLogits { logits: VarId, targets: Vec<f32> },
+    Dropout {
+        x: VarId,
+        mask: Vec<f32>,
+    },
+    SoftmaxCrossEntropy {
+        logits: VarId,
+        labels: Vec<u32>,
+        probs: Tensor,
+    },
+    BceWithLogits {
+        logits: VarId,
+        targets: Vec<f32>,
+    },
 }
 
 struct Node {
@@ -80,11 +102,18 @@ pub struct Graph {
 impl Graph {
     /// Empty graph.
     pub fn new() -> Self {
-        Self { nodes: Vec::with_capacity(64) }
+        Self {
+            nodes: Vec::with_capacity(64),
+        }
     }
 
     fn push(&mut self, value: Tensor, op: Op, needs_grad: bool) -> VarId {
-        self.nodes.push(Node { value, grad: None, op, needs_grad });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            needs_grad,
+        });
         VarId(self.nodes.len() - 1)
     }
 
@@ -138,7 +167,14 @@ impl Graph {
         for (i, &row) in indices.iter().enumerate() {
             out.row_mut(i).copy_from_slice(table.row(row as usize));
         }
-        self.push(out, Op::Embedding { pid, indices: indices.to_vec() }, true)
+        self.push(
+            out,
+            Op::Embedding {
+                pid,
+                indices: indices.to_vec(),
+            },
+            true,
+        )
     }
 
     // ------------------------------------------------------------------
@@ -177,7 +213,11 @@ impl Graph {
         let v = Tensor::from_vec(
             av.rows(),
             av.cols(),
-            av.as_slice().iter().zip(bv.as_slice()).map(|(x, y)| x - y).collect(),
+            av.as_slice()
+                .iter()
+                .zip(bv.as_slice())
+                .map(|(x, y)| x - y)
+                .collect(),
         );
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::Sub(a, b), ng)
@@ -191,7 +231,11 @@ impl Graph {
         let v = Tensor::from_vec(
             av.rows(),
             av.cols(),
-            av.as_slice().iter().zip(bv.as_slice()).map(|(x, y)| x * y).collect(),
+            av.as_slice()
+                .iter()
+                .zip(bv.as_slice())
+                .map(|(x, y)| x * y)
+                .collect(),
         );
         let ng = self.needs(a) || self.needs(b);
         self.push(v, Op::Mul(a, b), ng)
@@ -413,7 +457,11 @@ impl Graph {
         let v = Tensor::from_vec(
             av.rows(),
             av.cols(),
-            av.as_slice().iter().zip(&mask).map(|(x, m)| x * m).collect(),
+            av.as_slice()
+                .iter()
+                .zip(&mask)
+                .map(|(x, m)| x * m)
+                .collect(),
         );
         let ng = self.needs(a);
         self.push(v, Op::Dropout { x: a, mask }, ng)
@@ -438,7 +486,11 @@ impl Graph {
         let ng = self.needs(logits);
         self.push(
             Tensor::from_vec(1, 1, vec![loss]),
-            Op::SoftmaxCrossEntropy { logits, labels: labels.to_vec(), probs },
+            Op::SoftmaxCrossEntropy {
+                logits,
+                labels: labels.to_vec(),
+                probs,
+            },
             ng,
         )
     }
@@ -456,7 +508,10 @@ impl Graph {
         let ng = self.needs(logits);
         self.push(
             Tensor::from_vec(1, 1, vec![loss]),
-            Op::BceWithLogits { logits, targets: targets.to_vec() },
+            Op::BceWithLogits {
+                logits,
+                targets: targets.to_vec(),
+            },
             ng,
         )
     }
@@ -467,7 +522,11 @@ impl Graph {
 
     /// Run reverse-mode differentiation from `loss` (must be `[1,1]`).
     pub fn backward(&mut self, loss: VarId) {
-        assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "loss must be scalar");
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "loss must be scalar"
+        );
         let n = self.nodes.len();
         self.nodes[loss.0].grad = Some(Tensor::from_vec(1, 1, vec![1.0]));
         for i in (0..n).rev() {
@@ -480,7 +539,9 @@ impl Graph {
 
     fn ensure_grad(&mut self, id: VarId) -> &mut Tensor {
         let (rows, cols) = self.nodes[id.0].value.shape();
-        self.nodes[id.0].grad.get_or_insert_with(|| Tensor::zeros(rows, cols))
+        self.nodes[id.0]
+            .grad
+            .get_or_insert_with(|| Tensor::zeros(rows, cols))
     }
 
     fn add_grad(&mut self, id: VarId, g: &Tensor) {
@@ -524,7 +585,11 @@ impl Graph {
                     let ga = Tensor::from_vec(
                         g.rows(),
                         g.cols(),
-                        g.as_slice().iter().zip(bv.as_slice()).map(|(x, y)| x * y).collect(),
+                        g.as_slice()
+                            .iter()
+                            .zip(bv.as_slice())
+                            .map(|(x, y)| x * y)
+                            .collect(),
                     );
                     self.add_grad(a, &ga);
                 }
@@ -533,7 +598,11 @@ impl Graph {
                     let gb = Tensor::from_vec(
                         g.rows(),
                         g.cols(),
-                        g.as_slice().iter().zip(av.as_slice()).map(|(x, y)| x * y).collect(),
+                        g.as_slice()
+                            .iter()
+                            .zip(av.as_slice())
+                            .map(|(x, y)| x * y)
+                            .collect(),
                     );
                     self.add_grad(b, &gb);
                 }
@@ -646,9 +715,7 @@ impl Graph {
                     let srow = s.row(r);
                     let grow = g.row(r);
                     let dotv: f32 = srow.iter().zip(grow).map(|(x, y)| x * y).sum();
-                    for (o, (&sv, &gv)) in
-                        ga.row_mut(r).iter_mut().zip(srow.iter().zip(grow))
-                    {
+                    for (o, (&sv, &gv)) in ga.row_mut(r).iter_mut().zip(srow.iter().zip(grow)) {
                         *o = sv * (gv - dotv);
                     }
                 }
@@ -667,11 +734,8 @@ impl Graph {
                     let var = xrow.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d;
                     let inv = 1.0 / (var + eps).sqrt();
                     let gmean = grow.iter().sum::<f32>() / d;
-                    let gymean =
-                        grow.iter().zip(yrow).map(|(gv, yv)| gv * yv).sum::<f32>() / d;
-                    for (o, (&gv, &yvv)) in
-                        ga.row_mut(r).iter_mut().zip(grow.iter().zip(yrow))
-                    {
+                    let gymean = grow.iter().zip(yrow).map(|(gv, yv)| gv * yv).sum::<f32>() / d;
+                    for (o, (&gv, &yvv)) in ga.row_mut(r).iter_mut().zip(grow.iter().zip(yrow)) {
                         *o = inv * (gv - gmean - yvv * gymean);
                     }
                 }
@@ -760,12 +824,20 @@ impl Graph {
                     let ga = Tensor::from_vec(
                         g.rows(),
                         g.cols(),
-                        g.as_slice().iter().zip(mask).map(|(gv, m)| gv * m).collect(),
+                        g.as_slice()
+                            .iter()
+                            .zip(mask)
+                            .map(|(gv, m)| gv * m)
+                            .collect(),
                     );
                     self.add_grad(x, &ga);
                 }
             }
-            Op::SoftmaxCrossEntropy { logits, labels, probs } => {
+            Op::SoftmaxCrossEntropy {
+                logits,
+                labels,
+                probs,
+            } => {
                 let logits = *logits;
                 if self.needs(logits) {
                     let n = labels.len() as f32;
@@ -890,10 +962,7 @@ mod tests {
     #[test]
     fn embedding_gathers_and_scatters() {
         let mut params = Params::new();
-        let table = params.add_sparse(
-            "emb",
-            Tensor::from_vec(3, 2, vec![1., 1., 2., 2., 3., 3.]),
-        );
+        let table = params.add_sparse("emb", Tensor::from_vec(3, 2, vec![1., 1., 2., 2., 3., 3.]));
         let mut g = Graph::new();
         let e = g.embedding(&params, table, &[2, 0, 2]);
         assert_eq!(g.value(e).as_slice(), &[3., 3., 1., 1., 3., 3.]);

@@ -10,26 +10,42 @@ use rand_distr::{Distribution, Normal, Uniform};
 pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
     let a = (6.0 / (rows + cols) as f64).sqrt();
     let dist = Uniform::new_inclusive(-a, a);
-    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng) as f32).collect())
+    Tensor::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| dist.sample(rng) as f32).collect(),
+    )
 }
 
 /// He/Kaiming normal: `N(0, sqrt(2 / fan_in))`, for ReLU stacks (NCF's MLP).
 pub fn he_normal(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
     let std = (2.0 / rows as f64).sqrt();
     let dist = Normal::new(0.0, std).expect("valid std");
-    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng) as f32).collect())
+    Tensor::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| dist.sample(rng) as f32).collect(),
+    )
 }
 
 /// Plain Gaussian `N(0, std)`, used for embedding tables.
 pub fn normal(rows: usize, cols: usize, std: f64, rng: &mut impl Rng) -> Tensor {
     let dist = Normal::new(0.0, std).expect("valid std");
-    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng) as f32).collect())
+    Tensor::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| dist.sample(rng) as f32).collect(),
+    )
 }
 
 /// Uniform `U(lo, hi)`.
 pub fn uniform(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut impl Rng) -> Tensor {
     let dist = Uniform::new(lo, hi);
-    Tensor::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng) as f32).collect())
+    Tensor::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| dist.sample(rng) as f32).collect(),
+    )
 }
 
 #[cfg(test)]
@@ -52,8 +68,7 @@ mod tests {
     fn he_normal_has_expected_scale() {
         let mut rng = SmallRng::seed_from_u64(2);
         let t = he_normal(1000, 8, &mut rng);
-        let var: f32 =
-            t.as_slice().iter().map(|x| x * x).sum::<f32>() / t.len() as f32;
+        let var: f32 = t.as_slice().iter().map(|x| x * x).sum::<f32>() / t.len() as f32;
         let expect = 2.0 / 1000.0;
         assert!((var - expect).abs() < expect * 0.2, "var {var} vs {expect}");
     }

@@ -14,7 +14,10 @@ pub struct SgdOpt {
 impl SgdOpt {
     /// SGD with the given learning rate and no weight decay.
     pub fn new(lr: f32) -> Self {
-        Self { lr, weight_decay: 0.0 }
+        Self {
+            lr,
+            weight_decay: 0.0,
+        }
     }
 
     /// Apply one update using the gradients currently stored in `params`.
@@ -69,12 +72,22 @@ pub struct AdamOpt {
 impl AdamOpt {
     /// Adam with standard betas (0.9 / 0.999).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+        }
     }
 
     /// Adam with L2 weight decay (used by NCF per the paper's λ = 0.001).
     pub fn with_weight_decay(lr: f32, weight_decay: f32) -> Self {
-        Self { weight_decay, ..Self::new(lr) }
+        Self {
+            weight_decay,
+            ..Self::new(lr)
+        }
     }
 
     /// Number of steps taken.
@@ -92,14 +105,19 @@ impl AdamOpt {
 
         for e in &mut params.entries {
             let (rows, cols) = e.value.shape();
-            let m = e.adam_m.get_or_insert_with(|| crate::Tensor::zeros(rows, cols));
-            let v = e.adam_v.get_or_insert_with(|| crate::Tensor::zeros(rows, cols));
+            let m = e
+                .adam_m
+                .get_or_insert_with(|| crate::Tensor::zeros(rows, cols));
+            let v = e
+                .adam_v
+                .get_or_insert_with(|| crate::Tensor::zeros(rows, cols));
 
-            let update_cell = |r: usize, c: usize,
-                                   value: &mut crate::Tensor,
-                                   grad: &crate::Tensor,
-                                   m: &mut crate::Tensor,
-                                   v: &mut crate::Tensor| {
+            let update_cell = |r: usize,
+                               c: usize,
+                               value: &mut crate::Tensor,
+                               grad: &crate::Tensor,
+                               m: &mut crate::Tensor,
+                               v: &mut crate::Tensor| {
                 let g = grad.get(r, c) + self.weight_decay * value.get(r, c);
                 let mn = self.beta1 * m.get(r, c) + (1.0 - self.beta1) * g;
                 let vn = self.beta2 * v.get(r, c) + (1.0 - self.beta2) * g * g;

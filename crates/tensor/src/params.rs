@@ -109,7 +109,10 @@ impl Params {
 
     /// Look up a parameter by name (linear scan; intended for tests/tools).
     pub fn find(&self, name: &str) -> Option<ParamId> {
-        self.entries.iter().position(|e| e.name == name).map(ParamId)
+        self.entries
+            .iter()
+            .position(|e| e.name == name)
+            .map(ParamId)
     }
 
     /// Iterate all ids.
@@ -174,7 +177,12 @@ impl Params {
                         .sum::<f64>();
                 }
             } else {
-                sq += e.grad.as_slice().iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>();
+                sq += e
+                    .grad
+                    .as_slice()
+                    .iter()
+                    .map(|&g| (g as f64) * (g as f64))
+                    .sum::<f64>();
             }
         }
         sq.sqrt() as f32

@@ -20,12 +20,20 @@ const PAR_FLOP_THRESHOLD: usize = 64 * 64 * 64;
 impl Tensor {
     /// All-zeros tensor.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { data: vec![0.0; rows * cols], rows, cols }
+        Self {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { data: vec![value; rows * cols], rows, cols }
+        Self {
+            data: vec![value; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Build from a flat row-major buffer.
@@ -112,7 +120,11 @@ impl Tensor {
 
     /// Reinterpret as a new shape with the same element count.
     pub fn reshaped(mut self, rows: usize, cols: usize) -> Self {
-        assert_eq!(rows * cols, self.data.len(), "reshape changes element count");
+        assert_eq!(
+            rows * cols,
+            self.data.len(),
+            "reshape changes element count"
+        );
         self.rows = rows;
         self.cols = cols;
         self

@@ -70,7 +70,11 @@ impl Backbone {
     ) -> Backbone {
         let vocab = Vocab::build(titles.iter().map(|t| t.as_slice()), cfg.min_word_count);
         let enc_cfg = make_encoder(vocab.len());
-        assert_eq!(enc_cfg.vocab_size, vocab.len(), "encoder must use the built vocab size");
+        assert_eq!(
+            enc_cfg.vocab_size,
+            vocab.len(),
+            "encoder must use the built vocab size"
+        );
         let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xbb0e);
         let mut params = Params::new();
         let encoder = TextEncoder::new(enc_cfg, &mut params, &mut rng);
@@ -88,7 +92,12 @@ impl Backbone {
                 &mut rng,
             );
         }
-        Backbone { vocab, params, encoder, mlm_losses }
+        Backbone {
+            vocab,
+            params,
+            encoder,
+            mlm_losses,
+        }
     }
 }
 
@@ -123,7 +132,10 @@ mod tests {
     #[test]
     fn backbone_without_mlm_is_random_init() {
         let titles = corpus();
-        let cfg = BackbonePretrainConfig { mlm_epochs: 0, ..Default::default() };
+        let cfg = BackbonePretrainConfig {
+            mlm_epochs: 0,
+            ..Default::default()
+        };
         let b = Backbone::pretrain(&titles, tiny_encoder, &cfg);
         assert!(b.mlm_losses.is_empty());
         assert!(b.vocab.len() > 5);
@@ -133,7 +145,11 @@ mod tests {
     #[test]
     fn backbone_mlm_pretraining_records_losses() {
         let titles = corpus();
-        let cfg = BackbonePretrainConfig { mlm_epochs: 3, mlm_lr: 5e-3, ..Default::default() };
+        let cfg = BackbonePretrainConfig {
+            mlm_epochs: 3,
+            mlm_lr: 5e-3,
+            ..Default::default()
+        };
         let b = Backbone::pretrain(&titles, tiny_encoder, &cfg);
         assert_eq!(b.mlm_losses.len(), 3);
         assert!(b.mlm_losses.iter().all(|l| l.is_finite() && *l > 0.0));
@@ -142,7 +158,10 @@ mod tests {
     #[test]
     fn backbone_is_deterministic_given_seed() {
         let titles = corpus();
-        let cfg = BackbonePretrainConfig { mlm_epochs: 1, ..Default::default() };
+        let cfg = BackbonePretrainConfig {
+            mlm_epochs: 1,
+            ..Default::default()
+        };
         let a = Backbone::pretrain(&titles, tiny_encoder, &cfg);
         let b = Backbone::pretrain(&titles, tiny_encoder, &cfg);
         assert_eq!(a.mlm_losses, b.mlm_losses);

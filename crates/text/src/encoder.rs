@@ -127,10 +127,7 @@ impl TextEncoder {
     pub fn new(cfg: EncoderConfig, params: &mut Params, rng: &mut impl Rng) -> Self {
         assert_eq!(cfg.hidden % cfg.n_heads, 0, "heads must divide hidden");
         let h = cfg.hidden;
-        let tok_emb = params.add_sparse(
-            "tok_emb",
-            init::normal(cfg.vocab_size, h, 0.02, rng),
-        );
+        let tok_emb = params.add_sparse("tok_emb", init::normal(cfg.vocab_size, h, 0.02, rng));
         let pos_emb = params.add("pos_emb", init::normal(cfg.max_len, h, 0.02, rng));
         let emb_ln_g = params.add("emb_ln_g", Tensor::full(1, h, 1.0));
         let emb_ln_b = params.add("emb_ln_b", Tensor::zeros(1, h));
@@ -153,15 +150,28 @@ impl TextEncoder {
                 bo: bias(params, "bo", h),
                 ln1_g: ones(params, "ln1_g", h),
                 ln1_b: bias(params, "ln1_b", h),
-                ff1: params.add(format!("l{l}.ff1"), init::xavier_uniform(h, cfg.ff_dim, rng)),
+                ff1: params.add(
+                    format!("l{l}.ff1"),
+                    init::xavier_uniform(h, cfg.ff_dim, rng),
+                ),
                 ff1_b: bias(params, "ff1_b", cfg.ff_dim),
-                ff2: params.add(format!("l{l}.ff2"), init::xavier_uniform(cfg.ff_dim, h, rng)),
+                ff2: params.add(
+                    format!("l{l}.ff2"),
+                    init::xavier_uniform(cfg.ff_dim, h, rng),
+                ),
                 ff2_b: bias(params, "ff2_b", h),
                 ln2_g: ones(params, "ln2_g", h),
                 ln2_b: bias(params, "ln2_b", h),
             });
         }
-        Self { cfg, tok_emb, pos_emb, emb_ln_g, emb_ln_b, blocks }
+        Self {
+            cfg,
+            tok_emb,
+            pos_emb,
+            emb_ln_g,
+            emb_ln_b,
+            blocks,
+        }
     }
 
     /// The token-embedding table id (the MLM head ties to it by shape).
@@ -331,13 +341,7 @@ impl TextEncoder {
         g.slice_rows(x, 0, 1)
     }
 
-    fn maybe_dropout(
-        &self,
-        g: &mut Graph,
-        x: VarId,
-        train: bool,
-        rng: &mut impl Rng,
-    ) -> VarId {
+    fn maybe_dropout(&self, g: &mut Graph, x: VarId, train: bool, rng: &mut impl Rng) -> VarId {
         if !train || self.cfg.dropout <= 0.0 {
             return x;
         }
@@ -470,6 +474,9 @@ mod tests {
             opt.step(&mut params);
             params.zero_grads();
         }
-        assert!(last < 0.2, "classifier failed to overfit 4 examples: loss {last}");
+        assert!(
+            last < 0.2,
+            "classifier failed to overfit 4 examples: loss {last}"
+        );
     }
 }

@@ -20,12 +20,7 @@ pub struct MlmTrainer {
 
 impl MlmTrainer {
     /// Register the MLM head (hidden → vocab) into `params`.
-    pub fn new(
-        encoder: &TextEncoder,
-        params: &mut Params,
-        lr: f32,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn new(encoder: &TextEncoder, params: &mut Params, lr: f32, rng: &mut impl Rng) -> Self {
         let head = params.add(
             "mlm_head",
             init::xavier_uniform(encoder.cfg.hidden, encoder.cfg.vocab_size, rng),
@@ -34,7 +29,12 @@ impl MlmTrainer {
             "mlm_head_b",
             pkgm_tensor::Tensor::zeros(1, encoder.cfg.vocab_size),
         );
-        Self { head, head_b, opt: AdamOpt::new(lr), mask_prob: 0.15 }
+        Self {
+            head,
+            head_b,
+            opt: AdamOpt::new(lr),
+            mask_prob: 0.15,
+        }
     }
 
     /// One MLM step over a batch of encoded sequences. Returns the mean
@@ -111,8 +111,7 @@ impl MlmTrainer {
         epochs: usize,
         rng: &mut impl Rng,
     ) -> Vec<f32> {
-        let encoded: Vec<Vec<u32>> =
-            titles.iter().map(|t| vocab.encode(t, max_len)).collect();
+        let encoded: Vec<Vec<u32>> = titles.iter().map(|t| vocab.encode(t, max_len)).collect();
         let mut losses = Vec::with_capacity(epochs);
         for _ in 0..epochs {
             let mut sum = 0.0f64;
@@ -155,8 +154,7 @@ mod tests {
         let enc = TextEncoder::new(EncoderConfig::tiny(vocab.len()), &mut params, &mut rng);
         let mut mlm = MlmTrainer::new(&enc, &mut params, 0.01, &mut rng);
         mlm.mask_prob = 0.3;
-        let losses =
-            mlm.pretrain(&enc, &mut params, &vocab, &titles, 16, 8, 8, &mut rng);
+        let losses = mlm.pretrain(&enc, &mut params, &vocab, &titles, 16, 8, 8, &mut rng);
         assert_eq!(losses.len(), 8);
         let first = losses[0];
         let last = *losses.last().unwrap();

@@ -28,10 +28,7 @@ impl Vocab {
     /// Build from a token corpus, keeping words with at least `min_count`
     /// occurrences. Ids are assigned by descending frequency (ties by word)
     /// after the special tokens.
-    pub fn build<'a>(
-        corpus: impl IntoIterator<Item = &'a [String]>,
-        min_count: usize,
-    ) -> Self {
+    pub fn build<'a>(corpus: impl IntoIterator<Item = &'a [String]>, min_count: usize) -> Self {
         let mut counts: HashMap<&str, usize> = HashMap::new();
         for tokens in corpus {
             for t in tokens {
@@ -48,7 +45,10 @@ impl Vocab {
             .map(String::from)
             .chain(freq.into_iter().map(|(w, _)| w.to_string()))
             .collect();
-        let mut vocab = Self { words, lookup: HashMap::new() };
+        let mut vocab = Self {
+            words,
+            lookup: HashMap::new(),
+        };
         vocab.rebuild_lookup();
         vocab
     }

@@ -26,7 +26,12 @@ fn main() {
     let service = pkgm::pretrain(
         &catalog,
         PkgmConfig::new(32).with_seed(13),
-        TrainConfig { epochs: 8, lr: 5e-3, margin: 4.0, ..TrainConfig::default() },
+        TrainConfig {
+            epochs: 8,
+            lr: 5e-3,
+            margin: 4.0,
+            ..TrainConfig::default()
+        },
         10,
     );
     let pkgm_report = eval::rank_tails(service.model(), &test, Some(&catalog.store), &ks);
@@ -39,7 +44,12 @@ fn main() {
     );
     Trainer::new(
         &transe,
-        TrainConfig { epochs: 8, lr: 5e-3, margin: 4.0, ..TrainConfig::default() },
+        TrainConfig {
+            epochs: 8,
+            lr: 5e-3,
+            margin: 4.0,
+            ..TrainConfig::default()
+        },
     )
     .train(&mut transe, &catalog.store);
     let transe_report = eval::rank_tails(&transe, &test, Some(&catalog.store), &ks);

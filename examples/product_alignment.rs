@@ -13,7 +13,12 @@ fn main() {
     let service = pkgm::pretrain(
         &catalog,
         PkgmConfig::new(64).with_seed(31),
-        TrainConfig { epochs: 6, lr: 5e-3, margin: 4.0, ..TrainConfig::default() },
+        TrainConfig {
+            epochs: 6,
+            lr: 5e-3,
+            margin: 4.0,
+            ..TrainConfig::default()
+        },
         10,
     );
 

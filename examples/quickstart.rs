@@ -13,16 +13,26 @@ fn main() {
     let cfg = CatalogConfig::small(42);
     let catalog = Catalog::generate(&cfg);
     let stats = KgStats::of(&catalog.store);
-    println!("Catalog: {} items, {} entities, {} relations, {} triples",
-        stats.n_items, stats.n_entities, stats.n_relations, stats.n_triples);
-    println!("Held-out (true but missing) facts: {}", catalog.heldout.len());
+    println!(
+        "Catalog: {} items, {} entities, {} relations, {} triples",
+        stats.n_items, stats.n_entities, stats.n_relations, stats.n_triples
+    );
+    println!(
+        "Held-out (true but missing) facts: {}",
+        catalog.heldout.len()
+    );
 
     // Pre-train the two PKGM modules with the margin loss.
     println!("\nPre-training PKGM (d = 32)…");
     let service = pkgm::pretrain(
         &catalog,
         PkgmConfig::new(32).with_seed(42),
-        TrainConfig { epochs: 8, lr: 5e-3, margin: 4.0, ..TrainConfig::default() },
+        TrainConfig {
+            epochs: 8,
+            lr: 5e-3,
+            margin: 4.0,
+            ..TrainConfig::default()
+        },
         10, // k = 10 key relations per category, as in the paper
     );
 
@@ -34,7 +44,11 @@ fn main() {
     println!("\nTriple query S_T({item}, {rel}): top-5 candidate tails");
     for (e, dist) in &predictions {
         let name = catalog.entities.name(e.0).unwrap_or("?");
-        let marker = if *e == known_tail { "  ← true tail" } else { "" };
+        let marker = if *e == known_tail {
+            "  ← true tail"
+        } else {
+            ""
+        };
         println!("  {name:<28} L1 distance {dist:.3}{marker}");
     }
 

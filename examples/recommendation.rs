@@ -9,7 +9,10 @@ use pkgm::prelude::*;
 
 fn main() {
     let catalog = Catalog::generate(&CatalogConfig::small(21));
-    let icfg = InteractionConfig { n_users: 600, ..InteractionConfig::bench(21) };
+    let icfg = InteractionConfig {
+        n_users: 600,
+        ..InteractionConfig::bench(21)
+    };
     let data = InteractionData::generate(&catalog, &icfg);
     println!(
         "Interactions: {} users × {} items, {} interactions (≥10 per user, leave-one-out)",
@@ -22,11 +25,20 @@ fn main() {
     let service = pkgm::pretrain(
         &catalog,
         PkgmConfig::new(32).with_seed(21),
-        TrainConfig { epochs: 6, lr: 5e-3, margin: 4.0, ..TrainConfig::default() },
+        TrainConfig {
+            epochs: 6,
+            lr: 5e-3,
+            margin: 4.0,
+            ..TrainConfig::default()
+        },
         10,
     );
 
-    let cfg = NcfTrainConfig { epochs: 15, lr: 3e-3, ..NcfTrainConfig::default() };
+    let cfg = NcfTrainConfig {
+        epochs: 15,
+        lr: 3e-3,
+        ..NcfTrainConfig::default()
+    };
     let ks = [1, 3, 5, 10, 30];
 
     println!("\n| Model | HR@1 | HR@3 | HR@5 | HR@10 | HR@30 | NDCG@10 |");

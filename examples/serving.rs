@@ -17,7 +17,12 @@ fn main() {
     let service = pkgm::pretrain(
         &catalog,
         PkgmConfig::new(32).with_seed(77),
-        TrainConfig { epochs: 5, lr: 5e-3, margin: 4.0, ..TrainConfig::default() },
+        TrainConfig {
+            epochs: 5,
+            lr: 5e-3,
+            margin: 4.0,
+            ..TrainConfig::default()
+        },
         10,
     );
 
@@ -37,7 +42,7 @@ fn main() {
     let start = std::time::Instant::now();
     let hot_items: Vec<u32> = (0..200u32).collect();
     // Simulate three downstream consumers sweeping the same hot items.
-    let total_vectors: usize = (0..3)
+    let total_vectors: usize = (0..3u32)
         .into_par_iter()
         .map(|_| {
             hot_items

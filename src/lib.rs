@@ -81,7 +81,8 @@ pub fn pretrain(
 pub mod prelude {
     pub use crate::pretrain;
     pub use pkgm_core::{
-        KnowledgeService, NegativeSampler, PkgmConfig, PkgmModel, TrainConfig, Trainer,
+        CachedService, KnowledgeService, NegativeSampler, PkgmConfig, PkgmModel, ServiceScratch,
+        ServiceSnapshot, TrainConfig, Trainer,
     };
     pub use pkgm_store::{EntityId, KgStats, RelationId, Triple, TripleStore};
     pub use pkgm_synth::{

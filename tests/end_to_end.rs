@@ -22,7 +22,12 @@ fn quick_train_cfg() -> TrainConfig {
 #[test]
 fn pretrain_then_complete_heldout_facts() {
     let catalog = Catalog::generate(&CatalogConfig::tiny(1));
-    let service = pkgm::pretrain(&catalog, PkgmConfig::new(16).with_seed(1), quick_train_cfg(), 4);
+    let service = pkgm::pretrain(
+        &catalog,
+        PkgmConfig::new(16).with_seed(1),
+        quick_train_cfg(),
+        4,
+    );
 
     // Held-out facts are absent from the KG but true in the world; the
     // triple module should rank their tails far better than chance.
@@ -41,16 +46,30 @@ fn pretrain_then_complete_heldout_facts() {
 #[test]
 fn relation_module_separates_existence_end_to_end() {
     let catalog = Catalog::generate(&CatalogConfig::tiny(2));
-    let service = pkgm::pretrain(&catalog, PkgmConfig::new(16).with_seed(2), quick_train_cfg(), 4);
+    let service = pkgm::pretrain(
+        &catalog,
+        PkgmConfig::new(16).with_seed(2),
+        quick_train_cfg(),
+        4,
+    );
     let mut rng = SmallRng::seed_from_u64(2);
     let auc = eval::relation_existence_auc(service.model(), &catalog.store, 300, &mut rng);
-    assert!(auc.auc > 0.7, "existence AUC {} too close to chance", auc.auc);
+    assert!(
+        auc.auc > 0.7,
+        "existence AUC {} too close to chance",
+        auc.auc
+    );
 }
 
 #[test]
 fn service_roundtrips_through_binary_snapshot() {
     let catalog = Catalog::generate(&CatalogConfig::tiny(3));
-    let service = pkgm::pretrain(&catalog, PkgmConfig::new(8).with_seed(3), quick_train_cfg(), 3);
+    let service = pkgm::pretrain(
+        &catalog,
+        PkgmConfig::new(8).with_seed(3),
+        quick_train_cfg(),
+        3,
+    );
     let bytes = serialize::service_to_bytes(&service);
     let back = serialize::service_from_bytes(&bytes).expect("roundtrip");
     for item in [0u32, 5, 17] {
@@ -70,10 +89,19 @@ fn same_product_items_get_similar_service_vectors() {
     // Items of the same product share attribute values, so their condensed
     // triple-service vectors should be closer than cross-product pairs.
     let catalog = Catalog::generate(&CatalogConfig::tiny(4));
-    let service = pkgm::pretrain(&catalog, PkgmConfig::new(16).with_seed(4), quick_train_cfg(), 4);
+    let service = pkgm::pretrain(
+        &catalog,
+        PkgmConfig::new(16).with_seed(4),
+        quick_train_cfg(),
+        4,
+    );
     let groups = catalog.product_groups();
     let l2 = |a: &[f32], b: &[f32]| -> f32 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt()
     };
     let mut same = 0.0f32;
     let mut cross = 0.0f32;
@@ -101,7 +129,12 @@ fn same_product_items_get_similar_service_vectors() {
 fn classification_pipeline_runs_with_service() {
     let catalog = Catalog::generate(&CatalogConfig::tiny(5));
     let dataset = ClassificationDataset::build(&catalog, 100, 5);
-    let service = pkgm::pretrain(&catalog, PkgmConfig::new(16).with_seed(5), quick_train_cfg(), 3);
+    let service = pkgm::pretrain(
+        &catalog,
+        PkgmConfig::new(16).with_seed(5),
+        quick_train_cfg(),
+        3,
+    );
     let cfg = ClassifierTrainConfig {
         epochs: 4,
         batch_size: 16,
@@ -134,9 +167,17 @@ fn classification_pipeline_runs_with_service() {
 #[test]
 fn recommendation_pipeline_runs_with_service() {
     let catalog = Catalog::generate(&CatalogConfig::tiny(6));
-    let icfg = InteractionConfig { n_users: 40, ..InteractionConfig::tiny(6) };
+    let icfg = InteractionConfig {
+        n_users: 40,
+        ..InteractionConfig::tiny(6)
+    };
     let data = InteractionData::generate(&catalog, &icfg);
-    let service = pkgm::pretrain(&catalog, PkgmConfig::new(8).with_seed(6), quick_train_cfg(), 3);
+    let service = pkgm::pretrain(
+        &catalog,
+        PkgmConfig::new(8).with_seed(6),
+        quick_train_cfg(),
+        3,
+    );
     let cfg = NcfTrainConfig {
         gmf_dim: 8,
         mlp_dim: 16,
@@ -158,8 +199,13 @@ fn recommendation_pipeline_runs_with_service() {
 fn tsv_export_import_preserves_catalog_graph() {
     let catalog = Catalog::generate(&CatalogConfig::tiny(7));
     let mut out = Vec::new();
-    pkgm::store::io::write_tsv(&catalog.store, &catalog.entities, &catalog.relations, &mut out)
-        .expect("export");
+    pkgm::store::io::write_tsv(
+        &catalog.store,
+        &catalog.entities,
+        &catalog.relations,
+        &mut out,
+    )
+    .expect("export");
     let (store2, ..) = pkgm::store::io::read_tsv(out.as_slice()).expect("import");
     assert_eq!(store2.len(), catalog.store.len());
     let s1 = KgStats::of(&catalog.store);

@@ -1,0 +1,247 @@
+//! Offline vendored stand-in for `criterion` (see `vendor/rand` for why).
+//!
+//! A minimal wall-clock harness behind criterion's surface: calibrated
+//! iteration counts, a handful of timed samples, and a one-line
+//! median/min/max report per benchmark. No statistical regression analysis
+//! or HTML reports — CI uses this as a smoke check that hot paths run and
+//! how fast, not as an A/B detector.
+//!
+//! The `CRITERION_SAMPLE_MILLIS` environment variable bounds the measured
+//! time per sample (default 10ms), so full bench runs stay fast in CI.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The stub times each routine
+/// call individually, so the variants only affect drop timing (all are
+/// treated alike).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every call, dropped outside the timing window.
+    PerIteration,
+}
+
+/// Benchmark harness configuration and registry.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Apply CLI arguments: the first non-flag argument is a substring
+    /// filter on benchmark names (flags like `--bench` from cargo are
+    /// ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--bench" || arg == "--test" {
+                continue;
+            }
+            if let Some(flag) = arg.strip_prefix("--") {
+                // Consume `--flag value` pairs (e.g. --save-baseline x).
+                if !flag.contains('=') {
+                    args.next();
+                }
+                continue;
+            }
+            if self.filter.is_none() {
+                self.filter = Some(arg);
+            }
+        }
+        self
+    }
+
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(name, &b.samples);
+        self
+    }
+}
+
+fn sample_budget() -> Duration {
+    let millis = std::env::var("CRITERION_SAMPLE_MILLIS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(10);
+    Duration::from_millis(millis)
+}
+
+fn report(name: &str, samples: &[f64]) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    println!(
+        "{name:<45} time: [{} {} {}]",
+        fmt_ns(sorted[0]),
+        fmt_ns(median),
+        fmt_ns(*sorted.last().expect("non-empty samples")),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Timing driver passed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean ns-per-iteration of each timed sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmark `routine`, timing batches of calls.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: how many calls fit in the per-sample budget?
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let budget = sample_budget();
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 10_000_000) as u64;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Benchmark `routine` on fresh inputs from `setup`; setup time is kept
+    /// outside the timing window.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let budget = sample_budget();
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_size {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                let out = black_box(routine(input));
+                total += start.elapsed();
+                drop(out);
+            }
+            self.samples.push(total.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// Declare a benchmark group function (both the positional and the
+/// `name/config/targets` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        std::env::set_var("CRITERION_SAMPLE_MILLIS", "1");
+        let mut c = Criterion::default().sample_size(3);
+        let mut x = 0u64;
+        c.bench_function("smoke/add", |b| b.iter(|| x = x.wrapping_add(1)));
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn filter_skips_mismatches() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: Some("match-me".into()),
+        };
+        c.bench_function("other/bench", |_b| {
+            panic!("filtered benchmark must not run");
+        });
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(fmt_ns(5.0).ends_with("ns"));
+        assert!(fmt_ns(5e4).ends_with("µs"));
+        assert!(fmt_ns(5e7).ends_with("ms"));
+        assert!(fmt_ns(5e10).ends_with('s'));
+    }
+}

@@ -1,0 +1,178 @@
+//! Offline vendored stand-in for `rand_distr` (see `vendor/rand`).
+//!
+//! Implements the three distributions this workspace samples from:
+//! [`Normal`] (Box–Muller), [`Uniform`] over `f64`, and the 1-based [`Zipf`]
+//! law used for long-tail attribute-value frequencies in the synthetic
+//! catalog.
+
+use rand::{Rng, RngCore, Standard};
+
+/// A distribution samplable with any [`Rng`].
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid distribution parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Gaussian `N(mean, std²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// `std` must be finite and non-negative.
+    pub fn new(mean: f64, std: f64) -> Result<Self, ParamError> {
+        if !(std.is_finite() && std >= 0.0 && mean.is_finite()) {
+            return Err(ParamError("Normal requires finite mean and std >= 0"));
+        }
+        Ok(Self { mean, std })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; u1 is shifted away from 0 so ln() stays finite.
+        let u1: f64 = 1.0 - <f64 as Standard>::sample(rng);
+        let u2: f64 = <f64 as Standard>::sample(rng);
+        let mag = (-2.0 * u1.ln()).sqrt();
+        self.mean + self.std * mag * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Uniform over `[lo, hi)` or `[lo, hi]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+    inclusive: bool,
+}
+
+impl Uniform {
+    /// Half-open `[lo, hi)`; panics if `lo >= hi` (matching `rand` 0.8).
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "Uniform::new requires lo < hi");
+        Self {
+            lo,
+            hi,
+            inclusive: false,
+        }
+    }
+
+    /// Closed `[lo, hi]`; panics if `lo > hi`.
+    pub fn new_inclusive(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "Uniform::new_inclusive requires lo <= hi");
+        Self {
+            lo,
+            hi,
+            inclusive: true,
+        }
+    }
+}
+
+impl Distribution<f64> for Uniform {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        if self.inclusive {
+            rng.gen_range(self.lo..=self.hi)
+        } else {
+            rng.gen_range(self.lo..self.hi)
+        }
+    }
+}
+
+/// Zipf law over `{1, …, n}` with exponent `s`:
+/// `P(k) ∝ 1 / k^s`. Samples are returned as `f64` (1-based), matching
+/// `rand_distr` 0.4.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative unnormalized weights; `cdf[k-1] = Σ_{j<=k} j^-s`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// `n` must be positive and `s` finite and non-negative.
+    pub fn new(n: u64, s: f64) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError("Zipf requires n > 0"));
+        }
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(ParamError("Zipf requires finite s >= 0"));
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        Ok(Self { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        let total = *self.cdf.last().expect("non-empty cdf");
+        let u: f64 = <f64 as Standard>::sample(rng) * total;
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = Normal::new(2.0, 3.0).unwrap();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let half = Uniform::new(-1.0, 1.0);
+        let closed = Uniform::new_inclusive(-0.5, 0.5);
+        for _ in 0..5_000 {
+            let x = half.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&x));
+            let y = closed.sample(&mut rng);
+            assert!((-0.5..=0.5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn zipf_is_one_based_and_monotone() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let d = Zipf::new(10, 1.1).unwrap();
+        let mut counts = [0usize; 10];
+        for _ in 0..30_000 {
+            let k = d.sample(&mut rng);
+            assert!((1.0..=10.0).contains(&k));
+            counts[k as usize - 1] += 1;
+        }
+        // Long tail: rank 1 clearly dominates rank 10.
+        assert!(counts[0] > 3 * counts[9], "counts {counts:?}");
+        assert!(Zipf::new(0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,436 @@
+//! Offline vendored stand-in for `rayon` (see `vendor/rand` for why).
+//!
+//! Provides genuine data parallelism — contiguous index ranges fanned out
+//! over `std::thread::scope` — behind the parallel-iterator API subset the
+//! workspace uses: `par_iter`, `par_chunks`, `par_chunks_mut`,
+//! `into_par_iter` on integer ranges, and the `map` / `enumerate` /
+//! `collect` / `sum` / `reduce` / `for_each` combinators.
+//!
+//! Differences from real rayon: no work stealing (work is split into one
+//! contiguous block per thread) and no persistent pool (threads are scoped
+//! per call). Both are fine at this workspace's scales; the
+//! `RAYON_NUM_THREADS` environment variable is honored for thread-count
+//! sweeps.
+
+use std::ops::Range;
+
+/// Everything needed for `.par_iter().map(...).sum()`-style call chains.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads for a workload of `len` items.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+fn threads_for(len: usize) -> usize {
+    current_num_threads().min(len).max(1)
+}
+
+/// Run `f` over `0..len` split into one contiguous range per thread and
+/// return the per-thread results in range order.
+fn map_ranges<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let k = threads_for(len);
+    if k <= 1 {
+        return vec![f(0..len)];
+    }
+    let chunk = len.div_ceil(k);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..k)
+            .map(|t| {
+                let range = (t * chunk).min(len)..((t + 1) * chunk).min(len);
+                let f = &f;
+                s.spawn(move || f(range))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
+
+/// A parallel iterator over an indexable source.
+///
+/// The indexed model (`len` + random access) is what makes deterministic
+/// contiguous splitting possible without channels or work stealing.
+pub trait ParallelIterator: Sized + Sync {
+    /// Item type produced.
+    type Item: Send;
+
+    /// Total number of items.
+    fn p_len(&self) -> usize;
+
+    /// Produce the item at index `i` (pure; called once per index).
+    fn p_get(&self, i: usize) -> Self::Item;
+
+    /// Map every item through `f` in parallel.
+    fn map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        T: Send,
+        F: Fn(Self::Item) -> T + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair every item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Collect into a container, preserving order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Sum all items.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        map_ranges(self.p_len(), |r| r.map(|i| self.p_get(i)).sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Apply `f` to every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        map_ranges(self.p_len(), |r| {
+            for i in r {
+                f(self.p_get(i));
+            }
+        });
+    }
+
+    /// Fold all items with `op`, seeding every thread from `identity`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        map_ranges(self.p_len(), |r| {
+            let mut acc = identity();
+            for i in r {
+                acc = op(acc, self.p_get(i));
+            }
+            acc
+        })
+        .into_iter()
+        .fold(identity(), &op)
+    }
+}
+
+/// `map` adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, T, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    T: Send,
+    F: Fn(B::Item) -> T + Sync,
+{
+    type Item = T;
+
+    fn p_len(&self) -> usize {
+        self.base.p_len()
+    }
+
+    fn p_get(&self, i: usize) -> T {
+        (self.f)(self.base.p_get(i))
+    }
+}
+
+/// `enumerate` adapter.
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B: ParallelIterator> ParallelIterator for Enumerate<B> {
+    type Item = (usize, B::Item);
+
+    fn p_len(&self) -> usize {
+        self.base.p_len()
+    }
+
+    fn p_get(&self, i: usize) -> (usize, B::Item) {
+        (i, self.base.p_get(i))
+    }
+}
+
+/// Containers buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Collect, preserving item order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let parts = map_ranges(iter.p_len(), |r| {
+            r.map(|i| iter.p_get(i)).collect::<Vec<T>>()
+        });
+        let mut out = Vec::with_capacity(iter.p_len());
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+/// Borrowed-slice parallel iterator (`par_iter`).
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn p_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn p_get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Borrowed-chunks parallel iterator (`par_chunks`).
+pub struct ChunksIter<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksIter<'a, T> {
+    type Item = &'a [T];
+
+    fn p_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn p_get(&self, i: usize) -> &'a [T] {
+        let start = i * self.size;
+        &self.slice[start..(start + self.size).min(self.slice.len())]
+    }
+}
+
+/// `par_iter` / `par_chunks` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> SliceIter<'_, T>;
+
+    /// Parallel iterator over non-overlapping chunks of `size`.
+    fn par_chunks(&self, size: usize) -> ChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+
+    fn par_chunks(&self, size: usize) -> ChunksIter<'_, T> {
+        assert!(size > 0, "par_chunks requires a positive chunk size");
+        ChunksIter { slice: self, size }
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+///
+/// Mutable chunks cannot go through the shared-`&self` indexed model, so
+/// this type pre-splits the slice and hands each thread an owned set of
+/// disjoint chunks.
+pub struct ParChunksMut<'a, T: Send> {
+    chunks: Vec<(usize, &'a mut [T])>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index (chunks are already indexed
+    /// internally, so this is the identity — it exists for call-site
+    /// compatibility).
+    pub fn enumerate(self) -> Self {
+        self
+    }
+
+    /// Run `f` on every `(index, chunk)` pair across threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let mut chunks = self.chunks;
+        let k = threads_for(chunks.len());
+        if k <= 1 {
+            for pair in chunks {
+                f(pair);
+            }
+            return;
+        }
+        let per = chunks.len().div_ceil(k);
+        let mut batches: Vec<Vec<(usize, &'a mut [T])>> = Vec::with_capacity(k);
+        while !chunks.is_empty() {
+            let rest = chunks.split_off(chunks.len().min(per));
+            batches.push(std::mem::replace(&mut chunks, rest));
+        }
+        std::thread::scope(|s| {
+            for batch in batches {
+                let f = &f;
+                s.spawn(move || {
+                    for pair in batch {
+                        f(pair);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// `par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of `size`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "par_chunks_mut requires a positive chunk size");
+        ParChunksMut {
+            chunks: self.chunks_mut(size).enumerate().collect(),
+        }
+    }
+}
+
+/// Owning parallel iterator over an integer range (`into_par_iter`).
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The produced iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+macro_rules! impl_range_into_par {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+
+            fn p_len(&self) -> usize {
+                self.len
+            }
+
+            fn p_get(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> RangeIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeIter { start: self.start, len }
+            }
+        }
+    )*};
+}
+impl_range_into_par!(u32, u64, usize, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000u64).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_and_range_into_par() {
+        let total: u64 = (0..100u64).into_par_iter().map(|x| x).sum();
+        assert_eq!(total, 4950);
+        let n: usize = [1usize, 2, 3].par_iter().map(|&x| x).sum();
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn chunks_enumerate_reduce() {
+        let v: Vec<u32> = (0..257u32).collect();
+        let (count, sum) = v
+            .par_chunks(16)
+            .enumerate()
+            .map(|(i, c)| (i, c.iter().sum::<u32>()))
+            .reduce(|| (0, 0), |a, b| (a.0.max(b.0), a.1 + b.1));
+        assert_eq!(count, 16); // 17 chunks, max index 16
+        assert_eq!(sum, (0..257).sum::<u32>());
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjointly() {
+        let mut v = vec![0u32; 100];
+        v.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as u32;
+            }
+        });
+        for (j, &x) in v.iter().enumerate() {
+            assert_eq!(x, (j / 7) as u32);
+        }
+    }
+
+    #[test]
+    fn nested_parallelism() {
+        let grid: usize = (0..4u32)
+            .into_par_iter()
+            .map(|_| {
+                (0..50usize)
+                    .collect::<Vec<_>>()
+                    .par_iter()
+                    .map(|&x| x)
+                    .sum::<usize>()
+            })
+            .sum();
+        assert_eq!(grid, 4 * 1225);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let s: u32 = (5u32..5).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 0);
+    }
+}

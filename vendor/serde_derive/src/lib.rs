@@ -1,0 +1,347 @@
+//! Offline vendored stand-in for `serde_derive` (see `vendor/rand` for why).
+//!
+//! Derives `serde::Serialize` / `serde::Deserialize` for the shapes this
+//! workspace actually uses — named-field structs (with `#[serde(skip)]`),
+//! tuple structs, and unit-variant enums — by walking the raw
+//! `proc_macro::TokenTree` stream and emitting the impl as a source string.
+//! No `syn`/`quote`: those crates are unavailable offline, and the grammar
+//! subset here is small enough to parse by hand. Generics are not
+//! supported; deriving on a generic type is a compile error.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Ser)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Ser,
+    De,
+}
+
+enum Shape {
+    /// Named-field struct: `(field_name, is_serde_skip)` in declaration order.
+    Named {
+        name: String,
+        fields: Vec<(String, bool)>,
+    },
+    /// Tuple struct with `n` fields.
+    Tuple { name: String, n: usize },
+    /// Enum whose variants are all unit variants.
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let code = match parse_shape(input) {
+        Ok(shape) => match dir {
+            Direction::Ser => gen_ser(&shape),
+            Direction::De => gen_de(&shape),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i, &mut false);
+
+    let kw = ident_at(&toks, i).ok_or("expected `struct` or `enum`")?;
+    i += 1;
+    let name = ident_at(&toks, i).ok_or("expected a type name")?;
+    i += 1;
+
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive stub: generic type `{name}` unsupported"
+        ));
+    }
+
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        _ => return Err(format!("unsupported definition shape for `{name}`")),
+    };
+    match (kw.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Ok(Shape::Named {
+            fields: parse_named_fields(body)?,
+            name,
+        }),
+        ("struct", Delimiter::Parenthesis) => Ok(Shape::Tuple {
+            n: count_tuple_fields(body),
+            name,
+        }),
+        ("enum", Delimiter::Brace) => Ok(Shape::UnitEnum {
+            variants: parse_unit_variants(body, &name)?,
+            name,
+        }),
+        _ => Err(format!("unsupported definition shape for `{name}`")),
+    }
+}
+
+fn ident_at(toks: &[TokenTree], i: usize) -> Option<String> {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advance `i` past `#[...]` attributes and `pub` / `pub(...)` visibility,
+/// setting `skip` if a `#[serde(skip)]` attribute was seen.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize, skip: &mut bool) {
+    loop {
+        match (toks.get(*i), toks.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(attr)))
+                if p.as_char() == '#' && attr.delimiter() == Delimiter::Bracket =>
+            {
+                if attr_is_serde_skip(attr) {
+                    *skip = true;
+                }
+                *i += 2;
+            }
+            (Some(TokenTree::Ident(id)), _) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn attr_is_serde_skip(attr: &Group) -> bool {
+    let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(body: &Group) -> Result<Vec<(String, bool)>, String> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut skip = false;
+        skip_attrs_and_vis(&toks, &mut i, &mut skip);
+        let fname = ident_at(&toks, i).ok_or("expected a field name")?;
+        i += 1;
+        if !matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!("expected `:` after field `{fname}`"));
+        }
+        i += 1;
+        // Consume the type up to a comma at angle-bracket depth 0. Parens and
+        // brackets are single `Group` tokens, so only `<`/`>` need tracking.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push((fname, skip));
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: &Group) -> usize {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 && j + 1 < toks.len() => n += 1,
+                _ => {}
+            }
+        }
+    }
+    n
+}
+
+fn parse_unit_variants(body: &Group, name: &str) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i, &mut false);
+        let v = ident_at(&toks, i)
+            .ok_or_else(|| format!("expected a variant name in enum `{name}`"))?;
+        i += 1;
+        match toks.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            _ => {
+                return Err(format!(
+                    "serde derive stub: enum `{name}` has a non-unit variant `{v}`"
+                ))
+            }
+        }
+        variants.push(v);
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_ser(shape: &Shape) -> String {
+    match shape {
+        Shape::Named { name, fields } => {
+            let mut pushes = String::new();
+            for (f, skip) in fields {
+                if *skip {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "fields.push(({f:?}.to_string(), \
+                     ::serde::Serialize::to_json_value(&self.{f})));"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_json_value(&self) -> ::serde::Value {{ \
+                     let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                       ::std::vec::Vec::new(); \
+                     {pushes} \
+                     ::serde::Value::Object(fields) \
+                   }} \
+                 }}"
+            )
+        }
+        Shape::Tuple { name, n } => {
+            let body = if *n == 1 {
+                "::serde::Serialize::to_json_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|j| format!("::serde::Serialize::to_json_value(&self.{j})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(","))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_json_value(&self) -> ::serde::Value {{ {body} }} \
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::String({v:?}.to_string())"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_json_value(&self) -> ::serde::Value {{ \
+                     match self {{ {} }} \
+                   }} \
+                 }}",
+                arms.join(",")
+            )
+        }
+    }
+}
+
+fn gen_de(shape: &Shape) -> String {
+    match shape {
+        Shape::Named { name, fields } => {
+            let mut inits = String::new();
+            for (f, skip) in fields {
+                if *skip {
+                    inits.push_str(&format!("{f}: ::std::default::Default::default(),"));
+                } else {
+                    inits.push_str(&format!("{f}: ::serde::de_field(v, {f:?})?,"));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_json_value(v: &::serde::Value) -> \
+                       ::std::result::Result<Self, ::serde::Error> {{ \
+                     ::std::result::Result::Ok(Self {{ {inits} }}) \
+                   }} \
+                 }}"
+            )
+        }
+        Shape::Tuple { name, n } => {
+            let body = if *n == 1 {
+                "::std::result::Result::Ok(Self(::serde::Deserialize::from_json_value(v)?))"
+                    .to_string()
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|j| format!("::serde::Deserialize::from_json_value(&items[{j}])?"))
+                    .collect();
+                format!(
+                    "match v {{ \
+                       ::serde::Value::Array(items) if items.len() == {n} => \
+                         ::std::result::Result::Ok(Self({})), \
+                       _ => ::std::result::Result::Err(::serde::Error::new(\
+                         format!(\"expected a {n}-element array for {name}\"))) \
+                     }}",
+                    items.join(",")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_json_value(v: &::serde::Value) -> \
+                       ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_json_value(v: &::serde::Value) -> \
+                       ::std::result::Result<Self, ::serde::Error> {{ \
+                     match v {{ \
+                       ::serde::Value::String(s) => match s.as_str() {{ \
+                         {arms}, \
+                         other => ::std::result::Result::Err(::serde::Error::new(\
+                           format!(\"unknown {name} variant `{{other}}`\"))) \
+                       }}, \
+                       _ => ::std::result::Result::Err(::serde::Error::new(\
+                         \"expected a string for {name}\".to_string())) \
+                     }} \
+                   }} \
+                 }}",
+                arms = arms.join(",")
+            )
+        }
+    }
+}
