@@ -146,7 +146,7 @@ fn build_service(scale: Scale) -> (KnowledgeService, Vec<u32>) {
     (service, hot)
 }
 
-fn parse_args() -> (Scale, String) {
+fn parse_args() -> Result<(Scale, String), String> {
     let mut scale = Scale::from_env();
     let mut out = String::from("BENCH_serving.json");
     let mut args = std::env::args().skip(1);
@@ -156,19 +156,23 @@ fn parse_args() -> (Scale, String) {
             "standard" | "small" => scale = Scale::Standard,
             "full" | "bench" => scale = Scale::Full,
             "--out" => {
-                out = args.next().expect("--out requires a path");
+                out = args.next().ok_or("--out requires a path")?;
             }
-            other => {
-                eprintln!("usage: serving_scale [tiny|standard|full] [--out FILE]");
-                panic!("unknown argument: {other}");
-            }
+            other => return Err(format!("unknown argument: {other}")),
         }
     }
-    (scale, out)
+    Ok((scale, out))
 }
 
 fn main() {
-    let (scale, out_path) = parse_args();
+    let (scale, out_path) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(why) => {
+            eprintln!("error: {why}");
+            eprintln!("usage: serving_scale [tiny|standard|full] [--out FILE]");
+            std::process::exit(2);
+        }
+    };
     let (service, hot) = build_service(scale);
     let dim = service.dim();
     let k = service.k();
@@ -259,7 +263,10 @@ fn main() {
             "snapshot_vs_uncached": snapshot_vs_uncached,
         }),
     });
-    let pretty = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write(&out_path, pretty).expect("write report");
+    let pretty = serde_json::to_string_pretty(&report).expect("json literal serializes");
+    if let Err(e) = std::fs::write(&out_path, pretty) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
     eprintln!("[serving_scale] wrote {out_path}");
 }

@@ -4,22 +4,31 @@
 //! a saved service snapshot plus those two flags fully reproduce a session.
 //!
 //! ```text
-//! pkgm stats    --preset small --seed 42
-//! pkgm generate --preset small --seed 42 --out kg.tsv
-//! pkgm pretrain --preset small --seed 42 --dim 32 --epochs 8 --k 10 --out svc.bin
-//! pkgm serve    --preset small --seed 42 --service svc.bin --item 0
-//! pkgm snapshot --service svc.bin --out serving.snap
-//! pkgm eval     --preset small --seed 42 --service svc.bin --max-facts 300
+//! pkgm stats      --preset small --seed 42
+//! pkgm generate   --preset small --seed 42 --out kg.tsv
+//! pkgm train      --preset small --seed 42 --dim 32 --epochs 8 --k 10 --out svc.bin
+//!                 [--checkpoint-dir ckpts] [--checkpoint-every 1] [--keep-last 3]
+//!                 [--resume ckpts]
+//! pkgm serve      --preset small --seed 42 --service svc.bin --item 0
+//! pkgm snapshot   --service svc.bin --out serving.snap
+//! pkgm eval      --preset small --seed 42 --service svc.bin --max-facts 300
+//! pkgm faultcheck [--dir scratch] [--seed 42]
 //! ```
+//!
+//! All artifacts are written atomically (temp file + fsync + rename) inside a
+//! CRC32-checksummed container; loads of corrupt or truncated files fail with
+//! typed errors. Legacy raw files from older builds still load.
 
 mod args;
 
 use args::Args;
 use pkgm_core::{
-    eval, serialize, KnowledgeService, PkgmConfig, PkgmModel, ServiceSnapshot, TrainConfig, Trainer,
+    eval, fault, load_latest_checkpoint, serialize, CheckpointConfig, KnowledgeService, PkgmConfig,
+    PkgmModel, ServiceSnapshot, StdIo, TrainConfig, Trainer,
 };
 use pkgm_store::{EntityId, KgStats};
 use pkgm_synth::{Catalog, CatalogConfig};
+use std::path::PathBuf;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -43,10 +52,12 @@ fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     match args.command.as_str() {
         "stats" => stats(&args),
         "generate" => generate(&args),
-        "pretrain" => pretrain(&args),
+        // `train` is the primary name; `pretrain` stays as an alias.
+        "train" | "pretrain" => pretrain(&args),
         "serve" => serve(&args),
         "snapshot" => snapshot(&args),
         "eval" => evaluate(&args),
+        "faultcheck" => faultcheck(&args),
         other => Err(format!("unknown subcommand: {other}").into()),
     }
 }
@@ -114,30 +125,84 @@ fn pretrain(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let lr: f32 = args.get_or("lr", 5e-3)?;
     let margin: f32 = args.get_or("margin", 4.0)?;
     let out = args.require("out")?;
+    let io = StdIo;
 
-    let mut model = PkgmModel::new(
-        catalog.store.n_entities() as usize,
-        catalog.store.n_relations() as usize,
-        PkgmConfig::new(dim).with_seed(args.get_or("seed", 42)?),
-    );
-    let cfg = TrainConfig {
-        epochs,
-        lr,
-        margin,
-        ..TrainConfig::default()
+    // --resume DIR implies checkpointing into the same directory.
+    let resume_dir = args.get("resume").map(PathBuf::from);
+    let ckpt_dir = args
+        .get("checkpoint-dir")
+        .map(PathBuf::from)
+        .or_else(|| resume_dir.clone());
+
+    let (mut model, mut trainer) = match &resume_dir {
+        Some(dir) => {
+            let scan = load_latest_checkpoint(&io, dir)?;
+            for (path, why) in &scan.skipped {
+                eprintln!(
+                    "[pkgm] warning: skipping invalid checkpoint {}: {why}",
+                    path.display()
+                );
+            }
+            match scan.resumed {
+                Some(state) => {
+                    eprintln!(
+                        "[pkgm] resuming from {} (epoch {} of {epochs})",
+                        state.path.display(),
+                        state.trainer.epochs_done()
+                    );
+                    let mut trainer = state.trainer;
+                    // The checkpoint's config wins (bit-exact resume); only
+                    // the epoch target is taken from the command line.
+                    trainer.cfg.epochs = epochs;
+                    (state.model, trainer)
+                }
+                None => {
+                    eprintln!(
+                        "[pkgm] warning: no valid checkpoint in {}, starting fresh",
+                        dir.display()
+                    );
+                    fresh_trainer(args, &catalog, dim, epochs, lr, margin)?
+                }
+            }
+        }
+        None => fresh_trainer(args, &catalog, dim, epochs, lr, margin)?,
     };
+
     eprintln!("[pkgm] pre-training d={dim} epochs={epochs} lr={lr} margin={margin}…");
-    let report = Trainer::new(&model, cfg).train(&mut model, &catalog.store);
+    let first_epoch = trainer.epochs_done();
+    let report = match &ckpt_dir {
+        Some(dir) => {
+            let ckpt = CheckpointConfig {
+                dir: dir.clone(),
+                every: args.get_or("checkpoint-every", 1)?,
+                keep_last: args.get_or("keep-last", 3)?,
+            };
+            trainer.train_with_checkpoints(&mut model, &catalog.store, &ckpt, &io)?
+        }
+        None => trainer.train(&mut model, &catalog.store),
+    };
     for (i, e) in report.epochs.iter().enumerate() {
         eprintln!(
             "[pkgm] epoch {}: mean loss {:.4}, violations {:.1}%",
-            i + 1,
+            first_epoch + i + 1,
             e.mean_loss,
             e.violation_rate * 100.0
         );
     }
+    if let Some(why) = &report.halted {
+        // The guard tripped: refuse to write a garbage service. The last
+        // good checkpoint (if any) is the recovery point.
+        return Err(format!(
+            "training halted without writing {out}: {why}{}",
+            ckpt_dir
+                .as_deref()
+                .map(|d| format!(" (last good checkpoint in {})", d.display()))
+                .unwrap_or_default()
+        )
+        .into());
+    }
     let service = KnowledgeService::new(model, catalog.key_relation_selector(k));
-    std::fs::write(out, serialize::service_to_bytes(&service))?;
+    serialize::write_service_file(&io, std::path::Path::new(out), &service)?;
     println!(
         "wrote service snapshot to {out} ({:.1} MiB, {:.1}s)",
         std::fs::metadata(out)?.len() as f64 / (1024.0 * 1024.0),
@@ -146,49 +211,97 @@ fn pretrain(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// A model + trainer initialized from scratch (no checkpoint to resume).
+fn fresh_trainer(
+    args: &Args,
+    catalog: &Catalog,
+    dim: usize,
+    epochs: usize,
+    lr: f32,
+    margin: f32,
+) -> Result<(PkgmModel, Trainer), Box<dyn std::error::Error>> {
+    let seed: u64 = args.get_or("seed", 42)?;
+    let model = PkgmModel::new(
+        catalog.store.n_entities() as usize,
+        catalog.store.n_relations() as usize,
+        PkgmConfig::new(dim).with_seed(seed),
+    );
+    let cfg = TrainConfig {
+        epochs,
+        lr,
+        margin,
+        seed,
+        // `--parallel false` fixes the gradient reduction order, making runs
+        // bit-for-bit reproducible (and checkpoint resume bit-exact).
+        parallel: args.get_or("parallel", true)?,
+        ..TrainConfig::default()
+    };
+    let trainer = Trainer::new(&model, cfg);
+    Ok((model, trainer))
+}
+
 fn load_service(args: &Args) -> Result<KnowledgeService, Box<dyn std::error::Error>> {
     let path = args.require("service")?;
-    let bytes = std::fs::read(path)?;
-    Ok(serialize::service_from_bytes(&bytes)?)
+    Ok(serialize::read_service_file(
+        &StdIo,
+        std::path::Path::new(path),
+    )?)
 }
 
 fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let catalog = catalog_from(args)?;
     let service = load_service(args)?;
     let item = EntityId(args.get_or("item", 0u32)?);
-    let meta = catalog
-        .items
-        .get(item.index())
-        .ok_or_else(|| format!("item {} out of range", item.0))?;
-    println!(
-        "item {} — category {} — title: {}",
-        item,
-        meta.category,
-        meta.title.join(" ")
-    );
-    println!("key relations (k = {}):", service.k());
-    for &r in service.selector().for_item(item) {
-        let rname = catalog.relations.name(r.0).unwrap_or("?");
-        let preds = service.predict_tail(item, r, 3);
-        let pred_names: Vec<String> = preds
-            .iter()
-            .map(|(e, d)| format!("{} ({d:.2})", catalog.entities.name(e.0).unwrap_or("?")))
-            .collect();
-        println!(
-            "  {rname:<18} f_R = {:>7.3}  S_T top-3: {}",
-            service.relation_exists_score(item, r),
-            pred_names.join(", ")
-        );
+    // Degraded mode: an unknown item is served the documented fallback
+    // instead of an error — a serving fleet must answer every query.
+    let known = (item.0 as usize) < service.model().n_entities();
+    match catalog.items.get(item.index()) {
+        Some(meta) => println!(
+            "item {} — category {} — title: {}",
+            item,
+            meta.category,
+            meta.title.join(" ")
+        ),
+        None => eprintln!("[pkgm] warning: item {item} not in catalog — serving fallback"),
+    }
+    if known {
+        println!("key relations (k = {}):", service.k());
+        for &r in service.selector().for_item(item) {
+            let rname = catalog.relations.name(r.0).unwrap_or("?");
+            let preds = service.predict_tail(item, r, 3);
+            let pred_names: Vec<String> = preds
+                .iter()
+                .map(|(e, d)| format!("{} ({d:.2})", catalog.entities.name(e.0).unwrap_or("?")))
+                .collect();
+            println!(
+                "  {rname:<18} f_R = {:>7.3}  S_T top-3: {}",
+                service.relation_exists_score(item, r),
+                pred_names.join(", ")
+            );
+        }
     }
     let (condensed, source): (Vec<f32>, &str) = match args.get("snapshot") {
         Some(path) => {
-            let snap = serialize::snapshot_from_bytes(&std::fs::read(path)?)?;
-            let row = snap
-                .condensed(item)
-                .ok_or_else(|| format!("item {} beyond snapshot table", item.0))?;
-            (row.to_vec(), "precomputed snapshot")
+            let snap = serialize::read_snapshot_file(&StdIo, std::path::Path::new(path))?;
+            let (row, degraded) = snap.condensed_or_fallback(item);
+            if degraded {
+                eprintln!(
+                    "[pkgm] warning: item {item} beyond snapshot table ({} rows) — \
+                     serving mean-row fallback",
+                    snap.n_rows()
+                );
+            }
+            (
+                row.to_vec(),
+                if degraded {
+                    "snapshot fallback"
+                } else {
+                    "precomputed snapshot"
+                },
+            )
         }
-        None => (service.condensed_service(item), "live compute"),
+        None if known => (service.condensed_service(item), "live compute"),
+        None => (vec![0.0; 2 * service.dim()], "zero fallback"),
     };
     println!(
         "condensed service ({source}): {} dims, ‖S‖₂ = {:.3}",
@@ -203,13 +316,48 @@ fn snapshot(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let out = args.require("out")?;
     let start = std::time::Instant::now();
     let snap = ServiceSnapshot::build(&service);
-    std::fs::write(out, serialize::snapshot_to_bytes(&snap))?;
+    serialize::write_snapshot_file(&StdIo, std::path::Path::new(out), &snap)?;
     println!(
         "wrote serving snapshot to {out}: {} rows × {} dims ({:.1} MiB, built in {:.2}s)",
         snap.n_rows(),
         2 * snap.dim(),
         std::fs::metadata(out)?.len() as f64 / (1024.0 * 1024.0),
         start.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn faultcheck(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let seed: u64 = args.get_or("seed", 42)?;
+    let dir = match args.get("dir") {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("pkgm-faultcheck-{}", std::process::id())),
+    };
+    eprintln!(
+        "[pkgm] running fault-injection battery in {} (seed {seed})…",
+        dir.display()
+    );
+    let report = fault::run_faultcheck(&dir, seed);
+    for s in &report.scenarios {
+        println!(
+            "{} {:<36} {}",
+            if s.passed { "PASS" } else { "FAIL" },
+            s.name,
+            s.detail
+        );
+    }
+    let failed = report.scenarios.iter().filter(|s| !s.passed).count();
+    if failed > 0 {
+        // Not a usage error: report and exit nonzero without the help text.
+        eprintln!(
+            "faultcheck: {failed}/{} scenarios failed",
+            report.scenarios.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "faultcheck: all {} scenarios passed",
+        report.scenarios.len()
     );
     Ok(())
 }
@@ -238,13 +386,18 @@ fn print_help() {
         "pkgm — Pre-trained Knowledge Graph Model (ICDE 2021 reproduction)\n\n\
          USAGE: pkgm <command> [--flag value]…\n\n\
          COMMANDS\n\
-         \u{20}  stats     --preset tiny|small|bench --seed N\n\
-         \u{20}  generate  --preset P --seed N --out kg.tsv [--items-out items.json]\n\
-         \u{20}  pretrain  --preset P --seed N --dim 32 --epochs 8 --k 10 [--lr 0.005]\n\
-         \u{20}            [--margin 4] --out service.bin\n\
-         \u{20}  serve     --preset P --seed N --service service.bin --item 0\n\
-         \u{20}            [--snapshot serving.snap]\n\
-         \u{20}  snapshot  --service service.bin --out serving.snap\n\
-         \u{20}  eval      --preset P --seed N --service service.bin [--max-facts 300]\n"
+         \u{20}  stats       --preset tiny|small|bench --seed N\n\
+         \u{20}  generate    --preset P --seed N --out kg.tsv [--items-out items.json]\n\
+         \u{20}  train       --preset P --seed N --dim 32 --epochs 8 --k 10 [--lr 0.005]\n\
+         \u{20}              [--margin 4] --out service.bin [--checkpoint-dir D]\n\
+         \u{20}              [--checkpoint-every 1] [--keep-last 3] [--resume D]\n\
+         \u{20}              [--parallel false  # bit-reproducible runs]\n\
+         \u{20}              (alias: pretrain; --resume restarts from the latest\n\
+         \u{20}              valid checkpoint in D and checkpoints back into it)\n\
+         \u{20}  serve       --preset P --seed N --service service.bin --item 0\n\
+         \u{20}              [--snapshot serving.snap]\n\
+         \u{20}  snapshot    --service service.bin --out serving.snap\n\
+         \u{20}  eval        --preset P --seed N --service service.bin [--max-facts 300]\n\
+         \u{20}  faultcheck  [--dir scratch] [--seed 42] — crash/corruption recovery battery\n"
     );
 }

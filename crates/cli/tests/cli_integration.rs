@@ -207,6 +207,217 @@ fn pretrain_serve_eval_roundtrip() {
 }
 
 #[test]
+fn checkpoint_resume_matches_straight_run() {
+    let dir = tmpdir("ckpt-resume");
+    // --parallel false: a fixed gradient order is what makes the straight
+    // and resumed runs comparable bit-for-bit.
+    let base: Vec<String> = [
+        "train",
+        "--preset",
+        "tiny",
+        "--seed",
+        "6",
+        "--dim",
+        "8",
+        "--k",
+        "3",
+        "--parallel",
+        "false",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+
+    // Straight 4-epoch run.
+    let svc_a = dir.join("a.bin");
+    let out = pkgm()
+        .args(&base)
+        .args(["--epochs", "4", "--out", svc_a.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // 2 epochs with checkpoints, then resume to 4.
+    let svc_b = dir.join("b.bin");
+    let ckpts = dir.join("ckpts");
+    let out = pkgm()
+        .args(&base)
+        .args([
+            "--epochs",
+            "2",
+            "--out",
+            svc_b.to_str().unwrap(),
+            "--checkpoint-dir",
+            ckpts.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(ckpts.join("ckpt-00002.pkgm").exists());
+    let out = pkgm()
+        .args(&base)
+        .args([
+            "--epochs",
+            "4",
+            "--out",
+            svc_b.to_str().unwrap(),
+            "--resume",
+            ckpts.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("resuming from"));
+
+    // Same artifact bytes: the resumed run is bit-for-bit the straight run.
+    let a = std::fs::read(&svc_a).unwrap();
+    let b = std::fs::read(&svc_b).unwrap();
+    assert_eq!(a, b, "resumed service differs from straight run");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn resume_from_empty_dir_warns_and_starts_fresh() {
+    let dir = tmpdir("ckpt-fresh");
+    let svc = dir.join("svc.bin");
+    let out = pkgm()
+        .args([
+            "train",
+            "--preset",
+            "tiny",
+            "--seed",
+            "7",
+            "--dim",
+            "8",
+            "--epochs",
+            "1",
+            "--k",
+            "3",
+            "--out",
+            svc.to_str().unwrap(),
+            "--resume",
+            dir.join("nonexistent").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("starting fresh"));
+    assert!(svc.exists());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn corrupt_service_file_is_a_typed_error_not_a_panic() {
+    let dir = tmpdir("corrupt-svc");
+    let svc = dir.join("svc.bin");
+    std::fs::write(&svc, b"PKGMAF1\0garbage that is not a valid artifact").unwrap();
+    let out = pkgm()
+        .args([
+            "serve",
+            "--preset",
+            "tiny",
+            "--seed",
+            "5",
+            "--service",
+            svc.to_str().unwrap(),
+            "--item",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "stderr: {err}");
+    assert!(!err.contains("panicked"), "loader panicked: {err}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn serve_degrades_gracefully_for_unknown_items() {
+    let dir = tmpdir("degraded-serve");
+    let svc = dir.join("svc.bin");
+    let out = pkgm()
+        .args([
+            "train",
+            "--preset",
+            "tiny",
+            "--seed",
+            "5",
+            "--dim",
+            "8",
+            "--epochs",
+            "1",
+            "--k",
+            "3",
+            "--out",
+            svc.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    // An item id far beyond the catalog must be answered, not crash.
+    let out = pkgm()
+        .args([
+            "serve",
+            "--preset",
+            "tiny",
+            "--seed",
+            "5",
+            "--service",
+            svc.to_str().unwrap(),
+            "--item",
+            "4000000000",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("serving fallback"));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("zero fallback"));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn faultcheck_passes_and_reports_scenarios() {
+    let dir = tmpdir("faultcheck");
+    let out = pkgm()
+        .args(["faultcheck", "--dir", dir.to_str().unwrap(), "--seed", "42"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("kill-during-checkpoint-resumes"));
+    assert!(text.contains("degraded-serving-no-panic"));
+    assert!(text.contains("all") && text.contains("scenarios passed"));
+    assert!(!text.contains("FAIL"));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn missing_required_flag_is_reported() {
     let out = pkgm()
         .args(["pretrain", "--preset", "tiny"])

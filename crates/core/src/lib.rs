@@ -34,10 +34,16 @@
 //! * [`baselines`] — TransE (ablation: triple module only), TransH and
 //!   DistMult for link-prediction context;
 //! * [`serialize`] — compact binary snapshots of trained models, services
-//!   and serving tables.
+//!   and serving tables;
+//! * [`artifact`] — atomic (temp + fsync + rename), CRC32-checksummed,
+//!   versioned on-disk container shared by every artifact kind;
+//! * [`fault`] — deterministic fault-injection ([`fault::FaultPlan`] /
+//!   [`fault::FaultyIo`]) and the `pkgm faultcheck` recovery battery.
 
+pub mod artifact;
 pub mod baselines;
 pub mod eval;
+pub mod fault;
 pub mod model;
 pub mod negative;
 pub mod serialize;
@@ -46,10 +52,15 @@ pub mod serving;
 pub mod snapshot;
 pub mod trainer;
 
+pub use artifact::{ArtifactError, ArtifactIo, ArtifactKind, StdIo};
 pub use eval::{LinkPredictionReport, RelationExistenceReport};
+pub use fault::{Fault, FaultCheckReport, FaultPlan, FaultyIo};
 pub use model::{PkgmConfig, PkgmModel};
 pub use negative::NegativeSampler;
 pub use service::{KnowledgeService, ServiceScratch};
 pub use serving::{CacheStats, CachedService};
 pub use snapshot::ServiceSnapshot;
-pub use trainer::{TrainConfig, TrainReport, Trainer};
+pub use trainer::{
+    load_latest_checkpoint, CheckpointConfig, CheckpointScan, ResumeState, TrainConfig, TrainError,
+    TrainReport, Trainer,
+};

@@ -16,11 +16,13 @@
 //! A [`KnowledgeService`] snapshot appends the selector as a length-prefixed
 //! JSON blob (the selector is tiny compared to the parameters).
 
+use crate::artifact::{self, ArtifactError, ArtifactIo, ArtifactKind};
 use crate::model::{PkgmConfig, PkgmModel};
 use crate::service::KnowledgeService;
 use crate::snapshot::ServiceSnapshot;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use pkgm_store::KeyRelationSelector;
+use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"PKGMMD1\0";
 const SNAPSHOT_MAGIC: &[u8; 8] = b"PKGMSS1\0";
@@ -77,17 +79,30 @@ pub fn model_from_bytes(bytes: &[u8]) -> Result<(PkgmModel, usize), SerializeErr
     let relation_module = flags & 1 != 0;
     let n_entities = b.get_u64_le() as usize;
     let n_relations = b.get_u64_le() as usize;
-    let n_floats = n_entities * dim
-        + n_relations * dim
-        + if relation_module {
-            n_relations * dim * dim
-        } else {
-            0
-        };
-    if b.remaining() < n_floats * 4 {
+    // Checked arithmetic throughout: a short buffer with huge declared counts
+    // must be rejected here, not overflow the size computation and slice (or
+    // allocate) out of range below.
+    let n_floats = n_entities
+        .checked_mul(dim)
+        .and_then(|ent| n_relations.checked_mul(dim).map(|rel| (ent, rel)))
+        .and_then(|(ent, rel)| {
+            let mat = if relation_module {
+                n_relations.checked_mul(dim)?.checked_mul(dim)?
+            } else {
+                0
+            };
+            ent.checked_add(rel)?.checked_add(mat)
+        });
+    let n_bytes = n_floats.and_then(|n| n.checked_mul(4));
+    let Some(n_bytes) = n_bytes else {
+        return Err(SerializeError::Corrupt(
+            "declared entity/relation counts overflow".into(),
+        ));
+    };
+    if b.remaining() < n_bytes {
         return Err(SerializeError::Corrupt(format!(
             "expected {} parameter bytes, found {}",
-            n_floats * 4,
+            n_bytes,
             b.remaining()
         )));
     }
@@ -148,6 +163,13 @@ pub fn service_from_bytes(bytes: &[u8]) -> Result<KnowledgeService, SerializeErr
     }
     let selector: KeyRelationSelector = serde_json::from_slice(&rest[..len])
         .map_err(|e| SerializeError::Corrupt(format!("selector json: {e}")))?;
+    // Typed error, not the constructor's assert: corrupt bytes must never
+    // panic a loader.
+    if !model.cfg.relation_module {
+        return Err(SerializeError::Corrupt(
+            "serialized service lacks the relation module".into(),
+        ));
+    }
     Ok(KnowledgeService::new(model, selector))
 }
 
@@ -185,11 +207,19 @@ pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<ServiceSnapshot, SerializeErr
             "snapshot dim must be positive".into(),
         ));
     }
-    let n_floats = n_rows * 2 * dim;
-    if b.remaining() != n_floats * 4 {
+    // Checked: a huge declared row count must not overflow into a small
+    // byte expectation that a short buffer satisfies.
+    let n_bytes = n_rows.checked_mul(2 * dim).and_then(|n| n.checked_mul(4));
+    let Some(n_bytes) = n_bytes else {
+        return Err(SerializeError::Corrupt(
+            "declared snapshot row count overflows".into(),
+        ));
+    };
+    let n_floats = n_bytes / 4;
+    if b.remaining() != n_bytes {
         return Err(SerializeError::Corrupt(format!(
             "expected {} snapshot table bytes, found {}",
-            n_floats * 4,
+            n_bytes,
             b.remaining()
         )));
     }
@@ -198,6 +228,102 @@ pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<ServiceSnapshot, SerializeErr
         rows.push(b.get_f32_le());
     }
     Ok(ServiceSnapshot::from_parts(dim, k, rows))
+}
+
+// --- artifact-framed file I/O -----------------------------------------------
+//
+// The byte-level codecs above are payload formats; on disk every artifact is
+// wrapped in the checksummed, versioned container from [`crate::artifact`]
+// and written atomically (temp file + fsync + rename). Readers accept the
+// pre-container ("legacy") raw payloads too, so files written by older
+// builds still load.
+
+fn corrupt(path: &Path, e: SerializeError) -> ArtifactError {
+    ArtifactError::Corrupt {
+        path: path.to_path_buf(),
+        what: e.to_string(),
+    }
+}
+
+/// Read an artifact file's payload, unwrapping the checksummed container
+/// when present and falling back to the raw legacy payload otherwise.
+fn read_payload(
+    io: &dyn ArtifactIo,
+    path: &Path,
+    kind: ArtifactKind,
+) -> Result<Vec<u8>, ArtifactError> {
+    let bytes = io.read(path)?;
+    if bytes.starts_with(artifact::ARTIFACT_MAGIC) {
+        Ok(artifact::decode(path, kind, &bytes)?.to_vec())
+    } else {
+        Ok(bytes)
+    }
+}
+
+/// Atomically write `model` to `path` inside a checksummed artifact frame.
+pub fn write_model_file(
+    io: &dyn ArtifactIo,
+    path: &Path,
+    model: &PkgmModel,
+) -> Result<(), ArtifactError> {
+    artifact::write_artifact(io, path, ArtifactKind::Model, &model_to_bytes(model))
+}
+
+/// Load a model artifact, validating checksum and framing; accepts legacy
+/// raw `PKGMMD1` files.
+pub fn read_model_file(io: &dyn ArtifactIo, path: &Path) -> Result<PkgmModel, ArtifactError> {
+    let payload = read_payload(io, path, ArtifactKind::Model)?;
+    let (model, consumed) = model_from_bytes(&payload).map_err(|e| corrupt(path, e))?;
+    if consumed != payload.len() {
+        return Err(ArtifactError::Corrupt {
+            path: path.to_path_buf(),
+            what: format!("{} trailing bytes after model", payload.len() - consumed),
+        });
+    }
+    Ok(model)
+}
+
+/// Atomically write `service` to `path` inside a checksummed artifact frame.
+pub fn write_service_file(
+    io: &dyn ArtifactIo,
+    path: &Path,
+    service: &KnowledgeService,
+) -> Result<(), ArtifactError> {
+    artifact::write_artifact(io, path, ArtifactKind::Service, &service_to_bytes(service))
+}
+
+/// Load a service artifact, validating checksum and framing; accepts legacy
+/// raw files.
+pub fn read_service_file(
+    io: &dyn ArtifactIo,
+    path: &Path,
+) -> Result<KnowledgeService, ArtifactError> {
+    let payload = read_payload(io, path, ArtifactKind::Service)?;
+    service_from_bytes(&payload).map_err(|e| corrupt(path, e))
+}
+
+/// Atomically write `snapshot` to `path` inside a checksummed artifact frame.
+pub fn write_snapshot_file(
+    io: &dyn ArtifactIo,
+    path: &Path,
+    snapshot: &ServiceSnapshot,
+) -> Result<(), ArtifactError> {
+    artifact::write_artifact(
+        io,
+        path,
+        ArtifactKind::Snapshot,
+        &snapshot_to_bytes(snapshot),
+    )
+}
+
+/// Load a serving-snapshot artifact, validating checksum and framing;
+/// accepts legacy raw `PKGMSS1` files.
+pub fn read_snapshot_file(
+    io: &dyn ArtifactIo,
+    path: &Path,
+) -> Result<ServiceSnapshot, ArtifactError> {
+    let payload = read_payload(io, path, ArtifactKind::Snapshot)?;
+    snapshot_from_bytes(&payload).map_err(|e| corrupt(path, e))
 }
 
 #[cfg(test)]
@@ -296,6 +422,80 @@ mod tests {
         assert_eq!(back.dim(), snap.dim());
         assert_eq!(back.k(), snap.k());
         assert_eq!(back.n_rows(), snap.n_rows());
+    }
+
+    #[test]
+    fn huge_declared_counts_are_rejected_not_sliced() {
+        // A 32-byte header declaring ~u64::MAX entities must fail cleanly:
+        // before the checked arithmetic fix the size computation overflowed
+        // and the short buffer passed the length check.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(MAGIC);
+        bad.extend_from_slice(&8u32.to_le_bytes()); // dim
+        bad.extend_from_slice(&1u32.to_le_bytes()); // flags: relation module
+        bad.extend_from_slice(&(u64::MAX / 2).to_le_bytes()); // n_entities
+        bad.extend_from_slice(&(u64::MAX / 2).to_le_bytes()); // n_relations
+        bad.extend_from_slice(&[0u8; 64]); // a little tail data
+        assert!(model_from_bytes(&bad).is_err());
+
+        let mut bad_snap = Vec::new();
+        bad_snap.extend_from_slice(SNAPSHOT_MAGIC);
+        bad_snap.extend_from_slice(&8u32.to_le_bytes()); // dim
+        bad_snap.extend_from_slice(&2u32.to_le_bytes()); // k
+        bad_snap.extend_from_slice(&u64::MAX.to_le_bytes()); // n_rows
+        bad_snap.extend_from_slice(&[0u8; 64]);
+        assert!(snapshot_from_bytes(&bad_snap).is_err());
+    }
+
+    #[test]
+    fn file_roundtrips_are_framed_and_exact() {
+        use crate::artifact::StdIo;
+        let dir = std::env::temp_dir().join(format!("pkgm-serialize-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let m = model();
+        let mp = dir.join("m.pkgm");
+        write_model_file(&StdIo, &mp, &m).unwrap();
+        let back = read_model_file(&StdIo, &mp).unwrap();
+        assert_eq!(back.ent, m.ent);
+
+        let svc = test_service();
+        let sp = dir.join("s.pkgm");
+        write_service_file(&StdIo, &sp, &svc).unwrap();
+        let back = read_service_file(&StdIo, &sp).unwrap();
+        assert_eq!(
+            back.condensed_service(EntityId(1)),
+            svc.condensed_service(EntityId(1))
+        );
+
+        let snap = ServiceSnapshot::build(&svc);
+        let np = dir.join("n.pkgm");
+        write_snapshot_file(&StdIo, &np, &snap).unwrap();
+        assert_eq!(read_snapshot_file(&StdIo, &np).unwrap(), snap);
+
+        // Kind confusion is a typed error, not a mis-decode.
+        assert!(matches!(
+            read_snapshot_file(&StdIo, &sp),
+            Err(ArtifactError::WrongKind { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_raw_files_still_load() {
+        use crate::artifact::StdIo;
+        let dir = std::env::temp_dir().join(format!("pkgm-legacy-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let svc = test_service();
+        let sp = dir.join("legacy-svc.bin");
+        std::fs::write(&sp, service_to_bytes(&svc)).unwrap();
+        let back = read_service_file(&StdIo, &sp).unwrap();
+        assert_eq!(back.k(), svc.k());
+        let snap = ServiceSnapshot::build(&svc);
+        let np = dir.join("legacy-snap.bin");
+        std::fs::write(&np, snapshot_to_bytes(&snap)).unwrap();
+        assert_eq!(read_snapshot_file(&StdIo, &np).unwrap(), snap);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

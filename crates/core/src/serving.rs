@@ -37,6 +37,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted due to the capacity bound.
     pub evictions: u64,
+    /// Requests answered with the documented fallback (unknown item id, or
+    /// id beyond the model's embedding table). Counted separately from hits
+    /// and misses so operators can alert on catalog/model skew.
+    pub degraded: u64,
 }
 
 /// A cached sequence service (`2k` vectors) behind a shared pointer.
@@ -63,9 +67,13 @@ pub struct CachedService {
     shards: Vec<Shard>,
     /// Capacity bound applied independently to each shard (per shape).
     shard_capacity: usize,
+    /// Shared zero fallbacks, returned (not cached) for degraded requests.
+    fallback_sequence: SequenceVectors,
+    fallback_condensed: CondensedVector,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    degraded: AtomicU64,
 }
 
 impl CachedService {
@@ -77,13 +85,17 @@ impl CachedService {
     pub fn new(inner: KnowledgeService, capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         let n_shards = (capacity / 4).clamp(1, MAX_SHARDS);
+        let (d, k) = (inner.dim(), inner.k());
         Self {
             inner,
             shards: (0..n_shards).map(|_| Shard::default()).collect(),
             shard_capacity: capacity / n_shards,
+            fallback_sequence: Arc::new(vec![vec![0.0; d]; 2 * k]),
+            fallback_condensed: Arc::new(vec![0.0; 2 * d]),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
         }
     }
 
@@ -104,8 +116,25 @@ impl CachedService {
         &self.shards[h % self.shards.len()]
     }
 
+    /// True when `item` cannot be served from the model: the id is beyond
+    /// the embedding table (indexing it would panic) or the selector has no
+    /// key relations for it (an id the catalog never registered). Such
+    /// requests get the documented zero fallback and bump
+    /// [`CacheStats::degraded`] instead of panicking.
+    fn is_degraded(&self, item: EntityId) -> bool {
+        item.0 as usize >= self.inner.model().n_entities()
+            || self.inner.selector().for_item(item).is_empty()
+    }
+
     /// Cached sequence service (`2k` vectors, Fig. 2 shape).
+    ///
+    /// Unknown or out-of-range items return a shared all-zero fallback of
+    /// the same shape and increment [`CacheStats::degraded`].
     pub fn sequence_service(&self, item: EntityId) -> Arc<Vec<Vec<f32>>> {
+        if self.is_degraded(item) {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(&self.fallback_sequence);
+        }
         let shard = self.shard_of(item.0);
         if let Some(hit) = shard.sequences.read().get(&item.0) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -126,7 +155,14 @@ impl CachedService {
     }
 
     /// Cached condensed service (`2d` vector, Fig. 3 shape).
+    ///
+    /// Unknown or out-of-range items return a shared all-zero fallback and
+    /// increment [`CacheStats::degraded`].
     pub fn condensed_service(&self, item: EntityId) -> Arc<Vec<f32>> {
+        if self.is_degraded(item) {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(&self.fallback_condensed);
+        }
         let shard = self.shard_of(item.0);
         if let Some(hit) = shard.condensed.read().get(&item.0) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -156,6 +192,11 @@ impl CachedService {
         let mut missing: Vec<u32> = Vec::new();
         let mut seen = FxHashSet::default();
         for &item in items {
+            if self.is_degraded(item) {
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+                out.push(Some(Arc::clone(&self.fallback_sequence)));
+                continue;
+            }
             let shard = self.shard_of(item.0);
             match shard.sequences.read().get(&item.0) {
                 Some(hit) => {
@@ -212,6 +253,11 @@ impl CachedService {
         let mut missing: Vec<u32> = Vec::new();
         let mut seen = FxHashSet::default();
         for &item in items {
+            if self.is_degraded(item) {
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+                out.push(Some(Arc::clone(&self.fallback_condensed)));
+                continue;
+            }
             let shard = self.shard_of(item.0);
             match shard.condensed.read().get(&item.0) {
                 Some(hit) => {
@@ -257,12 +303,13 @@ impl CachedService {
         fill_batch(out, items, &computed)
     }
 
-    /// Snapshot of hit/miss/eviction counters.
+    /// Snapshot of hit/miss/eviction/degraded counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
 }
@@ -384,6 +431,64 @@ mod tests {
         let before = cached.stats().hits;
         cached.condensed_service_batch(&items);
         assert_eq!(cached.stats().hits, before + items.len() as u64);
+    }
+
+    #[test]
+    fn unknown_items_get_fallback_and_degraded_counter() {
+        let cached = CachedService::new(service(), 16);
+        let d = cached.inner().dim();
+        let k = cached.inner().k();
+        // Out of embedding range entirely.
+        let far = EntityId(u32::MAX);
+        let v = cached.condensed_service(far);
+        assert_eq!(v.len(), 2 * d);
+        assert!(v.iter().all(|&x| x == 0.0));
+        let seq = cached.sequence_service(far);
+        assert_eq!(seq.len(), 2 * k);
+        assert!(seq.iter().all(|row| row.iter().all(|&x| x == 0.0)));
+        // In embedding range but never registered as an item (a value id).
+        let value_entity = EntityId(9);
+        cached.condensed_service(value_entity);
+        let stats = cached.stats();
+        assert_eq!(stats.degraded, 3);
+        // Degraded requests are neither hits nor misses and are not cached.
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 0);
+    }
+
+    #[test]
+    fn batch_keeps_order_and_length_with_degraded_items() {
+        let cached = CachedService::new(service(), 16);
+        let items = [EntityId(0), EntityId(u32::MAX), EntityId(1), EntityId(9)];
+        let cond = cached.condensed_service_batch(&items);
+        assert_eq!(cond.len(), items.len());
+        assert_eq!(*cond[0], cached.inner().condensed_service(items[0]));
+        assert!(cond[1].iter().all(|&x| x == 0.0));
+        assert_eq!(*cond[2], cached.inner().condensed_service(items[2]));
+        let seq = cached.sequence_service_batch(&items);
+        assert_eq!(seq.len(), items.len());
+        assert_eq!(*seq[0], cached.inner().sequence_service(items[0]));
+        assert!(seq[3].iter().all(|row| row.iter().all(|&x| x == 0.0)));
+        // 2 degraded ids × 2 batch calls.
+        assert_eq!(cached.stats().degraded, 4);
+    }
+
+    #[test]
+    fn serving_survives_a_panic_while_a_shard_lock_is_held() {
+        let cached = CachedService::new(service(), 16);
+        let item = EntityId(1);
+        let before = cached.condensed_service(item);
+        // Panic while holding the shard's write lock: with std locks this
+        // would poison the shard; serving must keep answering regardless.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cached.shard_of(item.0).condensed.write();
+            panic!("worker died mid-publish");
+        }));
+        assert!(panicked.is_err());
+        let after = cached.condensed_service(item);
+        assert_eq!(*before, *after);
+        let batch = cached.condensed_service_batch(&[item, EntityId(2)]);
+        assert_eq!(batch.len(), 2);
     }
 
     #[test]

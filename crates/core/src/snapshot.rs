@@ -20,6 +20,28 @@ pub struct ServiceSnapshot {
     dim: usize,
     k: usize,
     rows: Vec<f32>,
+    /// Column-wise mean of all rows (zeros for an empty table): the
+    /// degraded-mode answer for ids beyond the table. Derived from `rows`,
+    /// so it is recomputed on load rather than serialized.
+    fallback: Vec<f32>,
+}
+
+/// Column-wise mean of a row-major table (zeros when there are no rows).
+fn mean_row(rows: &[f32], row_len: usize) -> Vec<f32> {
+    let mut mean = vec![0.0f32; row_len];
+    let n_rows = rows.len().checked_div(row_len).unwrap_or(0);
+    if n_rows == 0 {
+        return mean;
+    }
+    for row in rows.chunks_exact(row_len) {
+        for (m, &x) in mean.iter_mut().zip(row) {
+            *m += x;
+        }
+    }
+    for m in &mut mean {
+        *m /= n_rows as f32;
+    }
+    mean
 }
 
 impl ServiceSnapshot {
@@ -39,10 +61,12 @@ impl ServiceSnapshot {
                     service.condensed_service_into(EntityId(id), &mut scratch, row);
                 }
             });
+        let fallback = mean_row(&rows, row_len);
         Self {
             dim: d,
             k: service.k(),
             rows,
+            fallback,
         }
     }
 
@@ -55,7 +79,13 @@ impl ServiceSnapshot {
             0,
             "snapshot table must be whole rows"
         );
-        Self { dim, k, rows }
+        let fallback = mean_row(&rows, 2 * dim);
+        Self {
+            dim,
+            k,
+            rows,
+            fallback,
+        }
     }
 
     /// Embedding dimension `d` (rows are `2d` long).
@@ -78,6 +108,22 @@ impl ServiceSnapshot {
         let row_len = 2 * self.dim;
         let start = (item.0 as usize).checked_mul(row_len)?;
         self.rows.get(start..start + row_len)
+    }
+
+    /// Degraded-mode lookup: the entity's row if the id is in range, else
+    /// the table-mean [`ServiceSnapshot::fallback_row`]. The flag is `true`
+    /// iff the fallback was served, so callers can count degraded answers.
+    pub fn condensed_or_fallback(&self, item: EntityId) -> (&[f32], bool) {
+        match self.condensed(item) {
+            Some(row) => (row, false),
+            None => (&self.fallback, true),
+        }
+    }
+
+    /// The fallback served for out-of-range ids: the column-wise mean of
+    /// every row (all zeros for an empty table). A `2d` slice.
+    pub fn fallback_row(&self) -> &[f32] {
+        &self.fallback
     }
 
     /// The raw row-major table (`n_rows × 2d`).
@@ -127,6 +173,23 @@ mod tests {
         let snap = ServiceSnapshot::build(&service());
         assert!(snap.condensed(EntityId(snap.n_rows() as u32)).is_none());
         assert!(snap.condensed(EntityId(u32::MAX)).is_none());
+    }
+
+    #[test]
+    fn fallback_is_the_mean_row_and_flags_degraded() {
+        let snap = ServiceSnapshot::build(&service());
+        let row_len = 2 * snap.dim();
+        let n = snap.n_rows();
+        for i in 0..row_len {
+            let expect: f32 = (0..n).map(|r| snap.table()[r * row_len + i]).sum::<f32>() / n as f32;
+            assert!((snap.fallback_row()[i] - expect).abs() < 1e-6);
+        }
+        let (row, degraded) = snap.condensed_or_fallback(EntityId(0));
+        assert!(!degraded);
+        assert_eq!(row, snap.condensed(EntityId(0)).expect("in range"));
+        let (row, degraded) = snap.condensed_or_fallback(EntityId(u32::MAX));
+        assert!(degraded);
+        assert_eq!(row, snap.fallback_row());
     }
 
     #[test]

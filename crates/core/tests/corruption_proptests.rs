@@ -1,0 +1,116 @@
+//! Property-based corruption tests for every deserializer in pkgm-core.
+//!
+//! The crash-safety contract: bad bytes surface as typed errors, never as
+//! panics. Raw (unframed) decoders may accept a corrupted buffer when the
+//! flipped byte is indistinguishable from data — f32 payload bytes carry no
+//! redundancy — but they must not panic, and truncation must always error.
+//! The artifact framing adds a CRC32, which upgrades the guarantee: *any*
+//! single corrupted byte and *any* truncation is rejected on load.
+
+use pkgm_core::artifact::{self, ArtifactKind};
+use pkgm_core::serialize::{
+    model_from_bytes, model_to_bytes, service_from_bytes, service_to_bytes, snapshot_from_bytes,
+    snapshot_to_bytes,
+};
+use pkgm_core::{KnowledgeService, PkgmConfig, PkgmModel, ServiceSnapshot};
+use pkgm_store::{EntityId, KeyRelationSelector, StoreBuilder};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+fn fixture() -> (PkgmModel, KnowledgeService, ServiceSnapshot) {
+    let mut b = StoreBuilder::new();
+    for i in 0..6u32 {
+        b.add_raw(i, 0, 6 + i % 2);
+        b.add_raw(i, 1, 8);
+    }
+    let store = b.build();
+    let pairs: Vec<(EntityId, u32)> = (0..6).map(|i| (EntityId(i), 0)).collect();
+    let selector = KeyRelationSelector::build(&store, &pairs, 2, 2);
+    let model = PkgmModel::new(
+        store.n_entities() as usize,
+        store.n_relations() as usize,
+        PkgmConfig::new(8).with_seed(11),
+    );
+    let service = KnowledgeService::new(model.clone(), selector);
+    let snapshot = ServiceSnapshot::build(&service);
+    (model, service, snapshot)
+}
+
+/// Truncation must error; one corrupted byte must not panic; garbage
+/// appended after the payload is the caller's concern for raw buffers
+/// (the framed path rejects it via the declared length).
+fn check_raw<T>(
+    bytes: &[u8],
+    decode: impl Fn(&[u8]) -> Result<T, pkgm_core::serialize::SerializeError>,
+    cut: usize,
+    at: usize,
+    to: u8,
+) -> Result<(), TestCaseError> {
+    let cut = cut.min(bytes.len().saturating_sub(1));
+    prop_assert!(
+        decode(&bytes[..cut]).is_err(),
+        "truncation at {cut} accepted"
+    );
+    let mut mangled = bytes.to_vec();
+    let at = at % mangled.len();
+    mangled[at] = to;
+    let _ = decode(&mangled); // must not panic; Ok is allowed for payload bytes
+    Ok(())
+}
+
+/// With artifact framing the CRC must catch every corrupted byte (unless
+/// the write is a no-op) and every truncation.
+fn check_framed(
+    kind: ArtifactKind,
+    payload: &[u8],
+    cut: usize,
+    at: usize,
+    to: u8,
+) -> Result<(), TestCaseError> {
+    let framed = artifact::encode(kind, payload);
+    let p = std::path::Path::new("prop");
+    let cut = cut.min(framed.len().saturating_sub(1));
+    prop_assert!(artifact::decode(p, kind, &framed[..cut]).is_err());
+    let mut mangled = framed.clone();
+    let at = at % mangled.len();
+    if mangled[at] != to {
+        mangled[at] = to;
+        prop_assert!(
+            artifact::decode(p, kind, &mangled).is_err(),
+            "byte {at} set to {to} went undetected"
+        );
+    }
+    // Tail garbage is rejected too: the header declares the exact length.
+    let mut longer = framed;
+    longer.extend_from_slice(&[to, to ^ 0xFF, 0x5A]);
+    prop_assert!(artifact::decode(p, kind, &longer).is_err());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn model_decoder_never_panics(cut in 0usize..4096, at in 0usize..4096, to in 0u32..256) {
+        let (model, _, _) = fixture();
+        let bytes = model_to_bytes(&model);
+        check_raw(&bytes, model_from_bytes, cut, at, to as u8)?;
+        check_framed(ArtifactKind::Model, &bytes, cut, at, to as u8)?;
+    }
+
+    #[test]
+    fn service_decoder_never_panics(cut in 0usize..4096, at in 0usize..4096, to in 0u32..256) {
+        let (_, service, _) = fixture();
+        let bytes = service_to_bytes(&service);
+        check_raw(&bytes, service_from_bytes, cut, at, to as u8)?;
+        check_framed(ArtifactKind::Service, &bytes, cut, at, to as u8)?;
+    }
+
+    #[test]
+    fn snapshot_decoder_never_panics(cut in 0usize..4096, at in 0usize..4096, to in 0u32..256) {
+        let (_, _, snapshot) = fixture();
+        let bytes = snapshot_to_bytes(&snapshot);
+        check_raw(&bytes, snapshot_from_bytes, cut, at, to as u8)?;
+        check_framed(ArtifactKind::Snapshot, &bytes, cut, at, to as u8)?;
+    }
+}

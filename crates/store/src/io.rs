@@ -43,10 +43,16 @@ pub fn from_bytes(mut bytes: &[u8]) -> Result<TripleStore> {
     let n_entities = bytes.get_u32_le();
     let n_relations = bytes.get_u32_le();
     let n_triples = bytes.get_u64_le() as usize;
-    if bytes.remaining() < n_triples * 12 {
+    // Checked: a corrupt header can declare a count whose ×12 wraps, which
+    // would let a short buffer pass the length test and panic downstream.
+    let Some(n_bytes) = n_triples.checked_mul(12) else {
         return Err(StoreError::Corrupt(format!(
-            "expected {} triple bytes, found {}",
-            n_triples * 12,
+            "declared triple count {n_triples} overflows"
+        )));
+    };
+    if bytes.remaining() < n_bytes {
+        return Err(StoreError::Corrupt(format!(
+            "expected {n_bytes} triple bytes, found {}",
             bytes.remaining()
         )));
     }
@@ -158,6 +164,16 @@ mod tests {
             from_bytes(&bytes[..bytes.len() - 4]),
             Err(StoreError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn binary_rejects_overflowing_triple_count() {
+        let mut bytes = to_bytes(&sample()).to_vec();
+        // a count whose ×12 wraps usize must not pass the length check
+        bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(from_bytes(&bytes), Err(StoreError::Corrupt(_))));
+        bytes[16..24].copy_from_slice(&(u64::MAX / 12 + 1).to_le_bytes());
+        assert!(matches!(from_bytes(&bytes), Err(StoreError::Corrupt(_))));
     }
 
     #[test]

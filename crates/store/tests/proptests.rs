@@ -123,6 +123,32 @@ proptest! {
         }
     }
 
+    /// The binary store loader never panics: truncation always errors, a
+    /// single corrupted byte either errors or yields some valid store, and
+    /// appended garbage is tolerated only if the declared counts still parse.
+    #[test]
+    fn binary_loader_never_panics(
+        triples in prop::collection::vec((0u32..15, 0u32..4, 0u32..15), 1..40),
+        cut in 0usize..480,
+        corrupt_at in 0usize..480,
+        corrupt_to in 0u32..256,
+    ) {
+        let mut b = StoreBuilder::new();
+        for &(h, r, t) in &triples {
+            b.add_raw(h, r, t);
+        }
+        let bytes = io::to_bytes(&b.build());
+        // Truncation at any point must be a typed error, never a panic.
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        prop_assert!(io::from_bytes(&bytes[..cut]).is_err());
+        // A corrupted byte must never panic (it may still parse: flipping a
+        // triple id to another in-range id is indistinguishable from data).
+        let mut mangled = bytes.to_vec();
+        let at = corrupt_at % mangled.len();
+        mangled[at] = corrupt_to as u8;
+        let _ = io::from_bytes(&mangled);
+    }
+
     /// TSV roundtrip preserves the triple multiset for arbitrary id graphs.
     #[test]
     fn tsv_roundtrip_arbitrary(
