@@ -1,0 +1,80 @@
+//! Criterion microbenches for the training path: the three gradient kernels
+//! on a fixed chunk of corrupted pairs, plus a full `train_epoch`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pkgm_bench::{world, Scale};
+use pkgm_core::kernels::{
+    baseline_chunk_grads, fused_chunk_grads, reference_chunk_grads, TrainScratch,
+};
+use pkgm_core::{CorruptedPair, GradKernel, NegativeSampler, PkgmModel, Trainer};
+use pkgm_store::TripleStore;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn fixture() -> (TripleStore, PkgmModel, Vec<CorruptedPair>) {
+    let catalog = pkgm_synth::Catalog::generate(&world::catalog_config(Scale::Smoke));
+    let (model_cfg, _, _) = world::pretrain_config(Scale::Smoke);
+    let model = PkgmModel::new(
+        catalog.store.n_entities() as usize,
+        catalog.store.n_relations() as usize,
+        model_cfg,
+    );
+    // One chunk's worth of pairs, the unit the kernels operate on.
+    let sampler = NegativeSampler::new(&catalog.store);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut pairs = Vec::new();
+    sampler.corrupt_batch_into(
+        catalog.store.triples().iter().copied().take(256),
+        &catalog.store,
+        1,
+        &mut rng,
+        &mut pairs,
+    );
+    (catalog.store.clone(), model, pairs)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (store, model, pairs) = fixture();
+    let margin = 4.0;
+
+    let mut scratch = TrainScratch::new(&model);
+    c.bench_function("training/kernel_fused_256pairs", |b| {
+        b.iter(|| fused_chunk_grads(&model, &mut scratch, black_box(&pairs), margin))
+    });
+    c.bench_function("training/kernel_baseline_256pairs", |b| {
+        b.iter(|| baseline_chunk_grads(&model, black_box(&pairs), margin))
+    });
+    c.bench_function("training/kernel_reference_256pairs", |b| {
+        b.iter(|| reference_chunk_grads(&model, black_box(&pairs), margin))
+    });
+
+    for kernel in [GradKernel::Fused, GradKernel::Baseline] {
+        let name = match kernel {
+            GradKernel::Fused => "training/epoch_fused",
+            GradKernel::Baseline => "training/epoch_baseline",
+        };
+        c.bench_function(name, |b| {
+            let (model_cfg, train_cfg, _) = world::pretrain_config(Scale::Smoke);
+            let mut m = PkgmModel::new(
+                store.n_entities() as usize,
+                store.n_relations() as usize,
+                model_cfg,
+            );
+            let mut trainer = Trainer::new(&m, train_cfg);
+            trainer.set_kernel(kernel);
+            let mut epoch = 0u64;
+            b.iter(|| {
+                let stats = trainer.train_epoch(&mut m, &store, epoch);
+                epoch += 1;
+                black_box(stats.pairs)
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_training
+}
+criterion_main!(benches);

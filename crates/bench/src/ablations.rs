@@ -31,6 +31,7 @@ fn train_pkgm(catalog: &Catalog, dim: usize, margin: f32, epochs: usize) -> Pkgm
         seed: 7,
         normalize_entities: true,
         parallel: true,
+        chunk_size: None,
     };
     Trainer::new(&model, cfg).train(&mut model, &catalog.store);
     model
@@ -178,6 +179,7 @@ pub fn baseline_comparison() -> String {
         seed: 7,
         normalize_entities: true,
         parallel: true,
+        chunk_size: None,
     };
     Trainer::new(&transe, cfg).train(&mut transe, &catalog.store);
     let r = eval::rank_tails(&transe, &test, Some(&catalog.store), &ks);

@@ -1,0 +1,268 @@
+//! Training-path scaling sweep: kernels × threads × dim × negatives.
+//!
+//! Measures margin-loss epoch throughput (pairs/sec) for the pre-kernel
+//! baseline (`GradKernel::Baseline` — per-pair `model.score` calls, hash-map
+//! gradient accumulation) against the fused relation-blocked kernels
+//! (`GradKernel::Fused`), and writes `BENCH_training.json`:
+//!
+//! * **thread sweep** — dim 64, 1 negative, 1/2/4/8 rayon threads, both
+//!   kernels on the parallel path;
+//! * **shape sweep** — dim {16, 64} × negatives {1, 4}, serial path, both
+//!   kernels (the dim-64 / 1-negative row is the headline single-thread
+//!   before/after).
+//!
+//! Both kernels see identical RNG streams for a given config, so they do
+//! the same gradient work on the same violated pairs — the ratio is pure
+//! implementation speedup.
+//!
+//! ```sh
+//! cargo run --release -p pkgm-bench --bin training_scale -- tiny
+//! cargo run --release -p pkgm-bench --bin training_scale -- standard --out BENCH_training.json
+//! ```
+
+use pkgm_bench::{world, Scale};
+use pkgm_core::{GradKernel, PkgmConfig, PkgmModel, TrainConfig, Trainer};
+use pkgm_store::fxhash::FxHashMap;
+use pkgm_synth::Catalog;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const DIMS: [usize; 2] = [16, 64];
+const NEGATIVES: [usize; 2] = [1, 4];
+
+fn kernel_name(k: GradKernel) -> &'static str {
+    match k {
+        GradKernel::Fused => "fused",
+        GradKernel::Baseline => "baseline",
+    }
+}
+
+struct Run {
+    kernel: GradKernel,
+    threads: usize,
+    dim: usize,
+    negatives: usize,
+    parallel: bool,
+}
+
+struct Measurement {
+    pairs: usize,
+    wall_secs: f64,
+    mean_loss: f32,
+    violation_rate: f32,
+}
+
+/// Train `epochs` fresh epochs under `run`'s config and time them.
+///
+/// The model is re-initialized from the same seed for every run, so every
+/// config starts from identical parameters; for a fixed (threads, dim,
+/// negatives) the two kernels then draw identical corruption streams and
+/// hit identical violated pairs.
+fn measure(catalog: &Catalog, run: &Run, epochs: usize) -> Measurement {
+    // The vendored rayon reads this per call, so setting it between runs
+    // re-sizes the worker pool (and, under the adaptive layout, the chunks).
+    std::env::set_var("RAYON_NUM_THREADS", run.threads.to_string());
+    let mut model = PkgmModel::new(
+        catalog.store.n_entities() as usize,
+        catalog.store.n_relations() as usize,
+        PkgmConfig::new(run.dim).with_seed(2024),
+    );
+    let cfg = TrainConfig {
+        lr: 5e-3,
+        margin: 4.0,
+        batch_size: 1000,
+        epochs,
+        negatives: run.negatives,
+        seed: 2024,
+        normalize_entities: true,
+        parallel: run.parallel,
+        chunk_size: None,
+    };
+    let mut trainer = Trainer::new(&model, cfg);
+    trainer.set_kernel(run.kernel);
+
+    let mut pairs = 0usize;
+    let mut loss = 0.0f64;
+    let mut viol = 0.0f64;
+    let start = Instant::now();
+    for epoch in 0..epochs {
+        let stats = trainer.train_epoch(&mut model, &catalog.store, epoch as u64);
+        pairs += stats.pairs;
+        loss += stats.mean_loss as f64 * stats.pairs as f64;
+        viol += stats.violation_rate as f64 * stats.pairs as f64;
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    let per_pair = |acc: f64| {
+        if pairs > 0 {
+            (acc / pairs as f64) as f32
+        } else {
+            0.0
+        }
+    };
+    Measurement {
+        pairs,
+        wall_secs,
+        mean_loss: per_pair(loss),
+        violation_rate: per_pair(viol),
+    }
+}
+
+fn parse_args() -> Result<(Scale, String), String> {
+    let mut scale = Scale::from_env();
+    let mut out = String::from("BENCH_training.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "tiny" | "smoke" => scale = Scale::Smoke,
+            "standard" | "small" => scale = Scale::Standard,
+            "full" | "bench" => scale = Scale::Full,
+            "--out" => {
+                out = args.next().ok_or("--out requires a path")?;
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok((scale, out))
+}
+
+fn main() {
+    let (scale, out_path) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(why) => {
+            eprintln!("error: {why}");
+            eprintln!("usage: training_scale [tiny|standard|full] [--out FILE]");
+            std::process::exit(2);
+        }
+    };
+    let epochs = match scale {
+        Scale::Smoke => 1,
+        Scale::Standard => 2,
+        Scale::Full => 3,
+    };
+    let catalog = Catalog::generate(&world::catalog_config(scale));
+    eprintln!(
+        "[training_scale] catalog: {} triples, {} entities, {} relations; {epochs} timed epoch(s) per run",
+        catalog.store.len(),
+        catalog.store.n_entities(),
+        catalog.store.n_relations()
+    );
+
+    let mut runs: Vec<Run> = Vec::new();
+    // Thread sweep at the headline shape, parallel path.
+    for &threads in &THREAD_COUNTS {
+        for kernel in [GradKernel::Baseline, GradKernel::Fused] {
+            runs.push(Run {
+                kernel,
+                threads,
+                dim: 64,
+                negatives: 1,
+                parallel: true,
+            });
+        }
+    }
+    // Shape sweep, serial path (single thread).
+    for &dim in &DIMS {
+        for &negatives in &NEGATIVES {
+            for kernel in [GradKernel::Baseline, GradKernel::Fused] {
+                runs.push(Run {
+                    kernel,
+                    threads: 1,
+                    dim,
+                    negatives,
+                    parallel: false,
+                });
+            }
+        }
+    }
+
+    let mut results = Vec::new();
+    let mut rate: FxHashMap<String, f64> = FxHashMap::default();
+    println!("| kernel | path | threads | dim | neg | pairs | wall (s) | pairs/sec | viol |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for run in &runs {
+        let m = measure(&catalog, run, epochs);
+        let pps = m.pairs as f64 / m.wall_secs;
+        let path = if run.parallel { "parallel" } else { "serial" };
+        println!(
+            "| {} | {path} | {} | {} | {} | {} | {:.3} | {:.0} | {:.2} |",
+            kernel_name(run.kernel),
+            run.threads,
+            run.dim,
+            run.negatives,
+            m.pairs,
+            m.wall_secs,
+            pps,
+            m.violation_rate
+        );
+        rate.insert(
+            format!(
+                "{}:{path}:{}:{}:{}",
+                kernel_name(run.kernel),
+                run.threads,
+                run.dim,
+                run.negatives
+            ),
+            pps,
+        );
+        results.push(serde_json::json!({
+            "kernel": kernel_name(run.kernel),
+            "path": path,
+            "threads": run.threads,
+            "dim": run.dim,
+            "negatives": run.negatives,
+            "epochs": epochs,
+            "pairs": m.pairs,
+            "wall_secs": m.wall_secs,
+            "pairs_per_sec": pps,
+            "mean_loss": m.mean_loss,
+            "violation_rate": m.violation_rate,
+        }));
+    }
+
+    let ratio = |key: &str| -> f64 {
+        let fused = rate.get(&format!("fused:{key}")).copied().unwrap_or(0.0);
+        let base = rate
+            .get(&format!("baseline:{key}"))
+            .copied()
+            .unwrap_or(f64::INFINITY);
+        fused / base
+    };
+    // The acceptance headline: single-thread epoch throughput at dim 64,
+    // 1 negative, relation module on.
+    let headline = ratio("serial:1:64:1");
+    let max_t = THREAD_COUNTS[THREAD_COUNTS.len() - 1];
+    let fused_parallel = ratio(&format!("parallel:{max_t}:64:1"));
+    println!();
+    println!("fused vs baseline, serial @ dim 64, 1 neg: {headline:.2}×");
+    println!("fused vs baseline, parallel @ {max_t} threads, dim 64, 1 neg: {fused_parallel:.2}×");
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    if host_cpus < max_t {
+        eprintln!(
+            "[training_scale] note: host exposes {host_cpus} CPU(s); thread counts above that \
+             are time-sliced, so the thread sweep understates multi-core scaling"
+        );
+    }
+    let report = serde_json::json!({
+        "benchmark": "training_scale",
+        "scale": scale.name(),
+        "host_cpus": host_cpus,
+        "epochs_per_run": epochs,
+        "triples": catalog.store.len(),
+        "thread_counts": THREAD_COUNTS.to_vec(),
+        "dims": DIMS.to_vec(),
+        "negatives": NEGATIVES.to_vec(),
+        "results": results,
+        "summary": serde_json::json!({
+            "fused_vs_baseline_serial_d64_neg1": headline,
+            "fused_vs_baseline_parallel_maxt_d64_neg1": fused_parallel,
+            "max_threads": max_t,
+        }),
+    });
+    let pretty = serde_json::to_string_pretty(&report).expect("json literal serializes");
+    if let Err(e) = std::fs::write(&out_path, pretty) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[training_scale] wrote {out_path}");
+}

@@ -69,6 +69,7 @@ pub fn pretrain_config(scale: Scale) -> (PkgmConfig, TrainConfig, usize) {
             seed: 2024,
             normalize_entities: true,
             parallel: true,
+            chunk_size: None,
         },
         k,
     )

@@ -23,8 +23,8 @@ mod args;
 
 use args::Args;
 use pkgm_core::{
-    eval, fault, load_latest_checkpoint, serialize, CheckpointConfig, KnowledgeService, PkgmConfig,
-    PkgmModel, ServiceSnapshot, StdIo, TrainConfig, Trainer,
+    eval, fault, load_latest_checkpoint, serialize, CheckpointConfig, GradKernel, KnowledgeService,
+    PkgmConfig, PkgmModel, ServiceSnapshot, StdIo, TrainConfig, Trainer,
 };
 use pkgm_store::{EntityId, KgStats};
 use pkgm_synth::{Catalog, CatalogConfig};
@@ -58,6 +58,7 @@ fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         "snapshot" => snapshot(&args),
         "eval" => evaluate(&args),
         "faultcheck" => faultcheck(&args),
+        "bench-train" => bench_train(&args),
         other => Err(format!("unknown subcommand: {other}").into()),
     }
 }
@@ -231,13 +232,88 @@ fn fresh_trainer(
         lr,
         margin,
         seed,
-        // `--parallel false` fixes the gradient reduction order, making runs
-        // bit-for-bit reproducible (and checkpoint resume bit-exact).
         parallel: args.get_or("parallel", true)?,
+        // Serial and parallel runs of the same chunk layout are
+        // bit-identical; `--chunk-size N` pins the layout (and with it the
+        // corruption RNG streams) so runs reproduce across hosts with
+        // different thread counts. Unset, the layout adapts to the batch
+        // and thread count.
+        chunk_size: args.get("chunk-size").map(str::parse).transpose()?,
         ..TrainConfig::default()
     };
     let trainer = Trainer::new(&model, cfg);
     Ok((model, trainer))
+}
+
+/// Quick before/after training-throughput check: one timed run per gradient
+/// kernel over the same catalog, same seeds, same corruption streams.
+fn bench_train(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = catalog_from(args)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let dim: usize = args.get_or("dim", 64)?;
+    let epochs: usize = args.get_or("epochs", 1)?;
+    let negatives: usize = args.get_or("negatives", 1)?;
+    let parallel: bool = args.get_or("parallel", false)?;
+
+    let mut rows = Vec::new();
+    let mut rates = Vec::new();
+    println!("| kernel | pairs | wall (s) | pairs/sec |");
+    println!("|---|---|---|---|");
+    for kernel in [GradKernel::Baseline, GradKernel::Fused] {
+        let mut model = PkgmModel::new(
+            catalog.store.n_entities() as usize,
+            catalog.store.n_relations() as usize,
+            PkgmConfig::new(dim).with_seed(seed),
+        );
+        let cfg = TrainConfig {
+            epochs,
+            negatives,
+            seed,
+            parallel,
+            chunk_size: args.get("chunk-size").map(str::parse).transpose()?,
+            ..TrainConfig::default()
+        };
+        let mut trainer = Trainer::new(&model, cfg);
+        trainer.set_kernel(kernel);
+        let name = match kernel {
+            GradKernel::Fused => "fused",
+            GradKernel::Baseline => "baseline",
+        };
+        let start = std::time::Instant::now();
+        let mut pairs = 0usize;
+        for epoch in 0..epochs {
+            pairs += trainer
+                .train_epoch(&mut model, &catalog.store, epoch as u64)
+                .pairs;
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let pps = pairs as f64 / wall;
+        println!("| {name} | {pairs} | {wall:.3} | {pps:.0} |");
+        rows.push(serde_json::json!({
+            "kernel": name,
+            "pairs": pairs,
+            "wall_secs": wall,
+            "pairs_per_sec": pps,
+        }));
+        rates.push(pps);
+    }
+    let speedup = rates[1] / rates[0]; // [baseline, fused] run order
+
+    println!("\nfused vs baseline: {speedup:.2}×");
+    if let Some(out) = args.get("out") {
+        let report = serde_json::json!({
+            "benchmark": "bench-train",
+            "dim": dim,
+            "epochs": epochs,
+            "negatives": negatives,
+            "parallel": parallel,
+            "results": rows,
+            "fused_vs_baseline": speedup,
+        });
+        std::fs::write(out, serde_json::to_string_pretty(&report)?)?;
+        eprintln!("[pkgm] wrote {out}");
+    }
+    Ok(())
 }
 
 fn load_service(args: &Args) -> Result<KnowledgeService, Box<dyn std::error::Error>> {
@@ -391,13 +467,17 @@ fn print_help() {
          \u{20}  train       --preset P --seed N --dim 32 --epochs 8 --k 10 [--lr 0.005]\n\
          \u{20}              [--margin 4] --out service.bin [--checkpoint-dir D]\n\
          \u{20}              [--checkpoint-every 1] [--keep-last 3] [--resume D]\n\
-         \u{20}              [--parallel false  # bit-reproducible runs]\n\
+         \u{20}              [--parallel false] [--chunk-size N  # pin the gradient\n\
+         \u{20}              chunk layout for cross-host bit-reproducible runs]\n\
          \u{20}              (alias: pretrain; --resume restarts from the latest\n\
          \u{20}              valid checkpoint in D and checkpoints back into it)\n\
          \u{20}  serve       --preset P --seed N --service service.bin --item 0\n\
          \u{20}              [--snapshot serving.snap]\n\
          \u{20}  snapshot    --service service.bin --out serving.snap\n\
          \u{20}  eval        --preset P --seed N --service service.bin [--max-facts 300]\n\
-         \u{20}  faultcheck  [--dir scratch] [--seed 42] — crash/corruption recovery battery\n"
+         \u{20}  faultcheck  [--dir scratch] [--seed 42] — crash/corruption recovery battery\n\
+         \u{20}  bench-train --preset P [--dim 64] [--epochs 1] [--negatives 1]\n\
+         \u{20}              [--parallel true] [--out bench.json] — fused vs baseline\n\
+         \u{20}              gradient-kernel throughput on identical corruption streams\n"
     );
 }

@@ -291,6 +291,7 @@ mod tests {
             seed: 1,
             normalize_entities: true,
             parallel: false,
+            chunk_size: None,
         };
         Trainer::new(&model, cfg.clone()).train(&mut model, &store);
         (store, model)

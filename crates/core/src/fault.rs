@@ -266,7 +266,9 @@ fn quick_train_cfg(seed: u64, epochs: usize) -> TrainConfig {
         negatives: 1,
         seed,
         normalize_entities: true,
-        parallel: false, // deterministic gradient order for bit-exact replay
+        parallel: false,
+        // Pinned layout: replay must not depend on the host's thread count.
+        chunk_size: Some(16),
     }
 }
 

@@ -18,9 +18,13 @@
 //! ## Crate layout
 //!
 //! * [`model`] — embeddings, transfer matrices, score & service functions;
-//! * [`negative`] — the paper's uniform h/t/r corruption sampler;
+//! * [`negative`] — the paper's uniform h/t/r corruption sampler, with a
+//!   batch API reporting which slot each corruption replaced;
+//! * [`kernels`] — fused, relation-blocked score+gradient kernels with
+//!   preallocated scratch accumulation (plus bit-exact reference and
+//!   pre-kernel baseline twins for parity tests and benchmarking);
 //! * [`trainer`] — margin-loss training with hand-derived gradients, lazy
-//!   row-wise Adam, rayon data-parallel minibatches;
+//!   row-wise Adam, rayon data-parallel minibatches over the fused kernels;
 //! * [`eval`] — filtered/raw link prediction (MRR, Hits@k, mean rank) and
 //!   relation-existence AUC (evaluating the relation module);
 //! * [`service`] — the serving layer: per-item `2k` service vectors for
@@ -44,6 +48,7 @@ pub mod artifact;
 pub mod baselines;
 pub mod eval;
 pub mod fault;
+pub mod kernels;
 pub mod model;
 pub mod negative;
 pub mod serialize;
@@ -55,12 +60,13 @@ pub mod trainer;
 pub use artifact::{ArtifactError, ArtifactIo, ArtifactKind, StdIo};
 pub use eval::{LinkPredictionReport, RelationExistenceReport};
 pub use fault::{Fault, FaultCheckReport, FaultPlan, FaultyIo};
+pub use kernels::{ChunkGrads, ScratchPool, TrainScratch};
 pub use model::{PkgmConfig, PkgmModel};
-pub use negative::NegativeSampler;
+pub use negative::{CorruptedPair, Corruption, NegativeSampler};
 pub use service::{KnowledgeService, ServiceScratch};
 pub use serving::{CacheStats, CachedService};
 pub use snapshot::ServiceSnapshot;
 pub use trainer::{
-    load_latest_checkpoint, CheckpointConfig, CheckpointScan, ResumeState, TrainConfig, TrainError,
-    TrainReport, Trainer,
+    load_latest_checkpoint, CheckpointConfig, CheckpointScan, GradKernel, ResumeState, TrainConfig,
+    TrainError, TrainReport, Trainer,
 };

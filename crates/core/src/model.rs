@@ -219,6 +219,26 @@ impl PkgmModel {
         }
     }
 
+    /// The raw projection `M_r·h` written into `out` (one [`pkgm_dot`] per
+    /// matrix row, in row order — the summation order every score path
+    /// shares, so cached projections are bit-identical to fresh ones).
+    ///
+    /// This is the fused-kernel building block: computed once per positive,
+    /// the projection serves the positive score, every tail-corrupted
+    /// negative score, and the relation-module sign gradients.
+    ///
+    /// # Panics
+    /// If the relation module is disabled or `out.len() != dim`.
+    pub fn project_into(&self, r: RelationId, h: EntityId, out: &mut [f32]) {
+        let d = self.cfg.dim;
+        assert_eq!(out.len(), d, "projection buffer must be dim-sized");
+        let m = self.mat(r);
+        let hv = self.ent(h);
+        for i in 0..d {
+            out[i] = pkgm_dot(&m[i * d..(i + 1) * d], hv);
+        }
+    }
+
     /// Project every entity embedding onto the unit L2 ball (the TransE
     /// normalization constraint). Called by the trainer; exposed for tests.
     pub fn normalize_entities(&mut self, touched: impl IntoIterator<Item = u32>) {
@@ -333,6 +353,24 @@ mod tests {
             let expect = m.ent(EntityId(2))[i] + m.rel(RelationId(1))[i];
             assert!((v - expect).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn projection_matches_service_r_bitwise() {
+        let m = model();
+        let d = m.dim();
+        let (h, r) = (EntityId(4), RelationId(2));
+        let mut proj = vec![0.0f32; d];
+        m.project_into(r, h, &mut proj);
+        let sr = m.service_r(h, r);
+        let rv = m.rel(r);
+        for i in 0..d {
+            // S_R = M_r·h − r, elementwise and bit-for-bit.
+            assert_eq!((proj[i] - rv[i]).to_bits(), sr[i].to_bits());
+        }
+        // And the L1 of the residual is exactly the relation score.
+        let f_r: f32 = (0..d).map(|i| (proj[i] - rv[i]).abs()).sum();
+        assert_eq!(f_r.to_bits(), m.score_relation(h, r).to_bits());
     }
 
     #[test]

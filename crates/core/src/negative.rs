@@ -17,6 +17,20 @@ pub enum Corruption {
     Relation,
 }
 
+/// One training pair: a positive triple, its generated corruption, and which
+/// slot was replaced. The slot tells the fused kernels what is reusable —
+/// a tail corruption shares `(h, r)` with its positive, so the cached
+/// `M_r·h` projection (and the whole relation-module score) carries over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptedPair {
+    /// The positive triple.
+    pub pos: Triple,
+    /// The corrupted negative.
+    pub neg: Triple,
+    /// Which slot of `pos` was replaced to produce `neg`.
+    pub slot: Corruption,
+}
+
 /// Uniform corruption sampler over a store's id spaces.
 #[derive(Debug, Clone)]
 pub struct NegativeSampler {
@@ -69,6 +83,32 @@ impl NegativeSampler {
         }
         // Pathological graphs (nearly complete): fall back to unfiltered.
         self.corrupt_once(pos, rng)
+    }
+
+    /// Generate `negatives` corruptions for every positive, in positive
+    /// order, appending [`CorruptedPair`]s to `out` (which is cleared
+    /// first).
+    ///
+    /// The RNG stream is consumed exactly as the equivalent loop of
+    /// [`NegativeSampler::corrupt`] calls would consume it, so swapping a
+    /// per-pair sampling loop for this batch API changes no random choices —
+    /// the trainer's `(seed, epoch, batch, chunk)` determinism contract is
+    /// untouched.
+    pub fn corrupt_batch_into(
+        &self,
+        positives: impl IntoIterator<Item = Triple>,
+        store: &TripleStore,
+        negatives: usize,
+        rng: &mut impl Rng,
+        out: &mut Vec<CorruptedPair>,
+    ) {
+        out.clear();
+        for pos in positives {
+            for _ in 0..negatives {
+                let (neg, slot) = self.corrupt(pos, store, rng);
+                out.push(CorruptedPair { pos, neg, slot });
+            }
+        }
     }
 
     fn corrupt_once(&self, pos: Triple, rng: &mut impl Rng) -> (Triple, Corruption) {
@@ -159,6 +199,42 @@ mod tests {
             rels > 200,
             "expected ~90% relation corruptions, got {rels}/300"
         );
+    }
+
+    #[test]
+    fn corrupt_batch_matches_per_pair_loop_and_rng_stream() {
+        let s = store();
+        let sampler = NegativeSampler::new(&s);
+        let positives: Vec<Triple> = s.triples().iter().copied().take(7).collect();
+        let negatives = 3;
+
+        // The loop the batch API replaces.
+        let mut rng_a = SmallRng::seed_from_u64(9);
+        let mut expect = Vec::new();
+        for &pos in &positives {
+            for _ in 0..negatives {
+                let (neg, slot) = sampler.corrupt(pos, &s, &mut rng_a);
+                expect.push(CorruptedPair { pos, neg, slot });
+            }
+        }
+
+        let mut rng_b = SmallRng::seed_from_u64(9);
+        let mut got = vec![CorruptedPair {
+            pos: positives[0],
+            neg: positives[0],
+            slot: Corruption::Head,
+        }]; // stale content must be cleared
+        sampler.corrupt_batch_into(
+            positives.iter().copied(),
+            &s,
+            negatives,
+            &mut rng_b,
+            &mut got,
+        );
+        assert_eq!(got, expect);
+
+        // Identical RNG streams: both generators continue in lockstep.
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
     }
 
     #[test]

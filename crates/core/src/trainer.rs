@@ -13,18 +13,37 @@
 //! * `∂f_R/∂r = −u`, `∂f_R/∂h = M_rᵀ·u`, `∂f_R/∂M_r = u·hᵀ` with
 //!   `u = sgn(M_r·h − r)`.
 //!
-//! Violated pairs contribute `+∂f(pos) − ∂f(neg)`. Gradients are accumulated
-//! sparsely (only touched rows/matrices), computed in parallel across the
-//! minibatch with rayon, and applied with lazy row-wise Adam — the paper
-//! trains with Adam at lr 1e-4, batch 1000, 1 negative per edge, 2 epochs.
+//! Violated pairs contribute `+∂f(pos) − ∂f(neg)`. The forward/backward work
+//! runs through the fused, relation-blocked kernels in [`crate::kernels`]
+//! (sparse index-sorted gradients, preallocated scratch, `M_r·h` computed
+//! once per positive), in parallel across minibatch chunks with rayon, and
+//! is applied with lazy row-wise Adam — the paper trains with Adam at
+//! lr 1e-4, batch 1000, 1 negative per edge, 2 epochs.
+//!
+//! ## Determinism & chunk-layout contract
+//!
+//! Training is a pure function of `(model seed, TrainConfig, store)`: every
+//! RNG is derived fresh from `(cfg.seed, epoch, batch_idx, chunk_idx)`, and
+//! per-chunk gradients merge in ascending chunk order whether or not
+//! `cfg.parallel` is set — so serial and parallel runs of the same chunk
+//! layout produce **bit-identical** models, and a checkpoint resume replays
+//! the exact stream it would have seen uninterrupted.
+//!
+//! The chunk layout is part of that contract. `cfg.chunk_size = Some(n)`
+//! pins it explicitly; `None` adapts to `batch_len / rayon threads`
+//! (min [`crate::kernels::MIN_CHUNK_SIZE`]), which is stable within a
+//! process but may differ across machines — pin it when bit-equality across
+//! differently-sized hosts matters.
 
 use crate::artifact::{self, ArtifactError, ArtifactIo, ArtifactKind};
-use crate::model::{pkgm_dot, PkgmModel};
+use crate::kernels::{
+    baseline_chunk_grads, fused_chunk_grads, ChunkGrads, ScratchPool, MIN_CHUNK_SIZE,
+};
+use crate::model::PkgmModel;
 use crate::negative::NegativeSampler;
 use crate::serialize::{model_from_bytes, model_to_bytes, SerializeError};
 use bytes::{Buf, BufMut, BytesMut};
-use pkgm_store::fxhash::FxHashMap;
-use pkgm_store::{Triple, TripleStore};
+use pkgm_store::TripleStore;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -53,6 +72,15 @@ pub struct TrainConfig {
     pub normalize_entities: bool,
     /// Compute batch gradients in parallel with rayon.
     pub parallel: bool,
+    /// Minibatch chunk size for gradient workers. `None` (the default, and
+    /// what pre-existing checkpoints decode to) adapts to
+    /// `batch_len / rayon threads`, floored at
+    /// [`MIN_CHUNK_SIZE`]. The layout seeds the per-chunk corruption RNGs,
+    /// so it is part of the checkpoint-equivalence contract: resuming with a
+    /// different chunk size (or, under `None`, a different thread count)
+    /// changes which negatives are drawn — pin `Some(n)` where bit-equality
+    /// across hosts matters.
+    pub chunk_size: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -66,6 +94,7 @@ impl Default for TrainConfig {
             seed: 0,
             normalize_entities: true,
             parallel: true,
+            chunk_size: None,
         }
     }
 }
@@ -160,162 +189,18 @@ impl From<ArtifactError> for TrainError {
     }
 }
 
-/// Sparse gradient accumulator for one minibatch.
-struct GradAcc {
-    dim: usize,
-    ent: FxHashMap<u32, Vec<f32>>,
-    rel: FxHashMap<u32, Vec<f32>>,
-    mat: FxHashMap<u32, Vec<f32>>,
-    loss: f64,
-    violations: usize,
-    pairs: usize,
-}
-
-impl GradAcc {
-    fn new(dim: usize) -> Self {
-        Self {
-            dim,
-            ent: FxHashMap::default(),
-            rel: FxHashMap::default(),
-            mat: FxHashMap::default(),
-            loss: 0.0,
-            violations: 0,
-            pairs: 0,
-        }
-    }
-
-    fn merge(mut self, other: GradAcc) -> GradAcc {
-        for (k, v) in other.ent {
-            match self.ent.entry(k) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    for (a, b) in e.get_mut().iter_mut().zip(&v) {
-                        *a += b;
-                    }
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(v);
-                }
-            }
-        }
-        for (k, v) in other.rel {
-            match self.rel.entry(k) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    for (a, b) in e.get_mut().iter_mut().zip(&v) {
-                        *a += b;
-                    }
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(v);
-                }
-            }
-        }
-        for (k, v) in other.mat {
-            match self.mat.entry(k) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    for (a, b) in e.get_mut().iter_mut().zip(&v) {
-                        *a += b;
-                    }
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(v);
-                }
-            }
-        }
-        self.loss += other.loss;
-        self.violations += other.violations;
-        self.pairs += other.pairs;
-        self
-    }
-
-    /// Add the subgradient of `f(triple)` scaled by `sign` (+1 for the
-    /// positive of a violated pair, −1 for the negative).
-    fn accumulate(&mut self, model: &PkgmModel, triple: Triple, sign: f32) {
-        let d = self.dim;
-        let h = model.ent(triple.head);
-        let r = model.rel(triple.relation);
-        let t = model.ent(triple.tail);
-
-        // Triple module.
-        let ge = self
-            .ent
-            .entry(triple.head.0)
-            .or_insert_with(|| vec![0.0; d]);
-        let mut s = vec![0.0f32; d];
-        for i in 0..d {
-            let u = h[i] + r[i] - t[i];
-            s[i] = sign * sgn(u);
-            ge[i] += s[i];
-        }
-        let gr = self
-            .rel
-            .entry(triple.relation.0)
-            .or_insert_with(|| vec![0.0; d]);
-        for i in 0..d {
-            gr[i] += s[i];
-        }
-        let gt = self
-            .ent
-            .entry(triple.tail.0)
-            .or_insert_with(|| vec![0.0; d]);
-        for i in 0..d {
-            gt[i] -= s[i];
-        }
-
-        // Relation module.
-        if model.cfg.relation_module {
-            let m = model.mat(triple.relation);
-            let mut u = vec![0.0f32; d];
-            for i in 0..d {
-                u[i] = sign * sgn(pkgm_dot(&m[i * d..(i + 1) * d], h) - r[i]);
-            }
-            let gr = self
-                .rel
-                .entry(triple.relation.0)
-                .or_insert_with(|| vec![0.0; d]);
-            for i in 0..d {
-                gr[i] -= u[i];
-            }
-            let ge = self
-                .ent
-                .entry(triple.head.0)
-                .or_insert_with(|| vec![0.0; d]);
-            // ∂f_R/∂h = M_rᵀ u
-            for i in 0..d {
-                if u[i] == 0.0 {
-                    continue;
-                }
-                let row = &m[i * d..(i + 1) * d];
-                for j in 0..d {
-                    ge[j] += u[i] * row[j];
-                }
-            }
-            let gm = self
-                .mat
-                .entry(triple.relation.0)
-                .or_insert_with(|| vec![0.0; d * d]);
-            // ∂f_R/∂M_r = u hᵀ
-            for i in 0..d {
-                if u[i] == 0.0 {
-                    continue;
-                }
-                let dst = &mut gm[i * d..(i + 1) * d];
-                for (g, &hv) in dst.iter_mut().zip(h) {
-                    *g += u[i] * hv;
-                }
-            }
-        }
-    }
-}
-
-#[inline]
-fn sgn(x: f32) -> f32 {
-    if x > 0.0 {
-        1.0
-    } else if x < 0.0 {
-        -1.0
-    } else {
-        0.0
-    }
+/// Which gradient kernel drives the training inner loop. Runtime-only (not
+/// serialized into checkpoints); exists so benchmarks can measure the old
+/// path against the fused one on identical inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GradKernel {
+    /// Fused relation-blocked kernels with scratch accumulation
+    /// ([`fused_chunk_grads`]) — the production path.
+    #[default]
+    Fused,
+    /// The pre-kernel per-pair hash-map path ([`baseline_chunk_grads`]),
+    /// kept for before/after throughput comparison.
+    Baseline,
 }
 
 /// Lazy row-wise Adam state for the three parameter blocks.
@@ -330,6 +215,10 @@ pub struct Trainer {
     v_mat: Vec<f32>,
     t: u64,
     epochs_done: usize,
+    /// Gradient-kernel selector (bench plumbing; defaults to fused).
+    kernel: GradKernel,
+    /// Pooled per-worker scratch buffers, reused across batches.
+    scratch: ScratchPool,
 }
 
 const BETA1: f32 = 0.9;
@@ -354,7 +243,21 @@ impl Trainer {
             v_mat: vec![0.0; model.mats.len()],
             t: 0,
             epochs_done: 0,
+            kernel: GradKernel::default(),
+            scratch: ScratchPool::new(),
         }
+    }
+
+    /// Select the gradient kernel (bench plumbing — see [`GradKernel`]).
+    /// Kernel choice affects throughput and f32 rounding detail, never the
+    /// math: both kernels implement the same subgradients.
+    pub fn set_kernel(&mut self, kernel: GradKernel) {
+        self.kernel = kernel;
+    }
+
+    /// The gradient kernel currently driving training.
+    pub fn kernel(&self) -> GradKernel {
+        self.kernel
     }
 
     /// Adam steps taken so far.
@@ -469,6 +372,17 @@ impl Trainer {
         }
     }
 
+    /// The worker chunk size for a batch: `cfg.chunk_size` if pinned, else
+    /// an even split across rayon's threads floored at [`MIN_CHUNK_SIZE`].
+    /// Computed identically for serial and parallel runs — the layout (and
+    /// with it the per-chunk RNG streams) must not depend on `cfg.parallel`.
+    fn chunk_size_for(&self, batch_len: usize) -> usize {
+        match self.cfg.chunk_size {
+            Some(n) => n.max(1),
+            None => (batch_len / rayon::current_num_threads().max(1)).max(MIN_CHUNK_SIZE),
+        }
+    }
+
     fn batch_gradients(
         &self,
         model: &PkgmModel,
@@ -477,50 +391,59 @@ impl Trainer {
         batch: &[u32],
         epoch: u64,
         batch_idx: u64,
-    ) -> GradAcc {
-        let d = model.dim();
+    ) -> ChunkGrads {
         let margin = self.cfg.margin;
         let negatives = self.cfg.negatives.max(1);
         let seed = self.cfg.seed ^ (epoch << 40) ^ (batch_idx << 8);
         let triples = store.triples();
+        let chunk_size = self.chunk_size_for(batch.len());
 
-        let chunk_grads = |(chunk_idx, chunk): (usize, &[u32])| -> GradAcc {
+        // Corruptions are drawn in original chunk order *before* the kernel
+        // relation-blocks the pairs, so the RNG stream is exactly what the
+        // old per-pair loop consumed for the same chunk layout.
+        let chunk_grads = |(chunk_idx, chunk): (usize, &[u32])| -> ChunkGrads {
             let mut rng = SmallRng::seed_from_u64(seed ^ chunk_idx as u64);
-            let mut acc = GradAcc::new(d);
-            for &idx in chunk {
-                let pos = triples[idx as usize];
-                for _ in 0..negatives {
-                    let (neg, _) = sampler.corrupt(pos, store, &mut rng);
-                    let f_pos = model.score(pos);
-                    let f_neg = model.score(neg);
-                    let viol = f_pos + margin - f_neg;
-                    acc.pairs += 1;
-                    if viol > 0.0 {
-                        acc.loss += viol as f64;
-                        acc.violations += 1;
-                        acc.accumulate(model, pos, 1.0);
-                        acc.accumulate(model, neg, -1.0);
-                    } else {
-                        acc.loss += f_neg.min(f_pos + margin) as f64 * 0.0; // hinge is 0
-                    }
-                }
-            }
-            acc
+            self.scratch.with_scratch(model, |sc| {
+                let mut pairs = std::mem::take(&mut sc.pairs);
+                sampler.corrupt_batch_into(
+                    chunk.iter().map(|&idx| triples[idx as usize]),
+                    store,
+                    negatives,
+                    &mut rng,
+                    &mut pairs,
+                );
+                let out = match self.kernel {
+                    GradKernel::Fused => fused_chunk_grads(model, sc, &pairs, margin),
+                    GradKernel::Baseline => baseline_chunk_grads(model, &pairs, margin),
+                };
+                sc.pairs = pairs;
+                out
+            })
         };
 
-        if self.cfg.parallel && batch.len() >= 128 {
+        // Chunks are folded in ascending chunk order in both branches (the
+        // vendored rayon collect preserves input order), pinning the f32
+        // merge order: serial and parallel runs are bit-identical.
+        let per_chunk: Vec<ChunkGrads> = if self.cfg.parallel {
             batch
-                .par_chunks(64)
+                .par_chunks(chunk_size)
                 .enumerate()
                 .map(chunk_grads)
-                .reduce(|| GradAcc::new(d), GradAcc::merge)
+                .collect()
         } else {
-            chunk_grads((0, batch))
-        }
+            batch
+                .chunks(chunk_size)
+                .enumerate()
+                .map(chunk_grads)
+                .collect()
+        };
+        per_chunk
+            .into_iter()
+            .fold(ChunkGrads::empty(), ChunkGrads::merge)
     }
 
     /// Apply one Adam step from the accumulated sparse gradients.
-    fn apply(&mut self, model: &mut PkgmModel, acc: GradAcc) {
+    fn apply(&mut self, model: &mut PkgmModel, acc: ChunkGrads) {
         self.t += 1;
         let bc1 = 1.0 - BETA1.powi(self.t as i32);
         let bc2 = 1.0 - BETA2.powi(self.t as i32);
@@ -662,6 +585,8 @@ impl Trainer {
                 v_mat,
                 t,
                 epochs_done,
+                kernel: GradKernel::default(),
+                scratch: ScratchPool::new(),
             },
         ))
     }
@@ -832,6 +757,7 @@ mod tests {
             seed,
             normalize_entities: true,
             parallel: false,
+            chunk_size: None,
         }
     }
 

@@ -387,6 +387,7 @@ mod tests {
             seed: 2,
             normalize_entities: true,
             parallel: false,
+            chunk_size: None,
         };
         Trainer::new(&model, tc).train(&mut model, &catalog.store);
         let svc = KnowledgeService::new(model, catalog.key_relation_selector(3));

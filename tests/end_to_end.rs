@@ -16,6 +16,7 @@ fn quick_train_cfg() -> TrainConfig {
         seed: 1,
         normalize_entities: true,
         parallel: true,
+        chunk_size: None,
     }
 }
 
