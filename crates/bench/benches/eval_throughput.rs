@@ -1,0 +1,59 @@
+//! Criterion microbenches for the evaluation path: the three ranking
+//! kernels (fused / reference / baseline) over a fixed held-out sample.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pkgm_bench::{world, Scale};
+use pkgm_core::eval_kernels::{
+    baseline_rank_heads, baseline_rank_tails, fused_rank_heads, fused_rank_relations,
+    fused_rank_tails, reference_rank_tails,
+};
+use pkgm_core::PkgmModel;
+use pkgm_store::{Triple, TripleStore};
+
+fn fixture() -> (TripleStore, PkgmModel, Vec<Triple>) {
+    let catalog = pkgm_synth::Catalog::generate(&world::catalog_config(Scale::Smoke));
+    let (model_cfg, _, _) = world::pretrain_config(Scale::Smoke);
+    let model = PkgmModel::new(
+        catalog.store.n_entities() as usize,
+        catalog.store.n_relations() as usize,
+        model_cfg,
+    );
+    let test: Vec<Triple> = catalog.heldout.iter().copied().take(32).collect();
+    (catalog.store.clone(), model, test)
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let (store, model, test) = fixture();
+    let ks = [1usize, 10];
+
+    c.bench_function("eval/tails_fused_filtered", |b| {
+        b.iter(|| fused_rank_tails(&model, black_box(&test), Some(&store)).unwrap())
+    });
+    c.bench_function("eval/tails_reference_filtered", |b| {
+        b.iter(|| reference_rank_tails(&model, black_box(&test), Some(&store)).unwrap())
+    });
+    c.bench_function("eval/tails_baseline_filtered", |b| {
+        b.iter(|| baseline_rank_tails(&model, black_box(&test), Some(&store), &ks))
+    });
+    c.bench_function("eval/tails_fused_raw", |b| {
+        b.iter(|| fused_rank_tails(&model, black_box(&test), None).unwrap())
+    });
+
+    c.bench_function("eval/heads_fused_filtered", |b| {
+        b.iter(|| fused_rank_heads(&model, black_box(&test), Some(&store)).unwrap())
+    });
+    c.bench_function("eval/heads_baseline_filtered", |b| {
+        b.iter(|| baseline_rank_heads(&model, black_box(&test), Some(&store), &ks))
+    });
+
+    c.bench_function("eval/relations_fused_filtered", |b| {
+        b.iter(|| fused_rank_relations(&model, black_box(&test), Some(&store)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_eval
+}
+criterion_main!(benches);

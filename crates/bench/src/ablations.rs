@@ -45,7 +45,7 @@ pub fn margin_sweep() -> String {
     for margin in [0.5f32, 1.0, 2.0, 4.0, 8.0] {
         eprintln!("[ablation:margin] γ = {margin}");
         let model = train_pkgm(&catalog, 32, margin, 6);
-        let r = eval::rank_tails(&model, &test, Some(&catalog.store), &[1, 10]);
+        let r = eval::rank_tails(&model, &test, Some(&catalog.store), &[1, 10]).expect("in-range");
         rows.push_str(&format!(
             "| {margin} | {:.3} | {:.1} | {:.1} |\n",
             r.mrr,
@@ -69,7 +69,7 @@ pub fn dim_sweep() -> String {
     for dim in [8usize, 16, 32, 64] {
         eprintln!("[ablation:dim] d = {dim}");
         let model = train_pkgm(&catalog, dim, 4.0, 6);
-        let r = eval::rank_tails(&model, &test, Some(&catalog.store), &[10]);
+        let r = eval::rank_tails(&model, &test, Some(&catalog.store), &[10]).expect("in-range");
         rows.push_str(&format!(
             "| {dim} | {:.3} | {:.1} | {:.1} MiB |\n",
             r.mrr,
@@ -133,7 +133,7 @@ pub fn incompleteness_sweep() -> String {
         });
         let model = train_pkgm(&catalog, 32, 4.0, 6);
         let test: Vec<_> = catalog.heldout.iter().copied().take(300).collect();
-        let r = eval::rank_tails(&model, &test, Some(&catalog.store), &[1, 10]);
+        let r = eval::rank_tails(&model, &test, Some(&catalog.store), &[1, 10]).expect("in-range");
         rows.push_str(&format!(
             "| {:.0}% | {} | {:.3} | {:.1} |\n",
             heldout_rate * 100.0,
@@ -161,7 +161,7 @@ pub fn baseline_comparison() -> String {
 
     eprintln!("[ablation:baselines] PKGM joint");
     let pkgm = train_pkgm(&catalog, 32, 4.0, 6);
-    let r = eval::rank_tails(&pkgm, &test, Some(&catalog.store), &ks);
+    let r = eval::rank_tails(&pkgm, &test, Some(&catalog.store), &ks).expect("in-range");
     rows.push_str(&format_row("PKGM (joint)", &r));
 
     eprintln!("[ablation:baselines] TransE");
@@ -182,7 +182,7 @@ pub fn baseline_comparison() -> String {
         chunk_size: None,
     };
     Trainer::new(&transe, cfg).train(&mut transe, &catalog.store);
-    let r = eval::rank_tails(&transe, &test, Some(&catalog.store), &ks);
+    let r = eval::rank_tails(&transe, &test, Some(&catalog.store), &ks).expect("in-range");
     rows.push_str(&format_row("TransE (triple module only)", &r));
 
     let mut rng = SmallRng::seed_from_u64(7);

@@ -1,0 +1,293 @@
+//! Evaluation-path scaling sweep: ranking kernels × modes × filter × threads.
+//!
+//! Measures link-prediction ranking throughput (test triples/sec) for the
+//! pre-kernel baseline (`baseline_rank_*` — per-triple `vec!`, serial L1,
+//! per-candidate `binary_search`) against the fused evaluation kernels
+//! (`fused_rank_*` — candidate-blocked scans, exact early exit,
+//! relation-grouped head ranking, sorted-merge filtering), and writes
+//! `BENCH_eval.json`:
+//!
+//! * **tail ranking** — filtered and raw, single-thread (the headline
+//!   before/after) plus a small thread sweep on the filtered protocol;
+//! * **head ranking** — filtered, single-thread: the O(|E|·d²)-per-triple
+//!   path where relation grouping pays off most;
+//! * **relation ranking** — filtered, single-thread.
+//!
+//! Both kernels rank the same test triples against the same model, so the
+//! ratio is pure implementation speedup; ranks agree bit-exactly with the
+//! reference twin (enforced by the parity suite), while baseline scores
+//! differ in the last f32 bits only.
+//!
+//! ```sh
+//! cargo run --release -p pkgm-bench --bin eval_scale -- tiny
+//! cargo run --release -p pkgm-bench --bin eval_scale -- standard --out BENCH_eval.json
+//! ```
+
+use pkgm_bench::{world, Scale};
+use pkgm_core::eval::summarize_ranks;
+use pkgm_core::eval_kernels::{
+    baseline_rank_heads, baseline_rank_relations, baseline_rank_tails, fused_rank_heads,
+    fused_rank_relations, fused_rank_tails,
+};
+use pkgm_core::{LinkPredictionReport, PkgmModel, Trainer};
+use pkgm_store::fxhash::FxHashMap;
+use pkgm_store::{Triple, TripleStore};
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+const KS: [usize; 2] = [1, 10];
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Tails,
+    Heads,
+    Relations,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Tails => "tails",
+            Mode::Heads => "heads",
+            Mode::Relations => "relations",
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kernel {
+    Baseline,
+    Fused,
+}
+
+impl Kernel {
+    fn name(self) -> &'static str {
+        match self {
+            Kernel::Baseline => "baseline",
+            Kernel::Fused => "fused",
+        }
+    }
+}
+
+struct Run {
+    mode: Mode,
+    kernel: Kernel,
+    filtered: bool,
+    threads: usize,
+}
+
+fn rank(
+    model: &PkgmModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+    mode: Mode,
+    kernel: Kernel,
+) -> LinkPredictionReport {
+    match (mode, kernel) {
+        (Mode::Tails, Kernel::Baseline) => baseline_rank_tails(model, test, filter, &KS),
+        (Mode::Heads, Kernel::Baseline) => baseline_rank_heads(model, test, filter, &KS),
+        (Mode::Relations, Kernel::Baseline) => baseline_rank_relations(model, test, filter, &KS),
+        (Mode::Tails, Kernel::Fused) => {
+            summarize_ranks(&fused_rank_tails(model, test, filter).unwrap(), &KS)
+        }
+        (Mode::Heads, Kernel::Fused) => {
+            summarize_ranks(&fused_rank_heads(model, test, filter).unwrap(), &KS)
+        }
+        (Mode::Relations, Kernel::Fused) => {
+            summarize_ranks(&fused_rank_relations(model, test, filter).unwrap(), &KS)
+        }
+    }
+}
+
+fn parse_args() -> Result<(Scale, String), String> {
+    let mut scale = Scale::from_env();
+    let mut out = String::from("BENCH_eval.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "tiny" | "smoke" => scale = Scale::Smoke,
+            "standard" | "small" => scale = Scale::Standard,
+            "full" | "bench" => scale = Scale::Full,
+            "--out" => {
+                out = args.next().ok_or("--out requires a path")?;
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok((scale, out))
+}
+
+fn main() {
+    let (scale, out_path) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(why) => {
+            eprintln!("error: {why}");
+            eprintln!("usage: eval_scale [tiny|standard|full] [--out FILE]");
+            std::process::exit(2);
+        }
+    };
+    // Test-set sizes per mode: head ranking costs O(|E|·d²) per triple on
+    // the baseline, so it gets a smaller (but still stable) sample.
+    let (n_tails, n_heads, n_relations, epochs) = match scale {
+        Scale::Smoke => (64, 24, 48, 1),
+        Scale::Standard => (256, 48, 128, 2),
+        Scale::Full => (512, 64, 256, 3),
+    };
+    let catalog = pkgm_synth::Catalog::generate(&world::catalog_config(scale));
+    let (model_cfg, mut train_cfg, _) = world::pretrain_config(scale);
+    // A briefly-trained model puts true triples near the top, which is the
+    // regime the early exit sees in practice; full pre-training would only
+    // slow the sweep down without changing the comparison.
+    train_cfg.epochs = epochs;
+    let dim = model_cfg.dim;
+    let mut model = PkgmModel::new(
+        catalog.store.n_entities() as usize,
+        catalog.store.n_relations() as usize,
+        model_cfg,
+    );
+    eprintln!(
+        "[eval_scale] catalog: {} triples, {} entities, {} relations; d = {dim}, {epochs} warm-up epoch(s)",
+        catalog.store.len(),
+        catalog.store.n_entities(),
+        catalog.store.n_relations()
+    );
+    Trainer::new(&model, train_cfg).train(&mut model, &catalog.store);
+
+    let heldout = &catalog.heldout;
+    let tails_test: Vec<Triple> = heldout.iter().copied().take(n_tails).collect();
+    let heads_test: Vec<Triple> = heldout.iter().copied().take(n_heads).collect();
+    let rels_test: Vec<Triple> = heldout.iter().copied().take(n_relations).collect();
+
+    let mut runs: Vec<Run> = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        for kernel in [Kernel::Baseline, Kernel::Fused] {
+            runs.push(Run {
+                mode: Mode::Tails,
+                kernel,
+                filtered: true,
+                threads,
+            });
+        }
+    }
+    for kernel in [Kernel::Baseline, Kernel::Fused] {
+        runs.push(Run {
+            mode: Mode::Tails,
+            kernel,
+            filtered: false,
+            threads: 1,
+        });
+        runs.push(Run {
+            mode: Mode::Heads,
+            kernel,
+            filtered: true,
+            threads: 1,
+        });
+        runs.push(Run {
+            mode: Mode::Relations,
+            kernel,
+            filtered: true,
+            threads: 1,
+        });
+    }
+
+    let mut results = Vec::new();
+    let mut rate: FxHashMap<String, f64> = FxHashMap::default();
+    println!("| mode | kernel | filter | threads | triples | wall (s) | triples/sec | MRR |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for run in &runs {
+        // The vendored rayon reads this per call, so setting it between
+        // runs re-sizes the worker pool.
+        std::env::set_var("RAYON_NUM_THREADS", run.threads.to_string());
+        let test = match run.mode {
+            Mode::Tails => &tails_test,
+            Mode::Heads => &heads_test,
+            Mode::Relations => &rels_test,
+        };
+        let filter = run.filtered.then_some(&catalog.store);
+        let start = Instant::now();
+        let report = rank(&model, test, filter, run.mode, run.kernel);
+        let wall_secs = start.elapsed().as_secs_f64();
+        let tps = report.n as f64 / wall_secs;
+        let protocol = if run.filtered { "filtered" } else { "raw" };
+        println!(
+            "| {} | {} | {protocol} | {} | {} | {:.3} | {:.1} | {:.3} |",
+            run.mode.name(),
+            run.kernel.name(),
+            run.threads,
+            report.n,
+            wall_secs,
+            tps,
+            report.mrr
+        );
+        rate.insert(
+            format!(
+                "{}:{}:{protocol}:{}",
+                run.kernel.name(),
+                run.mode.name(),
+                run.threads
+            ),
+            tps,
+        );
+        results.push(serde_json::json!({
+            "mode": run.mode.name(),
+            "kernel": run.kernel.name(),
+            "protocol": protocol,
+            "threads": run.threads,
+            "triples": report.n,
+            "wall_secs": wall_secs,
+            "triples_per_sec": tps,
+            "mrr": report.mrr,
+            "mean_rank": report.mean_rank,
+            "hits": report.hits,
+        }));
+    }
+
+    let ratio = |key: &str| -> f64 {
+        let fused = rate.get(&format!("fused:{key}")).copied().unwrap_or(0.0);
+        let base = rate
+            .get(&format!("baseline:{key}"))
+            .copied()
+            .unwrap_or(f64::INFINITY);
+        fused / base
+    };
+    // The acceptance headlines: single-thread filtered throughput at the
+    // scale's dim (64 beyond smoke).
+    let tails_headline = ratio("tails:filtered:1");
+    let heads_headline = ratio("heads:filtered:1");
+    let relations_headline = ratio("relations:filtered:1");
+    println!();
+    println!("fused vs baseline, filtered tails, 1 thread: {tails_headline:.2}×");
+    println!("fused vs baseline, filtered heads, 1 thread: {heads_headline:.2}×");
+    println!("fused vs baseline, filtered relations, 1 thread: {relations_headline:.2}×");
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let max_t = THREAD_COUNTS[THREAD_COUNTS.len() - 1];
+    if host_cpus < max_t {
+        eprintln!(
+            "[eval_scale] note: host exposes {host_cpus} CPU(s); thread counts above that \
+             are time-sliced, so the thread sweep understates multi-core scaling"
+        );
+    }
+    let report = serde_json::json!({
+        "benchmark": "eval_scale",
+        "scale": scale.name(),
+        "host_cpus": host_cpus,
+        "dim": dim,
+        "triples": catalog.store.len(),
+        "entities": catalog.store.n_entities(),
+        "relations": catalog.store.n_relations(),
+        "thread_counts": THREAD_COUNTS.to_vec(),
+        "results": results,
+        "summary": serde_json::json!({
+            "fused_vs_baseline_tails_filtered_t1": tails_headline,
+            "fused_vs_baseline_heads_filtered_t1": heads_headline,
+            "fused_vs_baseline_relations_filtered_t1": relations_headline,
+        }),
+    });
+    let pretty = serde_json::to_string_pretty(&report).expect("json literal serializes");
+    if let Err(e) = std::fs::write(&out_path, pretty) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[eval_scale] wrote {out_path}");
+}

@@ -46,7 +46,8 @@ pub fn fig1(world: &World) -> String {
 
     // (c) completion during serving
     let sample: Vec<_> = world.catalog.heldout.iter().copied().take(100).collect();
-    let completion = pkgm_core::eval::rank_tails(model, &sample, Some(store), &[1, 10]);
+    let completion = pkgm_core::eval::rank_tails(model, &sample, Some(store), &[1, 10])
+        .expect("held-out triples come from the catalog's entity/relation space");
 
     format!(
         "### Fig. 1 — PKGM architecture (two query modules)\n\n\

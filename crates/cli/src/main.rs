@@ -59,6 +59,7 @@ fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         "eval" => evaluate(&args),
         "faultcheck" => faultcheck(&args),
         "bench-train" => bench_train(&args),
+        "bench-eval" => bench_eval(&args),
         other => Err(format!("unknown subcommand: {other}").into()),
     }
 }
@@ -316,6 +317,100 @@ fn bench_train(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Quick before/after evaluation-throughput check: rank the same held-out
+/// facts with the pre-kernel baseline and the fused ranking kernels. Fused
+/// ranks are bit-identical to the reference scan (parity-suite contract);
+/// only the wall clock should move.
+fn bench_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use pkgm_core::eval_kernels::{
+        baseline_rank_heads, baseline_rank_tails, fused_rank_heads, fused_rank_tails,
+    };
+    let catalog = catalog_from(args)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let dim: usize = args.get_or("dim", 64)?;
+    let epochs: usize = args.get_or("epochs", 1)?;
+    let n_tails: usize = args.get_or("tails", 128)?;
+    let n_heads: usize = args.get_or("heads", 32)?;
+    let ks = [1usize, 10];
+
+    let mut model = PkgmModel::new(
+        catalog.store.n_entities() as usize,
+        catalog.store.n_relations() as usize,
+        PkgmConfig::new(dim).with_seed(seed),
+    );
+    // A short warm-up puts true triples near the top of the ranking, which
+    // is the regime the fused kernels' early exit sees after real training.
+    let cfg = TrainConfig {
+        epochs,
+        seed,
+        ..TrainConfig::default()
+    };
+    Trainer::new(&model, cfg).train(&mut model, &catalog.store);
+
+    let tails_test: Vec<pkgm_store::Triple> =
+        catalog.heldout.iter().copied().take(n_tails).collect();
+    let heads_test: Vec<pkgm_store::Triple> =
+        catalog.heldout.iter().copied().take(n_heads).collect();
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    println!("| mode | kernel | triples | wall (s) | triples/sec | MRR |");
+    println!("|---|---|---|---|---|---|");
+    for (mode, test) in [("tails", &tails_test), ("heads", &heads_test)] {
+        let mut rates = Vec::new();
+        for kernel in ["baseline", "fused"] {
+            let start = std::time::Instant::now();
+            let report = match (mode, kernel) {
+                ("tails", "baseline") => {
+                    baseline_rank_tails(&model, test, Some(&catalog.store), &ks)
+                }
+                ("tails", "fused") => eval::summarize_ranks(
+                    &fused_rank_tails(&model, test, Some(&catalog.store))?,
+                    &ks,
+                ),
+                ("heads", "baseline") => {
+                    baseline_rank_heads(&model, test, Some(&catalog.store), &ks)
+                }
+                _ => eval::summarize_ranks(
+                    &fused_rank_heads(&model, test, Some(&catalog.store))?,
+                    &ks,
+                ),
+            };
+            let wall = start.elapsed().as_secs_f64();
+            let tps = report.n as f64 / wall;
+            println!(
+                "| {mode} | {kernel} | {} | {wall:.3} | {tps:.1} | {:.3} |",
+                report.n, report.mrr
+            );
+            rows.push(serde_json::json!({
+                "mode": mode,
+                "kernel": kernel,
+                "triples": report.n,
+                "wall_secs": wall,
+                "triples_per_sec": tps,
+                "mrr": report.mrr,
+            }));
+            rates.push(tps);
+        }
+        let speedup = rates[1] / rates[0]; // [baseline, fused] run order
+        println!("\nfused vs baseline ({mode}, filtered): {speedup:.2}×\n");
+        speedups.push((mode, speedup));
+    }
+    if let Some(out) = args.get("out") {
+        let report = serde_json::json!({
+            "benchmark": "bench-eval",
+            "dim": dim,
+            "epochs": epochs,
+            "results": rows,
+            "fused_vs_baseline_tails": speedups[0].1,
+            "fused_vs_baseline_heads": speedups[1].1,
+        });
+        std::fs::write(out, serde_json::to_string_pretty(&report)?)?;
+        eprintln!("[pkgm] wrote {out}");
+    }
+    Ok(())
+}
+
 fn load_service(args: &Args) -> Result<KnowledgeService, Box<dyn std::error::Error>> {
     let path = args.require("service")?;
     Ok(serialize::read_service_file(
@@ -444,7 +539,7 @@ fn evaluate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let max_facts: usize = args.get_or("max-facts", 300)?;
     let test: Vec<_> = catalog.heldout.iter().copied().take(max_facts).collect();
     eprintln!("[pkgm] ranking {} held-out facts…", test.len());
-    let report = eval::rank_tails(service.model(), &test, Some(&catalog.store), &[1, 3, 10]);
+    let report = eval::rank_tails(service.model(), &test, Some(&catalog.store), &[1, 3, 10])?;
     println!("completion of {} held-out facts:", report.n);
     println!("  MRR       {:.4}", report.mrr);
     println!("  mean rank {:.1}", report.mean_rank);
@@ -478,6 +573,10 @@ fn print_help() {
          \u{20}  faultcheck  [--dir scratch] [--seed 42] — crash/corruption recovery battery\n\
          \u{20}  bench-train --preset P [--dim 64] [--epochs 1] [--negatives 1]\n\
          \u{20}              [--parallel true] [--out bench.json] — fused vs baseline\n\
-         \u{20}              gradient-kernel throughput on identical corruption streams\n"
+         \u{20}              gradient-kernel throughput on identical corruption streams\n\
+         \u{20}  bench-eval  --preset P [--dim 64] [--epochs 1] [--tails 128] [--heads 32]\n\
+         \u{20}              [--out bench.json] — fused vs baseline ranking-kernel\n\
+         \u{20}              throughput on the same held-out facts (ranks bit-identical\n\
+         \u{20}              to the reference scan; see eval_kernels)\n"
     );
 }

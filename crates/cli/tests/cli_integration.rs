@@ -426,3 +426,54 @@ fn missing_required_flag_is_reported() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
 }
+
+#[test]
+fn bench_eval_reports_speedup_and_writes_json() {
+    let dir = tmpdir("bench_eval");
+    let json = dir.join("bench_eval.json");
+    let out = pkgm()
+        .args([
+            "bench-eval",
+            "--preset",
+            "tiny",
+            "--seed",
+            "7",
+            "--dim",
+            "16",
+            "--epochs",
+            "1",
+            "--tails",
+            "16",
+            "--heads",
+            "8",
+            "--out",
+            json.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fused vs baseline (tails, filtered)"));
+    assert!(text.contains("fused vs baseline (heads, filtered)"));
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    assert_eq!(
+        report.get("benchmark").unwrap().as_str().unwrap(),
+        "bench-eval"
+    );
+    assert_eq!(report.get("results").unwrap().as_array().unwrap().len(), 4);
+    assert!(
+        report
+            .get("fused_vs_baseline_tails")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            > 0.0
+    );
+    std::fs::remove_dir_all(dir).ok();
+}

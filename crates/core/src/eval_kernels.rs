@@ -1,0 +1,1066 @@
+//! Fused, blocked evaluation kernels for full-candidate link prediction.
+//!
+//! PR 3 gave training its fused kernels; this module does the same for the
+//! evaluation protocol in [`crate::eval`], the last untouched hot path. The
+//! design mirrors [`crate::kernels`] exactly — one fast path, two twins:
+//!
+//! * **Fused** ([`fused_rank_tails`] / [`fused_rank_heads`] /
+//!   [`fused_rank_relations`]) — candidate-blocked scans over the entity
+//!   table in cache-sized tiles, a preallocated [`EvalScratch`] per worker
+//!   (no per-triple allocation), eight-lane fixed-order L1 accumulation,
+//!   exact early exit per candidate, relation-grouped head ranking, and
+//!   sorted-merge filtering.
+//! * **Reference** ([`reference_rank_tails`] / [`reference_rank_heads`] /
+//!   [`reference_rank_relations`]) — the contract twin: per-triple fresh
+//!   compute, per-candidate `binary_search` filtering, no grouping, no
+//!   early exit, but the *same* summation orders as the fused path. The
+//!   parity suite asserts fused ≡ reference per-triple ranks **exactly**.
+//! * **Baseline** ([`baseline_rank_tails`] / [`baseline_rank_heads`] /
+//!   [`baseline_rank_relations`]) — the pre-kernel evaluation path
+//!   preserved verbatim (per-triple `vec!`, `PkgmModel::score`, serial L1),
+//!   kept as the cost model every `BENCH_eval.json` speedup is measured
+//!   against.
+//!
+//! ## Why the early exit is exact, not approximate
+//!
+//! A candidate only affects a rank through the predicate
+//! `score(candidate) < true_score`. Every L1 term is nonnegative and
+//! IEEE-754 round-to-nearest addition is monotone, so each lane accumulator
+//! only grows, the fixed lane combine is monotone in every lane, and adding
+//! the nonnegative tail (or the nonnegative relation-module part) can only
+//! increase the result. A partial sum that already reaches `true_score`
+//! therefore proves the full sum would too — the candidate is abandoned
+//! with the *decision* unchanged, which keeps `better` counts, ranks, and
+//! all downstream metrics bit-identical to the unconditional scan.
+//!
+//! ## Cost of head ranking
+//!
+//! The baseline scores every head candidate with a fresh `M_r·h′` mat-vec:
+//! O(|test|·|E|·d²). Fused head ranking groups test triples by relation,
+//! computes each candidate's relation-module score `‖M_r·h′ − r‖₁` once
+//! per (relation group, candidate tile) — with an early exit against the
+//! group's *maximum* true score — and shares it across every test triple
+//! of that relation: O(|R_test|·|E|·d²) + O(|test|·|E|·d).
+
+use crate::eval::{summarize_ranks, LinkPredictionReport};
+use crate::kernels::{kernel_dot, l1_dist};
+use crate::model::PkgmModel;
+use pkgm_store::{EntityId, RelationId, Triple, TripleStore};
+use rayon::prelude::*;
+
+/// Entities per cache tile. At d = 64 a tile of candidate rows is
+/// 256·64·4 B = 64 KiB — resident in L2 while every test triple of the
+/// group scans it.
+const CANDIDATE_TILE: u32 = 256;
+
+/// Test triples per tail-ranking work unit. All bases of a chunk live in
+/// one scratch buffer and the entity table streams through cache once per
+/// chunk instead of once per triple.
+const TRIPLE_CHUNK: usize = 16;
+
+/// Early-exit cadence in eight-lane chunks: combine the lanes and compare
+/// against the bound every `EXIT_STRIDE` chunks (= 16 dimensions). Checking
+/// every chunk would spend more scalar combine work than it saves.
+const EXIT_STRIDE: usize = 2;
+
+/// A test triple referenced an id outside the model's tables.
+///
+/// The pre-kernel evaluation path panicked on out-of-range ids (slice
+/// indexing); the kernel path validates up front and returns a clean error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A head or tail entity id is `>= n_entities`.
+    EntityOutOfRange {
+        /// Index of the offending triple in `test`.
+        index: usize,
+        /// The out-of-range entity id.
+        id: u32,
+        /// The model's entity-table size.
+        n_entities: usize,
+    },
+    /// A relation id is `>= n_relations`.
+    RelationOutOfRange {
+        /// Index of the offending triple in `test`.
+        index: usize,
+        /// The out-of-range relation id.
+        id: u32,
+        /// The model's relation-table size.
+        n_relations: usize,
+    },
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::EntityOutOfRange {
+                index,
+                id,
+                n_entities,
+            } => write!(
+                f,
+                "test triple {index} references entity {id}, but the model has {n_entities} entities"
+            ),
+            EvalError::RelationOutOfRange {
+                index,
+                id,
+                n_relations,
+            } => write!(
+                f,
+                "test triple {index} references relation {id}, but the model has {n_relations} relations"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Check every test id against the model's table sizes.
+fn validate(model: &PkgmModel, test: &[Triple]) -> Result<(), EvalError> {
+    let n_entities = model.n_entities();
+    let n_relations = model.n_relations();
+    for (index, t) in test.iter().enumerate() {
+        for id in [t.head.0, t.tail.0] {
+            if id as usize >= n_entities {
+                return Err(EvalError::EntityOutOfRange {
+                    index,
+                    id,
+                    n_entities,
+                });
+            }
+        }
+        if t.relation.0 as usize >= n_relations {
+            return Err(EvalError::RelationOutOfRange {
+                index,
+                id: t.relation.0,
+                n_relations,
+            });
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Blocked L1 primitives (the contract arithmetic)
+// ---------------------------------------------------------------------------
+
+/// The fixed tree-shaped lane combine shared with [`kernel_dot`].
+#[inline]
+fn combine8(acc: &[f32; 8]) -> f32 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// `‖a − b‖₁` with eight-lane fixed-order accumulation — the evaluation
+/// twin of [`kernel_dot`]: independent lane sums break the serial f32
+/// add-latency chain so the loop vectorizes, and the fixed combine makes
+/// the result a deterministic function of the inputs.
+#[inline]
+pub(crate) fn blocked_l1(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for j in 0..8 {
+            acc[j] += (xa[j] - xb[j]).abs();
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += (x - y).abs();
+    }
+    combine8(&acc) + tail
+}
+
+/// `‖h + r − t‖₁` in the same eight-lane blocked order as [`blocked_l1`].
+#[inline]
+pub(crate) fn blocked_l1_translation(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let mut ch = h.chunks_exact(8);
+    let mut cr = r.chunks_exact(8);
+    let mut ct = t.chunks_exact(8);
+    for ((xh, xr), xt) in (&mut ch).zip(&mut cr).zip(&mut ct) {
+        for j in 0..8 {
+            acc[j] += (xh[j] + xr[j] - xt[j]).abs();
+        }
+    }
+    let mut tail = 0.0f32;
+    for ((x, y), z) in ch
+        .remainder()
+        .iter()
+        .zip(cr.remainder())
+        .zip(ct.remainder())
+    {
+        tail += (x + y - z).abs();
+    }
+    combine8(&acc) + tail
+}
+
+/// Decide `blocked_l1(a, b) + extra < bound` with an exact early exit.
+///
+/// Aborts (returning `false`) as soon as the partially combined sum plus
+/// `extra` reaches `bound` — sound because the final value can only be
+/// larger (see the module docs). When the loop runs to completion the
+/// returned decision evaluates the exact reference expression.
+#[inline]
+fn l1_beats(a: &[f32], b: &[f32], extra: f32, bound: f32) -> bool {
+    let mut acc = [0.0f32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    let mut pending = 0usize;
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for j in 0..8 {
+            acc[j] += (xa[j] - xb[j]).abs();
+        }
+        pending += 1;
+        if pending == EXIT_STRIDE {
+            pending = 0;
+            if combine8(&acc) + extra >= bound {
+                return false;
+            }
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += (x - y).abs();
+    }
+    (combine8(&acc) + tail) + extra < bound
+}
+
+/// Decide `blocked_l1_translation(h, r, t) + extra < bound` with the same
+/// exact early exit as [`l1_beats`].
+#[inline]
+fn translation_beats(h: &[f32], r: &[f32], t: &[f32], extra: f32, bound: f32) -> bool {
+    let mut acc = [0.0f32; 8];
+    let mut ch = h.chunks_exact(8);
+    let mut cr = r.chunks_exact(8);
+    let mut ct = t.chunks_exact(8);
+    let mut pending = 0usize;
+    for ((xh, xr), xt) in (&mut ch).zip(&mut cr).zip(&mut ct) {
+        for j in 0..8 {
+            acc[j] += (xh[j] + xr[j] - xt[j]).abs();
+        }
+        pending += 1;
+        if pending == EXIT_STRIDE {
+            pending = 0;
+            if combine8(&acc) + extra >= bound {
+                return false;
+            }
+        }
+    }
+    let mut tail = 0.0f32;
+    for ((x, y), z) in ch
+        .remainder()
+        .iter()
+        .zip(cr.remainder())
+        .zip(ct.remainder())
+    {
+        tail += (x + y - z).abs();
+    }
+    (combine8(&acc) + tail) + extra < bound
+}
+
+/// Relation-module score `‖M·hv − rv‖₁`: projection rows via
+/// [`kernel_dot`], residual terms accumulated serially in index order —
+/// the same arithmetic as the training kernels' cached-projection score.
+#[inline]
+fn residual(m: &[f32], hv: &[f32], rv: &[f32]) -> f32 {
+    let d = rv.len();
+    let mut res = 0.0f32;
+    for i in 0..d {
+        res += (kernel_dot(&m[i * d..(i + 1) * d], hv) - rv[i]).abs();
+    }
+    res
+}
+
+/// [`residual`] with an exact early exit against `cap`, returning
+/// `f32::INFINITY` once the partial residual reaches it.
+///
+/// `cap` is the **maximum** true score of a relation group. If the partial
+/// residual already reaches `cap`, the full residual does too, and for
+/// every test triple of the group the candidate's joint score
+/// `f_T + f_R ≥ f_R ≥ cap ≥ true_score` — so it can never count as
+/// "better" and the `INFINITY` sentinel makes every per-triple
+/// `extra >= bound` pre-check skip it, exactly like the reference.
+#[inline]
+fn residual_capped(m: &[f32], hv: &[f32], rv: &[f32], cap: f32) -> f32 {
+    let d = rv.len();
+    let mut res = 0.0f32;
+    for i in 0..d {
+        res += (kernel_dot(&m[i * d..(i + 1) * d], hv) - rv[i]).abs();
+        if res >= cap {
+            return f32::INFINITY;
+        }
+    }
+    res
+}
+
+// ---------------------------------------------------------------------------
+// Scratch
+// ---------------------------------------------------------------------------
+
+/// Preallocated per-worker buffers for the fused evaluation kernels.
+///
+/// One scratch serves every chunk/group a worker processes; buffers are
+/// `resize`d in place, so steady-state evaluation performs no per-triple
+/// allocation. Mirrors [`crate::kernels::TrainScratch`].
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// `S_T(h, r)` base vectors for a chunk of tail-ranking triples
+    /// (`chunk_len × d`, row-major).
+    bases: Vec<f32>,
+    /// Per-triple true scores of the current chunk/group.
+    true_scores: Vec<f32>,
+    /// Per-triple `better`-than-true counters.
+    better: Vec<usize>,
+    /// Per-triple advancing cursors into the sorted known-positive sets
+    /// (the sorted-merge replacement for per-candidate `binary_search`).
+    ptr: Vec<usize>,
+    /// Cached relation-module scores `f_R(candidate, r)` for the current
+    /// candidate tile (head ranking) or all relations (relation ranking).
+    fr: Vec<f32>,
+}
+
+impl EvalScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A pool of idle [`EvalScratch`]es shared by rayon workers, mirroring
+/// [`crate::kernels::ScratchPool`]: `with_scratch` pops an idle scratch
+/// (or builds one), runs the closure, and returns it to the pool. Pool
+/// order affects nothing numerical.
+#[derive(Debug, Default)]
+pub struct EvalScratchPool {
+    idle: parking_lot::Mutex<Vec<EvalScratch>>,
+}
+
+impl EvalScratchPool {
+    /// An empty pool; scratches are built lazily per worker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `f` with a pooled scratch.
+    pub fn with_scratch<R>(&self, f: impl FnOnce(&mut EvalScratch) -> R) -> R {
+        let mut scratch = self.idle.lock().pop().unwrap_or_default();
+        let out = f(&mut scratch);
+        self.idle.lock().push(scratch);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Grouping
+// ---------------------------------------------------------------------------
+
+/// Stably group test-triple indices by `key` (ascending key, original
+/// order within a group) — the evaluation analogue of the training
+/// kernels' `relation_blocked_order_into`.
+fn grouped_indices(test: &[Triple], key: impl Fn(&Triple) -> u32) -> Vec<Vec<u32>> {
+    let mut order: Vec<u32> = (0..test.len() as u32).collect();
+    order.sort_by_key(|&i| key(&test[i as usize]));
+    let mut groups: Vec<Vec<u32>> = Vec::new();
+    let mut i = 0usize;
+    while i < order.len() {
+        let k = key(&test[order[i] as usize]);
+        let mut j = i;
+        while j < order.len() && key(&test[order[j] as usize]) == k {
+            j += 1;
+        }
+        groups.push(order[i..j].to_vec());
+        i = j;
+    }
+    groups
+}
+
+// ---------------------------------------------------------------------------
+// Fused kernels
+// ---------------------------------------------------------------------------
+
+/// Fused tail ranking: per-triple 1-based ranks, bit-identical to
+/// [`reference_rank_tails`] (the parity suite enforces this).
+///
+/// Triples are processed in chunks of [`TRIPLE_CHUNK`] so the entity table
+/// streams through cache once per chunk; candidates are scanned in
+/// ascending id order in [`CANDIDATE_TILE`]-sized tiles with the filter
+/// applied by an advancing cursor into the sorted known-tail set.
+pub fn fused_rank_tails(
+    model: &PkgmModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+) -> Result<Vec<usize>, EvalError> {
+    validate(model, test)?;
+    let pool = EvalScratchPool::new();
+    let per_chunk: Vec<Vec<usize>> = test
+        .par_chunks(TRIPLE_CHUNK)
+        .map(|chunk| pool.with_scratch(|scratch| tail_chunk_ranks(model, chunk, filter, scratch)))
+        .collect();
+    Ok(per_chunk.into_iter().flatten().collect())
+}
+
+fn tail_chunk_ranks(
+    model: &PkgmModel,
+    chunk: &[Triple],
+    filter: Option<&TripleStore>,
+    scratch: &mut EvalScratch,
+) -> Vec<usize> {
+    let d = model.dim();
+    let n_entities = model.n_entities() as u32;
+    let g = chunk.len();
+    let EvalScratch {
+        bases,
+        true_scores,
+        better,
+        ptr,
+        ..
+    } = scratch;
+    bases.resize(g * d, 0.0);
+    true_scores.clear();
+    let mut knowns: Vec<&[EntityId]> = Vec::with_capacity(g);
+    for (s, &t) in chunk.iter().enumerate() {
+        let base = &mut bases[s * d..(s + 1) * d];
+        model.service_t_into(t.head, t.relation, base);
+        true_scores.push(blocked_l1(base, model.ent(t.tail)));
+        knowns.push(filter.map_or(&[][..], |f| f.tails(t.head, t.relation)));
+    }
+    better.clear();
+    better.resize(g, 0);
+    ptr.clear();
+    ptr.resize(g, 0);
+
+    let mut tile_start = 0u32;
+    while tile_start < n_entities {
+        let tile_end = (tile_start + CANDIDATE_TILE).min(n_entities);
+        for s in 0..g {
+            let t = chunk[s];
+            let base = &bases[s * d..(s + 1) * d];
+            let known = knowns[s];
+            let bound = true_scores[s];
+            let p = &mut ptr[s];
+            let mut b = 0usize;
+            for c in tile_start..tile_end {
+                while *p < known.len() && known[*p].0 < c {
+                    *p += 1;
+                }
+                if *p < known.len() && known[*p].0 == c {
+                    *p += 1;
+                    continue;
+                }
+                if c == t.tail.0 {
+                    continue;
+                }
+                if l1_beats(base, model.ent(EntityId(c)), 0.0, bound) {
+                    b += 1;
+                }
+            }
+            better[s] += b;
+        }
+        tile_start = tile_end;
+    }
+    better.iter().map(|&b| b + 1).collect()
+}
+
+/// Fused head ranking under the joint score `f_T + f_R`, bit-identical to
+/// [`reference_rank_heads`].
+///
+/// Test triples are grouped by relation; each group loads `M_r` once and
+/// caches every candidate's relation-module score per tile (with an exact
+/// early exit against the group's maximum true score), sharing it across
+/// all test triples of the relation — O(|R_test|·|E|·d²) + O(|test|·|E|·d)
+/// instead of the baseline's O(|test|·|E|·d²).
+pub fn fused_rank_heads(
+    model: &PkgmModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+) -> Result<Vec<usize>, EvalError> {
+    validate(model, test)?;
+    let groups = grouped_indices(test, |t| t.relation.0);
+    let pool = EvalScratchPool::new();
+    let per_group: Vec<Vec<(u32, usize)>> = groups
+        .par_iter()
+        .map(|idxs| {
+            pool.with_scratch(|scratch| head_group_ranks(model, test, idxs, filter, scratch))
+        })
+        .collect();
+    let mut ranks = vec![0usize; test.len()];
+    for group in per_group {
+        for (ti, rank) in group {
+            ranks[ti as usize] = rank;
+        }
+    }
+    Ok(ranks)
+}
+
+fn head_group_ranks(
+    model: &PkgmModel,
+    test: &[Triple],
+    indices: &[u32],
+    filter: Option<&TripleStore>,
+    scratch: &mut EvalScratch,
+) -> Vec<(u32, usize)> {
+    let r = test[indices[0] as usize].relation;
+    let rel_on = model.cfg.relation_module;
+    let rv = model.rel(r);
+    let n_entities = model.n_entities() as u32;
+    let g = indices.len();
+    let EvalScratch {
+        true_scores,
+        better,
+        ptr,
+        fr,
+        ..
+    } = scratch;
+
+    true_scores.clear();
+    let mut knowns: Vec<&[EntityId]> = Vec::with_capacity(g);
+    // The group's maximum true score caps the shared candidate residuals;
+    // `f32::max` ignores NaN, and a NaN-only group degrades to cap = -inf,
+    // which caps every candidate — consistent with the reference, where no
+    // candidate can score below a NaN true score either.
+    let mut cap = f32::NEG_INFINITY;
+    for &ti in indices {
+        let t = test[ti as usize];
+        let h_row = model.ent(t.head);
+        let f_t = blocked_l1_translation(h_row, rv, model.ent(t.tail));
+        let ts = if rel_on {
+            f_t + residual(model.mat(r), h_row, rv)
+        } else {
+            f_t
+        };
+        cap = cap.max(ts);
+        true_scores.push(ts);
+        knowns.push(filter.map_or(&[][..], |f| f.heads(t.relation, t.tail)));
+    }
+    better.clear();
+    better.resize(g, 0);
+    ptr.clear();
+    ptr.resize(g, 0);
+    fr.clear();
+    fr.resize(CANDIDATE_TILE as usize, 0.0);
+
+    let mut tile_start = 0u32;
+    while tile_start < n_entities {
+        let tile_end = (tile_start + CANDIDATE_TILE).min(n_entities);
+        if rel_on {
+            let m = model.mat(r);
+            for c in tile_start..tile_end {
+                fr[(c - tile_start) as usize] = residual_capped(m, model.ent(EntityId(c)), rv, cap);
+            }
+        }
+        for s in 0..g {
+            let t = test[indices[s] as usize];
+            let t_row = model.ent(t.tail);
+            let known = knowns[s];
+            let bound = true_scores[s];
+            let p = &mut ptr[s];
+            let mut b = 0usize;
+            for c in tile_start..tile_end {
+                while *p < known.len() && known[*p].0 < c {
+                    *p += 1;
+                }
+                if *p < known.len() && known[*p].0 == c {
+                    *p += 1;
+                    continue;
+                }
+                if c == t.head.0 {
+                    continue;
+                }
+                let extra = if rel_on {
+                    fr[(c - tile_start) as usize]
+                } else {
+                    0.0
+                };
+                // Exact pre-check: f_T + f_R ≥ f_R, so f_R ≥ bound already
+                // rules the candidate out (and absorbs the ∞ sentinel).
+                if extra >= bound {
+                    continue;
+                }
+                if translation_beats(model.ent(EntityId(c)), rv, t_row, extra, bound) {
+                    b += 1;
+                }
+            }
+            better[s] += b;
+        }
+        tile_start = tile_end;
+    }
+    indices
+        .iter()
+        .zip(better.iter())
+        .map(|(&ti, &b)| (ti, b + 1))
+        .collect()
+}
+
+/// Fused relation ranking under the joint score, bit-identical to
+/// [`reference_rank_relations`].
+///
+/// Test triples are grouped by head; each group computes every candidate
+/// relation's module score `‖M_r·h − r‖₁` once (with the capped early
+/// exit) and shares it across the group's triples. The filter walks the
+/// head's sorted relation list with an advancing cursor and only consults
+/// the tail set for relations the head actually has.
+pub fn fused_rank_relations(
+    model: &PkgmModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+) -> Result<Vec<usize>, EvalError> {
+    validate(model, test)?;
+    let groups = grouped_indices(test, |t| t.head.0);
+    let pool = EvalScratchPool::new();
+    let per_group: Vec<Vec<(u32, usize)>> = groups
+        .par_iter()
+        .map(|idxs| {
+            pool.with_scratch(|scratch| relation_group_ranks(model, test, idxs, filter, scratch))
+        })
+        .collect();
+    let mut ranks = vec![0usize; test.len()];
+    for group in per_group {
+        for (ti, rank) in group {
+            ranks[ti as usize] = rank;
+        }
+    }
+    Ok(ranks)
+}
+
+fn relation_group_ranks(
+    model: &PkgmModel,
+    test: &[Triple],
+    indices: &[u32],
+    filter: Option<&TripleStore>,
+    scratch: &mut EvalScratch,
+) -> Vec<(u32, usize)> {
+    let h = test[indices[0] as usize].head;
+    let rel_on = model.cfg.relation_module;
+    let h_row = model.ent(h);
+    let n_relations = model.n_relations() as u32;
+    let EvalScratch {
+        true_scores, fr, ..
+    } = scratch;
+
+    true_scores.clear();
+    let mut cap = f32::NEG_INFINITY;
+    for &ti in indices {
+        let t = test[ti as usize];
+        let rv = model.rel(t.relation);
+        let f_t = blocked_l1_translation(h_row, rv, model.ent(t.tail));
+        let ts = if rel_on {
+            f_t + residual(model.mat(t.relation), h_row, rv)
+        } else {
+            f_t
+        };
+        cap = cap.max(ts);
+        true_scores.push(ts);
+    }
+
+    fr.clear();
+    fr.resize(n_relations as usize, 0.0);
+    if rel_on {
+        for c in 0..n_relations {
+            let rc = RelationId(c);
+            fr[c as usize] = residual_capped(model.mat(rc), h_row, model.rel(rc), cap);
+        }
+    }
+    let known_rels: &[RelationId] = filter.map_or(&[][..], |f| f.relations_of(h));
+
+    let mut out = Vec::with_capacity(indices.len());
+    for (s, &ti) in indices.iter().enumerate() {
+        let t = test[ti as usize];
+        let t_row = model.ent(t.tail);
+        let bound = true_scores[s];
+        let mut p = 0usize;
+        let mut better = 0usize;
+        for c in 0..n_relations {
+            while p < known_rels.len() && known_rels[p].0 < c {
+                p += 1;
+            }
+            if c == t.relation.0 {
+                continue;
+            }
+            if p < known_rels.len() && known_rels[p].0 == c {
+                // The head has relation c in the filter store; skip the
+                // candidate iff (h, c, t.tail) is a known positive.
+                if let Some(f) = filter {
+                    if f.tails(h, RelationId(c)).binary_search(&t.tail).is_ok() {
+                        continue;
+                    }
+                }
+            }
+            let extra = if rel_on { fr[c as usize] } else { 0.0 };
+            if extra >= bound {
+                continue;
+            }
+            if translation_beats(h_row, model.rel(RelationId(c)), t_row, extra, bound) {
+                better += 1;
+            }
+        }
+        out.push((ti, better + 1));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Reference twins (the contract)
+// ---------------------------------------------------------------------------
+
+/// Reference tail ranking: per-triple fresh compute, per-candidate
+/// `binary_search` filtering, no tiling, no early exit — but the same
+/// [`blocked_l1`] arithmetic as the fused path, which is what keeps the
+/// two bit-equal.
+pub fn reference_rank_tails(
+    model: &PkgmModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+) -> Result<Vec<usize>, EvalError> {
+    validate(model, test)?;
+    let d = model.dim();
+    let n_entities = model.n_entities() as u32;
+    Ok(test
+        .iter()
+        .map(|&t| {
+            let mut base = vec![0.0f32; d];
+            model.service_t_into(t.head, t.relation, &mut base);
+            let true_score = blocked_l1(&base, model.ent(t.tail));
+            let known = filter.map(|s| s.tails(t.head, t.relation));
+            let mut better = 0usize;
+            for c in 0..n_entities {
+                if c == t.tail.0 {
+                    continue;
+                }
+                if let Some(known) = known {
+                    if known.binary_search(&EntityId(c)).is_ok() {
+                        continue;
+                    }
+                }
+                if blocked_l1(&base, model.ent(EntityId(c))) < true_score {
+                    better += 1;
+                }
+            }
+            better + 1
+        })
+        .collect())
+}
+
+/// The joint score in kernel arithmetic: [`blocked_l1_translation`] plus
+/// the serial [`residual`], combined with one final add — the exact
+/// expression both the fused and reference evaluation paths compare.
+fn kernel_joint_score(model: &PkgmModel, h: EntityId, r: RelationId, t: EntityId) -> f32 {
+    let h_row = model.ent(h);
+    let rv = model.rel(r);
+    let f_t = blocked_l1_translation(h_row, rv, model.ent(t));
+    if model.cfg.relation_module {
+        f_t + residual(model.mat(r), h_row, rv)
+    } else {
+        f_t
+    }
+}
+
+/// Reference head ranking: naive per-triple, per-candidate joint scoring
+/// (every candidate pays a fresh O(d²) projection) in kernel arithmetic.
+pub fn reference_rank_heads(
+    model: &PkgmModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+) -> Result<Vec<usize>, EvalError> {
+    validate(model, test)?;
+    let n_entities = model.n_entities() as u32;
+    Ok(test
+        .iter()
+        .map(|&t| {
+            let true_score = kernel_joint_score(model, t.head, t.relation, t.tail);
+            let known = filter.map(|s| s.heads(t.relation, t.tail));
+            let mut better = 0usize;
+            for c in 0..n_entities {
+                if c == t.head.0 {
+                    continue;
+                }
+                if let Some(known) = known {
+                    if known.binary_search(&EntityId(c)).is_ok() {
+                        continue;
+                    }
+                }
+                if kernel_joint_score(model, EntityId(c), t.relation, t.tail) < true_score {
+                    better += 1;
+                }
+            }
+            better + 1
+        })
+        .collect())
+}
+
+/// Reference relation ranking: naive per-triple, per-candidate joint
+/// scoring with `TripleStore::contains` filtering, in kernel arithmetic.
+pub fn reference_rank_relations(
+    model: &PkgmModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+) -> Result<Vec<usize>, EvalError> {
+    validate(model, test)?;
+    let n_relations = model.n_relations() as u32;
+    Ok(test
+        .iter()
+        .map(|&t| {
+            let true_score = kernel_joint_score(model, t.head, t.relation, t.tail);
+            let mut better = 0usize;
+            for c in 0..n_relations {
+                if c == t.relation.0 {
+                    continue;
+                }
+                if let Some(s) = filter {
+                    if s.contains(Triple::new(t.head, RelationId(c), t.tail)) {
+                        continue;
+                    }
+                }
+                if kernel_joint_score(model, t.head, RelationId(c), t.tail) < true_score {
+                    better += 1;
+                }
+            }
+            better + 1
+        })
+        .collect())
+}
+
+// ---------------------------------------------------------------------------
+// Baseline twins (the pre-kernel evaluation path, preserved verbatim)
+// ---------------------------------------------------------------------------
+
+/// The pre-kernel `rank_tails`, preserved verbatim as the cost model for
+/// `BENCH_eval.json`: per-triple `vec!` allocation, serial L1, and
+/// per-candidate `binary_search` filtering.
+///
+/// Scores differ from the fused/reference twins in the last f32 bits (the
+/// baseline sums L1 terms serially, the kernels in eight-lane blocked
+/// order), so baseline ranks are compared on metrics, not bitwise — the
+/// same contract split as the training kernels.
+pub fn baseline_rank_tails(
+    model: &PkgmModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+    ks: &[usize],
+) -> LinkPredictionReport {
+    let d = model.dim();
+    let n_entities = model.n_entities();
+
+    let ranks: Vec<usize> = test
+        .par_iter()
+        .map(|&t| {
+            let mut base = vec![0.0f32; d];
+            model.service_t_into(t.head, t.relation, &mut base);
+            let true_score = l1_dist(&base, model.ent(t.tail));
+            let known = filter.map(|s| s.tails(t.head, t.relation));
+            // rank = 1 + number of candidates scoring strictly better.
+            let mut better = 0usize;
+            for c in 0..n_entities as u32 {
+                if c == t.tail.0 {
+                    continue;
+                }
+                if let Some(known) = known {
+                    if known.binary_search(&EntityId(c)).is_ok() {
+                        continue;
+                    }
+                }
+                if l1_dist(&base, model.ent(EntityId(c))) < true_score {
+                    better += 1;
+                }
+            }
+            better + 1
+        })
+        .collect();
+
+    summarize_ranks(&ranks, ks)
+}
+
+/// The pre-kernel `rank_heads`, preserved verbatim: a fresh
+/// `PkgmModel::score` (one O(d²) projection) per candidate per triple.
+pub fn baseline_rank_heads(
+    model: &PkgmModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+    ks: &[usize],
+) -> LinkPredictionReport {
+    let n_entities = model.n_entities() as u32;
+    let ranks: Vec<usize> = test
+        .par_iter()
+        .map(|&t| {
+            let true_score = model.score(t);
+            let known = filter.map(|s| s.heads(t.relation, t.tail));
+            let mut better = 0usize;
+            for c in 0..n_entities {
+                if c == t.head.0 {
+                    continue;
+                }
+                if let Some(known) = known {
+                    if known.binary_search(&EntityId(c)).is_ok() {
+                        continue;
+                    }
+                }
+                let cand = Triple::new(EntityId(c), t.relation, t.tail);
+                if model.score(cand) < true_score {
+                    better += 1;
+                }
+            }
+            better + 1
+        })
+        .collect();
+    summarize_ranks(&ranks, ks)
+}
+
+/// The pre-kernel `rank_relations`, preserved verbatim.
+pub fn baseline_rank_relations(
+    model: &PkgmModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+    ks: &[usize],
+) -> LinkPredictionReport {
+    let n_relations = model.n_relations() as u32;
+    let ranks: Vec<usize> = test
+        .par_iter()
+        .map(|&t| {
+            let true_score = model.score(t);
+            let mut better = 0usize;
+            for c in 0..n_relations {
+                if c == t.relation.0 {
+                    continue;
+                }
+                let cand = Triple::new(t.head, RelationId(c), t.tail);
+                if let Some(s) = filter {
+                    if s.contains(cand) {
+                        continue;
+                    }
+                }
+                if model.score(cand) < true_score {
+                    better += 1;
+                }
+            }
+            better + 1
+        })
+        .collect();
+    summarize_ranks(&ranks, ks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PkgmConfig;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vec(rng: &mut SmallRng, d: usize) -> Vec<f32> {
+        (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    /// The early-exit comparator agrees with the unconditional blocked
+    /// expression on random vectors and adversarially tight bounds.
+    #[test]
+    fn l1_beats_matches_unconditional_decision() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for d in [1usize, 3, 8, 16, 17, 29, 64] {
+            for _ in 0..200 {
+                let a = random_vec(&mut rng, d);
+                let b = random_vec(&mut rng, d);
+                let full = blocked_l1(&a, &b);
+                let extra = if rng.gen_bool(0.5) {
+                    rng.gen_range(0.0f32..2.0)
+                } else {
+                    0.0
+                };
+                // Bounds straddling the exact value, including the tie.
+                for bound in [full + extra, full + extra - 0.1, full + extra + 0.1, 0.0] {
+                    assert_eq!(
+                        l1_beats(&a, &b, extra, bound),
+                        full + extra < bound,
+                        "d={d} extra={extra} bound={bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn translation_beats_matches_unconditional_decision() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        for d in [1usize, 8, 16, 23, 64] {
+            for _ in 0..200 {
+                let h = random_vec(&mut rng, d);
+                let r = random_vec(&mut rng, d);
+                let t = random_vec(&mut rng, d);
+                let full = blocked_l1_translation(&h, &r, &t);
+                for bound in [full, full * 0.5, full * 1.5, f32::INFINITY] {
+                    assert_eq!(
+                        translation_beats(&h, &r, &t, 0.0, bound),
+                        full < bound,
+                        "d={d} bound={bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `residual_capped` returns the exact residual below the cap and the
+    /// ∞ sentinel at or above it.
+    #[test]
+    fn residual_capped_is_exact_or_sentinel() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        for d in [2usize, 5, 16] {
+            for _ in 0..100 {
+                let m = random_vec(&mut rng, d * d);
+                let hv = random_vec(&mut rng, d);
+                let rv = random_vec(&mut rng, d);
+                let full = residual(&m, &hv, &rv);
+                let below = residual_capped(&m, &hv, &rv, full * 2.0 + 1.0);
+                assert_eq!(below.to_bits(), full.to_bits());
+                assert_eq!(residual_capped(&m, &hv, &rv, full * 0.5), f32::INFINITY);
+                assert_eq!(
+                    residual_capped(&m, &hv, &rv, f32::NEG_INFINITY),
+                    f32::INFINITY
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_indices_is_stable_and_complete() {
+        let triples: Vec<Triple> = [(0u32, 2u32), (1, 0), (2, 2), (3, 1), (4, 0)]
+            .iter()
+            .map(|&(h, r)| Triple::new(EntityId(h), RelationId(r), EntityId(9)))
+            .collect();
+        let groups = grouped_indices(&triples, |t| t.relation.0);
+        assert_eq!(groups, vec![vec![1u32, 4], vec![3], vec![0, 2]]);
+    }
+
+    #[test]
+    fn out_of_range_ids_are_clean_errors() {
+        let model = PkgmModel::new(4, 2, PkgmConfig::new(8).with_seed(3));
+        let bad_ent = [Triple::new(EntityId(9), RelationId(0), EntityId(1))];
+        let bad_rel = [Triple::new(EntityId(0), RelationId(7), EntityId(1))];
+        assert_eq!(
+            fused_rank_tails(&model, &bad_ent, None),
+            Err(EvalError::EntityOutOfRange {
+                index: 0,
+                id: 9,
+                n_entities: 4
+            })
+        );
+        assert_eq!(
+            fused_rank_heads(&model, &bad_rel, None),
+            Err(EvalError::RelationOutOfRange {
+                index: 0,
+                id: 7,
+                n_relations: 2
+            })
+        );
+        assert!(fused_rank_relations(&model, &bad_ent, None).is_err());
+        assert!(reference_rank_tails(&model, &bad_ent, None).is_err());
+        let msg = fused_rank_tails(&model, &bad_ent, None)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("entity 9"), "{msg}");
+    }
+
+    #[test]
+    fn empty_test_set_is_fine() {
+        let model = PkgmModel::new(3, 2, PkgmConfig::new(8).with_seed(4));
+        assert_eq!(fused_rank_tails(&model, &[], None), Ok(vec![]));
+        assert_eq!(fused_rank_heads(&model, &[], None), Ok(vec![]));
+        assert_eq!(fused_rank_relations(&model, &[], None), Ok(vec![]));
+    }
+}

@@ -375,13 +375,17 @@ fn l1_translation(a: &[f32], b: &[f32], c: &[f32]) -> f32 {
     s
 }
 
-/// `Σ_i |proj[i] − rv[i]|` in index order — the relation-module score from a
-/// cached projection, bit-identical to [`PkgmModel::score_relation`].
+/// `Σ_i |a[i] − b[i]|` in index order — the crate's single serial L1
+/// distance. As the residual `Σ_i |proj[i] − rv[i]|` over a cached
+/// projection it is bit-identical to [`PkgmModel::score_relation`]; the
+/// evaluation baselines ([`crate::eval_kernels`]) and the serving layer's
+/// tail completion reuse it so eval, trainer and serving score with one
+/// implementation.
 #[inline]
-fn l1_residual(proj: &[f32], rv: &[f32]) -> f32 {
+pub(crate) fn l1_dist(a: &[f32], b: &[f32]) -> f32 {
     let mut s = 0.0;
-    for i in 0..proj.len() {
-        s += (proj[i] - rv[i]).abs();
+    for i in 0..a.len() {
+        s += (a[i] - b[i]).abs();
     }
     s
 }
@@ -389,7 +393,7 @@ fn l1_residual(proj: &[f32], rv: &[f32]) -> f32 {
 /// Corrupted-side relation-module score with a sound early exit.
 ///
 /// Computes `f_t + Σ_i |(M·hv)[i] − rv[i]|` row by row in the exact order of
-/// [`project_rows`] + [`l1_residual`], but returns `None` as soon
+/// [`project_rows`] + [`l1_dist`], but returns `None` as soon
 /// as the running score `f_t + partial` reaches `threshold` (`f_pos +
 /// margin`). The exit is exact, not approximate: every L1 term is
 /// nonnegative and IEEE-754 round-to-nearest addition is monotone, so the
@@ -472,7 +476,7 @@ pub fn fused_chunk_grads(
 
         if rel_on && cached != Some((pos.head.0, pos.relation.0)) {
             project_rows(model.mat(pos.relation), h, mh);
-            f_r_pos = l1_residual(mh, rv);
+            f_r_pos = l1_dist(mh, rv);
             cached = Some((pos.head.0, pos.relation.0));
         }
         let f_pos = l1_translation(h, rv, t) + if rel_on { f_r_pos } else { 0.0 };
@@ -795,7 +799,7 @@ pub fn reference_chunk_grads(
         let proj: Vec<f32> = (0..d)
             .map(|i| kernel_dot(&m[i * d..(i + 1) * d], hv))
             .collect();
-        f_t + l1_residual(&proj, model.rel(t.relation))
+        f_t + l1_dist(&proj, model.rel(t.relation))
     };
 
     for &pi in &order {

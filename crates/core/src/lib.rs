@@ -27,6 +27,9 @@
 //!   row-wise Adam, rayon data-parallel minibatches over the fused kernels;
 //! * [`eval`] — filtered/raw link prediction (MRR, Hits@k, mean rank) and
 //!   relation-existence AUC (evaluating the relation module);
+//! * [`eval_kernels`] — fused, candidate-blocked ranking kernels with
+//!   exact early exit, relation-grouped head ranking and sorted-merge
+//!   filtering (plus bit-exact reference and pre-kernel baseline twins);
 //! * [`service`] — the serving layer: per-item `2k` service vectors for
 //!   sequence models (Fig. 2) and the condensed single vector (Eq. 8–9, 20,
 //!   Fig. 3), plus tail-entity completion;
@@ -47,6 +50,7 @@
 pub mod artifact;
 pub mod baselines;
 pub mod eval;
+pub mod eval_kernels;
 pub mod fault;
 pub mod kernels;
 pub mod model;
@@ -59,6 +63,7 @@ pub mod trainer;
 
 pub use artifact::{ArtifactError, ArtifactIo, ArtifactKind, StdIo};
 pub use eval::{LinkPredictionReport, RelationExistenceReport};
+pub use eval_kernels::{EvalError, EvalScratch, EvalScratchPool};
 pub use fault::{Fault, FaultCheckReport, FaultPlan, FaultyIo};
 pub use kernels::{ChunkGrads, ScratchPool, TrainScratch};
 pub use model::{PkgmConfig, PkgmModel};

@@ -248,11 +248,7 @@ impl KnowledgeService {
         let mut scored: Vec<(EntityId, f32)> = (0..u32::try_from(self.model.n_entities())
             .expect("entity count fits u32"))
             .map(|e| {
-                let dist: f32 = base
-                    .iter()
-                    .zip(self.model.ent(EntityId(e)))
-                    .map(|(a, b)| (a - b).abs())
-                    .sum();
+                let dist = crate::kernels::l1_dist(&base, self.model.ent(EntityId(e)));
                 (EntityId(e), dist)
             })
             .collect();

@@ -1,0 +1,238 @@
+//! Parity suite for the fused evaluation kernels.
+//!
+//! The contract, mirroring the training-kernel suite:
+//!
+//! 1. **Bit-exactness vs. the reference scan** — `fused_rank_*` must return
+//!    per-triple ranks *exactly* equal to `reference_rank_*` (per-triple
+//!    fresh compute, binary-search filtering, no tiling, no early exit)
+//!    across random graphs, dimensions, filter on/off, and all three
+//!    ranking modes. Ranks are integers, so "exactly" means `==` — any
+//!    unsound early exit, stale scratch, broken merge cursor or grouping
+//!    bug shifts a rank and fails here.
+//! 2. **Kernel-independent metrics** — the fused path and the pre-kernel
+//!    baseline (`baseline_rank_*`, preserved verbatim, serial L1 sums)
+//!    agree on ranking metrics approximately: their scores differ in the
+//!    last f32 bits, which can only flip a comparison when two candidates
+//!    are ulp-close, so metric drift on random data stays negligible.
+
+use pkgm_core::eval::summarize_ranks;
+use pkgm_core::eval_kernels::{
+    baseline_rank_heads, baseline_rank_relations, baseline_rank_tails, fused_rank_heads,
+    fused_rank_relations, fused_rank_tails, reference_rank_heads, reference_rank_relations,
+    reference_rank_tails,
+};
+use pkgm_core::{PkgmConfig, PkgmModel};
+use pkgm_store::{EntityId, RelationId, StoreBuilder, Triple, TripleStore};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A random sparse product graph: `n_items` items, a handful of property
+/// relations, random value entities.
+fn random_store(seed: u64, n_items: u32, n_rels: u32, n_vals: u32) -> TripleStore {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = StoreBuilder::new();
+    for i in 0..n_items {
+        for _ in 0..rng.gen_range(1..4u32) {
+            let r = rng.gen_range(0..n_rels);
+            let v = n_items + rng.gen_range(0..n_vals);
+            b.add_raw(i, r, v);
+        }
+    }
+    b.build()
+}
+
+/// Test triples mixing known positives (which the filtered protocol must
+/// skip around) with random in-range triples (raw-style queries).
+fn random_test_triples(store: &TripleStore, seed: u64, n: usize) -> Vec<Triple> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let ne = store.n_entities();
+    let nr = store.n_relations();
+    let all = store.triples();
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.6) {
+                all[rng.gen_range(0..all.len())]
+            } else {
+                Triple::new(
+                    EntityId(rng.gen_range(0..ne)),
+                    RelationId(rng.gen_range(0..nr)),
+                    EntityId(rng.gen_range(0..ne)),
+                )
+            }
+        })
+        .collect()
+}
+
+fn assert_all_modes_match(
+    model: &PkgmModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+) -> Result<(), TestCaseError> {
+    let fused_t = fused_rank_tails(model, test, filter).unwrap();
+    prop_assert_eq!(
+        &fused_t,
+        &reference_rank_tails(model, test, filter).unwrap()
+    );
+    // A second pass (fresh internal pools, reused scratch sizing paths)
+    // must not drift.
+    prop_assert_eq!(&fused_rank_tails(model, test, filter).unwrap(), &fused_t);
+
+    let fused_h = fused_rank_heads(model, test, filter).unwrap();
+    prop_assert_eq!(
+        &fused_h,
+        &reference_rank_heads(model, test, filter).unwrap()
+    );
+
+    let fused_r = fused_rank_relations(model, test, filter).unwrap();
+    prop_assert_eq!(
+        &fused_r,
+        &reference_rank_relations(model, test, filter).unwrap()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fused ranks are exactly the reference ranks across random graphs,
+    /// dims (remainder lanes included), filter on/off, and all modes.
+    #[test]
+    fn fused_ranks_equal_reference_ranks(
+        seed in 0u64..1_000_000,
+        dim_sel in 0usize..3,
+        filtered_q in 0u32..2,
+    ) {
+        let dim = [3, 8, 13][dim_sel];
+        let store = random_store(seed, 24, 5, 9);
+        let model = PkgmModel::new(
+            store.n_entities() as usize,
+            store.n_relations() as usize,
+            PkgmConfig::new(dim).with_seed(seed ^ 0xC3),
+        );
+        // > TRIPLE_CHUNK triples so tail ranking spans several chunks and
+        // several relation/head groups form.
+        let test = random_test_triples(&store, seed ^ 0x7F, 40);
+        let filter = (filtered_q == 1).then_some(&store);
+        assert_all_modes_match(&model, &test, filter)?;
+    }
+
+    /// The TransE ablation (relation module off) takes the same contract:
+    /// head/relation ranking degenerate to pure translation scores.
+    #[test]
+    fn fused_matches_reference_without_relation_module(
+        seed in 0u64..1_000_000,
+        filtered_q in 0u32..2,
+    ) {
+        let store = random_store(seed, 16, 4, 7);
+        let model = PkgmModel::new(
+            store.n_entities() as usize,
+            store.n_relations() as usize,
+            PkgmConfig::transe(8).with_seed(seed),
+        );
+        let test = random_test_triples(&store, seed ^ 0x2B, 24);
+        let filter = (filtered_q == 1).then_some(&store);
+        assert_all_modes_match(&model, &test, filter)?;
+    }
+
+    /// Fused metrics track the verbatim pre-kernel baseline: summation
+    /// orders differ (blocked vs serial), so agreement is approximate, but
+    /// on random data ulp-level score differences essentially never flip a
+    /// strict comparison.
+    #[test]
+    fn fused_metrics_track_baseline(
+        seed in 0u64..1_000_000,
+    ) {
+        let store = random_store(seed, 20, 4, 8);
+        let model = PkgmModel::new(
+            store.n_entities() as usize,
+            store.n_relations() as usize,
+            PkgmConfig::new(8).with_seed(seed ^ 0x6D),
+        );
+        let test = random_test_triples(&store, seed ^ 0x4C, 24);
+        let ks = [1usize, 10];
+        let pairs = [
+            (
+                summarize_ranks(&fused_rank_tails(&model, &test, Some(&store)).unwrap(), &ks),
+                baseline_rank_tails(&model, &test, Some(&store), &ks),
+            ),
+            (
+                summarize_ranks(&fused_rank_heads(&model, &test, Some(&store)).unwrap(), &ks),
+                baseline_rank_heads(&model, &test, Some(&store), &ks),
+            ),
+            (
+                summarize_ranks(&fused_rank_relations(&model, &test, Some(&store)).unwrap(), &ks),
+                baseline_rank_relations(&model, &test, Some(&store), &ks),
+            ),
+        ];
+        for (fused, base) in pairs {
+            prop_assert_eq!(fused.n, base.n);
+            prop_assert!(
+                (fused.mrr - base.mrr).abs() < 0.05,
+                "mrr diverged: fused {} vs baseline {}",
+                fused.mrr,
+                base.mrr
+            );
+            prop_assert!(
+                (fused.mean_rank - base.mean_rank).abs()
+                    < 1.0 + 0.05 * base.mean_rank,
+                "mean rank diverged: fused {} vs baseline {}",
+                fused.mean_rank,
+                base.mean_rank
+            );
+        }
+    }
+}
+
+/// A store large enough that candidate scans span many 256-entity tiles,
+/// so tile boundaries, cursor persistence across tiles, and the shared
+/// per-tile `f_R` cache all get exercised (the proptest graphs fit in one
+/// tile).
+#[test]
+fn fused_ranks_equal_reference_across_many_tiles() {
+    let store = random_store(4242, 600, 6, 40);
+    assert!(store.n_entities() > 512, "store must span >2 tiles");
+    let model = PkgmModel::new(
+        store.n_entities() as usize,
+        store.n_relations() as usize,
+        PkgmConfig::new(13).with_seed(77),
+    );
+    let test = random_test_triples(&store, 99, 48);
+    for filter in [None, Some(&store)] {
+        assert_eq!(
+            fused_rank_tails(&model, &test, filter).unwrap(),
+            reference_rank_tails(&model, &test, filter).unwrap()
+        );
+        assert_eq!(
+            fused_rank_heads(&model, &test, filter).unwrap(),
+            reference_rank_heads(&model, &test, filter).unwrap()
+        );
+        assert_eq!(
+            fused_rank_relations(&model, &test, filter).unwrap(),
+            reference_rank_relations(&model, &test, filter).unwrap()
+        );
+    }
+}
+
+/// Duplicate test triples land in the same relation/head group and must
+/// share cached candidate scores without perturbing each other's ranks.
+#[test]
+fn duplicate_test_triples_rank_identically() {
+    let store = random_store(7, 24, 4, 8);
+    let model = PkgmModel::new(
+        store.n_entities() as usize,
+        store.n_relations() as usize,
+        PkgmConfig::new(8).with_seed(1),
+    );
+    let t = store.triples()[3];
+    let test = vec![t; 5];
+    for ranks in [
+        fused_rank_tails(&model, &test, Some(&store)).unwrap(),
+        fused_rank_heads(&model, &test, Some(&store)).unwrap(),
+        fused_rank_relations(&model, &test, Some(&store)).unwrap(),
+    ] {
+        assert_eq!(ranks.len(), 5);
+        assert!(ranks.windows(2).all(|w| w[0] == w[1]), "{ranks:?}");
+    }
+}

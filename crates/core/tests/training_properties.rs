@@ -89,7 +89,9 @@ fn more_epochs_do_not_hurt_completion() {
             ..TrainConfig::default()
         };
         Trainer::new(&model, cfg).train(&mut model, &catalog.store);
-        eval::rank_tails(&model, &test, Some(&catalog.store), &[1]).mrr
+        eval::rank_tails(&model, &test, Some(&catalog.store), &[1])
+            .unwrap()
+            .mrr
     };
     let short = mrr_after(1);
     let long = mrr_after(12);

@@ -34,7 +34,8 @@ fn main() {
         },
         10,
     );
-    let pkgm_report = eval::rank_tails(service.model(), &test, Some(&catalog.store), &ks);
+    let pkgm_report = eval::rank_tails(service.model(), &test, Some(&catalog.store), &ks)
+        .expect("held-out facts come from the catalog's entity/relation space");
 
     // --- TransE ablation (triple module only) ----------------------------
     let mut transe = PkgmModel::new(
@@ -52,7 +53,8 @@ fn main() {
         },
     )
     .train(&mut transe, &catalog.store);
-    let transe_report = eval::rank_tails(&transe, &test, Some(&catalog.store), &ks);
+    let transe_report = eval::rank_tails(&transe, &test, Some(&catalog.store), &ks)
+        .expect("held-out facts come from the catalog's entity/relation space");
 
     // --- TransH / DistMult baselines -------------------------------------
     let mut rng = SmallRng::seed_from_u64(13);

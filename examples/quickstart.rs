@@ -56,7 +56,8 @@ fn main() {
     // Rank the true tail of each held-out fact (absent from the KG!).
     let sample: Vec<Triple> = catalog.heldout.iter().copied().take(200).collect();
     let report =
-        pkgm::core::eval::rank_tails(service.model(), &sample, Some(&catalog.store), &[1, 10]);
+        pkgm::core::eval::rank_tails(service.model(), &sample, Some(&catalog.store), &[1, 10])
+            .expect("held-out facts come from the catalog's entity/relation space");
     println!(
         "\nCompletion of {} held-out facts: MRR {:.3}, Hits@1 {:.1}%, Hits@10 {:.1}%",
         report.n,

@@ -34,7 +34,8 @@ fn pretrain_then_complete_heldout_facts() {
     // triple module should rank their tails far better than chance.
     let test: Vec<Triple> = catalog.heldout.clone();
     assert!(!test.is_empty());
-    let report = eval::rank_tails(service.model(), &test, Some(&catalog.store), &[1, 10]);
+    let report = eval::rank_tails(service.model(), &test, Some(&catalog.store), &[1, 10])
+        .expect("held-out facts come from the catalog's entity/relation space");
     let chance_mrr = 2.0 / catalog.store.n_entities() as f64;
     assert!(
         report.mrr > chance_mrr * 4.0,
