@@ -1,10 +1,12 @@
 //! Serving-path scaling sweep: threads × cache modes.
 //!
-//! Measures condensed-service throughput for four serving configurations —
+//! Measures condensed-service throughput for five serving configurations —
 //! per-request compute (`uncached`), the pre-sharding global-mutex cache
-//! (`mutex-baseline`), the sharded [`CachedService`] (`sharded`), and the
-//! precomputed [`ServiceSnapshot`] table (`snapshot`) — at 1/2/4/8 request
-//! threads, and writes the results to `BENCH_serving.json`.
+//! (`mutex-baseline`), the sharded [`CachedService`] (`sharded`), the
+//! precomputed [`ServiceSnapshot`] table (`snapshot`), and its int8
+//! quantized form (`quant-snapshot`, dequantizing into a caller buffer per
+//! request) — at 1/2/4/8 request threads, and writes the results to
+//! `BENCH_serving.json`.
 //!
 //! ```sh
 //! cargo run --release -p pkgm-bench --bin serving_scale -- tiny
@@ -12,7 +14,7 @@
 //! ```
 
 use parking_lot::Mutex;
-use pkgm_bench::{world, Scale};
+use pkgm_bench::{report, world, Scale};
 use pkgm_core::{CachedService, KnowledgeService, PkgmModel, ServiceSnapshot, Trainer};
 use pkgm_store::fxhash::FxHashMap;
 use pkgm_store::EntityId;
@@ -76,6 +78,7 @@ enum Mode<'a> {
     MutexBaseline(&'a MutexCache),
     Sharded(&'a CachedService),
     Snapshot(&'a ServiceSnapshot),
+    QuantSnapshot(&'a ServiceSnapshot),
 }
 
 impl Mode<'_> {
@@ -85,6 +88,7 @@ impl Mode<'_> {
             Mode::MutexBaseline(_) => "mutex-baseline",
             Mode::Sharded(_) => "sharded",
             Mode::Snapshot(_) => "snapshot",
+            Mode::QuantSnapshot(_) => "quant-snapshot",
         }
     }
 
@@ -96,13 +100,19 @@ impl Mode<'_> {
     }
 
     /// One serving request; returns a data-dependent value so the work
-    /// cannot be optimized away.
-    fn serve(&self, item: EntityId) -> f32 {
+    /// cannot be optimized away. `buf` is the caller-owned row buffer the
+    /// quantized snapshot dequantizes into (reused across requests, as a
+    /// serving loop would).
+    fn serve(&self, item: EntityId, buf: &mut Vec<f32>) -> f32 {
         match self {
             Mode::Uncached(svc) => svc.condensed_service(item)[0],
             Mode::MutexBaseline(cache) => cache.condensed_service(item)[0],
             Mode::Sharded(cache) => cache.condensed_service(item)[0],
             Mode::Snapshot(snap) => snap.condensed(item).map_or(0.0, |row| row[0]),
+            Mode::QuantSnapshot(snap) => {
+                snap.lookup_exact(item, buf);
+                buf[0]
+            }
         }
     }
 }
@@ -115,9 +125,10 @@ fn run_mode(mode: &Mode<'_>, threads: usize, hot: &[u32]) -> f64 {
         for t in 0..threads {
             s.spawn(move || {
                 let mut acc = 0.0f32;
+                let mut buf = Vec::new();
                 for i in 0..reqs {
                     let item = hot[(t * 31 + i) % hot.len()];
-                    acc += mode.serve(EntityId(item));
+                    acc += mode.serve(EntityId(item), &mut buf);
                 }
                 black_box(acc);
             });
@@ -146,33 +157,9 @@ fn build_service(scale: Scale) -> (KnowledgeService, Vec<u32>) {
     (service, hot)
 }
 
-fn parse_args() -> Result<(Scale, String), String> {
-    let mut scale = Scale::from_env();
-    let mut out = String::from("BENCH_serving.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "tiny" | "smoke" => scale = Scale::Smoke,
-            "standard" | "small" => scale = Scale::Standard,
-            "full" | "bench" => scale = Scale::Full,
-            "--out" => {
-                out = args.next().ok_or("--out requires a path")?;
-            }
-            other => return Err(format!("unknown argument: {other}")),
-        }
-    }
-    Ok((scale, out))
-}
-
 fn main() {
-    let (scale, out_path) = match parse_args() {
-        Ok(parsed) => parsed,
-        Err(why) => {
-            eprintln!("error: {why}");
-            eprintln!("usage: serving_scale [tiny|standard|full] [--out FILE]");
-            std::process::exit(2);
-        }
-    };
+    let report::ReportArgs { scale, out_path } =
+        report::parse_scale_args("serving_scale", "BENCH_serving.json");
     let (service, hot) = build_service(scale);
     let dim = service.dim();
     let k = service.k();
@@ -185,6 +172,7 @@ fn main() {
         service.model().n_entities()
     );
     let snapshot = ServiceSnapshot::build(&service);
+    let quant_snapshot = snapshot.quantize();
 
     // Warm both caches so the timed sections measure hit throughput.
     for &item in &hot {
@@ -197,6 +185,7 @@ fn main() {
         Mode::MutexBaseline(&mutex_cache),
         Mode::Sharded(&sharded),
         Mode::Snapshot(&snapshot),
+        Mode::QuantSnapshot(&quant_snapshot),
     ];
 
     let mut results = Vec::new();
@@ -236,17 +225,17 @@ fn main() {
     };
     let sharded_vs_mutex = ratio("sharded", "mutex-baseline");
     let snapshot_vs_uncached = ratio("snapshot", "uncached");
+    let quant_vs_uncached = ratio("quant-snapshot", "uncached");
     println!();
     println!("sharded vs mutex-baseline at {max_t} threads: {sharded_vs_mutex:.2}×");
     println!("snapshot vs uncached at {max_t} threads: {snapshot_vs_uncached:.2}×");
+    println!("quant-snapshot vs uncached at {max_t} threads: {quant_vs_uncached:.2}×");
 
-    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
-    if host_cpus < max_t {
-        eprintln!(
-            "[serving_scale] note: host exposes {host_cpus} CPU(s); thread counts above that \
-             are time-sliced, so contention ratios understate multi-core gains"
-        );
-    }
+    let host_cpus = report::host_cpus();
+    report::warn_if_time_sliced("serving_scale", host_cpus, max_t);
+    let n_entities = service.model().n_entities();
+    let snapshot_bytes = snapshot.storage_bytes();
+    let quant_snapshot_bytes = quant_snapshot.storage_bytes();
     let report = serde_json::json!({
         "benchmark": "serving_scale",
         "scale": scale.name(),
@@ -256,17 +245,17 @@ fn main() {
         "n_hot_items": hot.len(),
         "cache_capacity": capacity,
         "thread_counts": THREAD_COUNTS.to_vec(),
+        "snapshot_bytes": snapshot_bytes,
+        "quant_snapshot_bytes": quant_snapshot_bytes,
+        "snapshot_bytes_per_entity": snapshot_bytes as f64 / n_entities as f64,
+        "quant_snapshot_bytes_per_entity": quant_snapshot_bytes as f64 / n_entities as f64,
         "results": results,
         "summary": serde_json::json!({
             "max_threads": max_t,
             "sharded_vs_mutex_baseline": sharded_vs_mutex,
             "snapshot_vs_uncached": snapshot_vs_uncached,
+            "quant_snapshot_vs_uncached": quant_vs_uncached,
         }),
     });
-    let pretty = serde_json::to_string_pretty(&report).expect("json literal serializes");
-    if let Err(e) = std::fs::write(&out_path, pretty) {
-        eprintln!("error: cannot write {out_path}: {e}");
-        std::process::exit(1);
-    }
-    eprintln!("[serving_scale] wrote {out_path}");
+    report::write_report("serving_scale", &out_path, &report);
 }

@@ -20,7 +20,7 @@
 //! cargo run --release -p pkgm-bench --bin training_scale -- standard --out BENCH_training.json
 //! ```
 
-use pkgm_bench::{world, Scale};
+use pkgm_bench::{report, world, Scale};
 use pkgm_core::{GradKernel, PkgmConfig, PkgmModel, TrainConfig, Trainer};
 use pkgm_store::fxhash::FxHashMap;
 use pkgm_synth::Catalog;
@@ -107,33 +107,9 @@ fn measure(catalog: &Catalog, run: &Run, epochs: usize) -> Measurement {
     }
 }
 
-fn parse_args() -> Result<(Scale, String), String> {
-    let mut scale = Scale::from_env();
-    let mut out = String::from("BENCH_training.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "tiny" | "smoke" => scale = Scale::Smoke,
-            "standard" | "small" => scale = Scale::Standard,
-            "full" | "bench" => scale = Scale::Full,
-            "--out" => {
-                out = args.next().ok_or("--out requires a path")?;
-            }
-            other => return Err(format!("unknown argument: {other}")),
-        }
-    }
-    Ok((scale, out))
-}
-
 fn main() {
-    let (scale, out_path) = match parse_args() {
-        Ok(parsed) => parsed,
-        Err(why) => {
-            eprintln!("error: {why}");
-            eprintln!("usage: training_scale [tiny|standard|full] [--out FILE]");
-            std::process::exit(2);
-        }
-    };
+    let report::ReportArgs { scale, out_path } =
+        report::parse_scale_args("training_scale", "BENCH_training.json");
     let epochs = match scale {
         Scale::Smoke => 1,
         Scale::Standard => 2,
@@ -236,13 +212,8 @@ fn main() {
     println!("fused vs baseline, serial @ dim 64, 1 neg: {headline:.2}×");
     println!("fused vs baseline, parallel @ {max_t} threads, dim 64, 1 neg: {fused_parallel:.2}×");
 
-    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
-    if host_cpus < max_t {
-        eprintln!(
-            "[training_scale] note: host exposes {host_cpus} CPU(s); thread counts above that \
-             are time-sliced, so the thread sweep understates multi-core scaling"
-        );
-    }
+    let host_cpus = report::host_cpus();
+    report::warn_if_time_sliced("training_scale", host_cpus, max_t);
     let report = serde_json::json!({
         "benchmark": "training_scale",
         "scale": scale.name(),
@@ -259,10 +230,5 @@ fn main() {
             "max_threads": max_t,
         }),
     });
-    let pretty = serde_json::to_string_pretty(&report).expect("json literal serializes");
-    if let Err(e) = std::fs::write(&out_path, pretty) {
-        eprintln!("error: cannot write {out_path}: {e}");
-        std::process::exit(1);
-    }
-    eprintln!("[training_scale] wrote {out_path}");
+    report::write_report("training_scale", &out_path, &report);
 }

@@ -22,6 +22,7 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod report;
 pub mod scale;
 pub mod tables;
 pub mod world;

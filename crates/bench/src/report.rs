@@ -1,0 +1,107 @@
+//! Shared plumbing for the `BENCH_*.json` scaling sweeps.
+//!
+//! The three scaling binaries (`training_scale`, `eval_scale`,
+//! `serving_scale`) share their whole reporting surface: a
+//! `[tiny|standard|full] [--out FILE]` argument grammar, a host-CPU
+//! caveat when the thread sweep exceeds the machine, and a
+//! pretty-printed JSON report written to `--out`. This module is that
+//! surface, so the binaries only describe *what* they measured.
+
+use crate::Scale;
+
+/// Parsed command line of a scaling sweep binary.
+pub struct ReportArgs {
+    pub scale: Scale,
+    pub out_path: String,
+}
+
+/// Parse `[tiny|standard|full] [--out FILE]` from an explicit argument
+/// list (testable core of [`parse_scale_args`]).
+pub fn parse_scale_arg_list(
+    default_out: &str,
+    args: impl IntoIterator<Item = String>,
+) -> Result<ReportArgs, String> {
+    let mut scale = Scale::from_env();
+    let mut out = String::from(default_out);
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "tiny" | "smoke" => scale = Scale::Smoke,
+            "standard" | "small" => scale = Scale::Standard,
+            "full" | "bench" => scale = Scale::Full,
+            "--out" => {
+                out = args.next().ok_or("--out requires a path")?;
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(ReportArgs {
+        scale,
+        out_path: out,
+    })
+}
+
+/// Parse the process arguments; on error print usage for `bin` and exit 2.
+pub fn parse_scale_args(bin: &str, default_out: &str) -> ReportArgs {
+    match parse_scale_arg_list(default_out, std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(why) => {
+            eprintln!("error: {why}");
+            eprintln!("usage: {bin} [tiny|standard|full] [--out FILE]");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// CPUs the host exposes (1 if unknown).
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Warn when the sweep's largest thread count exceeds the host: those
+/// rows are time-sliced and understate multi-core scaling.
+pub fn warn_if_time_sliced(bin: &str, host_cpus: usize, max_threads: usize) {
+    if host_cpus < max_threads {
+        eprintln!(
+            "[{bin}] note: host exposes {host_cpus} CPU(s); thread counts above that \
+             are time-sliced, so the thread sweep understates multi-core scaling"
+        );
+    }
+}
+
+/// Pretty-print `report` to `out_path`; on failure print the error and
+/// exit 1.
+pub fn write_report(bin: &str, out_path: &str, report: &serde_json::Value) {
+    let pretty = serde_json::to_string_pretty(report).expect("json literal serializes");
+    if let Err(e) = std::fs::write(out_path, pretty) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[{bin}] wrote {out_path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_out_and_scale_names() {
+        let a = parse_scale_arg_list("BENCH_x.json", strings(&["tiny"])).unwrap();
+        assert_eq!(a.out_path, "BENCH_x.json");
+        assert_eq!(a.scale.name(), "smoke");
+        let b =
+            parse_scale_arg_list("BENCH_x.json", strings(&["full", "--out", "o.json"])).unwrap();
+        assert_eq!(b.out_path, "o.json");
+        assert_eq!(b.scale.name(), "full");
+    }
+
+    #[test]
+    fn bad_arguments_are_rejected() {
+        assert!(parse_scale_arg_list("o", strings(&["--out"])).is_err());
+        assert!(parse_scale_arg_list("o", strings(&["warp-speed"])).is_err());
+    }
+}

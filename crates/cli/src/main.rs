@@ -320,10 +320,13 @@ fn bench_train(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 /// Quick before/after evaluation-throughput check: rank the same held-out
 /// facts with the pre-kernel baseline and the fused ranking kernels. Fused
 /// ranks are bit-identical to the reference scan (parity-suite contract);
-/// only the wall clock should move.
+/// only the wall clock should move. With `--quantized true`, the int8
+/// two-phase kernel runs as a third column (also bit-identical) and the
+/// report gains prune-rate and scanned-bytes fields.
 fn bench_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     use pkgm_core::eval_kernels::{
         baseline_rank_heads, baseline_rank_tails, fused_rank_heads, fused_rank_tails,
+        quantized_rank_heads_with_stats, quantized_rank_tails_with_stats,
     };
     let catalog = catalog_from(args)?;
     let seed: u64 = args.get_or("seed", 42)?;
@@ -331,6 +334,7 @@ fn bench_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let epochs: usize = args.get_or("epochs", 1)?;
     let n_tails: usize = args.get_or("tails", 128)?;
     let n_heads: usize = args.get_or("heads", 32)?;
+    let quantized: bool = args.get_or("quantized", false)?;
     let ks = [1usize, 10];
 
     let mut model = PkgmModel::new(
@@ -351,14 +355,22 @@ fn bench_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         catalog.heldout.iter().copied().take(n_tails).collect();
     let heads_test: Vec<pkgm_store::Triple> =
         catalog.heldout.iter().copied().take(n_heads).collect();
+    let qmodel = quantized.then(|| pkgm_core::QuantEvalModel::build(&model));
+    let kernels: &[&str] = if quantized {
+        &["baseline", "fused", "quantized"]
+    } else {
+        &["baseline", "fused"]
+    };
 
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
+    let mut quant_speedups = Vec::new();
     println!("| mode | kernel | triples | wall (s) | triples/sec | MRR |");
     println!("|---|---|---|---|---|---|");
     for (mode, test) in [("tails", &tails_test), ("heads", &heads_test)] {
         let mut rates = Vec::new();
-        for kernel in ["baseline", "fused"] {
+        for &kernel in kernels {
+            let mut prune_stats = None;
             let start = std::time::Instant::now();
             let report = match (mode, kernel) {
                 ("tails", "baseline") => {
@@ -368,8 +380,28 @@ fn bench_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                     &fused_rank_tails(&model, test, Some(&catalog.store))?,
                     &ks,
                 ),
+                ("tails", "quantized") => {
+                    let (ranks, stats) = quantized_rank_tails_with_stats(
+                        &model,
+                        qmodel.as_ref().expect("quantized flag set"),
+                        test,
+                        Some(&catalog.store),
+                    )?;
+                    prune_stats = Some(stats);
+                    eval::summarize_ranks(&ranks, &ks)
+                }
                 ("heads", "baseline") => {
                     baseline_rank_heads(&model, test, Some(&catalog.store), &ks)
+                }
+                ("heads", "quantized") => {
+                    let (ranks, stats) = quantized_rank_heads_with_stats(
+                        &model,
+                        qmodel.as_ref().expect("quantized flag set"),
+                        test,
+                        Some(&catalog.store),
+                    )?;
+                    prune_stats = Some(stats);
+                    eval::summarize_ranks(&ranks, &ks)
                 }
                 _ => eval::summarize_ranks(
                     &fused_rank_heads(&model, test, Some(&catalog.store))?,
@@ -382,29 +414,62 @@ fn bench_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 "| {mode} | {kernel} | {} | {wall:.3} | {tps:.1} | {:.3} |",
                 report.n, report.mrr
             );
-            rows.push(serde_json::json!({
+            let mut row = serde_json::json!({
                 "mode": mode,
                 "kernel": kernel,
                 "triples": report.n,
                 "wall_secs": wall,
                 "triples_per_sec": tps,
                 "mrr": report.mrr,
-            }));
+            });
+            if let Some(s) = &prune_stats {
+                let extra = serde_json::json!({
+                    "candidates": s.candidates,
+                    "survivors": s.survivors,
+                    "prune_rate": s.prune_rate(),
+                    "scanned_bytes": s.scanned_bytes,
+                    "scanned_bytes_per_candidate": s.bytes_per_candidate(),
+                });
+                if let (serde_json::Value::Object(pairs), serde_json::Value::Object(more)) =
+                    (&mut row, extra)
+                {
+                    pairs.extend(more);
+                }
+            }
+            rows.push(row);
             rates.push(tps);
         }
-        let speedup = rates[1] / rates[0]; // [baseline, fused] run order
-        println!("\nfused vs baseline ({mode}, filtered): {speedup:.2}×\n");
+        let speedup = rates[1] / rates[0]; // [baseline, fused, quantized?] run order
+        println!("\nfused vs baseline ({mode}, filtered): {speedup:.2}×");
         speedups.push((mode, speedup));
+        if quantized {
+            let qs = rates[2] / rates[1];
+            println!("quantized vs fused ({mode}, filtered): {qs:.2}×");
+            quant_speedups.push(qs);
+        }
+        println!();
     }
     if let Some(out) = args.get("out") {
-        let report = serde_json::json!({
+        let mut report = serde_json::json!({
             "benchmark": "bench-eval",
             "dim": dim,
             "epochs": epochs,
+            "quantized": quantized,
             "results": rows,
             "fused_vs_baseline_tails": speedups[0].1,
             "fused_vs_baseline_heads": speedups[1].1,
         });
+        if quantized {
+            let extra = serde_json::json!({
+                "quantized_vs_fused_tails": quant_speedups[0],
+                "quantized_vs_fused_heads": quant_speedups[1],
+            });
+            if let (serde_json::Value::Object(pairs), serde_json::Value::Object(more)) =
+                (&mut report, extra)
+            {
+                pairs.extend(more);
+            }
+        }
         std::fs::write(out, serde_json::to_string_pretty(&report)?)?;
         eprintln!("[pkgm] wrote {out}");
     }
@@ -466,6 +531,8 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 row.to_vec(),
                 if degraded {
                     "snapshot fallback"
+                } else if snap.is_quantized() {
+                    "quantized snapshot"
                 } else {
                     "precomputed snapshot"
                 },
@@ -485,16 +552,32 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 fn snapshot(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let service = load_service(args)?;
     let out = args.require("out")?;
+    let quantize: bool = args.get_or("quantize", false)?;
     let start = std::time::Instant::now();
-    let snap = ServiceSnapshot::build(&service);
+    let dense = ServiceSnapshot::build(&service);
+    let dense_bytes = dense.storage_bytes();
+    let snap = if quantize { dense.quantize() } else { dense };
     serialize::write_snapshot_file(&StdIo, std::path::Path::new(out), &snap)?;
+    let mib = std::fs::metadata(out)?.len() as f64 / (1024.0 * 1024.0);
+    let kind = if quantize {
+        "quantized serving snapshot"
+    } else {
+        "serving snapshot"
+    };
     println!(
-        "wrote serving snapshot to {out}: {} rows × {} dims ({:.1} MiB, built in {:.2}s)",
+        "wrote {kind} to {out}: {} rows × {} dims ({mib:.1} MiB, built in {:.2}s)",
         snap.n_rows(),
         2 * snap.dim(),
-        std::fs::metadata(out)?.len() as f64 / (1024.0 * 1024.0),
         start.elapsed().as_secs_f64()
     );
+    if quantize {
+        println!(
+            "quantized table: {} bytes in memory, {:.1}% of the dense table's {}",
+            snap.storage_bytes(),
+            100.0 * snap.storage_bytes() as f64 / dense_bytes as f64,
+            dense_bytes
+        );
+    }
     Ok(())
 }
 
@@ -567,16 +650,19 @@ fn print_help() {
          \u{20}              (alias: pretrain; --resume restarts from the latest\n\
          \u{20}              valid checkpoint in D and checkpoints back into it)\n\
          \u{20}  serve       --preset P --seed N --service service.bin --item 0\n\
-         \u{20}              [--snapshot serving.snap]\n\
-         \u{20}  snapshot    --service service.bin --out serving.snap\n\
+         \u{20}              [--snapshot serving.snap  # dense or quantized]\n\
+         \u{20}  snapshot    --service service.bin --out serving.snap [--quantize true\n\
+         \u{20}              # int8 blockwise table, ~¼ the bytes, exact lookups]\n\
          \u{20}  eval        --preset P --seed N --service service.bin [--max-facts 300]\n\
          \u{20}  faultcheck  [--dir scratch] [--seed 42] — crash/corruption recovery battery\n\
          \u{20}  bench-train --preset P [--dim 64] [--epochs 1] [--negatives 1]\n\
          \u{20}              [--parallel true] [--out bench.json] — fused vs baseline\n\
          \u{20}              gradient-kernel throughput on identical corruption streams\n\
          \u{20}  bench-eval  --preset P [--dim 64] [--epochs 1] [--tails 128] [--heads 32]\n\
-         \u{20}              [--out bench.json] — fused vs baseline ranking-kernel\n\
-         \u{20}              throughput on the same held-out facts (ranks bit-identical\n\
-         \u{20}              to the reference scan; see eval_kernels)\n"
+         \u{20}              [--quantized true] [--out bench.json] — fused vs baseline\n\
+         \u{20}              ranking-kernel throughput on the same held-out facts; with\n\
+         \u{20}              --quantized also times the int8 two-phase kernel and reports\n\
+         \u{20}              prune rate + scanned bytes (all ranks bit-identical to the\n\
+         \u{20}              reference scan; see eval_kernels)\n"
     );
 }

@@ -477,3 +477,208 @@ fn bench_eval_reports_speedup_and_writes_json() {
     );
     std::fs::remove_dir_all(dir).ok();
 }
+
+#[test]
+fn bench_eval_quantized_adds_kernel_rows_and_prune_stats() {
+    let dir = tmpdir("bench_eval_quant");
+    let json = dir.join("bench_eval.json");
+    let out = pkgm()
+        .args([
+            "bench-eval",
+            "--preset",
+            "tiny",
+            "--seed",
+            "7",
+            "--dim",
+            "16",
+            "--epochs",
+            "1",
+            "--tails",
+            "16",
+            "--heads",
+            "8",
+            "--quantized",
+            "true",
+            "--out",
+            json.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("quantized vs fused (tails, filtered)"));
+    assert!(text.contains("quantized vs fused (heads, filtered)"));
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    let results = report.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 6, "baseline/fused/quantized × tails/heads");
+    let quant_rows: Vec<_> = results
+        .iter()
+        .filter(|r| r.get("kernel").unwrap().as_str().unwrap() == "quantized")
+        .collect();
+    assert_eq!(quant_rows.len(), 2);
+    for row in &quant_rows {
+        assert!(row.get("prune_rate").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(row.get("candidates").unwrap().as_f64().unwrap() > 0.0);
+        assert!(
+            row.get("scanned_bytes_per_candidate")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+    }
+    // The quantized kernel must agree with fused on the ranking metrics —
+    // two-phase pruning is exact.
+    for mode in ["tails", "heads"] {
+        let mrr = |kernel: &str| {
+            results
+                .iter()
+                .find(|r| {
+                    r.get("kernel").unwrap().as_str().unwrap() == kernel
+                        && r.get("mode").unwrap().as_str().unwrap() == mode
+                })
+                .unwrap()
+                .get("mrr")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        };
+        assert_eq!(mrr("quantized"), mrr("fused"), "{mode} MRR must match");
+    }
+    assert!(
+        report
+            .get("quantized_vs_fused_tails")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            > 0.0
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn quantized_snapshot_roundtrip_and_legacy_serving() {
+    let dir = tmpdir("quant_snap");
+    let svc = dir.join("svc.bin");
+    let out = pkgm()
+        .args([
+            "train",
+            "--preset",
+            "tiny",
+            "--seed",
+            "11",
+            "--dim",
+            "8",
+            "--epochs",
+            "2",
+            "--k",
+            "3",
+            "--out",
+            svc.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Dense (legacy PKGMSS1) and quantized (PKGMSS2) snapshots of the
+    // same service.
+    let dense = dir.join("dense.snap");
+    let quant = dir.join("quant.snap");
+    let out = pkgm()
+        .args([
+            "snapshot",
+            "--service",
+            svc.to_str().unwrap(),
+            "--out",
+            dense.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = pkgm()
+        .args([
+            "snapshot",
+            "--service",
+            svc.to_str().unwrap(),
+            "--out",
+            quant.to_str().unwrap(),
+            "--quantize",
+            "true",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("wrote quantized serving snapshot"));
+    assert!(text.contains("quantized table:"));
+    // The quantized file must be materially smaller on disk.
+    let dense_len = std::fs::metadata(&dense).unwrap().len();
+    let quant_len = std::fs::metadata(&quant).unwrap().len();
+    assert!(
+        quant_len * 10 < dense_len * 4,
+        "quantized snapshot {quant_len} B should be well under 40% of dense {dense_len} B"
+    );
+
+    let serve_norm = |snapshot: Option<&std::path::Path>| -> (String, String) {
+        let mut args = vec![
+            "serve".to_string(),
+            "--preset".into(),
+            "tiny".into(),
+            "--seed".into(),
+            "11".into(),
+            "--service".into(),
+            svc.to_str().unwrap().into(),
+            "--item".into(),
+            "0".into(),
+        ];
+        if let Some(p) = snapshot {
+            args.push("--snapshot".into());
+            args.push(p.to_str().unwrap().into());
+        }
+        let out = pkgm().args(&args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        let norm = text.split("‖S‖₂ = ").nth(1).map(str::trim).unwrap();
+        (text.clone(), norm.to_string())
+    };
+
+    let (live_text, live_norm) = serve_norm(None);
+    assert!(live_text.contains("condensed service (live compute): 16 dims"));
+    // Legacy PKGMSS1 snapshots keep serving bit-identically.
+    let (dense_text, dense_norm) = serve_norm(Some(&dense));
+    assert!(dense_text.contains("condensed service (precomputed snapshot): 16 dims"));
+    assert_eq!(dense_norm, live_norm, "dense snapshot must match live");
+    // The quantized table serves within quantization tolerance and is
+    // labeled as such.
+    let (quant_text, quant_norm) = serve_norm(Some(&quant));
+    assert!(quant_text.contains("condensed service (quantized snapshot): 16 dims"));
+    let live: f64 = live_norm.parse().unwrap();
+    let q: f64 = quant_norm.parse().unwrap();
+    assert!(
+        (live - q).abs() <= 0.05 * live.abs() + 0.05,
+        "quantized norm {q} too far from live {live}"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -45,6 +45,7 @@
 use crate::eval::{summarize_ranks, LinkPredictionReport};
 use crate::kernels::{kernel_dot, l1_dist};
 use crate::model::PkgmModel;
+use crate::quant::{QuantScanTable, F32_EPS};
 use pkgm_store::{EntityId, RelationId, Triple, TripleStore};
 use rayon::prelude::*;
 
@@ -317,6 +318,11 @@ pub struct EvalScratch {
     /// Cached relation-module scores `f_R(candidate, r)` for the current
     /// candidate tile (head ranking) or all relations (relation ranking).
     fr: Vec<f32>,
+    /// Quantized query vectors for the two-phase kernels (`g × d` i8,
+    /// row-major — one quantized base per triple of the chunk/group).
+    qbases: Vec<i8>,
+    /// Per-triple certified query-side quantization errors.
+    qerr: Vec<f32>,
 }
 
 impl EvalScratch {
@@ -699,6 +705,568 @@ fn relation_group_ranks(
 }
 
 // ---------------------------------------------------------------------------
+// Quantized two-phase kernels (int8 prune, exact f32 rescore)
+// ---------------------------------------------------------------------------
+
+/// Pruning telemetry for the quantized two-phase kernels.
+///
+/// `scanned_bytes` counts the candidate-scan traffic of the translation
+/// part: `d` int8 bytes per phase-1 candidate plus `4·d` f32 bytes per
+/// phase-2 survivor (full rows — early exits inside the rescore only make
+/// the true traffic lower). The fused f32 kernels touch `4·d` bytes per
+/// candidate, so `4·d / (scanned_bytes / candidates)` is the measured
+/// bytes-per-candidate reduction `BENCH_eval.json` reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Candidates that reached the phase-1 int8 scan (after filtering and
+    /// the `extra ≥ bound` pre-check).
+    pub candidates: u64,
+    /// Candidates whose lower bound could not rule them out — rescored
+    /// exactly in f32.
+    pub survivors: u64,
+    /// Candidate-scan bytes touched across both phases.
+    pub scanned_bytes: u64,
+}
+
+impl PruneStats {
+    /// Accumulate another partial count.
+    pub fn merge(&mut self, other: PruneStats) {
+        self.candidates += other.candidates;
+        self.survivors += other.survivors;
+        self.scanned_bytes += other.scanned_bytes;
+    }
+
+    /// Fraction of phase-1 candidates pruned without touching f32 rows.
+    pub fn prune_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            1.0 - self.survivors as f64 / self.candidates as f64
+        }
+    }
+
+    /// Average candidate-scan bytes per phase-1 candidate.
+    pub fn bytes_per_candidate(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.scanned_bytes as f64 / self.candidates as f64
+        }
+    }
+}
+
+/// The int8 companion of a [`PkgmModel`]: entity and relation tables
+/// quantized with table-wide per-block scales ([`QuantScanTable`]) for the
+/// phase-1 pruning scans. Build once, share across evaluations — the
+/// tables are immutable snapshots of the model at build time.
+#[derive(Debug, Clone)]
+pub struct QuantEvalModel {
+    ent: QuantScanTable,
+    rel: QuantScanTable,
+}
+
+impl QuantEvalModel {
+    /// Quantize `model`'s entity and relation tables.
+    pub fn build(model: &PkgmModel) -> Self {
+        let d = model.dim();
+        Self {
+            ent: QuantScanTable::from_rows(&model.ent, d),
+            rel: QuantScanTable::from_rows(&model.rel, d),
+        }
+    }
+
+    /// Bytes held by the quantized tables (the resident footprint of the
+    /// phase-1 scan, vs `4·d` per row for the f32 tables).
+    pub fn table_bytes(&self) -> usize {
+        self.ent.storage_bytes() + self.rel.storage_bytes()
+    }
+
+    /// Check the tables still describe `model`'s shape.
+    fn check(&self, model: &PkgmModel) {
+        assert_eq!(self.ent.row_len(), model.dim(), "quant model dim mismatch");
+        assert_eq!(
+            self.ent.n_rows(),
+            model.n_entities(),
+            "quant model entity-table mismatch"
+        );
+        assert_eq!(
+            self.rel.n_rows(),
+            model.n_relations(),
+            "quant model relation-table mismatch"
+        );
+    }
+}
+
+/// Certified formation slack for a translation query `x = fl(a − b)`
+/// standing in for the phase-2 expression `fl(fl(c + b) − a)`: per element
+/// the two computed values differ from the shared real distance by at most
+/// `ε·(|a| + |b|)` each (the candidate-magnitude part is absorbed by the
+/// scan table's half-step margins), so `2ε·Σ(|a_i| + |b_i|)` over-covers
+/// both roundings.
+#[inline]
+fn translation_query_err(a: &[f32], b: &[f32]) -> f32 {
+    let mut sum = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        sum += x.abs() + y.abs();
+    }
+    2.0 * F32_EPS * sum
+}
+
+/// Quantized two-phase tail ranking with pruning telemetry: ranks are
+/// bit-identical to [`fused_rank_tails`] / [`reference_rank_tails`] (the
+/// `quant_parity` suite enforces this), but most candidates are rejected
+/// by a certified int8 lower bound before their f32 row is ever touched.
+pub fn quantized_rank_tails_with_stats(
+    model: &PkgmModel,
+    qmodel: &QuantEvalModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+) -> Result<(Vec<usize>, PruneStats), EvalError> {
+    validate(model, test)?;
+    qmodel.check(model);
+    let pool = EvalScratchPool::new();
+    let per_chunk: Vec<(Vec<usize>, PruneStats)> = test
+        .par_chunks(TRIPLE_CHUNK)
+        .map(|chunk| {
+            pool.with_scratch(|scratch| {
+                quant_tail_chunk_ranks(model, qmodel, chunk, filter, scratch)
+            })
+        })
+        .collect();
+    let mut stats = PruneStats::default();
+    let mut ranks = Vec::with_capacity(test.len());
+    for (chunk_ranks, chunk_stats) in per_chunk {
+        ranks.extend(chunk_ranks);
+        stats.merge(chunk_stats);
+    }
+    Ok((ranks, stats))
+}
+
+/// [`quantized_rank_tails_with_stats`] without the telemetry.
+pub fn quantized_rank_tails(
+    model: &PkgmModel,
+    qmodel: &QuantEvalModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+) -> Result<Vec<usize>, EvalError> {
+    quantized_rank_tails_with_stats(model, qmodel, test, filter).map(|(r, _)| r)
+}
+
+fn quant_tail_chunk_ranks(
+    model: &PkgmModel,
+    qmodel: &QuantEvalModel,
+    chunk: &[Triple],
+    filter: Option<&TripleStore>,
+    scratch: &mut EvalScratch,
+) -> (Vec<usize>, PruneStats) {
+    let d = model.dim();
+    let n_entities = model.n_entities() as u32;
+    let g = chunk.len();
+    let EvalScratch {
+        bases,
+        true_scores,
+        better,
+        ptr,
+        qbases,
+        qerr,
+        ..
+    } = scratch;
+    bases.resize(g * d, 0.0);
+    qbases.resize(g * d, 0);
+    qerr.clear();
+    true_scores.clear();
+    let mut knowns: Vec<&[EntityId]> = Vec::with_capacity(g);
+    for (s, &t) in chunk.iter().enumerate() {
+        let base = &mut bases[s * d..(s + 1) * d];
+        model.service_t_into(t.head, t.relation, base);
+        true_scores.push(blocked_l1(base, model.ent(t.tail)));
+        // Phase 2 rescores against this very base vector, so the query
+        // carries no formation error — only its own quantization error.
+        qerr.push(
+            qmodel
+                .ent
+                .quantize_query(base, &mut qbases[s * d..(s + 1) * d], 0.0),
+        );
+        knowns.push(filter.map_or(&[][..], |f| f.tails(t.head, t.relation)));
+    }
+    better.clear();
+    better.resize(g, 0);
+    ptr.clear();
+    ptr.resize(g, 0);
+    let mut stats = PruneStats::default();
+
+    let mut tile_start = 0u32;
+    while tile_start < n_entities {
+        let tile_end = (tile_start + CANDIDATE_TILE).min(n_entities);
+        for s in 0..g {
+            let t = chunk[s];
+            let base = &bases[s * d..(s + 1) * d];
+            let qbase = &qbases[s * d..(s + 1) * d];
+            let query_err = qerr[s];
+            let known = knowns[s];
+            let bound = true_scores[s];
+            let p = &mut ptr[s];
+            let mut b = 0usize;
+            for c in tile_start..tile_end {
+                while *p < known.len() && known[*p].0 < c {
+                    *p += 1;
+                }
+                if *p < known.len() && known[*p].0 == c {
+                    *p += 1;
+                    continue;
+                }
+                if c == t.tail.0 {
+                    continue;
+                }
+                stats.candidates += 1;
+                // Phase 1: if even the certified lower bound reaches the
+                // true score, the exact blocked L1 would too — the
+                // candidate can never count as better.
+                if qmodel.ent.prunes(qbase, c, query_err, bound) {
+                    continue;
+                }
+                stats.survivors += 1;
+                // Phase 2: the exact fused decision, bit-identical.
+                if l1_beats(base, model.ent(EntityId(c)), 0.0, bound) {
+                    b += 1;
+                }
+            }
+            better[s] += b;
+        }
+        tile_start = tile_end;
+    }
+    stats.scanned_bytes = stats.candidates * d as u64 + stats.survivors * 4 * d as u64;
+    (better.iter().map(|&b| b + 1).collect(), stats)
+}
+
+/// Quantized two-phase head ranking, bit-identical to
+/// [`fused_rank_heads`] / [`reference_rank_heads`].
+///
+/// The relation-module part (`f_R` via [`residual_capped`]) still reads
+/// f32 rows — it is an O(d²) mat-vec per candidate per relation group and
+/// dominates regardless — so quantization prunes only the translation
+/// scan; `scanned_bytes` counts that scan.
+pub fn quantized_rank_heads_with_stats(
+    model: &PkgmModel,
+    qmodel: &QuantEvalModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+) -> Result<(Vec<usize>, PruneStats), EvalError> {
+    validate(model, test)?;
+    qmodel.check(model);
+    let groups = grouped_indices(test, |t| t.relation.0);
+    let pool = EvalScratchPool::new();
+    let per_group: Vec<(Vec<(u32, usize)>, PruneStats)> = groups
+        .par_iter()
+        .map(|idxs| {
+            pool.with_scratch(|scratch| {
+                quant_head_group_ranks(model, qmodel, test, idxs, filter, scratch)
+            })
+        })
+        .collect();
+    let mut stats = PruneStats::default();
+    let mut ranks = vec![0usize; test.len()];
+    for (group, group_stats) in per_group {
+        for (ti, rank) in group {
+            ranks[ti as usize] = rank;
+        }
+        stats.merge(group_stats);
+    }
+    Ok((ranks, stats))
+}
+
+/// [`quantized_rank_heads_with_stats`] without the telemetry.
+pub fn quantized_rank_heads(
+    model: &PkgmModel,
+    qmodel: &QuantEvalModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+) -> Result<Vec<usize>, EvalError> {
+    quantized_rank_heads_with_stats(model, qmodel, test, filter).map(|(r, _)| r)
+}
+
+fn quant_head_group_ranks(
+    model: &PkgmModel,
+    qmodel: &QuantEvalModel,
+    test: &[Triple],
+    indices: &[u32],
+    filter: Option<&TripleStore>,
+    scratch: &mut EvalScratch,
+) -> (Vec<(u32, usize)>, PruneStats) {
+    let d = model.dim();
+    let r = test[indices[0] as usize].relation;
+    let rel_on = model.cfg.relation_module;
+    let rv = model.rel(r);
+    let n_entities = model.n_entities() as u32;
+    let g = indices.len();
+    let EvalScratch {
+        bases,
+        true_scores,
+        better,
+        ptr,
+        fr,
+        qbases,
+        qerr,
+    } = scratch;
+
+    bases.resize(g * d, 0.0);
+    qbases.resize(g * d, 0);
+    qerr.clear();
+    true_scores.clear();
+    let mut knowns: Vec<&[EntityId]> = Vec::with_capacity(g);
+    let mut cap = f32::NEG_INFINITY;
+    for (s, &ti) in indices.iter().enumerate() {
+        let t = test[ti as usize];
+        let h_row = model.ent(t.head);
+        let t_row = model.ent(t.tail);
+        let f_t = blocked_l1_translation(h_row, rv, t_row);
+        let ts = if rel_on {
+            f_t + residual(model.mat(r), h_row, rv)
+        } else {
+            f_t
+        };
+        cap = cap.max(ts);
+        true_scores.push(ts);
+        // Phase 1 bounds the translation part as the distance to the query
+        // `x = fl(t − r)`; the formation slack covers the gap between this
+        // form and phase 2's `fl(fl(h′ + r) − t)` arithmetic.
+        let x = &mut bases[s * d..(s + 1) * d];
+        for i in 0..d {
+            x[i] = t_row[i] - rv[i];
+        }
+        let extra = translation_query_err(t_row, rv);
+        qerr.push(
+            qmodel
+                .ent
+                .quantize_query(x, &mut qbases[s * d..(s + 1) * d], extra),
+        );
+        knowns.push(filter.map_or(&[][..], |f| f.heads(t.relation, t.tail)));
+    }
+    better.clear();
+    better.resize(g, 0);
+    ptr.clear();
+    ptr.resize(g, 0);
+    fr.clear();
+    fr.resize(CANDIDATE_TILE as usize, 0.0);
+    let mut stats = PruneStats::default();
+
+    let mut tile_start = 0u32;
+    while tile_start < n_entities {
+        let tile_end = (tile_start + CANDIDATE_TILE).min(n_entities);
+        if rel_on {
+            let m = model.mat(r);
+            for c in tile_start..tile_end {
+                fr[(c - tile_start) as usize] = residual_capped(m, model.ent(EntityId(c)), rv, cap);
+            }
+        }
+        for s in 0..g {
+            let t = test[indices[s] as usize];
+            let t_row = model.ent(t.tail);
+            let qbase = &qbases[s * d..(s + 1) * d];
+            let query_err = qerr[s];
+            let known = knowns[s];
+            let bound = true_scores[s];
+            let p = &mut ptr[s];
+            let mut b = 0usize;
+            for c in tile_start..tile_end {
+                while *p < known.len() && known[*p].0 < c {
+                    *p += 1;
+                }
+                if *p < known.len() && known[*p].0 == c {
+                    *p += 1;
+                    continue;
+                }
+                if c == t.head.0 {
+                    continue;
+                }
+                let extra = if rel_on {
+                    fr[(c - tile_start) as usize]
+                } else {
+                    0.0
+                };
+                if extra >= bound {
+                    continue;
+                }
+                stats.candidates += 1;
+                // Phase 1 on the joint score: the translation part alone
+                // must close the gap the relation module leaves open, so
+                // prune against `bound − extra` (`extra < bound` held
+                // above; the rearranged rounding sits inside SUM_SHAVE).
+                if qmodel.ent.prunes(qbase, c, query_err, bound - extra) {
+                    continue;
+                }
+                stats.survivors += 1;
+                if translation_beats(model.ent(EntityId(c)), rv, t_row, extra, bound) {
+                    b += 1;
+                }
+            }
+            better[s] += b;
+        }
+        tile_start = tile_end;
+    }
+    stats.scanned_bytes = stats.candidates * d as u64 + stats.survivors * 4 * d as u64;
+    (
+        indices
+            .iter()
+            .zip(better.iter())
+            .map(|(&ti, &b)| (ti, b + 1))
+            .collect(),
+        stats,
+    )
+}
+
+/// Quantized two-phase relation ranking, bit-identical to
+/// [`fused_rank_relations`] / [`reference_rank_relations`]. The relation
+/// table is tiny next to the entity table, so this mode exists for
+/// completeness of the API rather than for a large win.
+pub fn quantized_rank_relations_with_stats(
+    model: &PkgmModel,
+    qmodel: &QuantEvalModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+) -> Result<(Vec<usize>, PruneStats), EvalError> {
+    validate(model, test)?;
+    qmodel.check(model);
+    let groups = grouped_indices(test, |t| t.head.0);
+    let pool = EvalScratchPool::new();
+    let per_group: Vec<(Vec<(u32, usize)>, PruneStats)> = groups
+        .par_iter()
+        .map(|idxs| {
+            pool.with_scratch(|scratch| {
+                quant_relation_group_ranks(model, qmodel, test, idxs, filter, scratch)
+            })
+        })
+        .collect();
+    let mut stats = PruneStats::default();
+    let mut ranks = vec![0usize; test.len()];
+    for (group, group_stats) in per_group {
+        for (ti, rank) in group {
+            ranks[ti as usize] = rank;
+        }
+        stats.merge(group_stats);
+    }
+    Ok((ranks, stats))
+}
+
+/// [`quantized_rank_relations_with_stats`] without the telemetry.
+pub fn quantized_rank_relations(
+    model: &PkgmModel,
+    qmodel: &QuantEvalModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+) -> Result<Vec<usize>, EvalError> {
+    quantized_rank_relations_with_stats(model, qmodel, test, filter).map(|(r, _)| r)
+}
+
+fn quant_relation_group_ranks(
+    model: &PkgmModel,
+    qmodel: &QuantEvalModel,
+    test: &[Triple],
+    indices: &[u32],
+    filter: Option<&TripleStore>,
+    scratch: &mut EvalScratch,
+) -> (Vec<(u32, usize)>, PruneStats) {
+    let d = model.dim();
+    let h = test[indices[0] as usize].head;
+    let rel_on = model.cfg.relation_module;
+    let h_row = model.ent(h);
+    let n_relations = model.n_relations() as u32;
+    let g = indices.len();
+    let EvalScratch {
+        bases,
+        true_scores,
+        fr,
+        qbases,
+        qerr,
+        ..
+    } = scratch;
+
+    bases.resize(g * d, 0.0);
+    qbases.resize(g * d, 0);
+    qerr.clear();
+    true_scores.clear();
+    let mut cap = f32::NEG_INFINITY;
+    for (s, &ti) in indices.iter().enumerate() {
+        let t = test[ti as usize];
+        let rv = model.rel(t.relation);
+        let t_row = model.ent(t.tail);
+        let f_t = blocked_l1_translation(h_row, rv, t_row);
+        let ts = if rel_on {
+            f_t + residual(model.mat(t.relation), h_row, rv)
+        } else {
+            f_t
+        };
+        cap = cap.max(ts);
+        true_scores.push(ts);
+        // Candidate relations r′ score `fl(fl(h + r′) − t)` elementwise —
+        // bounded below via the query `x = fl(t − h)` against the relation
+        // scan table, with the same formation slack as head ranking.
+        let x = &mut bases[s * d..(s + 1) * d];
+        for i in 0..d {
+            x[i] = t_row[i] - h_row[i];
+        }
+        let extra = translation_query_err(t_row, h_row);
+        qerr.push(
+            qmodel
+                .rel
+                .quantize_query(x, &mut qbases[s * d..(s + 1) * d], extra),
+        );
+    }
+
+    fr.clear();
+    fr.resize(n_relations as usize, 0.0);
+    if rel_on {
+        for c in 0..n_relations {
+            let rc = RelationId(c);
+            fr[c as usize] = residual_capped(model.mat(rc), h_row, model.rel(rc), cap);
+        }
+    }
+    let known_rels: &[RelationId] = filter.map_or(&[][..], |f| f.relations_of(h));
+    let mut stats = PruneStats::default();
+
+    let mut out = Vec::with_capacity(indices.len());
+    for (s, &ti) in indices.iter().enumerate() {
+        let t = test[ti as usize];
+        let t_row = model.ent(t.tail);
+        let qbase = &qbases[s * d..(s + 1) * d];
+        let query_err = qerr[s];
+        let bound = true_scores[s];
+        let mut p = 0usize;
+        let mut better = 0usize;
+        for c in 0..n_relations {
+            while p < known_rels.len() && known_rels[p].0 < c {
+                p += 1;
+            }
+            if c == t.relation.0 {
+                continue;
+            }
+            if p < known_rels.len() && known_rels[p].0 == c {
+                if let Some(f) = filter {
+                    if f.tails(h, RelationId(c)).binary_search(&t.tail).is_ok() {
+                        continue;
+                    }
+                }
+            }
+            let extra = if rel_on { fr[c as usize] } else { 0.0 };
+            if extra >= bound {
+                continue;
+            }
+            stats.candidates += 1;
+            if qmodel.rel.prunes(qbase, c, query_err, bound - extra) {
+                continue;
+            }
+            stats.survivors += 1;
+            if translation_beats(h_row, model.rel(RelationId(c)), t_row, extra, bound) {
+                better += 1;
+            }
+        }
+        out.push((ti, better + 1));
+    }
+    stats.scanned_bytes = stats.candidates * d as u64 + stats.survivors * 4 * d as u64;
+    (out, stats)
+}
+
+// ---------------------------------------------------------------------------
 // Reference twins (the contract)
 // ---------------------------------------------------------------------------
 
@@ -1062,5 +1630,72 @@ mod tests {
         assert_eq!(fused_rank_tails(&model, &[], None), Ok(vec![]));
         assert_eq!(fused_rank_heads(&model, &[], None), Ok(vec![]));
         assert_eq!(fused_rank_relations(&model, &[], None), Ok(vec![]));
+        let qmodel = QuantEvalModel::build(&model);
+        assert_eq!(quantized_rank_tails(&model, &qmodel, &[], None), Ok(vec![]));
+        assert_eq!(quantized_rank_heads(&model, &qmodel, &[], None), Ok(vec![]));
+        assert_eq!(
+            quantized_rank_relations(&model, &qmodel, &[], None),
+            Ok(vec![])
+        );
+    }
+
+    /// The quantized two-phase kernels return exactly the fused ranks on a
+    /// quick random model (the `quant_parity` suite does this at scale).
+    #[test]
+    fn quantized_ranks_match_fused_and_prune() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let model = PkgmModel::new(90, 4, PkgmConfig::new(16).with_seed(9));
+        let qmodel = QuantEvalModel::build(&model);
+        let test: Vec<Triple> = (0..24)
+            .map(|_| {
+                Triple::new(
+                    EntityId(rng.gen_range(0..90)),
+                    RelationId(rng.gen_range(0..4)),
+                    EntityId(rng.gen_range(0..90)),
+                )
+            })
+            .collect();
+        let (qt, st) = quantized_rank_tails_with_stats(&model, &qmodel, &test, None).unwrap();
+        assert_eq!(qt, fused_rank_tails(&model, &test, None).unwrap());
+        assert!(st.candidates > 0);
+        assert!(st.survivors <= st.candidates);
+        assert!(st.scanned_bytes >= st.candidates * 16);
+        let (qh, _) = quantized_rank_heads_with_stats(&model, &qmodel, &test, None).unwrap();
+        assert_eq!(qh, fused_rank_heads(&model, &test, None).unwrap());
+        let (qr, _) = quantized_rank_relations_with_stats(&model, &qmodel, &test, None).unwrap();
+        assert_eq!(qr, fused_rank_relations(&model, &test, None).unwrap());
+    }
+
+    /// Quantized telemetry: on a trained-like random model most tail
+    /// candidates should be prunable; at minimum the accounting holds up.
+    #[test]
+    fn prune_stats_accounting_is_consistent() {
+        let mut s = PruneStats::default();
+        assert_eq!(s.prune_rate(), 0.0);
+        assert_eq!(s.bytes_per_candidate(), 0.0);
+        s.merge(PruneStats {
+            candidates: 100,
+            survivors: 10,
+            scanned_bytes: 100 * 64 + 10 * 256,
+        });
+        s.merge(PruneStats {
+            candidates: 50,
+            survivors: 5,
+            scanned_bytes: 50 * 64 + 5 * 256,
+        });
+        assert_eq!(s.candidates, 150);
+        assert_eq!(s.survivors, 15);
+        assert!((s.prune_rate() - 0.9).abs() < 1e-12);
+        assert!((s.bytes_per_candidate() - (64.0 + 25.6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantized_kernels_validate_ids() {
+        let model = PkgmModel::new(4, 2, PkgmConfig::new(8).with_seed(3));
+        let qmodel = QuantEvalModel::build(&model);
+        let bad = [Triple::new(EntityId(9), RelationId(0), EntityId(1))];
+        assert!(quantized_rank_tails(&model, &qmodel, &bad, None).is_err());
+        assert!(quantized_rank_heads(&model, &qmodel, &bad, None).is_err());
+        assert!(quantized_rank_relations(&model, &qmodel, &bad, None).is_err());
     }
 }

@@ -29,7 +29,11 @@
 //!   relation-existence AUC (evaluating the relation module);
 //! * [`eval_kernels`] — fused, candidate-blocked ranking kernels with
 //!   exact early exit, relation-grouped head ranking and sorted-merge
-//!   filtering (plus bit-exact reference and pre-kernel baseline twins);
+//!   filtering (plus bit-exact reference and pre-kernel baseline twins),
+//!   and the int8 two-phase quantized kernels built on [`quant`];
+//! * [`quant`] — blockwise symmetric int8 quantization with certified L1
+//!   lower bounds: prune candidates in the i8 domain, rescore survivors
+//!   exactly in f32, keep ranks bit-identical at ~4× less memory traffic;
 //! * [`service`] — the serving layer: per-item `2k` service vectors for
 //!   sequence models (Fig. 2) and the condensed single vector (Eq. 8–9, 20,
 //!   Fig. 3), plus tail-entity completion;
@@ -55,6 +59,7 @@ pub mod fault;
 pub mod kernels;
 pub mod model;
 pub mod negative;
+pub mod quant;
 pub mod serialize;
 pub mod service;
 pub mod serving;
@@ -63,11 +68,12 @@ pub mod trainer;
 
 pub use artifact::{ArtifactError, ArtifactIo, ArtifactKind, StdIo};
 pub use eval::{LinkPredictionReport, RelationExistenceReport};
-pub use eval_kernels::{EvalError, EvalScratch, EvalScratchPool};
+pub use eval_kernels::{EvalError, EvalScratch, EvalScratchPool, PruneStats, QuantEvalModel};
 pub use fault::{Fault, FaultCheckReport, FaultPlan, FaultyIo};
 pub use kernels::{ChunkGrads, ScratchPool, TrainScratch};
 pub use model::{PkgmConfig, PkgmModel};
 pub use negative::{CorruptedPair, Corruption, NegativeSampler};
+pub use quant::{QuantScanTable, QuantTable, QUANT_BLOCK};
 pub use service::{KnowledgeService, ServiceScratch};
 pub use serving::{CacheStats, CachedService};
 pub use snapshot::ServiceSnapshot;

@@ -1,0 +1,703 @@
+//! Blockwise symmetric int8 quantization with certified L1 lower bounds.
+//!
+//! At the paper's scale (142.6M item embeddings) the f32 tables, not the
+//! arithmetic, bound evaluation throughput: every candidate scan streams
+//! `4·d` bytes per entity through the cache hierarchy. This module shrinks
+//! that to `d` bytes by quantizing tables to int8 — but, unlike lossy
+//! quantized retrieval, the quantized scan here is only a **pruning
+//! filter**: each candidate gets a *certified lower bound* on its f32 L1
+//! score, candidates whose bound already reaches the true score are
+//! discarded in the cheap i8 domain, and the survivors are rescored
+//! exactly in f32. Ranks stay bit-identical to the full-precision scan
+//! (the `quant_parity` suite pins this) while memory traffic per pruned
+//! candidate drops ~4×.
+//!
+//! Two table shapes, two jobs:
+//!
+//! * [`QuantTable`] — **per-(row, block)** scales, the accurate form used
+//!   by quantized serving snapshots (`PKGMSS2`): each row quantizes
+//!   against its own per-block max, and [`QuantTable::max_abs_err`]
+//!   reports the measured per-row reconstruction error, giving the
+//!   documented certificate `l1_q(h,t) − d·err_h − d·err_t ≤ l1_f32(h,t)`.
+//! * [`QuantScanTable`] — **per-block scales shared by every row**, the
+//!   kernel-facing form: because scales are shared, a query vector is
+//!   quantized *once* and candidate bounds reduce to integer
+//!   absolute-difference sums (`Σ_b s_b · Σ_{i∈b} |q_x − q_c|`), which is
+//!   what makes the phase-1 scan cheap.
+//!
+//! ## Why the lower bound is sound in f32, not just on paper
+//!
+//! The real-arithmetic bound is the triangle inequality: with per-element
+//! quantization errors `e_x = Σ|x − x̂|` and `e_c ≤ margin`,
+//! `Σ|x̂ − ĉ| − e_x − e_c ≤ Σ|x − c|`. Three f32 effects could break it:
+//!
+//! 1. rounding while *accumulating* the quantized sum, the margins and the
+//!    query error — each sum has O(d) roundings, relative error
+//!    ≤ ~(d+4)·ε ≈ 2e-5 at d = 128;
+//! 2. rounding while *forming* the query (`round(x·inv_s)` may land one
+//!    step off when `x/s` sits within ~3e-5 of a half-integer);
+//! 3. the comparison target itself: the kernels' eight-lane `blocked_l1`
+//!    is a rounded version of the real L1, low by at most ~20·ε relative.
+//!
+//! All three are absorbed by explicit slack: candidate and query errors
+//! are *measured* at quantization time and inflated by [`ERR_INFLATE`],
+//! and the accumulated quantized sum is shaved by [`SUM_SHAVE`] — two
+//! orders of magnitude more than the worst rounding drift, and negligible
+//! against the measured rounding errors that dominate the bound. The
+//! resulting guarantee, tested adversarially in `quant_parity`, is
+//! `lower_bound(x, row) ≤ blocked_l1(x, row_f32)` for the *computed*
+//! values on both sides, which is exactly what the two-phase kernels need
+//! for bit-identical ranks.
+//!
+//! ## Outlier rows
+//!
+//! Trained embedding tables have heavy-tailed coordinate magnitudes; a
+//! max-based shared scale would let one outlier row crush everyone else's
+//! resolution (and with it the bound's tightness — a useless-but-sound
+//! bound prunes nothing). [`QuantScanTable`] therefore sets each block's
+//! scale at the [`SCAN_SCALE_QUANTILE`] of the per-row block maxima and
+//! marks the few rows above it as **escapes** (`row_err = +∞`): their
+//! lower bound is `−∞`, so they always survive to the exact phase-2
+//! rescore — correct by construction, and rare enough not to matter for
+//! throughput.
+
+/// Dimensions per quantization block. At 32 a d = 64 row carries two
+/// scales (8 bytes) next to 64 i8 payload bytes — ~12% overhead — and a
+/// block's integer absolute-difference sum stays well inside i16/i32.
+pub const QUANT_BLOCK: usize = 32;
+
+/// Quantile of the per-row block maxima at which [`QuantScanTable`] sets
+/// its shared block scales; rows above it become escapes (see the module
+/// docs). At 0.995, at most ~0.5% of rows per block skip phase 1.
+const SCAN_SCALE_QUANTILE: f64 = 0.995;
+
+/// Multiplicative inflation applied to computed error sums so a sum that
+/// f32-rounds *down* still upper-bounds the real error (O(d)·ε ≈ 2e-5
+/// relative at d = 128, budgeted 1e-4).
+const ERR_INFLATE: f32 = 1.0001;
+
+/// Relative shave applied to the accumulated quantized sum, covering its
+/// own accumulation rounding *and* the rounding deficit of the f32
+/// `blocked_l1` it lower-bounds.
+const SUM_SHAVE: f32 = 2e-4;
+
+/// Deflation applied to the accumulated clamp bonus (distance a query
+/// coordinate is guaranteed to keep from every in-range candidate, see
+/// [`QuantScanTable::quantize_query`]) so f32 rounding cannot overstate
+/// it.
+const BONUS_DEFLATE: f32 = 0.9999;
+
+/// Round-to-nearest unit roundoff bound for f32 (2⁻²³); callers use it to
+/// budget formation error of derived query vectors (e.g. `t − r`).
+pub const F32_EPS: f32 = f32::EPSILON;
+
+/// Quantize one value against a precomputed reciprocal scale, clamped to
+/// the symmetric i8 range.
+#[inline]
+fn quantize_one(x: f32, inv: f32) -> i8 {
+    (x * inv).round().clamp(-127.0, 127.0) as i8
+}
+
+/// Number of blocks covering `row_len` dimensions (last block ragged).
+#[inline]
+fn n_blocks(row_len: usize, block: usize) -> usize {
+    row_len.div_ceil(block)
+}
+
+// ---------------------------------------------------------------------------
+// QuantTable — per-(row, block) scales (snapshot storage form)
+// ---------------------------------------------------------------------------
+
+/// A row-major i8 table with independent symmetric scales per (row, block)
+/// and a measured per-row reconstruction error bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantTable {
+    row_len: usize,
+    block: usize,
+    n_rows: usize,
+    /// `n_rows × row_len` quantized values.
+    data: Vec<i8>,
+    /// `n_rows × n_blocks` scales (`s = amax / 127`, 0 for all-zero blocks).
+    scales: Vec<f32>,
+    /// Per-row measured `max_i |x_i − q_i·s|`, inflated by [`ERR_INFLATE`]
+    /// so it upper-bounds the real error despite f32 rounding.
+    row_err: Vec<f32>,
+}
+
+impl QuantTable {
+    /// Quantize a row-major f32 table (`rows.len()` must be a whole number
+    /// of `row_len`-sized rows; `row_len` must be positive).
+    pub fn quantize_table(rows: &[f32], row_len: usize) -> Self {
+        assert!(row_len > 0, "row_len must be positive");
+        assert_eq!(rows.len() % row_len, 0, "table must be whole rows");
+        let n_rows = rows.len() / row_len;
+        let block = QUANT_BLOCK.min(row_len);
+        let nb = n_blocks(row_len, block);
+        let mut data = Vec::with_capacity(rows.len());
+        let mut scales = Vec::with_capacity(n_rows * nb);
+        let mut row_err = Vec::with_capacity(n_rows);
+        for row in rows.chunks_exact(row_len) {
+            let mut err = 0.0f32;
+            for chunk in row.chunks(block) {
+                let amax = chunk.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+                let (scale, inv) = if amax > 0.0 {
+                    (amax / 127.0, 127.0 / amax)
+                } else {
+                    (0.0, 0.0)
+                };
+                scales.push(scale);
+                for &x in chunk {
+                    let q = quantize_one(x, inv);
+                    data.push(q);
+                    err = err.max((x - q as f32 * scale).abs());
+                }
+            }
+            row_err.push(err * ERR_INFLATE);
+        }
+        Self {
+            row_len,
+            block,
+            n_rows,
+            data,
+            scales,
+            row_err,
+        }
+    }
+
+    /// Reassemble a table from stored parts (the `PKGMSS2` loader).
+    /// Lengths must agree; the caller validates value-level invariants
+    /// (finite nonnegative scales/errors) and reports typed errors.
+    pub fn from_parts(
+        row_len: usize,
+        block: usize,
+        data: Vec<i8>,
+        scales: Vec<f32>,
+        row_err: Vec<f32>,
+    ) -> Result<Self, String> {
+        if row_len == 0 || block == 0 || block > row_len {
+            return Err(format!("bad quant shape: row_len {row_len}, block {block}"));
+        }
+        if !data.len().is_multiple_of(row_len) {
+            return Err("quant data is not whole rows".into());
+        }
+        let n_rows = data.len() / row_len;
+        let nb = n_blocks(row_len, block);
+        if scales.len() != n_rows * nb {
+            return Err(format!(
+                "expected {} scales, found {}",
+                n_rows * nb,
+                scales.len()
+            ));
+        }
+        if row_err.len() != n_rows {
+            return Err(format!(
+                "expected {n_rows} row errors, found {}",
+                row_err.len()
+            ));
+        }
+        Ok(Self {
+            row_len,
+            block,
+            n_rows,
+            data,
+            scales,
+            row_err,
+        })
+    }
+
+    /// Row length in elements.
+    pub fn row_len(&self) -> usize {
+        self.row_len
+    }
+
+    /// Block size in elements.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The quantized payload (`n_rows × row_len`).
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// The per-(row, block) scales (`n_rows × n_blocks`, row-major).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// The per-row inflated reconstruction errors.
+    pub fn row_errs(&self) -> &[f32] {
+        &self.row_err
+    }
+
+    /// Certified per-element reconstruction error of `row`:
+    /// `|x_i − dequant_i| ≤ max_abs_err(row)` for every element, so
+    /// `l1_q(h,t) − d·err_h − d·err_t ≤ l1_f32(h,t)` — the pruning lower
+    /// bound in its per-row form.
+    pub fn max_abs_err(&self, row: usize) -> f32 {
+        self.row_err[row]
+    }
+
+    /// Deterministically reconstruct `row` into `out` (`q_i · s_block`).
+    pub fn dequantize_into(&self, row: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.row_len, "output must be one row");
+        let nb = n_blocks(self.row_len, self.block);
+        let q = &self.data[row * self.row_len..(row + 1) * self.row_len];
+        let scales = &self.scales[row * nb..(row + 1) * nb];
+        for (b, (qc, oc)) in q
+            .chunks(self.block)
+            .zip(out.chunks_mut(self.block))
+            .enumerate()
+        {
+            let s = scales[b];
+            for (&qv, o) in qc.iter().zip(oc) {
+                *o = qv as f32 * s;
+            }
+        }
+    }
+
+    /// Bytes of quantized storage (payload + scales + per-row errors).
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() + 4 * self.scales.len() + 4 * self.row_err.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// QuantScanTable — shared per-block scales (kernel scan form)
+// ---------------------------------------------------------------------------
+
+/// A row-major i8 table whose block scales are shared by **every** row,
+/// so a query quantizes once and per-candidate lower bounds reduce to
+/// integer absolute-difference sums.
+///
+/// Block scales sit at the [`SCAN_SCALE_QUANTILE`] of the per-row block
+/// maxima; the few rows above a block's scale are escapes whose lower
+/// bound is `−∞` (always rescored exactly). Each served row carries its
+/// *measured* quantization error sum, so the bound's slack tracks the
+/// actual rounding, not a worst case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantScanTable {
+    row_len: usize,
+    block: usize,
+    n_rows: usize,
+    /// `n_rows × row_len` quantized values.
+    data: Vec<i8>,
+    /// One scale per block, shared across rows.
+    scales: Vec<f32>,
+    /// Reciprocal scales for query quantization (0 for empty blocks).
+    inv_scales: Vec<f32>,
+    /// Per-row measured `Σ_i |x_i − q_i·s_b|`, inflated by
+    /// [`ERR_INFLATE`]; `+∞` marks an escape row (a block magnitude above
+    /// the shared scale — never pruned).
+    row_err: Vec<f32>,
+}
+
+impl QuantScanTable {
+    /// Quantize a row-major f32 table with table-wide per-block scales.
+    pub fn from_rows(rows: &[f32], row_len: usize) -> Self {
+        assert!(row_len > 0, "row_len must be positive");
+        assert_eq!(rows.len() % row_len, 0, "table must be whole rows");
+        let n_rows = rows.len() / row_len;
+        let block = QUANT_BLOCK.min(row_len);
+        let nb = n_blocks(row_len, block);
+        // Per-(row, block) max magnitudes, then a robust per-block scale at
+        // the quantile — a handful of outlier rows must not set everyone's
+        // resolution (they escape phase 1 instead).
+        let mut amax = vec![0.0f32; n_rows * nb];
+        for (r, row) in rows.chunks_exact(row_len).enumerate() {
+            for (b, chunk) in row.chunks(block).enumerate() {
+                amax[r * nb + b] = chunk.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            }
+        }
+        let mut scales = vec![0.0f32; nb];
+        let mut column = vec![0.0f32; n_rows];
+        if n_rows > 0 {
+            for (b, scale) in scales.iter_mut().enumerate() {
+                for r in 0..n_rows {
+                    column[r] = amax[r * nb + b];
+                }
+                let k = ((n_rows - 1) as f64 * SCAN_SCALE_QUANTILE) as usize;
+                let (_, kth, _) = column.select_nth_unstable_by(k, |a, b| a.total_cmp(b));
+                *scale = if *kth > 0.0 { *kth / 127.0 } else { 0.0 };
+            }
+        }
+        let inv_scales: Vec<f32> = scales
+            .iter()
+            .map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 })
+            .collect();
+        let mut data = Vec::with_capacity(rows.len());
+        let mut row_err = Vec::with_capacity(n_rows);
+        for (r, row) in rows.chunks_exact(row_len).enumerate() {
+            let escapes = (0..nb).any(|b| scales[b] * 127.0 < amax[r * nb + b]);
+            let mut err = 0.0f32;
+            for (b, chunk) in row.chunks(block).enumerate() {
+                let inv = inv_scales[b];
+                let s = scales[b];
+                for &x in chunk {
+                    let q = quantize_one(x, inv);
+                    data.push(q);
+                    err += (x - q as f32 * s).abs();
+                }
+            }
+            row_err.push(if escapes {
+                f32::INFINITY
+            } else {
+                err * ERR_INFLATE
+            });
+        }
+        Self {
+            row_len,
+            block,
+            n_rows,
+            data,
+            scales,
+            inv_scales,
+            row_err,
+        }
+    }
+
+    /// Row length in elements.
+    pub fn row_len(&self) -> usize {
+        self.row_len
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// One quantized row (`row_len` i8 values — the phase-1 bytes).
+    #[inline]
+    pub fn row(&self, row: u32) -> &[i8] {
+        let start = row as usize * self.row_len;
+        &self.data[start..start + self.row_len]
+    }
+
+    /// Bytes of quantized storage (payload + scales + per-row errors).
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() + 4 * (self.scales.len() + self.inv_scales.len() + self.row_err.len())
+    }
+
+    /// Whether `row` bypasses phase 1 (a block magnitude above the shared
+    /// scale; its lower bound is `−∞`).
+    pub fn is_escape(&self, row: u32) -> bool {
+        self.row_err[row as usize] == f32::INFINITY
+    }
+
+    /// Quantize a query vector against the shared block scales and return
+    /// the certified *net* query-side adjustment the lower bound must
+    /// subtract — possibly negative.
+    ///
+    /// In-range coordinates contribute their measured rounding error
+    /// `|x_i − q_i·s_b|` (inflated by [`ERR_INFLATE`]). Out-of-range
+    /// coordinates clamp to `±127` and contribute a *bonus* instead: every
+    /// non-escape candidate has `|c_i| ≤ 127·s_b` there, so
+    /// `|x_i − c_i| ≥ (|x_i| − 127·s_b) + |x̂_i − ĉ_i| − |c_i − ĉ_i|` —
+    /// the clamp excess is guaranteed distance, not error. This matters:
+    /// translation queries (`h′ + r`, `t − r`) routinely exceed the entity
+    /// table's coordinate range, and charging the excess as error would
+    /// make the bound useless exactly where pruning pays most.
+    ///
+    /// `extra_err` carries any formation error of `x` itself (e.g.
+    /// `ε·Σ(|t|+|r|)` when `x = fl(t − r)` stands in for `t − r` in a
+    /// translation score).
+    pub fn quantize_query(&self, x: &[f32], out: &mut [i8], extra_err: f32) -> f32 {
+        assert_eq!(x.len(), self.row_len, "query must be one row");
+        assert_eq!(out.len(), self.row_len, "output must be one row");
+        let mut err = extra_err;
+        let mut bonus = 0.0f32;
+        for ((b, chunk), oc) in x
+            .chunks(self.block)
+            .enumerate()
+            .zip(out.chunks_mut(self.block))
+        {
+            let inv = self.inv_scales[b];
+            let s = self.scales[b];
+            let lim = 127.0 * s;
+            for (&v, o) in chunk.iter().zip(oc) {
+                if v > lim {
+                    *o = 127;
+                    bonus += v - lim;
+                } else if v < -lim {
+                    *o = -127;
+                    bonus += -v - lim;
+                } else {
+                    let q = quantize_one(v, inv);
+                    *o = q;
+                    err += (v - q as f32 * s).abs();
+                }
+            }
+        }
+        err * ERR_INFLATE - bonus * BONUS_DEFLATE
+    }
+
+    /// Certified lower bound on the kernels' computed eight-lane L1
+    /// between the query `quantize_query` produced `(q, query_err)` from
+    /// and row `row`'s original f32 values:
+    ///
+    /// `lower_bound(q, row, query_err) ≤ blocked_l1(x, row_f32)`
+    ///
+    /// for the computed f32 values on both sides (see the module docs for
+    /// the rounding budget). The integer per-block sums are exact; only
+    /// the tiny `n_blocks`-term scale combination rounds.
+    #[inline]
+    pub fn lower_bound(&self, q: &[i8], row: u32, query_err: f32) -> f32 {
+        let row_err = self.row_err[row as usize];
+        if row_err == f32::INFINITY {
+            // Escape row: never pruned, skip the scan entirely.
+            return f32::NEG_INFINITY;
+        }
+        let cand = self.row(row);
+        let mut sum = 0.0f32;
+        for (b, &scale) in self.scales.iter().enumerate() {
+            // Explicit sub-slices instead of `chunks().zip()` — the chunk
+            // iterators cost ~3× in this hot loop (measured); the borrow
+            // below also proves the lengths equal, so the inner zip
+            // vectorizes cleanly. Block sums fit u32 trivially (≤ 32·254);
+            // u8 abs_diff keeps the lanes narrow for the autovectorizer.
+            let start = b * self.block;
+            let end = (start + self.block).min(self.row_len);
+            let qc = &cand[start..end];
+            let qx = &q[start..end];
+            let mut d = 0u32;
+            for (&a, &b_) in qc.iter().zip(qx) {
+                d += a.abs_diff(b_) as u32;
+            }
+            sum += scale * d as f32;
+        }
+        (sum - sum * SUM_SHAVE - row_err) - query_err
+    }
+
+    /// Early-exit form of [`Self::lower_bound`] for the hot pruning loop:
+    /// `true` iff the certified lower bound on the blocked L1 between the
+    /// query and `row` reaches `bound`. Per-block partial sums only grow,
+    /// so the scan stops at the first block whose running total already
+    /// proves the bound — on trained models most candidates are decided by
+    /// the first block, halving the bytes touched at d = 64.
+    ///
+    /// The test is algebraically `lower_bound(q, row, query_err) ≥ bound`,
+    /// rearranged so the threshold is precomputed and each block can
+    /// decide. The rearrangement adds a couple of f32 roundings (~ε·bound),
+    /// orders of magnitude inside the [`SUM_SHAVE`] budget, so a `true`
+    /// still certifies that the exact blocked L1 reaches `bound`.
+    #[inline]
+    pub fn prunes(&self, q: &[i8], row: u32, query_err: f32, bound: f32) -> bool {
+        let row_err = self.row_err[row as usize];
+        if row_err == f32::INFINITY {
+            // Escape row: never pruned, skip the scan entirely.
+            return false;
+        }
+        let target = bound + query_err + row_err;
+        let cand = self.row(row);
+        let mut sum = 0.0f32;
+        for (b, &scale) in self.scales.iter().enumerate() {
+            // Same explicit-sub-slice form as `lower_bound` (the chunk
+            // iterators cost ~3× here, measured).
+            let start = b * self.block;
+            let end = (start + self.block).min(self.row_len);
+            let qc = &cand[start..end];
+            let qx = &q[start..end];
+            let mut d = 0u32;
+            for (&a, &b_) in qc.iter().zip(qx) {
+                d += a.abs_diff(b_) as u32;
+            }
+            sum += scale * d as f32;
+            if sum - sum * SUM_SHAVE >= target {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_rows(rng: &mut SmallRng, n_rows: usize, row_len: usize, amp: f32) -> Vec<f32> {
+        (0..n_rows * row_len)
+            .map(|_| rng.gen_range(-amp..amp))
+            .collect()
+    }
+
+    /// The eight-lane blocked L1 of the evaluation kernels, restated here
+    /// as the contract arithmetic the lower bound must stay under.
+    fn blocked_l1(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = [0.0f32; 8];
+        let mut ca = a.chunks_exact(8);
+        let mut cb = b.chunks_exact(8);
+        for (xa, xb) in (&mut ca).zip(&mut cb) {
+            for j in 0..8 {
+                acc[j] += (xa[j] - xb[j]).abs();
+            }
+        }
+        let mut tail = 0.0f32;
+        for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+            tail += (x - y).abs();
+        }
+        (((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))) + tail
+    }
+
+    #[test]
+    fn quant_table_roundtrip_error_is_certified() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for row_len in [1usize, 3, 8, 32, 33, 64, 128] {
+            let rows = random_rows(&mut rng, 7, row_len, 2.0);
+            let qt = QuantTable::quantize_table(&rows, row_len);
+            assert_eq!(qt.n_rows(), 7);
+            let mut out = vec![0.0f32; row_len];
+            for r in 0..7 {
+                qt.dequantize_into(r, &mut out);
+                let err = qt.max_abs_err(r);
+                for (o, x) in out.iter().zip(&rows[r * row_len..(r + 1) * row_len]) {
+                    assert!(
+                        (o - x).abs() <= err,
+                        "row {r}: |{o} - {x}| > certified {err}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_quantize_to_zero_scale_and_zero_error() {
+        let rows = vec![0.0f32; 3 * 40];
+        let qt = QuantTable::quantize_table(&rows, 40);
+        assert!(qt.scales().iter().all(|&s| s == 0.0));
+        assert!(qt.data().iter().all(|&q| q == 0));
+        assert_eq!(qt.max_abs_err(1), 0.0);
+        let mut out = vec![9.0f32; 40];
+        qt.dequantize_into(2, &mut out);
+        assert!(out.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_shapes() {
+        assert!(QuantTable::from_parts(0, 1, vec![], vec![], vec![]).is_err());
+        assert!(QuantTable::from_parts(4, 8, vec![0; 8], vec![0.0; 2], vec![0.0; 2]).is_err());
+        assert!(QuantTable::from_parts(4, 4, vec![0; 7], vec![0.0; 2], vec![0.0; 2]).is_err());
+        assert!(QuantTable::from_parts(4, 4, vec![0; 8], vec![0.0; 3], vec![0.0; 2]).is_err());
+        assert!(QuantTable::from_parts(4, 4, vec![0; 8], vec![0.0; 2], vec![0.0; 3]).is_err());
+        assert!(QuantTable::from_parts(4, 4, vec![0; 8], vec![0.0; 2], vec![0.0; 2]).is_ok());
+    }
+
+    #[test]
+    fn scan_lower_bound_never_exceeds_blocked_l1() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for row_len in [1usize, 8, 13, 32, 64, 100, 128] {
+            let rows = random_rows(&mut rng, 24, row_len, 1.0);
+            let st = QuantScanTable::from_rows(&rows, row_len);
+            let mut q = vec![0i8; row_len];
+            for trial in 0..40 {
+                // Queries up to 4× the table amplitude exercise clamping.
+                let amp = [0.5f32, 1.0, 4.0][trial % 3];
+                let x = random_rows(&mut rng, 1, row_len, amp);
+                let err = st.quantize_query(&x, &mut q, 0.0);
+                // May be negative: clamp excess is a certified bonus.
+                assert!(err.is_finite());
+                for r in 0..st.n_rows() as u32 {
+                    let lb = st.lower_bound(&q, r, err);
+                    let exact = blocked_l1(&x, &rows[r as usize * row_len..][..row_len]);
+                    assert!(
+                        lb <= exact,
+                        "row_len {row_len} row {r}: lb {lb} > exact {exact}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prunes_only_when_exact_distance_reaches_bound() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let row_len = 64;
+        let rows = random_rows(&mut rng, 32, row_len, 1.0);
+        let st = QuantScanTable::from_rows(&rows, row_len);
+        let mut q = vec![0i8; row_len];
+        let mut fired = 0usize;
+        for _ in 0..20 {
+            // 2× the table amplitude so clamp-bonus paths are exercised.
+            let x = random_rows(&mut rng, 1, row_len, 2.0);
+            let err = st.quantize_query(&x, &mut q, 0.0);
+            for r in 0..st.n_rows() as u32 {
+                let exact = blocked_l1(&x, &rows[r as usize * row_len..][..row_len]);
+                // Bounds straddling the exact distance probe the boundary.
+                for bound in [0.5 * exact, 0.99 * exact, exact, 1.01 * exact] {
+                    if st.prunes(&q, r, err, bound) {
+                        fired += 1;
+                        assert!(
+                            exact >= bound,
+                            "pruned row {r} with exact {exact} < bound {bound}"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(fired > 100, "early-exit prune never fires ({fired})");
+    }
+
+    #[test]
+    fn scan_lower_bound_is_tight_for_identical_vectors() {
+        // A query equal to a stored row must not be bounded far above 0 —
+        // the bound's only slack is the quantization margin.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let row_len = 64;
+        let rows = random_rows(&mut rng, 8, row_len, 1.0);
+        let st = QuantScanTable::from_rows(&rows, row_len);
+        let mut q = vec![0i8; row_len];
+        let x = &rows[3 * row_len..4 * row_len];
+        let err = st.quantize_query(x, &mut q, 0.0);
+        let lb = st.lower_bound(&q, 3, err);
+        assert!(lb <= 0.0, "self lower bound must be ≤ 0, got {lb}");
+        // …and for a far-away query the bound must be strongly positive,
+        // or phase 1 would never prune anything.
+        let far: Vec<f32> = x.iter().map(|v| v + 0.5).collect();
+        let err = st.quantize_query(&far, &mut q, 0.0);
+        let lb = st.lower_bound(&q, 3, err);
+        let exact = blocked_l1(&far, x);
+        assert!(
+            lb > 0.5 * exact,
+            "bound too loose to prune: lb {lb} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn query_error_includes_extra_formation_slack() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let rows = random_rows(&mut rng, 4, 16, 1.0);
+        let st = QuantScanTable::from_rows(&rows, 16);
+        let x = random_rows(&mut rng, 1, 16, 1.0);
+        let mut q = vec![0i8; 16];
+        let base = st.quantize_query(&x, &mut q, 0.0);
+        let extra = st.quantize_query(&x, &mut q, 0.25);
+        assert!(
+            extra >= base + 0.25,
+            "extra_err must add through: {extra} vs {base}"
+        );
+    }
+
+    #[test]
+    fn storage_is_about_a_quarter_of_f32() {
+        let rows = vec![0.5f32; 1000 * 64];
+        let f32_bytes = rows.len() * 4;
+        let qt = QuantTable::quantize_table(&rows, 64);
+        let st = QuantScanTable::from_rows(&rows, 64);
+        assert!(
+            qt.storage_bytes() < f32_bytes * 3 / 10,
+            "{}",
+            qt.storage_bytes()
+        );
+        assert!(
+            st.storage_bytes() < f32_bytes * 3 / 10,
+            "{}",
+            st.storage_bytes()
+        );
+    }
+}

@@ -18,6 +18,7 @@
 
 use crate::artifact::{self, ArtifactError, ArtifactIo, ArtifactKind};
 use crate::model::{PkgmConfig, PkgmModel};
+use crate::quant::QuantTable;
 use crate::service::KnowledgeService;
 use crate::snapshot::ServiceSnapshot;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -26,6 +27,12 @@ use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"PKGMMD1\0";
 const SNAPSHOT_MAGIC: &[u8; 8] = b"PKGMSS1\0";
+const QUANT_SNAPSHOT_MAGIC: &[u8; 8] = b"PKGMSS2\0";
+
+/// Sanity ceiling on a stored quantization block size: blocks are
+/// [`crate::quant::QUANT_BLOCK`]-sized today, and anything huge in this
+/// field means corrupt bytes, not a future format.
+const MAX_QUANT_BLOCK: usize = 4096;
 
 /// Serialization errors.
 #[derive(Debug)]
@@ -175,10 +182,43 @@ pub fn service_from_bytes(bytes: &[u8]) -> Result<KnowledgeService, SerializeErr
 
 /// Serialize a precomputed serving snapshot.
 ///
-/// Layout (little-endian): magic `"PKGMSS1\0"`, `dim` u32, `k` u32,
-/// `n_rows` u64, then `n_rows × 2·dim` f32 rows.
+/// Dense snapshots keep the legacy `PKGMSS1` layout (little-endian):
+/// magic, `dim` u32, `k` u32, `n_rows` u64, then `n_rows × 2·dim` f32
+/// rows. Quantized snapshots use `PKGMSS2`: magic, `dim` u32, `k` u32,
+/// `n_rows` u64, `block` u32, `n_exact` u64, then the int8 payload
+/// (`n_rows × 2·dim`), per-(row, block) scales
+/// (`n_rows × ⌈2·dim/block⌉` f32), per-row errors (`n_rows` f32), sorted
+/// escape ids (`n_exact` u32) and verbatim escape rows
+/// (`n_exact × 2·dim` f32).
 pub fn snapshot_to_bytes(snapshot: &ServiceSnapshot) -> Bytes {
-    let table = snapshot.table();
+    if let Some((quant, exact_ids, exact_rows)) = snapshot.quant_parts() {
+        let mut buf = BytesMut::with_capacity(36 + snapshot.storage_bytes());
+        buf.put_slice(QUANT_SNAPSHOT_MAGIC);
+        buf.put_u32_le(snapshot.dim() as u32);
+        buf.put_u32_le(snapshot.k() as u32);
+        buf.put_u64_le(snapshot.n_rows() as u64);
+        buf.put_u32_le(quant.block() as u32);
+        buf.put_u64_le(exact_ids.len() as u64);
+        for &q in quant.data() {
+            buf.put_u8(q as u8);
+        }
+        for &s in quant.scales() {
+            buf.put_f32_le(s);
+        }
+        for &e in quant.row_errs() {
+            buf.put_f32_le(e);
+        }
+        for &id in exact_ids {
+            buf.put_u32_le(id);
+        }
+        for &x in exact_rows {
+            buf.put_f32_le(x);
+        }
+        return buf.freeze();
+    }
+    let table = snapshot
+        .dense_table()
+        .expect("non-quantized snapshot is dense");
     let mut buf = BytesMut::with_capacity(24 + table.len() * 4);
     buf.put_slice(SNAPSHOT_MAGIC);
     buf.put_u32_le(snapshot.dim() as u32);
@@ -190,8 +230,12 @@ pub fn snapshot_to_bytes(snapshot: &ServiceSnapshot) -> Bytes {
     buf.freeze()
 }
 
-/// Deserialize a serving snapshot.
+/// Deserialize a serving snapshot — either the dense legacy `PKGMSS1`
+/// payload or the quantized `PKGMSS2` form.
 pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<ServiceSnapshot, SerializeError> {
+    if bytes.len() >= 8 && &bytes[..8] == QUANT_SNAPSHOT_MAGIC {
+        return quant_snapshot_from_bytes(bytes);
+    }
     let mut b = bytes;
     if b.len() < 24 || &b[..8] != SNAPSHOT_MAGIC {
         return Err(SerializeError::Corrupt(
@@ -228,6 +272,101 @@ pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<ServiceSnapshot, SerializeErr
         rows.push(b.get_f32_le());
     }
     Ok(ServiceSnapshot::from_parts(dim, k, rows))
+}
+
+/// Decode the quantized `PKGMSS2` payload. Every declared count goes
+/// through checked arithmetic, the total byte length must match exactly,
+/// and value-level invariants (finite nonnegative scales and errors,
+/// sorted in-range escape ids) are verified — a flipped scale byte is a
+/// typed `Corrupt` error, never a panic or a silently wrong table.
+fn quant_snapshot_from_bytes(bytes: &[u8]) -> Result<ServiceSnapshot, SerializeError> {
+    let mut b = bytes;
+    if b.len() < 36 {
+        return Err(SerializeError::Corrupt(
+            "truncated quantized snapshot header".into(),
+        ));
+    }
+    b.advance(8);
+    let dim = b.get_u32_le() as usize;
+    let k = b.get_u32_le() as usize;
+    let n_rows = b.get_u64_le() as usize;
+    let block = b.get_u32_le() as usize;
+    let n_exact = b.get_u64_le() as usize;
+    if dim == 0 {
+        return Err(SerializeError::Corrupt(
+            "snapshot dim must be positive".into(),
+        ));
+    }
+    let row_len = dim
+        .checked_mul(2)
+        .ok_or_else(|| SerializeError::Corrupt("snapshot dim overflows".into()))?;
+    if block == 0 || block > row_len || block > MAX_QUANT_BLOCK {
+        return Err(SerializeError::Corrupt(format!(
+            "implausible quantization block size {block} for {row_len}-long rows"
+        )));
+    }
+    let n_blocks = row_len.div_ceil(block);
+    // Checked section sizes: huge declared counts must fail the length
+    // check, not overflow into a small expectation a short buffer meets.
+    let n_bytes = (|| {
+        let data = n_rows.checked_mul(row_len)?;
+        let scales = n_rows.checked_mul(n_blocks)?.checked_mul(4)?;
+        let errs = n_rows.checked_mul(4)?;
+        let ids = n_exact.checked_mul(4)?;
+        let exact = n_exact.checked_mul(row_len)?.checked_mul(4)?;
+        data.checked_add(scales)?
+            .checked_add(errs)?
+            .checked_add(ids)?
+            .checked_add(exact)
+    })();
+    let Some(n_bytes) = n_bytes else {
+        return Err(SerializeError::Corrupt(
+            "declared quantized snapshot counts overflow".into(),
+        ));
+    };
+    if b.remaining() != n_bytes {
+        return Err(SerializeError::Corrupt(format!(
+            "expected {} quantized snapshot bytes, found {}",
+            n_bytes,
+            b.remaining()
+        )));
+    }
+    let mut data = Vec::with_capacity(n_rows * row_len);
+    for _ in 0..n_rows * row_len {
+        data.push(b.get_u8() as i8);
+    }
+    let mut scales = Vec::with_capacity(n_rows * n_blocks);
+    for _ in 0..n_rows * n_blocks {
+        let s = b.get_f32_le();
+        if !s.is_finite() || s < 0.0 {
+            return Err(SerializeError::Corrupt(format!(
+                "quantization scale {s} is not a finite nonnegative value"
+            )));
+        }
+        scales.push(s);
+    }
+    let mut row_err = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let e = b.get_f32_le();
+        if !e.is_finite() || e < 0.0 {
+            return Err(SerializeError::Corrupt(format!(
+                "quantization row error {e} is not a finite nonnegative value"
+            )));
+        }
+        row_err.push(e);
+    }
+    let mut exact_ids = Vec::with_capacity(n_exact);
+    for _ in 0..n_exact {
+        exact_ids.push(b.get_u32_le());
+    }
+    let mut exact_rows = Vec::with_capacity(n_exact * row_len);
+    for _ in 0..n_exact * row_len {
+        exact_rows.push(b.get_f32_le());
+    }
+    let quant = QuantTable::from_parts(row_len, block, data, scales, row_err)
+        .map_err(SerializeError::Corrupt)?;
+    ServiceSnapshot::from_quantized_parts(dim, k, quant, exact_ids, exact_rows)
+        .map_err(SerializeError::Corrupt)
 }
 
 // --- artifact-framed file I/O -----------------------------------------------
@@ -509,5 +648,77 @@ mod tests {
         // Model bytes are not a snapshot.
         let model_bytes = model_to_bytes(&model());
         assert!(snapshot_from_bytes(&model_bytes).is_err());
+    }
+
+    #[test]
+    fn quantized_snapshot_roundtrip_is_exact() {
+        let snap = ServiceSnapshot::build(&test_service()).quantize();
+        assert!(snap.is_quantized());
+        let bytes = snapshot_to_bytes(&snap);
+        assert_eq!(&bytes[..8], QUANT_SNAPSHOT_MAGIC);
+        let back = snapshot_from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert!(back.is_quantized());
+        // Served rows reproduce bitwise — the PKGMSS2 contract.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..snap.n_rows() as u32 + 2 {
+            let id = EntityId(i);
+            assert_eq!(snap.lookup_exact(id, &mut a), back.lookup_exact(id, &mut b));
+            let bits_a: Vec<u32> = a.iter().map(|x| x.to_bits()).collect();
+            let bits_b: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(bits_a, bits_b, "row {i}");
+        }
+    }
+
+    #[test]
+    fn quantized_snapshot_file_roundtrip_and_size() {
+        use crate::artifact::StdIo;
+        let dir = std::env::temp_dir().join(format!("pkgm-quant-ser-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dense = ServiceSnapshot::build(&test_service());
+        let quant = dense.quantize();
+        let dp = dir.join("dense.pkgm");
+        let qp = dir.join("quant.pkgm");
+        write_snapshot_file(&StdIo, &dp, &dense).unwrap();
+        write_snapshot_file(&StdIo, &qp, &quant).unwrap();
+        assert_eq!(read_snapshot_file(&StdIo, &dp).unwrap(), dense);
+        assert_eq!(read_snapshot_file(&StdIo, &qp).unwrap(), quant);
+        let dense_len = std::fs::metadata(&dp).unwrap().len();
+        let quant_len = std::fs::metadata(&qp).unwrap().len();
+        assert!(
+            quant_len < dense_len,
+            "quantized file {quant_len} B not smaller than dense {dense_len} B"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_quantized_snapshot_bytes_are_rejected() {
+        let snap = ServiceSnapshot::build(&test_service()).quantize();
+        let bytes = snapshot_to_bytes(&snap);
+        // Truncations at every section boundary are typed errors.
+        for cut in [8, 20, 35, bytes.len() - 1] {
+            assert!(snapshot_from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // A scale flipped to NaN/negative/inf must be rejected, not served.
+        let n_rows = snap.n_rows();
+        let row_len = 2 * snap.dim();
+        let scales_at = 36 + n_rows * row_len;
+        for val in [f32::NAN, -1.0f32, f32::INFINITY] {
+            let mut bad = bytes.to_vec();
+            bad[scales_at..scales_at + 4].copy_from_slice(&val.to_le_bytes());
+            assert!(snapshot_from_bytes(&bad).is_err(), "scale {val}");
+        }
+        // An implausible block size is rejected.
+        let mut bad = bytes.to_vec();
+        bad[24..28].copy_from_slice(&0u32.to_le_bytes());
+        assert!(snapshot_from_bytes(&bad).is_err());
+        bad[24..28].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(snapshot_from_bytes(&bad).is_err());
+        // Huge declared counts fail the checked length math.
+        let mut bad = bytes.to_vec();
+        bad[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(snapshot_from_bytes(&bad).is_err());
     }
 }

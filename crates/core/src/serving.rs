@@ -14,6 +14,7 @@
 //! atomics, so the hot path never contends on a global statistics lock.
 
 use crate::service::{KnowledgeService, ServiceScratch};
+use crate::snapshot::ServiceSnapshot;
 use parking_lot::RwLock;
 use pkgm_store::fxhash::{FxHashMap, FxHashSet};
 use pkgm_store::EntityId;
@@ -64,6 +65,11 @@ struct Shard {
 /// to `1/n_shards` of the cached entries.
 pub struct CachedService {
     inner: KnowledgeService,
+    /// Optional precomputed condensed table: misses whose id it covers are
+    /// served by a row copy (or deterministic dequantization for quantized
+    /// snapshots) instead of live matvecs. Sequence services always compute
+    /// live — snapshots store only the condensed shape.
+    snapshot: Option<ServiceSnapshot>,
     shards: Vec<Shard>,
     /// Capacity bound applied independently to each shard (per shape).
     shard_capacity: usize,
@@ -88,6 +94,7 @@ impl CachedService {
         let (d, k) = (inner.dim(), inner.k());
         Self {
             inner,
+            snapshot: None,
             shards: (0..n_shards).map(|_| Shard::default()).collect(),
             shard_capacity: capacity / n_shards,
             fallback_sequence: Arc::new(vec![vec![0.0; d]; 2 * k]),
@@ -99,9 +106,45 @@ impl CachedService {
         }
     }
 
+    /// Wrap a service with a cache *and* a precomputed condensed table:
+    /// condensed misses covered by `snapshot` skip the live matvecs
+    /// entirely (dense row copy, or deterministic dequantization for
+    /// quantized snapshots), turning the miss path into pure memory reads.
+    pub fn with_snapshot(
+        inner: KnowledgeService,
+        capacity: usize,
+        snapshot: ServiceSnapshot,
+    ) -> Self {
+        assert_eq!(
+            snapshot.dim(),
+            inner.dim(),
+            "snapshot dim must match the service"
+        );
+        let mut cached = Self::new(inner, capacity);
+        cached.snapshot = Some(snapshot);
+        cached
+    }
+
     /// The wrapped service.
     pub fn inner(&self) -> &KnowledgeService {
         &self.inner
+    }
+
+    /// The attached condensed-table snapshot, if any.
+    pub fn snapshot(&self) -> Option<&ServiceSnapshot> {
+        self.snapshot.as_ref()
+    }
+
+    /// Serve a condensed miss from the attached snapshot when it covers
+    /// `id`; `false` means the caller must compute live.
+    fn snapshot_condensed_into(&self, id: u32, out: &mut Vec<f32>) -> bool {
+        match &self.snapshot {
+            Some(snap) if (id as usize) < snap.n_rows() => {
+                snap.lookup_exact(EntityId(id), out);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Number of shards the cache was built with.
@@ -169,7 +212,12 @@ impl CachedService {
             return Arc::clone(hit);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let fresh = Arc::new(self.inner.condensed_service(item));
+        let mut v = Vec::new();
+        let fresh = if self.snapshot_condensed_into(item.0, &mut v) {
+            Arc::new(v)
+        } else {
+            Arc::new(self.inner.condensed_service(item))
+        };
         self.publish_condensed(item.0, &fresh);
         fresh
     }
@@ -288,8 +336,10 @@ impl CachedService {
                     .iter()
                     .map(|&id| {
                         let mut v = vec![0.0f32; 2 * d];
-                        self.inner
-                            .condensed_service_into(EntityId(id), &mut scratch, &mut v);
+                        if !self.snapshot_condensed_into(id, &mut v) {
+                            self.inner
+                                .condensed_service_into(EntityId(id), &mut scratch, &mut v);
+                        }
                         (id, Arc::new(v))
                     })
                     .collect::<Vec<_>>()
@@ -489,6 +539,40 @@ mod tests {
         assert_eq!(*before, *after);
         let batch = cached.condensed_service_batch(&[item, EntityId(2)]);
         assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_backed_cache_serves_snapshot_rows() {
+        let svc = service();
+        let snap = ServiceSnapshot::build(&svc).quantize();
+        let cached = CachedService::with_snapshot(svc.clone(), 16, snap.clone());
+        assert!(cached.snapshot().is_some_and(ServiceSnapshot::is_quantized));
+        let mut expect = Vec::new();
+        for i in 0..8u32 {
+            snap.lookup_exact(EntityId(i), &mut expect);
+            let got = cached.condensed_service(EntityId(i));
+            assert_eq!(*got, expect, "miss for item {i} must serve snapshot row");
+            // Second call is a cache hit returning the same bits.
+            assert_eq!(*cached.condensed_service(EntityId(i)), expect);
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.misses, 8);
+        assert_eq!(stats.hits, 8);
+        // Degraded ids keep the zero fallback — the snapshot is not consulted.
+        let far = cached.condensed_service(EntityId(u32::MAX));
+        assert!(far.iter().all(|&x| x == 0.0));
+        // Batch path serves the same snapshot rows.
+        let fresh = CachedService::with_snapshot(svc, 16, snap.clone());
+        let items: Vec<EntityId> = (0..8u32).map(EntityId).collect();
+        for (i, v) in fresh.condensed_service_batch(&items).iter().enumerate() {
+            snap.lookup_exact(items[i], &mut expect);
+            assert_eq!(**v, expect);
+        }
+        // Sequence services always compute live.
+        assert_eq!(
+            *fresh.sequence_service(EntityId(3)),
+            fresh.inner().sequence_service(EntityId(3))
+        );
     }
 
     #[test]

@@ -1,12 +1,28 @@
 //! Precomputed serving table: every entity's condensed service in one
-//! contiguous `f32` block.
+//! contiguous block — dense `f32` or int8-quantized.
 //!
 //! A [`ServiceSnapshot`] trades memory (`n_entities × 2d` floats) for O(1)
 //! zero-compute lookups — no matvecs, no hashing, no locks. It is the
 //! deployment shape for read-only serving fleets: build once after
 //! pre-training (or via `pkgm snapshot`), ship the bytes, and answer
 //! condensed-service queries with a row slice.
+//!
+//! ## Quantized snapshots
+//!
+//! At the paper's scale (142.6M items × 2·64 floats ≈ 68 GiB) the dense
+//! table dominates a serving host's RAM. [`ServiceSnapshot::quantize`]
+//! converts the table to a [`QuantTable`] — blockwise symmetric int8 with
+//! per-(row, block) scales — at ~29% of the dense bytes, keeping a small
+//! set of worst-quantizing rows verbatim in f32 so no lookup degrades
+//! badly. Quantized lookups dequantize deterministically
+//! (`q_i · s_block`, fixed order), so a quantized snapshot serialized to
+//! `PKGMSS2` and reloaded reproduces [`ServiceSnapshot::lookup_exact`]
+//! outputs bit-for-bit; legacy dense `PKGMSS1` artifacts still load and
+//! serve unchanged.
 
+use std::borrow::Cow;
+
+use crate::quant::QuantTable;
 use crate::service::{KnowledgeService, ServiceScratch};
 use pkgm_store::EntityId;
 use rayon::prelude::*;
@@ -14,15 +30,56 @@ use rayon::prelude::*;
 /// Rows per rayon task when building the table.
 const BUILD_CHUNK: usize = 128;
 
-/// Dense table of condensed service vectors, one `2d` row per entity.
+/// Cap on verbatim f32 rows kept by [`ServiceSnapshot::quantize`], as a
+/// divisor of the row count: at most `n_rows / EXACT_ROW_DIVISOR` rows.
+const EXACT_ROW_DIVISOR: usize = 64;
+
+/// Rows whose measured quantization error exceeds this multiple of the
+/// median row error are candidates for verbatim storage.
+const EXACT_ERR_FACTOR: f32 = 4.0;
+
+/// Row storage behind a snapshot: the dense f32 table or its quantized
+/// form plus verbatim escape rows.
+#[derive(Debug, Clone, PartialEq)]
+enum Storage {
+    Dense(Vec<f32>),
+    Quantized(QuantizedRows),
+}
+
+/// Quantized condensed table plus the verbatim f32 rows kept for the
+/// worst-quantizing entities.
+#[derive(Debug, Clone, PartialEq)]
+struct QuantizedRows {
+    quant: QuantTable,
+    /// Sorted entity ids whose rows are stored verbatim (served from
+    /// `exact_rows` instead of dequantization).
+    exact_ids: Vec<u32>,
+    /// `exact_ids.len() × 2d` verbatim rows, parallel to `exact_ids`.
+    exact_rows: Vec<f32>,
+}
+
+impl QuantizedRows {
+    /// Serve row `id` into `out` (exact if escaped, else dequantized).
+    fn row_into(&self, id: usize, out: &mut [f32]) {
+        let row_len = self.quant.row_len();
+        if let Ok(e) = self.exact_ids.binary_search(&(id as u32)) {
+            out.copy_from_slice(&self.exact_rows[e * row_len..(e + 1) * row_len]);
+        } else {
+            self.quant.dequantize_into(id, out);
+        }
+    }
+}
+
+/// Table of condensed service vectors, one `2d` row per entity — dense
+/// f32 or int8-quantized with verbatim escape rows.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceSnapshot {
     dim: usize,
     k: usize,
-    rows: Vec<f32>,
-    /// Column-wise mean of all rows (zeros for an empty table): the
-    /// degraded-mode answer for ids beyond the table. Derived from `rows`,
-    /// so it is recomputed on load rather than serialized.
+    storage: Storage,
+    /// Column-wise mean of the *served* rows (zeros for an empty table):
+    /// the degraded-mode answer for ids beyond the table. Derived from
+    /// `storage`, so it is recomputed on load rather than serialized.
     fallback: Vec<f32>,
 }
 
@@ -35,6 +92,29 @@ fn mean_row(rows: &[f32], row_len: usize) -> Vec<f32> {
     }
     for row in rows.chunks_exact(row_len) {
         for (m, &x) in mean.iter_mut().zip(row) {
+            *m += x;
+        }
+    }
+    for m in &mut mean {
+        *m /= n_rows as f32;
+    }
+    mean
+}
+
+/// Column-wise mean of the rows a [`QuantizedRows`] storage *serves*
+/// (dequantized or exact), in the same accumulation order as
+/// [`mean_row`] — quantize-then-save and load-from-parts must both call
+/// this so the fallback row reproduces bitwise.
+fn mean_served_row(q: &QuantizedRows, row_len: usize) -> Vec<f32> {
+    let n_rows = q.quant.n_rows();
+    let mut mean = vec![0.0f32; row_len];
+    if n_rows == 0 {
+        return mean;
+    }
+    let mut row = vec![0.0f32; row_len];
+    for id in 0..n_rows {
+        q.row_into(id, &mut row);
+        for (m, &x) in mean.iter_mut().zip(&row) {
             *m += x;
         }
     }
@@ -65,13 +145,13 @@ impl ServiceSnapshot {
         Self {
             dim: d,
             k: service.k(),
-            rows,
+            storage: Storage::Dense(rows),
             fallback,
         }
     }
 
-    /// Reassemble a snapshot from its stored parts (used by
-    /// `serialize::snapshot_from_bytes`).
+    /// Reassemble a dense snapshot from its stored parts (used by
+    /// `serialize::snapshot_from_bytes` for `PKGMSS1` payloads).
     pub(crate) fn from_parts(dim: usize, k: usize, rows: Vec<f32>) -> Self {
         assert!(dim > 0, "snapshot dim must be positive");
         assert_eq!(
@@ -83,7 +163,105 @@ impl ServiceSnapshot {
         Self {
             dim,
             k,
-            rows,
+            storage: Storage::Dense(rows),
+            fallback,
+        }
+    }
+
+    /// Reassemble a quantized snapshot from its stored parts (the
+    /// `PKGMSS2` loader). Shape mismatches between the parts are reported
+    /// as errors, not panics — on-disk bytes are untrusted.
+    pub(crate) fn from_quantized_parts(
+        dim: usize,
+        k: usize,
+        quant: QuantTable,
+        exact_ids: Vec<u32>,
+        exact_rows: Vec<f32>,
+    ) -> Result<Self, String> {
+        if dim == 0 {
+            return Err("snapshot dim must be positive".into());
+        }
+        if quant.row_len() != 2 * dim {
+            return Err(format!(
+                "quantized rows are {} long, expected {}",
+                quant.row_len(),
+                2 * dim
+            ));
+        }
+        if exact_rows.len() != exact_ids.len() * 2 * dim {
+            return Err(format!(
+                "expected {} exact-row floats, found {}",
+                exact_ids.len() * 2 * dim,
+                exact_rows.len()
+            ));
+        }
+        if !exact_ids.windows(2).all(|w| w[0] < w[1]) {
+            return Err("exact-row ids are not strictly increasing".into());
+        }
+        if let Some(&last) = exact_ids.last() {
+            if last as usize >= quant.n_rows() {
+                return Err(format!(
+                    "exact-row id {last} beyond the {}-row table",
+                    quant.n_rows()
+                ));
+            }
+        }
+        let q = QuantizedRows {
+            quant,
+            exact_ids,
+            exact_rows,
+        };
+        let fallback = mean_served_row(&q, 2 * dim);
+        Ok(Self {
+            dim,
+            k,
+            storage: Storage::Quantized(q),
+            fallback,
+        })
+    }
+
+    /// The quantized form of this snapshot: the condensed table as a
+    /// blockwise int8 [`QuantTable`], with the worst-quantizing rows
+    /// (error > [`EXACT_ERR_FACTOR`]× the median, capped at
+    /// `n_rows / `[`EXACT_ROW_DIVISOR`]) kept verbatim in f32. Already
+    /// quantized snapshots are returned as-is.
+    pub fn quantize(&self) -> ServiceSnapshot {
+        let row_len = 2 * self.dim;
+        let rows = match &self.storage {
+            Storage::Quantized(_) => return self.clone(),
+            Storage::Dense(rows) => rows,
+        };
+        let quant = QuantTable::quantize_table(rows, row_len);
+        let errs = quant.row_errs();
+        let mut sorted = errs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite quant errors"));
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
+        let mut escapes: Vec<u32> = (0..quant.n_rows() as u32)
+            .filter(|&i| errs[i as usize] > EXACT_ERR_FACTOR * median)
+            .collect();
+        // Worst offenders first (ties by id for determinism), capped.
+        escapes.sort_by(|&a, &b| {
+            errs[b as usize]
+                .partial_cmp(&errs[a as usize])
+                .expect("finite quant errors")
+                .then(a.cmp(&b))
+        });
+        escapes.truncate(quant.n_rows() / EXACT_ROW_DIVISOR);
+        escapes.sort_unstable();
+        let mut exact_rows = Vec::with_capacity(escapes.len() * row_len);
+        for &id in &escapes {
+            exact_rows.extend_from_slice(&rows[id as usize * row_len..][..row_len]);
+        }
+        let q = QuantizedRows {
+            quant,
+            exact_ids: escapes,
+            exact_rows,
+        };
+        let fallback = mean_served_row(&q, row_len);
+        ServiceSnapshot {
+            dim: self.dim,
+            k: self.k,
+            storage: Storage::Quantized(q),
             fallback,
         }
     }
@@ -100,35 +278,118 @@ impl ServiceSnapshot {
 
     /// Number of entity rows in the table.
     pub fn n_rows(&self) -> usize {
-        self.rows.len() / (2 * self.dim)
+        match &self.storage {
+            Storage::Dense(rows) => rows.len() / (2 * self.dim),
+            Storage::Quantized(q) => q.quant.n_rows(),
+        }
+    }
+
+    /// Whether rows are stored int8-quantized.
+    pub fn is_quantized(&self) -> bool {
+        matches!(self.storage, Storage::Quantized(_))
+    }
+
+    /// Bytes held by the row storage (the resident footprint the
+    /// `bytes_per_entity` bench fields report; excludes the fallback row).
+    pub fn storage_bytes(&self) -> usize {
+        match &self.storage {
+            Storage::Dense(rows) => 4 * rows.len(),
+            Storage::Quantized(q) => {
+                q.quant.storage_bytes() + 4 * q.exact_ids.len() + 4 * q.exact_rows.len()
+            }
+        }
     }
 
     /// O(1) condensed-service lookup; `None` for ids beyond the table.
-    pub fn condensed(&self, item: EntityId) -> Option<&[f32]> {
+    ///
+    /// Dense tables and verbatim escape rows borrow; quantized rows
+    /// dequantize into an owned buffer. Allocation-sensitive callers
+    /// should use [`ServiceSnapshot::lookup_exact`] with a reused buffer.
+    pub fn condensed(&self, item: EntityId) -> Option<Cow<'_, [f32]>> {
         let row_len = 2 * self.dim;
         let start = (item.0 as usize).checked_mul(row_len)?;
-        self.rows.get(start..start + row_len)
+        match &self.storage {
+            Storage::Dense(rows) => rows.get(start..start + row_len).map(Cow::Borrowed),
+            Storage::Quantized(q) => {
+                let id = item.0 as usize;
+                if id >= q.quant.n_rows() {
+                    return None;
+                }
+                if let Ok(e) = q.exact_ids.binary_search(&item.0) {
+                    Some(Cow::Borrowed(&q.exact_rows[e * row_len..(e + 1) * row_len]))
+                } else {
+                    let mut out = vec![0.0f32; row_len];
+                    q.quant.dequantize_into(id, &mut out);
+                    Some(Cow::Owned(out))
+                }
+            }
+        }
     }
 
     /// Degraded-mode lookup: the entity's row if the id is in range, else
     /// the table-mean [`ServiceSnapshot::fallback_row`]. The flag is `true`
     /// iff the fallback was served, so callers can count degraded answers.
-    pub fn condensed_or_fallback(&self, item: EntityId) -> (&[f32], bool) {
+    pub fn condensed_or_fallback(&self, item: EntityId) -> (Cow<'_, [f32]>, bool) {
         match self.condensed(item) {
             Some(row) => (row, false),
-            None => (&self.fallback, true),
+            None => (Cow::Borrowed(&self.fallback[..]), true),
         }
     }
 
+    /// Allocation-free lookup into a reused buffer (resized to `2d`):
+    /// writes the served row — dense, verbatim escape, or
+    /// deterministically dequantized — and returns `true`; for ids beyond
+    /// the table writes the fallback row and returns `false` (degraded).
+    ///
+    /// "Exact" is the serialization contract: the bytes written here are
+    /// a pure function of the snapshot's stored parts, so a `PKGMSS2`
+    /// round-trip reproduces them bit-for-bit.
+    pub fn lookup_exact(&self, item: EntityId, out: &mut Vec<f32>) -> bool {
+        let row_len = 2 * self.dim;
+        out.resize(row_len, 0.0);
+        let id = item.0 as usize;
+        match &self.storage {
+            Storage::Dense(rows) => {
+                if let Some(row) =
+                    (id.checked_mul(row_len)).and_then(|start| rows.get(start..start + row_len))
+                {
+                    out.copy_from_slice(row);
+                    return true;
+                }
+            }
+            Storage::Quantized(q) => {
+                if id < q.quant.n_rows() {
+                    q.row_into(id, out);
+                    return true;
+                }
+            }
+        }
+        out.copy_from_slice(&self.fallback);
+        false
+    }
+
     /// The fallback served for out-of-range ids: the column-wise mean of
-    /// every row (all zeros for an empty table). A `2d` slice.
+    /// every served row (all zeros for an empty table). A `2d` slice.
     pub fn fallback_row(&self) -> &[f32] {
         &self.fallback
     }
 
-    /// The raw row-major table (`n_rows × 2d`).
-    pub fn table(&self) -> &[f32] {
-        &self.rows
+    /// The contiguous row-major f32 table (`n_rows × 2d`), when rows are
+    /// stored dense; `None` for quantized snapshots.
+    pub fn dense_table(&self) -> Option<&[f32]> {
+        match &self.storage {
+            Storage::Dense(rows) => Some(rows),
+            Storage::Quantized(_) => None,
+        }
+    }
+
+    /// The quantized parts (table, sorted escape ids, escape rows), when
+    /// rows are stored quantized — the `PKGMSS2` serialization inputs.
+    pub(crate) fn quant_parts(&self) -> Option<(&QuantTable, &[u32], &[f32])> {
+        match &self.storage {
+            Storage::Dense(_) => None,
+            Storage::Quantized(q) => Some((&q.quant, &q.exact_ids, &q.exact_rows)),
+        }
     }
 }
 
@@ -138,14 +399,14 @@ mod tests {
     use crate::model::{PkgmConfig, PkgmModel};
     use pkgm_store::{KeyRelationSelector, StoreBuilder};
 
-    fn service() -> KnowledgeService {
+    fn service_n(n: u32) -> KnowledgeService {
         let mut b = StoreBuilder::new();
-        for i in 0..6u32 {
-            b.add_raw(i, 0, 6 + i % 3);
-            b.add_raw(i, 1, 9);
+        for i in 0..n {
+            b.add_raw(i, 0, n + i % 3);
+            b.add_raw(i, 1, n + 3);
         }
         let store = b.build();
-        let pairs: Vec<(EntityId, u32)> = (0..6).map(|i| (EntityId(i), 0)).collect();
+        let pairs: Vec<(EntityId, u32)> = (0..n).map(|i| (EntityId(i), 0)).collect();
         let sel = KeyRelationSelector::build(&store, &pairs, 2, 2);
         let model = PkgmModel::new(
             store.n_entities() as usize,
@@ -155,6 +416,10 @@ mod tests {
         KnowledgeService::new(model, sel)
     }
 
+    fn service() -> KnowledgeService {
+        service_n(6)
+    }
+
     #[test]
     fn snapshot_rows_match_live_service() {
         let svc = service();
@@ -162,9 +427,10 @@ mod tests {
         assert_eq!(snap.n_rows(), svc.model().n_entities());
         assert_eq!(snap.dim(), svc.dim());
         assert_eq!(snap.k(), svc.k());
+        assert!(!snap.is_quantized());
         for i in 0..snap.n_rows() as u32 {
             let row = snap.condensed(EntityId(i)).expect("row in range");
-            assert_eq!(row, svc.condensed_service(EntityId(i)).as_slice());
+            assert_eq!(&row[..], svc.condensed_service(EntityId(i)).as_slice());
         }
     }
 
@@ -180,16 +446,20 @@ mod tests {
         let snap = ServiceSnapshot::build(&service());
         let row_len = 2 * snap.dim();
         let n = snap.n_rows();
+        let table = snap.dense_table().expect("dense snapshot");
         for i in 0..row_len {
-            let expect: f32 = (0..n).map(|r| snap.table()[r * row_len + i]).sum::<f32>() / n as f32;
+            let expect: f32 = (0..n).map(|r| table[r * row_len + i]).sum::<f32>() / n as f32;
             assert!((snap.fallback_row()[i] - expect).abs() < 1e-6);
         }
         let (row, degraded) = snap.condensed_or_fallback(EntityId(0));
         assert!(!degraded);
-        assert_eq!(row, snap.condensed(EntityId(0)).expect("in range"));
+        assert_eq!(
+            &row[..],
+            &snap.condensed(EntityId(0)).expect("in range")[..]
+        );
         let (row, degraded) = snap.condensed_or_fallback(EntityId(u32::MAX));
         assert!(degraded);
-        assert_eq!(row, snap.fallback_row());
+        assert_eq!(&row[..], snap.fallback_row());
     }
 
     #[test]
@@ -198,6 +468,137 @@ mod tests {
         let snap = ServiceSnapshot::build(&svc);
         let row_len = 2 * snap.dim();
         let row2 = snap.condensed(EntityId(2)).expect("row 2");
-        assert_eq!(&snap.table()[2 * row_len..3 * row_len], row2);
+        let table = snap.dense_table().expect("dense snapshot");
+        assert_eq!(&table[2 * row_len..3 * row_len], &row2[..]);
+    }
+
+    #[test]
+    fn quantized_snapshot_serves_close_rows_at_a_fraction_of_the_bytes() {
+        let svc = service_n(200);
+        let dense = ServiceSnapshot::build(&svc);
+        let quant = dense.quantize();
+        assert!(quant.is_quantized());
+        assert_eq!(quant.n_rows(), dense.n_rows());
+        assert_eq!(quant.dim(), dense.dim());
+        assert_eq!(quant.k(), dense.k());
+        assert!(
+            quant.storage_bytes() * 10 <= dense.storage_bytes() * 4,
+            "quantized {} B vs dense {} B",
+            quant.storage_bytes(),
+            dense.storage_bytes()
+        );
+        let (qt, ids, _) = quant.quant_parts().expect("quantized parts");
+        let mut buf = Vec::new();
+        for i in 0..quant.n_rows() as u32 {
+            assert!(quant.lookup_exact(EntityId(i), &mut buf));
+            let orig = dense.condensed(EntityId(i)).expect("dense row");
+            let tol = if ids.binary_search(&i).is_ok() {
+                0.0
+            } else {
+                qt.max_abs_err(i as usize)
+            };
+            for (q, o) in buf.iter().zip(&orig[..]) {
+                assert!((q - o).abs() <= tol, "row {i}: |{q} - {o}| > {tol}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_is_idempotent_and_exact_rows_are_verbatim() {
+        let svc = service_n(200);
+        let quant = ServiceSnapshot::build(&svc).quantize();
+        assert_eq!(quant.quantize(), quant);
+        let dense = ServiceSnapshot::build(&svc);
+        let (_, ids, rows) = quant.quant_parts().expect("quantized parts");
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "escape ids sorted");
+        let row_len = 2 * quant.dim();
+        for (e, &id) in ids.iter().enumerate() {
+            assert_eq!(
+                &rows[e * row_len..(e + 1) * row_len],
+                &dense.condensed(EntityId(id)).expect("dense row")[..]
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_lookup_exact_matches_condensed_and_flags_degraded() {
+        let quant = ServiceSnapshot::build(&service_n(100)).quantize();
+        let mut buf = Vec::new();
+        for i in 0..quant.n_rows() as u32 {
+            assert!(quant.lookup_exact(EntityId(i), &mut buf));
+            let row = quant.condensed(EntityId(i)).expect("in range");
+            assert_eq!(buf.as_slice(), &row[..], "row {i}");
+        }
+        assert!(!quant.lookup_exact(EntityId(u32::MAX), &mut buf));
+        assert_eq!(buf.as_slice(), quant.fallback_row());
+        assert!(quant.condensed(EntityId(u32::MAX)).is_none());
+        assert!(quant.dense_table().is_none());
+    }
+
+    /// An explicitly constructed escape set: escaped rows serve the
+    /// verbatim f32 bytes (borrowed), all other rows dequantize (owned).
+    #[test]
+    fn escape_rows_are_served_verbatim() {
+        let row_len = 16;
+        let rows: Vec<f32> = (0..4 * row_len).map(|i| (i as f32 * 0.37).sin()).collect();
+        let qt = QuantTable::quantize_table(&rows, row_len);
+        let exact_ids = vec![2u32];
+        let exact_rows = rows[2 * row_len..3 * row_len].to_vec();
+        let snap =
+            ServiceSnapshot::from_quantized_parts(8, 2, qt.clone(), exact_ids, exact_rows).unwrap();
+        let mut buf = Vec::new();
+        assert!(snap.lookup_exact(EntityId(2), &mut buf));
+        assert_eq!(buf.as_slice(), &rows[2 * row_len..3 * row_len]);
+        match snap.condensed(EntityId(2)).expect("in range") {
+            Cow::Borrowed(r) => assert_eq!(r, &rows[2 * row_len..3 * row_len]),
+            Cow::Owned(_) => panic!("escape row should serve borrowed bytes"),
+        }
+        match snap.condensed(EntityId(1)).expect("in range") {
+            Cow::Owned(r) => {
+                let mut expect = vec![0.0f32; row_len];
+                qt.dequantize_into(1, &mut expect);
+                assert_eq!(r, expect);
+            }
+            Cow::Borrowed(_) => panic!("quantized row should dequantize into an owned buffer"),
+        }
+    }
+
+    #[test]
+    fn from_quantized_parts_rejects_broken_shapes() {
+        let quant = ServiceSnapshot::build(&service_n(100)).quantize();
+        let (qt, ids, rows) = quant.quant_parts().expect("quantized parts");
+        let (qt, ids, rows) = (qt.clone(), ids.to_vec(), rows.to_vec());
+        let d = quant.dim();
+        let k = quant.k();
+        let rebuilt =
+            ServiceSnapshot::from_quantized_parts(d, k, qt.clone(), ids.clone(), rows.clone())
+                .expect("valid parts");
+        assert_eq!(rebuilt, quant);
+        // Wrong dim for the quant table's row length.
+        assert!(ServiceSnapshot::from_quantized_parts(
+            d + 1,
+            k,
+            qt.clone(),
+            ids.clone(),
+            rows.clone()
+        )
+        .is_err());
+        // Exact rows not matching the id count (one stray float).
+        let mut stray = rows.clone();
+        stray.push(0.0);
+        assert!(
+            ServiceSnapshot::from_quantized_parts(d, k, qt.clone(), ids.clone(), stray).is_err()
+        );
+        // Unsorted and out-of-range escape ids.
+        if ids.len() >= 2 {
+            let mut bad = ids.clone();
+            bad.swap(0, 1);
+            assert!(
+                ServiceSnapshot::from_quantized_parts(d, k, qt.clone(), bad, rows.clone()).is_err()
+            );
+        }
+        let bad = vec![quant.n_rows() as u32];
+        let bad_rows = vec![0.0f32; 2 * d];
+        assert!(ServiceSnapshot::from_quantized_parts(d, k, qt, bad, bad_rows).is_err());
     }
 }

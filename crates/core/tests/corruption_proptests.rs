@@ -113,4 +113,39 @@ proptest! {
         check_raw(&bytes, snapshot_from_bytes, cut, at, to as u8)?;
         check_framed(ArtifactKind::Snapshot, &bytes, cut, at, to as u8)?;
     }
+
+    /// The quantized `PKGMSS2` frame takes the same contract as the dense
+    /// one — and its decoder validates more than raw f32 payloads do, so
+    /// flipped bytes inside the scales section (NaN/negative/huge scales)
+    /// must surface as typed errors even without the CRC.
+    #[test]
+    fn quantized_snapshot_decoder_never_panics(
+        cut in 0usize..4096,
+        at in 0usize..4096,
+        to in 0u32..256,
+    ) {
+        let (_, _, snapshot) = fixture();
+        let quant = snapshot.quantize();
+        let bytes = snapshot_to_bytes(&quant);
+        check_raw(&bytes, snapshot_from_bytes, cut, at, to as u8)?;
+        check_framed(ArtifactKind::Snapshot, &bytes, cut, at, to as u8)?;
+        // Target the scales section specifically: force a sign-bit flip on
+        // one scale float, which makes it negative (or NaN) and must be
+        // rejected by value validation, not just fail to round-trip.
+        let row_len = 2 * 8; // fixture dim
+        let n_rows = snapshot.n_rows();
+        let scales_start = 36 + n_rows * row_len;
+        let mut mangled = bytes.to_vec();
+        let slot = scales_start + (at % n_rows) * 4 + 3;
+        // A zero scale sign-flips to -0.0, which still satisfies `>= 0`;
+        // require exponent bits so the flip lands strictly below zero.
+        if slot < mangled.len() && mangled[slot] & 0x7F != 0 {
+            mangled[slot] ^= 0x80;
+            prop_assert!(
+                snapshot_from_bytes(&mangled).is_err(),
+                "negative scale at byte {} went undetected",
+                slot
+            );
+        }
+    }
 }

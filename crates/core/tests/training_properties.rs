@@ -227,7 +227,7 @@ proptest! {
         let snapshot = ServiceSnapshot::build(&service);
         for &q in &queries {
             if let Some(row) = snapshot.condensed(EntityId(q)) {
-                prop_assert_eq!(bits(row), bits(&service.condensed_service(EntityId(q))));
+                prop_assert_eq!(bits(&row), bits(&service.condensed_service(EntityId(q))));
             }
         }
     }
