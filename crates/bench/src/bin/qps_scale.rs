@@ -1,0 +1,347 @@
+//! Sustained-QPS load test of the serving daemon, with hot-swaps under load.
+//!
+//! Starts a real `pkgm_core::Daemon` on an ephemeral port, drives it with
+//! closed-loop clients sampling Zipf-hot keys (the e-commerce regime: a few
+//! head products absorb most traffic), and hot-swaps the serving snapshot
+//! at least twice inside the measured window. Latency is recorded per
+//! lookup during the window only (a warmup phase absorbs connection setup
+//! and cache fill); the report carries sustained QPS and p50/p99/p99.9.
+//!
+//! Exits nonzero if any lookup fails, any row deviates bit-wise from the
+//! snapshot table, the daemon counts a protocol error, or fewer than two
+//! hot-swaps complete under load — so CI can gate on the exit status alone.
+//!
+//! ```sh
+//! cargo run --release -p pkgm-bench --bin qps_scale -- tiny
+//! cargo run --release -p pkgm-bench --bin qps_scale -- standard --out BENCH_qps.json
+//! ```
+
+use pkgm_bench::{report, world, Scale};
+use pkgm_core::serialize;
+use pkgm_core::{
+    Daemon, DaemonClient, DaemonConfig, KnowledgeService, PkgmModel, ServiceSnapshot, StdIo,
+    Trainer,
+};
+use pkgm_store::EntityId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Zipf};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load phases the clients observe.
+const WARMUP: u8 = 0;
+const MEASURE: u8 = 1;
+const DONE: u8 = 2;
+
+/// Zipf exponent for the hot-key law (s ≈ 1 is the classic web regime).
+const ZIPF_S: f64 = 1.05;
+
+struct LoadShape {
+    clients: usize,
+    batch: usize,
+    warmup: Duration,
+    window: Duration,
+    /// Pause between hot-swaps in the swapper loop.
+    swap_gap: Duration,
+}
+
+fn load_shape(scale: Scale) -> LoadShape {
+    match scale {
+        Scale::Smoke => LoadShape {
+            clients: 4,
+            batch: 16,
+            warmup: Duration::from_millis(300),
+            window: Duration::from_millis(1500),
+            swap_gap: Duration::from_millis(100),
+        },
+        Scale::Standard => LoadShape {
+            clients: 8,
+            batch: 32,
+            warmup: Duration::from_secs(1),
+            window: Duration::from_secs(5),
+            swap_gap: Duration::from_millis(200),
+        },
+        Scale::Full => LoadShape {
+            clients: 16,
+            batch: 32,
+            warmup: Duration::from_secs(2),
+            window: Duration::from_secs(10),
+            swap_gap: Duration::from_millis(250),
+        },
+    }
+}
+
+fn build_service(scale: Scale) -> KnowledgeService {
+    let catalog = pkgm_synth::Catalog::generate(&world::catalog_config(scale));
+    let (model_cfg, train_cfg, k) = world::pretrain_config(scale);
+    eprintln!(
+        "[qps_scale] pre-training PKGM (d = {}, {} triples)…",
+        model_cfg.dim,
+        catalog.store.len()
+    );
+    let mut model = PkgmModel::new(
+        catalog.store.n_entities() as usize,
+        catalog.store.n_relations() as usize,
+        model_cfg,
+    );
+    Trainer::new(&model, train_cfg).train(&mut model, &catalog.store);
+    KnowledgeService::new(model, catalog.key_relation_selector(k))
+}
+
+/// One closed-loop client: Zipf-hot lookups until `DONE`, recording
+/// measured-window latencies and verifying every row against the snapshot
+/// table bit-for-bit. Returns `(latencies_ns, measured_lookups)`.
+#[allow(clippy::too_many_arguments)]
+fn client_loop(
+    addr: &str,
+    id: usize,
+    batch: usize,
+    hot: &[u32],
+    baseline: &[Vec<u32>],
+    phase: &AtomicU8,
+    errors: &AtomicU64,
+) -> Result<(Vec<u64>, u64), String> {
+    let mut client = DaemonClient::connect(addr).map_err(|e| format!("client {id}: {e}"))?;
+    let zipf = Zipf::new(hot.len() as u64, ZIPF_S).expect("hot set is non-empty");
+    let mut rng = SmallRng::seed_from_u64(0x9e37 + id as u64);
+    let mut latencies = Vec::new();
+    let mut measured = 0u64;
+    let mut items = vec![0u32; batch];
+    loop {
+        let p = phase.load(Ordering::Acquire);
+        if p == DONE {
+            return Ok((latencies, measured));
+        }
+        for slot in items.iter_mut() {
+            // 1-based Zipf rank → hot-set index: rank 1 is the hottest key.
+            *slot = hot[(zipf.sample(&mut rng) as usize - 1).min(hot.len() - 1)];
+        }
+        let t = Instant::now();
+        let rows = match client.lookup(&items) {
+            Ok(rows) => rows,
+            Err(e) => {
+                errors.fetch_add(1, Ordering::Relaxed);
+                return Err(format!("client {id}: lookup failed: {e}"));
+            }
+        };
+        let elapsed = t.elapsed().as_nanos() as u64;
+        for (&item, row) in items.iter().zip(&rows) {
+            let want = &baseline[item as usize];
+            if row.len() != want.len() || row.iter().zip(want).any(|(x, &w)| x.to_bits() != w) {
+                errors.fetch_add(1, Ordering::Relaxed);
+                return Err(format!(
+                    "client {id}: item {item} deviated from the snapshot bits mid-swap"
+                ));
+            }
+        }
+        if p == MEASURE {
+            latencies.push(elapsed);
+            measured += 1;
+        }
+    }
+}
+
+fn main() {
+    let report::ReportArgs { scale, out_path } =
+        report::parse_scale_args("qps_scale", "BENCH_qps.json");
+    let shape = load_shape(scale);
+    let service = build_service(scale);
+    let dim = service.dim();
+
+    eprintln!(
+        "[qps_scale] building snapshot ({} entities)…",
+        service.model().n_entities()
+    );
+    let snapshot = ServiceSnapshot::build(&service);
+    let n_hot = snapshot.n_rows().clamp(1, 512);
+    let hot: Vec<u32> = (0..n_hot as u32).collect();
+    let mut row = Vec::new();
+    let baseline: Vec<Vec<u32>> = hot
+        .iter()
+        .map(|&id| {
+            assert!(snapshot.lookup_exact(EntityId(id), &mut row));
+            row.iter().map(|x| x.to_bits()).collect()
+        })
+        .collect();
+
+    // Two identical artifacts so the swapper can alternate paths; "no
+    // change for unchanged entities" is then exactly testable in bits.
+    let dir = std::env::temp_dir().join(format!("pkgm-qps-scale-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let snap_a = dir.join("a.pkgmss");
+    let snap_b = dir.join("b.pkgmss");
+    serialize::write_snapshot_file(&StdIo, &snap_a, &snapshot).expect("write snapshot a");
+    serialize::write_snapshot_file(&StdIo, &snap_b, &snapshot).expect("write snapshot b");
+
+    let daemon = Daemon::start(
+        "127.0.0.1:0",
+        service.clone(),
+        Some(snapshot),
+        DaemonConfig::default(),
+    )
+    .expect("daemon binds an ephemeral port");
+    let addr = daemon.local_addr().to_string();
+    eprintln!(
+        "[qps_scale] {} clients × batch {} against {addr} (warmup {:?}, window {:?})…",
+        shape.clients, shape.batch, shape.warmup, shape.window
+    );
+
+    let phase = Arc::new(AtomicU8::new(WARMUP));
+    let errors = Arc::new(AtomicU64::new(0));
+    let mut swaps_in_window = 0u64;
+    let mut window_wall = 0.0f64;
+    let results: Vec<Result<(Vec<u64>, u64), String>> = std::thread::scope(|s| {
+        let clients: Vec<_> = (0..shape.clients)
+            .map(|id| {
+                let addr = addr.as_str();
+                let (hot, baseline) = (&hot, &baseline);
+                let (phase, errors) = (Arc::clone(&phase), Arc::clone(&errors));
+                s.spawn(move || client_loop(addr, id, shape.batch, hot, baseline, &phase, &errors))
+            })
+            .collect();
+        // Swapper: alternate the two artifacts for the whole run; swaps
+        // completed inside the measured window are counted against the
+        // ≥ 2 gate.
+        let swapper = {
+            let addr = addr.clone();
+            let (phase, snap_a, snap_b) = (Arc::clone(&phase), snap_a.clone(), snap_b.clone());
+            let gap = shape.swap_gap;
+            s.spawn(move || -> Result<u64, String> {
+                let mut client =
+                    DaemonClient::connect(&addr).map_err(|e| format!("swapper: {e}"))?;
+                let mut toggle = false;
+                let mut in_window = 0u64;
+                loop {
+                    match phase.load(Ordering::Acquire) {
+                        DONE => return Ok(in_window),
+                        p => {
+                            let path = if toggle { &snap_b } else { &snap_a };
+                            toggle = !toggle;
+                            client
+                                .reload(path.to_str().expect("utf-8 scratch path"))
+                                .map_err(|e| format!("swapper: reload failed: {e}"))?;
+                            if p == MEASURE {
+                                in_window += 1;
+                            }
+                            std::thread::sleep(gap);
+                        }
+                    }
+                }
+            })
+        };
+
+        std::thread::sleep(shape.warmup);
+        phase.store(MEASURE, Ordering::Release);
+        let started = Instant::now();
+        std::thread::sleep(shape.window);
+        phase.store(DONE, Ordering::Release);
+        window_wall = started.elapsed().as_secs_f64();
+
+        let results = clients
+            .into_iter()
+            .map(|c| c.join().expect("client thread panicked"))
+            .collect();
+        match swapper.join().expect("swapper thread panicked") {
+            Ok(n) => swaps_in_window = n,
+            Err(e) => {
+                eprintln!("[qps_scale] {e}");
+                errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        results
+    });
+
+    let mut failures = Vec::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut measured_lookups = 0u64;
+    for r in results {
+        match r {
+            Ok((lat, n)) => {
+                latencies.extend(lat);
+                measured_lookups += n;
+            }
+            Err(e) => failures.push(e),
+        }
+    }
+    latencies.sort_unstable();
+
+    let stats = DaemonClient::connect(&addr)
+        .and_then(|mut c| c.stats())
+        .expect("daemon stats after the run");
+    let protocol_errors = stats
+        .get("protocol_errors")
+        .and_then(|v| v.as_u64())
+        .unwrap_or(u64::MAX);
+    let shed = stats
+        .get("batch")
+        .and_then(|b| b.get("shed"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    let total_swaps = daemon.swaps();
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let qps = measured_lookups as f64 / window_wall;
+    let items_per_sec = qps * shape.batch as f64;
+    let p50 = report::ns_to_ms(report::percentile(&latencies, 50.0));
+    let p99 = report::ns_to_ms(report::percentile(&latencies, 99.0));
+    let p999 = report::ns_to_ms(report::percentile(&latencies, 99.9));
+
+    println!("| clients | batch | lookups | window (s) | QPS | items/s | p50 (ms) | p99 (ms) | p99.9 (ms) | swaps in window |");
+    println!("|---|---|---|---|---|---|---|---|---|---|");
+    println!(
+        "| {} | {} | {measured_lookups} | {window_wall:.2} | {qps:.0} | {items_per_sec:.0} | {p50:.3} | {p99:.3} | {p999:.3} | {swaps_in_window} |",
+        shape.clients, shape.batch
+    );
+    println!();
+    println!("hot-swaps: {total_swaps} total, {swaps_in_window} inside the measured window");
+    println!("protocol errors: {protocol_errors}, shed lookups: {shed}");
+
+    let host_cpus = report::host_cpus();
+    report::warn_if_time_sliced("qps_scale", host_cpus, shape.clients);
+    let report_json = serde_json::json!({
+        "benchmark": "qps_scale",
+        "scale": scale.name(),
+        "host_cpus": host_cpus,
+        "dim": dim,
+        "clients": shape.clients,
+        "batch": shape.batch,
+        "zipf_s": ZIPF_S,
+        "n_hot_keys": hot.len(),
+        "warmup_secs": shape.warmup.as_secs_f64(),
+        "window_secs": window_wall,
+        "measured_lookups": measured_lookups,
+        "qps": qps,
+        "items_per_sec": items_per_sec,
+        "p50_ms": p50,
+        "p99_ms": p99,
+        "p999_ms": p999,
+        "hot_swaps_total": total_swaps,
+        "hot_swaps_in_window": swaps_in_window,
+        "protocol_errors": protocol_errors,
+        "shed_lookups": shed,
+        "failed_lookups": failures.len(),
+    });
+    report::write_report("qps_scale", &out_path, &report_json);
+
+    for f in &failures {
+        eprintln!("[qps_scale] FAILED lookup: {f}");
+    }
+    let client_errors = errors.load(Ordering::Relaxed);
+    if !failures.is_empty() || client_errors > 0 {
+        eprintln!("[qps_scale] FAIL: {client_errors} client error(s) under load");
+        std::process::exit(1);
+    }
+    if protocol_errors != 0 {
+        eprintln!("[qps_scale] FAIL: daemon counted {protocol_errors} protocol error(s)");
+        std::process::exit(1);
+    }
+    if swaps_in_window < 2 {
+        eprintln!(
+            "[qps_scale] FAIL: only {swaps_in_window} hot-swap(s) completed inside the window (need ≥ 2)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -69,6 +69,21 @@ pub fn warn_if_time_sliced(bin: &str, host_cpus: usize, max_threads: usize) {
     }
 }
 
+/// Nearest-rank percentile of an **ascending-sorted** sample. `p` is in
+/// percent (50.0, 99.0, 99.9, …); an empty sample yields 0.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Nanoseconds to milliseconds, for latency report fields.
+pub fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
 /// Pretty-print `report` to `out_path`; on failure print the error and
 /// exit 1.
 pub fn write_report(bin: &str, out_path: &str, report: &serde_json::Value) {
@@ -103,5 +118,17 @@ mod tests {
     fn bad_arguments_are_rejected() {
         assert!(parse_scale_arg_list("o", strings(&["--out"])).is_err());
         assert!(parse_scale_arg_list("o", strings(&["warp-speed"])).is_err());
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank_over_sorted_samples() {
+        assert_eq!(percentile(&[], 99.0), 0);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1);
+        assert_eq!(percentile(&sorted, 50.0), 51); // rank round(0.5 * 99)
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(ns_to_ms(1_500_000), 1.5);
     }
 }

@@ -13,6 +13,11 @@
 //! pkgm snapshot   --service svc.bin --out serving.snap
 //! pkgm eval      --preset small --seed 42 --service svc.bin --max-facts 300
 //! pkgm faultcheck [--dir scratch] [--seed 42]
+//! pkgm daemon serve  --service svc.bin [--addr 127.0.0.1:7071] [--snapshot s.snap]
+//! pkgm daemon reload --addr HOST:PORT --snapshot s.snap   # hot-swap, daemon-local path
+//! pkgm daemon stats  --addr HOST:PORT
+//! pkgm daemon stop   --addr HOST:PORT
+//! pkgm bench-qps  --preset tiny [--clients 4] [--requests 300] [--out qps.json]
 //! ```
 //!
 //! All artifacts are written atomically (temp file + fsync + rename) inside a
@@ -23,8 +28,9 @@ mod args;
 
 use args::Args;
 use pkgm_core::{
-    eval, fault, load_latest_checkpoint, serialize, CheckpointConfig, GradKernel, KnowledgeService,
-    PkgmConfig, PkgmModel, ServiceSnapshot, StdIo, TrainConfig, Trainer,
+    eval, fault, load_latest_checkpoint, serialize, CheckpointConfig, Daemon, DaemonClient,
+    DaemonConfig, GradKernel, KnowledgeService, PkgmConfig, PkgmModel, ServiceSnapshot, StdIo,
+    TrainConfig, Trainer,
 };
 use pkgm_store::{EntityId, KgStats};
 use pkgm_synth::{Catalog, CatalogConfig};
@@ -48,6 +54,11 @@ fn main() {
 }
 
 fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    // `daemon` alone takes an action positional before its flags:
+    // `pkgm daemon [serve|reload|stats|stop] --flag value …`.
+    if argv.first().map(String::as_str) == Some("daemon") {
+        return daemon_cmd(argv);
+    }
     let args = Args::parse(argv)?;
     match args.command.as_str() {
         "stats" => stats(&args),
@@ -60,8 +71,81 @@ fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         "faultcheck" => faultcheck(&args),
         "bench-train" => bench_train(&args),
         "bench-eval" => bench_eval(&args),
+        "bench-qps" => bench_qps(&args),
         other => Err(format!("unknown subcommand: {other}").into()),
     }
+}
+
+fn daemon_cmd(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let (action, rest) = match argv.get(1) {
+        Some(tok) if !tok.starts_with("--") => (tok.clone(), argv[2..].to_vec()),
+        _ => ("serve".to_string(), argv[1..].to_vec()),
+    };
+    let args = Args::parse(std::iter::once(format!("daemon-{action}")).chain(rest))?;
+    match action.as_str() {
+        "serve" => daemon_serve(&args),
+        "reload" => daemon_reload(&args),
+        "stats" => daemon_stats(&args),
+        "stop" => daemon_stop(&args),
+        other => Err(format!("unknown daemon action: {other} (serve|reload|stats|stop)").into()),
+    }
+}
+
+fn daemon_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let service = load_service(args)?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7071");
+    let snapshot = match args.get("snapshot") {
+        Some(path) => Some(serialize::read_snapshot_file(
+            &StdIo,
+            std::path::Path::new(path),
+        )?),
+        None => None,
+    };
+    let defaults = DaemonConfig::default();
+    let cfg = DaemonConfig {
+        workers: args.get_or("workers", defaults.workers)?,
+        max_batch_items: args.get_or("max-batch-items", defaults.max_batch_items)?,
+        queue_capacity: args.get_or("queue-capacity", defaults.queue_capacity)?,
+        cache_capacity: args.get_or("cache-capacity", defaults.cache_capacity)?,
+    };
+    let daemon = Daemon::start(addr, service, snapshot, cfg.clone())?;
+    let local = daemon.local_addr();
+    // Scripts and CI start the daemon with `--addr 127.0.0.1:0` and read
+    // the resolved ephemeral address back from this file.
+    if let Some(path) = args.get("addr-file") {
+        std::fs::write(path, local.to_string())?;
+    }
+    eprintln!(
+        "[pkgm] daemon listening on {local} ({} workers, batch ≤ {}, queue ≤ {}); \
+         stop with `pkgm daemon stop --addr {local}`",
+        cfg.workers, cfg.max_batch_items, cfg.queue_capacity
+    );
+    daemon.wait();
+    eprintln!("[pkgm] daemon stopped");
+    Ok(())
+}
+
+fn daemon_client(args: &Args) -> Result<DaemonClient, Box<dyn std::error::Error>> {
+    Ok(DaemonClient::connect(args.require("addr")?)?)
+}
+
+fn daemon_reload(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let snapshot = args.require("snapshot")?;
+    let summary = daemon_client(args)?.reload(snapshot)?;
+    println!("{}", serde_json::to_string_pretty(&summary)?);
+    Ok(())
+}
+
+fn daemon_stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let stats = daemon_client(args)?.stats()?;
+    println!("{}", serde_json::to_string_pretty(&stats)?);
+    Ok(())
+}
+
+fn daemon_stop(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    daemon_client(args)?.shutdown()?;
+    println!("daemon at {} stopped", args.require("addr")?);
+    Ok(())
 }
 
 fn catalog_from(args: &Args) -> Result<Catalog, Box<dyn std::error::Error>> {
@@ -476,6 +560,145 @@ fn bench_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Nearest-rank percentile of an ascending-sorted latency sample.
+fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Self-contained QPS smoke: an in-process daemon on an ephemeral port,
+/// closed-loop clients, and one snapshot hot-swap mid-run. The untrained
+/// model is deliberate — network + batching throughput does not depend on
+/// the embedding values, and skipping training keeps this runnable in CI.
+/// The deep sweep lives in `pkgm-bench`'s `qps_scale` binary.
+fn bench_qps(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = catalog_from(args)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let dim: usize = args.get_or("dim", 32)?;
+    let k: usize = args.get_or("k", 4)?;
+    let clients: usize = args.get_or("clients", 4)?;
+    let requests: usize = args.get_or("requests", 300)?;
+    let batch: usize = args.get_or("batch", 16)?;
+
+    let model = PkgmModel::new(
+        catalog.store.n_entities() as usize,
+        catalog.store.n_relations() as usize,
+        PkgmConfig::new(dim).with_seed(seed),
+    );
+    let service = KnowledgeService::new(model, catalog.key_relation_selector(k));
+    let snap = ServiceSnapshot::build(&service);
+    let dir = std::env::temp_dir().join(format!("pkgm-bench-qps-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let snap_path = dir.join("reload.pkgmss");
+    serialize::write_snapshot_file(&StdIo, &snap_path, &snap)?;
+
+    let daemon = Daemon::start("127.0.0.1:0", service, Some(snap), DaemonConfig::default())?;
+    let addr = daemon.local_addr().to_string();
+    let n_items = catalog.items.len().max(1) as u32;
+    eprintln!(
+        "[pkgm] bench-qps: {clients} closed-loop clients × {requests} lookups × {batch} items \
+         against {addr}"
+    );
+
+    let start = std::time::Instant::now();
+    let latencies: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                s.spawn(move || -> Result<Vec<u64>, String> {
+                    let mut client = DaemonClient::connect(&addr).map_err(|e| e.to_string())?;
+                    let mut lat = Vec::with_capacity(requests);
+                    for r in 0..requests {
+                        let items: Vec<u32> = (0..batch)
+                            .map(|i| ((c * 31 + r * 7 + i) as u32) % n_items)
+                            .collect();
+                        let t = std::time::Instant::now();
+                        let rows = client
+                            .lookup(&items)
+                            .map_err(|e| format!("client {c} request {r}: {e}"))?;
+                        lat.push(t.elapsed().as_nanos() as u64);
+                        if rows.len() != items.len() {
+                            return Err(format!("client {c} request {r}: row count mismatch"));
+                        }
+                    }
+                    Ok(lat)
+                })
+            })
+            .collect();
+        // One hot-swap while the clients are mid-run.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let reload = DaemonClient::connect(&addr)
+            .and_then(|mut c| c.reload(snap_path.to_str().expect("utf-8 temp path")));
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .expect("client thread panicked")
+                    .map_err(|e| -> Box<dyn std::error::Error> { e.into() })
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .and_then(|lats| reload.map(|_| lats).map_err(|e| e.into()))
+    })?;
+    let wall = start.elapsed().as_secs_f64();
+
+    let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
+    all.sort_unstable();
+    let total_lookups = all.len() as f64;
+    let qps = total_lookups / wall;
+    let swaps = daemon.swaps();
+    let stats = DaemonClient::connect(&addr)?.stats()?;
+    let protocol_errors = stats
+        .get("protocol_errors")
+        .and_then(|v| v.as_u64())
+        .unwrap_or(u64::MAX);
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let (p50, p99, p999) = (
+        ms(percentile_ns(&all, 50.0)),
+        ms(percentile_ns(&all, 99.0)),
+        ms(percentile_ns(&all, 99.9)),
+    );
+    println!("| clients | lookups | wall (s) | QPS | items/s | p50 (ms) | p99 (ms) | p99.9 (ms) |");
+    println!("|---|---|---|---|---|---|---|---|");
+    println!(
+        "| {clients} | {total_lookups:.0} | {wall:.3} | {qps:.0} | {:.0} | {p50:.3} | {p99:.3} | {p999:.3} |",
+        qps * batch as f64
+    );
+    println!("\nhot-swaps completed mid-run: {swaps}, protocol errors: {protocol_errors}");
+    if swaps < 1 {
+        return Err("bench-qps: no hot-swap completed under load".into());
+    }
+    if protocol_errors != 0 {
+        return Err(format!("bench-qps: {protocol_errors} protocol errors").into());
+    }
+    if let Some(out) = args.get("out") {
+        let report = serde_json::json!({
+            "benchmark": "bench-qps",
+            "dim": dim,
+            "clients": clients,
+            "requests_per_client": requests,
+            "batch": batch,
+            "total_lookups": total_lookups,
+            "wall_secs": wall,
+            "qps": qps,
+            "items_per_sec": qps * batch as f64,
+            "p50_ms": p50,
+            "p99_ms": p99,
+            "p999_ms": p999,
+            "hot_swaps": swaps,
+            "protocol_errors": protocol_errors,
+        });
+        std::fs::write(out, serde_json::to_string_pretty(&report)?)?;
+        eprintln!("[pkgm] wrote {out}");
+    }
+    Ok(())
+}
+
 fn load_service(args: &Args) -> Result<KnowledgeService, Box<dyn std::error::Error>> {
     let path = args.require("service")?;
     Ok(serialize::read_service_file(
@@ -663,6 +886,19 @@ fn print_help() {
          \u{20}              ranking-kernel throughput on the same held-out facts; with\n\
          \u{20}              --quantized also times the int8 two-phase kernel and reports\n\
          \u{20}              prune rate + scanned bytes (all ranks bit-identical to the\n\
-         \u{20}              reference scan; see eval_kernels)\n"
+         \u{20}              reference scan; see eval_kernels)\n\
+         \u{20}  daemon      serve --service service.bin [--addr 127.0.0.1:7071]\n\
+         \u{20}              [--snapshot serving.snap] [--workers 2] [--max-batch-items 1024]\n\
+         \u{20}              [--queue-capacity 16384] [--cache-capacity 65536]\n\
+         \u{20}              [--addr-file f  # write the bound address, for --addr …:0]\n\
+         \u{20}              — TCP serving daemon: length-prefixed binary protocol,\n\
+         \u{20}              dynamic batching, shed-not-stall admission control\n\
+         \u{20}  daemon reload --addr HOST:PORT --snapshot path — hot-swap the serving\n\
+         \u{20}              snapshot (daemon-local path) under live traffic\n\
+         \u{20}  daemon stats --addr HOST:PORT — daemon counters as JSON\n\
+         \u{20}  daemon stop  --addr HOST:PORT — graceful shutdown\n\
+         \u{20}  bench-qps   --preset P [--clients 4] [--requests 300] [--batch 16]\n\
+         \u{20}              [--out qps.json] — closed-loop QPS smoke against an\n\
+         \u{20}              in-process daemon, with one hot-swap mid-run\n"
     );
 }

@@ -682,3 +682,163 @@ fn quantized_snapshot_roundtrip_and_legacy_serving() {
     );
     std::fs::remove_dir_all(dir).ok();
 }
+
+#[test]
+fn daemon_help_and_action_errors() {
+    let out = pkgm().arg("help").output().unwrap();
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("daemon"));
+    assert!(text.contains("bench-qps"));
+    assert!(text.contains("hot-swap"));
+
+    let out = pkgm().args(["daemon", "frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown daemon action"));
+
+    // Client actions require --addr.
+    let out = pkgm().args(["daemon", "stats"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing required flag --addr"));
+
+    // Serving requires a service artifact.
+    let out = pkgm().args(["daemon", "serve"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing required flag --service"));
+}
+
+#[test]
+fn bench_qps_smoke_reports_swaps_and_zero_errors() {
+    let dir = tmpdir("bench-qps");
+    let report_path = dir.join("qps.json");
+    let out = pkgm()
+        .args([
+            "bench-qps",
+            "--preset",
+            "tiny",
+            "--seed",
+            "9",
+            "--dim",
+            "8",
+            "--clients",
+            "2",
+            "--requests",
+            "60",
+            "--batch",
+            "8",
+            "--out",
+            report_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+    assert!(report.get("qps").and_then(|v| v.as_f64()).unwrap() > 0.0);
+    assert!(report.get("p999_ms").and_then(|v| v.as_f64()).unwrap() > 0.0);
+    assert_eq!(
+        report.get("protocol_errors").and_then(|v| v.as_u64()),
+        Some(0)
+    );
+    assert!(report.get("hot_swaps").and_then(|v| v.as_u64()).unwrap() >= 1);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn daemon_serve_reload_stats_stop_across_processes() {
+    let dir = tmpdir("daemon-e2e");
+    let svc = dir.join("svc.bin");
+    let out = pkgm()
+        .args([
+            "train", "--preset", "tiny", "--seed", "8", "--dim", "8", "--epochs", "1", "--k", "3",
+            "--out",
+        ])
+        .arg(&svc)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let snap = dir.join("serving.snap");
+    let out = pkgm()
+        .args(["snapshot", "--service"])
+        .arg(&svc)
+        .arg("--out")
+        .arg(&snap)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Serve on an ephemeral port, discovering it through --addr-file. The
+    // guard kills the child if any assertion below panics first.
+    struct KillOnDrop(std::process::Child);
+    impl Drop for KillOnDrop {
+        fn drop(&mut self) {
+            let _ = self.0.kill();
+        }
+    }
+    let addr_file = dir.join("addr");
+    let mut daemon = KillOnDrop(
+        pkgm()
+            .args(["daemon", "serve", "--service"])
+            .arg(&svc)
+            .args(["--addr", "127.0.0.1:0", "--addr-file"])
+            .arg(&addr_file)
+            .spawn()
+            .unwrap(),
+    );
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    let addr = loop {
+        if let Ok(addr) = std::fs::read_to_string(&addr_file) {
+            if !addr.is_empty() {
+                break addr;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon never wrote its address file"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+
+    let run = |args: &[&str]| {
+        let out = pkgm().args(args).output().unwrap();
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        assert!(
+            out.status.success(),
+            "pkgm {args:?} failed\nstdout: {stdout}\nstderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        stdout
+    };
+
+    let stats = run(&["daemon", "stats", "--addr", &addr]);
+    let parsed: serde_json::Value = serde_json::from_str(&stats).unwrap();
+    assert_eq!(parsed.get("swaps").and_then(|v| v.as_u64()), Some(0));
+
+    let reload = run(&[
+        "daemon",
+        "reload",
+        "--addr",
+        &addr,
+        "--snapshot",
+        snap.to_str().unwrap(),
+    ]);
+    let parsed: serde_json::Value = serde_json::from_str(&reload).unwrap();
+    assert_eq!(parsed.get("swaps").and_then(|v| v.as_u64()), Some(1));
+
+    let stopped = run(&["daemon", "stop", "--addr", &addr]);
+    assert!(stopped.contains("stopped"));
+    let status = daemon.0.wait().unwrap();
+    assert!(status.success(), "daemon exited nonzero: {status:?}");
+    std::fs::remove_dir_all(dir).ok();
+}

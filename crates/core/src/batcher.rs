@@ -1,0 +1,431 @@
+//! Dynamic request batching with admission control.
+//!
+//! The daemon's connection handlers are thread-per-connection, but the
+//! compute layer is most efficient when lookups arrive in batches (the
+//! rayon batch APIs on [`CachedService`] amortize thread dispatch and use
+//! per-thread scratch). The [`DynamicBatcher`] bridges the two: handlers
+//! [`DynamicBatcher::submit`] their item lists into a bounded queue and
+//! block on a per-request completion slot; a small pool of batch workers
+//! drains the queue, **coalescing whatever is pending** — across
+//! connections — into one `condensed_service_batch` call, then fans the
+//! rows back out to the waiting handlers.
+//!
+//! Admission control is shed-not-stall: when the queue already holds
+//! `queue_capacity` items, `submit` fails immediately with
+//! [`SubmitError::Overloaded`] and the daemon answers with the typed
+//! `Overloaded` status. A full queue never blocks the socket threads, so
+//! an overloaded daemon stays responsive to pings, stats, and reloads.
+
+use crate::serving::CachedService;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Recover the guard from a poisoned std lock: batcher state is a queue of
+/// plain data, valid at every instruction boundary.
+fn lock_recover<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; the request was shed without side effects.
+    Overloaded,
+    /// The batcher has been stopped (daemon shutting down).
+    Stopped,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded => write!(f, "queue full — request shed"),
+            SubmitError::Stopped => write!(f, "batcher stopped"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Completion state of one submitted request.
+enum SlotState {
+    Pending,
+    Done(Vec<Arc<Vec<f32>>>),
+    Failed(String),
+}
+
+/// One submitted request's rendezvous point.
+struct Slot {
+    state: Mutex<SlotState>,
+    done: Condvar,
+}
+
+/// Blocking handle for a submitted request.
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
+}
+
+impl Ticket {
+    /// Block until a batch worker completes this request. Returns the
+    /// condensed rows in submission order, or the failure message.
+    pub fn wait(self) -> Result<Vec<Arc<Vec<f32>>>, String> {
+        let mut state = lock_recover(&self.slot.state);
+        loop {
+            match std::mem::replace(&mut *state, SlotState::Pending) {
+                SlotState::Done(rows) => return Ok(rows),
+                SlotState::Failed(why) => return Err(why),
+                SlotState::Pending => {
+                    state = self
+                        .slot
+                        .done
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            }
+        }
+    }
+}
+
+/// A queued request: the items to look up and where to deliver the rows.
+struct Pending {
+    items: Vec<u32>,
+    slot: Arc<Slot>,
+}
+
+/// Queue state under the batcher's mutex.
+struct Queue {
+    pending: VecDeque<Pending>,
+    /// Total items across `pending` — the admission-control quantity.
+    queued_items: usize,
+    stopped: bool,
+}
+
+/// Batch-execution statistics (relaxed counters; see
+/// [`CachedService::stats`] for the consistency discussion).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batches executed.
+    pub batches: u64,
+    /// Requests admitted and completed.
+    pub requests: u64,
+    /// Items served across all batches.
+    pub items: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Largest single batch (items) executed so far.
+    pub max_batch_items: u64,
+}
+
+impl BatchStats {
+    /// Mean items per executed batch — the coalescing factor.
+    pub fn mean_batch_items(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.items as f64 / self.batches as f64
+        }
+    }
+}
+
+/// The shared batching queue. Workers are driven externally (the daemon
+/// owns the threads) via [`DynamicBatcher::run_worker`].
+pub struct DynamicBatcher {
+    queue: Mutex<Queue>,
+    ready: Condvar,
+    /// Admission cap: max items queued (not yet picked up by a worker).
+    queue_capacity: usize,
+    /// Max items a worker coalesces into one service call.
+    max_batch_items: usize,
+    batches: AtomicU64,
+    requests: AtomicU64,
+    items: AtomicU64,
+    shed: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+impl DynamicBatcher {
+    /// A batcher admitting up to `queue_capacity` queued items and
+    /// coalescing up to `max_batch_items` per service call.
+    ///
+    /// # Panics
+    /// If either bound is zero.
+    pub fn new(queue_capacity: usize, max_batch_items: usize) -> Self {
+        assert!(queue_capacity > 0, "queue capacity must be positive");
+        assert!(max_batch_items > 0, "max batch must be positive");
+        Self {
+            queue: Mutex::new(Queue {
+                pending: VecDeque::new(),
+                queued_items: 0,
+                stopped: false,
+            }),
+            ready: Condvar::new(),
+            queue_capacity,
+            max_batch_items,
+            batches: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            items: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+        }
+    }
+
+    /// Admit a lookup, or shed it. An admitted request is guaranteed a
+    /// completion (rows or a failure message) as long as a worker runs.
+    ///
+    /// An empty item list completes immediately without queuing.
+    pub fn submit(&self, items: Vec<u32>) -> Result<Ticket, SubmitError> {
+        let slot = Arc::new(Slot {
+            state: Mutex::new(SlotState::Pending),
+            done: Condvar::new(),
+        });
+        if items.is_empty() {
+            *lock_recover(&slot.state) = SlotState::Done(Vec::new());
+            return Ok(Ticket { slot });
+        }
+        {
+            let mut q = lock_recover(&self.queue);
+            if q.stopped {
+                return Err(SubmitError::Stopped);
+            }
+            // A single request larger than the whole queue is still
+            // admitted when the queue is empty — otherwise it could never
+            // be served at all.
+            if q.queued_items + items.len() > self.queue_capacity && q.queued_items > 0 {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Overloaded);
+            }
+            q.queued_items += items.len();
+            q.pending.push_back(Pending {
+                items,
+                slot: Arc::clone(&slot),
+            });
+        }
+        self.ready.notify_one();
+        Ok(Ticket { slot })
+    }
+
+    /// Worker loop: coalesce pending requests and serve them against the
+    /// service returned by `service` — re-read **per batch**, so a hot
+    /// swap takes effect at the next batch boundary and every batch runs
+    /// against one consistent snapshot. Returns when [`DynamicBatcher::stop`]
+    /// is called.
+    pub fn run_worker(&self, service: impl Fn() -> Arc<CachedService>) {
+        loop {
+            let batch = {
+                let mut q = lock_recover(&self.queue);
+                loop {
+                    if !q.pending.is_empty() {
+                        break;
+                    }
+                    if q.stopped {
+                        return;
+                    }
+                    q = self
+                        .ready
+                        .wait(q)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                let mut batch: Vec<Pending> = Vec::new();
+                let mut taken = 0usize;
+                while let Some(front) = q.pending.front() {
+                    // Always take at least one request; stop once the next
+                    // would push the batch past the cap.
+                    if !batch.is_empty() && taken + front.items.len() > self.max_batch_items {
+                        break;
+                    }
+                    let p = q.pending.pop_front().expect("front exists");
+                    taken += p.items.len();
+                    batch.push(p);
+                }
+                q.queued_items -= taken;
+                batch
+            };
+            // More work may remain; hand it to a sibling worker.
+            self.ready.notify_one();
+            self.execute(batch, &service());
+        }
+    }
+
+    /// Serve one coalesced batch and deliver per-request results.
+    fn execute(&self, batch: Vec<Pending>, service: &CachedService) {
+        let ids: Vec<pkgm_store::EntityId> = batch
+            .iter()
+            .flat_map(|p| p.items.iter().copied().map(pkgm_store::EntityId))
+            .collect();
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.items.fetch_add(ids.len() as u64, Ordering::Relaxed);
+        self.max_batch
+            .fetch_max(ids.len() as u64, Ordering::Relaxed);
+        let rows = service.condensed_service_batch(&ids);
+        let mut cursor = rows.into_iter();
+        for p in batch {
+            let took: Vec<Arc<Vec<f32>>> = cursor.by_ref().take(p.items.len()).collect();
+            let mut state = lock_recover(&p.slot.state);
+            *state = if took.len() == p.items.len() {
+                SlotState::Done(took)
+            } else {
+                SlotState::Failed("batch result shorter than request".into())
+            };
+            drop(state);
+            p.slot.done.notify_one();
+        }
+    }
+
+    /// Stop the batcher: wake all workers, fail any still-queued requests
+    /// so no handler waits forever, and refuse new submissions.
+    pub fn stop(&self) {
+        let drained: Vec<Pending> = {
+            let mut q = lock_recover(&self.queue);
+            q.stopped = true;
+            q.queued_items = 0;
+            q.pending.drain(..).collect()
+        };
+        self.ready.notify_all();
+        for p in drained {
+            *lock_recover(&p.slot.state) = SlotState::Failed("daemon shutting down".into());
+            p.slot.done.notify_one();
+        }
+    }
+
+    /// Whether [`DynamicBatcher::stop`] has been called.
+    pub fn is_stopped(&self) -> bool {
+        lock_recover(&self.queue).stopped
+    }
+
+    /// Batch-execution counters.
+    pub fn stats(&self) -> BatchStats {
+        BatchStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            items: self.items.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            max_batch_items: self.max_batch.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PkgmConfig, PkgmModel};
+    use crate::service::KnowledgeService;
+    use pkgm_store::{EntityId, KeyRelationSelector, StoreBuilder};
+
+    fn cached() -> Arc<CachedService> {
+        let mut b = StoreBuilder::new();
+        for i in 0..8u32 {
+            b.add_raw(i, 0, 8 + i % 2);
+            b.add_raw(i, 1, 10);
+        }
+        let store = b.build();
+        let pairs: Vec<(EntityId, u32)> = (0..8).map(|i| (EntityId(i), 0)).collect();
+        let sel = KeyRelationSelector::build(&store, &pairs, 1, 2);
+        let model = PkgmModel::new(
+            store.n_entities() as usize,
+            store.n_relations() as usize,
+            PkgmConfig::new(8).with_seed(1),
+        );
+        Arc::new(CachedService::new(KnowledgeService::new(model, sel), 64))
+    }
+
+    /// Run `f` with one live worker thread serving `svc`.
+    fn with_worker<R>(
+        batcher: &Arc<DynamicBatcher>,
+        svc: &Arc<CachedService>,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        let worker = {
+            let batcher = Arc::clone(batcher);
+            let svc = Arc::clone(svc);
+            std::thread::spawn(move || batcher.run_worker(move || Arc::clone(&svc)))
+        };
+        let out = f();
+        batcher.stop();
+        worker.join().expect("worker exits cleanly");
+        out
+    }
+
+    #[test]
+    fn submitted_requests_get_correct_rows() {
+        let svc = cached();
+        let batcher = Arc::new(DynamicBatcher::new(1024, 64));
+        with_worker(&batcher, &svc, || {
+            let rows = batcher.submit(vec![0, 3, 7]).unwrap().wait().unwrap();
+            assert_eq!(rows.len(), 3);
+            for (i, id) in [0u32, 3, 7].into_iter().enumerate() {
+                assert_eq!(*rows[i], *svc.condensed_service(EntityId(id)));
+            }
+        });
+    }
+
+    #[test]
+    fn empty_lookup_completes_without_a_worker() {
+        let batcher = DynamicBatcher::new(4, 4);
+        let rows = batcher.submit(vec![]).unwrap().wait().unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        // No worker draining: the queue fills and must shed, not stall.
+        let batcher = DynamicBatcher::new(4, 4);
+        let _held = batcher.submit(vec![1, 2, 3, 4]).unwrap();
+        let err = batcher.submit(vec![5]).unwrap_err();
+        assert_eq!(err, SubmitError::Overloaded);
+        assert_eq!(batcher.stats().shed, 1);
+        // An oversized request is still admitted when the queue is empty.
+        let big = DynamicBatcher::new(2, 2);
+        assert!(big.submit(vec![1, 2, 3, 4, 5]).is_ok());
+    }
+
+    #[test]
+    fn stop_fails_queued_requests_and_refuses_new_ones() {
+        let batcher = DynamicBatcher::new(16, 16);
+        let t = batcher.submit(vec![1]).unwrap();
+        batcher.stop();
+        assert!(t.wait().is_err());
+        assert_eq!(batcher.submit(vec![2]).unwrap_err(), SubmitError::Stopped);
+    }
+
+    #[test]
+    fn concurrent_submissions_coalesce_and_all_complete() {
+        let svc = cached();
+        let batcher = Arc::new(DynamicBatcher::new(4096, 32));
+        with_worker(&batcher, &svc, || {
+            std::thread::scope(|s| {
+                for t in 0..8u32 {
+                    let batcher = Arc::clone(&batcher);
+                    let svc = Arc::clone(&svc);
+                    s.spawn(move || {
+                        for round in 0..50u32 {
+                            let ids = vec![(t + round) % 8, (t + round + 1) % 8];
+                            let rows = batcher.submit(ids.clone()).unwrap().wait().unwrap();
+                            for (i, &id) in ids.iter().enumerate() {
+                                assert_eq!(*rows[i], *svc.condensed_service(EntityId(id)));
+                            }
+                        }
+                    });
+                }
+            });
+        });
+        let stats = batcher.stats();
+        assert_eq!(stats.requests, 8 * 50);
+        assert_eq!(stats.items, 8 * 50 * 2);
+        assert!(stats.batches <= stats.requests);
+        assert!(stats.max_batch_items >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue capacity must be positive")]
+    fn zero_capacity_rejected() {
+        DynamicBatcher::new(0, 1);
+    }
+}

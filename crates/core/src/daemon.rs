@@ -1,0 +1,764 @@
+//! `pkgm daemon` — the network serving front end.
+//!
+//! A thread-per-connection TCP server speaking the [`crate::protocol`]
+//! frame format. Connection handlers never compute service vectors
+//! themselves: lookups go through the [`DynamicBatcher`], which coalesces
+//! concurrent requests — across connections — into single
+//! [`CachedService::condensed_service_batch`] calls executed by a small
+//! pool of batch workers. Admission control sheds (typed `Overloaded`
+//! response) instead of stalling, so an overloaded daemon keeps answering
+//! pings, stats, and reloads.
+//!
+//! ## Snapshot hot-swap
+//!
+//! The serving state lives behind a [`ServiceHolder`]: an
+//! `RwLock<Arc<CachedService>>` where readers clone the `Arc` (one brief
+//! shared lock per batch) and a reload installs a new `Arc` under the
+//! write lock. Batches already in flight finish against the snapshot they
+//! started with; the next batch picks up the new one — lookups never fail
+//! or block during a swap. After the old service quiesces its
+//! [`CacheStats`] are folded into a cumulative total, so statistics
+//! survive swaps without double- or under-counting (see
+//! [`CachedService::stats`] for the memory-ordering contract).
+//!
+//! A reload is driven over the wire: `pkgm daemon reload --addr …
+//! --snapshot path` sends a [`Request::Reload`] with a **daemon-local**
+//! path, and the daemon loads the `PKGMSS1`/`PKGMSS2` artifact through the
+//! same CRC-validated [`crate::serialize`] machinery used everywhere else
+//! — a corrupt or truncated snapshot is rejected with a typed error and
+//! the live table keeps serving.
+
+use crate::batcher::{BatchStats, DynamicBatcher, SubmitError};
+use crate::protocol::{self, ProtocolError, Request, Response};
+use crate::serialize;
+use crate::service::KnowledgeService;
+use crate::serving::{CacheStats, CachedService};
+use crate::snapshot::ServiceSnapshot;
+use crate::StdIo;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Batch worker threads draining the queue (each call fans out over
+    /// rayon internally, so a handful saturates a host).
+    pub workers: usize,
+    /// Max items coalesced into one service call.
+    pub max_batch_items: usize,
+    /// Max items queued before admission control sheds.
+    pub queue_capacity: usize,
+    /// Cache capacity (per shape) of each [`CachedService`] generation,
+    /// including the ones built by reloads.
+    pub cache_capacity: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch_items: 1024,
+            queue_capacity: 16_384,
+            cache_capacity: 65_536,
+        }
+    }
+}
+
+/// Atomic, stats-preserving holder of the current serving generation.
+///
+/// `get` takes one shared lock to clone the `Arc`; `swap` installs a new
+/// generation under the write lock, waits for in-flight batches on the old
+/// one to quiesce, then folds the old generation's [`CacheStats`] into a
+/// cumulative total so [`ServiceHolder::cumulative_stats`] never loses
+/// counts across hot-swaps.
+pub struct ServiceHolder {
+    current: RwLock<Arc<CachedService>>,
+    folded: Mutex<CacheStats>,
+    swaps: AtomicU64,
+}
+
+/// How long [`ServiceHolder::swap`] waits for in-flight batches on the old
+/// generation before folding its stats anyway. Batches are bounded by
+/// `max_batch_items`, so this is hit only if a worker wedged.
+const SWAP_QUIESCE_TIMEOUT: Duration = Duration::from_secs(5);
+
+impl ServiceHolder {
+    /// Start with `service` as the live generation.
+    pub fn new(service: CachedService) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(service)),
+            folded: Mutex::new(CacheStats::default()),
+            swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// The live generation (cloned `Arc`; callers keep batches consistent
+    /// by resolving this once per batch).
+    pub fn get(&self) -> Arc<CachedService> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Install `next` as the live generation. In-flight batches finish
+    /// against the generation they started with; their stats are folded
+    /// once they quiesce.
+    pub fn swap(&self, next: CachedService) {
+        let old = {
+            let mut cur = self.current.write();
+            std::mem::replace(&mut *cur, Arc::new(next))
+        };
+        // Quiesce: batch workers hold transient clones only while a batch
+        // executes. Once ours is the last reference, every increment to the
+        // old generation's counters is visible to the Acquire read inside
+        // `stats()` (the increments are Release).
+        let deadline = Instant::now() + SWAP_QUIESCE_TIMEOUT;
+        while Arc::strong_count(&old) > 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        *self.folded.lock() += old.stats();
+        self.swaps.fetch_add(1, Ordering::Release);
+    }
+
+    /// Completed hot-swaps.
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Acquire)
+    }
+
+    /// Cache statistics across every generation: retired generations'
+    /// folded totals plus the live generation's counters.
+    pub fn cumulative_stats(&self) -> CacheStats {
+        let mut total = *self.folded.lock();
+        total += self.get().stats();
+        total
+    }
+}
+
+/// Monotonic counters the daemon exposes via the `Stats` request.
+#[derive(Default)]
+struct DaemonCounters {
+    connections: AtomicU64,
+    frames: AtomicU64,
+    protocol_errors: AtomicU64,
+    lookups: AtomicU64,
+    reloads: AtomicU64,
+    reload_failures: AtomicU64,
+}
+
+/// State shared by the acceptor, connection handlers, and batch workers.
+struct Shared {
+    holder: ServiceHolder,
+    batcher: DynamicBatcher,
+    /// Master copy used to build each reload's [`CachedService`].
+    master: KnowledgeService,
+    cfg: DaemonConfig,
+    addr: SocketAddr,
+    counters: DaemonCounters,
+    started: Instant,
+    shutting_down: AtomicBool,
+    /// Open connections, keyed by a connection id, so shutdown can unblock
+    /// handler reads by closing the sockets.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+    /// Signaled when shutdown is initiated; `Daemon::wait` blocks on it.
+    done: (StdMutex<bool>, Condvar),
+}
+
+impl Shared {
+    /// Idempotently begin shutdown: refuse new work, wake the acceptor,
+    /// and close every open connection so blocked reads return.
+    fn initiate_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.batcher.stop();
+        // Wake the acceptor out of `accept()`.
+        let _ = TcpStream::connect(self.addr);
+        for (_, stream) in self.conns.lock().iter() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let mut done = self
+            .done
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *done = true;
+        self.done.1.notify_all();
+    }
+
+    /// Load a snapshot artifact and hot-swap it in. Returns a summary for
+    /// the reload response.
+    fn reload(&self, path: &str) -> Result<serde_json::Value, String> {
+        let snap = serialize::read_snapshot_file(&StdIo, std::path::Path::new(path))
+            .map_err(|e| format!("cannot load snapshot {path}: {e}"))?;
+        if snap.dim() != self.master.dim() {
+            return Err(format!(
+                "snapshot dim {} does not match serving dim {}",
+                snap.dim(),
+                self.master.dim()
+            ));
+        }
+        let summary = serde_json::json!({
+            "path": path,
+            "rows": snap.n_rows(),
+            "quantized": snap.is_quantized(),
+        });
+        let next = CachedService::with_snapshot(self.master.clone(), self.cfg.cache_capacity, snap);
+        self.holder.swap(next);
+        self.counters.reloads.fetch_add(1, Ordering::Relaxed);
+        Ok(serde_json::json!({
+            "swaps": self.holder.swaps(),
+            "snapshot": summary,
+        }))
+    }
+
+    /// The stats JSON answering a `Stats` request.
+    fn stats_json(&self) -> serde_json::Value {
+        let cache = self.holder.cumulative_stats();
+        let batch: BatchStats = self.batcher.stats();
+        let current = self.holder.get();
+        let batch_json = serde_json::json!({
+            "batches": batch.batches,
+            "requests": batch.requests,
+            "items": batch.items,
+            "shed": batch.shed,
+            "max_batch_items": batch.max_batch_items,
+            "mean_batch_items": batch.mean_batch_items(),
+        });
+        let cache_json = serde_json::json!({
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "evictions": cache.evictions,
+            "degraded": cache.degraded,
+            "total_requests": cache.total_requests(),
+        });
+        let snapshot_json = match current.snapshot() {
+            Some(s) => serde_json::json!({
+                "rows": s.n_rows(),
+                "quantized": s.is_quantized(),
+            }),
+            None => serde_json::Value::Null,
+        };
+        serde_json::json!({
+            "uptime_secs": self.started.elapsed().as_secs_f64(),
+            "dim": self.master.dim(),
+            "workers": self.cfg.workers,
+            "connections": self.counters.connections.load(Ordering::Relaxed),
+            "frames": self.counters.frames.load(Ordering::Relaxed),
+            "protocol_errors": self.counters.protocol_errors.load(Ordering::Relaxed),
+            "lookups": self.counters.lookups.load(Ordering::Relaxed),
+            "reloads": self.counters.reloads.load(Ordering::Relaxed),
+            "reload_failures": self.counters.reload_failures.load(Ordering::Relaxed),
+            "swaps": self.holder.swaps(),
+            "batch": batch_json,
+            "cache": cache_json,
+            "snapshot": snapshot_json,
+        })
+    }
+}
+
+/// A running serving daemon. Dropping the handle does **not** stop it;
+/// call [`Daemon::shutdown`] or let a `Shutdown` request arrive and
+/// [`Daemon::wait`] return.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Handler threads for accepted connections; finished handles are
+    /// reaped opportunistically as new connections arrive.
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Daemon {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// serving `service`, optionally backed by a precomputed `snapshot`.
+    pub fn start(
+        addr: &str,
+        service: KnowledgeService,
+        snapshot: Option<ServiceSnapshot>,
+        cfg: DaemonConfig,
+    ) -> io::Result<Daemon> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let cached = match snapshot {
+            Some(snap) => {
+                if snap.dim() != service.dim() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!(
+                            "snapshot dim {} does not match service dim {}",
+                            snap.dim(),
+                            service.dim()
+                        ),
+                    ));
+                }
+                CachedService::with_snapshot(service.clone(), cfg.cache_capacity, snap)
+            }
+            None => CachedService::new(service.clone(), cfg.cache_capacity),
+        };
+        let shared = Arc::new(Shared {
+            holder: ServiceHolder::new(cached),
+            batcher: DynamicBatcher::new(cfg.queue_capacity, cfg.max_batch_items),
+            master: service,
+            cfg: cfg.clone(),
+            addr: local,
+            counters: DaemonCounters::default(),
+            started: Instant::now(),
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+            done: (StdMutex::new(false), Condvar::new()),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pkgm-batch-{i}"))
+                    .spawn(move || {
+                        let holder = &shared.holder;
+                        shared.batcher.run_worker(|| holder.get());
+                    })
+                    .expect("spawn batch worker")
+            })
+            .collect();
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("pkgm-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &handlers))
+                .expect("spawn acceptor")
+        };
+        Ok(Daemon {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+            handlers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Completed hot-swaps so far.
+    pub fn swaps(&self) -> u64 {
+        self.shared.holder.swaps()
+    }
+
+    /// Block until shutdown is initiated (by [`Daemon::shutdown`] or a
+    /// `Shutdown` request over the wire), then join every thread.
+    pub fn wait(mut self) {
+        {
+            let (lock, cv) = &self.shared.done;
+            let mut done = lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            while !*done {
+                done = cv
+                    .wait(done)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        self.join();
+    }
+
+    /// Initiate shutdown and join every thread. Queued requests fail with
+    /// a typed error; open connections are closed.
+    pub fn shutdown(mut self) {
+        self.shared.initiate_shutdown();
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        for h in self.handlers.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Accept connections until shutdown; each gets its own handler thread.
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) if shared.shutting_down.load(Ordering::SeqCst) => return,
+            Err(_) => continue,
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+        let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().insert(id, clone);
+        }
+        let shared_conn = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("pkgm-conn-{id}"))
+            .spawn(move || {
+                handle_connection(stream, &shared_conn);
+                shared_conn.conns.lock().remove(&id);
+            })
+            .expect("spawn connection handler");
+        let mut hs = handlers.lock();
+        // Reap finished handlers so the vector stays proportional to the
+        // number of *live* connections, not total ever accepted.
+        hs.retain(|h| !h.is_finished());
+        hs.push(handle);
+    }
+}
+
+/// Serve one connection until clean close, protocol error, or shutdown.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let body = match protocol::read_frame(&mut reader) {
+            Ok(Some(body)) => body,
+            // Clean close between frames.
+            Ok(None) => return,
+            Err(e) => {
+                // A mid-request disconnect or malformed frame: count it,
+                // try to tell the client (often already gone), and close —
+                // the framing is unrecoverable after a bad prefix.
+                if !shared.shutting_down.load(Ordering::SeqCst) {
+                    shared
+                        .counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                let resp = protocol::encode_response(&Response::BadRequest(e.to_string()));
+                let _ = protocol::write_frame(&mut writer, &resp);
+                return;
+            }
+        };
+        shared.counters.frames.fetch_add(1, Ordering::Relaxed);
+        let mut shutdown_after_reply = false;
+        let framed = match protocol::decode_request(&body) {
+            Ok(req) => {
+                // Acknowledge a shutdown *before* initiating it — the
+                // initiation closes every connection, including this one.
+                shutdown_after_reply = matches!(req, Request::Shutdown);
+                respond(req, shared)
+            }
+            Err(e) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                protocol::encode_response(&Response::BadRequest(e.to_string()))
+            }
+        };
+        let wrote = protocol::write_frame(&mut writer, &framed).is_ok();
+        if shutdown_after_reply {
+            shared.initiate_shutdown();
+            return;
+        }
+        if !wrote || shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Execute one decoded request and encode its response frame.
+fn respond(req: Request, shared: &Arc<Shared>) -> Vec<u8> {
+    match req {
+        Request::Lookup(items) => {
+            shared.counters.lookups.fetch_add(1, Ordering::Relaxed);
+            let row_len = 2 * shared.master.dim() as u32;
+            match shared.batcher.submit(items) {
+                Ok(ticket) => match ticket.wait() {
+                    Ok(rows) => {
+                        protocol::encode_rows_response(row_len, rows.iter().map(|r| r.as_slice()))
+                    }
+                    Err(why) => protocol::encode_response(&Response::ServerError(why)),
+                },
+                Err(SubmitError::Overloaded) => protocol::encode_response(&Response::Overloaded),
+                Err(SubmitError::Stopped) => {
+                    protocol::encode_response(&Response::ServerError("daemon shutting down".into()))
+                }
+            }
+        }
+        Request::Ping => protocol::encode_response(&Response::Empty),
+        Request::Stats => {
+            let body =
+                serde_json::to_string(&shared.stats_json()).expect("stats json literal serializes");
+            protocol::encode_response(&Response::Json(body))
+        }
+        Request::Reload(path) => match shared.reload(&path) {
+            Ok(summary) => {
+                let body = serde_json::to_string(&summary).expect("reload json literal serializes");
+                protocol::encode_response(&Response::Json(body))
+            }
+            Err(why) => {
+                shared
+                    .counters
+                    .reload_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                protocol::encode_response(&Response::ServerError(why))
+            }
+        },
+        // Acknowledged by the connection handler, which initiates the
+        // shutdown only after the reply is on the wire.
+        Request::Shutdown => protocol::encode_response(&Response::Empty),
+    }
+}
+
+/// Client-side failure modes, separating shed load (retryable, expected
+/// under overload) from real errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The daemon's response could not be decoded.
+    Protocol(ProtocolError),
+    /// Admission control shed the request; retry later.
+    Overloaded,
+    /// The daemon rejected the request as malformed.
+    BadRequest(String),
+    /// The daemon failed internally.
+    Server(String),
+    /// The response did not match the request kind.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Overloaded => write!(f, "request shed (daemon overloaded)"),
+            ClientError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        match e {
+            ProtocolError::Io(io) => ClientError::Io(io),
+            other => ClientError::Protocol(other),
+        }
+    }
+}
+
+/// Blocking client for the daemon protocol, one request in flight at a
+/// time per connection (load generators open one per closed-loop worker).
+pub struct DaemonClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl DaemonClient {
+    /// Connect to a running daemon.
+    pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        protocol::write_frame(&mut self.writer, &protocol::encode_request(req))?;
+        let body = protocol::read_frame(&mut self.reader)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ))
+        })?;
+        match protocol::decode_response(&body)? {
+            Response::Overloaded => Err(ClientError::Overloaded),
+            Response::BadRequest(m) => Err(ClientError::BadRequest(m)),
+            Response::ServerError(m) => Err(ClientError::Server(m)),
+            ok => Ok(ok),
+        }
+    }
+
+    /// Condensed service vectors for `items`, in order.
+    pub fn lookup(&mut self, items: &[u32]) -> Result<Vec<Vec<f32>>, ClientError> {
+        match self.round_trip(&Request::Lookup(items.to_vec()))? {
+            Response::Rows { rows, .. } => {
+                if rows.len() == items.len() {
+                    Ok(rows)
+                } else {
+                    Err(ClientError::Unexpected("row count mismatch"))
+                }
+            }
+            _ => Err(ClientError::Unexpected("lookup expects rows")),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Empty => Ok(()),
+            _ => Err(ClientError::Unexpected("ping expects empty ok")),
+        }
+    }
+
+    /// Daemon statistics.
+    pub fn stats(&mut self) -> Result<serde_json::Value, ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Json(json) => serde_json::from_str(&json)
+                .map_err(|_| ClientError::Unexpected("stats payload is not JSON")),
+            _ => Err(ClientError::Unexpected("stats expects json")),
+        }
+    }
+
+    /// Hot-swap the daemon's snapshot from a daemon-local path.
+    pub fn reload(&mut self, snapshot_path: &str) -> Result<serde_json::Value, ClientError> {
+        match self.round_trip(&Request::Reload(snapshot_path.to_string()))? {
+            Response::Json(json) => serde_json::from_str(&json)
+                .map_err(|_| ClientError::Unexpected("reload payload is not JSON")),
+            _ => Err(ClientError::Unexpected("reload expects json")),
+        }
+    }
+
+    /// Ask the daemon to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::Empty => Ok(()),
+            _ => Err(ClientError::Unexpected("shutdown expects empty ok")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PkgmConfig, PkgmModel};
+    use pkgm_store::{EntityId, KeyRelationSelector, StoreBuilder};
+
+    fn master() -> KnowledgeService {
+        let mut b = StoreBuilder::new();
+        for i in 0..16u32 {
+            b.add_raw(i, 0, 16 + i % 3);
+            b.add_raw(i, 1, 20);
+        }
+        let store = b.build();
+        let pairs: Vec<(EntityId, u32)> = (0..16).map(|i| (EntityId(i), 0)).collect();
+        let sel = KeyRelationSelector::build(&store, &pairs, 1, 2);
+        let model = PkgmModel::new(
+            store.n_entities() as usize,
+            store.n_relations() as usize,
+            PkgmConfig::new(8).with_seed(3),
+        );
+        KnowledgeService::new(model, sel)
+    }
+
+    #[test]
+    fn holder_swap_preserves_every_stat_under_concurrent_batches() {
+        // Regression test for the stats/hot-swap race: requests served
+        // around repeated swaps must all land in cumulative_stats —
+        // nothing lost when a retired generation's counters are folded.
+        let svc = master();
+        let holder = Arc::new(ServiceHolder::new(CachedService::new(svc.clone(), 64)));
+        let stop = Arc::new(AtomicBool::new(false));
+        const THREADS: u64 = 4;
+        const ROUNDS: u64 = 200;
+        const BATCH: u64 = 8;
+        let total_requests = std::thread::scope(|s| {
+            let swapper = {
+                let holder = Arc::clone(&holder);
+                let stop = Arc::clone(&stop);
+                let svc = svc.clone();
+                s.spawn(move || {
+                    let mut swaps = 0u64;
+                    while !stop.load(Ordering::SeqCst) {
+                        holder.swap(CachedService::new(svc.clone(), 64));
+                        swaps += 1;
+                        std::thread::sleep(Duration::from_micros(300));
+                    }
+                    swaps
+                })
+            };
+            let clients: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let holder = Arc::clone(&holder);
+                    s.spawn(move || {
+                        // Mix known, value-entity (degraded), and
+                        // out-of-range (degraded) ids.
+                        let items: Vec<EntityId> = (0..BATCH)
+                            .map(|i| EntityId(((t * BATCH + i) % 24) as u32))
+                            .collect();
+                        for _ in 0..ROUNDS {
+                            let svc = holder.get();
+                            let rows = svc.condensed_service_batch(&items);
+                            assert_eq!(rows.len(), items.len());
+                        }
+                    })
+                })
+                .collect();
+            for c in clients {
+                c.join().unwrap();
+            }
+            stop.store(true, Ordering::SeqCst);
+            let swaps = swapper.join().unwrap();
+            assert!(swaps >= 1, "swapper must complete at least one swap");
+            THREADS * ROUNDS * BATCH
+        });
+        // One final swap quiesces and folds the last live generation too,
+        // making the cumulative total exact.
+        holder.swap(CachedService::new(svc, 64));
+        let stats = holder.cumulative_stats();
+        assert_eq!(
+            stats.total_requests(),
+            total_requests,
+            "stats lost or duplicated across hot-swaps: {stats:?}"
+        );
+        assert!(stats.degraded > 0, "id mix must exercise degraded path");
+    }
+
+    #[test]
+    fn daemon_rejects_mismatched_snapshot_dim_at_start() {
+        let svc = master();
+        let mut b = StoreBuilder::new();
+        b.add_raw(0, 0, 1);
+        let store = b.build();
+        let other = KnowledgeService::new(
+            PkgmModel::new(
+                store.n_entities() as usize,
+                store.n_relations() as usize,
+                PkgmConfig::new(16).with_seed(1),
+            ),
+            KeyRelationSelector::build(&store, &[(EntityId(0), 0)], 1, 1),
+        );
+        let snap = ServiceSnapshot::build(&other);
+        let err = Daemon::start("127.0.0.1:0", svc, Some(snap), DaemonConfig::default());
+        assert!(err.is_err());
+    }
+}

@@ -42,6 +42,13 @@
 //!   consumers;
 //! * [`snapshot`] — every entity's condensed service precomputed into one
 //!   contiguous table for O(1) zero-compute serving;
+//! * [`protocol`] — the daemon's length-prefixed binary wire format, with
+//!   total decoding into typed errors;
+//! * [`batcher`] — dynamic batching with bounded queues and shed-not-stall
+//!   admission control, coalescing concurrent lookups into batch calls;
+//! * [`daemon`] — the network serving daemon: thread-per-connection TCP
+//!   front end, batch workers, atomic snapshot hot-swap under live
+//!   traffic, and the matching [`DaemonClient`];
 //! * [`baselines`] — TransE (ablation: triple module only), TransH and
 //!   DistMult for link-prediction context;
 //! * [`serialize`] — compact binary snapshots of trained models, services
@@ -53,12 +60,15 @@
 
 pub mod artifact;
 pub mod baselines;
+pub mod batcher;
+pub mod daemon;
 pub mod eval;
 pub mod eval_kernels;
 pub mod fault;
 pub mod kernels;
 pub mod model;
 pub mod negative;
+pub mod protocol;
 pub mod quant;
 pub mod serialize;
 pub mod service;
@@ -67,12 +77,15 @@ pub mod snapshot;
 pub mod trainer;
 
 pub use artifact::{ArtifactError, ArtifactIo, ArtifactKind, StdIo};
+pub use batcher::{BatchStats, DynamicBatcher, SubmitError};
+pub use daemon::{ClientError, Daemon, DaemonClient, DaemonConfig, ServiceHolder};
 pub use eval::{LinkPredictionReport, RelationExistenceReport};
 pub use eval_kernels::{EvalError, EvalScratch, EvalScratchPool, PruneStats, QuantEvalModel};
 pub use fault::{Fault, FaultCheckReport, FaultPlan, FaultyIo};
 pub use kernels::{ChunkGrads, ScratchPool, TrainScratch};
 pub use model::{PkgmConfig, PkgmModel};
 pub use negative::{CorruptedPair, Corruption, NegativeSampler};
+pub use protocol::{ProtocolError, Request, Response};
 pub use quant::{QuantScanTable, QuantTable, QUANT_BLOCK};
 pub use service::{KnowledgeService, ServiceScratch};
 pub use serving::{CacheStats, CachedService};

@@ -1,0 +1,540 @@
+//! Wire protocol for the serving daemon: length-prefixed binary frames.
+//!
+//! Every message — request or response — is one **frame**:
+//!
+//! ```text
+//! [ len: u32 LE ][ body: len bytes ]
+//! body = [ tag: u8 ][ payload: len − 1 bytes ]
+//! ```
+//!
+//! For requests the tag is an opcode ([`Request`]); for responses it is a
+//! status ([`Status`]). The length prefix covers the body only and is
+//! capped at [`MAX_FRAME_LEN`]; a larger prefix is rejected *before* any
+//! allocation, so a hostile client cannot make the server reserve gigabytes
+//! with four bytes. Decoding is total: any byte sequence either parses or
+//! returns a typed [`ProtocolError`] — never a panic, never an unbounded
+//! read.
+//!
+//! The payload formats are deliberately primitive (little-endian integers
+//! and raw f32 rows) so a client in any language is a page of code:
+//!
+//! | request            | payload                                    |
+//! |--------------------|--------------------------------------------|
+//! | `Lookup`           | `n: u32`, then `n × u32` item ids          |
+//! | `Ping`             | empty                                      |
+//! | `Stats`            | empty                                      |
+//! | `Reload`           | UTF-8 snapshot path (daemon-local)         |
+//! | `Shutdown`         | empty                                      |
+//!
+//! | response status    | payload                                    |
+//! |--------------------|--------------------------------------------|
+//! | `Ok` (to `Lookup`) | `n: u32`, `row_len: u32`, `n×row_len` f32  |
+//! | `Ok` (to `Stats`/`Reload`) | UTF-8 JSON                         |
+//! | `Overloaded`       | empty — request was shed, retry later      |
+//! | `BadRequest`       | UTF-8 message                              |
+//! | `ServerError`      | UTF-8 message                              |
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame body. Large enough for a 4096-item lookup response
+/// at d = 512 (4096 × 1024 × 4 B = 16 MiB), small enough that a hostile
+/// length prefix cannot balloon server memory.
+pub const MAX_FRAME_LEN: u32 = 32 * 1024 * 1024;
+
+/// Cap on items in one lookup request; keeps a single client from queuing
+/// an unbounded batch ahead of everyone else.
+pub const MAX_LOOKUP_ITEMS: u32 = 65_536;
+
+/// Request opcodes (the first body byte of a request frame).
+pub mod op {
+    /// Batched condensed-service lookup.
+    pub const LOOKUP: u8 = 0x01;
+    /// Liveness probe; empty `Ok` response.
+    pub const PING: u8 = 0x02;
+    /// Daemon statistics as JSON.
+    pub const STATS: u8 = 0x03;
+    /// Hot-swap the serving snapshot from a daemon-local path.
+    pub const RELOAD: u8 = 0x04;
+    /// Graceful daemon shutdown.
+    pub const SHUTDOWN: u8 = 0x05;
+}
+
+/// Response statuses (the first body byte of a response frame).
+pub mod status {
+    /// Request served; payload depends on the request.
+    pub const OK: u8 = 0x00;
+    /// Admission control shed the request — the queue was full. The
+    /// request was **not** executed; retrying later is safe.
+    pub const OVERLOADED: u8 = 0x01;
+    /// The request frame was structurally invalid; payload is a message.
+    pub const BAD_REQUEST: u8 = 0x02;
+    /// The daemon failed to execute a valid request; payload is a message.
+    pub const SERVER_ERROR: u8 = 0x03;
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Look up condensed service vectors for these item ids.
+    Lookup(Vec<u32>),
+    /// Liveness probe.
+    Ping,
+    /// Fetch daemon statistics.
+    Stats,
+    /// Hot-swap the serving snapshot from this daemon-local path.
+    Reload(String),
+    /// Ask the daemon to shut down gracefully.
+    Shutdown,
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Lookup result: one `row_len`-float vector per requested item, in
+    /// request order.
+    Rows { row_len: u32, rows: Vec<Vec<f32>> },
+    /// Empty `Ok` (ping acknowledgement).
+    Empty,
+    /// `Ok` with a JSON payload (stats, reload summaries).
+    Json(String),
+    /// The request was shed by admission control.
+    Overloaded,
+    /// The request was malformed.
+    BadRequest(String),
+    /// The daemon failed internally.
+    ServerError(String),
+}
+
+/// Typed decode/transport errors. Every malformed input maps to one of
+/// these; the daemon turns them into `BadRequest` responses and the client
+/// into hard errors — neither side panics.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The body declared by the length prefix exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge { len: u32, max: u32 },
+    /// A zero-length body (a frame must carry at least its tag byte).
+    EmptyFrame,
+    /// The stream ended inside a frame (header or body).
+    Truncated { expected: usize, got: usize },
+    /// An opcode byte no request uses.
+    UnknownOpcode(u8),
+    /// An unknown response status byte.
+    UnknownStatus(u8),
+    /// Structurally invalid payload for the tagged message.
+    Malformed(&'static str),
+    /// A lookup asked for more than [`MAX_LOOKUP_ITEMS`] items.
+    TooManyItems { n: u32, max: u32 },
+    /// Underlying socket error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::FrameTooLarge { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds the {max}-byte cap")
+            }
+            ProtocolError::EmptyFrame => write!(f, "empty frame body (missing tag byte)"),
+            ProtocolError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            ProtocolError::UnknownOpcode(op) => write!(f, "unknown request opcode {op:#04x}"),
+            ProtocolError::UnknownStatus(s) => write!(f, "unknown response status {s:#04x}"),
+            ProtocolError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            ProtocolError::TooManyItems { n, max } => {
+                write!(f, "lookup of {n} items exceeds the {max}-item cap")
+            }
+            ProtocolError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// Split a little-endian `u32` off the front of `buf`.
+fn take_u32(buf: &mut &[u8]) -> Option<u32> {
+    let (head, rest) = buf.split_first_chunk::<4>()?;
+    *buf = rest;
+    Some(u32::from_le_bytes(*head))
+}
+
+/// Decode a request body (tag + payload, no length prefix).
+pub fn decode_request(body: &[u8]) -> Result<Request, ProtocolError> {
+    let (&opcode, mut payload) = body.split_first().ok_or(ProtocolError::EmptyFrame)?;
+    match opcode {
+        op::LOOKUP => {
+            let n = take_u32(&mut payload).ok_or(ProtocolError::Malformed(
+                "lookup payload shorter than count",
+            ))?;
+            if n > MAX_LOOKUP_ITEMS {
+                return Err(ProtocolError::TooManyItems {
+                    n,
+                    max: MAX_LOOKUP_ITEMS,
+                });
+            }
+            if payload.len() != n as usize * 4 {
+                return Err(ProtocolError::Malformed(
+                    "lookup id bytes disagree with the declared count",
+                ));
+            }
+            let items = payload
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("chunks_exact yields 4 bytes")))
+                .collect();
+            Ok(Request::Lookup(items))
+        }
+        op::PING | op::STATS | op::SHUTDOWN => {
+            if !payload.is_empty() {
+                return Err(ProtocolError::Malformed(
+                    "ping/stats/shutdown carry no payload",
+                ));
+            }
+            Ok(match opcode {
+                op::PING => Request::Ping,
+                op::STATS => Request::Stats,
+                _ => Request::Shutdown,
+            })
+        }
+        op::RELOAD => {
+            let path = std::str::from_utf8(payload)
+                .map_err(|_| ProtocolError::Malformed("reload path is not UTF-8"))?;
+            if path.is_empty() {
+                return Err(ProtocolError::Malformed("reload path is empty"));
+            }
+            Ok(Request::Reload(path.to_string()))
+        }
+        other => Err(ProtocolError::UnknownOpcode(other)),
+    }
+}
+
+/// Encode a request into a full frame (length prefix included).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut body = Vec::new();
+    match req {
+        Request::Lookup(items) => {
+            body.push(op::LOOKUP);
+            body.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for id in items {
+                body.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        Request::Ping => body.push(op::PING),
+        Request::Stats => body.push(op::STATS),
+        Request::Reload(path) => {
+            body.push(op::RELOAD);
+            body.extend_from_slice(path.as_bytes());
+        }
+        Request::Shutdown => body.push(op::SHUTDOWN),
+    }
+    frame(body)
+}
+
+/// Decode a response body (tag + payload, no length prefix).
+pub fn decode_response(body: &[u8]) -> Result<Response, ProtocolError> {
+    let (&tag, mut payload) = body.split_first().ok_or(ProtocolError::EmptyFrame)?;
+    match tag {
+        status::OK => {
+            if payload.is_empty() {
+                return Ok(Response::Empty);
+            }
+            // JSON payloads start with '{' — unambiguous against the row
+            // header, whose first byte is a row count's low byte only when
+            // the count is ≥ 0x7B000000 (far above MAX_LOOKUP_ITEMS).
+            if payload[0] == b'{' {
+                let json = std::str::from_utf8(payload)
+                    .map_err(|_| ProtocolError::Malformed("JSON payload is not UTF-8"))?;
+                return Ok(Response::Json(json.to_string()));
+            }
+            let n = take_u32(&mut payload)
+                .ok_or(ProtocolError::Malformed("rows payload shorter than header"))?;
+            let row_len = take_u32(&mut payload)
+                .ok_or(ProtocolError::Malformed("rows payload shorter than header"))?;
+            let expect = (n as usize)
+                .checked_mul(row_len as usize)
+                .and_then(|f| f.checked_mul(4))
+                .ok_or(ProtocolError::Malformed("rows header overflows"))?;
+            if payload.len() != expect {
+                return Err(ProtocolError::Malformed(
+                    "row bytes disagree with the declared shape",
+                ));
+            }
+            let mut rows = Vec::with_capacity(n as usize);
+            for row in payload.chunks_exact(row_len as usize * 4) {
+                rows.push(
+                    row.chunks_exact(4)
+                        .map(|c| {
+                            f32::from_le_bytes(c.try_into().expect("chunks_exact yields 4 bytes"))
+                        })
+                        .collect(),
+                );
+            }
+            Ok(Response::Rows { row_len, rows })
+        }
+        status::OVERLOADED => {
+            if !payload.is_empty() {
+                return Err(ProtocolError::Malformed("overloaded carries no payload"));
+            }
+            Ok(Response::Overloaded)
+        }
+        status::BAD_REQUEST | status::SERVER_ERROR => {
+            let msg = std::str::from_utf8(payload)
+                .map_err(|_| ProtocolError::Malformed("error message is not UTF-8"))?
+                .to_string();
+            Ok(if tag == status::BAD_REQUEST {
+                Response::BadRequest(msg)
+            } else {
+                Response::ServerError(msg)
+            })
+        }
+        other => Err(ProtocolError::UnknownStatus(other)),
+    }
+}
+
+/// Encode a response into a full frame (length prefix included).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut body = Vec::new();
+    match resp {
+        Response::Rows { row_len, rows } => {
+            body.push(status::OK);
+            body.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+            body.extend_from_slice(&row_len.to_le_bytes());
+            for row in rows {
+                debug_assert_eq!(row.len(), *row_len as usize);
+                for x in row {
+                    body.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+        }
+        Response::Empty => body.push(status::OK),
+        Response::Json(json) => {
+            body.push(status::OK);
+            body.extend_from_slice(json.as_bytes());
+        }
+        Response::Overloaded => body.push(status::OVERLOADED),
+        Response::BadRequest(msg) => {
+            body.push(status::BAD_REQUEST);
+            body.extend_from_slice(msg.as_bytes());
+        }
+        Response::ServerError(msg) => {
+            body.push(status::SERVER_ERROR);
+            body.extend_from_slice(msg.as_bytes());
+        }
+    }
+    frame(body)
+}
+
+/// Encode an `Ok` rows response directly from borrowed rows — the daemon's
+/// hot path, which must not clone every served vector just to frame it.
+/// Decodes identically to [`Response::Rows`].
+pub fn encode_rows_response<'a>(
+    row_len: u32,
+    rows: impl ExactSizeIterator<Item = &'a [f32]>,
+) -> Vec<u8> {
+    let mut body = Vec::with_capacity(9 + rows.len() * row_len as usize * 4);
+    body.push(status::OK);
+    body.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    body.extend_from_slice(&row_len.to_le_bytes());
+    for row in rows {
+        debug_assert_eq!(row.len(), row_len as usize);
+        for x in row {
+            body.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    frame(body)
+}
+
+/// Prefix `body` with its length.
+fn frame(body: Vec<u8>) -> Vec<u8> {
+    debug_assert!(body.len() <= MAX_FRAME_LEN as usize);
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend(body);
+    out
+}
+
+/// Read one frame body from `r`.
+///
+/// `Ok(None)` means the peer closed the connection cleanly *between*
+/// frames (EOF at the first header byte); EOF anywhere else is a
+/// [`ProtocolError::Truncated`]. The length prefix is validated against
+/// [`MAX_FRAME_LEN`] before the body buffer is allocated.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtocolError> {
+    let mut header = [0u8; 4];
+    match read_exact_or_eof(r, &mut header)? {
+        0 => return Ok(None),
+        4 => {}
+        got => return Err(ProtocolError::Truncated { expected: 4, got }),
+    }
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge {
+            len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    if len == 0 {
+        return Err(ProtocolError::EmptyFrame);
+    }
+    let mut body = vec![0u8; len as usize];
+    let got = read_exact_or_eof(r, &mut body)?;
+    if got != body.len() {
+        return Err(ProtocolError::Truncated {
+            expected: len as usize,
+            got,
+        });
+    }
+    Ok(Some(body))
+}
+
+/// Fill `buf`, returning how many bytes arrived before EOF. Interrupted
+/// reads retry; other socket errors propagate.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, ProtocolError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+    }
+    Ok(filled)
+}
+
+/// Write one already-framed message to `w` and flush it.
+pub fn write_frame(w: &mut impl Write, framed: &[u8]) -> Result<(), ProtocolError> {
+    w.write_all(framed)?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Lookup(vec![0, 1, u32::MAX]),
+            Request::Lookup(vec![]),
+            Request::Ping,
+            Request::Stats,
+            Request::Reload("snapshots/serving.snap".into()),
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let framed = encode_request(&req);
+            let body = read_frame(&mut &framed[..]).unwrap().unwrap();
+            assert_eq!(decode_request(&body).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Rows {
+                row_len: 2,
+                rows: vec![vec![1.0, -2.5], vec![f32::MIN_POSITIVE, 0.0]],
+            },
+            Response::Rows {
+                row_len: 4,
+                rows: vec![],
+            },
+            Response::Empty,
+            Response::Json("{\"qps\": 12.5}".into()),
+            Response::Overloaded,
+            Response::BadRequest("no".into()),
+            Response::ServerError("disk on fire".into()),
+        ];
+        for resp in resps {
+            let framed = encode_response(&resp);
+            let body = read_frame(&mut &framed[..]).unwrap().unwrap();
+            assert_eq!(decode_response(&body).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn eof_between_frames_is_clean_close() {
+        assert!(read_frame(&mut &[][..]).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_inside_header_or_body_is_truncated() {
+        let framed = encode_request(&Request::Ping);
+        for cut in 1..framed.len() {
+            let err = read_frame(&mut &framed[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ProtocolError::Truncated { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        let mut bytes = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        bytes.push(op::PING);
+        assert!(matches!(
+            read_frame(&mut &bytes[..]).unwrap_err(),
+            ProtocolError::FrameTooLarge { .. }
+        ));
+        // u32::MAX would be a 4 GiB allocation if the cap were missing.
+        let bytes = u32::MAX.to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut &bytes[..]).unwrap_err(),
+            ProtocolError::FrameTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn zero_length_frame_rejected() {
+        let bytes = 0u32.to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut &bytes[..]).unwrap_err(),
+            ProtocolError::EmptyFrame
+        ));
+    }
+
+    #[test]
+    fn garbage_opcodes_and_payloads_yield_typed_errors() {
+        assert!(matches!(
+            decode_request(&[0xEE]).unwrap_err(),
+            ProtocolError::UnknownOpcode(0xEE)
+        ));
+        assert!(matches!(
+            decode_request(&[]).unwrap_err(),
+            ProtocolError::EmptyFrame
+        ));
+        // Lookup whose id bytes disagree with the count.
+        let mut body = vec![op::LOOKUP];
+        body.extend_from_slice(&3u32.to_le_bytes());
+        body.extend_from_slice(&7u32.to_le_bytes()); // one id, not three
+        assert!(matches!(
+            decode_request(&body).unwrap_err(),
+            ProtocolError::Malformed(_)
+        ));
+        // Lookup count above the cap.
+        let mut body = vec![op::LOOKUP];
+        body.extend_from_slice(&(MAX_LOOKUP_ITEMS + 1).to_le_bytes());
+        assert!(matches!(
+            decode_request(&body).unwrap_err(),
+            ProtocolError::TooManyItems { .. }
+        ));
+        // Ping with a payload.
+        assert!(matches!(
+            decode_request(&[op::PING, 1]).unwrap_err(),
+            ProtocolError::Malformed(_)
+        ));
+        // Reload with invalid UTF-8.
+        assert!(matches!(
+            decode_request(&[op::RELOAD, 0xFF, 0xFE]).unwrap_err(),
+            ProtocolError::Malformed(_)
+        ));
+    }
+}

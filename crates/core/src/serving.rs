@@ -30,6 +30,13 @@ pub const MAX_SHARDS: usize = 16;
 const MISS_CHUNK: usize = 32;
 
 /// Cache statistics.
+///
+/// Every request bumps **exactly one** of `hits`/`misses`/`degraded`, so
+/// [`CacheStats::total_requests`] is the number of requests whose counter
+/// increment the reader observed. Counters are written with `Release` and
+/// read with `Acquire` (see [`CachedService::stats`]), so a reader that is
+/// ordered after a request — through any synchronizing edge, such as the
+/// hot-swap quiesce in the serving daemon — is guaranteed to count it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Requests answered from the cache.
@@ -42,6 +49,24 @@ pub struct CacheStats {
     /// id beyond the model's embedding table). Counted separately from hits
     /// and misses so operators can alert on catalog/model skew.
     pub degraded: u64,
+}
+
+impl CacheStats {
+    /// Requests observed: each bumps exactly one of hits/misses/degraded.
+    pub fn total_requests(&self) -> u64 {
+        self.hits + self.misses + self.degraded
+    }
+}
+
+impl std::ops::AddAssign for CacheStats {
+    /// Fold another generation's counters in — how the serving daemon
+    /// accumulates stats across snapshot hot-swaps.
+    fn add_assign(&mut self, rhs: CacheStats) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.evictions += rhs.evictions;
+        self.degraded += rhs.degraded;
+    }
 }
 
 /// A cached sequence service (`2k` vectors) behind a shared pointer.
@@ -175,22 +200,22 @@ impl CachedService {
     /// the same shape and increment [`CacheStats::degraded`].
     pub fn sequence_service(&self, item: EntityId) -> Arc<Vec<Vec<f32>>> {
         if self.is_degraded(item) {
-            self.degraded.fetch_add(1, Ordering::Relaxed);
+            self.degraded.fetch_add(1, Ordering::Release);
             return Arc::clone(&self.fallback_sequence);
         }
         let shard = self.shard_of(item.0);
         if let Some(hit) = shard.sequences.read().get(&item.0) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Release);
             return Arc::clone(hit);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Release);
         // Compute outside any lock; concurrent misses may compute twice,
         // which is benign (the function is pure).
         let fresh = Arc::new(self.inner.sequence_service(item));
         let mut map = shard.sequences.write();
         if !map.contains_key(&item.0) && map.len() >= self.shard_capacity {
             self.evictions
-                .fetch_add(map.len() as u64, Ordering::Relaxed);
+                .fetch_add(map.len() as u64, Ordering::Release);
             map.clear();
         }
         map.insert(item.0, Arc::clone(&fresh));
@@ -203,15 +228,15 @@ impl CachedService {
     /// increment [`CacheStats::degraded`].
     pub fn condensed_service(&self, item: EntityId) -> Arc<Vec<f32>> {
         if self.is_degraded(item) {
-            self.degraded.fetch_add(1, Ordering::Relaxed);
+            self.degraded.fetch_add(1, Ordering::Release);
             return Arc::clone(&self.fallback_condensed);
         }
         let shard = self.shard_of(item.0);
         if let Some(hit) = shard.condensed.read().get(&item.0) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Release);
             return Arc::clone(hit);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Release);
         let mut v = Vec::new();
         let fresh = if self.snapshot_condensed_into(item.0, &mut v) {
             Arc::new(v)
@@ -226,7 +251,7 @@ impl CachedService {
         let mut map = self.shard_of(key).condensed.write();
         if !map.contains_key(&key) && map.len() >= self.shard_capacity {
             self.evictions
-                .fetch_add(map.len() as u64, Ordering::Relaxed);
+                .fetch_add(map.len() as u64, Ordering::Release);
             map.clear();
         }
         map.insert(key, Arc::clone(value));
@@ -241,18 +266,18 @@ impl CachedService {
         let mut seen = FxHashSet::default();
         for &item in items {
             if self.is_degraded(item) {
-                self.degraded.fetch_add(1, Ordering::Relaxed);
+                self.degraded.fetch_add(1, Ordering::Release);
                 out.push(Some(Arc::clone(&self.fallback_sequence)));
                 continue;
             }
             let shard = self.shard_of(item.0);
             match shard.sequences.read().get(&item.0) {
                 Some(hit) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Release);
                     out.push(Some(Arc::clone(hit)));
                 }
                 None => {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.misses.fetch_add(1, Ordering::Release);
                     out.push(None);
                     if seen.insert(item.0) {
                         missing.push(item.0);
@@ -284,7 +309,7 @@ impl CachedService {
             let mut map = self.shard_of(id).sequences.write();
             if !map.contains_key(&id) && map.len() >= self.shard_capacity {
                 self.evictions
-                    .fetch_add(map.len() as u64, Ordering::Relaxed);
+                    .fetch_add(map.len() as u64, Ordering::Release);
                 map.clear();
             }
             map.insert(id, Arc::clone(&value));
@@ -302,18 +327,18 @@ impl CachedService {
         let mut seen = FxHashSet::default();
         for &item in items {
             if self.is_degraded(item) {
-                self.degraded.fetch_add(1, Ordering::Relaxed);
+                self.degraded.fetch_add(1, Ordering::Release);
                 out.push(Some(Arc::clone(&self.fallback_condensed)));
                 continue;
             }
             let shard = self.shard_of(item.0);
             match shard.condensed.read().get(&item.0) {
                 Some(hit) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Release);
                     out.push(Some(Arc::clone(hit)));
                 }
                 None => {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.misses.fetch_add(1, Ordering::Release);
                     out.push(None);
                     if seen.insert(item.0) {
                         missing.push(item.0);
@@ -354,12 +379,20 @@ impl CachedService {
     }
 
     /// Snapshot of hit/miss/eviction/degraded counters.
+    ///
+    /// Increments are `Release` and these loads are `Acquire`, so any
+    /// request whose completion is ordered before this call — e.g. every
+    /// batch that finished before a hot-swap quiesced this generation —
+    /// is guaranteed to be counted. Concurrent in-flight requests may or
+    /// may not appear (they are still monotonic: a later read never shows
+    /// less), which is why the serving daemon folds a retired
+    /// generation's stats only after its last batch reference drops.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            degraded: self.degraded.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Acquire),
+            misses: self.misses.load(Ordering::Acquire),
+            evictions: self.evictions.load(Ordering::Acquire),
+            degraded: self.degraded.load(Ordering::Acquire),
         }
     }
 }

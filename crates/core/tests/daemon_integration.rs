@@ -1,0 +1,331 @@
+//! End-to-end daemon tests: a real TCP daemon on an ephemeral port, real
+//! clients, hot-swaps under live traffic, and hostile byte streams.
+
+use pkgm_core::model::{PkgmConfig, PkgmModel};
+use pkgm_core::protocol::{self, Response};
+use pkgm_core::serialize;
+use pkgm_core::snapshot::ServiceSnapshot;
+use pkgm_core::{ClientError, Daemon, DaemonClient, DaemonConfig, KnowledgeService, StdIo};
+use pkgm_store::{EntityId, KeyRelationSelector, StoreBuilder};
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const N_ITEMS: u32 = 24;
+const DIM: usize = 8;
+
+fn service(seed: u64) -> KnowledgeService {
+    let mut b = StoreBuilder::new();
+    for i in 0..N_ITEMS {
+        b.add_raw(i, 0, N_ITEMS + i % 5);
+        b.add_raw(i, 1, N_ITEMS + 5);
+    }
+    let store = b.build();
+    let pairs: Vec<(EntityId, u32)> = (0..N_ITEMS).map(|i| (EntityId(i), 0)).collect();
+    let sel = KeyRelationSelector::build(&store, &pairs, 1, 2);
+    let model = PkgmModel::new(
+        store.n_entities() as usize,
+        store.n_relations() as usize,
+        PkgmConfig::new(DIM).with_seed(seed),
+    );
+    KnowledgeService::new(model, sel)
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pkgm-daemon-test-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start_daemon(svc: &KnowledgeService) -> Daemon {
+    let snap = ServiceSnapshot::build(svc);
+    Daemon::start(
+        "127.0.0.1:0",
+        svc.clone(),
+        Some(snap),
+        DaemonConfig::default(),
+    )
+    .expect("daemon binds an ephemeral port")
+}
+
+#[test]
+fn lookups_match_direct_service_bit_exactly() {
+    let svc = service(7);
+    let daemon = start_daemon(&svc);
+    let addr = daemon.local_addr().to_string();
+    let mut client = DaemonClient::connect(&addr).unwrap();
+    client.ping().unwrap();
+
+    let items: Vec<u32> = (0..N_ITEMS).collect();
+    let rows = client.lookup(&items).unwrap();
+    assert_eq!(rows.len(), items.len());
+    let mut direct = Vec::new();
+    let snap = ServiceSnapshot::build(&svc);
+    for (&id, row) in items.iter().zip(&rows) {
+        assert_eq!(row.len(), 2 * DIM);
+        direct.clear();
+        assert!(snap.lookup_exact(EntityId(id), &mut direct));
+        let got: Vec<u32> = row.iter().map(|x| x.to_bits()).collect();
+        let want: Vec<u32> = direct.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(got, want, "item {id} differs from the snapshot row");
+    }
+
+    // Stats round-trips as JSON with the headline counters.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("dim").and_then(|v| v.as_u64()), Some(DIM as u64));
+    assert!(stats.get("lookups").and_then(|v| v.as_u64()).unwrap() >= 1);
+    assert_eq!(stats.get("swaps").and_then(|v| v.as_u64()), Some(0));
+
+    client.shutdown().unwrap();
+    daemon.wait();
+}
+
+#[test]
+fn hot_swap_under_load_loses_no_lookups_and_keeps_rows_bit_identical() {
+    let svc = service(11);
+    let daemon = start_daemon(&svc);
+    let addr = daemon.local_addr().to_string();
+
+    // Two snapshot artifacts built from the *same* service: unchanged
+    // entities must come back bit-identical across every swap.
+    let dir = tmpdir("swap");
+    let snap_a = dir.join("a.pkgmss");
+    let snap_b = dir.join("b.pkgmss");
+    let snap = ServiceSnapshot::build(&svc);
+    serialize::write_snapshot_file(&StdIo, &snap_a, &snap).unwrap();
+    serialize::write_snapshot_file(&StdIo, &snap_b, &snap).unwrap();
+
+    let mut reference = Vec::new();
+    let baseline: Vec<Vec<u32>> = (0..N_ITEMS)
+        .map(|id| {
+            reference.clear();
+            assert!(snap.lookup_exact(EntityId(id), &mut reference));
+            reference.iter().map(|x| x.to_bits()).collect()
+        })
+        .collect();
+
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 60;
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        let lookups: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let addr = addr.clone();
+                let baseline = &baseline;
+                s.spawn(move || {
+                    let mut client = DaemonClient::connect(&addr).unwrap();
+                    let items: Vec<u32> = (0..N_ITEMS).map(|i| (i + c as u32) % N_ITEMS).collect();
+                    for round in 0..ROUNDS {
+                        // Zero failed lookups: every response must be rows
+                        // (Overloaded would surface as ClientError here).
+                        let rows = client
+                            .lookup(&items)
+                            .unwrap_or_else(|e| panic!("client {c} round {round}: {e}"));
+                        for (&id, row) in items.iter().zip(&rows) {
+                            let got: Vec<u32> = row.iter().map(|x| x.to_bits()).collect();
+                            assert_eq!(
+                                got, baseline[id as usize],
+                                "client {c} round {round}: item {id} changed bits mid-swap"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        let swapper = {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            let (snap_a, snap_b) = (snap_a.clone(), snap_b.clone());
+            s.spawn(move || {
+                let mut client = DaemonClient::connect(&addr).unwrap();
+                let mut swaps = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let path = if swaps.is_multiple_of(2) {
+                        &snap_a
+                    } else {
+                        &snap_b
+                    };
+                    let summary = client.reload(path.to_str().unwrap()).unwrap();
+                    swaps = summary.get("swaps").and_then(|v| v.as_u64()).unwrap();
+                }
+                swaps
+            })
+        };
+        for l in lookups {
+            l.join().unwrap();
+        }
+        stop.store(true, Ordering::SeqCst);
+        let swaps = swapper.join().unwrap();
+        assert!(swaps >= 1, "no hot-swap completed while clients were live");
+    });
+
+    assert!(daemon.swaps() >= 1);
+    let mut client = DaemonClient::connect(&addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.get("protocol_errors").and_then(|v| v.as_u64()),
+        Some(0),
+        "well-formed clients must not register protocol errors"
+    );
+    client.shutdown().unwrap();
+    daemon.wait();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn reload_of_corrupt_snapshot_is_rejected_and_serving_continues() {
+    let svc = service(5);
+    let daemon = start_daemon(&svc);
+    let addr = daemon.local_addr().to_string();
+    let dir = tmpdir("corrupt");
+
+    // Truncated artifact: CRC framing must reject it.
+    let good = dir.join("good.pkgmss");
+    serialize::write_snapshot_file(&StdIo, &good, &ServiceSnapshot::build(&svc)).unwrap();
+    let bytes = std::fs::read(&good).unwrap();
+    let bad = dir.join("bad.pkgmss");
+    std::fs::write(&bad, &bytes[..bytes.len() / 2]).unwrap();
+
+    let mut client = DaemonClient::connect(&addr).unwrap();
+    match client.reload(bad.to_str().unwrap()) {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("cannot load snapshot")),
+        other => panic!("corrupt reload must fail server-side, got {other:?}"),
+    }
+    // A missing path fails the same typed way.
+    assert!(matches!(
+        client.reload(dir.join("missing.pkgmss").to_str().unwrap()),
+        Err(ClientError::Server(_))
+    ));
+
+    // The live table kept serving and no swap happened.
+    assert_eq!(daemon.swaps(), 0);
+    let rows = client.lookup(&[0, 1, 2]).unwrap();
+    assert_eq!(rows.len(), 3);
+    client.shutdown().unwrap();
+    daemon.wait();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn mid_request_disconnects_and_garbage_leave_the_daemon_healthy() {
+    let svc = service(3);
+    let daemon = start_daemon(&svc);
+    let addr = daemon.local_addr().to_string();
+
+    // 1. Disconnect after the length prefix, mid-frame.
+    {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        raw.write_all(&64u32.to_le_bytes()).unwrap();
+        raw.flush().unwrap();
+    } // dropped: handler sees a truncated frame
+
+    // 2. Disconnect partway through a declared body.
+    {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        raw.write_all(&16u32.to_le_bytes()).unwrap();
+        raw.write_all(&[protocol::op::LOOKUP, 1, 2]).unwrap();
+        raw.flush().unwrap();
+    }
+
+    // 3. Oversized length prefix: typed BadRequest response, then close.
+    {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        raw.flush().unwrap();
+        let body = protocol::read_frame(&mut raw)
+            .unwrap()
+            .expect("daemon answers before closing");
+        match protocol::decode_response(&body).unwrap() {
+            Response::BadRequest(msg) => assert!(msg.contains("exceeds")),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    // 4. Valid frame with a garbage opcode: typed BadRequest.
+    {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        raw.write_all(&1u32.to_le_bytes()).unwrap();
+        raw.write_all(&[0xEE]).unwrap();
+        raw.flush().unwrap();
+        let body = protocol::read_frame(&mut raw)
+            .unwrap()
+            .expect("daemon answers before closing");
+        assert!(matches!(
+            protocol::decode_response(&body).unwrap(),
+            Response::BadRequest(_)
+        ));
+    }
+
+    // After all that abuse a well-formed client still gets service, and
+    // every hostile stream above was counted. The two silent disconnects
+    // are noticed asynchronously by their handler threads, so poll.
+    let mut client = DaemonClient::connect(&addr).unwrap();
+    client.ping().unwrap();
+    let rows = client.lookup(&[0, 1]).unwrap();
+    assert_eq!(rows.len(), 2);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let stats = client.stats().unwrap();
+        let errors = stats
+            .get("protocol_errors")
+            .and_then(|v| v.as_u64())
+            .unwrap();
+        if errors >= 4 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "expected >= 4 protocol errors, daemon reports {errors}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    client.shutdown().unwrap();
+    daemon.wait();
+}
+
+#[test]
+fn oversized_lookup_is_rejected_without_executing() {
+    let svc = service(9);
+    let daemon = start_daemon(&svc);
+    let addr = daemon.local_addr().to_string();
+    let mut client = DaemonClient::connect(&addr).unwrap();
+
+    // A count just above the item cap decodes into TooManyItems server-side.
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    let mut body = vec![protocol::op::LOOKUP];
+    body.extend_from_slice(&(protocol::MAX_LOOKUP_ITEMS + 1).to_le_bytes());
+    let mut framed = (body.len() as u32).to_le_bytes().to_vec();
+    framed.extend(body);
+    raw.write_all(&framed).unwrap();
+    raw.flush().unwrap();
+    let resp = protocol::read_frame(&mut raw)
+        .unwrap()
+        .expect("daemon answers the oversized lookup");
+    match protocol::decode_response(&resp).unwrap() {
+        Response::BadRequest(msg) => assert!(msg.contains("item cap")),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("lookups").and_then(|v| v.as_u64()), Some(0));
+    client.shutdown().unwrap();
+    daemon.wait();
+}
+
+#[test]
+fn shutdown_request_stops_the_daemon_and_fails_queued_work_typed() {
+    let svc = service(2);
+    let daemon = start_daemon(&svc);
+    let addr = daemon.local_addr().to_string();
+    let mut client = DaemonClient::connect(&addr).unwrap();
+    client.shutdown().unwrap();
+    daemon.wait();
+    // The port is released: a fresh connect must fail (or be refused on
+    // first use) — the daemon is really gone, not wedged.
+    match DaemonClient::connect(&addr) {
+        Err(_) => {}
+        Ok(mut c) => assert!(c.ping().is_err()),
+    }
+}
