@@ -105,12 +105,27 @@ impl ServiceHolder {
     }
 
     /// Install `next` as the live generation. In-flight batches finish
-    /// against the generation they started with; their stats are folded
-    /// once they quiesce.
+    /// against the generation they started with.
+    ///
+    /// The retired generation's counters fold in two steps so that
+    /// [`ServiceHolder::cumulative_stats`] (which reads under the same
+    /// `folded` lock) never observes a window where they are in neither
+    /// place — a snapshot of the old counters is folded *atomically with*
+    /// the generation replacement, and the increments still landing from
+    /// in-flight batches are folded as a delta once the old generation
+    /// quiesces. Totals are monotone throughout; only increments arriving
+    /// after a (pathological, see [`SWAP_QUIESCE_TIMEOUT`]) quiesce
+    /// timeout can be dropped.
     pub fn swap(&self, next: CachedService) {
-        let old = {
-            let mut cur = self.current.write();
-            std::mem::replace(&mut *cur, Arc::new(next))
+        let (old, pre) = {
+            let mut folded = self.folded.lock();
+            let old = {
+                let mut cur = self.current.write();
+                std::mem::replace(&mut *cur, Arc::new(next))
+            };
+            let pre = old.stats();
+            *folded += pre;
+            (old, pre)
         };
         // Quiesce: batch workers hold transient clones only while a batch
         // executes. Once ours is the last reference, every increment to the
@@ -120,7 +135,7 @@ impl ServiceHolder {
         while Arc::strong_count(&old) > 1 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_micros(200));
         }
-        *self.folded.lock() += old.stats();
+        *self.folded.lock() += old.stats().since(&pre);
         self.swaps.fetch_add(1, Ordering::Release);
     }
 
@@ -130,10 +145,15 @@ impl ServiceHolder {
     }
 
     /// Cache statistics across every generation: retired generations'
-    /// folded totals plus the live generation's counters.
+    /// folded totals plus the live generation's counters, read under the
+    /// same lock [`ServiceHolder::swap`] folds under (lock order: `folded`,
+    /// then `current`) so the total is consistent — and therefore monotone
+    /// — across concurrent hot-swaps.
     pub fn cumulative_stats(&self) -> CacheStats {
-        let mut total = *self.folded.lock();
-        total += self.get().stats();
+        let folded = self.folded.lock();
+        let current = Arc::clone(&self.current.read());
+        let mut total = *folded;
+        total += current.stats();
         total
     }
 }
@@ -401,13 +421,22 @@ fn accept_loop(
             Err(_) if shared.shutting_down.load(Ordering::SeqCst) => return,
             Err(_) => continue,
         };
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            return;
-        }
         shared.counters.connections.fetch_add(1, Ordering::Relaxed);
         let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
-        if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().insert(id, clone);
+        {
+            // Check the flag and register the connection under one `conns`
+            // lock: `initiate_shutdown` sets the flag *before* taking the
+            // lock to close registered streams, so either we see the flag
+            // here, or shutdown sees our entry — a connection accepted
+            // mid-shutdown can never be left open with a blocked handler.
+            let mut conns = shared.conns.lock();
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            if let Ok(clone) = stream.try_clone() {
+                conns.insert(id, clone);
+            }
         }
         let shared_conn = Arc::clone(shared);
         let handle = std::thread::Builder::new()
@@ -485,8 +514,21 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
 fn respond(req: Request, shared: &Arc<Shared>) -> Vec<u8> {
     match req {
         Request::Lookup(items) => {
-            shared.counters.lookups.fetch_add(1, Ordering::Relaxed);
             let row_len = 2 * shared.master.dim() as u32;
+            // The protocol-wide MAX_LOOKUP_ITEMS was already enforced at
+            // decode time, but at this serving width the response frame
+            // caps the batch tighter: reject — don't build a response the
+            // framing layer could never send.
+            let cap = protocol::max_lookup_items_for_row_len(row_len);
+            if items.len() > cap as usize {
+                return protocol::encode_response(&Response::BadRequest(format!(
+                    "lookup of {} items exceeds the {cap}-item cap for {row_len}-float rows \
+                     (one response frame is capped at {} bytes)",
+                    items.len(),
+                    protocol::MAX_FRAME_LEN,
+                )));
+            }
+            shared.counters.lookups.fetch_add(1, Ordering::Relaxed);
             match shared.batcher.submit(items) {
                 Ok(ticket) => match ticket.wait() {
                     Ok(rows) => {
@@ -573,6 +615,12 @@ impl From<ProtocolError> for ClientError {
     }
 }
 
+/// Default socket read/write timeout for [`DaemonClient`] — generous next
+/// to any healthy round trip, so it only fires against a wedged or
+/// unresponsive daemon instead of blocking `stop`/`stats`/`reload` (and
+/// the bench clients) forever.
+pub const DEFAULT_CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// Blocking client for the daemon protocol, one request in flight at a
 /// time per connection (load generators open one per closed-loop worker).
 pub struct DaemonClient {
@@ -581,10 +629,23 @@ pub struct DaemonClient {
 }
 
 impl DaemonClient {
-    /// Connect to a running daemon.
+    /// Connect to a running daemon with [`DEFAULT_CLIENT_TIMEOUT`] on
+    /// socket reads and writes; a daemon that stops answering surfaces as
+    /// [`ClientError::Io`] instead of a hang.
     pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        Self::connect_with_timeout(addr, Some(DEFAULT_CLIENT_TIMEOUT))
+    }
+
+    /// Connect with an explicit socket read/write timeout (`None` blocks
+    /// indefinitely, the pre-timeout behaviour).
+    pub fn connect_with_timeout(
+        addr: &str,
+        timeout: Option<Duration>,
+    ) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
         let read_half = stream.try_clone()?;
         Ok(Self {
             reader: BufReader::new(read_half),
@@ -741,6 +802,65 @@ mod tests {
             "stats lost or duplicated across hot-swaps: {stats:?}"
         );
         assert!(stats.degraded > 0, "id mix must exercise degraded path");
+    }
+
+    #[test]
+    fn cumulative_stats_are_monotone_while_swaps_race_readers() {
+        // Regression test for the fold window: between installing a new
+        // generation and folding the retired one's counters, a Stats
+        // reader once saw totals dip (the old generation's counts were in
+        // neither `folded` nor `current`). Totals must never go backwards.
+        let svc = master();
+        let holder = ServiceHolder::new(CachedService::new(svc.clone(), 64));
+        let stop = AtomicBool::new(false);
+        let samples = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let (holder, stop) = (&holder, &stop);
+                s.spawn(move || {
+                    let items: Vec<EntityId> =
+                        (0..8).map(|i| EntityId((t * 8 + i) as u32)).collect();
+                    while !stop.load(Ordering::SeqCst) {
+                        let svc = holder.get();
+                        let rows = svc.condensed_service_batch(&items);
+                        assert_eq!(rows.len(), items.len());
+                    }
+                });
+            }
+            let reader = {
+                let (holder, stop, samples) = (&holder, &stop, &samples);
+                s.spawn(move || {
+                    let mut last = 0u64;
+                    while !stop.load(Ordering::SeqCst) {
+                        let total = holder.cumulative_stats().total_requests();
+                        assert!(
+                            total >= last,
+                            "cumulative total went backwards: {last} -> {total}"
+                        );
+                        last = total;
+                        samples.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            };
+            // Keep swapping until the reader has provably sampled while
+            // swaps were in flight; sleep between swaps so the reader and
+            // clients get scheduled even on a single-CPU host, and bound
+            // by wall clock so a wedged reader cannot spin this forever.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let mut swaps = 0u64;
+            while (swaps < 40 || samples.load(Ordering::Relaxed) < 50) && Instant::now() < deadline
+            {
+                holder.swap(CachedService::new(svc.clone(), 64));
+                swaps += 1;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            stop.store(true, Ordering::SeqCst);
+            reader.join().unwrap();
+            assert!(
+                samples.load(Ordering::Relaxed) > 0,
+                "reader must sample totals"
+            );
+        });
     }
 
     #[test]

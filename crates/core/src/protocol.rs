@@ -23,16 +23,21 @@
 //! | `Lookup`           | `n: u32`, then `n × u32` item ids          |
 //! | `Ping`             | empty                                      |
 //! | `Stats`            | empty                                      |
-//! | `Reload`           | UTF-8 snapshot path (daemon-local)         |
+//! | `Reload`           | UTF-8 snapshot path (daemon-local, ≤ 4 KiB)|
 //! | `Shutdown`         | empty                                      |
 //!
 //! | response status    | payload                                    |
 //! |--------------------|--------------------------------------------|
-//! | `Ok` (to `Lookup`) | `n: u32`, `row_len: u32`, `n×row_len` f32  |
-//! | `Ok` (to `Stats`/`Reload`) | UTF-8 JSON                         |
+//! | `Ok`               | empty — plain acknowledgement              |
+//! | `OkRows`           | `n: u32`, `row_len: u32`, `n×row_len` f32  |
+//! | `OkJson`           | UTF-8 JSON                                 |
 //! | `Overloaded`       | empty — request was shed, retry later      |
 //! | `BadRequest`       | UTF-8 message                              |
 //! | `ServerError`      | UTF-8 message                              |
+//!
+//! Rows and JSON successes carry **distinct status bytes** — the payload
+//! is never sniffed to tell them apart, so a row count whose low byte
+//! happens to equal `b'{'` decodes exactly like any other.
 
 use std::io::{self, Read, Write};
 
@@ -42,8 +47,34 @@ use std::io::{self, Read, Write};
 pub const MAX_FRAME_LEN: u32 = 32 * 1024 * 1024;
 
 /// Cap on items in one lookup request; keeps a single client from queuing
-/// an unbounded batch ahead of everyone else.
+/// an unbounded batch ahead of everyone else. This is the *protocol*
+/// ceiling — a server whose rows are wide enough that this many rows would
+/// overflow [`MAX_FRAME_LEN`] must also enforce
+/// [`max_lookup_items_for_row_len`] and reject the excess as a bad request.
 pub const MAX_LOOKUP_ITEMS: u32 = 65_536;
+
+/// Cap on a reload request's snapshot path. Bounds every error/summary
+/// message that echoes the path, so responses can never outgrow
+/// [`MAX_FRAME_LEN`].
+pub const MAX_RELOAD_PATH_LEN: usize = 4_096;
+
+/// Bytes of a rows response body before the f32 payload: status tag,
+/// `n: u32`, `row_len: u32`.
+pub const ROWS_HEADER_LEN: usize = 9;
+
+/// The largest lookup answerable in one frame when each row carries
+/// `row_len` f32 values: `n` such that
+/// `ROWS_HEADER_LEN + n × row_len × 4 ≤ MAX_FRAME_LEN`, further clamped to
+/// [`MAX_LOOKUP_ITEMS`]. Servers must reject larger lookups up front
+/// instead of building an unsendable response.
+pub fn max_lookup_items_for_row_len(row_len: u32) -> u32 {
+    let per_row = row_len as u64 * 4;
+    if per_row == 0 {
+        return MAX_LOOKUP_ITEMS;
+    }
+    let budget = MAX_FRAME_LEN as u64 - ROWS_HEADER_LEN as u64;
+    (budget / per_row).min(MAX_LOOKUP_ITEMS as u64) as u32
+}
 
 /// Request opcodes (the first body byte of a request frame).
 pub mod op {
@@ -61,7 +92,7 @@ pub mod op {
 
 /// Response statuses (the first body byte of a response frame).
 pub mod status {
-    /// Request served; payload depends on the request.
+    /// Request served; empty payload (ping/shutdown acknowledgement).
     pub const OK: u8 = 0x00;
     /// Admission control shed the request — the queue was full. The
     /// request was **not** executed; retrying later is safe.
@@ -70,6 +101,10 @@ pub mod status {
     pub const BAD_REQUEST: u8 = 0x02;
     /// The daemon failed to execute a valid request; payload is a message.
     pub const SERVER_ERROR: u8 = 0x03;
+    /// Request served; payload is a rows header plus raw f32 rows.
+    pub const OK_ROWS: u8 = 0x04;
+    /// Request served; payload is UTF-8 JSON (stats, reload summaries).
+    pub const OK_JSON: u8 = 0x05;
 }
 
 /// A decoded request frame.
@@ -202,6 +237,9 @@ pub fn decode_request(body: &[u8]) -> Result<Request, ProtocolError> {
             })
         }
         op::RELOAD => {
+            if payload.len() > MAX_RELOAD_PATH_LEN {
+                return Err(ProtocolError::Malformed("reload path too long"));
+            }
             let path = std::str::from_utf8(payload)
                 .map_err(|_| ProtocolError::Malformed("reload path is not UTF-8"))?;
             if path.is_empty() {
@@ -240,17 +278,17 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtocolError> {
     let (&tag, mut payload) = body.split_first().ok_or(ProtocolError::EmptyFrame)?;
     match tag {
         status::OK => {
-            if payload.is_empty() {
-                return Ok(Response::Empty);
+            if !payload.is_empty() {
+                return Err(ProtocolError::Malformed("plain ok carries no payload"));
             }
-            // JSON payloads start with '{' — unambiguous against the row
-            // header, whose first byte is a row count's low byte only when
-            // the count is ≥ 0x7B000000 (far above MAX_LOOKUP_ITEMS).
-            if payload[0] == b'{' {
-                let json = std::str::from_utf8(payload)
-                    .map_err(|_| ProtocolError::Malformed("JSON payload is not UTF-8"))?;
-                return Ok(Response::Json(json.to_string()));
-            }
+            Ok(Response::Empty)
+        }
+        status::OK_JSON => {
+            let json = std::str::from_utf8(payload)
+                .map_err(|_| ProtocolError::Malformed("JSON payload is not UTF-8"))?;
+            Ok(Response::Json(json.to_string()))
+        }
+        status::OK_ROWS => {
             let n = take_u32(&mut payload)
                 .ok_or(ProtocolError::Malformed("rows payload shorter than header"))?;
             let row_len = take_u32(&mut payload)
@@ -263,6 +301,19 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtocolError> {
                 return Err(ProtocolError::Malformed(
                     "row bytes disagree with the declared shape",
                 ));
+            }
+            // Zero-width rows carry no bytes to validate `n` against; they
+            // are never produced (row_len = 2·dim ≥ 2) and a huge `n`
+            // would otherwise allocate unboundedly — and `chunks_exact`
+            // panics on a zero chunk size.
+            if row_len == 0 && n > 0 {
+                return Err(ProtocolError::Malformed("zero-width rows"));
+            }
+            if row_len == 0 {
+                return Ok(Response::Rows {
+                    row_len,
+                    rows: Vec::new(),
+                });
             }
             let mut rows = Vec::with_capacity(n as usize);
             for row in payload.chunks_exact(row_len as usize * 4) {
@@ -301,7 +352,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut body = Vec::new();
     match resp {
         Response::Rows { row_len, rows } => {
-            body.push(status::OK);
+            body.push(status::OK_ROWS);
             body.extend_from_slice(&(rows.len() as u32).to_le_bytes());
             body.extend_from_slice(&row_len.to_le_bytes());
             for row in rows {
@@ -313,7 +364,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
         Response::Empty => body.push(status::OK),
         Response::Json(json) => {
-            body.push(status::OK);
+            body.push(status::OK_JSON);
             body.extend_from_slice(json.as_bytes());
         }
         Response::Overloaded => body.push(status::OVERLOADED),
@@ -336,8 +387,8 @@ pub fn encode_rows_response<'a>(
     row_len: u32,
     rows: impl ExactSizeIterator<Item = &'a [f32]>,
 ) -> Vec<u8> {
-    let mut body = Vec::with_capacity(9 + rows.len() * row_len as usize * 4);
-    body.push(status::OK);
+    let mut body = Vec::with_capacity(ROWS_HEADER_LEN + rows.len() * row_len as usize * 4);
+    body.push(status::OK_ROWS);
     body.extend_from_slice(&(rows.len() as u32).to_le_bytes());
     body.extend_from_slice(&row_len.to_le_bytes());
     for row in rows {
@@ -350,8 +401,18 @@ pub fn encode_rows_response<'a>(
 }
 
 /// Prefix `body` with its length.
+///
+/// # Panics
+/// If the body exceeds [`MAX_FRAME_LEN`] — a backstop, enforced in every
+/// build: callers bound their payloads up front ([`MAX_LOOKUP_ITEMS`],
+/// [`MAX_RELOAD_PATH_LEN`], [`max_lookup_items_for_row_len`]) so a frame
+/// the peer would reject is a caller bug, not a runtime condition.
 fn frame(body: Vec<u8>) -> Vec<u8> {
-    debug_assert!(body.len() <= MAX_FRAME_LEN as usize);
+    assert!(
+        body.len() <= MAX_FRAME_LEN as usize,
+        "frame body of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+        body.len()
+    );
     let mut out = Vec::with_capacity(4 + body.len());
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
     out.extend(body);
@@ -457,6 +518,95 @@ mod tests {
             let body = read_frame(&mut &framed[..]).unwrap().unwrap();
             assert_eq!(decode_response(&body).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn rows_whose_count_low_byte_is_a_brace_still_decode_as_rows() {
+        // Regression: the decoder once sniffed payload[0] == b'{' to tell
+        // JSON from rows, misparsing any rows response with n % 256 == 123
+        // (0x7B, the low byte of the little-endian count). Distinct status
+        // bytes make the count irrelevant.
+        for n in [123usize, 256 + 123] {
+            let rows: Vec<Vec<f32>> = (0..n).map(|r| vec![r as f32, -(r as f32)]).collect();
+            let resp = Response::Rows {
+                row_len: 2,
+                rows: rows.clone(),
+            };
+            let framed = encode_response(&resp);
+            let body = read_frame(&mut &framed[..]).unwrap().unwrap();
+            match decode_response(&body).unwrap() {
+                Response::Rows { row_len, rows: got } => {
+                    assert_eq!(row_len, 2);
+                    assert_eq!(got, rows, "count {n} must round-trip as rows");
+                }
+                other => panic!("count {n}: expected rows, got {other:?}"),
+            }
+        }
+        // And a JSON payload is JSON regardless of its first byte.
+        let json = Response::Json("[1,2,3]".into());
+        let framed = encode_response(&json);
+        let body = read_frame(&mut &framed[..]).unwrap().unwrap();
+        assert_eq!(decode_response(&body).unwrap(), json);
+    }
+
+    #[test]
+    fn plain_ok_with_payload_is_malformed() {
+        assert!(matches!(
+            decode_response(&[status::OK, 1]).unwrap_err(),
+            ProtocolError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn zero_width_rows_with_nonzero_count_rejected() {
+        // tag + n=5 + row_len=0, no row bytes: must not allocate n rows or
+        // panic in chunking.
+        let mut body = vec![status::OK_ROWS];
+        body.extend_from_slice(&5u32.to_le_bytes());
+        body.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_response(&body).unwrap_err(),
+            ProtocolError::Malformed(_)
+        ));
+        // n = 0, row_len = 0 is degenerate but harmless.
+        let mut body = vec![status::OK_ROWS];
+        body.extend_from_slice(&0u32.to_le_bytes());
+        body.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_response(&body).unwrap(),
+            Response::Rows { rows, .. } if rows.is_empty()
+        ));
+    }
+
+    #[test]
+    fn item_cap_shrinks_with_row_width_so_responses_fit_one_frame() {
+        // Narrow rows: the protocol cap dominates.
+        assert_eq!(max_lookup_items_for_row_len(16), MAX_LOOKUP_ITEMS);
+        // d = 512 ⇒ row_len = 1024 ⇒ 4 KiB/row: the frame cap dominates.
+        let cap = max_lookup_items_for_row_len(1024);
+        assert!(cap < MAX_LOOKUP_ITEMS);
+        let worst = ROWS_HEADER_LEN as u64 + (cap as u64 + 1) * 1024 * 4;
+        assert!(worst > MAX_FRAME_LEN as u64, "cap must be tight");
+        let fits = ROWS_HEADER_LEN as u64 + cap as u64 * 1024 * 4;
+        assert!(fits <= MAX_FRAME_LEN as u64, "cap-sized response must fit");
+        // A cap-sized response really frames (no panic in `frame`).
+        let row = vec![0.0f32; 1024];
+        let framed = encode_rows_response(1024, (0..cap as usize).map(|_| row.as_slice()));
+        assert!(framed.len() as u64 - 4 <= MAX_FRAME_LEN as u64);
+    }
+
+    #[test]
+    fn overlong_reload_path_rejected() {
+        let mut body = vec![op::RELOAD];
+        body.extend(std::iter::repeat_n(b'p', MAX_RELOAD_PATH_LEN + 1));
+        assert!(matches!(
+            decode_request(&body).unwrap_err(),
+            ProtocolError::Malformed("reload path too long")
+        ));
+        // Exactly at the cap is fine.
+        let mut body = vec![op::RELOAD];
+        body.extend(std::iter::repeat_n(b'p', MAX_RELOAD_PATH_LEN));
+        assert!(decode_request(&body).is_ok());
     }
 
     #[test]

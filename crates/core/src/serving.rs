@@ -56,6 +56,19 @@ impl CacheStats {
     pub fn total_requests(&self) -> u64 {
         self.hits + self.misses + self.degraded
     }
+
+    /// Counts accumulated beyond an `earlier` snapshot of these counters
+    /// (field-wise saturating difference) — how the serving daemon folds
+    /// the increments that land between a hot-swap's stats snapshot and
+    /// the retired generation's quiescence.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            degraded: self.degraded.saturating_sub(earlier.degraded),
+        }
+    }
 }
 
 impl std::ops::AddAssign for CacheStats {

@@ -315,6 +315,84 @@ fn oversized_lookup_is_rejected_without_executing() {
 }
 
 #[test]
+fn wide_rows_shrink_the_item_cap_to_what_fits_one_response_frame() {
+    // d = 512 ⇒ 1024-float rows ⇒ a full MAX_LOOKUP_ITEMS response would
+    // be ~256 MiB, far past MAX_FRAME_LEN. The daemon must reject the
+    // excess up front with a typed BadRequest instead of building an
+    // unsendable frame.
+    let mut b = StoreBuilder::new();
+    for i in 0..4u32 {
+        b.add_raw(i, 0, 4);
+        b.add_raw(i, 1, 5);
+    }
+    let store = b.build();
+    let pairs: Vec<(EntityId, u32)> = (0..4).map(|i| (EntityId(i), 0)).collect();
+    let sel = KeyRelationSelector::build(&store, &pairs, 1, 2);
+    let model = PkgmModel::new(
+        store.n_entities() as usize,
+        store.n_relations() as usize,
+        PkgmConfig::new(512).with_seed(17),
+    );
+    let svc = KnowledgeService::new(model, sel);
+    let daemon = Daemon::start("127.0.0.1:0", svc, None, DaemonConfig::default()).unwrap();
+    let addr = daemon.local_addr().to_string();
+    let mut client = DaemonClient::connect(&addr).unwrap();
+
+    let cap = protocol::max_lookup_items_for_row_len(2 * 512);
+    assert!(cap < protocol::MAX_LOOKUP_ITEMS);
+    // One past the dim-derived cap (still protocol-valid): typed rejection.
+    let oversized: Vec<u32> = (0..=cap).map(|i| i % 4).collect();
+    match client.lookup(&oversized) {
+        Err(ClientError::BadRequest(msg)) => {
+            assert!(msg.contains("item cap"), "unexpected message: {msg}")
+        }
+        other => panic!("expected BadRequest for {} items, got {other:?}", cap + 1),
+    }
+    // The connection survives and a small lookup still serves.
+    let rows = client.lookup(&[0, 1, 2, 3]).unwrap();
+    assert_eq!(rows.len(), 4);
+    assert_eq!(rows[0].len(), 2 * 512);
+    client.shutdown().unwrap();
+    daemon.wait();
+}
+
+#[test]
+fn shutdown_races_with_incoming_connections_without_hanging() {
+    // Regression test for the accept/shutdown race: a connection accepted
+    // around initiate_shutdown must still be closed, or its handler blocks
+    // in read_frame forever and shutdown() never joins.
+    let svc = service(13);
+    let daemon = start_daemon(&svc);
+    let addr = daemon.local_addr().to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        let connectors: Vec<_> = (0..3)
+            .map(|_| {
+                let addr = addr.clone();
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        // Connect, ping, drop — a constant stream of fresh
+                        // connections for shutdown to race against.
+                        if let Ok(mut c) = DaemonClient::connect(&addr) {
+                            let _ = c.ping();
+                        }
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // Joins the acceptor, workers, and every handler; a leaked blocked
+        // handler turns this into a hang (caught by the test harness).
+        daemon.shutdown();
+        stop.store(true, Ordering::SeqCst);
+        for c in connectors {
+            c.join().unwrap();
+        }
+    });
+}
+
+#[test]
 fn shutdown_request_stops_the_daemon_and_fails_queued_work_typed() {
     let svc = service(2);
     let daemon = start_daemon(&svc);

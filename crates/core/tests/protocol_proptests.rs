@@ -147,8 +147,23 @@ proptest! {
     }
 
     #[test]
+    fn unknown_statuses_are_typed(
+        tag in 6u16..256,
+        payload in prop::collection::vec(0u16..256, 0..16),
+    ) {
+        let mut body = vec![tag as u8];
+        body.extend(as_bytes(payload));
+        match decode_response(&body) {
+            Err(ProtocolError::UnknownStatus(s)) => prop_assert_eq!(s, tag as u8),
+            other => prop_assert!(false, "expected UnknownStatus, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn rows_responses_round_trip_bit_exactly(
-        n_rows in 0usize..8,
+        // Past 256 so the count's little-endian low byte sweeps every
+        // value — including b'{' (123), which once tripped JSON sniffing.
+        n_rows in 0usize..600,
         row_len in 1u32..12,
         seed in 0u32..1_000_000,
     ) {
@@ -173,6 +188,20 @@ proptest! {
                 }
             }
             other => prop_assert!(false, "expected rows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derived_item_cap_always_fits_one_frame(row_len in 0u32..100_000) {
+        let cap = protocol::max_lookup_items_for_row_len(row_len);
+        prop_assert!(cap <= MAX_LOOKUP_ITEMS);
+        let bytes = protocol::ROWS_HEADER_LEN as u64 + cap as u64 * row_len as u64 * 4;
+        prop_assert!(bytes <= MAX_FRAME_LEN as u64);
+        // The cap is tight: one more row would overflow the frame (unless
+        // the protocol-wide item cap dominates).
+        if cap < MAX_LOOKUP_ITEMS && row_len > 0 {
+            let one_more = bytes + row_len as u64 * 4;
+            prop_assert!(one_more > MAX_FRAME_LEN as u64);
         }
     }
 
