@@ -7,9 +7,13 @@
 //! lookup during the window only (a warmup phase absorbs connection setup
 //! and cache fill); the report carries sustained QPS and p50/p99/p99.9.
 //!
-//! Exits nonzero if any lookup fails, any row deviates bit-wise from the
-//! snapshot table, the daemon counts a protocol error, or fewer than two
-//! hot-swaps complete under load — so CI can gate on the exit status alone.
+//! Lookups ride the retrying client: shed (`Overloaded`) and provably
+//! unexecuted transport failures are retried with jittered backoff instead
+//! of failing the run, and the report counts `retries`, `retry_give_ups`
+//! and `deadline_misses`. Exits nonzero if any lookup finally gives up,
+//! any row deviates bit-wise from the snapshot table, the daemon counts a
+//! protocol error, or fewer than two hot-swaps complete under load — so CI
+//! can gate on the exit status alone.
 //!
 //! ```sh
 //! cargo run --release -p pkgm-bench --bin qps_scale -- tiny
@@ -17,10 +21,11 @@
 //! ```
 
 use pkgm_bench::{report, world, Scale};
+use pkgm_core::retry::RetryStats;
 use pkgm_core::serialize;
 use pkgm_core::{
-    Daemon, DaemonClient, DaemonConfig, KnowledgeService, PkgmModel, ServiceSnapshot, StdIo,
-    Trainer,
+    Daemon, DaemonClient, DaemonConfig, KnowledgeService, PkgmModel, RetryClient, RetryPolicy,
+    ServiceSnapshot, StdIo, Trainer,
 };
 use pkgm_store::EntityId;
 use rand::rngs::SmallRng;
@@ -90,9 +95,19 @@ fn build_service(scale: Scale) -> KnowledgeService {
     KnowledgeService::new(model, catalog.key_relation_selector(k))
 }
 
+/// Per-lookup deadline budget carried in the request frame; generous for a
+/// healthy daemon, tight enough that a wedged one fails typed, not hung.
+const LOOKUP_BUDGET: Duration = Duration::from_secs(5);
+
+/// What one client hands back: measured-window latencies (ns), lookup count,
+/// and the retry-layer counters.
+type ClientOutcome = Result<(Vec<u64>, u64, RetryStats), String>;
+
 /// One closed-loop client: Zipf-hot lookups until `DONE`, recording
 /// measured-window latencies and verifying every row against the snapshot
-/// table bit-for-bit. Returns `(latencies_ns, measured_lookups)`.
+/// table bit-for-bit. Shed and provably-unexecuted transport failures are
+/// retried under the policy instead of killing the run; only a final
+/// give-up is fatal. Returns `(latencies_ns, measured_lookups, retry_stats)`.
 #[allow(clippy::too_many_arguments)]
 fn client_loop(
     addr: &str,
@@ -102,8 +117,15 @@ fn client_loop(
     baseline: &[Vec<u32>],
     phase: &AtomicU8,
     errors: &AtomicU64,
-) -> Result<(Vec<u64>, u64), String> {
-    let mut client = DaemonClient::connect(addr).map_err(|e| format!("client {id}: {e}"))?;
+) -> ClientOutcome {
+    let policy = RetryPolicy {
+        max_retries: 6,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(160),
+        budget: None, // per-call budget comes from the lookup deadline
+        seed: 0x9e37 + id as u64,
+    };
+    let mut client = RetryClient::new(addr.to_string(), policy);
     let zipf = Zipf::new(hot.len() as u64, ZIPF_S).expect("hot set is non-empty");
     let mut rng = SmallRng::seed_from_u64(0x9e37 + id as u64);
     let mut latencies = Vec::new();
@@ -112,18 +134,18 @@ fn client_loop(
     loop {
         let p = phase.load(Ordering::Acquire);
         if p == DONE {
-            return Ok((latencies, measured));
+            return Ok((latencies, measured, client.stats()));
         }
         for slot in items.iter_mut() {
             // 1-based Zipf rank → hot-set index: rank 1 is the hottest key.
             *slot = hot[(zipf.sample(&mut rng) as usize - 1).min(hot.len() - 1)];
         }
         let t = Instant::now();
-        let rows = match client.lookup(&items) {
+        let rows = match client.lookup_with_deadline(&items, LOOKUP_BUDGET) {
             Ok(rows) => rows,
             Err(e) => {
                 errors.fetch_add(1, Ordering::Relaxed);
-                return Err(format!("client {id}: lookup failed: {e}"));
+                return Err(format!("client {id}: lookup gave up: {e}"));
             }
         };
         let elapsed = t.elapsed().as_nanos() as u64;
@@ -192,7 +214,7 @@ fn main() {
     let errors = Arc::new(AtomicU64::new(0));
     let mut swaps_in_window = 0u64;
     let mut window_wall = 0.0f64;
-    let results: Vec<Result<(Vec<u64>, u64), String>> = std::thread::scope(|s| {
+    let results: Vec<ClientOutcome> = std::thread::scope(|s| {
         let clients: Vec<_> = (0..shape.clients)
             .map(|id| {
                 let addr = addr.as_str();
@@ -256,11 +278,15 @@ fn main() {
     let mut failures = Vec::new();
     let mut latencies: Vec<u64> = Vec::new();
     let mut measured_lookups = 0u64;
+    let mut retry_stats = RetryStats::default();
     for r in results {
         match r {
-            Ok((lat, n)) => {
+            Ok((lat, n, stats)) => {
                 latencies.extend(lat);
                 measured_lookups += n;
+                retry_stats.retries += stats.retries;
+                retry_stats.give_ups += stats.give_ups;
+                retry_stats.deadline_misses += stats.deadline_misses;
             }
             Err(e) => failures.push(e),
         }
@@ -298,6 +324,10 @@ fn main() {
     println!();
     println!("hot-swaps: {total_swaps} total, {swaps_in_window} inside the measured window");
     println!("protocol errors: {protocol_errors}, shed lookups: {shed}");
+    println!(
+        "retries: {} (give-ups {}, deadline misses {})",
+        retry_stats.retries, retry_stats.give_ups, retry_stats.deadline_misses
+    );
 
     let host_cpus = report::host_cpus();
     report::warn_if_time_sliced("qps_scale", host_cpus, shape.clients);
@@ -323,6 +353,10 @@ fn main() {
         "protocol_errors": protocol_errors,
         "shed_lookups": shed,
         "failed_lookups": failures.len(),
+        "lookup_budget_secs": LOOKUP_BUDGET.as_secs_f64(),
+        "retries": retry_stats.retries,
+        "retry_give_ups": retry_stats.give_ups,
+        "deadline_misses": retry_stats.deadline_misses,
     });
     report::write_report("qps_scale", &out_path, &report_json);
 

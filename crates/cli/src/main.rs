@@ -13,9 +13,13 @@
 //! pkgm snapshot   --service svc.bin --out serving.snap
 //! pkgm eval      --preset small --seed 42 --service svc.bin --max-facts 300
 //! pkgm faultcheck [--dir scratch] [--seed 42]
+//! pkgm netcheck   [--seed 42]                             # network chaos battery
 //! pkgm daemon serve  --service svc.bin [--addr 127.0.0.1:7071] [--snapshot s.snap]
+//!                    [--max-conns 1024] [--stall-timeout-ms 2000]
 //! pkgm daemon reload --addr HOST:PORT --snapshot s.snap   # hot-swap, daemon-local path
 //! pkgm daemon stats  --addr HOST:PORT
+//! pkgm daemon health --addr HOST:PORT                     # liveness + restart counters
+//! pkgm daemon ready  --addr HOST:PORT                     # readiness gates, exit 1 if not
 //! pkgm daemon stop   --addr HOST:PORT
 //! pkgm bench-qps  --preset tiny [--clients 4] [--requests 300] [--out qps.json]
 //! ```
@@ -69,6 +73,7 @@ fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         "snapshot" => snapshot(&args),
         "eval" => evaluate(&args),
         "faultcheck" => faultcheck(&args),
+        "netcheck" => netcheck(&args),
         "bench-train" => bench_train(&args),
         "bench-eval" => bench_eval(&args),
         "bench-qps" => bench_qps(&args),
@@ -86,8 +91,13 @@ fn daemon_cmd(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         "serve" => daemon_serve(&args),
         "reload" => daemon_reload(&args),
         "stats" => daemon_stats(&args),
+        "health" => daemon_health(&args),
+        "ready" => daemon_ready(&args),
         "stop" => daemon_stop(&args),
-        other => Err(format!("unknown daemon action: {other} (serve|reload|stats|stop)").into()),
+        other => Err(format!(
+            "unknown daemon action: {other} (serve|reload|stats|health|ready|stop)"
+        )
+        .into()),
     }
 }
 
@@ -107,6 +117,11 @@ fn daemon_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         max_batch_items: args.get_or("max-batch-items", defaults.max_batch_items)?,
         queue_capacity: args.get_or("queue-capacity", defaults.queue_capacity)?,
         cache_capacity: args.get_or("cache-capacity", defaults.cache_capacity)?,
+        max_conns: args.get_or("max-conns", defaults.max_conns)?,
+        stall_timeout: std::time::Duration::from_millis(args.get_or(
+            "stall-timeout-ms",
+            defaults.stall_timeout.as_millis() as u64,
+        )?),
     };
     let daemon = Daemon::start(addr, service, snapshot, cfg.clone())?;
     let local = daemon.local_addr();
@@ -139,6 +154,22 @@ fn daemon_reload(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 fn daemon_stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let stats = daemon_client(args)?.stats()?;
     println!("{}", serde_json::to_string_pretty(&stats)?);
+    Ok(())
+}
+
+fn daemon_health(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let health = daemon_client(args)?.health()?;
+    println!("{}", serde_json::to_string_pretty(&health)?);
+    Ok(())
+}
+
+fn daemon_ready(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let ready = daemon_client(args)?.ready_json()?;
+    println!("{}", serde_json::to_string_pretty(&ready)?);
+    if ready.get("ready").and_then(serde_json::Value::as_bool) != Some(true) {
+        // Exit nonzero without usage noise: readiness probes gate on codes.
+        std::process::exit(1);
+    }
     Ok(())
 }
 
@@ -839,6 +870,31 @@ fn faultcheck(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn netcheck(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let seed: u64 = args.get_or("seed", 42)?;
+    eprintln!("[pkgm] running network chaos battery (seed {seed})…");
+    let report = pkgm_core::netcheck::run_netcheck(seed);
+    for s in &report.scenarios {
+        println!(
+            "{} {:<36} {}",
+            if s.passed { "PASS" } else { "FAIL" },
+            s.name,
+            s.detail
+        );
+    }
+    let failed = report.scenarios.iter().filter(|s| !s.passed).count();
+    if failed > 0 {
+        // Not a usage error: report and exit nonzero without the help text.
+        eprintln!(
+            "netcheck: {failed}/{} scenarios failed (seed {seed})",
+            report.scenarios.len()
+        );
+        std::process::exit(1);
+    }
+    println!("netcheck: all {} scenarios passed", report.scenarios.len());
+    Ok(())
+}
+
 fn evaluate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let catalog = catalog_from(args)?;
     let service = load_service(args)?;
@@ -878,6 +934,10 @@ fn print_help() {
          \u{20}              # int8 blockwise table, ~¼ the bytes, exact lookups]\n\
          \u{20}  eval        --preset P --seed N --service service.bin [--max-facts 300]\n\
          \u{20}  faultcheck  [--dir scratch] [--seed 42] — crash/corruption recovery battery\n\
+         \u{20}  netcheck    [--seed 42] — network chaos battery: a deterministic chaos\n\
+         \u{20}              proxy drops/truncates/delays/corrupts/slowloris-writes frames\n\
+         \u{20}              between a real client and daemon; asserts bit-exact successes,\n\
+         \u{20}              typed failures, no double-execution, watchdog recovery\n\
          \u{20}  bench-train --preset P [--dim 64] [--epochs 1] [--negatives 1]\n\
          \u{20}              [--parallel true] [--out bench.json] — fused vs baseline\n\
          \u{20}              gradient-kernel throughput on identical corruption streams\n\
@@ -890,12 +950,17 @@ fn print_help() {
          \u{20}  daemon      serve --service service.bin [--addr 127.0.0.1:7071]\n\
          \u{20}              [--snapshot serving.snap] [--workers 2] [--max-batch-items 1024]\n\
          \u{20}              [--queue-capacity 16384] [--cache-capacity 65536]\n\
+         \u{20}              [--max-conns 1024  # shed connects past this with Overloaded]\n\
+         \u{20}              [--stall-timeout-ms 2000  # watchdog wedge threshold]\n\
          \u{20}              [--addr-file f  # write the bound address, for --addr …:0]\n\
-         \u{20}              — TCP serving daemon: length-prefixed binary protocol,\n\
-         \u{20}              dynamic batching, shed-not-stall admission control\n\
+         \u{20}              — TCP serving daemon: CRC-framed binary protocol, dynamic\n\
+         \u{20}              batching, deadline propagation, shed-not-stall admission\n\
+         \u{20}              control, and a watchdog that restarts dead threads\n\
          \u{20}  daemon reload --addr HOST:PORT --snapshot path — hot-swap the serving\n\
          \u{20}              snapshot (daemon-local path) under live traffic\n\
          \u{20}  daemon stats --addr HOST:PORT — daemon counters as JSON\n\
+         \u{20}  daemon health --addr HOST:PORT — liveness JSON (uptime, restarts)\n\
+         \u{20}  daemon ready --addr HOST:PORT — readiness gates as JSON, exit 1 if not\n\
          \u{20}  daemon stop  --addr HOST:PORT — graceful shutdown\n\
          \u{20}  bench-qps   --preset P [--clients 4] [--requests 300] [--batch 16]\n\
          \u{20}              [--out qps.json] — closed-loop QPS smoke against an\n\

@@ -15,16 +15,55 @@
 //! [`SubmitError::Overloaded`] and the daemon answers with the typed
 //! `Overloaded` status. A full queue never blocks the socket threads, so
 //! an overloaded daemon stays responsive to pings, stats, and reloads.
+//!
+//! Requests may carry a **deadline** ([`DynamicBatcher::submit_with_deadline`]).
+//! Expired work is shed at three points, each counted separately in
+//! [`BatchStats`]: dead on arrival at submit (`AtEnqueue`), skipped when a
+//! worker dequeues it (`Queued`), and discarded when the batch call
+//! finishes past the deadline (`Executing`) — the rows exist but the
+//! caller's budget is spent, so delivering them would only masquerade as a
+//! success the client never saw. [`Ticket::wait`] also self-releases at
+//! the deadline, so a wedged worker can never pin a handler thread past
+//! the caller's budget.
 
+use crate::protocol::DeadlineStage;
 use crate::serving::CachedService;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Recover the guard from a poisoned std lock: batcher state is a queue of
 /// plain data, valid at every instruction boundary.
 fn lock_recover<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Write a final state into a slot and wake its waiter.
+fn deliver(slot: &Slot, state: SlotState) {
+    *lock_recover(&slot.state) = state;
+    slot.done.notify_one();
+}
+
+/// Consume one pending chaos injection (saturating at zero).
+fn chaos_take_one(counter: &AtomicU64) -> bool {
+    counter
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+        .is_ok()
+}
+
+/// Fails every still-held request if dropped mid-execution (i.e. the
+/// service call panicked); the normal path takes the batch back out first.
+struct DeliveryGuard {
+    batch: Vec<Pending>,
+}
+
+impl Drop for DeliveryGuard {
+    fn drop(&mut self) {
+        for p in self.batch.drain(..) {
+            deliver(&p.slot, SlotState::Failed("batch worker panicked".into()));
+        }
+    }
 }
 
 /// Why a request was not admitted.
@@ -34,6 +73,9 @@ pub enum SubmitError {
     Overloaded,
     /// The batcher has been stopped (daemon shutting down).
     Stopped,
+    /// The request's deadline had already passed at submit time — dead on
+    /// arrival, shed without side effects.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -41,17 +83,43 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::Overloaded => write!(f, "queue full — request shed"),
             SubmitError::Stopped => write!(f, "batcher stopped"),
+            SubmitError::DeadlineExceeded => write!(f, "deadline already expired at enqueue"),
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
 
+/// Why a [`Ticket::wait`] did not return rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitError {
+    /// The request's deadline expired at this pipeline stage.
+    DeadlineExceeded(DeadlineStage),
+    /// The batch worker failed the request (shutdown, panic, short batch).
+    Failed(String),
+}
+
+impl std::fmt::Display for WaitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitError::DeadlineExceeded(stage) => {
+                write!(f, "deadline exceeded ({})", stage.name())
+            }
+            WaitError::Failed(why) => write!(f, "{why}"),
+        }
+    }
+}
+
+impl std::error::Error for WaitError {}
+
 /// Completion state of one submitted request.
 enum SlotState {
     Pending,
     Done(Vec<Arc<Vec<f32>>>),
     Failed(String),
+    /// The deadline expired at this stage; the rows (if any were computed)
+    /// were discarded.
+    Expired(DeadlineStage),
 }
 
 /// One submitted request's rendezvous point.
@@ -63,6 +131,9 @@ struct Slot {
 /// Blocking handle for a submitted request.
 pub struct Ticket {
     slot: Arc<Slot>,
+    /// Mirrors the queued request's deadline so the waiter can self-release
+    /// even if every worker is wedged.
+    deadline: Option<Instant>,
 }
 
 impl std::fmt::Debug for Ticket {
@@ -73,29 +144,57 @@ impl std::fmt::Debug for Ticket {
 
 impl Ticket {
     /// Block until a batch worker completes this request. Returns the
-    /// condensed rows in submission order, or the failure message.
-    pub fn wait(self) -> Result<Vec<Arc<Vec<f32>>>, String> {
+    /// condensed rows in submission order, or a typed [`WaitError`].
+    ///
+    /// A ticket with a deadline never blocks past it: if no worker has
+    /// delivered by then — every worker wedged or dead — the wait returns
+    /// `DeadlineExceeded(Queued)` and the eventual delivery (if any) goes
+    /// to an abandoned slot.
+    pub fn wait(self) -> Result<Vec<Arc<Vec<f32>>>, WaitError> {
         let mut state = lock_recover(&self.slot.state);
         loop {
             match std::mem::replace(&mut *state, SlotState::Pending) {
                 SlotState::Done(rows) => return Ok(rows),
-                SlotState::Failed(why) => return Err(why),
-                SlotState::Pending => {
-                    state = self
-                        .slot
-                        .done
-                        .wait(state)
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                }
+                SlotState::Failed(why) => return Err(WaitError::Failed(why)),
+                SlotState::Expired(stage) => return Err(WaitError::DeadlineExceeded(stage)),
+                SlotState::Pending => match self.deadline {
+                    None => {
+                        state = self
+                            .slot
+                            .done
+                            .wait(state)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                    Some(deadline) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(WaitError::DeadlineExceeded(DeadlineStage::Queued));
+                        }
+                        let (guard, _timeout) = self
+                            .slot
+                            .done
+                            .wait_timeout(state, deadline - now)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        state = guard;
+                    }
+                },
             }
         }
     }
 }
 
-/// A queued request: the items to look up and where to deliver the rows.
+/// A queued request: the items to look up, where to deliver the rows, and
+/// how long the caller will still care.
 struct Pending {
     items: Vec<u32>,
     slot: Arc<Slot>,
+    deadline: Option<Instant>,
+}
+
+impl Pending {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
 }
 
 /// Queue state under the batcher's mutex.
@@ -120,6 +219,13 @@ pub struct BatchStats {
     pub shed: u64,
     /// Largest single batch (items) executed so far.
     pub max_batch_items: u64,
+    /// Requests whose deadline had already passed at submit.
+    pub expired_enqueue: u64,
+    /// Requests whose deadline passed while waiting in the queue.
+    pub expired_queued: u64,
+    /// Requests whose deadline passed during batch execution (rows were
+    /// computed but discarded as dead on arrival).
+    pub expired_executing: u64,
 }
 
 impl BatchStats {
@@ -147,6 +253,15 @@ pub struct DynamicBatcher {
     items: AtomicU64,
     shed: AtomicU64,
     max_batch: AtomicU64,
+    expired_enqueue: AtomicU64,
+    expired_queued: AtomicU64,
+    expired_executing: AtomicU64,
+    /// Chaos hook: pending worker panics to inject (each next batch pickup
+    /// consumes one and panics *before* dequeuing, so no request is lost).
+    inject_panics: AtomicU64,
+    /// Chaos hook: microseconds the next batch pickups stall before
+    /// executing (consumed one pickup at a time).
+    inject_wedge_micros: AtomicU64,
 }
 
 impl DynamicBatcher {
@@ -172,21 +287,48 @@ impl DynamicBatcher {
             items: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
+            expired_enqueue: AtomicU64::new(0),
+            expired_queued: AtomicU64::new(0),
+            expired_executing: AtomicU64::new(0),
+            inject_panics: AtomicU64::new(0),
+            inject_wedge_micros: AtomicU64::new(0),
         }
     }
 
     /// Admit a lookup, or shed it. An admitted request is guaranteed a
-    /// completion (rows or a failure message) as long as a worker runs.
+    /// completion (rows or a typed failure) as long as a worker runs — and
+    /// a deadline-carrying request is guaranteed one even if no worker
+    /// ever does.
     ///
     /// An empty item list completes immediately without queuing.
     pub fn submit(&self, items: Vec<u32>) -> Result<Ticket, SubmitError> {
+        self.submit_with_deadline(items, None)
+    }
+
+    /// [`DynamicBatcher::submit`] with an optional deadline: once `deadline`
+    /// passes, every pipeline stage sheds the request with a typed
+    /// [`DeadlineStage`] instead of serving dead-on-arrival rows. A request
+    /// whose deadline has already passed is rejected here with
+    /// [`SubmitError::DeadlineExceeded`].
+    pub fn submit_with_deadline(
+        &self,
+        items: Vec<u32>,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, SubmitError> {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            self.expired_enqueue.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::DeadlineExceeded);
+        }
         let slot = Arc::new(Slot {
             state: Mutex::new(SlotState::Pending),
             done: Condvar::new(),
         });
         if items.is_empty() {
             *lock_recover(&slot.state) = SlotState::Done(Vec::new());
-            return Ok(Ticket { slot });
+            return Ok(Ticket {
+                slot,
+                deadline: None,
+            });
         }
         {
             let mut q = lock_recover(&self.queue);
@@ -204,10 +346,11 @@ impl DynamicBatcher {
             q.pending.push_back(Pending {
                 items,
                 slot: Arc::clone(&slot),
+                deadline,
             });
         }
         self.ready.notify_one();
-        Ok(Ticket { slot })
+        Ok(Ticket { slot, deadline })
     }
 
     /// Worker loop: coalesce pending requests and serve them against the
@@ -231,9 +374,25 @@ impl DynamicBatcher {
                         .wait(q)
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
+                // Chaos hook: panic *before* dequeuing, so the queued work
+                // survives for whoever the watchdog respawns.
+                if chaos_take_one(&self.inject_panics) {
+                    drop(q);
+                    panic!("injected batch-worker panic (chaos hook)");
+                }
+                let now = Instant::now();
                 let mut batch: Vec<Pending> = Vec::new();
                 let mut taken = 0usize;
                 while let Some(front) = q.pending.front() {
+                    // Shed work that expired while queued without letting
+                    // it count against the batch cap.
+                    if front.expired(now) {
+                        let p = q.pending.pop_front().expect("front exists");
+                        q.queued_items -= p.items.len();
+                        self.expired_queued.fetch_add(1, Ordering::Relaxed);
+                        deliver(&p.slot, SlotState::Expired(DeadlineStage::Queued));
+                        continue;
+                    }
                     // Always take at least one request; stop once the next
                     // would push the batch past the cap.
                     if !batch.is_empty() && taken + front.items.len() > self.max_batch_items {
@@ -248,34 +407,55 @@ impl DynamicBatcher {
             };
             // More work may remain; hand it to a sibling worker.
             self.ready.notify_one();
-            self.execute(batch, &service());
+            // Chaos hook: stall before executing — from the outside this
+            // is a wedged worker (queue backs up, no batch progress).
+            let wedge = self.inject_wedge_micros.swap(0, Ordering::Relaxed);
+            if wedge > 0 {
+                std::thread::sleep(Duration::from_micros(wedge));
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            self.execute(batch, &service);
         }
     }
 
-    /// Serve one coalesced batch and deliver per-request results.
-    fn execute(&self, batch: Vec<Pending>, service: &CachedService) {
-        let ids: Vec<pkgm_store::EntityId> = batch
+    /// Serve one coalesced batch and deliver per-request results. If the
+    /// service re-read or the batch call panics, the delivery guard fails
+    /// every slot in the batch before the panic unwinds the worker — a
+    /// dying worker never strands a waiting handler.
+    fn execute(&self, batch: Vec<Pending>, service: &impl Fn() -> Arc<CachedService>) {
+        let mut guard = DeliveryGuard { batch };
+        let ids: Vec<pkgm_store::EntityId> = guard
+            .batch
             .iter()
             .flat_map(|p| p.items.iter().copied().map(pkgm_store::EntityId))
             .collect();
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.requests
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            .fetch_add(guard.batch.len() as u64, Ordering::Relaxed);
         self.items.fetch_add(ids.len() as u64, Ordering::Relaxed);
         self.max_batch
             .fetch_max(ids.len() as u64, Ordering::Relaxed);
-        let rows = service.condensed_service_batch(&ids);
+        let rows = service().condensed_service_batch(&ids);
+        let batch = std::mem::take(&mut guard.batch);
+        drop(guard);
+        let done = Instant::now();
         let mut cursor = rows.into_iter();
         for p in batch {
             let took: Vec<Arc<Vec<f32>>> = cursor.by_ref().take(p.items.len()).collect();
-            let mut state = lock_recover(&p.slot.state);
-            *state = if took.len() == p.items.len() {
-                SlotState::Done(took)
-            } else {
+            let state = if took.len() != p.items.len() {
                 SlotState::Failed("batch result shorter than request".into())
+            } else if p.expired(done) {
+                // The rows exist, but the caller's budget ran out while we
+                // computed them: deliver the expiry, not a dead-on-arrival
+                // success.
+                self.expired_executing.fetch_add(1, Ordering::Relaxed);
+                SlotState::Expired(DeadlineStage::Executing)
+            } else {
+                SlotState::Done(took)
             };
-            drop(state);
-            p.slot.done.notify_one();
+            deliver(&p.slot, state);
         }
     }
 
@@ -290,14 +470,36 @@ impl DynamicBatcher {
         };
         self.ready.notify_all();
         for p in drained {
-            *lock_recover(&p.slot.state) = SlotState::Failed("daemon shutting down".into());
-            p.slot.done.notify_one();
+            deliver(&p.slot, SlotState::Failed("daemon shutting down".into()));
         }
     }
 
     /// Whether [`DynamicBatcher::stop`] has been called.
     pub fn is_stopped(&self) -> bool {
         lock_recover(&self.queue).stopped
+    }
+
+    /// Items currently queued and not yet picked up by a worker — the
+    /// watchdog's stall signal.
+    pub fn queued_items(&self) -> usize {
+        lock_recover(&self.queue).queued_items
+    }
+
+    /// Chaos hook: make the next batch pickup panic (before dequeuing, so
+    /// no queued request is lost). Used by the netcheck battery to prove
+    /// the watchdog restarts a dead worker.
+    pub fn inject_worker_panic(&self) {
+        self.inject_panics.fetch_add(1, Ordering::Relaxed);
+        self.ready.notify_one();
+    }
+
+    /// Chaos hook: stall the next batch pickup for `wedge` before it
+    /// executes — an externally-observable wedged worker.
+    pub fn inject_worker_wedge(&self, wedge: Duration) {
+        self.inject_wedge_micros.store(
+            wedge.as_micros().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
     }
 
     /// Batch-execution counters.
@@ -308,6 +510,9 @@ impl DynamicBatcher {
             items: self.items.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             max_batch_items: self.max_batch.load(Ordering::Relaxed),
+            expired_enqueue: self.expired_enqueue.load(Ordering::Relaxed),
+            expired_queued: self.expired_queued.load(Ordering::Relaxed),
+            expired_executing: self.expired_executing.load(Ordering::Relaxed),
         }
     }
 }
@@ -427,5 +632,130 @@ mod tests {
     #[should_panic(expected = "queue capacity must be positive")]
     fn zero_capacity_rejected() {
         DynamicBatcher::new(0, 1);
+    }
+
+    #[test]
+    fn already_expired_deadline_is_shed_at_enqueue() {
+        let batcher = DynamicBatcher::new(16, 16);
+        let past = Instant::now() - Duration::from_millis(5);
+        assert_eq!(
+            batcher
+                .submit_with_deadline(vec![1, 2], Some(past))
+                .unwrap_err(),
+            SubmitError::DeadlineExceeded
+        );
+        let stats = batcher.stats();
+        assert_eq!(stats.expired_enqueue, 1);
+        assert_eq!(stats.expired_queued, 0);
+        assert_eq!(stats.expired_executing, 0);
+        // Nothing was queued.
+        assert_eq!(batcher.queued_items(), 0);
+    }
+
+    #[test]
+    fn deadline_expiring_while_queued_is_skipped_at_dequeue() {
+        let svc = cached();
+        let batcher = Arc::new(DynamicBatcher::new(1024, 64));
+        // No worker yet: the request sits in the queue past its deadline.
+        let t = batcher
+            .submit_with_deadline(vec![1], Some(Instant::now() + Duration::from_millis(10)))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        with_worker(&batcher, &svc, || {
+            // A fresh request forces the worker through the queue; the
+            // expired one in front of it must be skipped, not served.
+            let rows = batcher.submit(vec![2]).unwrap().wait().unwrap();
+            assert_eq!(rows.len(), 1);
+        });
+        assert_eq!(
+            t.wait().unwrap_err(),
+            WaitError::DeadlineExceeded(DeadlineStage::Queued)
+        );
+        let stats = batcher.stats();
+        assert_eq!(stats.expired_queued, 1);
+        assert_eq!(stats.expired_executing, 0);
+        // The expired request never reached a batch.
+        assert_eq!(stats.requests, 1);
+        assert_eq!(batcher.queued_items(), 0);
+    }
+
+    #[test]
+    fn deadline_expiring_during_execution_discards_the_rows() {
+        let svc = cached();
+        let batcher = Arc::new(DynamicBatcher::new(1024, 64));
+        // The wedge stalls the pickup after the dequeue-time expiry check,
+        // so the deadline passes while the batch is "executing".
+        batcher.inject_worker_wedge(Duration::from_millis(400));
+        with_worker(&batcher, &svc, || {
+            let t = batcher
+                .submit_with_deadline(vec![3], Some(Instant::now() + Duration::from_millis(150)))
+                .unwrap();
+            // The waiter self-releases at its deadline (stage Queued from
+            // its view — no worker had delivered yet).
+            assert!(matches!(t.wait(), Err(WaitError::DeadlineExceeded(_))));
+            // The worker's own accounting must land on Executing.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while batcher.stats().expired_executing == 0 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            assert_eq!(batcher.stats().expired_executing, 1);
+        });
+        assert_eq!(batcher.stats().expired_queued, 0);
+    }
+
+    #[test]
+    fn waiter_self_releases_at_deadline_when_no_worker_runs() {
+        let batcher = DynamicBatcher::new(16, 16);
+        let start = Instant::now();
+        let t = batcher
+            .submit_with_deadline(vec![1], Some(start + Duration::from_millis(40)))
+            .unwrap();
+        assert_eq!(
+            t.wait().unwrap_err(),
+            WaitError::DeadlineExceeded(DeadlineStage::Queued)
+        );
+        let waited = start.elapsed();
+        assert!(waited >= Duration::from_millis(40), "released early");
+        assert!(waited < Duration::from_secs(5), "blocked far past deadline");
+    }
+
+    #[test]
+    fn panicking_service_call_fails_the_batch_instead_of_stranding_it() {
+        let batcher = Arc::new(DynamicBatcher::new(64, 64));
+        let t = batcher.submit(vec![1, 2]).unwrap();
+        let worker = {
+            let batcher = Arc::clone(&batcher);
+            std::thread::spawn(move || {
+                batcher.run_worker(|| -> Arc<CachedService> { panic!("service blew up mid-batch") })
+            })
+        };
+        match t.wait() {
+            Err(WaitError::Failed(why)) => assert!(why.contains("panicked"), "{why}"),
+            other => panic!("expected panic failure, got {other:?}"),
+        }
+        assert!(worker.join().is_err(), "worker thread must have panicked");
+    }
+
+    #[test]
+    fn injected_panic_hook_preserves_queued_work() {
+        let svc = cached();
+        let batcher = Arc::new(DynamicBatcher::new(64, 64));
+        let t = batcher.submit(vec![4]).unwrap();
+        batcher.inject_worker_panic();
+        // First worker consumes the injection and dies without dequeuing.
+        let doomed = {
+            let batcher = Arc::clone(&batcher);
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || batcher.run_worker(move || Arc::clone(&svc)))
+        };
+        assert!(
+            doomed.join().is_err(),
+            "injected panic must kill the worker"
+        );
+        // A replacement worker serves the still-queued request.
+        with_worker(&batcher, &svc, || {
+            let rows = t.wait().unwrap();
+            assert_eq!(*rows[0], *svc.condensed_service(EntityId(4)));
+        });
     }
 }

@@ -28,8 +28,8 @@
 //! — a corrupt or truncated snapshot is rejected with a typed error and
 //! the live table keeps serving.
 
-use crate::batcher::{BatchStats, DynamicBatcher, SubmitError};
-use crate::protocol::{self, ProtocolError, Request, Response};
+use crate::batcher::{BatchStats, DynamicBatcher, SubmitError, WaitError};
+use crate::protocol::{self, DeadlineStage, ProtocolError, Request, Response};
 use crate::serialize;
 use crate::service::KnowledgeService;
 use crate::serving::{CacheStats, CachedService};
@@ -57,6 +57,14 @@ pub struct DaemonConfig {
     /// Cache capacity (per shape) of each [`CachedService`] generation,
     /// including the ones built by reloads.
     pub cache_capacity: usize,
+    /// Admission cap on concurrent connections: a connect past this is
+    /// answered with a typed `Overloaded` frame and closed at accept time,
+    /// instead of spawning an unbounded handler thread per socket.
+    pub max_conns: usize,
+    /// How long the batch queue may sit non-empty with zero batch progress
+    /// before the watchdog declares the workers wedged and reinforces the
+    /// pool.
+    pub stall_timeout: Duration,
 }
 
 impl Default for DaemonConfig {
@@ -66,6 +74,8 @@ impl Default for DaemonConfig {
             max_batch_items: 1024,
             queue_capacity: 16_384,
             cache_capacity: 65_536,
+            max_conns: 1024,
+            stall_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -81,6 +91,20 @@ pub struct ServiceHolder {
     current: RwLock<Arc<CachedService>>,
     folded: Mutex<CacheStats>,
     swaps: AtomicU64,
+    /// Swaps whose quiesce wait timed out — late increments from batches
+    /// still holding the retired generation were dropped from the
+    /// cumulative stats. Nonzero means a worker wedged past
+    /// [`SWAP_QUIESCE_TIMEOUT`].
+    quiesce_timeouts: AtomicU64,
+    /// In-progress swap tracking for the readiness probe: how many swaps
+    /// are quiescing and when the earliest began.
+    swap_track: Mutex<SwapTrack>,
+}
+
+#[derive(Default)]
+struct SwapTrack {
+    active: u32,
+    earliest: Option<Instant>,
 }
 
 /// How long [`ServiceHolder::swap`] waits for in-flight batches on the old
@@ -95,6 +119,8 @@ impl ServiceHolder {
             current: RwLock::new(Arc::new(service)),
             folded: Mutex::new(CacheStats::default()),
             swaps: AtomicU64::new(0),
+            quiesce_timeouts: AtomicU64::new(0),
+            swap_track: Mutex::new(SwapTrack::default()),
         }
     }
 
@@ -117,6 +143,11 @@ impl ServiceHolder {
     /// after a (pathological, see [`SWAP_QUIESCE_TIMEOUT`]) quiesce
     /// timeout can be dropped.
     pub fn swap(&self, next: CachedService) {
+        {
+            let mut track = self.swap_track.lock();
+            track.active += 1;
+            track.earliest.get_or_insert_with(Instant::now);
+        }
         let (old, pre) = {
             let mut folded = self.folded.lock();
             let old = {
@@ -135,13 +166,42 @@ impl ServiceHolder {
         while Arc::strong_count(&old) > 1 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_micros(200));
         }
+        if Arc::strong_count(&old) > 1 {
+            // In-flight batches still hold the retired generation: their
+            // late stat increments are dropped. Count the event instead of
+            // losing it silently.
+            self.quiesce_timeouts.fetch_add(1, Ordering::Relaxed);
+        }
         *self.folded.lock() += old.stats().since(&pre);
         self.swaps.fetch_add(1, Ordering::Release);
+        {
+            let mut track = self.swap_track.lock();
+            track.active -= 1;
+            if track.active == 0 {
+                track.earliest = None;
+            }
+        }
     }
 
     /// Completed hot-swaps.
     pub fn swaps(&self) -> u64 {
         self.swaps.load(Ordering::Acquire)
+    }
+
+    /// Swaps whose quiesce wait hit [`SWAP_QUIESCE_TIMEOUT`] and folded
+    /// stats anyway (late increments dropped).
+    pub fn quiesce_timeouts(&self) -> u64 {
+        self.quiesce_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Whether a hot-swap has been quiescing longer than
+    /// [`SWAP_QUIESCE_TIMEOUT`] — the readiness probe's "swap wedged"
+    /// signal.
+    pub fn wedged(&self) -> bool {
+        self.swap_track
+            .lock()
+            .earliest
+            .is_some_and(|t| t.elapsed() > SWAP_QUIESCE_TIMEOUT)
     }
 
     /// Cache statistics across every generation: retired generations'
@@ -167,6 +227,13 @@ struct DaemonCounters {
     lookups: AtomicU64,
     reloads: AtomicU64,
     reload_failures: AtomicU64,
+    /// Connections shed at accept time by the `max_conns` admission cap.
+    conns_rejected: AtomicU64,
+    /// Batch workers the watchdog respawned (panicked) or reinforced
+    /// (wedged).
+    worker_restarts: AtomicU64,
+    /// Accept loops the watchdog respawned after a panic.
+    acceptor_restarts: AtomicU64,
 }
 
 /// State shared by the acceptor, connection handlers, and batch workers.
@@ -186,6 +253,9 @@ struct Shared {
     next_conn_id: AtomicU64,
     /// Signaled when shutdown is initiated; `Daemon::wait` blocks on it.
     done: (StdMutex<bool>, Condvar),
+    /// Chaos hook: pending accept-loop panics (each accepted connection
+    /// consumes one and panics, killing the acceptor thread).
+    inject_accept_panics: AtomicU64,
 }
 
 impl Shared {
@@ -236,6 +306,39 @@ impl Shared {
         }))
     }
 
+    /// Whether the daemon can serve a lookup right now: a live serving
+    /// generation, an accepting batcher, and no hot-swap wedged past its
+    /// quiesce timeout.
+    fn is_ready(&self) -> bool {
+        !self.shutting_down.load(Ordering::SeqCst)
+            && !self.batcher.is_stopped()
+            && !self.holder.wedged()
+    }
+
+    /// The JSON answering a `Health` request: process-level liveness plus
+    /// the supervision counters.
+    fn health_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "status": "ok",
+            "uptime_secs": self.started.elapsed().as_secs_f64(),
+            "worker_restarts": self.counters.worker_restarts.load(Ordering::Relaxed),
+            "acceptor_restarts": self.counters.acceptor_restarts.load(Ordering::Relaxed),
+        })
+    }
+
+    /// The JSON answering a `Ready` request, with the individual gates so
+    /// an operator can see *why* a daemon is not ready.
+    fn ready_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "ready": self.is_ready(),
+            "batcher_accepting": !self.batcher.is_stopped(),
+            "swap_wedged": self.holder.wedged(),
+            "shutting_down": self.shutting_down.load(Ordering::SeqCst),
+            "queued_items": self.batcher.queued_items() as u64,
+            "snapshot": self.holder.get().snapshot().is_some(),
+        })
+    }
+
     /// The stats JSON answering a `Stats` request.
     fn stats_json(&self) -> serde_json::Value {
         let cache = self.holder.cumulative_stats();
@@ -248,6 +351,9 @@ impl Shared {
             "shed": batch.shed,
             "max_batch_items": batch.max_batch_items,
             "mean_batch_items": batch.mean_batch_items(),
+            "expired_enqueue": batch.expired_enqueue,
+            "expired_queued": batch.expired_queued,
+            "expired_executing": batch.expired_executing,
         });
         let cache_json = serde_json::json!({
             "hits": cache.hits,
@@ -274,6 +380,11 @@ impl Shared {
             "reloads": self.counters.reloads.load(Ordering::Relaxed),
             "reload_failures": self.counters.reload_failures.load(Ordering::Relaxed),
             "swaps": self.holder.swaps(),
+            "quiesce_timeouts": self.holder.quiesce_timeouts(),
+            "conns_rejected": self.counters.conns_rejected.load(Ordering::Relaxed),
+            "worker_restarts": self.counters.worker_restarts.load(Ordering::Relaxed),
+            "acceptor_restarts": self.counters.acceptor_restarts.load(Ordering::Relaxed),
+            "ready": self.is_ready(),
             "batch": batch_json,
             "cache": cache_json,
             "snapshot": snapshot_json,
@@ -281,13 +392,21 @@ impl Shared {
     }
 }
 
+/// The supervised thread pool: the acceptor and the batch workers, shared
+/// between the daemon handle (for joining) and the watchdog (for
+/// respawning).
+struct Supervised {
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
 /// A running serving daemon. Dropping the handle does **not** stop it;
 /// call [`Daemon::shutdown`] or let a `Shutdown` request arrive and
 /// [`Daemon::wait`] return.
 pub struct Daemon {
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervised: Arc<Mutex<Supervised>>,
+    watchdog: Option<JoinHandle<()>>,
     /// Handler threads for accepted connections; finished handles are
     /// reaped opportunistically as new connections arrive.
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
@@ -332,32 +451,31 @@ impl Daemon {
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
             done: (StdMutex::new(false), Condvar::new()),
+            inject_accept_panics: AtomicU64::new(0),
         });
         let workers = (0..cfg.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("pkgm-batch-{i}"))
-                    .spawn(move || {
-                        let holder = &shared.holder;
-                        shared.batcher.run_worker(|| holder.get());
-                    })
-                    .expect("spawn batch worker")
-            })
+            .map(|i| spawn_worker(&shared, i))
             .collect();
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let acceptor = {
+        let watchdog_listener = listener.try_clone()?;
+        let acceptor = spawn_acceptor(listener, &shared, &handlers);
+        let supervised = Arc::new(Mutex::new(Supervised {
+            acceptor: Some(acceptor),
+            workers,
+        }));
+        let watchdog = {
             let shared = Arc::clone(&shared);
+            let supervised = Arc::clone(&supervised);
             let handlers = Arc::clone(&handlers);
             std::thread::Builder::new()
-                .name("pkgm-accept".into())
-                .spawn(move || accept_loop(&listener, &shared, &handlers))
-                .expect("spawn acceptor")
+                .name("pkgm-watchdog".into())
+                .spawn(move || watchdog_loop(&shared, &supervised, &handlers, watchdog_listener))
+                .expect("spawn watchdog")
         };
         Ok(Daemon {
             shared,
-            acceptor: Some(acceptor),
-            workers,
+            supervised,
+            watchdog: Some(watchdog),
             handlers,
         })
     }
@@ -370,6 +488,39 @@ impl Daemon {
     /// Completed hot-swaps so far.
     pub fn swaps(&self) -> u64 {
         self.shared.holder.swaps()
+    }
+
+    /// Chaos hook: make the next batch pickup panic. The watchdog is
+    /// expected to respawn the dead worker; queued work survives.
+    pub fn inject_worker_panic(&self) {
+        self.shared.batcher.inject_worker_panic();
+    }
+
+    /// Chaos hook: wedge the next batch pickup for `wedge` before it
+    /// executes.
+    pub fn inject_worker_wedge(&self, wedge: Duration) {
+        self.shared.batcher.inject_worker_wedge(wedge);
+    }
+
+    /// Chaos hook: make the accept loop panic on its next accepted
+    /// connection (that connection is dropped unanswered). The watchdog is
+    /// expected to respawn the acceptor.
+    pub fn inject_accept_panic(&self) {
+        self.shared
+            .inject_accept_panics
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Watchdog restart counters so far: `(worker_restarts,
+    /// acceptor_restarts)`.
+    pub fn restarts(&self) -> (u64, u64) {
+        (
+            self.shared.counters.worker_restarts.load(Ordering::Relaxed),
+            self.shared
+                .counters
+                .acceptor_restarts
+                .load(Ordering::Relaxed),
+        )
     }
 
     /// Block until shutdown is initiated (by [`Daemon::shutdown`] or a
@@ -397,16 +548,143 @@ impl Daemon {
     }
 
     fn join(&mut self) {
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
-        for w in self.workers.drain(..) {
+        // The watchdog first: once it exits, nothing respawns threads
+        // behind our back while we drain the supervised pool.
+        if let Some(w) = self.watchdog.take() {
             let _ = w.join();
+        }
+        {
+            let mut sup = self.supervised.lock();
+            if let Some(a) = sup.acceptor.take() {
+                let _ = a.join();
+            }
+            for w in sup.workers.drain(..) {
+                let _ = w.join();
+            }
         }
         for h in self.handlers.lock().drain(..) {
             let _ = h.join();
         }
     }
+}
+
+/// Spawn one batch worker serving the holder's current generation.
+fn spawn_worker(shared: &Arc<Shared>, i: usize) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("pkgm-batch-{i}"))
+        .spawn(move || {
+            let holder = &shared.holder;
+            shared.batcher.run_worker(|| holder.get());
+        })
+        .expect("spawn batch worker")
+}
+
+/// Spawn the accept loop on `listener`.
+fn spawn_acceptor(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let handlers = Arc::clone(handlers);
+    std::thread::Builder::new()
+        .name("pkgm-accept".into())
+        .spawn(move || accept_loop(&listener, &shared, &handlers))
+        .expect("spawn acceptor")
+}
+
+/// How often the watchdog polls the supervised threads.
+const WATCHDOG_TICK: Duration = Duration::from_millis(20);
+
+/// Supervision loop: respawn panicked batch workers and a panicked
+/// acceptor, and reinforce the worker pool when the queue stalls (work
+/// pending, zero batch progress for `stall_timeout` — a wedged worker
+/// cannot be killed, but it can be rendered harmless). Every restart is
+/// counted in the stats JSON. Exits when shutdown begins.
+fn watchdog_loop(
+    shared: &Arc<Shared>,
+    supervised: &Arc<Mutex<Supervised>>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    listener: TcpListener,
+) {
+    let mut next_worker_id = shared.cfg.workers.max(1);
+    let mut last_batches = shared.batcher.stats().batches;
+    let mut last_progress = Instant::now();
+    // Reinforcements are bounded so a pathologically slow host can never
+    // trigger an unbounded thread spiral.
+    let max_workers = shared.cfg.workers.max(1) * 2;
+    loop {
+        std::thread::sleep(WATCHDOG_TICK);
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        {
+            let mut sup = supervised.lock();
+            // Dead workers: join (collecting the panic) and replace.
+            let mut alive = Vec::with_capacity(sup.workers.len());
+            for w in sup.workers.drain(..) {
+                if w.is_finished() {
+                    let _ = w.join();
+                    shared
+                        .counters
+                        .worker_restarts
+                        .fetch_add(1, Ordering::Relaxed);
+                    alive.push(spawn_worker(shared, next_worker_id));
+                    next_worker_id += 1;
+                } else {
+                    alive.push(w);
+                }
+            }
+            sup.workers = alive;
+            // Dead acceptor: respawn against the same listener.
+            if sup.acceptor.as_ref().is_some_and(JoinHandle::is_finished) {
+                let _ = sup.acceptor.take().expect("checked above").join();
+                if let Ok(l) = listener.try_clone() {
+                    shared
+                        .counters
+                        .acceptor_restarts
+                        .fetch_add(1, Ordering::Relaxed);
+                    sup.acceptor = Some(spawn_acceptor(l, shared, handlers));
+                }
+            }
+            // Stall detection: work is queued but no batch has completed
+            // for stall_timeout. Dead workers were already replaced above,
+            // so this catches *wedged* ones — reinforce the pool (bounded)
+            // so queued work drains past the stuck thread.
+            let batches = shared.batcher.stats().batches;
+            let queued = shared.batcher.queued_items();
+            if batches != last_batches || queued == 0 {
+                last_batches = batches;
+                last_progress = Instant::now();
+            } else if last_progress.elapsed() > shared.cfg.stall_timeout {
+                if sup.workers.len() < max_workers {
+                    shared
+                        .counters
+                        .worker_restarts
+                        .fetch_add(1, Ordering::Relaxed);
+                    sup.workers.push(spawn_worker(shared, next_worker_id));
+                    next_worker_id += 1;
+                }
+                last_progress = Instant::now();
+            }
+        }
+        // Shutdown may have begun while we held the lock — if we just
+        // respawned an acceptor it would block in accept() forever, so
+        // poke it awake the same way initiate_shutdown does.
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            let _ = TcpStream::connect(shared.addr);
+            return;
+        }
+    }
+}
+
+/// Consume one pending accept-panic injection, if any.
+fn chaos_take_accept_panic(shared: &Shared) -> bool {
+    shared
+        .inject_accept_panics
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+        .is_ok()
 }
 
 /// Accept connections until shutdown; each gets its own handler thread.
@@ -421,7 +699,25 @@ fn accept_loop(
             Err(_) if shared.shutting_down.load(Ordering::SeqCst) => return,
             Err(_) => continue,
         };
+        // Chaos hook: die here, dropping the accepted connection, so the
+        // netcheck battery can prove the watchdog resurrects the acceptor.
+        if chaos_take_accept_panic(shared) {
+            panic!("injected accept-loop panic (chaos hook)");
+        }
         shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+        // Admission control at the socket layer: past `max_conns` live
+        // connections, answer with a typed Overloaded frame and close —
+        // never spawn an unbounded handler thread per connect-storm socket.
+        if shared.conns.lock().len() >= shared.cfg.max_conns {
+            shared
+                .counters
+                .conns_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            let mut writer = BufWriter::new(stream);
+            let resp = protocol::encode_response(&Response::Overloaded);
+            let _ = protocol::write_frame(&mut writer, &resp);
+            continue;
+        }
         let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
         {
             // Check the flag and register the connection under one `conns`
@@ -513,36 +809,29 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
 /// Execute one decoded request and encode its response frame.
 fn respond(req: Request, shared: &Arc<Shared>) -> Vec<u8> {
     match req {
-        Request::Lookup(items) => {
-            let row_len = 2 * shared.master.dim() as u32;
-            // The protocol-wide MAX_LOOKUP_ITEMS was already enforced at
-            // decode time, but at this serving width the response frame
-            // caps the batch tighter: reject — don't build a response the
-            // framing layer could never send.
-            let cap = protocol::max_lookup_items_for_row_len(row_len);
-            if items.len() > cap as usize {
-                return protocol::encode_response(&Response::BadRequest(format!(
-                    "lookup of {} items exceeds the {cap}-item cap for {row_len}-float rows \
-                     (one response frame is capped at {} bytes)",
-                    items.len(),
-                    protocol::MAX_FRAME_LEN,
-                )));
-            }
-            shared.counters.lookups.fetch_add(1, Ordering::Relaxed);
-            match shared.batcher.submit(items) {
-                Ok(ticket) => match ticket.wait() {
-                    Ok(rows) => {
-                        protocol::encode_rows_response(row_len, rows.iter().map(|r| r.as_slice()))
-                    }
-                    Err(why) => protocol::encode_response(&Response::ServerError(why)),
-                },
-                Err(SubmitError::Overloaded) => protocol::encode_response(&Response::Overloaded),
-                Err(SubmitError::Stopped) => {
-                    protocol::encode_response(&Response::ServerError("daemon shutting down".into()))
-                }
-            }
+        Request::Lookup(items) => serve_lookup(items, None, shared),
+        Request::LookupDeadline {
+            budget_micros,
+            items,
+        } => {
+            // The budget is measured from frame decode; saturate so a
+            // hostile u64::MAX budget cannot overflow Instant arithmetic.
+            let deadline = Instant::now()
+                .checked_add(Duration::from_micros(budget_micros))
+                .unwrap_or_else(|| Instant::now() + Duration::from_secs(86_400));
+            serve_lookup(items, Some(deadline), shared)
         }
         Request::Ping => protocol::encode_response(&Response::Empty),
+        Request::Health => {
+            let body = serde_json::to_string(&shared.health_json())
+                .expect("health json literal serializes");
+            protocol::encode_response(&Response::Json(body))
+        }
+        Request::Ready => {
+            let body =
+                serde_json::to_string(&shared.ready_json()).expect("ready json literal serializes");
+            protocol::encode_response(&Response::Json(body))
+        }
         Request::Stats => {
             let body =
                 serde_json::to_string(&shared.stats_json()).expect("stats json literal serializes");
@@ -567,6 +856,41 @@ fn respond(req: Request, shared: &Arc<Shared>) -> Vec<u8> {
     }
 }
 
+/// Serve a (possibly deadline-carrying) lookup through the batcher.
+fn serve_lookup(items: Vec<u32>, deadline: Option<Instant>, shared: &Arc<Shared>) -> Vec<u8> {
+    let row_len = 2 * shared.master.dim() as u32;
+    // The protocol-wide MAX_LOOKUP_ITEMS was already enforced at decode
+    // time, but at this serving width the response frame caps the batch
+    // tighter: reject — don't build a response the framing layer could
+    // never send.
+    let cap = protocol::max_lookup_items_for_row_len(row_len);
+    if items.len() > cap as usize {
+        return protocol::encode_response(&Response::BadRequest(format!(
+            "lookup of {} items exceeds the {cap}-item cap for {row_len}-float rows \
+             (one response frame is capped at {} bytes)",
+            items.len(),
+            protocol::MAX_FRAME_LEN,
+        )));
+    }
+    shared.counters.lookups.fetch_add(1, Ordering::Relaxed);
+    match shared.batcher.submit_with_deadline(items, deadline) {
+        Ok(ticket) => match ticket.wait() {
+            Ok(rows) => protocol::encode_rows_response(row_len, rows.iter().map(|r| r.as_slice())),
+            Err(WaitError::DeadlineExceeded(stage)) => {
+                protocol::encode_response(&Response::DeadlineExceeded(stage))
+            }
+            Err(WaitError::Failed(why)) => protocol::encode_response(&Response::ServerError(why)),
+        },
+        Err(SubmitError::Overloaded) => protocol::encode_response(&Response::Overloaded),
+        Err(SubmitError::DeadlineExceeded) => {
+            protocol::encode_response(&Response::DeadlineExceeded(DeadlineStage::AtEnqueue))
+        }
+        Err(SubmitError::Stopped) => {
+            protocol::encode_response(&Response::ServerError("daemon shutting down".into()))
+        }
+    }
+}
+
 /// Client-side failure modes, separating shed load (retryable, expected
 /// under overload) from real errors.
 #[derive(Debug)]
@@ -577,6 +901,9 @@ pub enum ClientError {
     Protocol(ProtocolError),
     /// Admission control shed the request; retry later.
     Overloaded,
+    /// The request's deadline budget expired at this stage on the daemon;
+    /// it was not executed, and a retry cannot beat the same budget.
+    DeadlineExceeded(DeadlineStage),
     /// The daemon rejected the request as malformed.
     BadRequest(String),
     /// The daemon failed internally.
@@ -591,6 +918,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io: {e}"),
             ClientError::Protocol(e) => write!(f, "protocol: {e}"),
             ClientError::Overloaded => write!(f, "request shed (daemon overloaded)"),
+            ClientError::DeadlineExceeded(stage) => {
+                write!(f, "deadline exceeded ({})", stage.name())
+            }
             ClientError::BadRequest(m) => write!(f, "bad request: {m}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
             ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
@@ -620,6 +950,35 @@ impl From<ProtocolError> for ClientError {
 /// unresponsive daemon instead of blocking `stop`/`stats`/`reload` (and
 /// the bench clients) forever.
 pub const DEFAULT_CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A failed [`DaemonClient::attempt`], tagged with whether the request
+/// frame was fully written before the failure. `request_sent == false`
+/// proves the daemon never saw a complete frame — the retry layer's
+/// "provably unexecuted" signal for transport errors.
+#[derive(Debug)]
+pub struct AttemptError {
+    /// What went wrong.
+    pub error: ClientError,
+    /// Whether the request frame was fully handed to the kernel first.
+    pub request_sent: bool,
+}
+
+impl std::fmt::Display for AttemptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({})",
+            self.error,
+            if self.request_sent {
+                "after full request write"
+            } else {
+                "before full request write"
+            }
+        )
+    }
+}
+
+impl std::error::Error for AttemptError {}
 
 /// Blocking client for the daemon protocol, one request in flight at a
 /// time per connection (load generators open one per closed-loop worker).
@@ -653,19 +1012,58 @@ impl DaemonClient {
         })
     }
 
+    /// Reset the socket read/write timeout mid-connection — the retry
+    /// layer derives per-attempt timeouts from the remaining deadline
+    /// budget.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        let stream = self.writer.get_ref();
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
     fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
-        protocol::write_frame(&mut self.writer, &protocol::encode_request(req))?;
-        let body = protocol::read_frame(&mut self.reader)?.ok_or_else(|| {
-            ClientError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "daemon closed the connection",
-            ))
-        })?;
-        match protocol::decode_response(&body)? {
-            Response::Overloaded => Err(ClientError::Overloaded),
-            Response::BadRequest(m) => Err(ClientError::BadRequest(m)),
-            Response::ServerError(m) => Err(ClientError::Server(m)),
-            ok => Ok(ok),
+        self.attempt(req).map_err(|e| e.error)
+    }
+
+    /// One request/response exchange, reporting whether the request frame
+    /// had been fully handed to the kernel when a failure struck. A
+    /// write-phase failure (`request_sent == false`) means only a strict
+    /// prefix of the frame could have left this process — the daemon can
+    /// never assemble and execute it, so retrying cannot double-execute.
+    /// Any failure after the frame was fully written is ambiguous: the
+    /// daemon may have executed the request even though the response never
+    /// arrived.
+    pub fn attempt(&mut self, req: &Request) -> Result<Response, AttemptError> {
+        if let Err(e) = protocol::write_frame(&mut self.writer, &protocol::encode_request(req)) {
+            return Err(AttemptError {
+                error: e.into(),
+                request_sent: false,
+            });
+        }
+        let sent = |error: ClientError| AttemptError {
+            error,
+            request_sent: true,
+        };
+        let body = match protocol::read_frame(&mut self.reader) {
+            Ok(Some(body)) => body,
+            Ok(None) => {
+                return Err(sent(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection",
+                ))))
+            }
+            Err(e) => return Err(sent(e.into())),
+        };
+        match protocol::decode_response(&body) {
+            Ok(Response::Overloaded) => Err(sent(ClientError::Overloaded)),
+            Ok(Response::DeadlineExceeded(stage)) => {
+                Err(sent(ClientError::DeadlineExceeded(stage)))
+            }
+            Ok(Response::BadRequest(m)) => Err(sent(ClientError::BadRequest(m))),
+            Ok(Response::ServerError(m)) => Err(sent(ClientError::Server(m))),
+            Ok(ok) => Ok(ok),
+            Err(e) => Err(sent(e.into())),
         }
     }
 
@@ -680,6 +1078,56 @@ impl DaemonClient {
                 }
             }
             _ => Err(ClientError::Unexpected("lookup expects rows")),
+        }
+    }
+
+    /// Condensed service vectors for `items` under a deadline budget: the
+    /// daemon sheds the work with a typed
+    /// [`ClientError::DeadlineExceeded`] once `budget` elapses on its side.
+    pub fn lookup_with_deadline(
+        &mut self,
+        items: &[u32],
+        budget: Duration,
+    ) -> Result<Vec<Vec<f32>>, ClientError> {
+        let req = Request::LookupDeadline {
+            budget_micros: budget.as_micros().min(u64::MAX as u128) as u64,
+            items: items.to_vec(),
+        };
+        match self.round_trip(&req)? {
+            Response::Rows { rows, .. } => {
+                if rows.len() == items.len() {
+                    Ok(rows)
+                } else {
+                    Err(ClientError::Unexpected("row count mismatch"))
+                }
+            }
+            _ => Err(ClientError::Unexpected("lookup expects rows")),
+        }
+    }
+
+    /// Liveness probe with a JSON body (uptime, restart counters).
+    pub fn health(&mut self) -> Result<serde_json::Value, ClientError> {
+        match self.round_trip(&Request::Health)? {
+            Response::Json(json) => serde_json::from_str(&json)
+                .map_err(|_| ClientError::Unexpected("health payload is not JSON")),
+            _ => Err(ClientError::Unexpected("health expects json")),
+        }
+    }
+
+    /// Readiness probe: `Ok(true)` only when the daemon reports it can
+    /// serve a lookup right now.
+    pub fn ready(&mut self) -> Result<bool, ClientError> {
+        let v = self.ready_json()?;
+        Ok(v.get("ready").and_then(serde_json::Value::as_bool) == Some(true))
+    }
+
+    /// Readiness probe with the individual gates (`batcher_accepting`,
+    /// `swap_wedged`, …) so an operator can see *why* a daemon says no.
+    pub fn ready_json(&mut self) -> Result<serde_json::Value, ClientError> {
+        match self.round_trip(&Request::Ready)? {
+            Response::Json(json) => serde_json::from_str(&json)
+                .map_err(|_| ClientError::Unexpected("ready payload is not JSON")),
+            _ => Err(ClientError::Unexpected("ready expects json")),
         }
     }
 

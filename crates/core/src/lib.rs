@@ -56,7 +56,13 @@
 //! * [`artifact`] — atomic (temp + fsync + rename), CRC32-checksummed,
 //!   versioned on-disk container shared by every artifact kind;
 //! * [`fault`] — deterministic fault-injection ([`fault::FaultPlan`] /
-//!   [`fault::FaultyIo`]) and the `pkgm faultcheck` recovery battery.
+//!   [`fault::FaultyIo`]) and the `pkgm faultcheck` recovery battery;
+//! * [`retry`] — the client-side resilience policy: jittered exponential
+//!   backoff retrying only provably-unexecuted failures, under a deadline
+//!   budget, plus the [`retry::RetryClient`] wrapper over [`DaemonClient`];
+//! * [`netcheck`] — the network-layer chaos battery: a deterministic
+//!   in-process chaos proxy (dropped/truncated/delayed/corrupted frames,
+//!   mid-frame resets, slowloris writes) and the `pkgm netcheck` scenarios.
 
 pub mod artifact;
 pub mod baselines;
@@ -68,8 +74,10 @@ pub mod fault;
 pub mod kernels;
 pub mod model;
 pub mod negative;
+pub mod netcheck;
 pub mod protocol;
 pub mod quant;
+pub mod retry;
 pub mod serialize;
 pub mod service;
 pub mod serving;
@@ -77,7 +85,7 @@ pub mod snapshot;
 pub mod trainer;
 
 pub use artifact::{ArtifactError, ArtifactIo, ArtifactKind, StdIo};
-pub use batcher::{BatchStats, DynamicBatcher, SubmitError};
+pub use batcher::{BatchStats, DynamicBatcher, SubmitError, WaitError};
 pub use daemon::{ClientError, Daemon, DaemonClient, DaemonConfig, ServiceHolder};
 pub use eval::{LinkPredictionReport, RelationExistenceReport};
 pub use eval_kernels::{EvalError, EvalScratch, EvalScratchPool, PruneStats, QuantEvalModel};
@@ -85,8 +93,10 @@ pub use fault::{Fault, FaultCheckReport, FaultPlan, FaultyIo};
 pub use kernels::{ChunkGrads, ScratchPool, TrainScratch};
 pub use model::{PkgmConfig, PkgmModel};
 pub use negative::{CorruptedPair, Corruption, NegativeSampler};
-pub use protocol::{ProtocolError, Request, Response};
+pub use netcheck::{ChaosProxy, NetFault, NetFaultPlan};
+pub use protocol::{DeadlineStage, ProtocolError, Request, Response};
 pub use quant::{QuantScanTable, QuantTable, QUANT_BLOCK};
+pub use retry::{RetryClient, RetryPolicy};
 pub use service::{KnowledgeService, ServiceScratch};
 pub use serving::{CacheStats, CachedService};
 pub use snapshot::ServiceSnapshot;

@@ -357,6 +357,209 @@ fn wide_rows_shrink_the_item_cap_to_what_fits_one_response_frame() {
 }
 
 #[test]
+fn health_and_ready_verbs_respond_over_the_wire() {
+    let svc = service(21);
+    let daemon = start_daemon(&svc);
+    let addr = daemon.local_addr().to_string();
+    let mut client = DaemonClient::connect(&addr).unwrap();
+
+    let health = client.health().unwrap();
+    assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"));
+    assert!(health.get("uptime_secs").and_then(|v| v.as_f64()).is_some());
+    assert_eq!(
+        health.get("worker_restarts").and_then(|v| v.as_u64()),
+        Some(0)
+    );
+
+    assert!(client.ready().unwrap(), "fresh daemon must be ready");
+    let ready = client.ready_json().unwrap();
+    assert_eq!(ready.get("ready").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(
+        ready.get("batcher_accepting").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    assert_eq!(
+        ready.get("swap_wedged").and_then(|v| v.as_bool()),
+        Some(false)
+    );
+    assert_eq!(ready.get("snapshot").and_then(|v| v.as_bool()), Some(true));
+
+    client.shutdown().unwrap();
+    daemon.wait();
+}
+
+#[test]
+fn max_conns_cap_sheds_with_typed_overloaded_at_accept() {
+    let svc = service(23);
+    let snap = ServiceSnapshot::build(&svc);
+    let cfg = DaemonConfig {
+        max_conns: 2,
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::start("127.0.0.1:0", svc, Some(snap), cfg).unwrap();
+    let addr = daemon.local_addr().to_string();
+
+    // Two admitted connections, proven registered by a served round trip.
+    let mut a = DaemonClient::connect(&addr).unwrap();
+    let mut b = DaemonClient::connect(&addr).unwrap();
+    a.ping().unwrap();
+    b.ping().unwrap();
+
+    // The third is past the cap: the daemon answers a typed Overloaded
+    // frame at accept time and closes without reading the request.
+    let mut c = DaemonClient::connect(&addr).unwrap();
+    match c.ping() {
+        Err(ClientError::Overloaded) => {}
+        // The shed frame may race the client's write; a transport error is
+        // the only other legal outcome — never a served ping.
+        Err(ClientError::Io(_)) => {}
+        other => panic!("expected an accept-time shed, got {other:?}"),
+    }
+    drop(c);
+
+    // Freeing a slot readmits, and the shed was counted.
+    drop(b);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let stats = loop {
+        match DaemonClient::connect(&addr).and_then(|mut d| d.stats()) {
+            Ok(stats) => break stats,
+            Err(_) => {
+                // The daemon notices the dropped handler asynchronously.
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "slot never freed after dropping an admitted connection"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+    };
+    assert!(
+        stats
+            .get("conns_rejected")
+            .and_then(|v| v.as_u64())
+            .unwrap()
+            >= 1,
+        "accept-time shed must be counted"
+    );
+    a.shutdown().unwrap();
+    daemon.wait();
+}
+
+#[test]
+fn deadline_lookups_round_trip_and_zero_budget_is_shed_typed() {
+    let svc = service(27);
+    let daemon = start_daemon(&svc);
+    let addr = daemon.local_addr().to_string();
+    let mut client = DaemonClient::connect(&addr).unwrap();
+    let items: Vec<u32> = (0..N_ITEMS).collect();
+
+    // A generous budget serves identically to a plain lookup.
+    let plain = client.lookup(&items).unwrap();
+    let budgeted = client
+        .lookup_with_deadline(&items, std::time::Duration::from_secs(5))
+        .unwrap();
+    for (p, b) in plain.iter().zip(&budgeted) {
+        let p_bits: Vec<u32> = p.iter().map(|x| x.to_bits()).collect();
+        let b_bits: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(p_bits, b_bits, "deadline path changed the served bits");
+    }
+
+    // A zero budget is expired on arrival: typed shed, counted, and the
+    // connection survives for the next request.
+    match client.lookup_with_deadline(&items, std::time::Duration::ZERO) {
+        Err(ClientError::DeadlineExceeded(stage)) => {
+            assert_eq!(
+                stage.name(),
+                "at-enqueue",
+                "zero budget sheds before queueing"
+            );
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    let expired = stats
+        .get("batch")
+        .and_then(|b| b.get("expired_enqueue"))
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert!(expired >= 1, "expired-at-enqueue work must be counted");
+    let rows = client.lookup(&items[..3]).unwrap();
+    assert_eq!(rows.len(), 3);
+    client.shutdown().unwrap();
+    daemon.wait();
+}
+
+#[test]
+fn watchdog_restart_counters_surface_in_stats_over_the_wire() {
+    let svc = service(29);
+    let daemon = start_daemon(&svc);
+    let addr = daemon.local_addr().to_string();
+    let mut client = DaemonClient::connect(&addr).unwrap();
+
+    daemon.inject_worker_panic();
+    // Queued work survives the panic (the hook fires before dequeue), so
+    // this lookup is served by a surviving or respawned worker.
+    let rows = client.lookup(&[0, 1, 2]).unwrap();
+    assert_eq!(rows.len(), 3);
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let stats = client.stats().unwrap();
+        if stats
+            .get("worker_restarts")
+            .and_then(|v| v.as_u64())
+            .unwrap()
+            >= 1
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "worker restart never surfaced in the stats JSON"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(
+        client.ready().unwrap(),
+        "daemon must be ready after recovery"
+    );
+    client.shutdown().unwrap();
+    daemon.wait();
+}
+
+#[test]
+fn legacy_tagless_frames_are_served_alongside_v2() {
+    // An old client frames without the CRC flag; the daemon must serve it
+    // and answer in the current (CRC-tagged) framing.
+    let svc = service(31);
+    let daemon = start_daemon(&svc);
+    let addr = daemon.local_addr().to_string();
+
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    let framed = protocol::encode_request(&protocol::Request::Lookup(vec![0, 1]));
+    let legacy = protocol::downgrade_frame(&framed);
+    raw.write_all(&legacy).unwrap();
+    raw.flush().unwrap();
+    let body = protocol::read_frame(&mut raw)
+        .unwrap()
+        .expect("daemon answers the legacy frame");
+    match protocol::decode_response(&body).unwrap() {
+        Response::Rows { rows, .. } => assert_eq!(rows.len(), 2),
+        other => panic!("expected rows, got {other:?}"),
+    }
+
+    let mut client = DaemonClient::connect(&addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.get("protocol_errors").and_then(|v| v.as_u64()),
+        Some(0),
+        "legacy framing must not count as a protocol error"
+    );
+    client.shutdown().unwrap();
+    daemon.wait();
+}
+
+#[test]
 fn shutdown_races_with_incoming_connections_without_hanging() {
     // Regression test for the accept/shutdown race: a connection accepted
     // around initiate_shutdown must still be closed, or its handler blocks

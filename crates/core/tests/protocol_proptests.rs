@@ -89,7 +89,7 @@ proptest! {
 
     #[test]
     fn unknown_opcodes_are_typed(
-        opcode in 6u16..256,
+        opcode in 9u16..256,
         payload in prop::collection::vec(0u16..256, 0..16),
     ) {
         let mut body = vec![opcode as u8];
@@ -132,13 +132,17 @@ proptest! {
     #[test]
     fn requests_round_trip_through_framing(
         items in prop::collection::vec(0u32..4_000_000_000, 0..32),
-        which in prop::sample::select(vec![0u8, 1, 2, 3, 4]),
+        which in prop::sample::select(vec![0u8, 1, 2, 3, 4, 5, 6, 7]),
+        budget in 0u64..10_000_000,
     ) {
         let req = match which {
             0 => Request::Lookup(items),
             1 => Request::Ping,
             2 => Request::Stats,
             3 => Request::Reload(format!("snap-{}.pkgmss", items.len())),
+            4 => Request::LookupDeadline { budget_micros: budget, items },
+            5 => Request::Health,
+            6 => Request::Ready,
             _ => Request::Shutdown,
         };
         let framed = encode_request(&req);
@@ -147,8 +151,47 @@ proptest! {
     }
 
     #[test]
+    fn v1_downgraded_frames_decode_identically(
+        items in prop::collection::vec(0u32..4_000_000_000, 0..32),
+        budget in 0u64..10_000_000,
+        which in prop::sample::select(vec![0u8, 1, 2]),
+    ) {
+        let req = match which {
+            0 => Request::Lookup(items),
+            1 => Request::LookupDeadline { budget_micros: budget, items },
+            _ => Request::Stats,
+        };
+        let legacy = protocol::downgrade_frame(&encode_request(&req));
+        let body = read_frame(&mut &legacy[..]).unwrap().unwrap();
+        prop_assert_eq!(decode_request(&body).unwrap(), req);
+    }
+
+    #[test]
+    fn any_single_bitflip_past_the_prefix_is_detected(
+        items in prop::collection::vec(0u32..4_000_000_000, 1..24),
+        byte_seed in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        // Header bytes (0..4) can re-route a frame between the v1 and v2
+        // decode paths, so corruption detection is only guaranteed from
+        // the CRC trailer onward — which covers every payload byte a
+        // lookup response would serve.
+        let framed = encode_request(&Request::Lookup(items));
+        let byte = 4 + byte_seed % (framed.len() - 4);
+        let mut hurt = framed;
+        hurt[byte] ^= 1 << bit;
+        match read_frame(&mut &hurt[..]) {
+            Err(ProtocolError::CrcMismatch { .. }) => {}
+            other => prop_assert!(
+                false,
+                "byte {byte} bit {bit}: expected CrcMismatch, got {other:?}"
+            ),
+        }
+    }
+
+    #[test]
     fn unknown_statuses_are_typed(
-        tag in 6u16..256,
+        tag in 7u16..256,
         payload in prop::collection::vec(0u16..256, 0..16),
     ) {
         let mut body = vec![tag as u8];

@@ -1,0 +1,152 @@
+//! Property tests for the retry policy: the decider never authorizes a
+//! retry of a possibly-executed request, never exceeds its retry count,
+//! and never grants backoff that overruns the deadline budget — for any
+//! policy and any failure history.
+
+use pkgm_core::retry::{Decision, FailureKind, RetryDecider, RetryPolicy};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Any failure kind, by index.
+fn kind(ix: u8) -> FailureKind {
+    match ix % 6 {
+        0 => FailureKind::Connect,
+        1 => FailureKind::SentNothing,
+        2 => FailureKind::Shed,
+        3 => FailureKind::PossiblyExecuted,
+        4 => FailureKind::DeadlineSpent,
+        _ => FailureKind::Permanent,
+    }
+}
+
+fn policy(
+    max_retries: u32,
+    base_us: u64,
+    max_us: u64,
+    budget_us: Option<u64>,
+    seed: u64,
+) -> RetryPolicy {
+    RetryPolicy {
+        max_retries,
+        base_backoff: Duration::from_micros(base_us),
+        max_backoff: Duration::from_micros(max_us.max(base_us)),
+        budget: budget_us.map(Duration::from_micros),
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn possibly_executed_requests_are_never_retried(
+        max_retries in 0u32..20,
+        seed in 0u64..1_000_000,
+        elapsed_us in 0u64..10_000_000,
+        warmup in prop::collection::vec(0u8..3, 0..4),
+    ) {
+        // Even a decider with retries to spare and retryable history must
+        // refuse the moment the failure is ambiguous.
+        let mut d = RetryDecider::new(policy(max_retries, 10, 1_000, None, seed));
+        for w in warmup {
+            let _ = d.decide(kind(w), Duration::ZERO); // Connect/SentNothing/Shed only
+        }
+        for ambiguous in [
+            FailureKind::PossiblyExecuted,
+            FailureKind::DeadlineSpent,
+            FailureKind::Permanent,
+        ] {
+            let before = d.retries();
+            match d.decide(ambiguous, Duration::from_micros(elapsed_us)) {
+                Decision::GiveUp(_) => {}
+                Decision::Retry { .. } => {
+                    prop_assert!(false, "{ambiguous:?} was granted a retry");
+                }
+            }
+            // A give-up must not consume a retry.
+            prop_assert_eq!(d.retries(), before);
+        }
+    }
+
+    #[test]
+    fn retry_count_is_bounded_for_any_history(
+        max_retries in 0u32..12,
+        seed in 0u64..1_000_000,
+        history in prop::collection::vec((0u8..6, 0u64..100_000), 0..40),
+    ) {
+        let mut d = RetryDecider::new(policy(max_retries, 5, 500, None, seed));
+        let mut granted = 0u32;
+        for (ix, elapsed_us) in history {
+            if let Decision::Retry { .. } = d.decide(kind(ix), Duration::from_micros(elapsed_us)) {
+                granted += 1;
+            }
+        }
+        prop_assert!(granted <= max_retries, "{granted} retries > cap {max_retries}");
+        prop_assert_eq!(d.retries(), granted);
+    }
+
+    #[test]
+    fn backoff_never_overruns_the_deadline_budget(
+        max_retries in 0u32..40,
+        base_us in 1u64..5_000,
+        max_us in 1u64..50_000,
+        budget_us in 1u64..200_000,
+        seed in 0u64..1_000_000,
+    ) {
+        // Model the client loop faithfully: elapsed grows by each granted
+        // backoff (the sleep) — attempts themselves take zero time here,
+        // the adversarial best case for sneaking in extra retries.
+        let budget = Duration::from_micros(budget_us);
+        let mut d = RetryDecider::new(policy(max_retries, base_us, max_us, Some(budget_us), seed));
+        let mut elapsed = Duration::ZERO;
+        while let Decision::Retry { backoff } = d.decide(FailureKind::Shed, elapsed) {
+            // Every granted sleep must fit inside what remains.
+            prop_assert!(
+                elapsed + backoff < budget,
+                "granted backoff {backoff:?} overruns budget {budget:?} at {elapsed:?}"
+            );
+            elapsed += backoff;
+        }
+        prop_assert!(d.total_backoff() < budget, "total sleep exceeded the budget");
+        prop_assert!(elapsed < budget);
+    }
+
+    #[test]
+    fn single_backoffs_respect_the_cap_and_jitter_floor(
+        max_retries in 1u32..16,
+        base_us in 1u64..10_000,
+        max_us in 1u64..100_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let p = policy(max_retries, base_us, max_us, None, seed);
+        let cap = p.max_backoff;
+        let mut d = RetryDecider::new(p);
+        while let Decision::Retry { backoff } = d.decide(FailureKind::Connect, Duration::ZERO) {
+            prop_assert!(backoff <= cap, "backoff {backoff:?} above cap {cap:?}");
+            // Full jitter floors at 0.5× the exponential step, and the
+            // first step is the base backoff itself (2 ns of slack for
+            // nanosecond rounding in the f64 scaling).
+            let floor = Duration::from_micros(base_us) / 2 - Duration::from_nanos(2);
+            prop_assert!(
+                backoff >= floor,
+                "backoff {backoff:?} below the jitter floor {floor:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_in_the_seed(
+        max_retries in 0u32..10,
+        seed in 0u64..1_000_000,
+        history in prop::collection::vec((0u8..6, 0u64..50_000), 0..24),
+    ) {
+        let run = |seed: u64| -> Vec<String> {
+            let mut d = RetryDecider::new(policy(max_retries, 7, 700, Some(1_000_000), seed));
+            history
+                .iter()
+                .map(|&(ix, us)| format!("{:?}", d.decide(kind(ix), Duration::from_micros(us))))
+                .collect()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}
