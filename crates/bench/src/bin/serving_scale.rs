@@ -15,7 +15,10 @@
 
 use parking_lot::Mutex;
 use pkgm_bench::{report, world, Scale};
-use pkgm_core::{CachedService, KnowledgeService, PkgmModel, ServiceSnapshot, Trainer};
+use pkgm_core::{
+    open_mapped_snapshot, serialize, shard_ranges, CachedService, KnowledgeService, PkgmModel,
+    ServiceSnapshot, Ss3DenseWriter, StdIo, Trainer,
+};
 use pkgm_store::fxhash::FxHashMap;
 use pkgm_store::EntityId;
 use std::hint::black_box;
@@ -157,9 +160,185 @@ fn build_service(scale: Scale) -> (KnowledgeService, Vec<u32>) {
     (service, hot)
 }
 
+/// Out-of-core serving measurement: stream a synthetic dense table into
+/// page-aligned `PKGMSS3` shard files, then compare the memory-mapped
+/// backing against full resident deserialization on startup latency
+/// (open → first answered lookup), peak RSS, and bit-identity.
+///
+/// Runs **before** the training sweep so the process high-water mark is
+/// still pristine when the mapped configuration is measured (`VmHWM` is
+/// monotone — see [`report::rss_peak_bytes`]); the mapped side is
+/// measured before the resident side for the same reason.
+///
+/// Item count defaults by scale (smoke 20k, standard 100k, full 10M)
+/// and can be overridden with `PKGM_OOC_ITEMS` to demo the 10M-row
+/// table without paying for full-scale training.
+fn out_of_core_section(scale: Scale) -> serde_json::Value {
+    let items: u64 = std::env::var("PKGM_OOC_ITEMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(match scale {
+            Scale::Smoke => 20_000,
+            Scale::Standard => 100_000,
+            Scale::Full => 10_000_000,
+        })
+        .max(1);
+    let dim = 16usize;
+    let row_len = 2 * dim;
+    let n_shards: u32 = if items >= 1_000_000 { 8 } else { 4 };
+    let rows = pkgm_synth::StreamingRows::new(42, dim);
+    let dir = std::env::temp_dir().join(format!("pkgm-ooc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create out-of-core scratch dir");
+    eprintln!(
+        "[serving_scale] out-of-core: streaming {items} rows × {row_len} floats \
+         into {n_shards} PKGMSS3 shard file(s)…"
+    );
+
+    // Streamed build: O(chunk) memory regardless of table size.
+    let ranges = shard_ranges(items, n_shards);
+    let chunk_rows = ((4 << 20) / (row_len * 4)).max(1);
+    let mut buf = vec![0.0f32; chunk_rows * row_len];
+    let build_start = Instant::now();
+    let mut paths = Vec::new();
+    let mut file_bytes = 0u64;
+    for &(spec, len) in &ranges {
+        let path = dir.join(format!("ooc.shard{}of{}", spec.shard_id, n_shards));
+        let mut w = Ss3DenseWriter::create(&path, dim, 0, len, spec).expect("create shard writer");
+        let mut written = 0u64;
+        while written < len {
+            let take = ((len - written) as usize).min(chunk_rows);
+            for (i, slot) in buf[..take * row_len].chunks_exact_mut(row_len).enumerate() {
+                rows.row_into((spec.row_start + written + i as u64) as u32, slot);
+            }
+            w.write_rows(&buf[..take * row_len])
+                .expect("write shard rows");
+            written += take as u64;
+        }
+        w.finish().expect("finish shard");
+        file_bytes += std::fs::metadata(&path).expect("stat shard").len();
+        paths.push(path);
+    }
+    drop(buf);
+    let build_secs = build_start.elapsed().as_secs_f64();
+
+    // Deterministic id sample spread across the whole table (Knuth
+    // multiplicative hash), reused for throughput and bit-identity.
+    let n_sample = items.min(100_000) as usize;
+    let sample: Vec<u32> = (0..n_sample as u64)
+        .map(|i| (i.wrapping_mul(2_654_435_761) % items) as u32)
+        .collect();
+    let shard_of = |id: u64| -> usize {
+        ranges
+            .iter()
+            .position(|&(s, l)| id >= s.row_start && id < s.row_start + l)
+            .expect("sampled id inside the table")
+    };
+
+    // Mapped backing, measured first (monotone high-water mark).
+    let map_start = Instant::now();
+    let mapped: Vec<ServiceSnapshot> = paths
+        .iter()
+        .map(|p| open_mapped_snapshot(p, false).expect("open mapped shard"))
+        .collect();
+    let mut row = Vec::new();
+    for snap in &mapped {
+        let first = snap.shard().row_start as u32;
+        assert!(snap.lookup_exact(EntityId(first), &mut row));
+    }
+    let mapped_startup_ms = map_start.elapsed().as_secs_f64() * 1e3;
+    // Serving-ready footprint: measured before the throughput sample, which
+    // would otherwise fault-around most of the page-cached table into RSS.
+    let mapped_rss = report::rss_peak_bytes();
+    let lookup_start = Instant::now();
+    let mut acc = 0.0f32;
+    for &id in &sample {
+        assert!(mapped[shard_of(id as u64)].lookup_exact(EntityId(id), &mut row));
+        acc += row[0];
+    }
+    black_box(acc);
+    let mapped_lookups_per_sec = sample.len() as f64 / lookup_start.elapsed().as_secs_f64();
+    let mapped_rss_after_sample = report::rss_peak_bytes();
+
+    // Resident baseline: read the whole file, verify every section CRC,
+    // copy the table onto the heap.
+    let resident_start = Instant::now();
+    let resident: Vec<ServiceSnapshot> = paths
+        .iter()
+        .map(|p| serialize::read_snapshot_file(&StdIo, p).expect("resident decode"))
+        .collect();
+    let mut rrow = Vec::new();
+    for snap in &resident {
+        let first = snap.shard().row_start as u32;
+        assert!(snap.lookup_exact(EntityId(first), &mut rrow));
+    }
+    let resident_startup_ms = resident_start.elapsed().as_secs_f64() * 1e3;
+    let resident_rss = report::rss_peak_bytes();
+
+    let mut bit_identical = true;
+    for &id in sample.iter().take(1000) {
+        let s = shard_of(id as u64);
+        mapped[s].lookup_exact(EntityId(id), &mut row);
+        resident[s].lookup_exact(EntityId(id), &mut rrow);
+        if row
+            .iter()
+            .map(|x| x.to_bits())
+            .ne(rrow.iter().map(|x| x.to_bits()))
+        {
+            bit_identical = false;
+        }
+    }
+    drop(mapped);
+    drop(resident);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let table_bytes = items * row_len as u64 * 4;
+    let startup_speedup = resident_startup_ms / mapped_startup_ms.max(1e-9);
+    let rss_json = |v: Option<u64>| match v {
+        Some(bytes) => serde_json::json!(bytes),
+        None => serde_json::Value::Null,
+    };
+    println!("out-of-core ({items} items, {n_shards} shards, dim {dim}):");
+    println!("| backing | startup (ms) | RSS peak (bytes) |");
+    println!("|---|---|---|");
+    println!("| mapped | {mapped_startup_ms:.3} | {mapped_rss:?} |");
+    println!("| resident | {resident_startup_ms:.3} | {resident_rss:?} |");
+    println!(
+        "  streamed build {build_secs:.2}s, table {table_bytes} B, files {file_bytes} B \
+         ({:.2} B/entity), mapped sample lookups {mapped_lookups_per_sec:.0}/s, \
+         startup speedup {startup_speedup:.0}×, bit-identical: {bit_identical}",
+        file_bytes as f64 / items as f64
+    );
+    println!();
+    let mapped_json = serde_json::json!({
+        "startup_ms": mapped_startup_ms,
+        "rss_peak_bytes": rss_json(mapped_rss),
+        "rss_peak_after_sample_bytes": rss_json(mapped_rss_after_sample),
+        "sample_lookups_per_sec": mapped_lookups_per_sec,
+    });
+    let resident_json = serde_json::json!({
+        "startup_ms": resident_startup_ms,
+        "rss_peak_bytes": rss_json(resident_rss),
+    });
+    serde_json::json!({
+        "items": items,
+        "dim": dim,
+        "n_shards": n_shards,
+        "table_bytes": table_bytes,
+        "file_bytes": file_bytes,
+        "file_bytes_per_entity": file_bytes as f64 / items as f64,
+        "build_streamed_secs": build_secs,
+        "sample_size": sample.len(),
+        "bit_identical_sample": bit_identical,
+        "startup_speedup": startup_speedup,
+        "mapped": mapped_json,
+        "resident": resident_json,
+    })
+}
+
 fn main() {
     let report::ReportArgs { scale, out_path } =
         report::parse_scale_args("serving_scale", "BENCH_serving.json");
+    let out_of_core = out_of_core_section(scale);
     let (service, hot) = build_service(scale);
     let dim = service.dim();
     let k = service.k();
@@ -250,6 +429,7 @@ fn main() {
         "snapshot_bytes_per_entity": snapshot_bytes as f64 / n_entities as f64,
         "quant_snapshot_bytes_per_entity": quant_snapshot_bytes as f64 / n_entities as f64,
         "results": results,
+        "out_of_core": out_of_core,
         "summary": serde_json::json!({
             "max_threads": max_t,
             "sharded_vs_mutex_baseline": sharded_vs_mutex,

@@ -69,6 +69,23 @@ pub fn warn_if_time_sliced(bin: &str, host_cpus: usize, max_threads: usize) {
     }
 }
 
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); `None` off Linux or when unreadable.
+///
+/// The high-water mark is **monotone** over the process lifetime — when
+/// comparing memory footprints in one process, measure the cheap
+/// configuration first, or the expensive one's peak masks it.
+pub fn rss_peak_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
 /// Nearest-rank percentile of an **ascending-sorted** sample. `p` is in
 /// percent (50.0, 99.0, 99.9, …); an empty sample yields 0.
 pub fn percentile(sorted: &[u64], p: f64) -> u64 {

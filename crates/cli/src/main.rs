@@ -11,12 +11,16 @@
 //!                 [--resume ckpts]
 //! pkgm serve      --preset small --seed 42 --service svc.bin --item 0
 //! pkgm snapshot   --service svc.bin --out serving.snap
+//! pkgm snapshot   --service svc.bin --out s.pkgmss3 --format ss3 [--shards 4]
+//! pkgm snapshot   --synthetic 10000000 --dim 16 --seed 42 --format ss3 \
+//!                 --shards 8 --out big.pkgmss3      # streamed, O(1) memory
 //! pkgm eval      --preset small --seed 42 --service svc.bin --max-facts 300
 //! pkgm faultcheck [--dir scratch] [--seed 42]
 //! pkgm netcheck   [--seed 42]                             # network chaos battery
 //! pkgm daemon serve  --service svc.bin [--addr 127.0.0.1:7071] [--snapshot s.snap]
 //!                    [--max-conns 1024] [--stall-timeout-ms 2000]
 //! pkgm daemon reload --addr HOST:PORT --snapshot s.snap   # hot-swap, daemon-local path
+//! pkgm daemon lookup --addr HOST:PORT --items 0,1,2       # rows as bit patterns (CI diff)
 //! pkgm daemon stats  --addr HOST:PORT
 //! pkgm daemon health --addr HOST:PORT                     # liveness + restart counters
 //! pkgm daemon ready  --addr HOST:PORT                     # readiness gates, exit 1 if not
@@ -90,12 +94,13 @@ fn daemon_cmd(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     match action.as_str() {
         "serve" => daemon_serve(&args),
         "reload" => daemon_reload(&args),
+        "lookup" => daemon_lookup(&args),
         "stats" => daemon_stats(&args),
         "health" => daemon_health(&args),
         "ready" => daemon_ready(&args),
         "stop" => daemon_stop(&args),
         other => Err(format!(
-            "unknown daemon action: {other} (serve|reload|stats|health|ready|stop)"
+            "unknown daemon action: {other} (serve|reload|lookup|stats|health|ready|stop)"
         )
         .into()),
     }
@@ -105,10 +110,28 @@ fn daemon_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let service = load_service(args)?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:7071");
     let snapshot = match args.get("snapshot") {
-        Some(path) => Some(serialize::read_snapshot_file(
-            &StdIo,
-            std::path::Path::new(path),
-        )?),
+        Some(path) => {
+            let snap = serialize::open_snapshot_file(std::path::Path::new(path))?;
+            let shard = snap.shard();
+            let shard_note = if shard.is_whole_table() {
+                String::new()
+            } else {
+                format!(
+                    ", shard {} of {} covering ids {}..{}",
+                    shard.shard_id,
+                    shard.n_shards,
+                    shard.row_start,
+                    shard.row_start + snap.n_rows() as u64
+                )
+            };
+            eprintln!(
+                "[pkgm] snapshot {path}: {} rows × {} dims, backing {}{shard_note}",
+                snap.n_rows(),
+                2 * snap.dim(),
+                snap.backing().label()
+            );
+            Some(snap)
+        }
         None => None,
     };
     let defaults = DaemonConfig::default();
@@ -148,6 +171,37 @@ fn daemon_reload(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let snapshot = args.require("snapshot")?;
     let summary = daemon_client(args)?.reload(snapshot)?;
     println!("{}", serde_json::to_string_pretty(&summary)?);
+    Ok(())
+}
+
+/// Look up items over the wire and print their rows as deterministic JSON:
+/// each float as its IEEE-754 bit pattern (u32), so two daemons serving the
+/// same table produce byte-identical output — the CI bit-exactness gate
+/// diffs this directly.
+fn daemon_lookup(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let items: Vec<u32> = args
+        .require("items")?
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<u32>()
+                .map_err(|_| format!("bad item id: {t}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if items.is_empty() {
+        return Err("--items must name at least one id".into());
+    }
+    let rows = daemon_client(args)?.lookup(&items)?;
+    let rows_bits: Vec<Vec<u32>> = rows
+        .iter()
+        .map(|r| r.iter().map(|x| x.to_bits()).collect())
+        .collect();
+    let out = serde_json::json!({
+        "items": items,
+        "row_len": rows.first().map(Vec::len).unwrap_or(0),
+        "rows_bits": rows_bits,
+    });
+    println!("{}", serde_json::to_string(&out)?);
     Ok(())
 }
 
@@ -770,30 +824,50 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    let (condensed, source): (Vec<f32>, &str) = match args.get("snapshot") {
+    let (condensed, source): (Vec<f32>, String) = match args.get("snapshot") {
         Some(path) => {
-            let snap = serialize::read_snapshot_file(&StdIo, std::path::Path::new(path))?;
+            // Announce the source before touching the file: a mapped open
+            // is O(header), but even a slow resident load should not leave
+            // the user staring at an unexplained stall.
+            eprintln!("[pkgm] serving from snapshot {path}…");
+            let snap = serialize::open_snapshot_file(std::path::Path::new(path))?;
+            let shard = snap.shard();
+            let detail = if shard.is_whole_table() {
+                snap.backing().label().to_string()
+            } else {
+                format!(
+                    "{}, shard {} of {} covering ids {}..{}",
+                    snap.backing().label(),
+                    shard.shard_id,
+                    shard.n_shards,
+                    shard.row_start,
+                    shard.row_start + snap.n_rows() as u64
+                )
+            };
+            eprintln!(
+                "[pkgm] snapshot: {} rows × {} dims ({detail})",
+                snap.n_rows(),
+                2 * snap.dim()
+            );
             let (row, degraded) = snap.condensed_or_fallback(item);
             if degraded {
                 eprintln!(
-                    "[pkgm] warning: item {item} beyond snapshot table ({} rows) — \
+                    "[pkgm] warning: item {item} outside snapshot coverage ({} rows) — \
                      serving mean-row fallback",
                     snap.n_rows()
                 );
             }
-            (
-                row.to_vec(),
-                if degraded {
-                    "snapshot fallback"
-                } else if snap.is_quantized() {
-                    "quantized snapshot"
-                } else {
-                    "precomputed snapshot"
-                },
-            )
+            let source = if degraded {
+                "snapshot fallback".to_string()
+            } else if snap.is_quantized() {
+                format!("quantized snapshot, {detail}")
+            } else {
+                format!("precomputed snapshot, {detail}")
+            };
+            (row.to_vec(), source)
         }
-        None if known => (service.condensed_service(item), "live compute"),
-        None => (vec![0.0; 2 * service.dim()], "zero fallback"),
+        None if known => (service.condensed_service(item), "live compute".to_string()),
+        None => (vec![0.0; 2 * service.dim()], "zero fallback".to_string()),
     };
     println!(
         "condensed service ({source}): {} dims, ‖S‖₂ = {:.3}",
@@ -803,13 +877,110 @@ fn serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// The on-disk path of shard `shard_id` of `n_shards` for base path `out`:
+/// the base itself for a single shard, `{out}.shard{K}of{N}` otherwise.
+fn shard_path(out: &str, shard_id: u32, n_shards: u32) -> String {
+    if n_shards <= 1 {
+        out.to_string()
+    } else {
+        format!("{out}.shard{shard_id}of{n_shards}")
+    }
+}
+
 fn snapshot(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let service = load_service(args)?;
     let out = args.require("out")?;
     let quantize: bool = args.get_or("quantize", false)?;
+    let n_shards: u32 = args.get_or("shards", 1u32)?;
+    let format = args.get("format").unwrap_or("legacy");
+    if n_shards == 0 {
+        return Err("--shards must be >= 1".into());
+    }
+    if !matches!(format, "legacy" | "ss3") {
+        return Err(format!("unknown snapshot format: {format} (legacy|ss3)").into());
+    }
+    if n_shards > 1 && format != "ss3" {
+        return Err("--shards requires --format ss3 (PKGMSS3 carries the shard spec)".into());
+    }
+
+    // `--synthetic N` streams N deterministic rows straight to per-shard
+    // PKGMSS3 files — the whole table never exists in memory, which is the
+    // only way to build the 10M+-item out-of-core serving artifacts.
+    if let Some(n_items) = args.get("synthetic") {
+        let n_rows: u64 = n_items
+            .parse()
+            .map_err(|_| format!("bad value for --synthetic: {n_items}"))?;
+        if format != "ss3" {
+            return Err("--synthetic requires --format ss3 (streamed writer)".into());
+        }
+        let dim: usize = args.get_or("dim", 16)?;
+        let k: usize = args.get_or("k", 0)?;
+        let seed: u64 = args.get_or("seed", 42)?;
+        let rows = pkgm_synth::StreamingRows::new(seed, dim);
+        let start = std::time::Instant::now();
+        // Stream in ~4 MiB chunks: bounded memory at any table size.
+        let chunk_rows = (4 << 20) / (rows.row_len() * 4);
+        let mut buf = vec![0.0f32; chunk_rows.max(1) * rows.row_len()];
+        for (spec, len) in pkgm_core::shard_ranges(n_rows, n_shards) {
+            let path = shard_path(out, spec.shard_id, n_shards);
+            let mut writer =
+                pkgm_core::Ss3DenseWriter::create(std::path::Path::new(&path), dim, k, len, spec)?;
+            let mut written = 0u64;
+            while written < len {
+                let take = ((len - written) as usize).min(chunk_rows.max(1));
+                for (i, slot) in buf[..take * rows.row_len()]
+                    .chunks_exact_mut(rows.row_len())
+                    .enumerate()
+                {
+                    rows.row_into((spec.row_start + written + i as u64) as u32, slot);
+                }
+                writer.write_rows(&buf[..take * rows.row_len()])?;
+                written += take as u64;
+            }
+            writer.finish()?;
+            println!(
+                "wrote synthetic PKGMSS3 shard {} of {n_shards} to {path}: {len} rows × {} dims \
+                 ({:.1} MiB)",
+                spec.shard_id,
+                2 * dim,
+                std::fs::metadata(&path)?.len() as f64 / (1024.0 * 1024.0)
+            );
+        }
+        println!(
+            "streamed {n_rows} rows (seed {seed}) in {:.2}s",
+            start.elapsed().as_secs_f64()
+        );
+        return Ok(());
+    }
+
+    let service = load_service(args)?;
     let start = std::time::Instant::now();
     let dense = ServiceSnapshot::build(&service);
     let dense_bytes = dense.storage_bytes();
+
+    if format == "ss3" {
+        let ranges = pkgm_core::shard_ranges(dense.n_rows() as u64, n_shards);
+        for (spec, len) in ranges {
+            let shard = if n_shards == 1 {
+                dense.clone()
+            } else {
+                dense.shard_slice(spec, len)?
+            };
+            let shard = if quantize { shard.quantize() } else { shard };
+            let path = shard_path(out, spec.shard_id, n_shards);
+            serialize::write_snapshot_ss3_file(&StdIo, std::path::Path::new(&path), &shard)?;
+            println!(
+                "wrote {}PKGMSS3 shard {} of {n_shards} to {path}: {} rows × {} dims ({:.1} MiB)",
+                if quantize { "quantized " } else { "" },
+                spec.shard_id,
+                shard.n_rows(),
+                2 * shard.dim(),
+                std::fs::metadata(&path)?.len() as f64 / (1024.0 * 1024.0)
+            );
+        }
+        println!("built in {:.2}s", start.elapsed().as_secs_f64());
+        return Ok(());
+    }
+
     let snap = if quantize { dense.quantize() } else { dense };
     serialize::write_snapshot_file(&StdIo, std::path::Path::new(out), &snap)?;
     let mib = std::fs::metadata(out)?.len() as f64 / (1024.0 * 1024.0);
@@ -932,6 +1103,10 @@ fn print_help() {
          \u{20}              [--snapshot serving.snap  # dense or quantized]\n\
          \u{20}  snapshot    --service service.bin --out serving.snap [--quantize true\n\
          \u{20}              # int8 blockwise table, ~¼ the bytes, exact lookups]\n\
+         \u{20}              [--format ss3  # page-aligned PKGMSS3, mmap-served zero-copy]\n\
+         \u{20}              [--shards N  # entity-range shards, one PKGMSS3 file each]\n\
+         \u{20}              [--synthetic N --dim 16 --seed 42  # stream N deterministic\n\
+         \u{20}              rows with O(1) memory — no --service needed; ss3 only]\n\
          \u{20}  eval        --preset P --seed N --service service.bin [--max-facts 300]\n\
          \u{20}  faultcheck  [--dir scratch] [--seed 42] — crash/corruption recovery battery\n\
          \u{20}  netcheck    [--seed 42] — network chaos battery: a deterministic chaos\n\
@@ -957,7 +1132,11 @@ fn print_help() {
          \u{20}              batching, deadline propagation, shed-not-stall admission\n\
          \u{20}              control, and a watchdog that restarts dead threads\n\
          \u{20}  daemon reload --addr HOST:PORT --snapshot path — hot-swap the serving\n\
-         \u{20}              snapshot (daemon-local path) under live traffic\n\
+         \u{20}              snapshot (daemon-local path) under live traffic; PKGMSS3\n\
+         \u{20}              files come up memory-mapped (zero-copy, O(header) open)\n\
+         \u{20}  daemon lookup --addr HOST:PORT --items 0,1,2 — rows as IEEE-754 bit\n\
+         \u{20}              patterns in JSON (deterministic; CI diffs this for\n\
+         \u{20}              bit-exactness across backings); off-shard ids fail typed\n\
          \u{20}  daemon stats --addr HOST:PORT — daemon counters as JSON\n\
          \u{20}  daemon health --addr HOST:PORT — liveness JSON (uptime, restarts)\n\
          \u{20}  daemon ready --addr HOST:PORT — readiness gates as JSON, exit 1 if not\n\

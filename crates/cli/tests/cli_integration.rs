@@ -177,7 +177,7 @@ fn pretrain_serve_eval_roundtrip() {
         String::from_utf8_lossy(&out.stderr)
     );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("condensed service (precomputed snapshot): 16 dims"));
+    assert!(text.contains("condensed service (precomputed snapshot, resident): 16 dims"));
     let snap_norm = text.split("‖S‖₂ = ").nth(1).map(str::trim).unwrap();
     assert_eq!(snap_norm, live_norm, "snapshot must match live compute");
 
@@ -668,12 +668,12 @@ fn quantized_snapshot_roundtrip_and_legacy_serving() {
     assert!(live_text.contains("condensed service (live compute): 16 dims"));
     // Legacy PKGMSS1 snapshots keep serving bit-identically.
     let (dense_text, dense_norm) = serve_norm(Some(&dense));
-    assert!(dense_text.contains("condensed service (precomputed snapshot): 16 dims"));
+    assert!(dense_text.contains("condensed service (precomputed snapshot, resident): 16 dims"));
     assert_eq!(dense_norm, live_norm, "dense snapshot must match live");
     // The quantized table serves within quantization tolerance and is
     // labeled as such.
     let (quant_text, quant_norm) = serve_norm(Some(&quant));
-    assert!(quant_text.contains("condensed service (quantized snapshot): 16 dims"));
+    assert!(quant_text.contains("condensed service (quantized snapshot, resident): 16 dims"));
     let live: f64 = live_norm.parse().unwrap();
     let q: f64 = quant_norm.parse().unwrap();
     assert!(

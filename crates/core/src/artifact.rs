@@ -246,11 +246,19 @@ const fn build_crc_table() -> [u32; 256] {
 /// errors shorter than 32 bits — sufficient for torn-write and bit-rot
 /// detection on model artifacts.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = !0u32;
+    !crc32_update(!0u32, bytes)
+}
+
+/// Incremental CRC32: feed chunks into `state` (start from `!0u32`) and
+/// finish with a final bitwise-not. Lets the streaming snapshot writer
+/// checksum sections it never holds in memory at once;
+/// `crc32(b) == !crc32_update(!0, b)`.
+pub fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
+    let mut c = state;
     for &b in bytes {
         c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
-    !c
+    c
 }
 
 // --- framing ----------------------------------------------------------------

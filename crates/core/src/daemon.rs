@@ -34,7 +34,6 @@ use crate::serialize;
 use crate::service::KnowledgeService;
 use crate::serving::{CacheStats, CachedService};
 use crate::snapshot::ServiceSnapshot;
-use crate::StdIo;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
@@ -280,10 +279,11 @@ impl Shared {
         self.done.1.notify_all();
     }
 
-    /// Load a snapshot artifact and hot-swap it in. Returns a summary for
-    /// the reload response.
+    /// Load a snapshot artifact and hot-swap it in — `PKGMSS3` files come
+    /// up memory-mapped (O(header) open), everything else resident.
+    /// Returns a summary for the reload response.
     fn reload(&self, path: &str) -> Result<serde_json::Value, String> {
-        let snap = serialize::read_snapshot_file(&StdIo, std::path::Path::new(path))
+        let snap = serialize::open_snapshot_file(std::path::Path::new(path))
             .map_err(|e| format!("cannot load snapshot {path}: {e}"))?;
         if snap.dim() != self.master.dim() {
             return Err(format!(
@@ -292,11 +292,7 @@ impl Shared {
                 self.master.dim()
             ));
         }
-        let summary = serde_json::json!({
-            "path": path,
-            "rows": snap.n_rows(),
-            "quantized": snap.is_quantized(),
-        });
+        let summary = snapshot_summary_json(&snap, Some(path));
         let next = CachedService::with_snapshot(self.master.clone(), self.cfg.cache_capacity, snap);
         self.holder.swap(next);
         self.counters.reloads.fetch_add(1, Ordering::Relaxed);
@@ -363,10 +359,7 @@ impl Shared {
             "total_requests": cache.total_requests(),
         });
         let snapshot_json = match current.snapshot() {
-            Some(s) => serde_json::json!({
-                "rows": s.n_rows(),
-                "quantized": s.is_quantized(),
-            }),
+            Some(s) => snapshot_summary_json(s, None),
             None => serde_json::Value::Null,
         };
         serde_json::json!({
@@ -389,6 +382,34 @@ impl Shared {
             "cache": cache_json,
             "snapshot": snapshot_json,
         })
+    }
+}
+
+/// The JSON summary of a serving snapshot shared by `stats` and `reload`
+/// responses: row count, quantization, backing mode (resident vs mapped)
+/// and — when the snapshot is an entity-range shard — which slice of the
+/// table it covers.
+fn snapshot_summary_json(snap: &crate::ServiceSnapshot, path: Option<&str>) -> serde_json::Value {
+    let shard = snap.shard();
+    let shard_json = serde_json::json!({
+        "shard_id": shard.shard_id,
+        "n_shards": shard.n_shards,
+        "row_start": shard.row_start,
+    });
+    match path {
+        Some(p) => serde_json::json!({
+            "path": p,
+            "rows": snap.n_rows(),
+            "quantized": snap.is_quantized(),
+            "backing": snap.backing().label(),
+            "shard": shard_json,
+        }),
+        None => serde_json::json!({
+            "rows": snap.n_rows(),
+            "quantized": snap.is_quantized(),
+            "backing": snap.backing().label(),
+            "shard": shard_json,
+        }),
     }
 }
 
@@ -872,6 +893,27 @@ fn serve_lookup(items: Vec<u32>, deadline: Option<Instant>, shared: &Arc<Shared>
             protocol::MAX_FRAME_LEN,
         )));
     }
+    // Entity-range shards hold only a slice of the global id space. An id
+    // outside this shard's range would silently degrade to the fallback
+    // row, so answer with a typed redirect carrying the shard topology the
+    // client needs to re-route instead.
+    {
+        let current = shared.holder.get();
+        if let Some(snap) = current.snapshot() {
+            let shard = snap.shard();
+            if !shard.is_whole_table() {
+                if let Some(&id) = items.iter().find(|&&id| !snap.covers(id)) {
+                    return protocol::encode_response(&Response::WrongShard {
+                        id,
+                        shard_id: shard.shard_id,
+                        n_shards: shard.n_shards,
+                        row_start: shard.row_start,
+                        n_rows: snap.n_rows() as u64,
+                    });
+                }
+            }
+        }
+    }
     shared.counters.lookups.fetch_add(1, Ordering::Relaxed);
     match shared.batcher.submit_with_deadline(items, deadline) {
         Ok(ticket) => match ticket.wait() {
@@ -904,6 +946,20 @@ pub enum ClientError {
     /// The request's deadline budget expired at this stage on the daemon;
     /// it was not executed, and a retry cannot beat the same budget.
     DeadlineExceeded(DeadlineStage),
+    /// The request named an entity outside the daemon's shard; re-route
+    /// to the shard covering `id` (retrying here can never succeed).
+    WrongShard {
+        /// The first requested id outside this shard's range.
+        id: u32,
+        /// The responding shard's index.
+        shard_id: u32,
+        /// Total shards in the topology.
+        n_shards: u32,
+        /// First global row the responding shard covers.
+        row_start: u64,
+        /// Number of rows the responding shard covers.
+        n_rows: u64,
+    },
     /// The daemon rejected the request as malformed.
     BadRequest(String),
     /// The daemon failed internally.
@@ -921,6 +977,18 @@ impl std::fmt::Display for ClientError {
             ClientError::DeadlineExceeded(stage) => {
                 write!(f, "deadline exceeded ({})", stage.name())
             }
+            ClientError::WrongShard {
+                id,
+                shard_id,
+                n_shards,
+                row_start,
+                n_rows,
+            } => write!(
+                f,
+                "wrong shard: id {id} is outside shard {shard_id} of {n_shards} \
+                 (covers rows {row_start}..{})",
+                row_start + n_rows
+            ),
             ClientError::BadRequest(m) => write!(f, "bad request: {m}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
             ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
@@ -1060,6 +1128,19 @@ impl DaemonClient {
             Ok(Response::DeadlineExceeded(stage)) => {
                 Err(sent(ClientError::DeadlineExceeded(stage)))
             }
+            Ok(Response::WrongShard {
+                id,
+                shard_id,
+                n_shards,
+                row_start,
+                n_rows,
+            }) => Err(sent(ClientError::WrongShard {
+                id,
+                shard_id,
+                n_shards,
+                row_start,
+                n_rows,
+            })),
             Ok(Response::BadRequest(m)) => Err(sent(ClientError::BadRequest(m))),
             Ok(Response::ServerError(m)) => Err(sent(ClientError::Server(m))),
             Ok(ok) => Ok(ok),

@@ -72,6 +72,7 @@ pub mod eval;
 pub mod eval_kernels;
 pub mod fault;
 pub mod kernels;
+pub mod mmap;
 pub mod model;
 pub mod negative;
 pub mod netcheck;
@@ -82,6 +83,7 @@ pub mod serialize;
 pub mod service;
 pub mod serving;
 pub mod snapshot;
+pub mod snapshot3;
 pub mod trainer;
 
 pub use artifact::{ArtifactError, ArtifactIo, ArtifactKind, StdIo};
@@ -99,7 +101,8 @@ pub use quant::{QuantScanTable, QuantTable, QUANT_BLOCK};
 pub use retry::{RetryClient, RetryPolicy};
 pub use service::{KnowledgeService, ServiceScratch};
 pub use serving::{CacheStats, CachedService};
-pub use snapshot::ServiceSnapshot;
+pub use snapshot::{ServiceSnapshot, ShardSpec, SnapshotBacking};
+pub use snapshot3::{open_mapped_snapshot, shard_ranges, snapshot_to_ss3_bytes, Ss3DenseWriter};
 pub use trainer::{
     load_latest_checkpoint, CheckpointConfig, CheckpointScan, GradKernel, ResumeState, TrainConfig,
     TrainError, TrainReport, Trainer,

@@ -1,0 +1,227 @@
+//! Minimal read-only memory mapping with a heap fallback.
+//!
+//! The out-of-core serving path ([`crate::snapshot3`]) wants snapshot
+//! sections mapped straight from disk so a row lookup is pointer
+//! arithmetic into the page cache — no per-row decode, no heap copy, and
+//! startup cost independent of table size. The container ships no `libc`
+//! crate, so the three syscalls we need (`mmap`/`munmap`/`madvise`) are
+//! declared directly against the C ABI on unix targets.
+//!
+//! Everything is wrapped in [`MmapRegion`], which presents the file as a
+//! plain `&[u8]` regardless of backing:
+//!
+//! * **Mapped** — a private read-only mapping of the whole file. Dropped
+//!   with `munmap`. Advised `MADV_RANDOM` because snapshot lookups are
+//!   point reads, not scans.
+//! * **Heap** — the file read into an 8-byte-aligned buffer. Used on
+//!   non-unix targets, when the mapping syscall fails, or when forced
+//!   (tests, or the `PKGM_NO_MMAP` environment variable) so every code
+//!   path runs anywhere.
+//!
+//! The buffer alignment matters: snapshot sections are reinterpreted as
+//! `&[f32]`/`&[u32]` slices, so the fallback stores `Vec<u64>` (8-byte
+//! aligned) rather than `Vec<u8>` (1-byte aligned). Mapped memory is
+//! page-aligned by definition.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    /// Expect point lookups; don't read ahead aggressively.
+    pub const MADV_RANDOM: i32 = 1;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: i32) -> i32;
+    }
+}
+
+enum Backing {
+    /// Start pointer + length of a live `mmap` region (unix only).
+    #[cfg(unix)]
+    Mapped { ptr: *const u8, len: usize },
+    /// File contents copied into an 8-byte-aligned heap buffer. The
+    /// `u64` element type guarantees the alignment that section slices
+    /// (`f32`/`u32`) require; `len` is the byte length (the last word
+    /// may be padding).
+    Heap { buf: Vec<u64>, len: usize },
+}
+
+/// A read-only view of a whole file, mapped when possible.
+pub struct MmapRegion {
+    backing: Backing,
+}
+
+// The mapping is read-only for its whole lifetime and owned uniquely by
+// this struct, so sharing references across threads is safe.
+unsafe impl Send for MmapRegion {}
+unsafe impl Sync for MmapRegion {}
+
+impl MmapRegion {
+    /// Open `path`, preferring a read-only mapping. Set `force_heap` to
+    /// skip the syscall entirely (tests exercise the fallback this way;
+    /// the public entry points also honor the `PKGM_NO_MMAP` environment
+    /// variable).
+    pub fn open(path: &Path, force_heap: bool) -> std::io::Result<Self> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "file too large to map")
+        })?;
+        if !force_heap && !no_mmap_env() {
+            #[cfg(unix)]
+            if len > 0 {
+                if let Some(region) = Self::try_map(&file, len) {
+                    return Ok(region);
+                }
+            }
+        }
+        // Fallback: read into an 8-byte-aligned buffer.
+        let words = len.div_ceil(8);
+        let mut buf = vec![0u64; words];
+        // View the word buffer as bytes for the read. Safe: u64 has no
+        // invalid bit patterns and the buffer is exclusively owned.
+        let bytes = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, len) };
+        file.read_exact(bytes)?;
+        Ok(Self {
+            backing: Backing::Heap { buf, len },
+        })
+    }
+
+    #[cfg(unix)]
+    fn try_map(file: &File, len: usize) -> Option<Self> {
+        use std::os::fd::AsRawFd;
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as usize == usize::MAX {
+            return None; // MAP_FAILED — fall back to the heap read.
+        }
+        // Advisory only; ignore failure.
+        unsafe { sys::madvise(ptr, len, sys::MADV_RANDOM) };
+        Some(Self {
+            backing: Backing::Mapped {
+                ptr: ptr as *const u8,
+                len,
+            },
+        })
+    }
+
+    /// The file contents. Guaranteed 8-byte aligned at offset 0.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Backing::Heap { buf, len } => unsafe {
+                std::slice::from_raw_parts(buf.as_ptr() as *const u8, *len)
+            },
+        }
+    }
+
+    /// True when backed by a live `mmap` (false for the heap fallback).
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { .. } => true,
+            Backing::Heap { .. } => false,
+        }
+    }
+}
+
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            unsafe { sys::munmap(ptr as *mut std::ffi::c_void, len) };
+        }
+    }
+}
+
+impl std::fmt::Debug for MmapRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmapRegion")
+            .field("len", &self.bytes().len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+/// True when the `PKGM_NO_MMAP` environment variable disables mapping
+/// (any non-empty value other than `0`).
+fn no_mmap_env() -> bool {
+    match std::env::var("PKGM_NO_MMAP") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("pkgm-mmap-{}-{name}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        f.sync_all().unwrap();
+        path
+    }
+
+    #[test]
+    fn mapped_and_heap_agree() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let path = temp_file("agree", &data);
+        let mapped = MmapRegion::open(&path, false).unwrap();
+        let heap = MmapRegion::open(&path, true).unwrap();
+        assert!(!heap.is_mapped());
+        assert_eq!(mapped.bytes(), &data[..]);
+        assert_eq!(heap.bytes(), &data[..]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn heap_fallback_is_eight_byte_aligned() {
+        // Odd length: the last word is padded, alignment must still hold.
+        let path = temp_file("align", &[7u8; 4097]);
+        let heap = MmapRegion::open(&path, true).unwrap();
+        assert_eq!(heap.bytes().len(), 4097);
+        assert_eq!(heap.bytes().as_ptr() as usize % 8, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_opens() {
+        let path = temp_file("empty", &[]);
+        let region = MmapRegion::open(&path, false).unwrap();
+        assert!(region.bytes().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = std::env::temp_dir().join("pkgm-mmap-definitely-missing");
+        assert!(MmapRegion::open(&path, false).is_err());
+    }
+}

@@ -45,6 +45,7 @@
 //! | `BadRequest`       | UTF-8 message                              |
 //! | `ServerError`      | UTF-8 message                              |
 //! | `DeadlineExceeded` | `stage: u8` — where the deadline expired   |
+//! | `WrongShard`       | `id u32, shard u32, of u32, start u64, n u64` |
 //!
 //! Rows and JSON successes carry **distinct status bytes** — the payload
 //! is never sniffed to tell them apart, so a row count whose low byte
@@ -145,6 +146,11 @@ pub mod status {
     /// was **not** executed, but unlike `OVERLOADED` a retry is pointless —
     /// the caller's budget is already spent.
     pub const DEADLINE_EXCEEDED: u8 = 0x06;
+    /// A lookup item falls outside the entity-range shard this daemon
+    /// serves; payload is `id u32, shard_id u32, n_shards u32,
+    /// row_start u64, n_rows u64` so the client can re-route. The request
+    /// was **not** executed; retrying the same daemon cannot help.
+    pub const WRONG_SHARD: u8 = 0x07;
 }
 
 /// Where in the serving pipeline a deadline budget ran out. Carried as the
@@ -230,6 +236,21 @@ pub enum Response {
     BadRequest(String),
     /// The daemon failed internally.
     ServerError(String),
+    /// A requested item id is outside the entity-range shard this daemon
+    /// serves. Carries the offending id plus the daemon's shard identity
+    /// and covered row range so the client can re-route the lookup.
+    WrongShard {
+        /// First requested id outside the shard range.
+        id: u32,
+        /// The daemon's shard index.
+        shard_id: u32,
+        /// Total shards the table was split into.
+        n_shards: u32,
+        /// Global id of the shard's first row.
+        row_start: u64,
+        /// Rows in the shard (covered ids are `[row_start, row_start + n_rows)`).
+        n_rows: u64,
+    },
 }
 
 /// Typed decode/transport errors. Every malformed input maps to one of
@@ -479,6 +500,34 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtocolError> {
                 .ok_or(ProtocolError::Malformed("unknown deadline stage byte"))?;
             Ok(Response::DeadlineExceeded(stage))
         }
+        status::WRONG_SHARD => {
+            let id = take_u32(&mut payload);
+            let shard_id = take_u32(&mut payload);
+            let n_shards = take_u32(&mut payload);
+            let row_start = take_u64(&mut payload);
+            let n_rows = take_u64(&mut payload);
+            match (id, shard_id, n_shards, row_start, n_rows) {
+                (Some(id), Some(shard_id), Some(n_shards), Some(row_start), Some(n_rows))
+                    if payload.is_empty() =>
+                {
+                    if n_shards == 0 || shard_id >= n_shards {
+                        return Err(ProtocolError::Malformed(
+                            "wrong-shard response declares an invalid shard",
+                        ));
+                    }
+                    Ok(Response::WrongShard {
+                        id,
+                        shard_id,
+                        n_shards,
+                        row_start,
+                        n_rows,
+                    })
+                }
+                _ => Err(ProtocolError::Malformed(
+                    "wrong-shard payload must be exactly id + shard + range",
+                )),
+            }
+        }
         status::BAD_REQUEST | status::SERVER_ERROR => {
             let msg = std::str::from_utf8(payload)
                 .map_err(|_| ProtocolError::Malformed("error message is not UTF-8"))?
@@ -525,6 +574,20 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::ServerError(msg) => {
             body.push(status::SERVER_ERROR);
             body.extend_from_slice(msg.as_bytes());
+        }
+        Response::WrongShard {
+            id,
+            shard_id,
+            n_shards,
+            row_start,
+            n_rows,
+        } => {
+            body.push(status::WRONG_SHARD);
+            body.extend_from_slice(&id.to_le_bytes());
+            body.extend_from_slice(&shard_id.to_le_bytes());
+            body.extend_from_slice(&n_shards.to_le_bytes());
+            body.extend_from_slice(&row_start.to_le_bytes());
+            body.extend_from_slice(&n_rows.to_le_bytes());
         }
     }
     frame(body)
@@ -721,12 +784,53 @@ mod tests {
             Response::DeadlineExceeded(DeadlineStage::Executing),
             Response::BadRequest("no".into()),
             Response::ServerError("disk on fire".into()),
+            Response::WrongShard {
+                id: 9_999_999,
+                shard_id: 2,
+                n_shards: 8,
+                row_start: 2_500_000,
+                n_rows: 1_250_000,
+            },
         ];
         for resp in resps {
             let framed = encode_response(&resp);
             let body = read_frame(&mut &framed[..]).unwrap().unwrap();
             assert_eq!(decode_response(&body).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn malformed_wrong_shard_payloads_are_rejected() {
+        let good = Response::WrongShard {
+            id: 5,
+            shard_id: 1,
+            n_shards: 4,
+            row_start: 100,
+            n_rows: 50,
+        };
+        let framed = encode_response(&good);
+        let body = read_frame(&mut &framed[..]).unwrap().unwrap();
+        // Truncated at every prefix of the 28-byte payload.
+        for cut in 1..body.len() {
+            assert!(
+                decode_response(&body[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+        // Trailing garbage.
+        let mut long = body.clone();
+        long.push(0);
+        assert!(decode_response(&long).is_err());
+        // A shard id outside the declared shard count is nonsense.
+        let bad = encode_response(&Response::WrongShard {
+            id: 5,
+            shard_id: 4,
+            n_shards: 4,
+            row_start: 0,
+            n_rows: 1,
+        });
+        let bad_body = read_frame(&mut &bad[..]).unwrap().unwrap();
+        assert!(decode_response(&bad_body).is_err());
     }
 
     #[test]

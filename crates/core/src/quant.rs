@@ -104,6 +104,31 @@ fn n_blocks(row_len: usize, block: usize) -> usize {
     row_len.div_ceil(block)
 }
 
+/// Deterministically reconstruct one row from raw quantized storage
+/// (`q_i · s_block`). Shared by [`QuantTable::dequantize_into`] and the
+/// memory-mapped snapshot path, which reads `data`/`scales` straight out
+/// of an on-disk section — both must produce bit-identical floats, so
+/// there is exactly one reconstruction loop.
+pub(crate) fn dequantize_row_into(
+    data: &[i8],
+    scales: &[f32],
+    row_len: usize,
+    block: usize,
+    row: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), row_len, "output must be one row");
+    let nb = n_blocks(row_len, block);
+    let q = &data[row * row_len..(row + 1) * row_len];
+    let scales = &scales[row * nb..(row + 1) * nb];
+    for (b, (qc, oc)) in q.chunks(block).zip(out.chunks_mut(block)).enumerate() {
+        let s = scales[b];
+        for (&qv, o) in qc.iter().zip(oc) {
+            *o = qv as f32 * s;
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // QuantTable — per-(row, block) scales (snapshot storage form)
 // ---------------------------------------------------------------------------
@@ -245,20 +270,7 @@ impl QuantTable {
 
     /// Deterministically reconstruct `row` into `out` (`q_i · s_block`).
     pub fn dequantize_into(&self, row: usize, out: &mut [f32]) {
-        assert_eq!(out.len(), self.row_len, "output must be one row");
-        let nb = n_blocks(self.row_len, self.block);
-        let q = &self.data[row * self.row_len..(row + 1) * self.row_len];
-        let scales = &self.scales[row * nb..(row + 1) * nb];
-        for (b, (qc, oc)) in q
-            .chunks(self.block)
-            .zip(out.chunks_mut(self.block))
-            .enumerate()
-        {
-            let s = scales[b];
-            for (&qv, o) in qc.iter().zip(oc) {
-                *o = qv as f32 * s;
-            }
-        }
+        dequantize_row_into(&self.data, &self.scales, self.row_len, self.block, row, out);
     }
 
     /// Bytes of quantized storage (payload + scales + per-row errors).

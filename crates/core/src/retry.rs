@@ -105,8 +105,12 @@ impl FailureKind {
             (ClientError::Io(_), true) | (ClientError::Protocol(_), true) => {
                 FailureKind::PossiblyExecuted
             }
+            // WrongShard is permanent *to this daemon*: the id lives on a
+            // different shard, so resending here can only repeat the
+            // rejection — re-routing is the caller's job.
             (ClientError::BadRequest(_), _)
             | (ClientError::Server(_), _)
+            | (ClientError::WrongShard { .. }, _)
             | (ClientError::Unexpected(_), _) => FailureKind::Permanent,
         }
     }
@@ -527,6 +531,19 @@ mod tests {
         );
         assert_eq!(
             FailureKind::classify(&attempt(ClientError::BadRequest("no".into()), true)),
+            FailureKind::Permanent
+        );
+        assert_eq!(
+            FailureKind::classify(&attempt(
+                ClientError::WrongShard {
+                    id: 42,
+                    shard_id: 1,
+                    n_shards: 4,
+                    row_start: 10,
+                    n_rows: 10,
+                },
+                true
+            )),
             FailureKind::Permanent
         );
         assert!(!FailureKind::PossiblyExecuted.retryable());

@@ -16,7 +16,7 @@
 //! A [`KnowledgeService`] snapshot appends the selector as a length-prefixed
 //! JSON blob (the selector is tiny compared to the parameters).
 
-use crate::artifact::{self, ArtifactError, ArtifactIo, ArtifactKind};
+use crate::artifact::{self, ArtifactError, ArtifactIo, ArtifactKind, StdIo};
 use crate::model::{PkgmConfig, PkgmModel};
 use crate::quant::QuantTable;
 use crate::service::KnowledgeService;
@@ -191,27 +191,27 @@ pub fn service_from_bytes(bytes: &[u8]) -> Result<KnowledgeService, SerializeErr
 /// escape ids (`n_exact` u32) and verbatim escape rows
 /// (`n_exact × 2·dim` f32).
 pub fn snapshot_to_bytes(snapshot: &ServiceSnapshot) -> Bytes {
-    if let Some((quant, exact_ids, exact_rows)) = snapshot.quant_parts() {
+    if let Some(q) = snapshot.quant_slices() {
         let mut buf = BytesMut::with_capacity(36 + snapshot.storage_bytes());
         buf.put_slice(QUANT_SNAPSHOT_MAGIC);
         buf.put_u32_le(snapshot.dim() as u32);
         buf.put_u32_le(snapshot.k() as u32);
         buf.put_u64_le(snapshot.n_rows() as u64);
-        buf.put_u32_le(quant.block() as u32);
-        buf.put_u64_le(exact_ids.len() as u64);
-        for &q in quant.data() {
-            buf.put_u8(q as u8);
+        buf.put_u32_le(q.block as u32);
+        buf.put_u64_le(q.exact_ids.len() as u64);
+        for &v in q.data {
+            buf.put_u8(v as u8);
         }
-        for &s in quant.scales() {
+        for &s in q.scales {
             buf.put_f32_le(s);
         }
-        for &e in quant.row_errs() {
+        for &e in q.row_errs {
             buf.put_f32_le(e);
         }
-        for &id in exact_ids {
+        for &id in q.exact_ids {
             buf.put_u32_le(id);
         }
-        for &x in exact_rows {
+        for &x in q.exact_rows {
             buf.put_f32_le(x);
         }
         return buf.freeze();
@@ -230,11 +230,15 @@ pub fn snapshot_to_bytes(snapshot: &ServiceSnapshot) -> Bytes {
     buf.freeze()
 }
 
-/// Deserialize a serving snapshot — either the dense legacy `PKGMSS1`
-/// payload or the quantized `PKGMSS2` form.
+/// Deserialize a serving snapshot — the dense legacy `PKGMSS1` payload,
+/// the quantized `PKGMSS2` form, or a fully-verified resident decode of
+/// the mmap-oriented `PKGMSS3` layout.
 pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<ServiceSnapshot, SerializeError> {
     if bytes.len() >= 8 && &bytes[..8] == QUANT_SNAPSHOT_MAGIC {
         return quant_snapshot_from_bytes(bytes);
+    }
+    if bytes.len() >= 8 && &bytes[..8] == crate::snapshot3::SS3_MAGIC {
+        return crate::snapshot3::snapshot_from_ss3_bytes(bytes);
     }
     let mut b = bytes;
     if b.len() < 24 || &b[..8] != SNAPSHOT_MAGIC {
@@ -463,6 +467,45 @@ pub fn read_snapshot_file(
 ) -> Result<ServiceSnapshot, ArtifactError> {
     let payload = read_payload(io, path, ArtifactKind::Snapshot)?;
     snapshot_from_bytes(&payload).map_err(|e| corrupt(path, e))
+}
+
+/// Atomically write `snapshot` to `path` as a raw `PKGMSS3` file.
+///
+/// `PKGMSS3` is deliberately *not* wrapped in the `PKGMAF1` container:
+/// the 28-byte container header would shift every section off its page
+/// boundary, breaking the zero-copy mapping. The format carries its own
+/// header CRC and per-section CRCs instead.
+pub fn write_snapshot_ss3_file(
+    io: &dyn ArtifactIo,
+    path: &Path,
+    snapshot: &ServiceSnapshot,
+) -> Result<(), ArtifactError> {
+    let bytes = crate::snapshot3::snapshot_to_ss3_bytes(snapshot).map_err(|e| corrupt(path, e))?;
+    io.write_atomic(path, &bytes)
+}
+
+/// Open a snapshot file by magic: `PKGMSS3` files are memory-mapped for
+/// zero-copy serving (O(header) startup, [`SnapshotBacking::Mapped`]);
+/// everything else goes through the resident [`read_snapshot_file`] path.
+///
+/// [`SnapshotBacking::Mapped`]: crate::snapshot::SnapshotBacking::Mapped
+pub fn open_snapshot_file(path: &Path) -> Result<ServiceSnapshot, ArtifactError> {
+    use std::io::Read;
+    let mut magic = [0u8; 8];
+    let mut file = std::fs::File::open(path).map_err(|source| ArtifactError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    let n = file.read(&mut magic).map_err(|source| ArtifactError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    drop(file);
+    if n == 8 && &magic == crate::snapshot3::SS3_MAGIC {
+        crate::snapshot3::open_mapped_snapshot(path, false)
+    } else {
+        read_snapshot_file(&StdIo, path)
+    }
 }
 
 #[cfg(test)]

@@ -174,10 +174,10 @@ impl CachedService {
     }
 
     /// Serve a condensed miss from the attached snapshot when it covers
-    /// `id`; `false` means the caller must compute live.
+    /// `id` (shard-aware); `false` means the caller must compute live.
     fn snapshot_condensed_into(&self, id: u32, out: &mut Vec<f32>) -> bool {
         match &self.snapshot {
-            Some(snap) if (id as usize) < snap.n_rows() => {
+            Some(snap) if snap.covers(id) => {
                 snap.lookup_exact(EntityId(id), out);
                 true
             }

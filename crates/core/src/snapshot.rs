@@ -24,6 +24,7 @@ use std::borrow::Cow;
 
 use crate::quant::QuantTable;
 use crate::service::{KnowledgeService, ServiceScratch};
+use crate::snapshot3::{MappedDense, MappedQuant};
 use pkgm_store::EntityId;
 use rayon::prelude::*;
 
@@ -38,18 +39,73 @@ const EXACT_ROW_DIVISOR: usize = 64;
 /// median row error are candidates for verbatim storage.
 const EXACT_ERR_FACTOR: f32 = 4.0;
 
+/// How a snapshot's row storage is held in the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotBacking {
+    /// Rows decoded into owned heap memory (`PKGMSS1`/`PKGMSS2`, or a
+    /// fully-validated `PKGMSS3` decode).
+    Resident,
+    /// Rows served zero-copy out of an [`crate::mmap::MmapRegion`] over a
+    /// `PKGMSS3` file — startup cost independent of table size.
+    Mapped,
+}
+
+impl SnapshotBacking {
+    /// Stable lower-case label for logs and stats JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SnapshotBacking::Resident => "resident",
+            SnapshotBacking::Mapped => "mapped",
+        }
+    }
+}
+
+/// Which contiguous entity-id range a snapshot holds: shard `shard_id`
+/// of `n_shards`, covering global ids
+/// `[row_start, row_start + n_rows)`. Unsharded snapshots use the
+/// default `{ n_shards: 1, shard_id: 0, row_start: 0 }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Total shards the table was split into (≥ 1).
+    pub n_shards: u32,
+    /// This file's shard index (`< n_shards`).
+    pub shard_id: u32,
+    /// Global entity id of this shard's first row.
+    pub row_start: u64,
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        Self {
+            n_shards: 1,
+            shard_id: 0,
+            row_start: 0,
+        }
+    }
+}
+
+impl ShardSpec {
+    /// True for the unsharded whole-table spec.
+    pub fn is_whole_table(&self) -> bool {
+        self.n_shards == 1 && self.row_start == 0
+    }
+}
+
 /// Row storage behind a snapshot: the dense f32 table or its quantized
-/// form plus verbatim escape rows.
-#[derive(Debug, Clone, PartialEq)]
-enum Storage {
+/// form plus verbatim escape rows, each either owned (resident) or
+/// served zero-copy out of a mapped `PKGMSS3` region.
+#[derive(Debug, Clone)]
+pub(crate) enum Storage {
     Dense(Vec<f32>),
     Quantized(QuantizedRows),
+    MappedDense(MappedDense),
+    MappedQuantized(MappedQuant),
 }
 
 /// Quantized condensed table plus the verbatim f32 rows kept for the
 /// worst-quantizing entities.
 #[derive(Debug, Clone, PartialEq)]
-struct QuantizedRows {
+pub(crate) struct QuantizedRows {
     quant: QuantTable,
     /// Sorted entity ids whose rows are stored verbatim (served from
     /// `exact_rows` instead of dequantization).
@@ -71,16 +127,64 @@ impl QuantizedRows {
 }
 
 /// Table of condensed service vectors, one `2d` row per entity — dense
-/// f32 or int8-quantized with verbatim escape rows.
-#[derive(Debug, Clone, PartialEq)]
+/// f32 or int8-quantized with verbatim escape rows, resident in heap
+/// memory or memory-mapped from a `PKGMSS3` file.
+#[derive(Debug, Clone)]
 pub struct ServiceSnapshot {
     dim: usize,
     k: usize,
     storage: Storage,
     /// Column-wise mean of the *served* rows (zeros for an empty table):
     /// the degraded-mode answer for ids beyond the table. Derived from
-    /// `storage`, so it is recomputed on load rather than serialized.
+    /// `storage` for `PKGMSS1`/`PKGMSS2` loads; `PKGMSS3` stores it as a
+    /// section so a mapped open never scans the table.
     fallback: Vec<f32>,
+    /// Which global entity-id range this table covers.
+    shard: ShardSpec,
+}
+
+/// Snapshots compare by *served content* — dim, k, shard range, fallback
+/// row, and the logical row storage (dense table, or quantized parts) —
+/// regardless of backing, so a mapped `PKGMSS3` equals the resident
+/// snapshot it was written from.
+impl PartialEq for ServiceSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        if self.dim != other.dim
+            || self.k != other.k
+            || self.shard != other.shard
+            || self.fallback != other.fallback
+        {
+            return false;
+        }
+        match (self.dense_table(), other.dense_table()) {
+            (Some(a), Some(b)) => return a == b,
+            (None, None) => {}
+            _ => return false,
+        }
+        match (self.quant_slices(), other.quant_slices()) {
+            (Some(a), Some(b)) => {
+                a.block == b.block
+                    && a.data == b.data
+                    && a.scales == b.scales
+                    && a.row_errs == b.row_errs
+                    && a.exact_ids == b.exact_ids
+                    && a.exact_rows == b.exact_rows
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Raw quantized storage slices, valid for both resident and mapped
+/// backings — the serialization inputs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QuantSlices<'a> {
+    pub data: &'a [i8],
+    pub scales: &'a [f32],
+    pub row_errs: &'a [f32],
+    pub block: usize,
+    pub exact_ids: &'a [u32],
+    pub exact_rows: &'a [f32],
 }
 
 /// Column-wise mean of a row-major table (zeros when there are no rows).
@@ -147,6 +251,7 @@ impl ServiceSnapshot {
             k: service.k(),
             storage: Storage::Dense(rows),
             fallback,
+            shard: ShardSpec::default(),
         }
     }
 
@@ -165,6 +270,7 @@ impl ServiceSnapshot {
             k,
             storage: Storage::Dense(rows),
             fallback,
+            shard: ShardSpec::default(),
         }
     }
 
@@ -217,7 +323,87 @@ impl ServiceSnapshot {
             k,
             storage: Storage::Quantized(q),
             fallback,
+            shard: ShardSpec::default(),
         })
+    }
+
+    /// Mark this snapshot as shard `shard.shard_id` of `shard.n_shards`,
+    /// covering global ids `[shard.row_start, row_start + n_rows)` — the
+    /// builder-side step before writing per-shard `PKGMSS3` files.
+    pub fn with_shard(mut self, shard: ShardSpec) -> Result<Self, String> {
+        if shard.n_shards == 0 || shard.shard_id >= shard.n_shards {
+            return Err(format!(
+                "invalid shard spec: shard {} of {}",
+                shard.shard_id, shard.n_shards
+            ));
+        }
+        let end = shard.row_start.checked_add(self.n_rows() as u64);
+        if end.is_none_or(|e| e > u64::from(u32::MAX) + 1) {
+            return Err("shard row range exceeds the u32 id space".into());
+        }
+        self.shard = shard;
+        Ok(self)
+    }
+
+    /// Extract one entity-range shard from a whole, dense table: rows
+    /// `[shard.row_start, row_start + len)` become a new dense snapshot
+    /// carrying `shard`, with its fallback recomputed over the shard's
+    /// own rows (matching what [`crate::Ss3DenseWriter`] stores).
+    pub fn shard_slice(&self, shard: ShardSpec, len: u64) -> Result<ServiceSnapshot, String> {
+        if !self.shard.is_whole_table() {
+            return Err("cannot re-shard an already-sharded snapshot".into());
+        }
+        let table = self.dense_table().ok_or_else(|| {
+            "shard_slice requires a dense table (quantize per shard after slicing)".to_string()
+        })?;
+        let end = shard
+            .row_start
+            .checked_add(len)
+            .filter(|&e| e <= self.n_rows() as u64)
+            .ok_or_else(|| {
+                format!(
+                    "shard rows {}..{:?} exceed the {}-row table",
+                    shard.row_start,
+                    shard.row_start.checked_add(len),
+                    self.n_rows()
+                )
+            })?;
+        if len == 0 {
+            return Err("a shard must cover at least one row".into());
+        }
+        let row_len = 2 * self.dim;
+        let rows = table[shard.row_start as usize * row_len..end as usize * row_len].to_vec();
+        ServiceSnapshot::from_parts(self.dim, self.k, rows).with_shard(shard)
+    }
+
+    /// Rebind a loaded snapshot to its on-disk shard spec and stored
+    /// fallback row — the `PKGMSS3` loaders use the file's fallback
+    /// section verbatim so mapped and resident backings serve identical
+    /// degraded-mode bytes.
+    pub(crate) fn with_shard_and_fallback(mut self, shard: ShardSpec, fallback: Vec<f32>) -> Self {
+        assert_eq!(fallback.len(), 2 * self.dim, "fallback must be one row");
+        self.shard = shard;
+        self.fallback = fallback;
+        self
+    }
+
+    /// Assemble a snapshot directly from validated storage — the mapped
+    /// `PKGMSS3` open path.
+    pub(crate) fn from_storage(
+        dim: usize,
+        k: usize,
+        storage: Storage,
+        fallback: Vec<f32>,
+        shard: ShardSpec,
+    ) -> Self {
+        assert_eq!(fallback.len(), 2 * dim, "fallback must be one row");
+        Self {
+            dim,
+            k,
+            storage,
+            fallback,
+            shard,
+        }
     }
 
     /// The quantized form of this snapshot: the condensed table as a
@@ -227,9 +413,10 @@ impl ServiceSnapshot {
     /// quantized snapshots are returned as-is.
     pub fn quantize(&self) -> ServiceSnapshot {
         let row_len = 2 * self.dim;
-        let rows = match &self.storage {
-            Storage::Quantized(_) => return self.clone(),
+        let rows: &[f32] = match &self.storage {
+            Storage::Quantized(_) | Storage::MappedQuantized(_) => return self.clone(),
             Storage::Dense(rows) => rows,
+            Storage::MappedDense(m) => m.table(),
         };
         let quant = QuantTable::quantize_table(rows, row_len);
         let errs = quant.row_errs();
@@ -263,6 +450,7 @@ impl ServiceSnapshot {
             k: self.k,
             storage: Storage::Quantized(q),
             fallback,
+            shard: self.shard,
         }
     }
 
@@ -281,21 +469,66 @@ impl ServiceSnapshot {
         match &self.storage {
             Storage::Dense(rows) => rows.len() / (2 * self.dim),
             Storage::Quantized(q) => q.quant.n_rows(),
+            Storage::MappedDense(m) => m.n_rows(),
+            Storage::MappedQuantized(m) => m.n_rows(),
         }
     }
 
     /// Whether rows are stored int8-quantized.
     pub fn is_quantized(&self) -> bool {
-        matches!(self.storage, Storage::Quantized(_))
+        matches!(
+            self.storage,
+            Storage::Quantized(_) | Storage::MappedQuantized(_)
+        )
     }
 
-    /// Bytes held by the row storage (the resident footprint the
-    /// `bytes_per_entity` bench fields report; excludes the fallback row).
+    /// How the row storage is held: [`SnapshotBacking::Resident`] heap
+    /// memory or a [`SnapshotBacking::Mapped`] `PKGMSS3` region.
+    pub fn backing(&self) -> SnapshotBacking {
+        match &self.storage {
+            Storage::Dense(_) | Storage::Quantized(_) => SnapshotBacking::Resident,
+            Storage::MappedDense(_) | Storage::MappedQuantized(_) => SnapshotBacking::Mapped,
+        }
+    }
+
+    /// The global entity-id range this snapshot covers.
+    pub fn shard(&self) -> ShardSpec {
+        self.shard
+    }
+
+    /// True when global id `id` falls inside this snapshot's shard range
+    /// `[row_start, row_start + n_rows)` — i.e. a lookup serves a real
+    /// row rather than the degraded fallback.
+    pub fn covers(&self, id: u32) -> bool {
+        self.local_row(id).is_some()
+    }
+
+    /// Translate a global entity id to this shard's local row index.
+    fn local_row(&self, id: u32) -> Option<usize> {
+        let local = (id as u64).checked_sub(self.shard.row_start)?;
+        if (local as usize) < self.n_rows() {
+            Some(local as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Bytes of logical row storage (the `bytes_per_entity` bench basis;
+    /// excludes the fallback row). For mapped backings this counts the
+    /// on-disk section bytes served through the mapping, not process RSS.
     pub fn storage_bytes(&self) -> usize {
         match &self.storage {
             Storage::Dense(rows) => 4 * rows.len(),
             Storage::Quantized(q) => {
                 q.quant.storage_bytes() + 4 * q.exact_ids.len() + 4 * q.exact_rows.len()
+            }
+            Storage::MappedDense(m) => 4 * m.table().len(),
+            Storage::MappedQuantized(m) => {
+                m.data().len()
+                    + 4 * m.scales().len()
+                    + 4 * m.row_errs().len()
+                    + 4 * m.exact_ids().len()
+                    + 4 * m.exact_rows_f32().len()
             }
         }
     }
@@ -307,19 +540,29 @@ impl ServiceSnapshot {
     /// should use [`ServiceSnapshot::lookup_exact`] with a reused buffer.
     pub fn condensed(&self, item: EntityId) -> Option<Cow<'_, [f32]>> {
         let row_len = 2 * self.dim;
-        let start = (item.0 as usize).checked_mul(row_len)?;
+        let id = self.local_row(item.0)?;
         match &self.storage {
-            Storage::Dense(rows) => rows.get(start..start + row_len).map(Cow::Borrowed),
+            Storage::Dense(rows) => Some(Cow::Borrowed(&rows[id * row_len..(id + 1) * row_len])),
+            Storage::MappedDense(m) => {
+                Some(Cow::Borrowed(&m.table()[id * row_len..(id + 1) * row_len]))
+            }
             Storage::Quantized(q) => {
-                let id = item.0 as usize;
-                if id >= q.quant.n_rows() {
-                    return None;
-                }
-                if let Ok(e) = q.exact_ids.binary_search(&item.0) {
+                if let Ok(e) = q.exact_ids.binary_search(&(id as u32)) {
                     Some(Cow::Borrowed(&q.exact_rows[e * row_len..(e + 1) * row_len]))
                 } else {
                     let mut out = vec![0.0f32; row_len];
                     q.quant.dequantize_into(id, &mut out);
+                    Some(Cow::Owned(out))
+                }
+            }
+            Storage::MappedQuantized(m) => {
+                if let Ok(e) = m.exact_ids().binary_search(&(id as u32)) {
+                    Some(Cow::Borrowed(
+                        &m.exact_rows_f32()[e * row_len..(e + 1) * row_len],
+                    ))
+                } else {
+                    let mut out = vec![0.0f32; row_len];
+                    m.dequantize_into(id, &mut out);
                     Some(Cow::Owned(out))
                 }
             }
@@ -347,25 +590,24 @@ impl ServiceSnapshot {
     pub fn lookup_exact(&self, item: EntityId, out: &mut Vec<f32>) -> bool {
         let row_len = 2 * self.dim;
         out.resize(row_len, 0.0);
-        let id = item.0 as usize;
+        let id = match self.local_row(item.0) {
+            Some(local) => local,
+            None => {
+                out.copy_from_slice(&self.fallback);
+                return false;
+            }
+        };
         match &self.storage {
             Storage::Dense(rows) => {
-                if let Some(row) =
-                    (id.checked_mul(row_len)).and_then(|start| rows.get(start..start + row_len))
-                {
-                    out.copy_from_slice(row);
-                    return true;
-                }
+                out.copy_from_slice(&rows[id * row_len..(id + 1) * row_len]);
             }
-            Storage::Quantized(q) => {
-                if id < q.quant.n_rows() {
-                    q.row_into(id, out);
-                    return true;
-                }
+            Storage::MappedDense(m) => {
+                out.copy_from_slice(&m.table()[id * row_len..(id + 1) * row_len]);
             }
+            Storage::Quantized(q) => q.row_into(id, out),
+            Storage::MappedQuantized(m) => m.row_into(id, out),
         }
-        out.copy_from_slice(&self.fallback);
-        false
+        true
     }
 
     /// The fallback served for out-of-range ids: the column-wise mean of
@@ -375,20 +617,47 @@ impl ServiceSnapshot {
     }
 
     /// The contiguous row-major f32 table (`n_rows × 2d`), when rows are
-    /// stored dense; `None` for quantized snapshots.
+    /// stored dense (resident or mapped); `None` for quantized snapshots.
     pub fn dense_table(&self) -> Option<&[f32]> {
         match &self.storage {
             Storage::Dense(rows) => Some(rows),
-            Storage::Quantized(_) => None,
+            Storage::MappedDense(m) => Some(m.table()),
+            Storage::Quantized(_) | Storage::MappedQuantized(_) => None,
         }
     }
 
-    /// The quantized parts (table, sorted escape ids, escape rows), when
-    /// rows are stored quantized — the `PKGMSS2` serialization inputs.
+    /// The resident quantized parts (table, sorted escape ids, escape
+    /// rows). `None` for dense *and* for mapped-quantized storage — use
+    /// [`ServiceSnapshot::quant_slices`] for backing-agnostic access.
+    #[cfg(test)]
     pub(crate) fn quant_parts(&self) -> Option<(&QuantTable, &[u32], &[f32])> {
         match &self.storage {
-            Storage::Dense(_) => None,
             Storage::Quantized(q) => Some((&q.quant, &q.exact_ids, &q.exact_rows)),
+            _ => None,
+        }
+    }
+
+    /// Raw quantized storage slices for either backing — the `PKGMSS2`/
+    /// `PKGMSS3` serialization inputs. `None` for dense storage.
+    pub(crate) fn quant_slices(&self) -> Option<QuantSlices<'_>> {
+        match &self.storage {
+            Storage::Dense(_) | Storage::MappedDense(_) => None,
+            Storage::Quantized(q) => Some(QuantSlices {
+                data: q.quant.data(),
+                scales: q.quant.scales(),
+                row_errs: q.quant.row_errs(),
+                block: q.quant.block(),
+                exact_ids: &q.exact_ids,
+                exact_rows: &q.exact_rows,
+            }),
+            Storage::MappedQuantized(m) => Some(QuantSlices {
+                data: m.data(),
+                scales: m.scales(),
+                row_errs: m.row_errs(),
+                block: m.block(),
+                exact_ids: m.exact_ids(),
+                exact_rows: m.exact_rows_f32(),
+            }),
         }
     }
 }

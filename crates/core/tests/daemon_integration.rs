@@ -596,6 +596,92 @@ fn shutdown_races_with_incoming_connections_without_hanging() {
 }
 
 #[test]
+fn sharded_mapped_snapshot_serves_its_range_and_redirects_the_rest() {
+    let svc = service(37);
+    let daemon = start_daemon(&svc);
+    let addr = daemon.local_addr().to_string();
+    let dir = tmpdir("shard");
+
+    // Shard 1 of 3 written as a PKGMSS3 artifact; reload maps it.
+    let full = ServiceSnapshot::build(&svc);
+    let ranges = pkgm_core::shard_ranges(full.n_rows() as u64, 3);
+    let (spec, len) = ranges[1];
+    let shard = full.shard_slice(spec, len).unwrap();
+    let path = dir.join("shard1.pkgmss3");
+    serialize::write_snapshot_ss3_file(&StdIo, &path, &shard).unwrap();
+
+    let mut client = DaemonClient::connect(&addr).unwrap();
+    let summary = client.reload(path.to_str().unwrap()).unwrap();
+    let snap_json = summary.get("snapshot").unwrap();
+    assert_eq!(
+        snap_json.get("backing").and_then(|v| v.as_str()),
+        Some("mapped"),
+        "a PKGMSS3 reload must come up memory-mapped: {summary:?}"
+    );
+    assert_eq!(
+        snap_json
+            .get("shard")
+            .and_then(|s| s.get("shard_id"))
+            .and_then(|v| v.as_u64()),
+        Some(1)
+    );
+
+    // In-range ids serve bit-identically to the resident full table.
+    let in_range: Vec<u32> = (spec.row_start..spec.row_start + 2)
+        .map(|r| r as u32)
+        .collect();
+    let rows = client.lookup(&in_range).unwrap();
+    let mut reference = Vec::new();
+    for (&id, row) in in_range.iter().zip(&rows) {
+        assert!(full.lookup_exact(EntityId(id), &mut reference));
+        let got: Vec<u32> = row.iter().map(|x| x.to_bits()).collect();
+        let want: Vec<u32> = reference.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(got, want, "item {id} differs from the resident row");
+        reference.clear();
+    }
+
+    // An id on another shard gets a typed redirect carrying the topology,
+    // never a silently-degraded fallback row.
+    match client.lookup(&[0]) {
+        Err(ClientError::WrongShard {
+            id,
+            shard_id,
+            n_shards,
+            row_start,
+            ..
+        }) => {
+            assert_eq!(id, 0);
+            assert_eq!(shard_id, 1);
+            assert_eq!(n_shards, 3);
+            assert_eq!(row_start, spec.row_start);
+        }
+        other => panic!("expected WrongShard for an out-of-range id, got {other:?}"),
+    }
+
+    // The stats verb surfaces the same backing/shard detail.
+    let stats = client.stats().unwrap();
+    let snap_stats = stats.get("snapshot").unwrap();
+    assert_eq!(
+        snap_stats.get("backing").and_then(|v| v.as_str()),
+        Some("mapped")
+    );
+    assert_eq!(
+        snap_stats
+            .get("shard")
+            .and_then(|s| s.get("n_shards"))
+            .and_then(|v| v.as_u64()),
+        Some(3)
+    );
+
+    // The connection survives the typed rejection.
+    let rows = client.lookup(&in_range).unwrap();
+    assert_eq!(rows.len(), in_range.len());
+    client.shutdown().unwrap();
+    daemon.wait();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn shutdown_request_stops_the_daemon_and_fails_queued_work_typed() {
     let svc = service(2);
     let daemon = start_daemon(&svc);

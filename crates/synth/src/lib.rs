@@ -33,6 +33,7 @@ pub mod classification;
 pub mod config;
 pub mod interactions;
 pub mod schema;
+pub mod stream;
 pub mod words;
 
 pub use alignment::{AlignmentDataset, PairExample, RankExample};
@@ -40,3 +41,4 @@ pub use catalog::{Catalog, ItemMeta};
 pub use classification::{ClassificationDataset, ClsExample};
 pub use config::CatalogConfig;
 pub use interactions::{InteractionConfig, InteractionData};
+pub use stream::StreamingRows;
