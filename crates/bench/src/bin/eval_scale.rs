@@ -25,7 +25,7 @@
 //! cargo run --release -p pkgm-bench --bin eval_scale -- standard --out BENCH_eval.json
 //! ```
 
-use pkgm_bench::{report, world, Scale};
+use pkgm_bench::{report, simd_bench, world, Scale};
 use pkgm_core::eval::summarize_ranks;
 use pkgm_core::eval_kernels::{
     baseline_rank_heads, baseline_rank_relations, baseline_rank_tails, fused_rank_heads,
@@ -313,8 +313,35 @@ fn main() {
         "scanned bytes per candidate vs fused f32, filtered tails: {scanned_reduction:.2}× lower"
     );
 
+    // Primitive-level scalar-vs-detected microbench (the same dispatch
+    // tables the ranking kernels route through).
+    let simd = simd_bench::primitive_report();
+    eprintln!(
+        "[eval_scale] simd primitives ({}): {}",
+        simd.get("detected_level")
+            .and_then(|v| v.as_str())
+            .unwrap_or("?"),
+        simd_bench::summary_line(&simd)
+    );
+    let fused_t_scaling = {
+        let t1 = rate.get("fused:tails:filtered:1").copied().unwrap_or(0.0);
+        let tn = rate
+            .get(&format!(
+                "fused:tails:filtered:{}",
+                THREAD_COUNTS[THREAD_COUNTS.len() - 1]
+            ))
+            .copied()
+            .unwrap_or(0.0);
+        if t1 > 0.0 {
+            tn / t1
+        } else {
+            0.0
+        }
+    };
+
     let host_cpus = report::host_cpus();
     let max_t = THREAD_COUNTS[THREAD_COUNTS.len() - 1];
+    println!("fused filtered tails, {max_t} vs 1 thread: {fused_t_scaling:.2}×");
     report::warn_if_time_sliced("eval_scale", host_cpus, max_t);
     let n_tables = (catalog.store.n_entities() + catalog.store.n_relations()) as usize;
     let f32_table_bytes = n_tables * dim * 4;
@@ -334,6 +361,7 @@ fn main() {
         "bytes_per_entity_f32": 4 * dim,
         "bytes_per_entity_quantized": quant_table_bytes as f64 / n_tables as f64,
         "peak_table_bytes": f32_table_bytes + quant_table_bytes,
+        "simd": simd,
         "results": results,
         "summary": serde_json::json!({
             "fused_vs_baseline_tails_filtered_t1": tails_headline,
@@ -342,6 +370,7 @@ fn main() {
             "quantized_vs_fused_tails_filtered_t1": quant_tails,
             "quantized_vs_fused_heads_filtered_t1": quant_heads,
             "scanned_bytes_reduction_tails_filtered_t1": scanned_reduction,
+            "fused_tails_filtered_maxt_vs_t1": fused_t_scaling,
         }),
     });
     report::write_report("eval_scale", &out_path, &report);

@@ -20,7 +20,7 @@
 //! cargo run --release -p pkgm-bench --bin training_scale -- standard --out BENCH_training.json
 //! ```
 
-use pkgm_bench::{report, world, Scale};
+use pkgm_bench::{report, simd_bench, world, Scale};
 use pkgm_core::{GradKernel, PkgmConfig, PkgmModel, TrainConfig, Trainer};
 use pkgm_store::fxhash::FxHashMap;
 use pkgm_synth::Catalog;
@@ -212,6 +212,17 @@ fn main() {
     println!("fused vs baseline, serial @ dim 64, 1 neg: {headline:.2}×");
     println!("fused vs baseline, parallel @ {max_t} threads, dim 64, 1 neg: {fused_parallel:.2}×");
 
+    // Primitive-level scalar-vs-detected microbench (same dispatch tables
+    // the trainer's kernels route through).
+    let simd = simd_bench::primitive_report();
+    eprintln!(
+        "[training_scale] simd primitives ({}): {}",
+        simd.get("detected_level")
+            .and_then(|v| v.as_str())
+            .unwrap_or("?"),
+        simd_bench::summary_line(&simd)
+    );
+
     let host_cpus = report::host_cpus();
     report::warn_if_time_sliced("training_scale", host_cpus, max_t);
     let report = serde_json::json!({
@@ -223,6 +234,7 @@ fn main() {
         "thread_counts": THREAD_COUNTS.to_vec(),
         "dims": DIMS.to_vec(),
         "negatives": NEGATIVES.to_vec(),
+        "simd": simd,
         "results": results,
         "summary": serde_json::json!({
             "fused_vs_baseline_serial_d64_neg1": headline,

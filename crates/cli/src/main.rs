@@ -81,8 +81,16 @@ fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
         "bench-train" => bench_train(&args),
         "bench-eval" => bench_eval(&args),
         "bench-qps" => bench_qps(&args),
+        "simd" => simd_info(),
         other => Err(format!("unknown subcommand: {other}").into()),
     }
+}
+
+/// Print the kernel dispatch report (the same line the daemon and the
+/// benches log, and CI's `simd-smoke` job asserts on).
+fn simd_info() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{}", pkgm_core::simd::describe());
+    Ok(())
 }
 
 fn daemon_cmd(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
@@ -146,6 +154,7 @@ fn daemon_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             defaults.stall_timeout.as_millis() as u64,
         )?),
     };
+    eprintln!("[pkgm] {}", pkgm_core::simd::describe());
     let daemon = Daemon::start(addr, service, snapshot, cfg.clone())?;
     let local = daemon.local_addr();
     // Scripts and CI start the daemon with `--addr 127.0.0.1:0` and read
@@ -504,6 +513,13 @@ fn bench_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let n_tails: usize = args.get_or("tails", 128)?;
     let n_heads: usize = args.get_or("heads", 32)?;
     let quantized: bool = args.get_or("quantized", false)?;
+    // `--threads N` pins the rayon pool for the candidate-slice fan-out;
+    // it must be set before the first rayon call builds the global pool.
+    let threads: Option<usize> = args.get("threads").map(str::parse).transpose()?;
+    if let Some(n) = threads {
+        std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+    }
+    eprintln!("[pkgm] {}", pkgm_core::simd::describe());
     let ks = [1usize, 10];
 
     let mut model = PkgmModel::new(
@@ -624,6 +640,8 @@ fn bench_eval(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             "dim": dim,
             "epochs": epochs,
             "quantized": quantized,
+            "threads": threads.unwrap_or_else(rayon::current_num_threads),
+            "simd": pkgm_core::simd::active().level.name(),
             "results": rows,
             "fused_vs_baseline_tails": speedups[0].1,
             "fused_vs_baseline_heads": speedups[1].1,
@@ -1117,11 +1135,14 @@ fn print_help() {
          \u{20}              [--parallel true] [--out bench.json] — fused vs baseline\n\
          \u{20}              gradient-kernel throughput on identical corruption streams\n\
          \u{20}  bench-eval  --preset P [--dim 64] [--epochs 1] [--tails 128] [--heads 32]\n\
-         \u{20}              [--quantized true] [--out bench.json] — fused vs baseline\n\
-         \u{20}              ranking-kernel throughput on the same held-out facts; with\n\
-         \u{20}              --quantized also times the int8 two-phase kernel and reports\n\
-         \u{20}              prune rate + scanned bytes (all ranks bit-identical to the\n\
-         \u{20}              reference scan; see eval_kernels)\n\
+         \u{20}              [--quantized true] [--threads N  # pin the rayon pool for\n\
+         \u{20}              the candidate-slice fan-out] [--out bench.json] — fused vs\n\
+         \u{20}              baseline ranking-kernel throughput on the same held-out facts;\n\
+         \u{20}              with --quantized also times the int8 two-phase kernel and\n\
+         \u{20}              reports prune rate + scanned bytes (all ranks bit-identical\n\
+         \u{20}              to the reference scan; see eval_kernels)\n\
+         \u{20}  simd        — print the runtime kernel dispatch line (detected\n\
+         \u{20}              AVX2/SSE4.1 level; PKGM_FORCE_SCALAR=1 pins the scalar twins)\n\
          \u{20}  daemon      serve --service service.bin [--addr 127.0.0.1:7071]\n\
          \u{20}              [--snapshot serving.snap] [--workers 2] [--max-batch-items 1024]\n\
          \u{20}              [--queue-capacity 16384] [--cache-capacity 65536]\n\

@@ -46,6 +46,7 @@ use crate::eval::{summarize_ranks, LinkPredictionReport};
 use crate::kernels::{kernel_dot, l1_dist};
 use crate::model::PkgmModel;
 use crate::quant::{QuantScanTable, F32_EPS};
+use crate::simd::{blocked_l1, blocked_l1_translation, l1_beats, translation_beats};
 use pkgm_store::{EntityId, RelationId, Triple, TripleStore};
 use rayon::prelude::*;
 
@@ -58,11 +59,6 @@ const CANDIDATE_TILE: u32 = 256;
 /// one scratch buffer and the entity table streams through cache once per
 /// chunk instead of once per triple.
 const TRIPLE_CHUNK: usize = 16;
-
-/// Early-exit cadence in eight-lane chunks: combine the lanes and compare
-/// against the bound every `EXIT_STRIDE` chunks (= 16 dimensions). Checking
-/// every chunk would spend more scalar combine work than it saves.
-const EXIT_STRIDE: usize = 2;
 
 /// A test triple referenced an id outside the model's tables.
 ///
@@ -143,121 +139,14 @@ fn validate(model: &PkgmModel, test: &[Triple]) -> Result<(), EvalError> {
 // ---------------------------------------------------------------------------
 // Blocked L1 primitives (the contract arithmetic)
 // ---------------------------------------------------------------------------
-
-/// The fixed tree-shaped lane combine shared with [`kernel_dot`].
-#[inline]
-fn combine8(acc: &[f32; 8]) -> f32 {
-    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
-}
-
-/// `‖a − b‖₁` with eight-lane fixed-order accumulation — the evaluation
-/// twin of [`kernel_dot`]: independent lane sums break the serial f32
-/// add-latency chain so the loop vectorizes, and the fixed combine makes
-/// the result a deterministic function of the inputs.
-#[inline]
-pub(crate) fn blocked_l1(a: &[f32], b: &[f32]) -> f32 {
-    let mut acc = [0.0f32; 8];
-    let mut ca = a.chunks_exact(8);
-    let mut cb = b.chunks_exact(8);
-    for (xa, xb) in (&mut ca).zip(&mut cb) {
-        for j in 0..8 {
-            acc[j] += (xa[j] - xb[j]).abs();
-        }
-    }
-    let mut tail = 0.0f32;
-    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        tail += (x - y).abs();
-    }
-    combine8(&acc) + tail
-}
-
-/// `‖h + r − t‖₁` in the same eight-lane blocked order as [`blocked_l1`].
-#[inline]
-pub(crate) fn blocked_l1_translation(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
-    let mut acc = [0.0f32; 8];
-    let mut ch = h.chunks_exact(8);
-    let mut cr = r.chunks_exact(8);
-    let mut ct = t.chunks_exact(8);
-    for ((xh, xr), xt) in (&mut ch).zip(&mut cr).zip(&mut ct) {
-        for j in 0..8 {
-            acc[j] += (xh[j] + xr[j] - xt[j]).abs();
-        }
-    }
-    let mut tail = 0.0f32;
-    for ((x, y), z) in ch
-        .remainder()
-        .iter()
-        .zip(cr.remainder())
-        .zip(ct.remainder())
-    {
-        tail += (x + y - z).abs();
-    }
-    combine8(&acc) + tail
-}
-
-/// Decide `blocked_l1(a, b) + extra < bound` with an exact early exit.
-///
-/// Aborts (returning `false`) as soon as the partially combined sum plus
-/// `extra` reaches `bound` — sound because the final value can only be
-/// larger (see the module docs). When the loop runs to completion the
-/// returned decision evaluates the exact reference expression.
-#[inline]
-fn l1_beats(a: &[f32], b: &[f32], extra: f32, bound: f32) -> bool {
-    let mut acc = [0.0f32; 8];
-    let mut ca = a.chunks_exact(8);
-    let mut cb = b.chunks_exact(8);
-    let mut pending = 0usize;
-    for (xa, xb) in (&mut ca).zip(&mut cb) {
-        for j in 0..8 {
-            acc[j] += (xa[j] - xb[j]).abs();
-        }
-        pending += 1;
-        if pending == EXIT_STRIDE {
-            pending = 0;
-            if combine8(&acc) + extra >= bound {
-                return false;
-            }
-        }
-    }
-    let mut tail = 0.0f32;
-    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        tail += (x - y).abs();
-    }
-    (combine8(&acc) + tail) + extra < bound
-}
-
-/// Decide `blocked_l1_translation(h, r, t) + extra < bound` with the same
-/// exact early exit as [`l1_beats`].
-#[inline]
-fn translation_beats(h: &[f32], r: &[f32], t: &[f32], extra: f32, bound: f32) -> bool {
-    let mut acc = [0.0f32; 8];
-    let mut ch = h.chunks_exact(8);
-    let mut cr = r.chunks_exact(8);
-    let mut ct = t.chunks_exact(8);
-    let mut pending = 0usize;
-    for ((xh, xr), xt) in (&mut ch).zip(&mut cr).zip(&mut ct) {
-        for j in 0..8 {
-            acc[j] += (xh[j] + xr[j] - xt[j]).abs();
-        }
-        pending += 1;
-        if pending == EXIT_STRIDE {
-            pending = 0;
-            if combine8(&acc) + extra >= bound {
-                return false;
-            }
-        }
-    }
-    let mut tail = 0.0f32;
-    for ((x, y), z) in ch
-        .remainder()
-        .iter()
-        .zip(cr.remainder())
-        .zip(ct.remainder())
-    {
-        tail += (x + y - z).abs();
-    }
-    (combine8(&acc) + tail) + extra < bound
-}
+//
+// The eight-lane blocked primitives — `blocked_l1`,
+// `blocked_l1_translation` and the early-exit comparators `l1_beats` /
+// `translation_beats` — live in [`crate::simd`] now, runtime-dispatched to
+// AVX2/SSE4.1 with the scalar twins as the contract arithmetic. Every
+// dispatch level computes the identical deterministic function (same lane
+// order, same fixed combine, same `EXIT_STRIDE` cadence), so the
+// fused ≡ reference bit-identity this module promises is unchanged.
 
 /// Relation-module score `‖M·hv − rv‖₁`: projection rows via
 /// [`kernel_dot`], residual terms accumulated serially in index order —
@@ -381,6 +270,125 @@ fn grouped_indices(test: &[Triple], key: impl Fn(&Triple) -> u32) -> Vec<Vec<u32
 }
 
 // ---------------------------------------------------------------------------
+// Candidate-range slicing (the multi-core fan-out)
+// ---------------------------------------------------------------------------
+
+/// Split `0..n` candidates into at most `want` contiguous,
+/// [`CANDIDATE_TILE`]-aligned ranges of near-equal tile counts.
+///
+/// Tile alignment keeps each slice's internal tiling identical to the
+/// serial scan's (the same cache-sized blocks stream through L2); the
+/// *results* are range-independent anyway — each candidate's
+/// better-than-true decision is a pure function of the candidate, and the
+/// per-slice contributions are merged by integer summation, so any slicing
+/// is bit-identical to serial. `n = 0` yields a single empty range.
+fn slice_ranges(n: u32, want: usize) -> Vec<(u32, u32)> {
+    let tiles = (n as u64).div_ceil(CANDIDATE_TILE as u64).max(1);
+    let slices = (want.max(1) as u64).min(tiles);
+    let base = tiles / slices;
+    let extra = tiles % slices;
+    let mut out = Vec::with_capacity(slices as usize);
+    let mut tile = 0u64;
+    for s in 0..slices {
+        let take = base + if s < extra { 1 } else { 0 };
+        let lo = (tile * CANDIDATE_TILE as u64).min(n as u64) as u32;
+        tile += take;
+        let hi = (tile * CANDIDATE_TILE as u64).min(n as u64) as u32;
+        out.push((lo, hi));
+    }
+    out
+}
+
+/// Fan a chunked tail-style scan over `test × candidate-slices` with
+/// rayon, merging per-slice `better` counts deterministically.
+///
+/// The worker scans one [`TRIPLE_CHUNK`] of triples against one candidate
+/// range `[lo, hi)` using a pooled [`EvalScratch`], returning per-triple
+/// *better* counts (not ranks) plus its [`PruneStats`]. Counts are summed
+/// per chunk in work-list order and stats merged likewise — both integer
+/// sums, so the result is bit-identical to the serial scan for every
+/// `n_slices` and every rayon thread count.
+fn sliced_chunk_ranks<W>(
+    test: &[Triple],
+    n_candidates: u32,
+    n_slices: usize,
+    worker: W,
+) -> (Vec<usize>, PruneStats)
+where
+    W: Fn(&mut EvalScratch, &[Triple], u32, u32) -> (Vec<usize>, PruneStats) + Sync,
+{
+    let ranges = slice_ranges(n_candidates, n_slices);
+    let chunks: Vec<&[Triple]> = test.chunks(TRIPLE_CHUNK).collect();
+    let mut work: Vec<(usize, (u32, u32))> = Vec::with_capacity(chunks.len() * ranges.len());
+    for ci in 0..chunks.len() {
+        for &range in &ranges {
+            work.push((ci, range));
+        }
+    }
+    let pool = EvalScratchPool::new();
+    let partials: Vec<(usize, Vec<usize>, PruneStats)> = work
+        .par_iter()
+        .map(|&(ci, (lo, hi))| {
+            let (better, stats) = pool.with_scratch(|scratch| worker(scratch, chunks[ci], lo, hi));
+            (ci, better, stats)
+        })
+        .collect();
+    let mut totals: Vec<Vec<usize>> = chunks.iter().map(|c| vec![0usize; c.len()]).collect();
+    let mut stats = PruneStats::default();
+    for (ci, better, slice_stats) in partials {
+        for (t, b) in totals[ci].iter_mut().zip(better) {
+            *t += b;
+        }
+        stats.merge(slice_stats);
+    }
+    let ranks = totals.into_iter().flatten().map(|b| b + 1).collect();
+    (ranks, stats)
+}
+
+/// Fan a grouped head/relation-style scan over `groups ×
+/// candidate-slices`, merging like [`sliced_chunk_ranks`].
+///
+/// The worker scans one group's triples (by test indices) against one
+/// candidate range, returning better counts aligned with the group's
+/// index order.
+fn sliced_group_ranks<W>(
+    test_len: usize,
+    groups: &[Vec<u32>],
+    n_candidates: u32,
+    n_slices: usize,
+    worker: W,
+) -> (Vec<usize>, PruneStats)
+where
+    W: Fn(&mut EvalScratch, &[u32], u32, u32) -> (Vec<usize>, PruneStats) + Sync,
+{
+    let ranges = slice_ranges(n_candidates, n_slices);
+    let mut work: Vec<(usize, (u32, u32))> = Vec::with_capacity(groups.len() * ranges.len());
+    for gi in 0..groups.len() {
+        for &range in &ranges {
+            work.push((gi, range));
+        }
+    }
+    let pool = EvalScratchPool::new();
+    let partials: Vec<(usize, Vec<usize>, PruneStats)> = work
+        .par_iter()
+        .map(|&(gi, (lo, hi))| {
+            let (better, stats) = pool.with_scratch(|scratch| worker(scratch, &groups[gi], lo, hi));
+            (gi, better, stats)
+        })
+        .collect();
+    let mut totals = vec![0usize; test_len];
+    let mut stats = PruneStats::default();
+    for (gi, better, slice_stats) in partials {
+        for (&ti, b) in groups[gi].iter().zip(better) {
+            totals[ti as usize] += b;
+        }
+        stats.merge(slice_stats);
+    }
+    let ranks = totals.into_iter().map(|b| b + 1).collect();
+    (ranks, stats)
+}
+
+// ---------------------------------------------------------------------------
 // Fused kernels
 // ---------------------------------------------------------------------------
 
@@ -390,29 +398,47 @@ fn grouped_indices(test: &[Triple], key: impl Fn(&Triple) -> u32) -> Vec<Vec<u32
 /// Triples are processed in chunks of [`TRIPLE_CHUNK`] so the entity table
 /// streams through cache once per chunk; candidates are scanned in
 /// ascending id order in [`CANDIDATE_TILE`]-sized tiles with the filter
-/// applied by an advancing cursor into the sorted known-tail set.
+/// applied by an advancing cursor into the sorted known-tail set. Work
+/// fans out over `chunks × candidate-slices` (one slice per rayon thread),
+/// so all cores contribute even when `|test|` is small.
 pub fn fused_rank_tails(
     model: &PkgmModel,
     test: &[Triple],
     filter: Option<&TripleStore>,
 ) -> Result<Vec<usize>, EvalError> {
-    validate(model, test)?;
-    let pool = EvalScratchPool::new();
-    let per_chunk: Vec<Vec<usize>> = test
-        .par_chunks(TRIPLE_CHUNK)
-        .map(|chunk| pool.with_scratch(|scratch| tail_chunk_ranks(model, chunk, filter, scratch)))
-        .collect();
-    Ok(per_chunk.into_iter().flatten().collect())
+    fused_rank_tails_sliced(model, test, filter, rayon::current_num_threads())
 }
 
-fn tail_chunk_ranks(
+/// [`fused_rank_tails`] with an explicit candidate-slice count — the
+/// parity suite and the benches use this to pin the fan-out width; ranks
+/// are bit-identical for every `n_slices`.
+pub fn fused_rank_tails_sliced(
+    model: &PkgmModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+    n_slices: usize,
+) -> Result<Vec<usize>, EvalError> {
+    validate(model, test)?;
+    let n_entities = model.n_entities() as u32;
+    let (ranks, _) = sliced_chunk_ranks(test, n_entities, n_slices, |scratch, chunk, lo, hi| {
+        (
+            tail_chunk_better(model, chunk, filter, scratch, lo, hi),
+            PruneStats::default(),
+        )
+    });
+    Ok(ranks)
+}
+
+/// Per-triple `better` counts for one chunk over candidates `[lo, hi)`.
+fn tail_chunk_better(
     model: &PkgmModel,
     chunk: &[Triple],
     filter: Option<&TripleStore>,
     scratch: &mut EvalScratch,
+    lo: u32,
+    hi: u32,
 ) -> Vec<usize> {
     let d = model.dim();
-    let n_entities = model.n_entities() as u32;
     let g = chunk.len();
     let EvalScratch {
         bases,
@@ -434,10 +460,15 @@ fn tail_chunk_ranks(
     better.resize(g, 0);
     ptr.clear();
     ptr.resize(g, 0);
+    // Filter cursors start at the first known id in this slice's range —
+    // for `lo = 0` this is index 0, exactly the serial scan's start.
+    for s in 0..g {
+        ptr[s] = knowns[s].partition_point(|e| e.0 < lo);
+    }
 
-    let mut tile_start = 0u32;
-    while tile_start < n_entities {
-        let tile_end = (tile_start + CANDIDATE_TILE).min(n_entities);
+    let mut tile_start = lo;
+    while tile_start < hi {
+        let tile_end = (tile_start + CANDIDATE_TILE).min(hi);
         for s in 0..g {
             let t = chunk[s];
             let base = &bases[s * d..(s + 1) * d];
@@ -464,7 +495,7 @@ fn tail_chunk_ranks(
         }
         tile_start = tile_end;
     }
-    better.iter().map(|&b| b + 1).collect()
+    better.clone()
 }
 
 /// Fused head ranking under the joint score `f_T + f_R`, bit-identical to
@@ -480,35 +511,49 @@ pub fn fused_rank_heads(
     test: &[Triple],
     filter: Option<&TripleStore>,
 ) -> Result<Vec<usize>, EvalError> {
+    fused_rank_heads_sliced(model, test, filter, rayon::current_num_threads())
+}
+
+/// [`fused_rank_heads`] with an explicit candidate-slice count; ranks are
+/// bit-identical for every `n_slices`.
+pub fn fused_rank_heads_sliced(
+    model: &PkgmModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+    n_slices: usize,
+) -> Result<Vec<usize>, EvalError> {
     validate(model, test)?;
     let groups = grouped_indices(test, |t| t.relation.0);
-    let pool = EvalScratchPool::new();
-    let per_group: Vec<Vec<(u32, usize)>> = groups
-        .par_iter()
-        .map(|idxs| {
-            pool.with_scratch(|scratch| head_group_ranks(model, test, idxs, filter, scratch))
-        })
-        .collect();
-    let mut ranks = vec![0usize; test.len()];
-    for group in per_group {
-        for (ti, rank) in group {
-            ranks[ti as usize] = rank;
-        }
-    }
+    let n_entities = model.n_entities() as u32;
+    let (ranks, _) = sliced_group_ranks(
+        test.len(),
+        &groups,
+        n_entities,
+        n_slices,
+        |scratch, idxs, lo, hi| {
+            (
+                head_group_better(model, test, idxs, filter, scratch, lo, hi),
+                PruneStats::default(),
+            )
+        },
+    );
     Ok(ranks)
 }
 
-fn head_group_ranks(
+/// Per-triple `better` counts for one relation group over candidates
+/// `[lo, hi)`.
+fn head_group_better(
     model: &PkgmModel,
     test: &[Triple],
     indices: &[u32],
     filter: Option<&TripleStore>,
     scratch: &mut EvalScratch,
-) -> Vec<(u32, usize)> {
+    lo: u32,
+    hi: u32,
+) -> Vec<usize> {
     let r = test[indices[0] as usize].relation;
     let rel_on = model.cfg.relation_module;
     let rv = model.rel(r);
-    let n_entities = model.n_entities() as u32;
     let g = indices.len();
     let EvalScratch {
         true_scores,
@@ -542,12 +587,15 @@ fn head_group_ranks(
     better.resize(g, 0);
     ptr.clear();
     ptr.resize(g, 0);
+    for s in 0..g {
+        ptr[s] = knowns[s].partition_point(|e| e.0 < lo);
+    }
     fr.clear();
     fr.resize(CANDIDATE_TILE as usize, 0.0);
 
-    let mut tile_start = 0u32;
-    while tile_start < n_entities {
-        let tile_end = (tile_start + CANDIDATE_TILE).min(n_entities);
+    let mut tile_start = lo;
+    while tile_start < hi {
+        let tile_end = (tile_start + CANDIDATE_TILE).min(hi);
         if rel_on {
             let m = model.mat(r);
             for c in tile_start..tile_end {
@@ -590,11 +638,7 @@ fn head_group_ranks(
         }
         tile_start = tile_end;
     }
-    indices
-        .iter()
-        .zip(better.iter())
-        .map(|(&ti, &b)| (ti, b + 1))
-        .collect()
+    better.clone()
 }
 
 /// Fused relation ranking under the joint score, bit-identical to
@@ -610,35 +654,51 @@ pub fn fused_rank_relations(
     test: &[Triple],
     filter: Option<&TripleStore>,
 ) -> Result<Vec<usize>, EvalError> {
+    fused_rank_relations_sliced(model, test, filter, rayon::current_num_threads())
+}
+
+/// [`fused_rank_relations`] with an explicit candidate-slice count; ranks
+/// are bit-identical for every `n_slices`. (Relation tables are usually
+/// smaller than one [`CANDIDATE_TILE`], in which case slicing degenerates
+/// to one range and parallelism comes from the head groups alone.)
+pub fn fused_rank_relations_sliced(
+    model: &PkgmModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+    n_slices: usize,
+) -> Result<Vec<usize>, EvalError> {
     validate(model, test)?;
     let groups = grouped_indices(test, |t| t.head.0);
-    let pool = EvalScratchPool::new();
-    let per_group: Vec<Vec<(u32, usize)>> = groups
-        .par_iter()
-        .map(|idxs| {
-            pool.with_scratch(|scratch| relation_group_ranks(model, test, idxs, filter, scratch))
-        })
-        .collect();
-    let mut ranks = vec![0usize; test.len()];
-    for group in per_group {
-        for (ti, rank) in group {
-            ranks[ti as usize] = rank;
-        }
-    }
+    let n_relations = model.n_relations() as u32;
+    let (ranks, _) = sliced_group_ranks(
+        test.len(),
+        &groups,
+        n_relations,
+        n_slices,
+        |scratch, idxs, lo, hi| {
+            (
+                relation_group_better(model, test, idxs, filter, scratch, lo, hi),
+                PruneStats::default(),
+            )
+        },
+    );
     Ok(ranks)
 }
 
-fn relation_group_ranks(
+/// Per-triple `better` counts for one head group over candidate relations
+/// `[lo, hi)`.
+fn relation_group_better(
     model: &PkgmModel,
     test: &[Triple],
     indices: &[u32],
     filter: Option<&TripleStore>,
     scratch: &mut EvalScratch,
-) -> Vec<(u32, usize)> {
+    lo: u32,
+    hi: u32,
+) -> Vec<usize> {
     let h = test[indices[0] as usize].head;
     let rel_on = model.cfg.relation_module;
     let h_row = model.ent(h);
-    let n_relations = model.n_relations() as u32;
     let EvalScratch {
         true_scores, fr, ..
     } = scratch;
@@ -659,11 +719,11 @@ fn relation_group_ranks(
     }
 
     fr.clear();
-    fr.resize(n_relations as usize, 0.0);
+    fr.resize((hi - lo) as usize, 0.0);
     if rel_on {
-        for c in 0..n_relations {
+        for c in lo..hi {
             let rc = RelationId(c);
-            fr[c as usize] = residual_capped(model.mat(rc), h_row, model.rel(rc), cap);
+            fr[(c - lo) as usize] = residual_capped(model.mat(rc), h_row, model.rel(rc), cap);
         }
     }
     let known_rels: &[RelationId] = filter.map_or(&[][..], |f| f.relations_of(h));
@@ -673,9 +733,9 @@ fn relation_group_ranks(
         let t = test[ti as usize];
         let t_row = model.ent(t.tail);
         let bound = true_scores[s];
-        let mut p = 0usize;
+        let mut p = known_rels.partition_point(|e| e.0 < lo);
         let mut better = 0usize;
-        for c in 0..n_relations {
+        for c in lo..hi {
             while p < known_rels.len() && known_rels[p].0 < c {
                 p += 1;
             }
@@ -691,7 +751,7 @@ fn relation_group_ranks(
                     }
                 }
             }
-            let extra = if rel_on { fr[c as usize] } else { 0.0 };
+            let extra = if rel_on { fr[(c - lo) as usize] } else { 0.0 };
             if extra >= bound {
                 continue;
             }
@@ -699,7 +759,7 @@ fn relation_group_ranks(
                 better += 1;
             }
         }
-        out.push((ti, better + 1));
+        out.push(better);
     }
     out
 }
@@ -822,24 +882,36 @@ pub fn quantized_rank_tails_with_stats(
     test: &[Triple],
     filter: Option<&TripleStore>,
 ) -> Result<(Vec<usize>, PruneStats), EvalError> {
+    quantized_rank_tails_with_stats_sliced(
+        model,
+        qmodel,
+        test,
+        filter,
+        rayon::current_num_threads(),
+    )
+}
+
+/// [`quantized_rank_tails_with_stats`] with an explicit candidate-slice
+/// count; ranks and stats are identical for every `n_slices` (counts and
+/// `scanned_bytes` are per-candidate sums, so slicing commutes with them).
+pub fn quantized_rank_tails_with_stats_sliced(
+    model: &PkgmModel,
+    qmodel: &QuantEvalModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+    n_slices: usize,
+) -> Result<(Vec<usize>, PruneStats), EvalError> {
     validate(model, test)?;
     qmodel.check(model);
-    let pool = EvalScratchPool::new();
-    let per_chunk: Vec<(Vec<usize>, PruneStats)> = test
-        .par_chunks(TRIPLE_CHUNK)
-        .map(|chunk| {
-            pool.with_scratch(|scratch| {
-                quant_tail_chunk_ranks(model, qmodel, chunk, filter, scratch)
-            })
-        })
-        .collect();
-    let mut stats = PruneStats::default();
-    let mut ranks = Vec::with_capacity(test.len());
-    for (chunk_ranks, chunk_stats) in per_chunk {
-        ranks.extend(chunk_ranks);
-        stats.merge(chunk_stats);
-    }
-    Ok((ranks, stats))
+    let n_entities = model.n_entities() as u32;
+    Ok(sliced_chunk_ranks(
+        test,
+        n_entities,
+        n_slices,
+        |scratch, chunk, lo, hi| {
+            quant_tail_chunk_better(model, qmodel, chunk, filter, scratch, lo, hi)
+        },
+    ))
 }
 
 /// [`quantized_rank_tails_with_stats`] without the telemetry.
@@ -852,15 +924,16 @@ pub fn quantized_rank_tails(
     quantized_rank_tails_with_stats(model, qmodel, test, filter).map(|(r, _)| r)
 }
 
-fn quant_tail_chunk_ranks(
+fn quant_tail_chunk_better(
     model: &PkgmModel,
     qmodel: &QuantEvalModel,
     chunk: &[Triple],
     filter: Option<&TripleStore>,
     scratch: &mut EvalScratch,
+    lo: u32,
+    hi: u32,
 ) -> (Vec<usize>, PruneStats) {
     let d = model.dim();
-    let n_entities = model.n_entities() as u32;
     let g = chunk.len();
     let EvalScratch {
         bases,
@@ -893,11 +966,14 @@ fn quant_tail_chunk_ranks(
     better.resize(g, 0);
     ptr.clear();
     ptr.resize(g, 0);
+    for s in 0..g {
+        ptr[s] = knowns[s].partition_point(|e| e.0 < lo);
+    }
     let mut stats = PruneStats::default();
 
-    let mut tile_start = 0u32;
-    while tile_start < n_entities {
-        let tile_end = (tile_start + CANDIDATE_TILE).min(n_entities);
+    let mut tile_start = lo;
+    while tile_start < hi {
+        let tile_end = (tile_start + CANDIDATE_TILE).min(hi);
         for s in 0..g {
             let t = chunk[s];
             let base = &bases[s * d..(s + 1) * d];
@@ -936,7 +1012,7 @@ fn quant_tail_chunk_ranks(
         tile_start = tile_end;
     }
     stats.scanned_bytes = stats.candidates * d as u64 + stats.survivors * 4 * d as u64;
-    (better.iter().map(|&b| b + 1).collect(), stats)
+    (better.clone(), stats)
 }
 
 /// Quantized two-phase head ranking, bit-identical to
@@ -952,27 +1028,37 @@ pub fn quantized_rank_heads_with_stats(
     test: &[Triple],
     filter: Option<&TripleStore>,
 ) -> Result<(Vec<usize>, PruneStats), EvalError> {
+    quantized_rank_heads_with_stats_sliced(
+        model,
+        qmodel,
+        test,
+        filter,
+        rayon::current_num_threads(),
+    )
+}
+
+/// [`quantized_rank_heads_with_stats`] with an explicit candidate-slice
+/// count; ranks and stats are identical for every `n_slices`.
+pub fn quantized_rank_heads_with_stats_sliced(
+    model: &PkgmModel,
+    qmodel: &QuantEvalModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+    n_slices: usize,
+) -> Result<(Vec<usize>, PruneStats), EvalError> {
     validate(model, test)?;
     qmodel.check(model);
     let groups = grouped_indices(test, |t| t.relation.0);
-    let pool = EvalScratchPool::new();
-    let per_group: Vec<(Vec<(u32, usize)>, PruneStats)> = groups
-        .par_iter()
-        .map(|idxs| {
-            pool.with_scratch(|scratch| {
-                quant_head_group_ranks(model, qmodel, test, idxs, filter, scratch)
-            })
-        })
-        .collect();
-    let mut stats = PruneStats::default();
-    let mut ranks = vec![0usize; test.len()];
-    for (group, group_stats) in per_group {
-        for (ti, rank) in group {
-            ranks[ti as usize] = rank;
-        }
-        stats.merge(group_stats);
-    }
-    Ok((ranks, stats))
+    let n_entities = model.n_entities() as u32;
+    Ok(sliced_group_ranks(
+        test.len(),
+        &groups,
+        n_entities,
+        n_slices,
+        |scratch, idxs, lo, hi| {
+            quant_head_group_better(model, qmodel, test, idxs, filter, scratch, lo, hi)
+        },
+    ))
 }
 
 /// [`quantized_rank_heads_with_stats`] without the telemetry.
@@ -985,19 +1071,21 @@ pub fn quantized_rank_heads(
     quantized_rank_heads_with_stats(model, qmodel, test, filter).map(|(r, _)| r)
 }
 
-fn quant_head_group_ranks(
+#[allow(clippy::too_many_arguments)]
+fn quant_head_group_better(
     model: &PkgmModel,
     qmodel: &QuantEvalModel,
     test: &[Triple],
     indices: &[u32],
     filter: Option<&TripleStore>,
     scratch: &mut EvalScratch,
-) -> (Vec<(u32, usize)>, PruneStats) {
+    lo: u32,
+    hi: u32,
+) -> (Vec<usize>, PruneStats) {
     let d = model.dim();
     let r = test[indices[0] as usize].relation;
     let rel_on = model.cfg.relation_module;
     let rv = model.rel(r);
-    let n_entities = model.n_entities() as u32;
     let g = indices.len();
     let EvalScratch {
         bases,
@@ -1046,13 +1134,16 @@ fn quant_head_group_ranks(
     better.resize(g, 0);
     ptr.clear();
     ptr.resize(g, 0);
+    for s in 0..g {
+        ptr[s] = knowns[s].partition_point(|e| e.0 < lo);
+    }
     fr.clear();
     fr.resize(CANDIDATE_TILE as usize, 0.0);
     let mut stats = PruneStats::default();
 
-    let mut tile_start = 0u32;
-    while tile_start < n_entities {
-        let tile_end = (tile_start + CANDIDATE_TILE).min(n_entities);
+    let mut tile_start = lo;
+    while tile_start < hi {
+        let tile_end = (tile_start + CANDIDATE_TILE).min(hi);
         if rel_on {
             let m = model.mat(r);
             for c in tile_start..tile_end {
@@ -1105,14 +1196,7 @@ fn quant_head_group_ranks(
         tile_start = tile_end;
     }
     stats.scanned_bytes = stats.candidates * d as u64 + stats.survivors * 4 * d as u64;
-    (
-        indices
-            .iter()
-            .zip(better.iter())
-            .map(|(&ti, &b)| (ti, b + 1))
-            .collect(),
-        stats,
-    )
+    (better.clone(), stats)
 }
 
 /// Quantized two-phase relation ranking, bit-identical to
@@ -1125,27 +1209,38 @@ pub fn quantized_rank_relations_with_stats(
     test: &[Triple],
     filter: Option<&TripleStore>,
 ) -> Result<(Vec<usize>, PruneStats), EvalError> {
+    quantized_rank_relations_with_stats_sliced(
+        model,
+        qmodel,
+        test,
+        filter,
+        rayon::current_num_threads(),
+    )
+}
+
+/// [`quantized_rank_relations_with_stats`] with an explicit
+/// candidate-slice count; ranks and stats are identical for every
+/// `n_slices`.
+pub fn quantized_rank_relations_with_stats_sliced(
+    model: &PkgmModel,
+    qmodel: &QuantEvalModel,
+    test: &[Triple],
+    filter: Option<&TripleStore>,
+    n_slices: usize,
+) -> Result<(Vec<usize>, PruneStats), EvalError> {
     validate(model, test)?;
     qmodel.check(model);
     let groups = grouped_indices(test, |t| t.head.0);
-    let pool = EvalScratchPool::new();
-    let per_group: Vec<(Vec<(u32, usize)>, PruneStats)> = groups
-        .par_iter()
-        .map(|idxs| {
-            pool.with_scratch(|scratch| {
-                quant_relation_group_ranks(model, qmodel, test, idxs, filter, scratch)
-            })
-        })
-        .collect();
-    let mut stats = PruneStats::default();
-    let mut ranks = vec![0usize; test.len()];
-    for (group, group_stats) in per_group {
-        for (ti, rank) in group {
-            ranks[ti as usize] = rank;
-        }
-        stats.merge(group_stats);
-    }
-    Ok((ranks, stats))
+    let n_relations = model.n_relations() as u32;
+    Ok(sliced_group_ranks(
+        test.len(),
+        &groups,
+        n_relations,
+        n_slices,
+        |scratch, idxs, lo, hi| {
+            quant_relation_group_better(model, qmodel, test, idxs, filter, scratch, lo, hi)
+        },
+    ))
 }
 
 /// [`quantized_rank_relations_with_stats`] without the telemetry.
@@ -1158,19 +1253,21 @@ pub fn quantized_rank_relations(
     quantized_rank_relations_with_stats(model, qmodel, test, filter).map(|(r, _)| r)
 }
 
-fn quant_relation_group_ranks(
+#[allow(clippy::too_many_arguments)]
+fn quant_relation_group_better(
     model: &PkgmModel,
     qmodel: &QuantEvalModel,
     test: &[Triple],
     indices: &[u32],
     filter: Option<&TripleStore>,
     scratch: &mut EvalScratch,
-) -> (Vec<(u32, usize)>, PruneStats) {
+    lo: u32,
+    hi: u32,
+) -> (Vec<usize>, PruneStats) {
     let d = model.dim();
     let h = test[indices[0] as usize].head;
     let rel_on = model.cfg.relation_module;
     let h_row = model.ent(h);
-    let n_relations = model.n_relations() as u32;
     let g = indices.len();
     let EvalScratch {
         bases,
@@ -1214,11 +1311,11 @@ fn quant_relation_group_ranks(
     }
 
     fr.clear();
-    fr.resize(n_relations as usize, 0.0);
+    fr.resize((hi - lo) as usize, 0.0);
     if rel_on {
-        for c in 0..n_relations {
+        for c in lo..hi {
             let rc = RelationId(c);
-            fr[c as usize] = residual_capped(model.mat(rc), h_row, model.rel(rc), cap);
+            fr[(c - lo) as usize] = residual_capped(model.mat(rc), h_row, model.rel(rc), cap);
         }
     }
     let known_rels: &[RelationId] = filter.map_or(&[][..], |f| f.relations_of(h));
@@ -1231,9 +1328,9 @@ fn quant_relation_group_ranks(
         let qbase = &qbases[s * d..(s + 1) * d];
         let query_err = qerr[s];
         let bound = true_scores[s];
-        let mut p = 0usize;
+        let mut p = known_rels.partition_point(|e| e.0 < lo);
         let mut better = 0usize;
-        for c in 0..n_relations {
+        for c in lo..hi {
             while p < known_rels.len() && known_rels[p].0 < c {
                 p += 1;
             }
@@ -1247,7 +1344,7 @@ fn quant_relation_group_ranks(
                     }
                 }
             }
-            let extra = if rel_on { fr[c as usize] } else { 0.0 };
+            let extra = if rel_on { fr[(c - lo) as usize] } else { 0.0 };
             if extra >= bound {
                 continue;
             }
@@ -1260,7 +1357,7 @@ fn quant_relation_group_ranks(
                 better += 1;
             }
         }
-        out.push((ti, better + 1));
+        out.push(better);
     }
     stats.scanned_bytes = stats.candidates * d as u64 + stats.survivors * 4 * d as u64;
     (out, stats)

@@ -309,38 +309,23 @@ pub fn relation_blocked_order_into(pairs: &[CorruptedPair], order: &mut Vec<u32>
     order.sort_by_key(|&i| pairs[i as usize].pos.relation.0);
 }
 
-/// Eight-lane multi-accumulator dot product with a **fixed** combine order.
+/// Eight-lane multi-accumulator dot product with a **fixed** combine order,
+/// runtime-dispatched to the widest instruction set the host offers.
 ///
 /// [`pkgm_dot`]'s single-accumulator reduction is a serial f32 dependency
 /// chain the compiler cannot reassociate (float addition is not
 /// associative), so at `d = 64` every projection row stalls on add latency.
-/// Eight independent lane accumulators break the chain — each lane is its
-/// own serial sum, so the loop vectorizes cleanly — and the final
-/// tree-shaped lane combine is a fixed expression, making the result a
-/// deterministic function of the inputs (just a *different* deterministic
-/// function than `pkgm_dot`).
+/// Eight independent lane accumulators break the chain and the fixed
+/// tree-shaped lane combine makes the result a deterministic function of
+/// the inputs — the *same* function on every [`crate::simd`] dispatch
+/// level (just a *different* deterministic function than `pkgm_dot`).
 ///
 /// Used by [`fused_chunk_grads`] and [`reference_chunk_grads`] — both twins
 /// share this ordering, which is what keeps them bit-equal.
 /// [`baseline_chunk_grads`] keeps `pkgm_dot` (it is the pre-kernel cost
 /// model, preserved verbatim), so fused-vs-baseline score comparisons are
 /// ulp-approximate, exactly like its gradient comparisons.
-#[inline]
-pub(crate) fn kernel_dot(a: &[f32], b: &[f32]) -> f32 {
-    let mut acc = [0.0f32; 8];
-    let mut ca = a.chunks_exact(8);
-    let mut cb = b.chunks_exact(8);
-    for (xa, xb) in (&mut ca).zip(&mut cb) {
-        for j in 0..8 {
-            acc[j] += xa[j] * xb[j];
-        }
-    }
-    let mut tail = 0.0f32;
-    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        tail += x * y;
-    }
-    (((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))) + tail
-}
+pub(crate) use crate::simd::kernel_dot;
 
 /// Row-major `d×d` matrix–vector product via [`kernel_dot`], the kernels'
 /// counterpart of [`PkgmModel::project_into`] (which keeps `pkgm_dot` order
@@ -376,19 +361,12 @@ fn l1_translation(a: &[f32], b: &[f32], c: &[f32]) -> f32 {
 }
 
 /// `Σ_i |a[i] − b[i]|` in index order — the crate's single serial L1
-/// distance. As the residual `Σ_i |proj[i] − rv[i]|` over a cached
-/// projection it is bit-identical to [`PkgmModel::score_relation`]; the
-/// evaluation baselines ([`crate::eval_kernels`]) and the serving layer's
-/// tail completion reuse it so eval, trainer and serving score with one
-/// implementation.
-#[inline]
-pub(crate) fn l1_dist(a: &[f32], b: &[f32]) -> f32 {
-    let mut s = 0.0;
-    for i in 0..a.len() {
-        s += (a[i] - b[i]).abs();
-    }
-    s
-}
+/// distance, pinned to scalar in [`crate::simd`]. As the residual
+/// `Σ_i |proj[i] − rv[i]|` over a cached projection it is bit-identical to
+/// [`PkgmModel::score_relation`]; the evaluation baselines
+/// ([`crate::eval_kernels`]) and the serving layer's tail completion reuse
+/// it so eval, trainer and serving score with one implementation.
+pub(crate) use crate::simd::l1_dist;
 
 /// Corrupted-side relation-module score with a sound early exit.
 ///

@@ -34,6 +34,9 @@
 //! * [`quant`] — blockwise symmetric int8 quantization with certified L1
 //!   lower bounds: prune candidates in the i8 domain, rescore survivors
 //!   exactly in f32, keep ranks bit-identical at ~4× less memory traffic;
+//! * [`simd`] — runtime-dispatched SIMD kernels (AVX2/SSE4.1 via
+//!   `is_x86_feature_detected!`, `PKGM_FORCE_SCALAR` override) with
+//!   bit-identical portable scalar twins for every hot primitive;
 //! * [`service`] — the serving layer: per-item `2k` service vectors for
 //!   sequence models (Fig. 2) and the condensed single vector (Eq. 8–9, 20,
 //!   Fig. 3), plus tail-entity completion;
@@ -82,6 +85,7 @@ pub mod retry;
 pub mod serialize;
 pub mod service;
 pub mod serving;
+pub mod simd;
 pub mod snapshot;
 pub mod snapshot3;
 pub mod trainer;
@@ -101,6 +105,7 @@ pub use quant::{QuantScanTable, QuantTable, QUANT_BLOCK};
 pub use retry::{RetryClient, RetryPolicy};
 pub use service::{KnowledgeService, ServiceScratch};
 pub use serving::{CacheStats, CachedService};
+pub use simd::{SimdDispatch, SimdLevel};
 pub use snapshot::{ServiceSnapshot, ShardSpec, SnapshotBacking};
 pub use snapshot3::{open_mapped_snapshot, shard_ranges, snapshot_to_ss3_bytes, Ss3DenseWriter};
 pub use trainer::{

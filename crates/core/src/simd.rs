@@ -1,0 +1,862 @@
+//! Runtime-dispatched SIMD kernels for the crate's hot loops.
+//!
+//! Every hot primitive — the eight-lane dot ([`kernel_dot`]), the blocked
+//! L1 distances ([`blocked_l1`] / [`blocked_l1_translation`]), their
+//! early-exit comparators ([`l1_beats`] / [`translation_beats`]) and the
+//! int8 absolute-difference sum behind `quant::prunes` ([`sad_i8`]) — has
+//! exactly one **scalar twin** (in [`scalar`]) and, on x86-64, explicit
+//! `std::arch` implementations selected once at runtime:
+//!
+//! * **AVX2** when `is_x86_feature_detected!("avx2")`;
+//! * **SSE4.1** when only `is_x86_feature_detected!("sse4.1")`;
+//! * the portable scalar twins otherwise, on non-x86 targets, or when the
+//!   `PKGM_FORCE_SCALAR` environment variable is set (any value but `0`).
+//!
+//! The binary itself stays portable: it builds for the baseline x86-64
+//! target (no `-C target-cpu=native`) and lights up the wide paths only on
+//! hosts that have them.
+//!
+//! ## Why SIMD and scalar are bit-identical, not just close
+//!
+//! The scalar twins accumulate in eight independent lanes (`acc[j] += …`
+//! per eight-element chunk) and combine them with the fixed tree
+//! `((a₀+a₁)+(a₂+a₃)) + ((a₄+a₅)+(a₆+a₇))`, tail elements added serially
+//! afterwards. One AVX2 `f32x8` register *is* those eight lanes: vertical
+//! `vmulps`/`vaddps`/`vsubps`/`vandps` perform the identical IEEE-754
+//! operation per lane in the identical order (no FMA contraction — the
+//! intrinsics say `mul` then `add`, exactly like the scalar source), and
+//! the horizontal reduction extracts the lanes and evaluates the same
+//! fixed tree in scalar f32. The SSE4.1 path splits the eight lanes across
+//! two `f32x4` registers — same per-lane order again. So for every input
+//! the SIMD result is the *same deterministic function* as the scalar
+//! twin, bit for bit; `tests/simd_parity.rs` enforces this across
+//! non-lane-multiple dims, subnormals, and early-exit abandon points.
+//!
+//! The early-exit comparators keep their cadence: the partial lane sums
+//! are combined and compared against the bound every
+//! [`EXIT_STRIDE`] chunks, exactly where the scalar twin checks, so the
+//! *decisions* (not just final values) are identical and ranks stay
+//! bit-identical. The i8 scan is exact integer arithmetic
+//! (`_mm256_sad_epu8` over sign-flipped bytes — `|a−b|` is translation
+//! invariant, so XOR with `0x80` maps signed SAD onto the unsigned
+//! instruction); any summation order gives the same `u32`.
+//!
+//! ## What stays scalar on purpose
+//!
+//! [`l1_dist`] — the serial, index-order L1 shared by the trainer, the
+//! evaluation baselines and serving's tail completion — is pinned to its
+//! scalar form: its contract is bit-identity with
+//! `PkgmModel::score_relation`'s single-accumulator sum, and a serial f32
+//! dependency chain cannot be vectorized without reassociating (changing
+//! every trained model byte). It routes through this module so there is
+//! one implementation, but both dispatch entries are the same scalar code.
+
+use std::sync::OnceLock;
+
+/// Early-exit cadence in eight-lane chunks: the comparators combine the
+/// lanes and compare against the bound every `EXIT_STRIDE` chunks
+/// (= 16 dimensions). Checking every chunk would spend more combine work
+/// than it saves; the SIMD paths keep the same cadence so decisions match
+/// the scalar twins exactly.
+pub const EXIT_STRIDE: usize = 2;
+
+/// The instruction set a [`SimdDispatch`] table was built for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable scalar twins (also the `PKGM_FORCE_SCALAR` path).
+    Scalar,
+    /// 128-bit SSE4.1 paths (two `f32x4` lane registers).
+    Sse41,
+    /// 256-bit AVX2 paths (one `f32x8` lane register, `vpsadbw`).
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Lower-case name used in logs and bench reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse41 => "sse4.1",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// A resolved table of kernel entry points, all computing the same
+/// deterministic functions (see the module docs).
+///
+/// The crate's hot paths call the free functions ([`kernel_dot`],
+/// [`blocked_l1`], …), which route through [`active`]; benches and the
+/// parity suite grab [`SimdDispatch::scalar`] / [`SimdDispatch::detected`]
+/// to compare implementations explicitly.
+/// Entry type of [`SimdDispatch::translation_beats`]:
+/// `(h, r, t, extra, bound) → beats`.
+pub type TranslationBeatsFn = fn(&[f32], &[f32], &[f32], f32, f32) -> bool;
+
+#[derive(Debug, Clone, Copy)]
+pub struct SimdDispatch {
+    /// Which instruction set this table's entries use.
+    pub level: SimdLevel,
+    /// Eight-lane fixed-order dot product.
+    pub kernel_dot: fn(&[f32], &[f32]) -> f32,
+    /// Eight-lane fixed-order `‖a − b‖₁`.
+    pub blocked_l1: fn(&[f32], &[f32]) -> f32,
+    /// Eight-lane fixed-order `‖h + r − t‖₁`.
+    pub blocked_l1_translation: fn(&[f32], &[f32], &[f32]) -> f32,
+    /// Decide `blocked_l1(a, b) + extra < bound` with the exact early exit.
+    pub l1_beats: fn(&[f32], &[f32], f32, f32) -> bool,
+    /// Decide `blocked_l1_translation(h, r, t) + extra < bound` likewise.
+    pub translation_beats: TranslationBeatsFn,
+    /// Exact `Σ |a_i − b_i|` over i8 slices (the quantized scan's block sum).
+    pub sad_i8: fn(&[i8], &[i8]) -> u32,
+}
+
+static SCALAR: SimdDispatch = SimdDispatch {
+    level: SimdLevel::Scalar,
+    kernel_dot: scalar::kernel_dot,
+    blocked_l1: scalar::blocked_l1,
+    blocked_l1_translation: scalar::blocked_l1_translation,
+    l1_beats: scalar::l1_beats,
+    translation_beats: scalar::translation_beats,
+    sad_i8: scalar::sad_i8,
+};
+
+impl SimdDispatch {
+    /// The portable scalar table (every entry is a scalar twin).
+    pub fn scalar() -> &'static SimdDispatch {
+        &SCALAR
+    }
+
+    /// The best table the host supports, ignoring `PKGM_FORCE_SCALAR` —
+    /// what [`active`] would pick without the override. The parity suite
+    /// compares this against [`SimdDispatch::scalar`] even when the test
+    /// run itself is forced scalar.
+    pub fn detected() -> &'static SimdDispatch {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return &x86::AVX2;
+            }
+            if std::arch::is_x86_feature_detected!("sse4.1") {
+                return &x86::SSE41;
+            }
+        }
+        &SCALAR
+    }
+}
+
+/// Whether `PKGM_FORCE_SCALAR` requests the scalar fallback: set and
+/// neither empty nor `0`.
+pub fn force_scalar_requested() -> bool {
+    force_scalar_value(std::env::var_os("PKGM_FORCE_SCALAR").as_deref())
+}
+
+/// Testable core of [`force_scalar_requested`].
+fn force_scalar_value(v: Option<&std::ffi::OsStr>) -> bool {
+    match v {
+        None => false,
+        Some(s) => !s.is_empty() && s != "0",
+    }
+}
+
+/// The dispatch table every crate-internal kernel call routes through,
+/// probed once per process: [`SimdDispatch::detected`] unless
+/// [`force_scalar_requested`].
+pub fn active() -> &'static SimdDispatch {
+    static ACTIVE: OnceLock<&'static SimdDispatch> = OnceLock::new();
+    ACTIVE.get_or_init(|| {
+        if force_scalar_requested() {
+            SimdDispatch::scalar()
+        } else {
+            SimdDispatch::detected()
+        }
+    })
+}
+
+/// The one-line dispatch report the daemon, the benches and `pkgm simd`
+/// print (and CI's `simd-smoke` job asserts on):
+/// `simd dispatch: avx2 (avx2=yes, sse4.1=yes, forced_scalar=no)`.
+pub fn describe() -> String {
+    fn yn(b: bool) -> &'static str {
+        if b {
+            "yes"
+        } else {
+            "no"
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
+    let (avx2, sse41) = (
+        std::arch::is_x86_feature_detected!("avx2"),
+        std::arch::is_x86_feature_detected!("sse4.1"),
+    );
+    #[cfg(not(target_arch = "x86_64"))]
+    let (avx2, sse41) = (false, false);
+    format!(
+        "simd dispatch: {} (avx2={}, sse4.1={}, forced_scalar={})",
+        active().level.name(),
+        yn(avx2),
+        yn(sse41),
+        yn(force_scalar_requested())
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points (what the rest of the crate calls)
+// ---------------------------------------------------------------------------
+
+/// Eight-lane multi-accumulator dot product with a **fixed** combine order,
+/// dispatched to the active instruction set.
+///
+/// `pkgm_dot`'s single-accumulator reduction is a serial f32 dependency
+/// chain (float addition is not associative); eight independent lane
+/// accumulators break the chain and the fixed tree combine makes the
+/// result a deterministic function of the inputs — the *same* function on
+/// every dispatch level. Both training-kernel twins share this ordering,
+/// which is what keeps them bit-equal. Slices must be equally long.
+#[inline]
+pub fn kernel_dot(a: &[f32], b: &[f32]) -> f32 {
+    (active().kernel_dot)(a, b)
+}
+
+/// `‖a − b‖₁` with eight-lane fixed-order accumulation, dispatched — the
+/// evaluation twin of [`kernel_dot`].
+#[inline]
+pub fn blocked_l1(a: &[f32], b: &[f32]) -> f32 {
+    (active().blocked_l1)(a, b)
+}
+
+/// `‖h + r − t‖₁` in the same eight-lane blocked order, dispatched.
+#[inline]
+pub fn blocked_l1_translation(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+    (active().blocked_l1_translation)(h, r, t)
+}
+
+/// Decide `blocked_l1(a, b) + extra < bound` with an exact early exit,
+/// dispatched.
+///
+/// Aborts (returning `false`) as soon as the partially combined sum plus
+/// `extra` reaches `bound` — sound because every L1 term is nonnegative
+/// and IEEE-754 round-to-nearest addition is monotone, so the final value
+/// can only be larger. When the loop runs to completion the returned
+/// decision evaluates the exact blocked expression; every dispatch level
+/// checks at the same [`EXIT_STRIDE`] cadence, so decisions are
+/// bit-identical across levels.
+#[inline]
+pub fn l1_beats(a: &[f32], b: &[f32], extra: f32, bound: f32) -> bool {
+    (active().l1_beats)(a, b, extra, bound)
+}
+
+/// Decide `blocked_l1_translation(h, r, t) + extra < bound` with the same
+/// exact early exit as [`l1_beats`], dispatched.
+#[inline]
+pub fn translation_beats(h: &[f32], r: &[f32], t: &[f32], extra: f32, bound: f32) -> bool {
+    (active().translation_beats)(h, r, t, extra, bound)
+}
+
+/// Exact `Σ_i |a_i − b_i|` over i8 slices, dispatched — the per-block
+/// integer sum of the quantized pruning scan. Integer arithmetic is exact,
+/// so every dispatch level returns the identical `u32`.
+#[inline]
+pub fn sad_i8(a: &[i8], b: &[i8]) -> u32 {
+    (active().sad_i8)(a, b)
+}
+
+/// `Σ_i |a[i] − b[i]|` in index order — the crate's single serial L1
+/// distance, **pinned to scalar** (see the module docs): its contract is
+/// bit-identity with `PkgmModel::score_relation`'s serial sum, which no
+/// vectorization can preserve. The trainer, the evaluation baselines and
+/// serving's tail completion share this one implementation.
+#[inline]
+pub fn l1_dist(a: &[f32], b: &[f32]) -> f32 {
+    let mut s = 0.0;
+    for i in 0..a.len() {
+        s += (a[i] - b[i]).abs();
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Scalar twins (the portable contract arithmetic)
+// ---------------------------------------------------------------------------
+
+/// The portable scalar twins — one per primitive, the contract arithmetic
+/// every SIMD path must reproduce bit-for-bit. These are the bodies the
+/// pre-SIMD kernels used verbatim (`kernels.rs` / `eval_kernels.rs` /
+/// `quant.rs` now route here), kept `pub` so parity tests and benches can
+/// name them explicitly.
+pub mod scalar {
+    use super::EXIT_STRIDE;
+
+    /// The fixed tree-shaped lane combine shared by every eight-lane
+    /// primitive (and reproduced by the SIMD horizontal reductions).
+    #[inline]
+    pub fn combine8(acc: &[f32; 8]) -> f32 {
+        ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+    }
+
+    /// Scalar twin of [`super::kernel_dot`].
+    #[inline]
+    pub fn kernel_dot(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = [0.0f32; 8];
+        let mut ca = a.chunks_exact(8);
+        let mut cb = b.chunks_exact(8);
+        for (xa, xb) in (&mut ca).zip(&mut cb) {
+            for j in 0..8 {
+                acc[j] += xa[j] * xb[j];
+            }
+        }
+        let mut tail = 0.0f32;
+        for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+            tail += x * y;
+        }
+        combine8(&acc) + tail
+    }
+
+    /// Scalar twin of [`super::blocked_l1`].
+    #[inline]
+    pub fn blocked_l1(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = [0.0f32; 8];
+        let mut ca = a.chunks_exact(8);
+        let mut cb = b.chunks_exact(8);
+        for (xa, xb) in (&mut ca).zip(&mut cb) {
+            for j in 0..8 {
+                acc[j] += (xa[j] - xb[j]).abs();
+            }
+        }
+        let mut tail = 0.0f32;
+        for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+            tail += (x - y).abs();
+        }
+        combine8(&acc) + tail
+    }
+
+    /// Scalar twin of [`super::blocked_l1_translation`].
+    #[inline]
+    pub fn blocked_l1_translation(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+        let mut acc = [0.0f32; 8];
+        let mut ch = h.chunks_exact(8);
+        let mut cr = r.chunks_exact(8);
+        let mut ct = t.chunks_exact(8);
+        for ((xh, xr), xt) in (&mut ch).zip(&mut cr).zip(&mut ct) {
+            for j in 0..8 {
+                acc[j] += (xh[j] + xr[j] - xt[j]).abs();
+            }
+        }
+        let mut tail = 0.0f32;
+        for ((x, y), z) in ch
+            .remainder()
+            .iter()
+            .zip(cr.remainder())
+            .zip(ct.remainder())
+        {
+            tail += (x + y - z).abs();
+        }
+        combine8(&acc) + tail
+    }
+
+    /// Scalar twin of [`super::l1_beats`].
+    #[inline]
+    pub fn l1_beats(a: &[f32], b: &[f32], extra: f32, bound: f32) -> bool {
+        let mut acc = [0.0f32; 8];
+        let mut ca = a.chunks_exact(8);
+        let mut cb = b.chunks_exact(8);
+        let mut pending = 0usize;
+        for (xa, xb) in (&mut ca).zip(&mut cb) {
+            for j in 0..8 {
+                acc[j] += (xa[j] - xb[j]).abs();
+            }
+            pending += 1;
+            if pending == EXIT_STRIDE {
+                pending = 0;
+                if combine8(&acc) + extra >= bound {
+                    return false;
+                }
+            }
+        }
+        let mut tail = 0.0f32;
+        for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+            tail += (x - y).abs();
+        }
+        (combine8(&acc) + tail) + extra < bound
+    }
+
+    /// Scalar twin of [`super::translation_beats`].
+    #[inline]
+    pub fn translation_beats(h: &[f32], r: &[f32], t: &[f32], extra: f32, bound: f32) -> bool {
+        let mut acc = [0.0f32; 8];
+        let mut ch = h.chunks_exact(8);
+        let mut cr = r.chunks_exact(8);
+        let mut ct = t.chunks_exact(8);
+        let mut pending = 0usize;
+        for ((xh, xr), xt) in (&mut ch).zip(&mut cr).zip(&mut ct) {
+            for j in 0..8 {
+                acc[j] += (xh[j] + xr[j] - xt[j]).abs();
+            }
+            pending += 1;
+            if pending == EXIT_STRIDE {
+                pending = 0;
+                if combine8(&acc) + extra >= bound {
+                    return false;
+                }
+            }
+        }
+        let mut tail = 0.0f32;
+        for ((x, y), z) in ch
+            .remainder()
+            .iter()
+            .zip(cr.remainder())
+            .zip(ct.remainder())
+        {
+            tail += (x + y - z).abs();
+        }
+        (combine8(&acc) + tail) + extra < bound
+    }
+
+    /// Scalar twin of [`super::sad_i8`]: block sums fit u32 trivially
+    /// (the scan blocks are ≤ 32 bytes of ≤ 254 each); `u8::abs_diff`
+    /// keeps the lanes narrow for the autovectorizer.
+    #[inline]
+    pub fn sad_i8(a: &[i8], b: &[i8]) -> u32 {
+        let mut d = 0u32;
+        for (&x, &y) in a.iter().zip(b) {
+            d += x.abs_diff(y) as u32;
+        }
+        d
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 SIMD implementations
+// ---------------------------------------------------------------------------
+
+/// AVX2 and SSE4.1 implementations. Every `unsafe` target-feature function
+/// performs the identical per-lane IEEE-754 operations in the identical
+/// order as its scalar twin (see the module docs); the safe entry wrappers
+/// are only ever installed in a dispatch table after
+/// `is_x86_feature_detected!` confirmed the feature, which is what makes
+/// the calls sound.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{scalar, SimdDispatch, SimdLevel, EXIT_STRIDE};
+    use core::arch::x86_64::*;
+
+    pub(super) static AVX2: SimdDispatch = SimdDispatch {
+        level: SimdLevel::Avx2,
+        kernel_dot: |a, b| unsafe { kernel_dot_avx2(a, b) },
+        blocked_l1: |a, b| unsafe { blocked_l1_avx2(a, b) },
+        blocked_l1_translation: |h, r, t| unsafe { blocked_l1_translation_avx2(h, r, t) },
+        l1_beats: |a, b, extra, bound| unsafe { l1_beats_avx2(a, b, extra, bound) },
+        translation_beats: |h, r, t, extra, bound| unsafe {
+            translation_beats_avx2(h, r, t, extra, bound)
+        },
+        sad_i8: |a, b| unsafe { sad_i8_avx2(a, b) },
+    };
+
+    pub(super) static SSE41: SimdDispatch = SimdDispatch {
+        level: SimdLevel::Sse41,
+        kernel_dot: |a, b| unsafe { kernel_dot_sse41(a, b) },
+        blocked_l1: |a, b| unsafe { blocked_l1_sse41(a, b) },
+        blocked_l1_translation: |h, r, t| unsafe { blocked_l1_translation_sse41(h, r, t) },
+        l1_beats: |a, b, extra, bound| unsafe { l1_beats_sse41(a, b, extra, bound) },
+        translation_beats: |h, r, t, extra, bound| unsafe {
+            translation_beats_sse41(h, r, t, extra, bound)
+        },
+        sad_i8: |a, b| unsafe { sad_i8_sse41(a, b) },
+    };
+
+    /// Clear the sign bit of every lane — bit-identical to `f32::abs`
+    /// per lane (NaN payloads included).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn abs256(v: __m256) -> __m256 {
+        _mm256_and_ps(v, _mm256_castsi256_ps(_mm256_set1_epi32(0x7fff_ffff)))
+    }
+
+    /// Extract the eight lane accumulators and evaluate the scalar fixed
+    /// tree combine on them — the same expression as `scalar::combine8`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn combine256(v: __m256) -> f32 {
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), v);
+        scalar::combine8(&lanes)
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn kernel_dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let chunks = n / 8;
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_ps();
+        for i in 0..chunks {
+            let va = _mm256_loadu_ps(pa.add(i * 8));
+            let vb = _mm256_loadu_ps(pb.add(i * 8));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * 8..n {
+            tail += a[i] * b[i];
+        }
+        combine256(acc) + tail
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn blocked_l1_avx2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let chunks = n / 8;
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_ps();
+        for i in 0..chunks {
+            let va = _mm256_loadu_ps(pa.add(i * 8));
+            let vb = _mm256_loadu_ps(pb.add(i * 8));
+            acc = _mm256_add_ps(acc, abs256(_mm256_sub_ps(va, vb)));
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * 8..n {
+            tail += (a[i] - b[i]).abs();
+        }
+        combine256(acc) + tail
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn blocked_l1_translation_avx2(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+        let n = h.len().min(r.len()).min(t.len());
+        let chunks = n / 8;
+        let (ph, pr, pt) = (h.as_ptr(), r.as_ptr(), t.as_ptr());
+        let mut acc = _mm256_setzero_ps();
+        for i in 0..chunks {
+            let vh = _mm256_loadu_ps(ph.add(i * 8));
+            let vr = _mm256_loadu_ps(pr.add(i * 8));
+            let vt = _mm256_loadu_ps(pt.add(i * 8));
+            acc = _mm256_add_ps(acc, abs256(_mm256_sub_ps(_mm256_add_ps(vh, vr), vt)));
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * 8..n {
+            tail += (h[i] + r[i] - t[i]).abs();
+        }
+        combine256(acc) + tail
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn l1_beats_avx2(a: &[f32], b: &[f32], extra: f32, bound: f32) -> bool {
+        let n = a.len().min(b.len());
+        let chunks = n / 8;
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_ps();
+        let mut pending = 0usize;
+        for i in 0..chunks {
+            let va = _mm256_loadu_ps(pa.add(i * 8));
+            let vb = _mm256_loadu_ps(pb.add(i * 8));
+            acc = _mm256_add_ps(acc, abs256(_mm256_sub_ps(va, vb)));
+            pending += 1;
+            if pending == EXIT_STRIDE {
+                pending = 0;
+                if combine256(acc) + extra >= bound {
+                    return false;
+                }
+            }
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * 8..n {
+            tail += (a[i] - b[i]).abs();
+        }
+        (combine256(acc) + tail) + extra < bound
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn translation_beats_avx2(
+        h: &[f32],
+        r: &[f32],
+        t: &[f32],
+        extra: f32,
+        bound: f32,
+    ) -> bool {
+        let n = h.len().min(r.len()).min(t.len());
+        let chunks = n / 8;
+        let (ph, pr, pt) = (h.as_ptr(), r.as_ptr(), t.as_ptr());
+        let mut acc = _mm256_setzero_ps();
+        let mut pending = 0usize;
+        for i in 0..chunks {
+            let vh = _mm256_loadu_ps(ph.add(i * 8));
+            let vr = _mm256_loadu_ps(pr.add(i * 8));
+            let vt = _mm256_loadu_ps(pt.add(i * 8));
+            acc = _mm256_add_ps(acc, abs256(_mm256_sub_ps(_mm256_add_ps(vh, vr), vt)));
+            pending += 1;
+            if pending == EXIT_STRIDE {
+                pending = 0;
+                if combine256(acc) + extra >= bound {
+                    return false;
+                }
+            }
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * 8..n {
+            tail += (h[i] + r[i] - t[i]).abs();
+        }
+        (combine256(acc) + tail) + extra < bound
+    }
+
+    /// `Σ |a − b|` over i8 via `vpsadbw`: XOR with `0x80` biases both
+    /// operands into u8 (translation-invariant for `|a − b|`), then the
+    /// unsigned SAD instruction sums 32 absolute differences into four
+    /// u64 lanes per step. Integer arithmetic — exact in any order.
+    #[target_feature(enable = "avx2")]
+    unsafe fn sad_i8_avx2(a: &[i8], b: &[i8]) -> u32 {
+        let n = a.len().min(b.len());
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let flip = _mm256_set1_epi8(-128);
+        let mut total = 0u64;
+        let mut i = 0usize;
+        while i + 32 <= n {
+            let va = _mm256_loadu_si256(pa.add(i) as *const __m256i);
+            let vb = _mm256_loadu_si256(pb.add(i) as *const __m256i);
+            let sad = _mm256_sad_epu8(_mm256_xor_si256(va, flip), _mm256_xor_si256(vb, flip));
+            let s = _mm_add_epi64(
+                _mm256_castsi256_si128(sad),
+                _mm256_extracti128_si256::<1>(sad),
+            );
+            let s = _mm_add_epi64(s, _mm_unpackhi_epi64(s, s));
+            total += _mm_cvtsi128_si64(s) as u64;
+            i += 32;
+        }
+        let mut rest = 0u32;
+        while i < n {
+            rest += a[i].abs_diff(b[i]) as u32;
+            i += 1;
+        }
+        total as u32 + rest
+    }
+
+    /// Extract both four-lane accumulators (lanes 0–3 and 4–7) and
+    /// evaluate the scalar fixed tree combine.
+    #[inline]
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn combine128(lo: __m128, hi: __m128) -> f32 {
+        let mut lanes = [0.0f32; 8];
+        _mm_storeu_ps(lanes.as_mut_ptr(), lo);
+        _mm_storeu_ps(lanes.as_mut_ptr().add(4), hi);
+        scalar::combine8(&lanes)
+    }
+
+    /// Clear the sign bit of every lane (the 128-bit [`abs256`]).
+    #[inline]
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn abs128(v: __m128) -> __m128 {
+        _mm_and_ps(v, _mm_castsi128_ps(_mm_set1_epi32(0x7fff_ffff)))
+    }
+
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn kernel_dot_sse41(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let chunks = n / 8;
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut lo = _mm_setzero_ps();
+        let mut hi = _mm_setzero_ps();
+        for i in 0..chunks {
+            let a0 = _mm_loadu_ps(pa.add(i * 8));
+            let a1 = _mm_loadu_ps(pa.add(i * 8 + 4));
+            let b0 = _mm_loadu_ps(pb.add(i * 8));
+            let b1 = _mm_loadu_ps(pb.add(i * 8 + 4));
+            lo = _mm_add_ps(lo, _mm_mul_ps(a0, b0));
+            hi = _mm_add_ps(hi, _mm_mul_ps(a1, b1));
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * 8..n {
+            tail += a[i] * b[i];
+        }
+        combine128(lo, hi) + tail
+    }
+
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn blocked_l1_sse41(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let chunks = n / 8;
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut lo = _mm_setzero_ps();
+        let mut hi = _mm_setzero_ps();
+        for i in 0..chunks {
+            let a0 = _mm_loadu_ps(pa.add(i * 8));
+            let a1 = _mm_loadu_ps(pa.add(i * 8 + 4));
+            let b0 = _mm_loadu_ps(pb.add(i * 8));
+            let b1 = _mm_loadu_ps(pb.add(i * 8 + 4));
+            lo = _mm_add_ps(lo, abs128(_mm_sub_ps(a0, b0)));
+            hi = _mm_add_ps(hi, abs128(_mm_sub_ps(a1, b1)));
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * 8..n {
+            tail += (a[i] - b[i]).abs();
+        }
+        combine128(lo, hi) + tail
+    }
+
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn blocked_l1_translation_sse41(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+        let n = h.len().min(r.len()).min(t.len());
+        let chunks = n / 8;
+        let (ph, pr, pt) = (h.as_ptr(), r.as_ptr(), t.as_ptr());
+        let mut lo = _mm_setzero_ps();
+        let mut hi = _mm_setzero_ps();
+        for i in 0..chunks {
+            let h0 = _mm_loadu_ps(ph.add(i * 8));
+            let h1 = _mm_loadu_ps(ph.add(i * 8 + 4));
+            let r0 = _mm_loadu_ps(pr.add(i * 8));
+            let r1 = _mm_loadu_ps(pr.add(i * 8 + 4));
+            let t0 = _mm_loadu_ps(pt.add(i * 8));
+            let t1 = _mm_loadu_ps(pt.add(i * 8 + 4));
+            lo = _mm_add_ps(lo, abs128(_mm_sub_ps(_mm_add_ps(h0, r0), t0)));
+            hi = _mm_add_ps(hi, abs128(_mm_sub_ps(_mm_add_ps(h1, r1), t1)));
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * 8..n {
+            tail += (h[i] + r[i] - t[i]).abs();
+        }
+        combine128(lo, hi) + tail
+    }
+
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn l1_beats_sse41(a: &[f32], b: &[f32], extra: f32, bound: f32) -> bool {
+        let n = a.len().min(b.len());
+        let chunks = n / 8;
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut lo = _mm_setzero_ps();
+        let mut hi = _mm_setzero_ps();
+        let mut pending = 0usize;
+        for i in 0..chunks {
+            let a0 = _mm_loadu_ps(pa.add(i * 8));
+            let a1 = _mm_loadu_ps(pa.add(i * 8 + 4));
+            let b0 = _mm_loadu_ps(pb.add(i * 8));
+            let b1 = _mm_loadu_ps(pb.add(i * 8 + 4));
+            lo = _mm_add_ps(lo, abs128(_mm_sub_ps(a0, b0)));
+            hi = _mm_add_ps(hi, abs128(_mm_sub_ps(a1, b1)));
+            pending += 1;
+            if pending == EXIT_STRIDE {
+                pending = 0;
+                if combine128(lo, hi) + extra >= bound {
+                    return false;
+                }
+            }
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * 8..n {
+            tail += (a[i] - b[i]).abs();
+        }
+        (combine128(lo, hi) + tail) + extra < bound
+    }
+
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn translation_beats_sse41(
+        h: &[f32],
+        r: &[f32],
+        t: &[f32],
+        extra: f32,
+        bound: f32,
+    ) -> bool {
+        let n = h.len().min(r.len()).min(t.len());
+        let chunks = n / 8;
+        let (ph, pr, pt) = (h.as_ptr(), r.as_ptr(), t.as_ptr());
+        let mut lo = _mm_setzero_ps();
+        let mut hi = _mm_setzero_ps();
+        let mut pending = 0usize;
+        for i in 0..chunks {
+            let h0 = _mm_loadu_ps(ph.add(i * 8));
+            let h1 = _mm_loadu_ps(ph.add(i * 8 + 4));
+            let r0 = _mm_loadu_ps(pr.add(i * 8));
+            let r1 = _mm_loadu_ps(pr.add(i * 8 + 4));
+            let t0 = _mm_loadu_ps(pt.add(i * 8));
+            let t1 = _mm_loadu_ps(pt.add(i * 8 + 4));
+            lo = _mm_add_ps(lo, abs128(_mm_sub_ps(_mm_add_ps(h0, r0), t0)));
+            hi = _mm_add_ps(hi, abs128(_mm_sub_ps(_mm_add_ps(h1, r1), t1)));
+            pending += 1;
+            if pending == EXIT_STRIDE {
+                pending = 0;
+                if combine128(lo, hi) + extra >= bound {
+                    return false;
+                }
+            }
+        }
+        let mut tail = 0.0f32;
+        for i in chunks * 8..n {
+            tail += (h[i] + r[i] - t[i]).abs();
+        }
+        (combine128(lo, hi) + tail) + extra < bound
+    }
+
+    /// The 128-bit SAD path (`psadbw` is SSE2, gated at the table's
+    /// SSE4.1 level for one coherent tier).
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn sad_i8_sse41(a: &[i8], b: &[i8]) -> u32 {
+        let n = a.len().min(b.len());
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let flip = _mm_set1_epi8(-128);
+        let mut total = 0u64;
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let va = _mm_loadu_si128(pa.add(i) as *const __m128i);
+            let vb = _mm_loadu_si128(pb.add(i) as *const __m128i);
+            let sad = _mm_sad_epu8(_mm_xor_si128(va, flip), _mm_xor_si128(vb, flip));
+            let s = _mm_add_epi64(sad, _mm_unpackhi_epi64(sad, sad));
+            total += _mm_cvtsi128_si64(s) as u64;
+            i += 16;
+        }
+        let mut rest = 0u32;
+        while i < n {
+            rest += a[i].abs_diff(b[i]) as u32;
+            i += 1;
+        }
+        total as u32 + rest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn force_scalar_parsing() {
+        use std::ffi::OsStr;
+        assert!(!force_scalar_value(None));
+        assert!(!force_scalar_value(Some(OsStr::new(""))));
+        assert!(!force_scalar_value(Some(OsStr::new("0"))));
+        assert!(force_scalar_value(Some(OsStr::new("1"))));
+        assert!(force_scalar_value(Some(OsStr::new("true"))));
+    }
+
+    #[test]
+    fn describe_names_the_active_level() {
+        let line = describe();
+        assert!(
+            line.contains(&format!("simd dispatch: {}", active().level.name())),
+            "{line}"
+        );
+        assert!(line.contains("forced_scalar="), "{line}");
+    }
+
+    #[test]
+    fn scalar_table_is_scalar() {
+        assert_eq!(SimdDispatch::scalar().level, SimdLevel::Scalar);
+        // The detected table is whatever the host offers; at minimum it
+        // computes the same functions (spot check one input).
+        let a = [1.0f32, -2.0, 3.0, -4.0, 5.0, -6.0, 7.0, -8.0, 9.5];
+        let b = [0.5f32, 2.0, -3.0, 4.0, -5.0, 6.0, -7.0, 8.0, -9.5];
+        let s = SimdDispatch::scalar();
+        let d = SimdDispatch::detected();
+        assert_eq!(
+            (s.blocked_l1)(&a, &b).to_bits(),
+            (d.blocked_l1)(&a, &b).to_bits()
+        );
+        assert_eq!(
+            (s.kernel_dot)(&a, &b).to_bits(),
+            (d.kernel_dot)(&a, &b).to_bits()
+        );
+    }
+
+    #[test]
+    fn l1_dist_is_serial_index_order() {
+        // The scalar-pinned serial sum must differ from the blocked order
+        // only by its association — same terms, and for short inputs with
+        // exact arithmetic, the same value.
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [0.0f32, 0.0, 0.0];
+        assert_eq!(l1_dist(&a, &b), 6.0);
+    }
+}

@@ -68,23 +68,10 @@ fn random_test_triples(store: &TripleStore, seed: u64, n: usize) -> Vec<Triple> 
         .collect()
 }
 
-/// The eight-lane blocked L1 of the evaluation kernels, restated here as
-/// the contract arithmetic the quantized lower bound must stay under.
-fn blocked_l1(a: &[f32], b: &[f32]) -> f32 {
-    let mut acc = [0.0f32; 8];
-    let mut ca = a.chunks_exact(8);
-    let mut cb = b.chunks_exact(8);
-    for (xa, xb) in (&mut ca).zip(&mut cb) {
-        for j in 0..8 {
-            acc[j] += (xa[j] - xb[j]).abs();
-        }
-    }
-    let mut tail = 0.0f32;
-    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        tail += (x - y).abs();
-    }
-    (((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))) + tail
-}
+/// The eight-lane blocked L1 of the evaluation kernels — the contract
+/// arithmetic the quantized lower bound must stay under, named via its
+/// scalar twin so the crate states it exactly once.
+use pkgm_core::simd::scalar::blocked_l1;
 
 fn assert_all_modes_match(
     model: &PkgmModel,

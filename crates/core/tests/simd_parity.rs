@@ -1,0 +1,356 @@
+//! Parity suite for the runtime-dispatched SIMD kernels.
+//!
+//! The contract: every primitive in the detected dispatch table
+//! (AVX2/SSE4.1 on hosts that have them, scalar elsewhere) computes the
+//! **bit-identical** function of its inputs as the portable scalar twin —
+//! same lane order, same fixed combine, same early-exit cadence. Covered
+//! deliberately:
+//!
+//! * dims that are not multiples of the lane width (1, 7, 9, 15, 17, 31,
+//!   33, 63, 65, 100 …) so the SIMD tails and the scalar remainders agree;
+//! * subnormal inputs (the AVX2 sign-bit-mask abs and subnormal adds must
+//!   match scalar `f32::abs` and scalar adds exactly);
+//! * the early-exit comparators across a dense sweep of bounds, including
+//!   bounds bit-equal to the exact distance (the `<` vs `>=` knife edge)
+//!   and bounds that trigger abandonment at every `EXIT_STRIDE` check;
+//! * the i8 SAD at extreme values (`i8::MIN`/`i8::MAX`, |diff| = 255)
+//!   across lengths straddling the 32- and 16-byte SIMD steps;
+//! * rayon-sliced `rank_*` fan-out vs the serial reference for slice
+//!   counts 1, 2, 3, 7 and 16 — candidate-range decomposition must be
+//!   invisible in the ranks.
+//!
+//! When the suite itself runs under `PKGM_FORCE_SCALAR=1` (the CI matrix
+//! leg), `detected()` still names the host's best table — the comparison
+//! is always SIMD-vs-scalar wherever the host has SIMD at all.
+
+use pkgm_core::eval_kernels::{
+    fused_rank_heads_sliced, fused_rank_relations_sliced, fused_rank_tails_sliced,
+    quantized_rank_heads_with_stats_sliced, quantized_rank_relations_with_stats_sliced,
+    quantized_rank_tails_with_stats_sliced, reference_rank_heads, reference_rank_relations,
+    reference_rank_tails, QuantEvalModel,
+};
+use pkgm_core::simd::{scalar, SimdDispatch, SimdLevel};
+use pkgm_core::{PkgmConfig, PkgmModel};
+use pkgm_store::{EntityId, RelationId, StoreBuilder, Triple, TripleStore};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Lengths straddling every lane boundary: scalar-only, one-chunk,
+/// multi-chunk, and the 32-byte SAD step.
+const DIMS: &[usize] = &[
+    0, 1, 3, 7, 8, 9, 15, 16, 17, 24, 31, 32, 33, 48, 63, 64, 65, 100, 128, 129,
+];
+
+/// A random f32 vector mixing normal magnitudes, zeros, and (when asked)
+/// subnormals — subnormal |x| keeps every L1 partial sum subnormal-ranged,
+/// the hardest case for "SIMD add ≡ scalar add" bit-parity.
+fn random_vec(rng: &mut SmallRng, n: usize, subnormal: bool) -> Vec<f32> {
+    (0..n)
+        .map(|_| {
+            if subnormal {
+                // Positive/negative subnormals: magnitude < 2^-126.
+                let bits = rng.gen_range(1u32..0x0080_0000);
+                let sign = if rng.gen_bool(0.5) { 0x8000_0000 } else { 0 };
+                f32::from_bits(bits | sign)
+            } else if rng.gen_bool(0.1) {
+                0.0
+            } else {
+                rng.gen_range(-4.0f32..4.0)
+            }
+        })
+        .collect()
+}
+
+fn random_i8(rng: &mut SmallRng, n: usize) -> Vec<i8> {
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.15) {
+                [i8::MIN, i8::MAX, 0, -1, 1][rng.gen_range(0..5usize)]
+            } else {
+                rng.gen_range(i8::MIN..=i8::MAX)
+            }
+        })
+        .collect()
+}
+
+/// Assert every primitive of `simd` matches the scalar twins bitwise on
+/// one input set.
+fn assert_primitives_match(
+    simd: &SimdDispatch,
+    a: &[f32],
+    b: &[f32],
+    c: &[f32],
+) -> Result<(), TestCaseError> {
+    prop_assert!(
+        (simd.kernel_dot)(a, b).to_bits() == scalar::kernel_dot(a, b).to_bits(),
+        "kernel_dot diverged at d={}",
+        a.len()
+    );
+    prop_assert!(
+        (simd.blocked_l1)(a, b).to_bits() == scalar::blocked_l1(a, b).to_bits(),
+        "blocked_l1 diverged at d={}",
+        a.len()
+    );
+    prop_assert!(
+        (simd.blocked_l1_translation)(a, b, c).to_bits()
+            == scalar::blocked_l1_translation(a, b, c).to_bits(),
+        "blocked_l1_translation diverged at d={}",
+        a.len()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Detected-table f32 primitives ≡ scalar twins, bit for bit, across
+    /// lane-boundary dims and subnormal inputs.
+    #[test]
+    fn f32_primitives_match_scalar_bitwise(
+        seed in 0u64..1_000_000,
+        subnormal_q in 0u32..2,
+    ) {
+        let subnormal = subnormal_q == 1;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let simd = SimdDispatch::detected();
+        for &d in DIMS {
+            let a = random_vec(&mut rng, d, subnormal);
+            let b = random_vec(&mut rng, d, subnormal);
+            let c = random_vec(&mut rng, d, subnormal);
+            assert_primitives_match(simd, &a, &b, &c)?;
+        }
+    }
+
+    /// Early-exit comparators take identical decisions across a dense
+    /// bound sweep — including the bit-equal knife edge and bounds that
+    /// abandon at each EXIT_STRIDE checkpoint.
+    #[test]
+    fn beats_decisions_match_scalar(
+        seed in 0u64..1_000_000,
+        extra in 0.0f32..2.0,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xBEA7);
+        let simd = SimdDispatch::detected();
+        for &d in DIMS {
+            let a = random_vec(&mut rng, d, false);
+            let b = random_vec(&mut rng, d, false);
+            let c = random_vec(&mut rng, d, false);
+            let exact_l1 = scalar::blocked_l1(&a, &b) + extra;
+            let exact_tr = scalar::blocked_l1_translation(&a, &b, &c) + extra;
+            // Fractions 0..=1.3 of the exact value hit every abandonment
+            // depth; the exact value itself is the `<` vs `>=` edge.
+            let mut bounds = vec![exact_l1, exact_tr, f32::INFINITY, 0.0];
+            for k in 0..14 {
+                bounds.push(exact_l1 * (k as f32 * 0.1));
+                bounds.push(exact_tr * (k as f32 * 0.1));
+            }
+            for &bound in &bounds {
+                prop_assert!(
+                    (simd.l1_beats)(&a, &b, extra, bound)
+                        == scalar::l1_beats(&a, &b, extra, bound),
+                    "l1_beats diverged at d={} bound={}", d, bound
+                );
+                prop_assert!(
+                    (simd.translation_beats)(&a, &b, &c, extra, bound)
+                        == scalar::translation_beats(&a, &b, &c, extra, bound),
+                    "translation_beats diverged at d={} bound={}", d, bound
+                );
+            }
+        }
+    }
+
+    /// The i8 SAD is exactly the scalar sum at every length and at the
+    /// extremes (XOR-bias correctness: |i8::MIN − i8::MAX| = 255).
+    #[test]
+    fn sad_i8_matches_scalar(seed in 0u64..1_000_000) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5AD);
+        let simd = SimdDispatch::detected();
+        for &d in DIMS {
+            let a = random_i8(&mut rng, d);
+            let b = random_i8(&mut rng, d);
+            prop_assert!(
+                (simd.sad_i8)(&a, &b) == scalar::sad_i8(&a, &b),
+                "sad_i8 diverged at d={}", d
+            );
+        }
+        // All-extreme vectors: maximal per-byte differences.
+        let lo = vec![i8::MIN; 100];
+        let hi = vec![i8::MAX; 100];
+        prop_assert_eq!((simd.sad_i8)(&lo, &hi), 255 * 100);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sliced rank fan-out parity
+// ---------------------------------------------------------------------------
+
+fn random_store(seed: u64, n_items: u32, n_rels: u32, n_vals: u32) -> TripleStore {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = StoreBuilder::new();
+    for i in 0..n_items {
+        for _ in 0..rng.gen_range(1..4u32) {
+            let r = rng.gen_range(0..n_rels);
+            let v = n_items + rng.gen_range(0..n_vals);
+            b.add_raw(i, r, v);
+        }
+    }
+    b.build()
+}
+
+fn random_test_triples(store: &TripleStore, seed: u64, n: usize) -> Vec<Triple> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let ne = store.n_entities();
+    let nr = store.n_relations();
+    let all = store.triples();
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.6) {
+                all[rng.gen_range(0..all.len())]
+            } else {
+                Triple::new(
+                    EntityId(rng.gen_range(0..ne)),
+                    RelationId(rng.gen_range(0..nr)),
+                    EntityId(rng.gen_range(0..ne)),
+                )
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Candidate-sliced rank fan-out ≡ serial reference for every slice
+    /// count — the deterministic merge makes the decomposition invisible.
+    #[test]
+    fn sliced_ranks_equal_reference_for_every_slice_count(
+        seed in 0u64..1_000_000,
+        filtered_q in 0u32..2,
+    ) {
+        let store = random_store(seed, 24, 5, 9);
+        let model = PkgmModel::new(
+            store.n_entities() as usize,
+            store.n_relations() as usize,
+            PkgmConfig::new(13).with_seed(seed ^ 0xC3),
+        );
+        let test = random_test_triples(&store, seed ^ 0x7F, 40);
+        let filter = (filtered_q == 1).then_some(&store);
+        let ref_t = reference_rank_tails(&model, &test, filter).unwrap();
+        let ref_h = reference_rank_heads(&model, &test, filter).unwrap();
+        let ref_r = reference_rank_relations(&model, &test, filter).unwrap();
+        for n_slices in [1usize, 2, 3, 7, 16] {
+            prop_assert_eq!(
+                &fused_rank_tails_sliced(&model, &test, filter, n_slices).unwrap(),
+                &ref_t
+            );
+            prop_assert_eq!(
+                &fused_rank_heads_sliced(&model, &test, filter, n_slices).unwrap(),
+                &ref_h
+            );
+            prop_assert_eq!(
+                &fused_rank_relations_sliced(&model, &test, filter, n_slices).unwrap(),
+                &ref_r
+            );
+        }
+    }
+
+    /// The quantized two-phase kernels slice identically: ranks equal the
+    /// reference and the prune stats are slice-count-invariant (integer
+    /// per-candidate sums commute with any decomposition).
+    #[test]
+    fn sliced_quantized_ranks_and_stats_are_slice_invariant(
+        seed in 0u64..1_000_000,
+        filtered_q in 0u32..2,
+    ) {
+        let store = random_store(seed ^ 0x11, 20, 4, 8);
+        let model = PkgmModel::new(
+            store.n_entities() as usize,
+            store.n_relations() as usize,
+            PkgmConfig::new(8).with_seed(seed ^ 0x2C),
+        );
+        let qmodel = QuantEvalModel::build(&model);
+        let test = random_test_triples(&store, seed ^ 0x55, 24);
+        let filter = (filtered_q == 1).then_some(&store);
+        let (t1, st1) =
+            quantized_rank_tails_with_stats_sliced(&model, &qmodel, &test, filter, 1).unwrap();
+        let (h1, sh1) =
+            quantized_rank_heads_with_stats_sliced(&model, &qmodel, &test, filter, 1).unwrap();
+        let (r1, sr1) =
+            quantized_rank_relations_with_stats_sliced(&model, &qmodel, &test, filter, 1).unwrap();
+        prop_assert_eq!(&t1, &reference_rank_tails(&model, &test, filter).unwrap());
+        prop_assert_eq!(&h1, &reference_rank_heads(&model, &test, filter).unwrap());
+        prop_assert_eq!(&r1, &reference_rank_relations(&model, &test, filter).unwrap());
+        for n_slices in [2usize, 3, 7, 16] {
+            let (t, st) =
+                quantized_rank_tails_with_stats_sliced(&model, &qmodel, &test, filter, n_slices)
+                    .unwrap();
+            prop_assert_eq!(&t, &t1);
+            prop_assert_eq!(st, st1);
+            let (h, sh) =
+                quantized_rank_heads_with_stats_sliced(&model, &qmodel, &test, filter, n_slices)
+                    .unwrap();
+            prop_assert_eq!(&h, &h1);
+            prop_assert_eq!(sh, sh1);
+            let (r, sr) =
+                quantized_rank_relations_with_stats_sliced(&model, &qmodel, &test, filter, n_slices)
+                    .unwrap();
+            prop_assert_eq!(&r, &r1);
+            prop_assert_eq!(sr, sr1);
+        }
+    }
+}
+
+/// A store spanning many 256-entity candidate tiles, so slice boundaries
+/// land both on and between tile edges and the filter cursors start
+/// mid-list in later slices.
+#[test]
+fn sliced_ranks_equal_reference_across_many_tiles() {
+    let store = random_store(4242, 600, 6, 40);
+    assert!(store.n_entities() > 512, "store must span >2 tiles");
+    let model = PkgmModel::new(
+        store.n_entities() as usize,
+        store.n_relations() as usize,
+        PkgmConfig::new(13).with_seed(77),
+    );
+    let test = random_test_triples(&store, 99, 48);
+    for filter in [None, Some(&store)] {
+        let ref_t = reference_rank_tails(&model, &test, filter).unwrap();
+        let ref_h = reference_rank_heads(&model, &test, filter).unwrap();
+        for n_slices in [1usize, 2, 3, 5, 16] {
+            assert_eq!(
+                fused_rank_tails_sliced(&model, &test, filter, n_slices).unwrap(),
+                ref_t,
+                "tails n_slices={n_slices}"
+            );
+            assert_eq!(
+                fused_rank_heads_sliced(&model, &test, filter, n_slices).unwrap(),
+                ref_h,
+                "heads n_slices={n_slices}"
+            );
+        }
+    }
+}
+
+/// The dispatch level sanity: forced-scalar runs report Scalar, and on
+/// x86-64 hosts with AVX2 the detected table is the AVX2 one (this is the
+/// assertion CI's `simd-smoke` job leans on from the outside via the
+/// `pkgm simd` log line).
+#[test]
+fn dispatch_level_is_consistent_with_host() {
+    let detected = SimdDispatch::detected();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            assert_eq!(detected.level, SimdLevel::Avx2);
+        } else if std::arch::is_x86_feature_detected!("sse4.1") {
+            assert_eq!(detected.level, SimdLevel::Sse41);
+        } else {
+            assert_eq!(detected.level, SimdLevel::Scalar);
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    assert_eq!(detected.level, SimdLevel::Scalar);
+    assert_eq!(SimdDispatch::scalar().level, SimdLevel::Scalar);
+}
