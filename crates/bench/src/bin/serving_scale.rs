@@ -16,8 +16,9 @@
 use parking_lot::Mutex;
 use pkgm_bench::{report, world, Scale};
 use pkgm_core::{
-    open_mapped_snapshot, serialize, shard_ranges, CachedService, KnowledgeService, PkgmModel,
-    ServiceSnapshot, Ss3DenseWriter, StdIo, Trainer,
+    open_mapped_snapshot, serialize, shard_ranges, CachedService, Daemon, DaemonClient,
+    DaemonConfig, KnowledgeService, PkgmModel, RetryPolicy, ServiceSnapshot, ShardRouter,
+    Ss3DenseWriter, StdIo, Trainer,
 };
 use pkgm_store::fxhash::FxHashMap;
 use pkgm_store::EntityId;
@@ -335,6 +336,145 @@ fn out_of_core_section(scale: Scale) -> serde_json::Value {
     })
 }
 
+/// Router-tier measurement: the same deterministic batches looked up
+/// through a single whole-table daemon (`direct`) and through the
+/// [`ShardRouter`] over a 4-shard daemon fleet (`routed`), all in-process
+/// over loopback TCP. Reports per-batch latency percentiles, so the
+/// routed-vs-direct ratio is the cost of the extra tier (split + per-shard
+/// round trips + merge) on identical data.
+fn router_section(svc: &KnowledgeService, snap: &ServiceSnapshot) -> serde_json::Value {
+    const N_SHARDS: u32 = 4;
+    const BATCH: usize = 32;
+    const N_BATCHES: usize = 400;
+    let n_rows = snap.n_rows() as u64;
+    eprintln!("[serving_scale] router tier: {N_SHARDS} shard daemons vs one whole-table daemon…");
+
+    let whole = Daemon::start(
+        "127.0.0.1:0",
+        svc.clone(),
+        Some(snap.clone()),
+        DaemonConfig::default(),
+    )
+    .expect("whole-table daemon");
+    let fleet: Vec<Daemon> = shard_ranges(n_rows, N_SHARDS)
+        .into_iter()
+        .map(|(spec, len)| {
+            let shard = snap.shard_slice(spec, len).expect("shard slice");
+            Daemon::start(
+                "127.0.0.1:0",
+                svc.clone(),
+                Some(shard),
+                DaemonConfig::default(),
+            )
+            .expect("shard daemon")
+        })
+        .collect();
+    let addrs: Vec<String> = fleet.iter().map(|d| d.local_addr().to_string()).collect();
+    let mut direct =
+        DaemonClient::connect(&whole.local_addr().to_string()).expect("connect whole-table");
+    let mut router = ShardRouter::connect(&addrs, RetryPolicy::default()).expect("connect router");
+
+    // Deterministic batches spread across the table (Knuth multiplicative
+    // hash), so every batch straddles all four shards.
+    let batch_at = |b: usize| -> Vec<u32> {
+        (0..BATCH)
+            .map(|i| (((b * BATCH + i) as u64).wrapping_mul(2_654_435_761) % n_rows) as u32)
+            .collect()
+    };
+
+    // Warm-up both paths and check bit-identity on the way.
+    let mut bit_identical = true;
+    for b in 0..4 {
+        let items = batch_at(b);
+        let d = direct.lookup(&items).expect("direct lookup");
+        let r = router.lookup(&items).expect("routed lookup");
+        let eq = d.len() == r.len()
+            && d.iter().zip(&r).all(|(a, b)| {
+                a.iter()
+                    .map(|x| x.to_bits())
+                    .eq(b.iter().map(|x| x.to_bits()))
+            });
+        bit_identical &= eq;
+    }
+    assert!(bit_identical, "routed rows diverge from the direct daemon");
+
+    let mut direct_lat = Vec::with_capacity(N_BATCHES);
+    let direct_start = Instant::now();
+    for b in 0..N_BATCHES {
+        let items = batch_at(b);
+        let t0 = Instant::now();
+        let rows = direct.lookup(&items).expect("direct lookup");
+        direct_lat.push(t0.elapsed().as_nanos() as u64);
+        black_box(rows.len());
+    }
+    let direct_wall = direct_start.elapsed().as_secs_f64();
+
+    let mut routed_lat = Vec::with_capacity(N_BATCHES);
+    let routed_start = Instant::now();
+    for b in 0..N_BATCHES {
+        let items = batch_at(b);
+        let t0 = Instant::now();
+        let rows = router.lookup(&items).expect("routed lookup");
+        routed_lat.push(t0.elapsed().as_nanos() as u64);
+        black_box(rows.len());
+    }
+    let routed_wall = routed_start.elapsed().as_secs_f64();
+    let stats = router.stats();
+
+    for d in fleet {
+        d.shutdown();
+    }
+    whole.shutdown();
+
+    direct_lat.sort_unstable();
+    routed_lat.sort_unstable();
+    let direct_p50 = report::ns_to_ms(report::percentile(&direct_lat, 50.0));
+    let direct_p99 = report::ns_to_ms(report::percentile(&direct_lat, 99.0));
+    let routed_p50 = report::ns_to_ms(report::percentile(&routed_lat, 50.0));
+    let routed_p99 = report::ns_to_ms(report::percentile(&routed_lat, 99.0));
+    let total_lookups = (N_BATCHES * BATCH) as f64;
+    let hop_ratio = routed_p50 / direct_p50.max(1e-12);
+    println!("router tier ({N_SHARDS} shards, batches of {BATCH}):");
+    println!("| path | p50 (ms) | p99 (ms) | lookups/s |");
+    println!("|---|---|---|---|");
+    println!(
+        "| direct | {direct_p50:.4} | {direct_p99:.4} | {:.0} |",
+        total_lookups / direct_wall
+    );
+    println!(
+        "| routed | {routed_p50:.4} | {routed_p99:.4} | {:.0} |",
+        total_lookups / routed_wall
+    );
+    println!(
+        "  routed/direct p50 {hop_ratio:.2}×, sub-lookups {} over {} routed calls, \
+         redirects {}",
+        stats.sub_lookups, stats.lookups, stats.redirects
+    );
+    println!();
+    let direct_json = serde_json::json!({
+        "p50_ms": direct_p50,
+        "p99_ms": direct_p99,
+        "lookups_per_sec": total_lookups / direct_wall,
+    });
+    let routed_json = serde_json::json!({
+        "p50_ms": routed_p50,
+        "p99_ms": routed_p99,
+        "lookups_per_sec": total_lookups / routed_wall,
+        "sub_lookups": stats.sub_lookups,
+        "redirects": stats.redirects,
+        "map_loads": stats.map_loads,
+    });
+    serde_json::json!({
+        "n_shards": N_SHARDS,
+        "batch_size": BATCH,
+        "batches": N_BATCHES,
+        "bit_identical_warmup": bit_identical,
+        "direct": direct_json,
+        "routed": routed_json,
+        "routed_vs_direct_p50": hop_ratio,
+    })
+}
+
 fn main() {
     let report::ReportArgs { scale, out_path } =
         report::parse_scale_args("serving_scale", "BENCH_serving.json");
@@ -352,6 +492,7 @@ fn main() {
     );
     let snapshot = ServiceSnapshot::build(&service);
     let quant_snapshot = snapshot.quantize();
+    let router = router_section(&service, &snapshot);
 
     // Warm both caches so the timed sections measure hit throughput.
     for &item in &hot {
@@ -430,6 +571,7 @@ fn main() {
         "quant_snapshot_bytes_per_entity": quant_snapshot_bytes as f64 / n_entities as f64,
         "results": results,
         "out_of_core": out_of_core,
+        "router": router,
         "summary": serde_json::json!({
             "max_threads": max_t,
             "sharded_vs_mutex_baseline": sharded_vs_mutex,

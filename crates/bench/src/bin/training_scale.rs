@@ -21,8 +21,12 @@
 //! ```
 
 use pkgm_bench::{report, simd_bench, world, Scale};
-use pkgm_core::{GradKernel, PkgmConfig, PkgmModel, TrainConfig, Trainer};
+use pkgm_core::{
+    GradKernel, OocConfig, OocTrainer, PkgmConfig, PkgmModel, SyntheticTriples, TrainConfig,
+    Trainer, TripleSource,
+};
 use pkgm_store::fxhash::FxHashMap;
+use pkgm_store::StoreBuilder;
 use pkgm_synth::Catalog;
 use std::time::Instant;
 
@@ -107,9 +111,149 @@ fn measure(catalog: &Catalog, run: &Run, epochs: usize) -> Measurement {
     }
 }
 
+/// Out-of-core training measurement: the same synthetic pre-training pass
+/// run once through the block-scheduled [`OocTrainer`] under an explicit
+/// memory budget (a quarter of the paged table) and once through the
+/// resident [`Trainer`] with the whole table plus optimizer state on the
+/// heap, comparing peak RSS.
+///
+/// Runs **first** in the process — `VmHWM` is monotone (see
+/// [`report::rss_peak_bytes`]), so the paged configuration must be
+/// measured while the high-water mark is still pristine; the resident run
+/// then raises it and the ratio is honest.
+///
+/// Entity count defaults to ≥ 1M at every scale (the point is a table the
+/// budget visibly cannot hold) and can be overridden with
+/// `PKGM_OOC_ENTITIES`.
+fn out_of_core_section(scale: Scale) -> serde_json::Value {
+    let n: u64 = std::env::var("PKGM_OOC_ENTITIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(match scale {
+            Scale::Smoke => 1_000_000,
+            Scale::Standard => 2_000_000,
+            Scale::Full => 10_000_000,
+        })
+        .max(2);
+    let n_triples = match scale {
+        Scale::Smoke => 400_000,
+        Scale::Standard => 1_000_000,
+        Scale::Full => 4_000_000,
+    };
+    let dim = 16usize;
+    let bpe = (3 * dim * 4) as u64; // embedding + Adam m + v, f32 each
+    let table_bytes = n * bpe;
+    let mem_budget = (table_bytes / 4) as usize;
+    let source = SyntheticTriples {
+        n_entities: n as u32,
+        n_relations: 16,
+        n_triples,
+        seed: 7,
+    };
+    let train = TrainConfig {
+        lr: 5e-3,
+        margin: 4.0,
+        batch_size: 1000,
+        epochs: 1,
+        seed: 2024,
+        parallel: true,
+        ..TrainConfig::default()
+    };
+    let baseline_rss = report::rss_peak_bytes();
+    eprintln!(
+        "[training_scale] out-of-core: {n} entities × dim {dim} ({table_bytes} B paged state) \
+         under a {mem_budget} B budget, {n_triples} synthetic triples…"
+    );
+
+    let dir = std::env::temp_dir().join(format!("pkgm-ooc-train-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = OocConfig {
+        model: PkgmConfig::new(dim).with_seed(2024),
+        train: train.clone(),
+        mem_budget,
+        dir: dir.clone(),
+    };
+    let ooc_start = Instant::now();
+    let mut ooc = OocTrainer::new(&source, cfg).expect("plan out-of-core run");
+    let n_partitions = ooc.n_partitions();
+    let ooc_report = ooc.train(&source).expect("out-of-core epoch");
+    let ooc_secs = ooc_start.elapsed().as_secs_f64();
+    drop(ooc);
+    let _ = std::fs::remove_dir_all(&dir);
+    let ooc_rss = report::rss_peak_bytes();
+
+    // Resident baseline: materialize the same triples, allocate the whole
+    // embedding table, train the same single epoch.
+    let resident_start = Instant::now();
+    let mut b = StoreBuilder::new();
+    for i in 0..source.len() {
+        let t = source.triple(i);
+        b.add_raw(t.head.0, t.relation.0, t.tail.0);
+    }
+    let store = b.build();
+    let mut model = PkgmModel::new(
+        n as usize,
+        source.n_relations() as usize,
+        PkgmConfig::new(dim).with_seed(2024),
+    );
+    let resident_report = Trainer::new(&model, train).train(&mut model, &store);
+    let resident_secs = resident_start.elapsed().as_secs_f64();
+    let resident_rss = report::rss_peak_bytes();
+    drop(model);
+    drop(store);
+
+    let rss_ratio = match (ooc_rss, resident_rss) {
+        (Some(a), Some(b)) if b > 0 => Some(a as f64 / b as f64),
+        _ => None,
+    };
+    let rss_json = |v: Option<u64>| match v {
+        Some(bytes) => serde_json::json!(bytes),
+        None => serde_json::Value::Null,
+    };
+    println!("out-of-core training ({n} entities, dim {dim}, {n_triples} triples, 1 epoch):");
+    println!("| trainer | partitions | wall (s) | RSS peak (bytes) |");
+    println!("|---|---|---|---|");
+    println!("| out-of-core | {n_partitions} | {ooc_secs:.2} | {ooc_rss:?} |");
+    println!("| resident | 1 | {resident_secs:.2} | {resident_rss:?} |");
+    match rss_ratio {
+        Some(r) => println!(
+            "  paged state {table_bytes} B, budget {mem_budget} B, peak-RSS ratio {r:.3} \
+             (gate: ≤ 0.5)"
+        ),
+        None => println!("  VmHWM unavailable on this host; RSS ratio not measured"),
+    }
+    println!();
+    let ooc_json = serde_json::json!({
+        "wall_secs": ooc_secs,
+        "rss_peak_bytes": rss_json(ooc_rss),
+        "halted": ooc_report.halted,
+    });
+    let resident_json = serde_json::json!({
+        "wall_secs": resident_secs,
+        "rss_peak_bytes": rss_json(resident_rss),
+        "halted": resident_report.halted,
+    });
+    serde_json::json!({
+        "entities": n,
+        "dim": dim,
+        "triples": n_triples,
+        "epochs": 1,
+        "paged_state_bytes": table_bytes,
+        "mem_budget_bytes": mem_budget,
+        "n_partitions": n_partitions,
+        "blocks": ooc_report.blocks,
+        "baseline_rss_bytes": rss_json(baseline_rss),
+        "ooc": ooc_json,
+        "resident": resident_json,
+        "rss_ratio": rss_ratio,
+        "rss_ratio_gate": 0.5,
+    })
+}
+
 fn main() {
     let report::ReportArgs { scale, out_path } =
         report::parse_scale_args("training_scale", "BENCH_training.json");
+    let out_of_core = out_of_core_section(scale);
     let epochs = match scale {
         Scale::Smoke => 1,
         Scale::Standard => 2,
@@ -236,6 +380,7 @@ fn main() {
         "negatives": NEGATIVES.to_vec(),
         "simd": simd,
         "results": results,
+        "out_of_core": out_of_core,
         "summary": serde_json::json!({
             "fused_vs_baseline_serial_d64_neg1": headline,
             "fused_vs_baseline_parallel_maxt_d64_neg1": fused_parallel,

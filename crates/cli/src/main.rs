@@ -9,6 +9,10 @@
 //! pkgm train      --preset small --seed 42 --dim 32 --epochs 8 --k 10 --out svc.bin
 //!                 [--checkpoint-dir ckpts] [--checkpoint-every 1] [--keep-last 3]
 //!                 [--resume ckpts]
+//! pkgm train      --preset small --mem-budget 1000000 --out svc.bin
+//!                 [--ooc-dir d] [--snapshot-out base]   # out-of-core blocks
+//! pkgm train      --synthetic 2000000 --entities 1000000 --mem-budget 50000000 \
+//!                 --ooc-dir d [--report-out r.json]     # streamed, no catalog
 //! pkgm serve      --preset small --seed 42 --service svc.bin --item 0
 //! pkgm snapshot   --service svc.bin --out serving.snap
 //! pkgm snapshot   --service svc.bin --out s.pkgmss3 --format ss3 [--shards 4]
@@ -25,6 +29,9 @@
 //! pkgm daemon health --addr HOST:PORT                     # liveness + restart counters
 //! pkgm daemon ready  --addr HOST:PORT                     # readiness gates, exit 1 if not
 //! pkgm daemon stop   --addr HOST:PORT
+//! pkgm router route  --addrs a:1,b:2 --items 0,1,2   # split/merge, bit-identical
+//! pkgm router map    --addrs a:1,b:2                 # assembled shard topology
+//! pkgm router supervise --snapshot base --service svc.bin [--items 0,1]
 //! pkgm bench-qps  --preset tiny [--clients 4] [--requests 300] [--out qps.json]
 //! ```
 //!
@@ -37,8 +44,9 @@ mod args;
 use args::Args;
 use pkgm_core::{
     eval, fault, load_latest_checkpoint, serialize, CheckpointConfig, Daemon, DaemonClient,
-    DaemonConfig, GradKernel, KnowledgeService, PkgmConfig, PkgmModel, ServiceSnapshot, StdIo,
-    TrainConfig, Trainer,
+    DaemonConfig, GradKernel, KnowledgeService, OocConfig, OocReport, OocTrainer, PkgmConfig,
+    PkgmModel, RetryPolicy, ServiceSnapshot, ShardRouter, StdIo, Supervisor, SyntheticTriples,
+    TrainConfig, Trainer, TripleSource,
 };
 use pkgm_store::{EntityId, KgStats};
 use pkgm_synth::{Catalog, CatalogConfig};
@@ -66,6 +74,11 @@ fn run(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
     // `pkgm daemon [serve|reload|stats|stop] --flag value …`.
     if argv.first().map(String::as_str) == Some("daemon") {
         return daemon_cmd(argv);
+    }
+    // `router` follows the same action-positional shape:
+    // `pkgm router [route|map|supervise] --flag value …`.
+    if argv.first().map(String::as_str) == Some("router") {
+        return router_cmd(argv);
     }
     let args = Args::parse(argv)?;
     match args.command.as_str() {
@@ -188,8 +201,15 @@ fn daemon_reload(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 /// same table produce byte-identical output — the CI bit-exactness gate
 /// diffs this directly.
 fn daemon_lookup(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let items: Vec<u32> = args
-        .require("items")?
+    let items = parse_items(args.require("items")?)?;
+    let rows = daemon_client(args)?.lookup(&items)?;
+    println!("{}", serde_json::to_string(&rows_bits_json(&items, &rows))?);
+    Ok(())
+}
+
+/// A comma-separated `--items` list as ids.
+fn parse_items(spec: &str) -> Result<Vec<u32>, Box<dyn std::error::Error>> {
+    let items: Vec<u32> = spec
         .split(',')
         .map(|t| {
             t.trim()
@@ -200,18 +220,21 @@ fn daemon_lookup(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if items.is_empty() {
         return Err("--items must name at least one id".into());
     }
-    let rows = daemon_client(args)?.lookup(&items)?;
+    Ok(items)
+}
+
+/// Rows as IEEE-754 bit patterns in the `daemon lookup` JSON shape — the
+/// router's output must diff byte-identical against a whole-table daemon's.
+fn rows_bits_json(items: &[u32], rows: &[Vec<f32>]) -> serde_json::Value {
     let rows_bits: Vec<Vec<u32>> = rows
         .iter()
         .map(|r| r.iter().map(|x| x.to_bits()).collect())
         .collect();
-    let out = serde_json::json!({
+    serde_json::json!({
         "items": items,
         "row_len": rows.first().map(Vec::len).unwrap_or(0),
         "rows_bits": rows_bits,
-    });
-    println!("{}", serde_json::to_string(&out)?);
-    Ok(())
+    })
 }
 
 fn daemon_stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
@@ -239,6 +262,130 @@ fn daemon_ready(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 fn daemon_stop(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     daemon_client(args)?.shutdown()?;
     println!("daemon at {} stopped", args.require("addr")?);
+    Ok(())
+}
+
+fn router_cmd(argv: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let (action, rest) = match argv.get(1) {
+        Some(tok) if !tok.starts_with("--") => (tok.clone(), argv[2..].to_vec()),
+        _ => ("route".to_string(), argv[1..].to_vec()),
+    };
+    let args = Args::parse(std::iter::once(format!("router-{action}")).chain(rest))?;
+    match action.as_str() {
+        "route" => router_route(&args),
+        "map" => router_map(&args),
+        "supervise" => router_supervise(&args),
+        other => Err(format!("unknown router action: {other} (route|map|supervise)").into()),
+    }
+}
+
+/// The comma-separated `--addrs` list of shard-daemon addresses.
+fn router_addrs(args: &Args) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+    let addrs: Vec<String> = args
+        .require("addrs")?
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect();
+    if addrs.is_empty() {
+        return Err("--addrs must name at least one daemon".into());
+    }
+    Ok(addrs)
+}
+
+fn connect_router(
+    addrs: &[String],
+    args: &Args,
+) -> Result<ShardRouter, Box<dyn std::error::Error>> {
+    let mut router = ShardRouter::connect(addrs, RetryPolicy::default())?;
+    router.max_redirects = args.get_or("max-redirects", router.max_redirects)?;
+    Ok(router)
+}
+
+/// Route one batch lookup across the shard fleet and print it in the exact
+/// `daemon lookup` JSON shape — CI diffs the two outputs for bit-identity.
+fn router_route(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let addrs = router_addrs(args)?;
+    let items = parse_items(args.require("items")?)?;
+    let mut router = connect_router(&addrs, args)?;
+    eprintln!(
+        "[pkgm] router: {} shard(s) mapping {} rows",
+        router.map().n_shards(),
+        router.map().total_rows()
+    );
+    let rows = router.lookup(&items)?;
+    println!("{}", serde_json::to_string(&rows_bits_json(&items, &rows))?);
+    let stats = router.stats();
+    eprintln!(
+        "[pkgm] routed as {} sub-lookup(s), {} redirect(s), {} map load(s)",
+        stats.sub_lookups, stats.redirects, stats.map_loads
+    );
+    Ok(())
+}
+
+/// Print the assembled shard topology as JSON.
+fn router_map(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let addrs = router_addrs(args)?;
+    let router = connect_router(&addrs, args)?;
+    let map = router.map();
+    let shards: Vec<serde_json::Value> = map
+        .entries()
+        .iter()
+        .map(|e| {
+            serde_json::json!({
+                "shard_id": e.shard_id,
+                "addr": e.addr,
+                "row_start": e.row_start,
+                "rows": e.n_rows,
+            })
+        })
+        .collect();
+    let out = serde_json::json!({
+        "n_shards": map.n_shards(),
+        "total_rows": map.total_rows(),
+        "shards": shards,
+    });
+    println!("{}", serde_json::to_string_pretty(&out)?);
+    Ok(())
+}
+
+/// Spawn one `pkgm daemon serve` per discovered `base.shard{K}of{N}` file
+/// and gate on every daemon's readiness probe. With `--items`, route one
+/// batch through the fleet, print it in `daemon lookup` shape, and tear the
+/// fleet down (the self-contained CI smoke); otherwise supervise until
+/// stdin closes.
+fn router_supervise(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let base = PathBuf::from(args.require("snapshot")?);
+    let service = PathBuf::from(args.require("service")?);
+    let shard_files = pkgm_core::router::discover_shard_files(&base)?;
+    eprintln!(
+        "[pkgm] supervisor: spawning {} shard daemon(s)…",
+        shard_files.len()
+    );
+    let exe = std::env::current_exe()?;
+    let fleet = Supervisor::spawn(&exe, &service, &shard_files)?;
+    let addrs = fleet.addrs();
+    for (d, addr) in fleet.daemons().iter().zip(&addrs) {
+        eprintln!("[pkgm]   {} → {addr}", d.snapshot.display());
+    }
+    if let Some(path) = args.get("addrs-out") {
+        std::fs::write(path, addrs.join(",") + "\n")?;
+    }
+    match args.get("items") {
+        Some(spec) => {
+            let items = parse_items(spec)?;
+            let mut router = connect_router(&addrs, args)?;
+            let rows = router.lookup(&items)?;
+            println!("{}", serde_json::to_string(&rows_bits_json(&items, &rows))?);
+            fleet.shutdown()?;
+        }
+        None => {
+            eprintln!("[pkgm] fleet ready; supervising until stdin closes…");
+            let _ = std::io::read_to_string(std::io::stdin());
+            fleet.shutdown()?;
+            eprintln!("[pkgm] fleet stopped");
+        }
+    }
     Ok(())
 }
 
@@ -298,6 +445,12 @@ fn generate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn pretrain(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    // `--mem-budget BYTES` switches to the out-of-core trainer: the
+    // embedding table lives in entity-range partition files and is paged
+    // in (at most two partitions per block) under the budget.
+    if args.get("mem-budget").is_some() || args.get("synthetic").is_some() {
+        return ooc_pretrain(args);
+    }
     let catalog = catalog_from(args)?;
     let dim: usize = args.get_or("dim", 32)?;
     let epochs: usize = args.get_or("epochs", 8)?;
@@ -422,6 +575,150 @@ fn fresh_trainer(
     };
     let trainer = Trainer::new(&model, cfg);
     Ok((model, trainer))
+}
+
+/// Out-of-core pre-training (`train --mem-budget BYTES`): the embedding
+/// table lives in entity-range partition files under `--ooc-dir`, with at
+/// most two partitions resident per training block. One partition (the
+/// budget fits everything) is bit-identical to the resident trainer;
+/// multi-partition runs are seed-deterministic and resume from the
+/// persisted block cursor after a kill.
+///
+/// `--synthetic N` trains on N streamed deterministic triples over
+/// `--entities`/`--relations` id spaces — no catalog, no service output;
+/// this is the 1M+-entity regime the RSS-budget bench exercises.
+fn ooc_pretrain(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let mem_budget: usize = args
+        .require("mem-budget")?
+        .parse()
+        .map_err(|_| "bad value for --mem-budget (bytes)")?;
+    let dim: usize = args.get_or("dim", 32)?;
+    let epochs: usize = args.get_or("epochs", 8)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let train = TrainConfig {
+        epochs,
+        lr: args.get_or("lr", 5e-3)?,
+        margin: args.get_or("margin", 4.0)?,
+        seed,
+        parallel: args.get_or("parallel", true)?,
+        chunk_size: args.get("chunk-size").map(str::parse).transpose()?,
+        ..TrainConfig::default()
+    };
+    let model_cfg = PkgmConfig::new(dim).with_seed(seed);
+
+    if let Some(n_triples) = args.get("synthetic") {
+        let source = SyntheticTriples {
+            n_entities: args.get_or("entities", 100_000u32)?,
+            n_relations: args.get_or("relations", 16u32)?,
+            n_triples: n_triples
+                .parse()
+                .map_err(|_| format!("bad value for --synthetic: {n_triples}"))?,
+            seed,
+        };
+        let dir = PathBuf::from(args.require("ooc-dir")?);
+        let mut trainer = ooc_open(dir, model_cfg, train, mem_budget, &source)?;
+        let report = run_ooc(&mut trainer, &source)?;
+        if let Some(out) = args.get("report-out") {
+            std::fs::write(out, serde_json::to_string_pretty(&report)?)?;
+            eprintln!("[pkgm] wrote {out}");
+        }
+        return Ok(());
+    }
+
+    let catalog = catalog_from(args)?;
+    let out = args.require("out")?;
+    let dir = args
+        .get("ooc-dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("{out}.ooc")));
+    let mut trainer = ooc_open(dir, model_cfg, train, mem_budget, &catalog.store)?;
+    let report = run_ooc(&mut trainer, &catalog.store)?;
+    if let Some(why) = &report.halted {
+        // Same contract as the resident path: never write a garbage
+        // service. The partition files are the warm-start recovery point.
+        return Err(format!("training halted without writing {out}: {why}").into());
+    }
+    let k: usize = args.get_or("k", 10)?;
+    let selector = catalog.key_relation_selector(k);
+    if let Some(base) = args.get("snapshot-out") {
+        // Streamed per-partition PKGMSS3 shards: the full table is never
+        // resident, so this path works at any scale the training did.
+        for p in trainer.write_snapshots(&selector, std::path::Path::new(base))? {
+            println!("wrote PKGMSS3 shard {}", p.display());
+        }
+    }
+    // The service file assembles the full table once — only useful for
+    // catalogs that fit RAM, which is exactly where a resident service is
+    // wanted (eval, the parity gates).
+    let model = trainer.assemble_model()?;
+    let service = KnowledgeService::new(model, selector);
+    serialize::write_service_file(&StdIo, std::path::Path::new(out), &service)?;
+    println!(
+        "wrote service snapshot to {out} ({:.1} MiB, {:.1}s)",
+        std::fs::metadata(out)?.len() as f64 / (1024.0 * 1024.0),
+        report.wall_secs
+    );
+    Ok(())
+}
+
+/// Open out-of-core state in `dir`: resume the manifest if one exists (the
+/// persisted config wins — bit-exact continuation), else initialize fresh.
+fn ooc_open<S: TripleSource + ?Sized>(
+    dir: PathBuf,
+    model: PkgmConfig,
+    train: TrainConfig,
+    mem_budget: usize,
+    source: &S,
+) -> Result<OocTrainer, Box<dyn std::error::Error>> {
+    // The manifest name is part of the on-disk contract (see `ooc`'s docs).
+    if dir.join("ooc-manifest.pkgm").exists() {
+        eprintln!(
+            "[pkgm] resuming out-of-core state in {} (its recorded config wins)",
+            dir.display()
+        );
+        return Ok(OocTrainer::resume(&dir)?);
+    }
+    let cfg = OocConfig {
+        model,
+        train,
+        mem_budget,
+        dir,
+    };
+    Ok(OocTrainer::new(source, cfg)?)
+}
+
+/// Run the out-of-core trainer to its epoch target, echoing per-epoch
+/// stats. A mid-epoch resume reports a partial first entry covering only
+/// the blocks it ran.
+fn run_ooc<S: TripleSource + ?Sized>(
+    trainer: &mut OocTrainer,
+    source: &S,
+) -> Result<OocReport, Box<dyn std::error::Error>> {
+    eprintln!(
+        "[pkgm] out-of-core pre-training: {} partition(s) under {} B budget, epoch {} → {}…",
+        trainer.n_partitions(),
+        trainer.config().mem_budget,
+        trainer.epochs_done(),
+        trainer.config().train.epochs
+    );
+    let first = trainer.epochs_done();
+    let report = trainer.train(source)?;
+    for (i, e) in report.epochs.iter().enumerate() {
+        eprintln!(
+            "[pkgm] epoch {}: mean loss {:.4}, violations {:.1}%",
+            first + i + 1,
+            e.mean_loss,
+            e.violation_rate * 100.0
+        );
+    }
+    eprintln!(
+        "[pkgm] ran {} block(s) in {:.1}s",
+        report.blocks, report.wall_secs
+    );
+    if let Some(why) = &report.halted {
+        eprintln!("[pkgm] warning: training halted: {why}");
+    }
+    Ok(report)
 }
 
 /// Quick before/after training-throughput check: one timed run per gradient
@@ -936,28 +1233,56 @@ fn snapshot(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         let rows = pkgm_synth::StreamingRows::new(seed, dim);
         let start = std::time::Instant::now();
         // Stream in ~4 MiB chunks: bounded memory at any table size.
-        let chunk_rows = (4 << 20) / (rows.row_len() * 4);
-        let mut buf = vec![0.0f32; chunk_rows.max(1) * rows.row_len()];
+        let chunk_rows = ((4 << 20) / (rows.row_len() * 4)).max(1);
+        let mut buf = vec![0.0f32; chunk_rows * rows.row_len()];
+        // Regenerate a chunk of rows starting at global id `first`.
+        let fill = |first: u64, buf: &mut [f32]| {
+            for (i, slot) in buf.chunks_exact_mut(rows.row_len()).enumerate() {
+                rows.row_into((first + i as u64) as u32, slot);
+            }
+        };
         for (spec, len) in pkgm_core::shard_ranges(n_rows, n_shards) {
             let path = shard_path(out, spec.shard_id, n_shards);
-            let mut writer =
-                pkgm_core::Ss3DenseWriter::create(std::path::Path::new(&path), dim, k, len, spec)?;
-            let mut written = 0u64;
-            while written < len {
-                let take = ((len - written) as usize).min(chunk_rows.max(1));
-                for (i, slot) in buf[..take * rows.row_len()]
-                    .chunks_exact_mut(rows.row_len())
-                    .enumerate()
-                {
-                    rows.row_into((spec.row_start + written + i as u64) as u32, slot);
+            if quantize {
+                let mut writer = pkgm_core::Ss3QuantWriter::create(
+                    std::path::Path::new(&path),
+                    dim,
+                    k,
+                    len,
+                    spec,
+                )?;
+                let mut written = 0u64;
+                while written < len {
+                    let take = ((len - written) as usize).min(chunk_rows);
+                    fill(spec.row_start + written, &mut buf[..take * rows.row_len()]);
+                    writer.write_rows(&buf[..take * rows.row_len()])?;
+                    written += take as u64;
                 }
-                writer.write_rows(&buf[..take * rows.row_len()])?;
-                written += take as u64;
+                // Escape rows are regenerated exactly: the stream is a
+                // pure function of (seed, global id).
+                writer
+                    .finish(|local, slot| rows.row_into((spec.row_start + local) as u32, slot))?;
+            } else {
+                let mut writer = pkgm_core::Ss3DenseWriter::create(
+                    std::path::Path::new(&path),
+                    dim,
+                    k,
+                    len,
+                    spec,
+                )?;
+                let mut written = 0u64;
+                while written < len {
+                    let take = ((len - written) as usize).min(chunk_rows);
+                    fill(spec.row_start + written, &mut buf[..take * rows.row_len()]);
+                    writer.write_rows(&buf[..take * rows.row_len()])?;
+                    written += take as u64;
+                }
+                writer.finish()?;
             }
-            writer.finish()?;
             println!(
-                "wrote synthetic PKGMSS3 shard {} of {n_shards} to {path}: {len} rows × {} dims \
+                "wrote {}synthetic PKGMSS3 shard {} of {n_shards} to {path}: {len} rows × {} dims \
                  ({:.1} MiB)",
+                if quantize { "quantized " } else { "" },
                 spec.shard_id,
                 2 * dim,
                 std::fs::metadata(&path)?.len() as f64 / (1024.0 * 1024.0)
@@ -977,21 +1302,44 @@ fn snapshot(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
     if format == "ss3" {
         let ranges = pkgm_core::shard_ranges(dense.n_rows() as u64, n_shards);
+        let row_len = 2 * dense.dim();
         for (spec, len) in ranges {
-            let shard = if n_shards == 1 {
-                dense.clone()
-            } else {
-                dense.shard_slice(spec, len)?
-            };
-            let shard = if quantize { shard.quantize() } else { shard };
             let path = shard_path(out, spec.shard_id, n_shards);
-            serialize::write_snapshot_ss3_file(&StdIo, std::path::Path::new(&path), &shard)?;
+            if quantize {
+                // Stream each shard through the quantized writer: the
+                // bytes are identical to a one-shot `shard.quantize()`
+                // write, but no quantized copy of the table is ever
+                // resident.
+                let table = dense
+                    .dense_table()
+                    .expect("freshly built snapshot is dense");
+                let first = spec.row_start as usize * row_len;
+                let shard_rows = &table[first..first + len as usize * row_len];
+                let mut writer = pkgm_core::Ss3QuantWriter::create(
+                    std::path::Path::new(&path),
+                    dense.dim(),
+                    dense.k(),
+                    len,
+                    spec,
+                )?;
+                writer.write_rows(shard_rows)?;
+                writer.finish(|local, slot| {
+                    let at = local as usize * row_len;
+                    slot.copy_from_slice(&shard_rows[at..at + row_len]);
+                })?;
+            } else {
+                let shard = if n_shards == 1 {
+                    dense.clone()
+                } else {
+                    dense.shard_slice(spec, len)?
+                };
+                serialize::write_snapshot_ss3_file(&StdIo, std::path::Path::new(&path), &shard)?;
+            }
             println!(
-                "wrote {}PKGMSS3 shard {} of {n_shards} to {path}: {} rows × {} dims ({:.1} MiB)",
+                "wrote {}PKGMSS3 shard {} of {n_shards} to {path}: {len} rows × {row_len} dims \
+                 ({:.1} MiB)",
                 if quantize { "quantized " } else { "" },
                 spec.shard_id,
-                shard.n_rows(),
-                2 * shard.dim(),
                 std::fs::metadata(&path)?.len() as f64 / (1024.0 * 1024.0)
             );
         }
@@ -1117,10 +1465,18 @@ fn print_help() {
          \u{20}              chunk layout for cross-host bit-reproducible runs]\n\
          \u{20}              (alias: pretrain; --resume restarts from the latest\n\
          \u{20}              valid checkpoint in D and checkpoints back into it)\n\
+         \u{20}              [--mem-budget BYTES  # out-of-core: page the embedding\n\
+         \u{20}              table in entity-range blocks under the budget; state in\n\
+         \u{20}              --ooc-dir (default {{out}}.ooc) resumes after a kill;\n\
+         \u{20}              --snapshot-out base streams per-partition PKGMSS3 shards]\n\
+         \u{20}              [--synthetic N --entities E --relations R --mem-budget B\n\
+         \u{20}              --ooc-dir D [--report-out r.json]  # train on N streamed\n\
+         \u{20}              deterministic triples, no catalog or service output]\n\
          \u{20}  serve       --preset P --seed N --service service.bin --item 0\n\
          \u{20}              [--snapshot serving.snap  # dense or quantized]\n\
          \u{20}  snapshot    --service service.bin --out serving.snap [--quantize true\n\
-         \u{20}              # int8 blockwise table, ~¼ the bytes, exact lookups]\n\
+         \u{20}              # int8 blockwise table, ~¼ the bytes, exact lookups;\n\
+         \u{20}              with ss3 the shards stream through the quantized writer]\n\
          \u{20}              [--format ss3  # page-aligned PKGMSS3, mmap-served zero-copy]\n\
          \u{20}              [--shards N  # entity-range shards, one PKGMSS3 file each]\n\
          \u{20}              [--synthetic N --dim 16 --seed 42  # stream N deterministic\n\
@@ -1162,6 +1518,16 @@ fn print_help() {
          \u{20}  daemon health --addr HOST:PORT — liveness JSON (uptime, restarts)\n\
          \u{20}  daemon ready --addr HOST:PORT — readiness gates as JSON, exit 1 if not\n\
          \u{20}  daemon stop  --addr HOST:PORT — graceful shutdown\n\
+         \u{20}  router route --addrs a:1,b:2,… --items 0,1,2 [--max-redirects 4]\n\
+         \u{20}              — split a batch by entity range across shard daemons,\n\
+         \u{20}              merge rows back into request order, follow WrongShard\n\
+         \u{20}              redirects via map refresh; output is bit-identical to\n\
+         \u{20}              `daemon lookup` against one whole-table daemon\n\
+         \u{20}  router map  --addrs a:1,b:2,… — the assembled shard topology as JSON\n\
+         \u{20}  router supervise --snapshot base --service svc.bin [--items 0,1,2]\n\
+         \u{20}              [--addrs-out f] — spawn one daemon per base.shardKofN\n\
+         \u{20}              file, gate on readiness; with --items route one batch\n\
+         \u{20}              and exit, else supervise until stdin closes\n\
          \u{20}  bench-qps   --preset P [--clients 4] [--requests 300] [--batch 16]\n\
          \u{20}              [--out qps.json] — closed-loop QPS smoke against an\n\
          \u{20}              in-process daemon, with one hot-swap mid-run\n"

@@ -335,6 +335,24 @@ impl Shared {
         })
     }
 
+    /// The JSON answering a `ShardMap` request: the entity-range shard the
+    /// live snapshot covers, in the exact shape the router tier consumes.
+    /// A daemon without a snapshot serves the whole id space through the
+    /// compute path, so it reports a single whole-table shard.
+    fn shard_map_json(&self) -> serde_json::Value {
+        let current = self.holder.get();
+        let snapshot_json = match current.snapshot() {
+            Some(s) => snapshot_summary_json(s, None),
+            None => serde_json::Value::Null,
+        };
+        serde_json::json!({
+            "dim": self.master.dim(),
+            "ready": self.is_ready(),
+            "swaps": self.holder.swaps(),
+            "snapshot": snapshot_json,
+        })
+    }
+
     /// The stats JSON answering a `Stats` request.
     fn stats_json(&self) -> serde_json::Value {
         let cache = self.holder.cumulative_stats();
@@ -858,6 +876,11 @@ fn respond(req: Request, shared: &Arc<Shared>) -> Vec<u8> {
                 serde_json::to_string(&shared.stats_json()).expect("stats json literal serializes");
             protocol::encode_response(&Response::Json(body))
         }
+        Request::ShardMap => {
+            let body = serde_json::to_string(&shared.shard_map_json())
+                .expect("shard-map json literal serializes");
+            protocol::encode_response(&Response::Json(body))
+        }
         Request::Reload(path) => match shared.reload(&path) {
             Ok(summary) => {
                 let body = serde_json::to_string(&summary).expect("reload json literal serializes");
@@ -994,6 +1017,49 @@ impl std::fmt::Display for ClientError {
             ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
         }
     }
+}
+
+impl ClientError {
+    /// The typed redirect payload, when this error is a
+    /// [`ClientError::WrongShard`]. The router (and any caller holding a
+    /// multi-shard topology) re-routes from this instead of parsing the
+    /// display string.
+    pub fn wrong_shard(&self) -> Option<ShardRedirect> {
+        match *self {
+            ClientError::WrongShard {
+                id,
+                shard_id,
+                n_shards,
+                row_start,
+                n_rows,
+            } => Some(ShardRedirect {
+                id,
+                shard_id,
+                n_shards,
+                row_start,
+                n_rows,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The payload of a typed `WrongShard` redirect: which id missed, which
+/// shard answered, and the row range that shard actually covers. Extracted
+/// via [`ClientError::wrong_shard`] / `RetryError::wrong_shard` so callers
+/// re-route without string-parsing the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRedirect {
+    /// The first requested id outside the responding shard's range.
+    pub id: u32,
+    /// The responding shard's index.
+    pub shard_id: u32,
+    /// Total shards in the topology.
+    pub n_shards: u32,
+    /// First global row the responding shard covers.
+    pub row_start: u64,
+    /// Number of rows the responding shard covers.
+    pub n_rows: u64,
 }
 
 impl std::error::Error for ClientError {}
@@ -1217,6 +1283,16 @@ impl DaemonClient {
         match self.round_trip(&Request::Ping)? {
             Response::Empty => Ok(()),
             _ => Err(ClientError::Unexpected("ping expects empty ok")),
+        }
+    }
+
+    /// Shard-topology query: which entity range does the daemon's live
+    /// snapshot cover? The router tier builds its shard map from this.
+    pub fn shard_map(&mut self) -> Result<serde_json::Value, ClientError> {
+        match self.round_trip(&Request::ShardMap)? {
+            Response::Json(json) => serde_json::from_str(&json)
+                .map_err(|_| ClientError::Unexpected("shard-map payload is not JSON")),
+            _ => Err(ClientError::Unexpected("shard-map expects json")),
         }
     }
 

@@ -65,7 +65,15 @@
 //!   budget, plus the [`retry::RetryClient`] wrapper over [`DaemonClient`];
 //! * [`netcheck`] — the network-layer chaos battery: a deterministic
 //!   in-process chaos proxy (dropped/truncated/delayed/corrupted frames,
-//!   mid-frame resets, slowloris writes) and the `pkgm netcheck` scenarios.
+//!   mid-frame resets, slowloris writes) and the `pkgm netcheck` scenarios;
+//! * [`router`] — the shard-router tier: splits batch lookups across
+//!   entity-range shard daemons, merges rows back into request order,
+//!   follows typed `WrongShard` redirects with bounded map refreshes, and
+//!   supervises one spawned daemon per `.shardKofN` file;
+//! * [`ooc`] — out-of-core pre-training: streamed triple sources, an
+//!   entity-range partitioned embedding table paged under an explicit
+//!   memory budget, and the block training schedule (bit-identical to the
+//!   resident trainer when one block holds everything).
 
 pub mod artifact;
 pub mod baselines;
@@ -79,9 +87,11 @@ pub mod mmap;
 pub mod model;
 pub mod negative;
 pub mod netcheck;
+pub mod ooc;
 pub mod protocol;
 pub mod quant;
 pub mod retry;
+pub mod router;
 pub mod serialize;
 pub mod service;
 pub mod serving;
@@ -92,7 +102,7 @@ pub mod trainer;
 
 pub use artifact::{ArtifactError, ArtifactIo, ArtifactKind, StdIo};
 pub use batcher::{BatchStats, DynamicBatcher, SubmitError, WaitError};
-pub use daemon::{ClientError, Daemon, DaemonClient, DaemonConfig, ServiceHolder};
+pub use daemon::{ClientError, Daemon, DaemonClient, DaemonConfig, ServiceHolder, ShardRedirect};
 pub use eval::{LinkPredictionReport, RelationExistenceReport};
 pub use eval_kernels::{EvalError, EvalScratch, EvalScratchPool, PruneStats, QuantEvalModel};
 pub use fault::{Fault, FaultCheckReport, FaultPlan, FaultyIo};
@@ -100,14 +110,18 @@ pub use kernels::{ChunkGrads, ScratchPool, TrainScratch};
 pub use model::{PkgmConfig, PkgmModel};
 pub use negative::{CorruptedPair, Corruption, NegativeSampler};
 pub use netcheck::{ChaosProxy, NetFault, NetFaultPlan};
+pub use ooc::{OocConfig, OocError, OocReport, OocTrainer, SyntheticTriples, TripleSource};
 pub use protocol::{DeadlineStage, ProtocolError, Request, Response};
 pub use quant::{QuantScanTable, QuantTable, QUANT_BLOCK};
 pub use retry::{RetryClient, RetryPolicy};
+pub use router::{RouterError, RouterStats, ShardMap, ShardRouter, Supervisor};
 pub use service::{KnowledgeService, ServiceScratch};
 pub use serving::{CacheStats, CachedService};
 pub use simd::{SimdDispatch, SimdLevel};
 pub use snapshot::{ServiceSnapshot, ShardSpec, SnapshotBacking};
-pub use snapshot3::{open_mapped_snapshot, shard_ranges, snapshot_to_ss3_bytes, Ss3DenseWriter};
+pub use snapshot3::{
+    open_mapped_snapshot, shard_ranges, snapshot_to_ss3_bytes, Ss3DenseWriter, Ss3QuantWriter,
+};
 pub use trainer::{
     load_latest_checkpoint, CheckpointConfig, CheckpointScan, GradKernel, ResumeState, TrainConfig,
     TrainError, TrainReport, Trainer,

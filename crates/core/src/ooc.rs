@@ -1,0 +1,1399 @@
+//! Out-of-core pre-training: train a knowledge-graph table **larger than
+//! RAM** by partitioning the entity embedding table into contiguous
+//! entity-range shards on disk and paging at most two partitions in at a
+//! time.
+//!
+//! ## The block schedule
+//!
+//! An epoch shuffles all triple indices with the *resident trainer's* RNG
+//! (`seed ^ (epoch << 32) ^ 0x5EED`), then stable-partitions them by the
+//! *bucket* `(part(head), part(tail))` — a counting sort that preserves the
+//! shuffled order within each bucket. Buckets run in ascending order; each
+//! bucket is one **block**: its two partitions (entity rows + Adam moments)
+//! are loaded, a block-local [`Trainer`] replays the resident minibatch
+//! loop over the bucket's triples (same per-batch seeds, same chunk layout,
+//! same fused kernels, same Adam step counter `t`), and the updated rows
+//! are paged back out before the next block loads.
+//!
+//! ## Equivalence contract
+//!
+//! * **One block** (the budget fits the whole table, `P = 1`): the bucket
+//!   sort is the identity, the block-local id space *is* the global id
+//!   space, and the corruption sampler consumes the identical RNG stream —
+//!   training is **bit-for-bit identical** to the resident [`Trainer`]
+//!   (asserted by `single_block_training_is_bit_identical_to_resident`).
+//! * **Multiple blocks**: the schedule reorders minibatches across buckets
+//!   and corruption draws block-local negatives, so parameters differ from
+//!   resident training — but the run is **seed-deterministic** (same seeds
+//!   → same bits, including across kill/resume cycles) and gated on eval
+//!   parity with the resident trainer in `crates/core/tests/ooc_training.rs`.
+//!
+//! ## On-disk state
+//!
+//! Everything lives in `OocConfig::dir` as atomic, CRC-checked
+//! [`crate::artifact`] files (kind [`ArtifactKind::Checkpoint`]):
+//!
+//! * `ooc-part-{K:05}of{N:05}.pkgm` — one partition: entity rows + Adam
+//!   `m`/`v` moments, stamped with the generation that last wrote it;
+//! * `ooc-resident.pkgm` — the small always-resident state (relation
+//!   embeddings, transfer matrices, their moments, the Adam step counter
+//!   and the epoch/block cursor), written **after** the partitions of each
+//!   block commit;
+//! * `ooc-manifest.pkgm` — static config (model/train hyper-parameters,
+//!   the partition plan) as JSON.
+//!
+//! A crash between a partition write and the resident commit leaves that
+//! partition stamped one generation ahead; [`OocTrainer::resume`] detects
+//! the mismatch at load time and refuses to silently re-apply the block.
+
+use std::fmt;
+use std::mem;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::artifact::{self, ArtifactError, ArtifactKind, StdIo};
+use crate::kernels::{fused_chunk_grads, ChunkGrads, ScratchPool};
+use crate::model::{PkgmConfig, PkgmModel};
+use crate::negative::{CorruptedPair, Corruption};
+use crate::snapshot::ShardSpec;
+use crate::snapshot3::{shard_ranges, Ss3DenseWriter};
+use crate::trainer::{diverged, EpochStats, TrainConfig, Trainer};
+use pkgm_store::{EntityId, KeyRelationSelector, RelationId, Triple, TripleStore};
+
+const MANIFEST_FILE: &str = "ooc-manifest.pkgm";
+const RESIDENT_FILE: &str = "ooc-resident.pkgm";
+const MANIFEST_VERSION: u32 = 1;
+
+/// A streamed source of training triples: random access by index, id-space
+/// bounds, and membership (for filtered negative sampling) — everything the
+/// block scheduler needs without requiring the triples to be materialized
+/// as a [`TripleStore`].
+pub trait TripleSource: Sync {
+    /// Entity id space size (ids are `0..n_entities`).
+    fn n_entities(&self) -> u32;
+    /// Relation id space size.
+    fn n_relations(&self) -> u32;
+    /// Number of triples.
+    fn len(&self) -> usize;
+    /// True when there are no triples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// The `idx`-th triple (`idx < len()`).
+    fn triple(&self, idx: usize) -> Triple;
+    /// Is this triple a known positive? (Filtered corruption check.)
+    fn contains(&self, t: Triple) -> bool;
+}
+
+impl TripleSource for TripleStore {
+    fn n_entities(&self) -> u32 {
+        TripleStore::n_entities(self)
+    }
+    fn n_relations(&self) -> u32 {
+        TripleStore::n_relations(self)
+    }
+    fn len(&self) -> usize {
+        TripleStore::len(self)
+    }
+    fn triple(&self, idx: usize) -> Triple {
+        self.triples()[idx]
+    }
+    fn contains(&self, t: Triple) -> bool {
+        TripleStore::contains(self, t)
+    }
+}
+
+/// A deterministic synthetic triple stream: every triple is a pure function
+/// of `(seed, idx)` via splitmix64, so arbitrarily large training sets cost
+/// O(1) memory. `contains` always answers `false` (no filtering — the
+/// stream has no materialized membership), which keeps sampling
+/// deterministic and cheap.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticTriples {
+    /// Entity id space size.
+    pub n_entities: u32,
+    /// Relation id space size.
+    pub n_relations: u32,
+    /// Number of triples the stream yields.
+    pub n_triples: usize,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl TripleSource for SyntheticTriples {
+    fn n_entities(&self) -> u32 {
+        self.n_entities
+    }
+    fn n_relations(&self) -> u32 {
+        self.n_relations
+    }
+    fn len(&self) -> usize {
+        self.n_triples
+    }
+    fn triple(&self, idx: usize) -> Triple {
+        let a = splitmix64(self.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let b = splitmix64(a);
+        let c = splitmix64(b);
+        Triple::from_raw(
+            (a % self.n_entities.max(1) as u64) as u32,
+            (c % self.n_relations.max(1) as u64) as u32,
+            (b % self.n_entities.max(1) as u64) as u32,
+        )
+    }
+    fn contains(&self, _t: Triple) -> bool {
+        false
+    }
+}
+
+/// Out-of-core training failure.
+#[derive(Debug)]
+pub enum OocError {
+    /// Artifact-layer I/O or integrity failure.
+    Artifact(ArtifactError),
+    /// Raw I/O failure (directory creation, snapshot emission).
+    Io(std::io::Error),
+    /// The memory budget cannot hold even one two-partition block.
+    Budget(String),
+    /// Inconsistent or unusable on-disk state.
+    State(String),
+}
+
+impl fmt::Display for OocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OocError::Artifact(e) => write!(f, "artifact: {e}"),
+            OocError::Io(e) => write!(f, "io: {e}"),
+            OocError::Budget(m) => write!(f, "memory budget: {m}"),
+            OocError::State(m) => write!(f, "out-of-core state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OocError {}
+
+impl From<ArtifactError> for OocError {
+    fn from(e: ArtifactError) -> Self {
+        OocError::Artifact(e)
+    }
+}
+
+impl From<std::io::Error> for OocError {
+    fn from(e: std::io::Error) -> Self {
+        OocError::Io(e)
+    }
+}
+
+/// Out-of-core training configuration.
+#[derive(Debug, Clone)]
+pub struct OocConfig {
+    /// Model hyper-parameters (the init seed drives the streamed init).
+    pub model: PkgmConfig,
+    /// Training hyper-parameters (shared with the resident [`Trainer`]).
+    pub train: TrainConfig,
+    /// Budget in bytes for paged-in entity state. One entity row costs
+    /// `3 · dim · 4` bytes (embedding + Adam m + Adam v); a block pages in
+    /// at most two partitions, so the partition count is the smallest `P`
+    /// with `2 · ceil(n/P)` rows under budget.
+    pub mem_budget: usize,
+    /// Directory for partition, resident-state and manifest files.
+    pub dir: PathBuf,
+}
+
+/// Plan the entity-range partitions for `n_entities` rows of dimension
+/// `dim` under `mem_budget` bytes. Returns `(row_start, n_rows)` per
+/// partition — one partition when everything fits, else the smallest count
+/// whose two-partition blocks fit the budget.
+pub fn plan_partitions(
+    n_entities: u64,
+    dim: usize,
+    mem_budget: u64,
+) -> Result<Vec<(u64, u64)>, OocError> {
+    if n_entities == 0 {
+        return Err(OocError::State("no entities to partition".into()));
+    }
+    let bpe = (3 * dim * 4) as u64;
+    if n_entities.saturating_mul(bpe) <= mem_budget {
+        return Ok(vec![(0, n_entities)]);
+    }
+    let rows_max = mem_budget / (2 * bpe);
+    if rows_max == 0 {
+        return Err(OocError::Budget(format!(
+            "budget {mem_budget} B cannot hold two entity rows ({} B each paged state)",
+            bpe * 2
+        )));
+    }
+    let p = n_entities.div_ceil(rows_max).max(2).min(n_entities);
+    if p > u32::MAX as u64 {
+        return Err(OocError::Budget(format!(
+            "budget {mem_budget} B needs {p} partitions (max {})",
+            u32::MAX
+        )));
+    }
+    Ok(shard_ranges(n_entities, p as u32)
+        .into_iter()
+        .map(|(spec, n)| (spec.row_start, n))
+        .collect())
+}
+
+/// Shard-file naming shared with the CLI and the router's discovery:
+/// `{base}.shard{K}of{N}` (0-based `K`), or `base` itself when `N <= 1`.
+pub fn shard_file_path(base: &Path, shard_id: u32, n_shards: u32) -> PathBuf {
+    if n_shards <= 1 {
+        base.to_path_buf()
+    } else {
+        let mut s = base.as_os_str().to_os_string();
+        s.push(format!(".shard{shard_id}of{n_shards}"));
+        PathBuf::from(s)
+    }
+}
+
+/// Report from one [`OocTrainer::train`] call.
+#[derive(Debug, Clone, Serialize)]
+pub struct OocReport {
+    /// Stats per epoch touched by this call (a mid-epoch resume reports a
+    /// partial first entry covering only the blocks it ran).
+    pub epochs: Vec<EpochStats>,
+    /// Number of entity-range partitions in the plan.
+    pub n_partitions: usize,
+    /// Blocks executed by this call.
+    pub blocks: usize,
+    /// Total wall-clock seconds.
+    pub wall_secs: f64,
+    /// `Some(reason)` if the divergence guard stopped training early.
+    pub halted: Option<String>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Manifest {
+    version: u32,
+    n_entities: u64,
+    n_relations: u64,
+    model: PkgmConfig,
+    train: TrainConfig,
+    mem_budget: u64,
+    partitions: Vec<(u64, u64)>,
+}
+
+/// Block-local ↔ global entity id translation for the (up to) two loaded
+/// partitions. Locals are `0..len_0` for the first segment and
+/// `len_0..len_0+len_1` for the second.
+struct BlockSpace {
+    segs: [(u64, u64); 2],
+}
+
+impl BlockSpace {
+    fn one(start: u64, len: u64) -> Self {
+        Self {
+            segs: [(start, len), (start + len, 0)],
+        }
+    }
+
+    fn two(s0: u64, l0: u64, s1: u64, l1: u64) -> Self {
+        Self {
+            segs: [(s0, l0), (s1, l1)],
+        }
+    }
+
+    fn n_local(&self) -> u64 {
+        self.segs[0].1 + self.segs[1].1
+    }
+
+    fn to_global(&self, local: u32) -> u32 {
+        let l = local as u64;
+        if l < self.segs[0].1 {
+            (self.segs[0].0 + l) as u32
+        } else {
+            (self.segs[1].0 + (l - self.segs[0].1)) as u32
+        }
+    }
+
+    fn to_local(&self, global: u32) -> u32 {
+        let g = global as u64;
+        let (s0, l0) = self.segs[0];
+        if g >= s0 && g < s0 + l0 {
+            (g - s0) as u32
+        } else {
+            let (s1, l1) = self.segs[1];
+            debug_assert!(g >= s1 && g < s1 + l1, "entity {global} outside block");
+            (l0 + (g - s1)) as u32
+        }
+    }
+
+    fn localize(&self, t: Triple) -> Triple {
+        Triple::from_raw(
+            self.to_local(t.head.0),
+            t.relation.0,
+            self.to_local(t.tail.0),
+        )
+    }
+
+    fn globalize(&self, t: Triple) -> Triple {
+        Triple::from_raw(
+            self.to_global(t.head.0),
+            t.relation.0,
+            self.to_global(t.tail.0),
+        )
+    }
+}
+
+/// The block-local twin of [`crate::negative::NegativeSampler`]: identical
+/// branch structure and RNG consumption, but entity replacements draw from
+/// the block's local id space and the filtered-membership check translates
+/// back to global ids. With one all-covering block the two samplers consume
+/// identical RNG streams and produce identical corruptions.
+struct OocSampler {
+    n_entities: u32,
+    n_relations: u32,
+    relation_prob: f64,
+    filtered: bool,
+}
+
+impl OocSampler {
+    fn new(block_entities: u32, n_relations: u32) -> Self {
+        Self {
+            n_entities: block_entities,
+            n_relations,
+            relation_prob: 0.2,
+            filtered: true,
+        }
+    }
+
+    fn corrupt<S: TripleSource + ?Sized>(
+        &self,
+        pos: Triple,
+        source: &S,
+        space: &BlockSpace,
+        rng: &mut impl Rng,
+    ) -> (Triple, Corruption) {
+        for _ in 0..64 {
+            let (neg, slot) = self.corrupt_once(pos, rng);
+            if neg == pos {
+                continue;
+            }
+            if !self.filtered || !source.contains(space.globalize(neg)) {
+                return (neg, slot);
+            }
+        }
+        self.corrupt_once(pos, rng)
+    }
+
+    fn corrupt_batch_into<S: TripleSource + ?Sized>(
+        &self,
+        positives: impl IntoIterator<Item = Triple>,
+        source: &S,
+        space: &BlockSpace,
+        negatives: usize,
+        rng: &mut impl Rng,
+        out: &mut Vec<CorruptedPair>,
+    ) {
+        out.clear();
+        for pos in positives {
+            for _ in 0..negatives {
+                let (neg, slot) = self.corrupt(pos, source, space, rng);
+                out.push(CorruptedPair { pos, neg, slot });
+            }
+        }
+    }
+
+    fn corrupt_once(&self, pos: Triple, rng: &mut impl Rng) -> (Triple, Corruption) {
+        let roll: f64 = rng.gen();
+        if roll < self.relation_prob && self.n_relations > 1 {
+            let mut t = pos;
+            t.relation = RelationId(rng.gen_range(0..self.n_relations));
+            (t, Corruption::Relation)
+        } else if rng.gen_bool(0.5) {
+            let mut t = pos;
+            t.head = EntityId(rng.gen_range(0..self.n_entities));
+            (t, Corruption::Head)
+        } else {
+            let mut t = pos;
+            t.tail = EntityId(rng.gen_range(0..self.n_entities));
+            (t, Corruption::Tail)
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PartitionState {
+    ent: Vec<f32>,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+/// The out-of-core trainer: an entity-range partitioned embedding table on
+/// disk, block-scheduled training under [`OocConfig::mem_budget`], and
+/// per-block warm-start checkpointing. See the module docs for the
+/// equivalence contract.
+pub struct OocTrainer {
+    cfg: OocConfig,
+    n_entities: u64,
+    n_relations: u64,
+    parts: Vec<(u64, u64)>,
+    /// Monotone commit counter: bumped once per block. Partition files are
+    /// stamped with the generation that wrote them; the resident file's
+    /// stamp is authoritative, so a partition stamped ahead marks an
+    /// interrupted commit.
+    gen: u64,
+    t: u64,
+    epochs_done: usize,
+    blocks_done: usize,
+    rel: Vec<f32>,
+    mats: Vec<f32>,
+    m_rel: Vec<f32>,
+    v_rel: Vec<f32>,
+    m_mat: Vec<f32>,
+    v_mat: Vec<f32>,
+    pool: ScratchPool,
+}
+
+impl OocTrainer {
+    /// Initialize fresh out-of-core state in `cfg.dir`: plan the partition
+    /// layout, stream the model init partition-by-partition to disk (one
+    /// RNG, identical draw order to [`PkgmModel::new`] — the assembled
+    /// table is bit-identical to a resident init with the same seed), and
+    /// persist the manifest + resident state.
+    pub fn new<S: TripleSource + ?Sized>(source: &S, cfg: OocConfig) -> Result<Self, OocError> {
+        let n_entities = TripleSource::n_entities(source) as u64;
+        let n_relations = TripleSource::n_relations(source) as u64;
+        if n_entities == 0 || n_relations == 0 || source.is_empty() {
+            return Err(OocError::State("empty triple source".into()));
+        }
+        let d = cfg.model.dim;
+        let parts = plan_partitions(n_entities, d, cfg.mem_budget as u64)?;
+        std::fs::create_dir_all(&cfg.dir)?;
+
+        let mut me = Self {
+            cfg,
+            n_entities,
+            n_relations,
+            parts,
+            gen: 0,
+            t: 0,
+            epochs_done: 0,
+            blocks_done: 0,
+            rel: Vec::new(),
+            mats: Vec::new(),
+            m_rel: vec![0.0; n_relations as usize * d],
+            v_rel: vec![0.0; n_relations as usize * d],
+            m_mat: Vec::new(),
+            v_mat: Vec::new(),
+            pool: ScratchPool::new(),
+        };
+
+        // Streamed init: same single RNG and draw order as PkgmModel::new.
+        let mut rng = SmallRng::seed_from_u64(me.cfg.model.seed ^ 0x9E37_79B9);
+        let bound = 6.0 / (d as f64).sqrt();
+        for k in 0..me.parts.len() {
+            let (start, len) = me.parts[k];
+            let n = len as usize * d;
+            let mut ent = vec![0.0f32; n];
+            for x in ent.iter_mut() {
+                *x = rng.gen_range(-bound..bound) as f32;
+            }
+            let zeros = vec![0.0f32; n];
+            me.write_partition_raw(k, 0, start, len, &ent, &zeros, &zeros)?;
+        }
+        me.rel = (0..n_relations as usize * d)
+            .map(|_| rng.gen_range(-bound..bound) as f32)
+            .collect();
+        if me.cfg.model.relation_module {
+            let nr = n_relations as usize;
+            let mut m = vec![0.0f32; nr * d * d];
+            for r in 0..nr {
+                for i in 0..d {
+                    for j in 0..d {
+                        let noise =
+                            rng.gen_range(-me.cfg.model.init_noise..me.cfg.model.init_noise) as f32;
+                        m[r * d * d + i * d + j] = noise + if i == j { 1.0 } else { 0.0 };
+                    }
+                }
+            }
+            me.mats = m;
+            me.m_mat = vec![0.0; nr * d * d];
+            me.v_mat = vec![0.0; nr * d * d];
+        }
+
+        me.write_manifest()?;
+        me.save_resident()?;
+        Ok(me)
+    }
+
+    /// Reopen existing out-of-core state for a warm-start resume. Partition
+    /// generation stamps are validated lazily as blocks load them.
+    pub fn resume(dir: &Path) -> Result<Self, OocError> {
+        let payload =
+            artifact::read_artifact(&StdIo, &dir.join(MANIFEST_FILE), ArtifactKind::Checkpoint)?;
+        let manifest: Manifest = serde_json::from_slice(&payload)
+            .map_err(|e| OocError::State(format!("bad manifest: {e}")))?;
+        if manifest.version != MANIFEST_VERSION {
+            return Err(OocError::State(format!(
+                "manifest version {} (expected {MANIFEST_VERSION})",
+                manifest.version
+            )));
+        }
+        let d = manifest.model.dim;
+        let nr = manifest.n_relations as usize;
+        let mat_len = if manifest.model.relation_module {
+            nr * d * d
+        } else {
+            0
+        };
+
+        let bytes =
+            artifact::read_artifact(&StdIo, &dir.join(RESIDENT_FILE), ArtifactKind::Checkpoint)?;
+        let mut r = Reader::new(&bytes, dir.join(RESIDENT_FILE));
+        let gen = r.u64()?;
+        let t = r.u64()?;
+        let epochs_done = r.u64()? as usize;
+        let blocks_done = r.u64()? as usize;
+        let rel = r.f32s(nr * d)?;
+        let mats = r.f32s(mat_len)?;
+        let m_rel = r.f32s(nr * d)?;
+        let v_rel = r.f32s(nr * d)?;
+        let m_mat = r.f32s(mat_len)?;
+        let v_mat = r.f32s(mat_len)?;
+        r.done()?;
+
+        Ok(Self {
+            cfg: OocConfig {
+                model: manifest.model,
+                train: manifest.train,
+                mem_budget: manifest.mem_budget as usize,
+                dir: dir.to_path_buf(),
+            },
+            n_entities: manifest.n_entities,
+            n_relations: manifest.n_relations,
+            parts: manifest.partitions,
+            gen,
+            t,
+            epochs_done,
+            blocks_done,
+            rel,
+            mats,
+            m_rel,
+            v_rel,
+            m_mat,
+            v_mat,
+            pool: ScratchPool::new(),
+        })
+    }
+
+    /// Partition plan: `(row_start, n_rows)` per partition.
+    pub fn partitions(&self) -> &[(u64, u64)] {
+        &self.parts
+    }
+
+    /// Number of entity-range partitions.
+    pub fn n_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Epochs fully completed so far (across resumes).
+    pub fn epochs_done(&self) -> usize {
+        self.epochs_done
+    }
+
+    /// Training configuration.
+    pub fn config(&self) -> &OocConfig {
+        &self.cfg
+    }
+
+    /// Train until `cfg.train.epochs` epochs are done, resuming from the
+    /// persisted epoch/block cursor. Every block commits its partitions and
+    /// then the resident state, so a kill at any block boundary loses at
+    /// most one in-flight block.
+    pub fn train<S: TripleSource + ?Sized>(&mut self, source: &S) -> Result<OocReport, OocError> {
+        if source.n_entities() as u64 != self.n_entities
+            || source.n_relations() as u64 != self.n_relations
+        {
+            return Err(OocError::State(format!(
+                "source id spaces ({} entities, {} relations) do not match the trained state ({}, {})",
+                source.n_entities(),
+                source.n_relations(),
+                self.n_entities,
+                self.n_relations
+            )));
+        }
+        let start = Instant::now();
+        let total = self.cfg.train.epochs;
+        let mut epochs = Vec::new();
+        let mut halted = None;
+        let mut best_loss = f32::INFINITY;
+        let mut blocks_run = 0usize;
+        // A mid-epoch resume reports partial stats for its first epoch —
+        // they cover only the remaining blocks, so the divergence guard
+        // (which compares full-epoch means) skips that epoch.
+        let mut partial_epoch = self.blocks_done > 0;
+        while self.epochs_done < total {
+            let epoch = self.epochs_done;
+            let stats = self.train_epoch(source, epoch as u64, &mut blocks_run)?;
+            if !partial_epoch {
+                if let Some(reason) = diverged(stats.mean_loss, best_loss) {
+                    halted = Some(format!("epoch {}: {reason}", epoch + 1));
+                    epochs.push(stats);
+                    break;
+                }
+                best_loss = best_loss.min(stats.mean_loss.max(1e-3));
+            }
+            partial_epoch = false;
+            epochs.push(stats);
+            self.epochs_done = epoch + 1;
+            self.blocks_done = 0;
+            self.save_resident()?;
+        }
+        Ok(OocReport {
+            epochs,
+            n_partitions: self.parts.len(),
+            blocks: blocks_run,
+            wall_secs: start.elapsed().as_secs_f64(),
+            halted,
+        })
+    }
+
+    fn part_of(&self, e: u32) -> usize {
+        let g = e as u64;
+        self.parts.partition_point(|&(start, len)| start + len <= g)
+    }
+
+    fn train_epoch<S: TripleSource + ?Sized>(
+        &mut self,
+        source: &S,
+        epoch: u64,
+        blocks_run: &mut usize,
+    ) -> Result<EpochStats, OocError> {
+        // Identical shuffle to the resident trainer; the bucket grouping
+        // below is a *stable* partition of this order.
+        let mut order: Vec<u32> = (0..source.len() as u32).collect();
+        let mut rng = SmallRng::seed_from_u64(self.cfg.train.seed ^ (epoch << 32) ^ 0x5EED);
+        order.shuffle(&mut rng);
+
+        let p = self.parts.len();
+        let groups: Vec<(usize, usize, Vec<u32>)> = if p == 1 {
+            vec![(0, 0, order)]
+        } else {
+            let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); p * p];
+            for idx in order {
+                let t = source.triple(idx as usize);
+                let bi = self.part_of(t.head.0);
+                let bj = self.part_of(t.tail.0);
+                buckets[bi * p + bj].push(idx);
+            }
+            buckets
+                .into_iter()
+                .enumerate()
+                .filter(|(_, b)| !b.is_empty())
+                .map(|(id, b)| (id / p, id % p, b))
+                .collect()
+        };
+
+        let batch_size = self.cfg.train.batch_size.max(1);
+        let mut total_loss = 0.0f64;
+        let mut total_violations = 0usize;
+        let mut total_pairs = 0usize;
+        let mut batch_idx = 0u64;
+        for (block_idx, (pi, pj, idxs)) in groups.iter().enumerate() {
+            let n_batches = idxs.len().div_ceil(batch_size) as u64;
+            if block_idx < self.blocks_done {
+                // Already committed before a resume: keep the global batch
+                // counter (and with it the per-batch seeds) aligned.
+                batch_idx += n_batches;
+                continue;
+            }
+            let next_gen = self.gen + 1;
+            let (loss, violations, pairs) =
+                self.train_block(source, *pi, *pj, idxs, epoch, batch_idx, next_gen)?;
+            batch_idx += n_batches;
+            total_loss += loss;
+            total_violations += violations;
+            total_pairs += pairs;
+            *blocks_run += 1;
+            self.gen = next_gen;
+            self.blocks_done = block_idx + 1;
+            self.save_resident()?;
+        }
+
+        Ok(EpochStats {
+            mean_loss: if total_pairs > 0 {
+                (total_loss / total_pairs as f64) as f32
+            } else {
+                0.0
+            },
+            violation_rate: if total_pairs > 0 {
+                total_violations as f32 / total_pairs as f32
+            } else {
+                0.0
+            },
+            pairs: total_pairs,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn train_block<S: TripleSource + ?Sized>(
+        &mut self,
+        source: &S,
+        pi: usize,
+        pj: usize,
+        idxs: &[u32],
+        epoch: u64,
+        batch_start: u64,
+        next_gen: u64,
+    ) -> Result<(f64, usize, usize), OocError> {
+        let d = self.cfg.model.dim;
+        let (si, li) = self.parts[pi];
+        let space = if pi == pj {
+            BlockSpace::one(si, li)
+        } else {
+            let (sj, lj) = self.parts[pj];
+            BlockSpace::two(si, li, sj, lj)
+        };
+
+        let mut st = self.load_partition(pi)?;
+        if pj != pi {
+            let other = self.load_partition(pj)?;
+            st.ent.extend_from_slice(&other.ent);
+            st.m.extend_from_slice(&other.m);
+            st.v.extend_from_slice(&other.v);
+        }
+        let block_entities = space.n_local() as usize;
+
+        let mut model = PkgmModel {
+            cfg: self.cfg.model.clone(),
+            n_entities: block_entities,
+            n_relations: self.n_relations as usize,
+            ent: st.ent,
+            rel: mem::take(&mut self.rel),
+            mats: mem::take(&mut self.mats),
+        };
+        let mut bt = Trainer::new(&model, self.cfg.train.clone());
+        bt.m_ent = st.m;
+        bt.v_ent = st.v;
+        bt.m_rel = mem::take(&mut self.m_rel);
+        bt.v_rel = mem::take(&mut self.v_rel);
+        bt.m_mat = mem::take(&mut self.m_mat);
+        bt.v_mat = mem::take(&mut self.v_mat);
+        bt.t = self.t;
+
+        let triples: Vec<Triple> = idxs
+            .iter()
+            .map(|&i| space.localize(source.triple(i as usize)))
+            .collect();
+        let sampler = OocSampler::new(block_entities as u32, self.n_relations as u32);
+
+        let batch_size = bt.cfg.batch_size.max(1);
+        let mut loss = 0.0f64;
+        let mut violations = 0usize;
+        let mut pairs = 0usize;
+        for (k, batch) in triples.chunks(batch_size).enumerate() {
+            let acc = block_batch_gradients(
+                &bt,
+                &model,
+                source,
+                &sampler,
+                &space,
+                &self.pool,
+                batch,
+                epoch,
+                batch_start + k as u64,
+            );
+            loss += acc.loss;
+            violations += acc.violations;
+            pairs += acc.pairs;
+            bt.apply(&mut model, acc);
+        }
+
+        self.t = bt.t;
+        self.m_rel = mem::take(&mut bt.m_rel);
+        self.v_rel = mem::take(&mut bt.v_rel);
+        self.m_mat = mem::take(&mut bt.m_mat);
+        self.v_mat = mem::take(&mut bt.v_mat);
+        self.rel = mem::take(&mut model.rel);
+        self.mats = mem::take(&mut model.mats);
+
+        let ni = li as usize * d;
+        self.write_partition_raw(
+            pi,
+            next_gen,
+            si,
+            li,
+            &model.ent[..ni],
+            &bt.m_ent[..ni],
+            &bt.v_ent[..ni],
+        )?;
+        if pj != pi {
+            let (sj, lj) = self.parts[pj];
+            self.write_partition_raw(
+                pj,
+                next_gen,
+                sj,
+                lj,
+                &model.ent[ni..],
+                &bt.m_ent[ni..],
+                &bt.v_ent[ni..],
+            )?;
+        }
+        Ok((loss, violations, pairs))
+    }
+
+    /// Load every partition and assemble the full resident model — for
+    /// evaluation and tests; requires the whole table to fit in RAM.
+    pub fn assemble_model(&self) -> Result<PkgmModel, OocError> {
+        let d = self.cfg.model.dim;
+        let mut ent = Vec::with_capacity(self.n_entities as usize * d);
+        for k in 0..self.parts.len() {
+            let st = self.load_partition(k)?;
+            ent.extend_from_slice(&st.ent);
+        }
+        Ok(PkgmModel {
+            cfg: self.cfg.model.clone(),
+            n_entities: self.n_entities as usize,
+            n_relations: self.n_relations as usize,
+            ent,
+            rel: self.rel.clone(),
+            mats: self.mats.clone(),
+        })
+    }
+
+    /// Stream one PKGMSS3 dense snapshot per partition to
+    /// `{base}.shard{K}of{N}` (or `base` when `N = 1`), never holding more
+    /// than one partition of entity rows. Row values are bit-identical to a
+    /// resident [`crate::snapshot::ServiceSnapshot::build`] +
+    /// `shard_slice` over the assembled model, because each condensed row
+    /// replays the exact serving arithmetic of
+    /// [`crate::service::KnowledgeService::condensed_service_into`].
+    pub fn write_snapshots(
+        &self,
+        selector: &KeyRelationSelector,
+        base: &Path,
+    ) -> Result<Vec<PathBuf>, OocError> {
+        if !self.cfg.model.relation_module {
+            return Err(OocError::State(
+                "service snapshots require the relation module".into(),
+            ));
+        }
+        let d = self.cfg.model.dim;
+        let kf = selector.k() as f32;
+        let n_shards = self.parts.len() as u32;
+        let mut t_buf = vec![0.0f32; d];
+        let mut r_buf = vec![0.0f32; d];
+        let mut row = vec![0.0f32; 2 * d];
+        let mut out_paths = Vec::with_capacity(self.parts.len());
+        let mut block = PkgmModel {
+            cfg: self.cfg.model.clone(),
+            n_entities: 0,
+            n_relations: self.n_relations as usize,
+            ent: Vec::new(),
+            rel: self.rel.clone(),
+            mats: self.mats.clone(),
+        };
+        for (k, &(start, len)) in self.parts.iter().enumerate() {
+            let st = self.load_partition(k)?;
+            block.ent = st.ent;
+            block.n_entities = len as usize;
+            let path = shard_file_path(base, k as u32, n_shards);
+            let spec = ShardSpec {
+                n_shards,
+                shard_id: k as u32,
+                row_start: start,
+            };
+            let mut w = Ss3DenseWriter::create(&path, d, selector.k(), len, spec)?;
+            for local in 0..len as usize {
+                let gid = (start + local as u64) as u32;
+                row.fill(0.0);
+                for &r in selector.for_item(EntityId(gid)) {
+                    block.service_t_into(EntityId(local as u32), r, &mut t_buf);
+                    block.service_r_into(EntityId(local as u32), r, &mut r_buf);
+                    for i in 0..d {
+                        row[i] += t_buf[i] / kf;
+                        row[d + i] += r_buf[i] / kf;
+                    }
+                }
+                w.write_rows(&row)?;
+            }
+            w.finish()?;
+            out_paths.push(path);
+        }
+        Ok(out_paths)
+    }
+
+    fn partition_path(&self, k: usize) -> PathBuf {
+        self.cfg
+            .dir
+            .join(format!("ooc-part-{:05}of{:05}.pkgm", k, self.parts.len()))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn write_partition_raw(
+        &self,
+        k: usize,
+        gen: u64,
+        start: u64,
+        len: u64,
+        ent: &[f32],
+        m: &[f32],
+        v: &[f32],
+    ) -> Result<(), OocError> {
+        let d = self.cfg.model.dim;
+        let mut payload = Vec::with_capacity(32 + (ent.len() + m.len() + v.len()) * 4);
+        push_u64(&mut payload, gen);
+        push_u64(&mut payload, start);
+        push_u64(&mut payload, len);
+        push_u64(&mut payload, d as u64);
+        push_f32s(&mut payload, ent);
+        push_f32s(&mut payload, m);
+        push_f32s(&mut payload, v);
+        artifact::write_artifact(
+            &StdIo,
+            &self.partition_path(k),
+            ArtifactKind::Checkpoint,
+            &payload,
+        )?;
+        Ok(())
+    }
+
+    fn load_partition(&self, k: usize) -> Result<PartitionState, OocError> {
+        let path = self.partition_path(k);
+        let bytes = artifact::read_artifact(&StdIo, &path, ArtifactKind::Checkpoint)?;
+        let mut r = Reader::new(&bytes, path.clone());
+        let gen = r.u64()?;
+        let start = r.u64()?;
+        let len = r.u64()?;
+        let dim = r.u64()?;
+        let (want_start, want_len) = self.parts[k];
+        if (start, len, dim as usize) != (want_start, want_len, self.cfg.model.dim) {
+            return Err(OocError::State(format!(
+                "{}: partition covers rows {start}+{len} dim {dim}, plan expects {want_start}+{want_len} dim {}",
+                path.display(),
+                self.cfg.model.dim
+            )));
+        }
+        if gen > self.gen {
+            return Err(OocError::State(format!(
+                "{}: partition generation {gen} is ahead of the committed state ({}) — \
+                 an interrupted block left mixed state; restart training from init",
+                path.display(),
+                self.gen
+            )));
+        }
+        let n = len as usize * self.cfg.model.dim;
+        let ent = r.f32s(n)?;
+        let m = r.f32s(n)?;
+        let v = r.f32s(n)?;
+        r.done()?;
+        Ok(PartitionState { ent, m, v })
+    }
+
+    fn write_manifest(&self) -> Result<(), OocError> {
+        let manifest = Manifest {
+            version: MANIFEST_VERSION,
+            n_entities: self.n_entities,
+            n_relations: self.n_relations,
+            model: self.cfg.model.clone(),
+            train: self.cfg.train.clone(),
+            mem_budget: self.cfg.mem_budget as u64,
+            partitions: self.parts.clone(),
+        };
+        let json = serde_json::to_vec(&manifest)
+            .map_err(|e| OocError::State(format!("manifest encode: {e}")))?;
+        artifact::write_artifact(
+            &StdIo,
+            &self.cfg.dir.join(MANIFEST_FILE),
+            ArtifactKind::Checkpoint,
+            &json,
+        )?;
+        Ok(())
+    }
+
+    fn save_resident(&self) -> Result<(), OocError> {
+        let mut payload = Vec::with_capacity(
+            32 + (self.rel.len()
+                + self.mats.len()
+                + self.m_rel.len()
+                + self.v_rel.len()
+                + self.m_mat.len()
+                + self.v_mat.len())
+                * 4,
+        );
+        push_u64(&mut payload, self.gen);
+        push_u64(&mut payload, self.t);
+        push_u64(&mut payload, self.epochs_done as u64);
+        push_u64(&mut payload, self.blocks_done as u64);
+        push_f32s(&mut payload, &self.rel);
+        push_f32s(&mut payload, &self.mats);
+        push_f32s(&mut payload, &self.m_rel);
+        push_f32s(&mut payload, &self.v_rel);
+        push_f32s(&mut payload, &self.m_mat);
+        push_f32s(&mut payload, &self.v_mat);
+        artifact::write_artifact(
+            &StdIo,
+            &self.cfg.dir.join(RESIDENT_FILE),
+            ArtifactKind::Checkpoint,
+            &payload,
+        )?;
+        Ok(())
+    }
+}
+
+/// The block-local twin of the resident trainer's `batch_gradients`: same
+/// per-batch seed formula, same chunk layout (via
+/// [`Trainer::chunk_size_for`]), same scratch/kernel path and ascending
+/// fold — only the triples are pre-translated to block-local ids and the
+/// sampler is the block-local [`OocSampler`].
+#[allow(clippy::too_many_arguments)]
+fn block_batch_gradients<S: TripleSource + ?Sized>(
+    bt: &Trainer,
+    model: &PkgmModel,
+    source: &S,
+    sampler: &OocSampler,
+    space: &BlockSpace,
+    pool: &ScratchPool,
+    batch: &[Triple],
+    epoch: u64,
+    batch_idx: u64,
+) -> ChunkGrads {
+    let margin = bt.cfg.margin;
+    let negatives = bt.cfg.negatives.max(1);
+    let seed = bt.cfg.seed ^ (epoch << 40) ^ (batch_idx << 8);
+    let chunk_size = bt.chunk_size_for(batch.len());
+
+    let chunk_grads = |(chunk_idx, chunk): (usize, &[Triple])| -> ChunkGrads {
+        let mut rng = SmallRng::seed_from_u64(seed ^ chunk_idx as u64);
+        pool.with_scratch(model, |sc| {
+            let mut pairs = std::mem::take(&mut sc.pairs);
+            sampler.corrupt_batch_into(
+                chunk.iter().copied(),
+                source,
+                space,
+                negatives,
+                &mut rng,
+                &mut pairs,
+            );
+            let out = fused_chunk_grads(model, sc, &pairs, margin);
+            sc.pairs = pairs;
+            out
+        })
+    };
+
+    let per_chunk: Vec<ChunkGrads> = if bt.cfg.parallel {
+        batch
+            .par_chunks(chunk_size)
+            .enumerate()
+            .map(chunk_grads)
+            .collect()
+    } else {
+        batch
+            .chunks(chunk_size)
+            .enumerate()
+            .map(chunk_grads)
+            .collect()
+    };
+    per_chunk
+        .into_iter()
+        .fold(ChunkGrads::empty(), ChunkGrads::merge)
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f32s(buf: &mut Vec<u8>, xs: &[f32]) {
+    buf.reserve(xs.len() * 4);
+    for &x in xs {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    off: usize,
+    path: PathBuf,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8], path: PathBuf) -> Self {
+        Self { buf, off: 0, path }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], OocError> {
+        if self.off + n > self.buf.len() {
+            return Err(OocError::State(format!(
+                "{}: truncated payload ({} of {} bytes)",
+                self.path.display(),
+                self.buf.len(),
+                self.off + n
+            )));
+        }
+        let s = &self.buf[self.off..self.off + n];
+        self.off += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, OocError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, OocError> {
+        let b = self.take(n * 4)?;
+        Ok(b.chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn done(&self) -> Result<(), OocError> {
+        if self.off != self.buf.len() {
+            return Err(OocError::State(format!(
+                "{}: {} trailing bytes",
+                self.path.display(),
+                self.buf.len() - self.off
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkgm_store::StoreBuilder;
+
+    fn store(n_items: u32, n_rel: u32) -> TripleStore {
+        let mut b = StoreBuilder::new();
+        for i in 0..n_items {
+            for r in 0..n_rel {
+                b.add_raw(i, r, n_items + (i * 7 + r * 3) % (n_items / 2).max(1));
+            }
+        }
+        b.build()
+    }
+
+    fn train_cfg() -> TrainConfig {
+        TrainConfig {
+            lr: 5e-3,
+            margin: 2.0,
+            batch_size: 16,
+            epochs: 3,
+            negatives: 2,
+            seed: 42,
+            normalize_entities: true,
+            parallel: false,
+            chunk_size: Some(8),
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pkgm-ooc-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn plan_keeps_one_partition_when_budget_fits() {
+        let parts = plan_partitions(1000, 16, usize::MAX as u64).unwrap();
+        assert_eq!(parts, vec![(0, 1000)]);
+    }
+
+    #[test]
+    fn plan_splits_and_blocks_fit_budget() {
+        let dim = 16;
+        let bpe = (3 * dim * 4) as u64;
+        let n = 1000u64;
+        let budget = n * bpe / 3; // forces >= 2 partitions
+        let parts = plan_partitions(n, dim, budget).unwrap();
+        assert!(parts.len() >= 2, "expected a split, got {parts:?}");
+        // contiguous cover
+        let mut next = 0u64;
+        for &(start, len) in &parts {
+            assert_eq!(start, next);
+            assert!(len > 0);
+            next += len;
+        }
+        assert_eq!(next, n);
+        // any two partitions fit the budget
+        let max_len = parts.iter().map(|&(_, l)| l).max().unwrap();
+        assert!(2 * max_len * bpe <= budget);
+    }
+
+    #[test]
+    fn plan_rejects_impossible_budget() {
+        assert!(matches!(
+            plan_partitions(10, 64, 16),
+            Err(OocError::Budget(_))
+        ));
+    }
+
+    #[test]
+    fn synthetic_triples_are_deterministic_and_in_range() {
+        let s = SyntheticTriples {
+            n_entities: 50,
+            n_relations: 7,
+            n_triples: 500,
+            seed: 9,
+        };
+        for i in 0..s.len() {
+            let t = s.triple(i);
+            assert!(t.head.0 < 50 && t.tail.0 < 50 && t.relation.0 < 7);
+            assert_eq!(t, s.triple(i));
+        }
+    }
+
+    #[test]
+    fn streamed_init_is_bit_identical_to_resident_init() {
+        let s = store(40, 4);
+        let model_cfg = PkgmConfig::new(8).with_seed(7);
+        let dir = tmp_dir("init");
+        let ooc = OocTrainer::new(
+            &s,
+            OocConfig {
+                model: model_cfg.clone(),
+                train: train_cfg(),
+                mem_budget: 3 * 8 * 4 * 12, // ~12 rows per block -> several partitions
+                dir: dir.clone(),
+            },
+        )
+        .unwrap();
+        assert!(ooc.n_partitions() >= 2);
+        let assembled = ooc.assemble_model().unwrap();
+        let resident = PkgmModel::new(
+            TripleSource::n_entities(&s) as usize,
+            TripleSource::n_relations(&s) as usize,
+            model_cfg,
+        );
+        assert_eq!(bits(&assembled.ent), bits(&resident.ent));
+        assert_eq!(bits(&assembled.rel), bits(&resident.rel));
+        assert_eq!(bits(&assembled.mats), bits(&resident.mats));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn bits(xs: &[f32]) -> Vec<u32> {
+        xs.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn single_block_training_is_bit_identical_to_resident() {
+        let s = store(40, 4);
+        let model_cfg = PkgmConfig::new(8).with_seed(7);
+        let tcfg = train_cfg();
+
+        let mut resident = PkgmModel::new(
+            TripleSource::n_entities(&s) as usize,
+            TripleSource::n_relations(&s) as usize,
+            model_cfg.clone(),
+        );
+        let mut rt = Trainer::new(&resident, tcfg.clone());
+        let r_report = rt.train(&mut resident, &s);
+
+        let dir = tmp_dir("p1");
+        let mut ooc = OocTrainer::new(
+            &s,
+            OocConfig {
+                model: model_cfg,
+                train: tcfg,
+                mem_budget: usize::MAX,
+                dir: dir.clone(),
+            },
+        )
+        .unwrap();
+        assert_eq!(ooc.n_partitions(), 1);
+        let o_report = ooc.train(&s).unwrap();
+        let assembled = ooc.assemble_model().unwrap();
+
+        assert_eq!(bits(&assembled.ent), bits(&resident.ent));
+        assert_eq!(bits(&assembled.rel), bits(&resident.rel));
+        assert_eq!(bits(&assembled.mats), bits(&resident.mats));
+        for (a, b) in r_report.epochs.iter().zip(&o_report.epochs) {
+            assert_eq!(a.mean_loss.to_bits(), b.mean_loss.to_bits());
+            assert_eq!(a.pairs, b.pairs);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn multi_block_training_is_deterministic_across_resume() {
+        let s = store(60, 3);
+        let model_cfg = PkgmConfig::new(8).with_seed(11);
+        let budget = 3 * 8 * 4 * 40; // 2 partitions x 20 rows per block
+        let mut straight_cfg = train_cfg();
+        straight_cfg.epochs = 2;
+
+        let dir_a = tmp_dir("straight");
+        let mut a = OocTrainer::new(
+            &s,
+            OocConfig {
+                model: model_cfg.clone(),
+                train: straight_cfg.clone(),
+                mem_budget: budget,
+                dir: dir_a.clone(),
+            },
+        )
+        .unwrap();
+        assert!(a.n_partitions() >= 2);
+        a.train(&s).unwrap();
+        let straight = a.assemble_model().unwrap();
+
+        // Same run split into 1 epoch + resume for the second.
+        let dir_b = tmp_dir("resumed");
+        let mut first_cfg = straight_cfg.clone();
+        first_cfg.epochs = 1;
+        let mut b = OocTrainer::new(
+            &s,
+            OocConfig {
+                model: model_cfg,
+                train: first_cfg,
+                mem_budget: budget,
+                dir: dir_b.clone(),
+            },
+        )
+        .unwrap();
+        b.train(&s).unwrap();
+        drop(b);
+        let mut b = OocTrainer::resume(&dir_b).unwrap();
+        b.cfg.train.epochs = straight_cfg.epochs;
+        assert_eq!(b.epochs_done(), 1);
+        b.train(&s).unwrap();
+        let resumed = b.assemble_model().unwrap();
+
+        assert_eq!(bits(&straight.ent), bits(&resumed.ent));
+        assert_eq!(bits(&straight.rel), bits(&resumed.rel));
+        assert_eq!(bits(&straight.mats), bits(&resumed.mats));
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn stale_generation_is_detected() {
+        let s = store(30, 3);
+        let dir = tmp_dir("gen");
+        let ooc = OocTrainer::new(
+            &s,
+            OocConfig {
+                model: PkgmConfig::new(8).with_seed(3),
+                train: train_cfg(),
+                mem_budget: usize::MAX,
+                dir: dir.clone(),
+            },
+        )
+        .unwrap();
+        // Forge a partition stamped one generation ahead of the resident
+        // commit — the signature of a block interrupted mid-commit.
+        let st = ooc.load_partition(0).unwrap();
+        let (start, len) = ooc.parts[0];
+        ooc.write_partition_raw(0, ooc.gen + 1, start, len, &st.ent, &st.m, &st.v)
+            .unwrap();
+        let err = ooc.load_partition(0).unwrap_err();
+        assert!(matches!(err, OocError::State(_)), "got {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -33,6 +33,7 @@
 //! | `Stats`            | empty                                      |
 //! | `Health`           | empty — liveness probe, JSON response      |
 //! | `Ready`            | empty — readiness probe, JSON response     |
+//! | `ShardMap`         | empty — shard topology query, JSON response|
 //! | `Reload`           | UTF-8 snapshot path (daemon-local, ≤ 4 KiB)|
 //! | `Shutdown`         | empty                                      |
 //!
@@ -124,6 +125,9 @@ pub mod op {
     /// Readiness probe; JSON response (`ready` is true only when the
     /// daemon can actually serve lookups right now).
     pub const READY: u8 = 0x08;
+    /// Shard-topology query; JSON response describing the entity-range
+    /// shard the current snapshot covers (the router's map source).
+    pub const SHARD_MAP: u8 = 0x09;
 }
 
 /// Response statuses (the first body byte of a response frame).
@@ -211,6 +215,9 @@ pub enum Request {
     Health,
     /// Readiness probe: can the daemon serve a lookup *right now*?
     Ready,
+    /// Shard-topology query: which entity range does the current snapshot
+    /// cover? Answered with JSON so a router can build its shard map.
+    ShardMap,
     /// Hot-swap the serving snapshot from this daemon-local path.
     Reload(String),
     /// Ask the daemon to shut down gracefully.
@@ -366,10 +373,10 @@ pub fn decode_request(body: &[u8]) -> Result<Request, ProtocolError> {
                 items,
             })
         }
-        op::PING | op::STATS | op::SHUTDOWN | op::HEALTH | op::READY => {
+        op::PING | op::STATS | op::SHUTDOWN | op::HEALTH | op::READY | op::SHARD_MAP => {
             if !payload.is_empty() {
                 return Err(ProtocolError::Malformed(
-                    "ping/stats/shutdown/health/ready carry no payload",
+                    "ping/stats/shutdown/health/ready/shard-map carry no payload",
                 ));
             }
             Ok(match opcode {
@@ -377,6 +384,7 @@ pub fn decode_request(body: &[u8]) -> Result<Request, ProtocolError> {
                 op::STATS => Request::Stats,
                 op::HEALTH => Request::Health,
                 op::READY => Request::Ready,
+                op::SHARD_MAP => Request::ShardMap,
                 _ => Request::Shutdown,
             })
         }
@@ -421,6 +429,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Stats => body.push(op::STATS),
         Request::Health => body.push(op::HEALTH),
         Request::Ready => body.push(op::READY),
+        Request::ShardMap => body.push(op::SHARD_MAP),
         Request::Reload(path) => {
             body.push(op::RELOAD);
             body.extend_from_slice(path.as_bytes());
@@ -755,6 +764,7 @@ mod tests {
             Request::Stats,
             Request::Health,
             Request::Ready,
+            Request::ShardMap,
             Request::Reload("snapshots/serving.snap".into()),
             Request::Shutdown,
         ];

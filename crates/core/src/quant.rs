@@ -74,7 +74,7 @@ const SCAN_SCALE_QUANTILE: f64 = 0.995;
 /// Multiplicative inflation applied to computed error sums so a sum that
 /// f32-rounds *down* still upper-bounds the real error (O(d)·ε ≈ 2e-5
 /// relative at d = 128, budgeted 1e-4).
-const ERR_INFLATE: f32 = 1.0001;
+pub(crate) const ERR_INFLATE: f32 = 1.0001;
 
 /// Relative shave applied to the accumulated quantized sum, covering its
 /// own accumulation rounding *and* the rounding deficit of the f32

@@ -213,6 +213,16 @@ pub struct RetryError {
     pub attempts: u32,
 }
 
+impl RetryError {
+    /// The typed `WrongShard` redirect payload, when the final failure was
+    /// a shard miss. `WrongShard` is (correctly) permanent *to this
+    /// daemon* — this accessor is how a router or multi-shard caller gets
+    /// the topology needed to re-route, without string-parsing the error.
+    pub fn wrong_shard(&self) -> Option<crate::daemon::ShardRedirect> {
+        self.last.wrong_shard()
+    }
+}
+
 impl std::fmt::Display for RetryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -546,6 +556,31 @@ mod tests {
             )),
             FailureKind::Permanent
         );
+        // The redirect payload stays reachable through the retry error —
+        // typed, not string-parsed.
+        let err = RetryError {
+            last: ClientError::WrongShard {
+                id: 42,
+                shard_id: 1,
+                n_shards: 4,
+                row_start: 10,
+                n_rows: 10,
+            },
+            reason: "permanent failure",
+            attempts: 1,
+        };
+        let redirect = err.wrong_shard().expect("wrong-shard payload");
+        assert_eq!(
+            (redirect.id, redirect.shard_id, redirect.n_shards),
+            (42, 1, 4)
+        );
+        assert_eq!((redirect.row_start, redirect.n_rows), (10, 10));
+        let other = RetryError {
+            last: ClientError::Overloaded,
+            reason: "retry count exhausted",
+            attempts: 2,
+        };
+        assert!(other.wrong_shard().is_none());
         assert!(!FailureKind::PossiblyExecuted.retryable());
         assert!(!FailureKind::DeadlineSpent.retryable());
         assert!(!FailureKind::Permanent.retryable());

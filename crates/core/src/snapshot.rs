@@ -33,11 +33,11 @@ const BUILD_CHUNK: usize = 128;
 
 /// Cap on verbatim f32 rows kept by [`ServiceSnapshot::quantize`], as a
 /// divisor of the row count: at most `n_rows / EXACT_ROW_DIVISOR` rows.
-const EXACT_ROW_DIVISOR: usize = 64;
+pub(crate) const EXACT_ROW_DIVISOR: usize = 64;
 
 /// Rows whose measured quantization error exceeds this multiple of the
 /// median row error are candidates for verbatim storage.
-const EXACT_ERR_FACTOR: f32 = 4.0;
+pub(crate) const EXACT_ERR_FACTOR: f32 = 4.0;
 
 /// How a snapshot's row storage is held in the process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

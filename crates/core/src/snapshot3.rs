@@ -930,6 +930,330 @@ impl Drop for Ss3DenseWriter {
     }
 }
 
+/// Streams a **quantized** `PKGMSS3` shard to disk without ever holding
+/// the dense f32 table: each incoming row is blockwise-int8 quantized with
+/// the exact per-row loop of [`QuantTable::quantize_table`] and its i8
+/// payload appended to the file immediately. Only per-row metadata stays
+/// resident (one error f32 and `ceil(2d/block)` scale f32s per row — a few
+/// percent of the dense bytes).
+///
+/// [`Ss3QuantWriter::finish`] then replays
+/// [`ServiceSnapshot::quantize`]'s escape selection over the buffered
+/// errors (median threshold, worst-first cap), pulls the escapes' verbatim
+/// f32 rows back from the caller, and recomputes the fallback by
+/// re-reading the quantized payload in one sequential pass — the same
+/// ascending served-row accumulation as the resident build. The resulting
+/// file is **byte-identical** to `snapshot_to_ss3_bytes` of
+/// `shard.quantize()` on the same rows, so int8 shards still map zero-copy
+/// through [`open_mapped_snapshot`].
+pub struct Ss3QuantWriter {
+    file: Option<File>,
+    tmp: PathBuf,
+    dest: PathBuf,
+    dim: u32,
+    k: u32,
+    shard: ShardSpec,
+    n_rows: u64,
+    rows_written: u64,
+    row_len: usize,
+    block: usize,
+    /// Pre-finalized CRC state of the QDATA section.
+    crc_state: u32,
+    /// Per-block scales, `n_blocks(row_len, block)` per row.
+    scales: Vec<f32>,
+    /// Per-row measured error (inflated), the escape-selection input.
+    row_errs: Vec<f32>,
+    finished: bool,
+}
+
+impl Ss3QuantWriter {
+    /// Start a quantized shard of exactly `n_rows` rows (must be > 0)
+    /// covering global ids `[shard.row_start, shard.row_start + n_rows)`.
+    pub fn create(
+        dest: &Path,
+        dim: usize,
+        k: usize,
+        n_rows: u64,
+        shard: ShardSpec,
+    ) -> std::io::Result<Self> {
+        use std::io::{Error, ErrorKind};
+        if n_rows == 0 {
+            return Err(Error::new(
+                ErrorKind::InvalidInput,
+                "refusing to write a zero-row PKGMSS3 shard",
+            ));
+        }
+        if shard.n_shards == 0 || shard.shard_id >= shard.n_shards {
+            return Err(Error::new(
+                ErrorKind::InvalidInput,
+                format!(
+                    "invalid shard spec: shard {} of {}",
+                    shard.shard_id, shard.n_shards
+                ),
+            ));
+        }
+        if shard
+            .row_start
+            .checked_add(n_rows)
+            .is_none_or(|e| e > u64::from(u32::MAX) + 1)
+        {
+            return Err(Error::new(
+                ErrorKind::InvalidInput,
+                "shard row range exceeds the u32 id space",
+            ));
+        }
+        if let Some(parent) = dest.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file_name = dest
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| Error::new(ErrorKind::InvalidInput, "destination has no file name"))?;
+        let tmp = dest.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+        // Read + write: finish() re-reads the streamed QDATA payload to
+        // rebuild the served-row mean without the dense table.
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        file.seek(SeekFrom::Start(PAGE))?;
+        let row_len = 2 * dim;
+        let block = crate::quant::QUANT_BLOCK.min(row_len);
+        let nb = row_len.div_ceil(block);
+        Ok(Self {
+            file: Some(file),
+            tmp,
+            dest: dest.to_path_buf(),
+            dim: dim as u32,
+            k: k as u32,
+            shard,
+            n_rows,
+            rows_written: 0,
+            row_len,
+            block,
+            crc_state: !0u32,
+            scales: Vec::with_capacity((n_rows as usize).saturating_mul(nb)),
+            row_errs: Vec::with_capacity(n_rows as usize),
+            finished: false,
+        })
+    }
+
+    /// Quantize and append whole rows (`rows.len()` must be a multiple of
+    /// `2·dim`), using the exact arithmetic of
+    /// [`QuantTable::quantize_table`] so the streamed payload is
+    /// bit-identical to a one-shot quantization of the same table.
+    pub fn write_rows(&mut self, rows: &[f32]) -> std::io::Result<()> {
+        use std::io::{Error, ErrorKind};
+        if !rows.len().is_multiple_of(self.row_len) {
+            return Err(Error::new(
+                ErrorKind::InvalidInput,
+                "rows must be whole multiples of 2*dim floats",
+            ));
+        }
+        let n = (rows.len() / self.row_len) as u64;
+        if self.rows_written + n > self.n_rows {
+            return Err(Error::new(
+                ErrorKind::InvalidInput,
+                format!("shard declared {} rows, writing more", self.n_rows),
+            ));
+        }
+        let mut bytes = Vec::with_capacity(rows.len());
+        for row in rows.chunks_exact(self.row_len) {
+            let mut err = 0.0f32;
+            for chunk in row.chunks(self.block) {
+                let amax = chunk.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+                let (scale, inv) = if amax > 0.0 {
+                    (amax / 127.0, 127.0 / amax)
+                } else {
+                    (0.0, 0.0)
+                };
+                self.scales.push(scale);
+                for &x in chunk {
+                    let q = (x * inv).round().clamp(-127.0, 127.0) as i8;
+                    bytes.push(q as u8);
+                    err = err.max((x - q as f32 * scale).abs());
+                }
+            }
+            self.row_errs.push(err * quant::ERR_INFLATE);
+        }
+        self.file
+            .as_mut()
+            .expect("writer not finished")
+            .write_all(&bytes)?;
+        self.crc_state = crc32_update(self.crc_state, &bytes);
+        self.rows_written += n;
+        Ok(())
+    }
+
+    /// Select escape rows, fetch their verbatim f32 rows from `exact_row`
+    /// (called with ascending shard-local row ids), rebuild the served-row
+    /// fallback in one sequential re-read of the quantized payload, then
+    /// write the metadata sections + header, fsync and atomically rename.
+    pub fn finish(mut self, mut exact_row: impl FnMut(u64, &mut [f32])) -> std::io::Result<()> {
+        use std::io::{Error, ErrorKind, Read};
+        if self.rows_written != self.n_rows {
+            return Err(Error::new(
+                ErrorKind::InvalidInput,
+                format!(
+                    "shard declared {} rows, only {} written",
+                    self.n_rows, self.rows_written
+                ),
+            ));
+        }
+        let mut file = self.file.take().expect("writer not finished");
+        let n_rows = self.n_rows as usize;
+        let row_len = self.row_len;
+        let nb = row_len.div_ceil(self.block);
+
+        // Escape selection — the exact algorithm of
+        // ServiceSnapshot::quantize: median threshold, worst offenders
+        // first (ties by id), capped, stored ascending.
+        let errs = &self.row_errs;
+        let mut sorted = errs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite quant errors"));
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
+        let mut escapes: Vec<u32> = (0..n_rows as u32)
+            .filter(|&i| errs[i as usize] > crate::snapshot::EXACT_ERR_FACTOR * median)
+            .collect();
+        escapes.sort_by(|&a, &b| {
+            errs[b as usize]
+                .partial_cmp(&errs[a as usize])
+                .expect("finite quant errors")
+                .then(a.cmp(&b))
+        });
+        escapes.truncate(n_rows / crate::snapshot::EXACT_ROW_DIVISOR);
+        escapes.sort_unstable();
+        let mut exact_rows = vec![0.0f32; escapes.len() * row_len];
+        for (e, &id) in escapes.iter().enumerate() {
+            exact_row(id as u64, &mut exact_rows[e * row_len..(e + 1) * row_len]);
+        }
+
+        // Fallback: the same ascending accumulation over *served* rows as
+        // snapshot::mean_served_row, re-reading the quantized payload
+        // sequentially instead of holding the dense table.
+        let mut mean = vec![0.0f32; row_len];
+        let mut row = vec![0.0f32; row_len];
+        let mut qrow_u8 = vec![0u8; row_len];
+        let mut qrow = vec![0i8; row_len];
+        file.seek(SeekFrom::Start(PAGE))?;
+        {
+            let mut reader = std::io::BufReader::with_capacity(1 << 20, &mut file);
+            let mut next_escape = 0usize;
+            for id in 0..n_rows {
+                reader.read_exact(&mut qrow_u8)?;
+                let served: &[f32] =
+                    if next_escape < escapes.len() && escapes[next_escape] as usize == id {
+                        let s = &exact_rows[next_escape * row_len..(next_escape + 1) * row_len];
+                        next_escape += 1;
+                        s
+                    } else {
+                        for (q, &b) in qrow.iter_mut().zip(&qrow_u8) {
+                            *q = b as i8;
+                        }
+                        quant::dequantize_row_into(
+                            &qrow,
+                            &self.scales[id * nb..(id + 1) * nb],
+                            row_len,
+                            self.block,
+                            0,
+                            &mut row,
+                        );
+                        &row
+                    };
+                for (m, &x) in mean.iter_mut().zip(served) {
+                    *m += x;
+                }
+            }
+        }
+        for m in &mut mean {
+            *m /= n_rows as f32;
+        }
+
+        // Metadata sections, laid out exactly like the one-shot writer.
+        let mut scales_b = Vec::with_capacity(self.scales.len() * 4);
+        push_f32s_le(&mut scales_b, &self.scales);
+        let mut errs_b = Vec::with_capacity(self.row_errs.len() * 4);
+        push_f32s_le(&mut errs_b, &self.row_errs);
+        let mut ids_b = Vec::with_capacity(escapes.len() * 4);
+        push_u32s_le(&mut ids_b, &escapes);
+        let mut exact_b = Vec::with_capacity(exact_rows.len() * 4);
+        push_f32s_le(&mut exact_b, &exact_rows);
+        let mut fb_b = Vec::with_capacity(mean.len() * 4);
+        push_f32s_le(&mut fb_b, &mean);
+
+        let qdata_len = self.n_rows * row_len as u64;
+        let mut sections = vec![Section {
+            kind: SEC_QDATA_I8,
+            crc: !self.crc_state,
+            offset: PAGE,
+            len: qdata_len,
+        }];
+        let mut offset = align_page(PAGE + qdata_len);
+        for (kind, body) in [
+            (SEC_SCALES_F32, &scales_b),
+            (SEC_ROWERR_F32, &errs_b),
+            (SEC_EXACT_IDS_U32, &ids_b),
+            (SEC_EXACT_ROWS_F32, &exact_b),
+            (SEC_FALLBACK_F32, &fb_b),
+        ] {
+            sections.push(Section {
+                kind,
+                crc: crc32(body),
+                offset,
+                len: body.len() as u64,
+            });
+            file.seek(SeekFrom::Start(offset))?;
+            file.write_all(body)?;
+            offset = align_page(offset + body.len() as u64);
+        }
+        // Match the one-shot byte length exactly: no padding after the
+        // final section.
+        let last = sections.last().expect("six sections");
+        file.set_len(last.offset + last.len)?;
+
+        let header = Header {
+            quantized: true,
+            dim: self.dim,
+            k: self.k,
+            n_rows: self.n_rows,
+            shard: self.shard,
+            block: self.block as u32,
+            n_exact: escapes.len() as u64,
+            sections,
+        };
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&header.encode())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&self.tmp, &self.dest)?;
+        self.finished = true;
+        if let Some(parent) = self.dest.parent() {
+            let dir = if parent.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                parent
+            };
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Ss3QuantWriter {
+    fn drop(&mut self) {
+        if !self.finished {
+            drop(self.file.take());
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
+
 /// Split `n_rows` global rows into `n_shards` contiguous ranges (first
 /// shards one row longer when it does not divide evenly). Returns each
 /// shard's [`ShardSpec`] plus its row count.
@@ -1092,6 +1416,45 @@ mod tests {
         let got = std::fs::read(&path).unwrap();
         assert_eq!(got, expect, "streamed bytes must equal one-shot bytes");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_quant_writer_matches_one_shot_bytes() {
+        // Sharded so escape ids / row_start handling is exercised too.
+        let snap = ServiceSnapshot::build(&service_n(90));
+        let table = snap.dense_table().unwrap().to_vec();
+        let row_len = 2 * snap.dim();
+        for (spec, len) in shard_ranges(snap.n_rows() as u64, 3) {
+            let shard = snap.shard_slice(spec, len).unwrap();
+            let expect = snapshot_to_ss3_bytes(&shard.quantize()).unwrap();
+            let shard_rows = &table[spec.row_start as usize * row_len..][..len as usize * row_len];
+            let path = temp_path(&format!("qstream{}", spec.shard_id));
+            let mut w = Ss3QuantWriter::create(&path, snap.dim(), snap.k(), len, spec).unwrap();
+            let mut off = 0usize;
+            for chunk in [3usize, 11, 1, 8].iter().cycle() {
+                if off == len as usize {
+                    break;
+                }
+                let n = (*chunk).min(len as usize - off);
+                w.write_rows(&shard_rows[off * row_len..(off + n) * row_len])
+                    .unwrap();
+                off += n;
+            }
+            w.finish(|id, out| {
+                out.copy_from_slice(&shard_rows[id as usize * row_len..][..row_len]);
+            })
+            .unwrap();
+            let got = std::fs::read(&path).unwrap();
+            assert_eq!(
+                got, expect,
+                "streamed quantized shard {} must equal one-shot bytes",
+                spec.shard_id
+            );
+            // And the streamed file still maps zero-copy.
+            let mapped = open_mapped_snapshot(&path, false).unwrap();
+            assert_eq!(mapped, shard.quantize());
+            std::fs::remove_file(&path).ok();
+        }
     }
 
     #[test]

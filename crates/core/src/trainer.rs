@@ -207,13 +207,16 @@ pub enum GradKernel {
 pub struct Trainer {
     /// Training hyper-parameters.
     pub cfg: TrainConfig,
-    m_ent: Vec<f32>,
-    v_ent: Vec<f32>,
-    m_rel: Vec<f32>,
-    v_rel: Vec<f32>,
-    m_mat: Vec<f32>,
-    v_mat: Vec<f32>,
-    t: u64,
+    // Moment vectors, step counter and epoch cursor are crate-visible so
+    // the out-of-core block trainer ([`crate::ooc`]) can run a shard-pair
+    // block through the exact same Adam state it would have used resident.
+    pub(crate) m_ent: Vec<f32>,
+    pub(crate) v_ent: Vec<f32>,
+    pub(crate) m_rel: Vec<f32>,
+    pub(crate) v_rel: Vec<f32>,
+    pub(crate) m_mat: Vec<f32>,
+    pub(crate) v_mat: Vec<f32>,
+    pub(crate) t: u64,
     epochs_done: usize,
     /// Gradient-kernel selector (bench plumbing; defaults to fused).
     kernel: GradKernel,
@@ -376,7 +379,7 @@ impl Trainer {
     /// an even split across rayon's threads floored at [`MIN_CHUNK_SIZE`].
     /// Computed identically for serial and parallel runs — the layout (and
     /// with it the per-chunk RNG streams) must not depend on `cfg.parallel`.
-    fn chunk_size_for(&self, batch_len: usize) -> usize {
+    pub(crate) fn chunk_size_for(&self, batch_len: usize) -> usize {
         match self.cfg.chunk_size {
             Some(n) => n.max(1),
             None => (batch_len / rayon::current_num_threads().max(1)).max(MIN_CHUNK_SIZE),
@@ -443,7 +446,7 @@ impl Trainer {
     }
 
     /// Apply one Adam step from the accumulated sparse gradients.
-    fn apply(&mut self, model: &mut PkgmModel, acc: ChunkGrads) {
+    pub(crate) fn apply(&mut self, model: &mut PkgmModel, acc: ChunkGrads) {
         self.t += 1;
         let bc1 = 1.0 - BETA1.powi(self.t as i32);
         let bc2 = 1.0 - BETA2.powi(self.t as i32);
@@ -708,7 +711,7 @@ pub fn load_latest_checkpoint(
 }
 
 /// Did this epoch's loss go bad enough to halt?
-fn diverged(mean_loss: f32, best: f32) -> Option<String> {
+pub(crate) fn diverged(mean_loss: f32, best: f32) -> Option<String> {
     if !mean_loss.is_finite() {
         return Some(format!("non-finite mean loss ({mean_loss})"));
     }
